@@ -1,0 +1,341 @@
+//! The hand-parallelised MPI baseline of Figure 6: Gauss–Seidel with a
+//! rank decomposition and per-iteration halo swaps, written the way an HPC
+//! programmer ports the serial code by hand.
+//!
+//! Runs with *real* message passing on the [`fsc_mpisim::runtime`] rank
+//! runtime (used for correctness validation at small scale), plus an
+//! analytic scaling estimator that combines measured per-cell compute speed
+//! with the Slingshot cost model for the node counts of Figure 6 that this
+//! machine cannot host.
+
+use fsc_mpisim::runtime::{run_ranks, RankCtx};
+use fsc_mpisim::{CostModel, ProcessGrid};
+use fsc_workloads::grid::{init_value, Grid3};
+
+/// Run hand-MPI Gauss–Seidel over `ranks` ranks (1-D decomposition along
+/// `k`), returning the assembled global field.
+pub fn gs_run(n: usize, iters: usize, ranks: usize) -> Grid3 {
+    assert!(ranks >= 1 && n % ranks == 0, "n must divide by ranks");
+    let nk = n / ranks; // interior k-planes per rank
+    let e = n + 2;
+    let plane = e * e;
+
+    let locals = run_ranks(ranks, move |ctx: &mut RankCtx| {
+        gs_rank_body(ctx, n, nk, iters)
+    });
+
+    // Assemble: rank r owns global k-planes [1 + r*nk, 1 + (r+1)*nk).
+    let mut u = Grid3::new(n);
+    u.init_analytic();
+    for (r, local) in locals.into_iter().enumerate() {
+        for lk in 0..nk {
+            let gk = 1 + r * nk + lk;
+            let src = (lk + 1) * plane;
+            let dst = gk * plane;
+            u.data[dst..dst + plane].copy_from_slice(&local[src..src + plane]);
+        }
+    }
+    u
+}
+
+/// Per-rank body: local slab of `nk` interior planes with one halo plane on
+/// each side, initialised to the analytic field, iterated with halo swaps.
+fn gs_rank_body(ctx: &mut RankCtx, n: usize, nk: usize, iters: usize) -> Vec<f64> {
+    let e = n + 2;
+    let plane = e * e;
+    let rank = ctx.rank;
+    let size = ctx.size;
+    // Local storage: nk + 2 planes of e² cells. Local plane lk corresponds
+    // to global k = rank*nk + lk (lk = 0 is the halo/boundary plane).
+    let mut u = vec![0.0f64; (nk + 2) * plane];
+    let mut un = vec![0.0f64; (nk + 2) * plane];
+    let gk0 = rank * nk;
+    for lk in 0..nk + 2 {
+        let gk = gk0 + lk;
+        for j in 0..e {
+            for i in 0..e {
+                u[lk * plane + j * e + i] = init_value(i, j, gk);
+            }
+        }
+    }
+
+    let inv6 = 1.0 / 6.0;
+    for _ in 0..iters {
+        // Halo swap along k: send boundary interior planes to neighbours.
+        if rank > 0 {
+            ctx.send(rank - 1, 0, u[plane..2 * plane].to_vec());
+        }
+        if rank + 1 < size {
+            ctx.send(rank + 1, 1, u[nk * plane..(nk + 1) * plane].to_vec());
+        }
+        if rank > 0 {
+            let lower = ctx.recv(rank - 1, 1);
+            u[..plane].copy_from_slice(&lower);
+        }
+        if rank + 1 < size {
+            let upper = ctx.recv(rank + 1, 0);
+            u[(nk + 1) * plane..].copy_from_slice(&upper);
+        }
+        // Local sweep (interior i,j; all local interior k planes).
+        for lk in 1..=nk {
+            for j in 1..=n {
+                for i in 1..=n {
+                    let c = lk * plane + j * e + i;
+                    un[c] = (u[c - 1]
+                        + u[c + 1]
+                        + u[c - e]
+                        + u[c + e]
+                        + u[c - plane]
+                        + u[c + plane])
+                        * inv6;
+                }
+            }
+        }
+        // Copy interior back.
+        for lk in 1..=nk {
+            for j in 1..=n {
+                let row = lk * plane + j * e;
+                u[row + 1..row + 1 + n].copy_from_slice(&un[row + 1..row + 1 + n]);
+            }
+        }
+        ctx.barrier();
+    }
+    u
+}
+
+/// Run hand-MPI Gauss–Seidel with the paper's **2-D decomposition** ("we
+/// decompose the 3D space into two dimensions", §4.4): a `pj × pk` process
+/// grid over the j and k dimensions, halo swaps with up to four
+/// neighbours per iteration, real message passing.
+pub fn gs_run_2d(n: usize, iters: usize, pj: usize, pk: usize) -> Grid3 {
+    assert!(pj >= 1 && pk >= 1 && n % pj == 0 && n % pk == 0);
+    let (nj, nk) = (n / pj, n / pk);
+    let e = n + 2;
+
+    let locals = run_ranks(pj * pk, move |ctx: &mut RankCtx| {
+        gs_rank_body_2d(ctx, n, nj, nk, pj, pk, iters)
+    });
+
+    // Assemble the global interior.
+    let mut u = Grid3::new(n);
+    u.init_analytic();
+    let lj = nj + 2;
+    for (r, local) in locals.into_iter().enumerate() {
+        let (rj, rk) = (r % pj, r / pj);
+        for dk in 0..nk {
+            for dj in 0..nj {
+                let gj = 1 + rj * nj + dj;
+                let gk = 1 + rk * nk + dk;
+                let src = (dj + 1) * e + (dk + 1) * e * lj;
+                let dst = gj * e + gk * e * e;
+                u.data[dst + 1..dst + 1 + n]
+                    .copy_from_slice(&local[src + 1..src + 1 + n]);
+            }
+        }
+    }
+    u
+}
+
+/// Per-rank body for the 2-D decomposition. Local layout: full `i` extent
+/// (`e = n+2`), `nj+2` j-rows, `nk+2` k-planes.
+#[allow(clippy::too_many_arguments)]
+fn gs_rank_body_2d(
+    ctx: &mut RankCtx,
+    n: usize,
+    nj: usize,
+    nk: usize,
+    pj: usize,
+    pk: usize,
+    iters: usize,
+) -> Vec<f64> {
+    let e = n + 2;
+    let lj = nj + 2;
+    let row = e;
+    let plane = e * lj;
+    let rank = ctx.rank;
+    let (rj, rk) = (rank % pj, rank / pj);
+    let (gj0, gk0) = (rj * nj, rk * nk);
+
+    let mut u = vec![0.0f64; plane * (nk + 2)];
+    let mut un = vec![0.0f64; plane * (nk + 2)];
+    let idx = |i: usize, dj: usize, dk: usize| i + dj * row + dk * plane;
+    for dk in 0..nk + 2 {
+        for dj in 0..nj + 2 {
+            for i in 0..e {
+                u[idx(i, dj, dk)] = init_value(i, gj0 + dj, gk0 + dk);
+            }
+        }
+    }
+
+    // Neighbour ranks (±j = ±1 in rank space, ±k = ±pj).
+    let nbr = |dj: i64, dk: i64| -> Option<usize> {
+        let tj = rj as i64 + dj;
+        let tk = rk as i64 + dk;
+        (tj >= 0 && tj < pj as i64 && tk >= 0 && tk < pk as i64)
+            .then_some((tk * pj as i64 + tj) as usize)
+    };
+
+    let inv6 = 1.0 / 6.0;
+    for _ in 0..iters {
+        // j-direction halo swap: (i, k-interior) faces.
+        let gather_j = |u: &[f64], dj: usize| -> Vec<f64> {
+            let mut out = Vec::with_capacity(e * nk);
+            for dk in 1..=nk {
+                out.extend_from_slice(&u[idx(0, dj, dk)..idx(0, dj, dk) + e]);
+            }
+            out
+        };
+        let scatter_j = |u: &mut Vec<f64>, dj: usize, data: &[f64]| {
+            for dk in 1..=nk {
+                let base = idx(0, dj, dk);
+                u[base..base + e].copy_from_slice(&data[(dk - 1) * e..dk * e]);
+            }
+        };
+        if let Some(p) = nbr(-1, 0) {
+            ctx.send(p, 10, gather_j(&u, 1));
+        }
+        if let Some(p) = nbr(1, 0) {
+            ctx.send(p, 11, gather_j(&u, nj));
+        }
+        if let Some(p) = nbr(-1, 0) {
+            let d = ctx.recv(p, 11);
+            scatter_j(&mut u, 0, &d);
+        }
+        if let Some(p) = nbr(1, 0) {
+            let d = ctx.recv(p, 10);
+            scatter_j(&mut u, nj + 1, &d);
+        }
+        // k-direction halo swap: whole local planes.
+        if let Some(p) = nbr(0, -1) {
+            ctx.send(p, 20, u[plane..2 * plane].to_vec());
+        }
+        if let Some(p) = nbr(0, 1) {
+            ctx.send(p, 21, u[nk * plane..(nk + 1) * plane].to_vec());
+        }
+        if let Some(p) = nbr(0, -1) {
+            let d = ctx.recv(p, 21);
+            u[..plane].copy_from_slice(&d);
+        }
+        if let Some(p) = nbr(0, 1) {
+            let d = ctx.recv(p, 20);
+            u[(nk + 1) * plane..].copy_from_slice(&d);
+        }
+        // Sweep + copy-back over the local interior.
+        for dk in 1..=nk {
+            for dj in 1..=nj {
+                for i in 1..=n {
+                    let c = idx(i, dj, dk);
+                    un[c] = (u[c - 1]
+                        + u[c + 1]
+                        + u[c - row]
+                        + u[c + row]
+                        + u[c - plane]
+                        + u[c + plane])
+                        * inv6;
+                }
+            }
+        }
+        for dk in 1..=nk {
+            for dj in 1..=nj {
+                let base = idx(1, dj, dk);
+                u[base..base + n].copy_from_slice(&un[base..base + n]);
+            }
+        }
+        ctx.barrier();
+    }
+    u
+}
+
+/// Analytic strong-scaling estimate for Figure 6: seconds per iteration for
+/// a global `n³` grid over `grid` ranks, given a measured per-cell compute
+/// time (seconds) for the implementation being scaled.
+pub fn modeled_iteration_time(
+    n: u64,
+    grid: &ProcessGrid,
+    cost: &CostModel,
+    per_cell_seconds: f64,
+) -> f64 {
+    let ranks = grid.size() as u64;
+    let local_cells = n.pow(3) / ranks;
+    let compute = local_cells as f64 * per_cell_seconds;
+    // Halo message size: the slab face exchanged along each decomposed dim.
+    // For a d-dim decomposition of the cube the face is n² / (ranks along
+    // the *other* decomposed dims).
+    let mut neighbors = 0usize;
+    let mut max_face = 0u64;
+    for (d, &s) in grid.shape.iter().enumerate() {
+        if s > 1 {
+            neighbors += 2;
+            let other: i64 = grid
+                .shape
+                .iter()
+                .enumerate()
+                .filter(|&(dd, _)| dd != d)
+                .map(|(_, &x)| x)
+                .product();
+            let face = n * n / other.max(1) as u64;
+            max_face = max_face.max(face);
+        }
+    }
+    let comm = cost.halo_exchange_time(max_face * 8, neighbors, cost.offnode_fraction(grid));
+    compute + comm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsc_workloads::gauss_seidel;
+    use fsc_workloads::verify::assert_fields_match;
+
+    #[test]
+    fn distributed_matches_serial_reference() {
+        let dist = gs_run(8, 3, 4);
+        let serial = gauss_seidel::reference(8, 3);
+        assert_fields_match(&dist.data, &serial.data, 1e-13, "mpi gs vs serial");
+    }
+
+    #[test]
+    fn single_rank_degenerates_to_serial() {
+        let dist = gs_run(6, 2, 1);
+        let serial = gauss_seidel::reference(6, 2);
+        assert_fields_match(&dist.data, &serial.data, 1e-13, "1-rank gs");
+    }
+
+    #[test]
+    fn two_ranks_match() {
+        let dist = gs_run(8, 5, 2);
+        let serial = gauss_seidel::reference(8, 5);
+        assert_fields_match(&dist.data, &serial.data, 1e-13, "2-rank gs");
+    }
+
+    #[test]
+    fn two_d_decomposition_matches_serial() {
+        let dist = gs_run_2d(8, 3, 2, 2);
+        let serial = gauss_seidel::reference(8, 3);
+        assert_fields_match(&dist.data, &serial.data, 1e-13, "2d mpi gs");
+    }
+
+    #[test]
+    fn asymmetric_two_d_grid_matches() {
+        let dist = gs_run_2d(12, 2, 3, 2);
+        let serial = gauss_seidel::reference(12, 2);
+        assert_fields_match(&dist.data, &serial.data, 1e-13, "3x2 mpi gs");
+    }
+
+    #[test]
+    fn modeled_time_shrinks_with_ranks_then_flattens() {
+        let cost = CostModel::default();
+        let per_cell = 1e-9;
+        let t128 = modeled_iteration_time(2048, &ProcessGrid::new(vec![128]), &cost, per_cell);
+        let t1024 =
+            modeled_iteration_time(2048, &ProcessGrid::new(vec![128, 8]), &cost, per_cell);
+        let t8192 =
+            modeled_iteration_time(2048, &ProcessGrid::new(vec![128, 64]), &cost, per_cell);
+        assert!(t1024 < t128, "more ranks must be faster: {t1024} vs {t128}");
+        assert!(t8192 < t1024);
+        // But not perfectly: efficiency decays.
+        let speedup = t128 / t8192;
+        assert!(speedup < 64.0, "communication must erode perfect scaling");
+        assert!(speedup > 8.0, "but scaling should still be substantial");
+    }
+}

@@ -1,0 +1,620 @@
+//! # fsc-core — the end-to-end driver (the paper's Figure 1)
+//!
+//! One call chain reproduces the whole flow:
+//!
+//! ```text
+//! Fortran ──frontend──▶ FIR ──discover+merge──▶ FIR+stencil
+//!          ──extract──▶ (FIR module, stencil module)
+//!          ──target pipeline──▶ lowered stencil module
+//!          ──kernel compiler──▶ CompiledKernels
+//! run: interpret FIR; fir.call @stencil_region_N dispatches to kernels
+//! ```
+//!
+//! [`Target`] selects the paper's four execution configurations: Flang-only
+//! (no stencil passes — the slow baseline of Figures 2–4), serial CPU
+//! stencil, OpenMP stencil, GPU stencil (with either data strategy), or
+//! distributed-memory stencil via DMP/MPI.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use fsc_exec::interp::{Interpreter, RegionDispatcher, RunStats};
+use fsc_exec::kernel::{self, CompiledKernel, GpuStrategy, KernelArg, PlanKind};
+use fsc_exec::value::{Memory, Ref, Value};
+use fsc_gpusim::{BufferUse, GpuCounters, GpuSession, KernelLoad, V100Model};
+use fsc_ir::{IrError, Module, Result};
+use fsc_mpisim::{CostModel, ProcessGrid};
+use fsc_passes::pipelines;
+
+/// Execution configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Target {
+    /// Interpret the raw FIR op by op — the extreme "Flang only" tier
+    /// (used for end-to-end validation; ~100× slower than compiled code).
+    FlangOnly,
+    /// The figures' "Flang only" line: the same program executed at
+    /// compiled-code speed but the way Flang's direct FIR→LLVM flow runs
+    /// it — full per-access address arithmetic, bounds checks, no loop
+    /// restructuring or vectorisable inner runs (see DESIGN.md).
+    UnoptimizedCpu,
+    /// Stencil flow, single CPU core.
+    StencilCpu,
+    /// Stencil flow, automatic OpenMP (0 = all cores).
+    StencilOpenMp {
+        /// Thread count.
+        threads: u32,
+    },
+    /// Stencil flow on the modeled V100.
+    StencilGpu {
+        /// Use the optimised explicit data management pass (vs
+        /// `gpu.host_register`).
+        explicit_data: bool,
+        /// Tile sizes for `scf-parallel-loop-tiling` (Listing 4: 32,32,1).
+        tile: [i64; 3],
+    },
+    /// Stencil flow with automatic distributed-memory parallelisation.
+    StencilDistributed {
+        /// Process-grid decomposition (e.g. `[32, 16]` = 512 ranks over the
+        /// two slowest dimensions).
+        grid: Vec<i64>,
+    },
+    /// Multi-node GPU: one modeled V100 per rank with halo exchanges — the
+    /// paper's fifth further-work avenue, implemented.
+    StencilMultiGpu {
+        /// GPU-rank decomposition over the slowest dimensions.
+        grid: Vec<i64>,
+        /// Thread-block tile sizes.
+        tile: [i64; 3],
+    },
+}
+
+/// Compile-time options.
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// Execution target.
+    pub target: Target,
+    /// Run the structural + dialect verifier after every pass (catches a
+    /// broken pass at the pass that broke the IR; costs compile time).
+    pub verify_each_pass: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        Self { target: Target::StencilCpu, verify_each_pass: false }
+    }
+}
+
+impl CompileOptions {
+    /// Options for `target` with defaults elsewhere.
+    pub fn for_target(target: Target) -> Self {
+        Self { target, ..Self::default() }
+    }
+}
+
+/// A compiled program: the FIR module, the (optionally) extracted stencil
+/// module and its compiled kernels.
+pub struct Compiled {
+    /// The Flang-side module (interpreted at run time).
+    pub fir_module: Module,
+    /// The extracted, lowered stencil module (absent for Flang-only).
+    pub stencil_module: Option<Module>,
+    /// Compiled kernels by region symbol.
+    pub kernels: HashMap<String, CompiledKernel>,
+    /// The configured target.
+    pub target: Target,
+    /// Name of the main program unit.
+    pub entry: String,
+}
+
+/// Execution accounting.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Wall-clock time of the whole run.
+    pub wall: Duration,
+    /// Wall-clock spent inside stencil kernels.
+    pub kernel_wall: Duration,
+    /// Grid cells processed by stencil kernels (all invocations).
+    pub kernel_cells: u64,
+    /// Interpreter op counters.
+    pub interp: RunStats,
+    /// Modeled GPU seconds (GPU targets).
+    pub gpu_seconds: Option<f64>,
+    /// GPU transfer/launch counters (GPU targets).
+    pub gpu: Option<GpuCounters>,
+    /// Modeled distributed seconds (distributed targets).
+    pub distributed_seconds: Option<f64>,
+    /// Ranks used by the distributed model.
+    pub ranks: Option<i64>,
+}
+
+/// A finished execution: memory plus accounting.
+pub struct Execution {
+    /// Runtime memory (buffers hold final array contents).
+    pub memory: Memory,
+    /// Accounting.
+    pub report: RunReport,
+    bindings: HashMap<String, Ref>,
+}
+
+impl Execution {
+    /// The final contents of a Fortran array by name.
+    pub fn array(&self, name: &str) -> Option<&[f64]> {
+        match self.bindings.get(name)? {
+            Ref::Array { buf, .. } => Some(self.memory.buffer(*buf)),
+            _ => None,
+        }
+    }
+}
+
+/// The compiler driver.
+pub struct Compiler;
+
+impl Compiler {
+    /// Compile Fortran source for the given target.
+    pub fn compile(source: &str, options: &CompileOptions) -> Result<Compiled> {
+        let mut fir = fsc_fortran::compile_to_fir(source)?;
+        let entry = find_program(&fir)?;
+        if options.target == Target::FlangOnly {
+            return Ok(Compiled {
+                fir_module: fir,
+                stencil_module: None,
+                kernels: HashMap::new(),
+                target: options.target.clone(),
+                entry,
+            });
+        }
+        // Figure 1: discovery (+fusion) on FIR, then extraction. The
+        // unoptimised tier models Flang's own codegen, which neither fuses
+        // nor CSEs across statements.
+        let mut discovery = if options.target == Target::UnoptimizedCpu {
+            pipelines::discovery_pipeline_unfused()
+        } else {
+            pipelines::discovery_pipeline()
+        };
+        if options.verify_each_pass {
+            discovery.enable_verifier();
+        }
+        discovery.run(&mut fir)?;
+        if options.verify_each_pass {
+            fsc_dialects::verify::verify(&fir)?;
+        }
+        let mut stencil = fsc_passes::extract::extract_stencils(&mut fir)?;
+        // Target-specific lowering of the stencil module.
+        let mut pm = match &options.target {
+            Target::FlangOnly => unreachable!(),
+            Target::UnoptimizedCpu => pipelines::unoptimized_cpu_pipeline()?,
+            Target::StencilCpu => pipelines::cpu_pipeline()?,
+            Target::StencilOpenMp { threads } => pipelines::openmp_pipeline(*threads)?,
+            Target::StencilGpu { explicit_data, tile } => {
+                pipelines::gpu_pipeline(*explicit_data, tile)?
+            }
+            Target::StencilDistributed { grid } => pipelines::dmp_pipeline(grid)?,
+            Target::StencilMultiGpu { grid, tile } => {
+                pipelines::gpu_dmp_pipeline(grid, tile)?
+            }
+        };
+        if options.verify_each_pass {
+            pm.enable_verifier();
+        }
+        pm.run(&mut stencil)?;
+        if options.verify_each_pass {
+            fsc_dialects::verify::verify(&stencil)?;
+        }
+        // Compile every extracted region.
+        let mut kernels = HashMap::new();
+        for f in stencil.top_level_ops_named("func.func") {
+            let name = fsc_dialects::func::FuncOp(f).name(&stencil);
+            if name.starts_with("stencil_region_") {
+                kernels.insert(name.clone(), kernel::compile_kernel(&stencil, &name)?);
+            }
+        }
+        Ok(Compiled {
+            fir_module: fir,
+            stencil_module: Some(stencil),
+            kernels,
+            target: options.target.clone(),
+            entry,
+        })
+    }
+
+    /// Convenience: compile and run.
+    pub fn run(source: &str, options: &CompileOptions) -> Result<Execution> {
+        Self::compile(source, options)?.run()
+    }
+}
+
+fn find_program(m: &Module) -> Result<String> {
+    m.top_level_ops_named("func.func")
+        .into_iter()
+        .map(fsc_dialects::func::FuncOp)
+        .find(|f| m.op(f.0).attr(fsc_fortran::lower::PROGRAM_ATTR).is_some())
+        .map(|f| f.name(m))
+        .ok_or_else(|| IrError::new("no program unit in source"))
+}
+
+impl Compiled {
+    /// Execute the program, returning memory and accounting.
+    pub fn run(&self) -> Result<Execution> {
+        let dispatcher = KernelDispatcher::new(&self.kernels, &self.target);
+        let start = Instant::now();
+        let mut interp = Interpreter::new(&self.fir_module, dispatcher);
+        interp.run_func(&self.entry, vec![])?;
+        let wall = start.elapsed();
+
+        // Gather array bindings before dismantling the interpreter.
+        let mut bindings = HashMap::new();
+        for name in array_names(&self.fir_module) {
+            if let Some(r) = interp.array_binding(&name) {
+                bindings.insert(name, r);
+            }
+        }
+        let (memory, stats, mut dispatcher) = interp.into_parts();
+        let (gpu_seconds, gpu_counters) = dispatcher.finalize();
+        let is_distributed = dispatcher.grid.is_some();
+        let report = RunReport {
+            wall,
+            kernel_wall: dispatcher.kernel_wall,
+            kernel_cells: dispatcher.cells,
+            interp: stats,
+            gpu_seconds,
+            gpu: gpu_counters,
+            distributed_seconds: is_distributed.then_some(dispatcher.distributed_seconds),
+            ranks: dispatcher.grid.as_ref().map(ProcessGrid::size),
+        };
+        Ok(Execution { memory, report, bindings })
+    }
+}
+
+/// Names of all Fortran arrays in the module (from allocation attributes).
+fn array_names(m: &Module) -> Vec<String> {
+    let mut out = Vec::new();
+    fsc_ir::walk::walk_module(m, &mut |op| {
+        let data = m.op(op);
+        if matches!(data.name.full(), "fir.alloca" | "fir.allocmem") {
+            if let Some(name) = data.attr("bindc_name").and_then(|a| a.as_str()) {
+                if !out.contains(&name.to_string()) {
+                    out.push(name.to_string());
+                }
+            }
+        }
+    });
+    out
+}
+
+/// Dispatches `fir.call @stencil_region_N` to compiled kernels, routing by
+/// target and accumulating per-target accounting.
+pub struct KernelDispatcher<'k> {
+    kernels: &'k HashMap<String, CompiledKernel>,
+    pool: Option<rayon::ThreadPool>,
+    threads: usize,
+    gpu: Option<GpuSession>,
+    cost: CostModel,
+    /// Execute kernels with the naive (Flang-like) runner.
+    naive: bool,
+    /// Process grid of a distributed target.
+    pub grid: Option<ProcessGrid>,
+    /// Wall time spent in kernels.
+    pub kernel_wall: Duration,
+    /// Total cells processed.
+    pub cells: u64,
+    /// Modeled distributed seconds.
+    pub distributed_seconds: f64,
+    /// Buffers written on the device (for final d2h accounting).
+    written_buffers: HashMap<u64, u64>,
+}
+
+impl<'k> KernelDispatcher<'k> {
+    /// New dispatcher for a target.
+    pub fn new(kernels: &'k HashMap<String, CompiledKernel>, target: &Target) -> Self {
+        let (pool, threads) = match target {
+            Target::StencilOpenMp { threads } => {
+                let mut b = rayon::ThreadPoolBuilder::new();
+                if *threads > 0 {
+                    b = b.num_threads(*threads as usize);
+                }
+                let pool = b.build().expect("thread pool");
+                let t = pool.current_num_threads();
+                (Some(pool), t)
+            }
+            Target::StencilDistributed { grid } => {
+                let ranks: i64 = grid.iter().product();
+                let workers = (ranks as usize).min(num_cpus_max());
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(workers.max(1))
+                    .build()
+                    .expect("thread pool");
+                (Some(pool), workers.max(1))
+            }
+            _ => (None, 1),
+        };
+        let gpu = match target {
+            Target::StencilGpu { .. } | Target::StencilMultiGpu { .. } => {
+                Some(GpuSession::new(V100Model::default()))
+            }
+            _ => None,
+        };
+        let grid = match target {
+            Target::StencilDistributed { grid } | Target::StencilMultiGpu { grid, .. } => {
+                Some(ProcessGrid::new(grid.clone()))
+            }
+            _ => None,
+        };
+        Self {
+            kernels,
+            pool,
+            threads,
+            gpu,
+            cost: CostModel::default(),
+            naive: matches!(target, Target::UnoptimizedCpu),
+            grid,
+            kernel_wall: Duration::ZERO,
+            cells: 0,
+            distributed_seconds: 0.0,
+            written_buffers: HashMap::new(),
+        }
+    }
+
+    /// Final GPU accounting: lazy device→host transfers for written buffers.
+    pub fn finalize(&mut self) -> (Option<f64>, Option<GpuCounters>) {
+        if let Some(gpu) = &mut self.gpu {
+            let written: Vec<(u64, u64)> =
+                self.written_buffers.iter().map(|(&k, &v)| (k, v)).collect();
+            for (id, bytes) in written {
+                gpu.host_access(id, bytes);
+            }
+            (Some(gpu.elapsed()), Some(gpu.counters))
+        } else {
+            (None, None)
+        }
+    }
+
+    fn convert_args(args: &[Value]) -> Result<Vec<KernelArg>> {
+        args.iter()
+            .map(|v| match v {
+                Value::Ref(Ref::Array { buf, .. }) => Ok(KernelArg::Buf(*buf)),
+                Value::Ref(Ref::Elem { buf, linear: 0 }) => Ok(KernelArg::Buf(*buf)),
+                Value::F64(f) => Ok(KernelArg::Scalar(*f)),
+                Value::I32(i) => Ok(KernelArg::Scalar(*i as f64)),
+                Value::I64(i) | Value::Index(i) => Ok(KernelArg::Scalar(*i as f64)),
+                other => Err(IrError::new(format!(
+                    "cannot pass {other:?} to a stencil region"
+                ))),
+            })
+            .collect()
+    }
+}
+
+fn num_cpus_max() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8)
+}
+
+impl<'k> RegionDispatcher for KernelDispatcher<'k> {
+    fn call(&mut self, callee: &str, args: &[Value], memory: &mut Memory) -> Result<()> {
+        let kernel = self
+            .kernels
+            .get(callee)
+            .ok_or_else(|| IrError::new(format!("no compiled kernel '{callee}'")))?;
+        let kargs = Self::convert_args(args)?;
+        let start = Instant::now();
+        match &kernel.kind {
+            PlanKind::Cpu => {
+                if kernel.is_distributed() {
+                    // Execute rank slabs work-shared over local cores, then
+                    // charge the modeled distributed iteration: per-rank
+                    // compute (measured rate / ranks) + halo communication.
+                    kernel::run_kernel(
+                        kernel,
+                        memory,
+                        &kargs,
+                        self.threads,
+                        self.pool.as_ref(),
+                    )?;
+                    let grid = self.grid.as_ref().expect("distributed target has a grid");
+                    let elapsed = start.elapsed().as_secs_f64();
+                    let ranks = grid.size() as f64;
+                    let compute = elapsed * self.threads as f64 / ranks;
+                    let mut comm = 0.0;
+                    for nest in &kernel.nests {
+                        if nest.exchanges.is_empty() {
+                            continue;
+                        }
+                        let neighbors = nest
+                            .exchanges
+                            .iter()
+                            .map(|e| (e.dim, e.direction))
+                            .collect::<std::collections::HashSet<_>>()
+                            .len();
+                        comm += self.cost.halo_exchange_time(
+                            face_bytes(nest, grid),
+                            neighbors,
+                            self.cost.offnode_fraction(grid),
+                        );
+                    }
+                    self.distributed_seconds += compute + comm;
+                } else if self.naive {
+                    kernel::run_kernel_naive(kernel, memory, &kargs)?;
+                } else {
+                    kernel::run_kernel(kernel, memory, &kargs, 1, None)?;
+                }
+            }
+            PlanKind::Omp { num_threads } => {
+                let pool = self.pool.as_ref().ok_or_else(|| {
+                    IrError::new("omp kernel dispatched without a thread pool")
+                })?;
+                let t = if *num_threads > 0 { *num_threads } else { self.threads };
+                kernel::run_kernel(kernel, memory, &kargs, t, Some(pool))?;
+            }
+            PlanKind::Gpu { block, strategy, read_args, written_args, .. } => {
+                // Execute on CPU for correctness, charge the V100 model.
+                // Multi-GPU plans (future-work avenue 5) split the domain
+                // over `ranks` devices: each device sees 1/ranks of the
+                // work and buffers, and pays the halo exchange per
+                // iteration; the makespan is per-device time + comm.
+                kernel::run_kernel(kernel, memory, &kargs, 1, None)?;
+                let ranks = if kernel.is_distributed() {
+                    self.grid.as_ref().map(|g| g.size() as u64).unwrap_or(1).max(1)
+                } else {
+                    1
+                };
+                let gpu = self.gpu.as_mut().expect("gpu session for gpu target");
+                let stats = kernel.stats();
+                let load = KernelLoad {
+                    cells: stats.cells / ranks,
+                    flops: stats.flops / ranks,
+                    bytes_read: stats.bytes_read / ranks,
+                    bytes_written: stats.bytes_written / ranks,
+                };
+                let mut uses = Vec::new();
+                for (i, ka) in kargs.iter().enumerate() {
+                    if let KernelArg::Buf(b) = ka {
+                        let bytes = (memory.buffer(*b).len() * 8) as u64 / ranks;
+                        let read = read_args.contains(&i);
+                        let written = written_args.contains(&i);
+                        if written {
+                            self.written_buffers.insert(b.0 as u64, bytes);
+                        }
+                        uses.push(BufferUse { id: b.0 as u64, bytes, read, written });
+                    }
+                }
+                let model_strategy = match strategy {
+                    GpuStrategy::HostRegister => fsc_gpusim::Strategy::HostRegister,
+                    GpuStrategy::Explicit => fsc_gpusim::Strategy::Explicit,
+                };
+                gpu.launch(load, *block, model_strategy, &uses);
+                if let (true, Some(grid)) = (kernel.is_distributed(), &self.grid) {
+                    // Inter-GPU halo exchange (host-staged over the
+                    // interconnect; NVLink/GPUDirect would lower this —
+                    // exactly the tuning §6 proposes).
+                    let mut comm = 0.0;
+                    for nest in &kernel.nests {
+                        if nest.exchanges.is_empty() {
+                            continue;
+                        }
+                        let neighbors = nest
+                            .exchanges
+                            .iter()
+                            .map(|e| (e.dim, e.direction))
+                            .collect::<std::collections::HashSet<_>>()
+                            .len();
+                        comm += self.cost.halo_exchange_time(
+                            face_bytes(nest, grid),
+                            neighbors,
+                            1.0,
+                        );
+                    }
+                    self.distributed_seconds += comm;
+                }
+            }
+        }
+        self.cells += kernel.stats().cells;
+        self.kernel_wall += start.elapsed();
+        Ok(())
+    }
+}
+
+/// Halo face bytes of the largest exchange of one nest.
+fn face_bytes(nest: &fsc_exec::kernel::Nest, grid: &ProcessGrid) -> u64 {
+    // Per-rank face: the global face divided by the ranks along the other
+    // decomposed dimensions, times the halo width.
+    let cells = nest.domain_cells();
+    let ranks = grid.size().max(1) as u64;
+    nest.exchanges
+        .iter()
+        .map(|e| {
+            let dim_extent = (nest.bounds[e.dim].1 - nest.bounds[e.dim].0).max(1) as u64;
+            let global_face = cells / dim_extent;
+            (global_face / ranks.max(1)).max(1) * e.width.max(1) as u64 * 8
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn find_program_requires_a_program_unit() {
+        let m = fsc_fortran::compile_to_fir(
+            "subroutine s(x)\nreal(kind=8), intent(inout) :: x\nx = 1.0\nend subroutine s",
+        )
+        .unwrap();
+        assert!(find_program(&m).is_err());
+    }
+
+    #[test]
+    fn flang_only_compiles_without_stencil_module() {
+        let src = fsc_workloads::gauss_seidel::fortran_source(4, 1);
+        let c = Compiler::compile(&src, &CompileOptions { target: Target::FlangOnly, verify_each_pass: false }).unwrap();
+        assert!(c.stencil_module.is_none());
+        assert!(c.kernels.is_empty());
+        assert_eq!(c.entry, "gauss_seidel");
+    }
+
+    #[test]
+    fn stencil_targets_produce_kernels() {
+        let src = fsc_workloads::gauss_seidel::fortran_source(4, 1);
+        for target in [
+            Target::StencilCpu,
+            Target::UnoptimizedCpu,
+            Target::StencilOpenMp { threads: 2 },
+            Target::StencilGpu { explicit_data: true, tile: [4, 4, 1] },
+            Target::StencilDistributed { grid: vec![2] },
+            Target::StencilMultiGpu { grid: vec![2], tile: [4, 4, 1] },
+        ] {
+            let c = Compiler::compile(&src, &CompileOptions { target: target.clone(), verify_each_pass: false }).unwrap();
+            assert!(!c.kernels.is_empty(), "{target:?} produced no kernels");
+            assert!(c.stencil_module.is_some());
+        }
+    }
+
+    #[test]
+    fn convert_args_rejects_non_numeric() {
+        use fsc_exec::value::{Ref, Value};
+        let ok = KernelDispatcher::convert_args(&[
+            Value::F64(1.0),
+            Value::I32(2),
+            Value::Index(3),
+        ])
+        .unwrap();
+        assert_eq!(ok.len(), 3);
+        let bad = KernelDispatcher::convert_args(&[Value::Ref(Ref::Scalar(
+            fsc_exec::value::SlotId(0),
+        ))]);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn distributed_report_carries_rank_count() {
+        let src = fsc_workloads::gauss_seidel::fortran_source(6, 1);
+        let exec = Compiler::run(
+            &src,
+            &CompileOptions { target: Target::StencilDistributed { grid: vec![3, 2] }, verify_each_pass: false },
+        )
+        .unwrap();
+        assert_eq!(exec.report.ranks, Some(6));
+    }
+
+    #[test]
+    fn verify_each_pass_accepts_all_targets() {
+        let src = fsc_workloads::gauss_seidel::fortran_source(4, 1);
+        for target in [
+            Target::StencilCpu,
+            Target::StencilOpenMp { threads: 2 },
+            Target::StencilGpu { explicit_data: true, tile: [4, 4, 1] },
+            Target::StencilDistributed { grid: vec![2] },
+        ] {
+            let opts = CompileOptions { target, verify_each_pass: true };
+            Compiler::compile(&src, &opts).unwrap();
+        }
+    }
+
+    #[test]
+    fn array_lookup_by_name() {
+        let src = "program t\nreal(kind=8) :: weird_name(3)\nweird_name(1) = 5.0\nend program t";
+        let exec =
+            Compiler::run(src, &CompileOptions { target: Target::FlangOnly, verify_each_pass: false }).unwrap();
+        assert_eq!(exec.array("weird_name").unwrap()[0], 5.0);
+        assert!(exec.array("missing").is_none());
+    }
+}

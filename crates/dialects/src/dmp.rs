@@ -1,0 +1,61 @@
+//! The `dmp` dialect — xDSL's technology-agnostic Distributed Memory
+//! Parallelism abstraction (§2.1 of the paper).
+//!
+//! A `dmp.swap` declares that the halo region of a decomposed field must be
+//! exchanged with neighbouring ranks before the next stencil application;
+//! the `dmp-to-mpi` lowering specialises it to point-to-point MPI messages.
+
+use fsc_ir::{Attribute, Module, OpBuilder, OpId, ValueId};
+
+/// `dmp.swap` — halo exchange over a decomposed field.
+pub const SWAP: &str = "dmp.swap";
+/// `dmp.grid` — declares the process-grid decomposition for a function.
+pub const GRID: &str = "dmp.grid";
+
+/// Build `dmp.grid` declaring an `n`-dimensional process decomposition
+/// (e.g. `[2, 4]` = 8 ranks in a 2×4 grid over the first two data dims).
+pub fn build_grid(b: &mut OpBuilder, decomposition: Vec<i64>) -> OpId {
+    b.op(GRID, vec![], vec![], vec![("shape", Attribute::IndexList(decomposition))])
+}
+
+/// The decomposition shape of a `dmp.grid`.
+pub fn grid_shape(m: &Module, op: OpId) -> Option<Vec<i64>> {
+    if m.op(op).name.full() != GRID {
+        return None;
+    }
+    m.op(op).attr("shape")?.as_index_list().map(<[i64]>::to_vec)
+}
+
+/// Build `dmp.swap` for `field` with per-dimension halo widths (the stencil
+/// radius in each dimension; `0` means no exchange along that dim).
+pub fn build_swap(b: &mut OpBuilder, field: ValueId, halo: Vec<i64>) -> OpId {
+    b.op(SWAP, vec![field], vec![], vec![("halo", Attribute::IndexList(halo))])
+}
+
+/// The halo widths of a `dmp.swap`.
+pub fn swap_halo(m: &Module, op: OpId) -> Option<Vec<i64>> {
+    if m.op(op).name.full() != SWAP {
+        return None;
+    }
+    m.op(op).attr("halo")?.as_index_list().map(<[i64]>::to_vec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsc_ir::Type;
+
+    #[test]
+    fn grid_and_swap_roundtrip() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, top);
+        let g = build_grid(&mut b, vec![4, 2]);
+        let f = b.op1("test.field", vec![], Type::memref(vec![8, 8], Type::f64()), vec![]).1;
+        let s = build_swap(&mut b, f, vec![1, 1, 0]);
+        assert_eq!(grid_shape(&m, g), Some(vec![4, 2]));
+        assert_eq!(swap_halo(&m, s), Some(vec![1, 1, 0]));
+        assert_eq!(swap_halo(&m, g), None);
+        assert_eq!(grid_shape(&m, s), None);
+    }
+}

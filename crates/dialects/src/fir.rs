@@ -1,0 +1,314 @@
+//! The `fir` dialect — Flang's Fortran IR.
+//!
+//! This models the FIR subset that `flang -fc1 -emit-mlir` produces for the
+//! benchmark codes of the paper: stack/heap array allocation, scalar
+//! load/store through `!fir.ref`, array addressing via `fir.coordinate_of`,
+//! counted `fir.do_loop`s (with Fortran's *inclusive* upper bound), value
+//! conversions and the `fir.no_reassoc` reassociation barrier that the
+//! extraction pass must translate away (§3).
+
+use fsc_ir::{Attribute, BlockId, Module, OpBuilder, OpId, Type, ValueId};
+
+/// `fir.alloca` — stack allocation, result `!fir.ref<T>`.
+pub const ALLOCA: &str = "fir.alloca";
+/// `fir.allocmem` — heap allocation, result `!fir.heap<T>`.
+pub const ALLOCMEM: &str = "fir.allocmem";
+/// `fir.freemem` — free a heap allocation.
+pub const FREEMEM: &str = "fir.freemem";
+/// `fir.load` — load through a reference.
+pub const LOAD: &str = "fir.load";
+/// `fir.store` — store through a reference.
+pub const STORE: &str = "fir.store";
+/// `fir.coordinate_of` — address of an array element.
+pub const COORDINATE_OF: &str = "fir.coordinate_of";
+/// `fir.convert` — value conversion between FIR/standard types.
+pub const CONVERT: &str = "fir.convert";
+/// `fir.do_loop` — counted loop, upper bound inclusive.
+pub const DO_LOOP: &str = "fir.do_loop";
+/// `fir.result` — terminator of `fir.do_loop` bodies.
+pub const RESULT: &str = "fir.result";
+/// `fir.no_reassoc` — blocks operator reassociation across it.
+pub const NO_REASSOC: &str = "fir.no_reassoc";
+/// `fir.call` — call into another (possibly separately compiled) function.
+pub const CALL: &str = "fir.call";
+/// `fir.if` — two-armed conditional with `fir.result` terminators.
+pub const IF: &str = "fir.if";
+
+/// Build `fir.alloca` for a variable of `in_type`, with the Fortran-level
+/// name kept in `bindc_name` for diagnostics.
+pub fn alloca(b: &mut OpBuilder, name: &str, in_type: Type) -> ValueId {
+    b.op1(
+        ALLOCA,
+        vec![],
+        Type::fir_ref(in_type.clone()),
+        vec![
+            ("in_type", Attribute::Type(in_type)),
+            ("bindc_name", Attribute::string(name)),
+        ],
+    )
+    .1
+}
+
+/// Build `fir.allocmem` for a heap array of `in_type`.
+pub fn allocmem(b: &mut OpBuilder, name: &str, in_type: Type) -> ValueId {
+    b.op1(
+        ALLOCMEM,
+        vec![],
+        Type::fir_heap(in_type.clone()),
+        vec![
+            ("in_type", Attribute::Type(in_type)),
+            ("bindc_name", Attribute::string(name)),
+        ],
+    )
+    .1
+}
+
+/// Build `fir.freemem`.
+pub fn freemem(b: &mut OpBuilder, heap: ValueId) -> OpId {
+    b.op(FREEMEM, vec![heap], vec![], vec![])
+}
+
+/// Build `fir.load` from a `!fir.ref<T>` / `!fir.heap<T>`, producing `T`.
+pub fn load(b: &mut OpBuilder, reference: ValueId) -> ValueId {
+    let elem = b
+        .module_ref()
+        .value_type(reference)
+        .elem_type()
+        .expect("fir.load on non-reference")
+        .clone();
+    b.op1(LOAD, vec![reference], elem, vec![]).1
+}
+
+/// Build `fir.store value to ref`.
+pub fn store(b: &mut OpBuilder, value: ValueId, reference: ValueId) -> OpId {
+    b.op(STORE, vec![value, reference], vec![], vec![])
+}
+
+/// Build `fir.coordinate_of array[indices...]`, producing a reference to
+/// the element. Indices are zero-based `index` values; the Fortran frontend
+/// emits the 1-based → 0-based arithmetic explicitly (as Flang does).
+pub fn coordinate_of(b: &mut OpBuilder, array_ref: ValueId, indices: Vec<ValueId>) -> ValueId {
+    let arr_ty = b.module_ref().value_type(array_ref).clone();
+    let elem = match arr_ty.elem_type() {
+        Some(Type::FirArray { elem, .. }) => (**elem).clone(),
+        Some(other) => other.clone(),
+        None => panic!("fir.coordinate_of on non-reference type {arr_ty}"),
+    };
+    let mut operands = vec![array_ref];
+    operands.extend(indices);
+    b.op1(COORDINATE_OF, operands, Type::fir_ref(elem), vec![]).1
+}
+
+/// Build `fir.convert` to the given type.
+pub fn convert(b: &mut OpBuilder, value: ValueId, to: Type) -> ValueId {
+    b.op1(CONVERT, vec![value], to, vec![]).1
+}
+
+/// Build `fir.no_reassoc` (same type in and out).
+pub fn no_reassoc(b: &mut OpBuilder, value: ValueId) -> ValueId {
+    let ty = b.module_ref().value_type(value).clone();
+    b.op1(NO_REASSOC, vec![value], ty, vec![]).1
+}
+
+/// Build `fir.call @callee(args)`.
+pub fn call(
+    b: &mut OpBuilder,
+    callee: &str,
+    args: Vec<ValueId>,
+    result_types: Vec<Type>,
+) -> OpId {
+    b.op(CALL, args, result_types, vec![("callee", Attribute::symbol(callee))])
+}
+
+/// View of a `fir.do_loop`: operands `[lb, ub, step]` with **inclusive**
+/// upper bound (Fortran `do i = lb, ub`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DoLoopOp(pub OpId);
+
+impl DoLoopOp {
+    /// Lower bound operand.
+    pub fn lb(self, m: &Module) -> ValueId {
+        m.op(self.0).operands[0]
+    }
+
+    /// Inclusive upper bound operand.
+    pub fn ub(self, m: &Module) -> ValueId {
+        m.op(self.0).operands[1]
+    }
+
+    /// Step operand.
+    pub fn step(self, m: &Module) -> ValueId {
+        m.op(self.0).operands[2]
+    }
+
+    /// Body block.
+    pub fn body(self, m: &Module) -> BlockId {
+        let region = m.op(self.0).regions[0];
+        m.region_blocks(region)[0]
+    }
+
+    /// Induction variable.
+    pub fn iv(self, m: &Module) -> ValueId {
+        m.block_args(self.body(m))[0]
+    }
+
+    /// Ops in the body excluding the `fir.result` terminator.
+    pub fn body_ops(self, m: &Module) -> Vec<OpId> {
+        m.block_ops(self.body(m))
+            .into_iter()
+            .filter(|&o| m.op(o).name.full() != RESULT)
+            .collect()
+    }
+}
+
+/// Build a `fir.do_loop lb..=ub step` with an empty body terminated by
+/// `fir.result`.
+pub fn build_do_loop(b: &mut OpBuilder, lb: ValueId, ub: ValueId, step: ValueId) -> DoLoopOp {
+    let op = b.op(DO_LOOP, vec![lb, ub, step], vec![], vec![]);
+    let m = b.module();
+    let region = m.add_region(op);
+    let body = m.add_block(region, &[Type::Index]);
+    let r = m.create_op(RESULT, vec![], vec![], vec![]);
+    m.append_op(body, r);
+    DoLoopOp(op)
+}
+
+/// A builder positioned just before the `fir.result` terminator of a loop
+/// body.
+pub fn body_builder(m: &mut Module, loop_op: DoLoopOp) -> OpBuilder<'_> {
+    let body = loop_op.body(m);
+    let term = m.block_terminator(body).expect("do_loop body missing terminator");
+    OpBuilder::before(m, term)
+}
+
+/// View of a `fir.if`: one `i1` condition operand, then- and else-regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IfOp(pub OpId);
+
+impl IfOp {
+    /// Condition operand.
+    pub fn condition(self, m: &Module) -> ValueId {
+        m.op(self.0).operands[0]
+    }
+
+    /// Then-block.
+    pub fn then_block(self, m: &Module) -> BlockId {
+        let region = m.op(self.0).regions[0];
+        m.region_blocks(region)[0]
+    }
+
+    /// Else-block (always present; possibly empty apart from the terminator).
+    pub fn else_block(self, m: &Module) -> BlockId {
+        let region = m.op(self.0).regions[1];
+        m.region_blocks(region)[0]
+    }
+}
+
+/// Build a `fir.if cond` with empty then/else regions terminated by
+/// `fir.result`.
+pub fn build_if(b: &mut OpBuilder, cond: ValueId) -> IfOp {
+    let op = b.op(IF, vec![cond], vec![], vec![]);
+    let m = b.module();
+    for _ in 0..2 {
+        let region = m.add_region(op);
+        let block = m.add_block(region, &[]);
+        let r = m.create_op(RESULT, vec![], vec![], vec![]);
+        m.append_op(block, r);
+    }
+    IfOp(op)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arith;
+    use fsc_ir::verifier::verify_module;
+
+    #[test]
+    fn alloca_produces_ref_type() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, top);
+        let arr_ty = Type::fir_array(vec![10, 10], Type::f64());
+        let r = alloca(&mut b, "data", arr_ty.clone());
+        assert_eq!(m.value_type(r), &Type::fir_ref(arr_ty.clone()));
+        let op = m.defining_op(r).unwrap();
+        assert_eq!(op_attr_type(&m, op, "in_type"), Some(arr_ty));
+        assert_eq!(m.op(op).attr("bindc_name").unwrap().as_str(), Some("data"));
+    }
+
+    fn op_attr_type(m: &Module, op: OpId, name: &str) -> Option<Type> {
+        m.op(op).attr(name).and_then(Attribute::as_type).cloned()
+    }
+
+    #[test]
+    fn load_store_through_scalar_ref() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, top);
+        let r = alloca(&mut b, "x", Type::f64());
+        let v = arith::const_f64(&mut b, 3.5);
+        store(&mut b, v, r);
+        let loaded = load(&mut b, r);
+        assert_eq!(m.value_type(loaded), &Type::f64());
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn coordinate_of_peels_array_type() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, top);
+        let arr = alloca(&mut b, "a", Type::fir_array(vec![4, 4], Type::f64()));
+        let i = arith::const_index(&mut b, 1);
+        let j = arith::const_index(&mut b, 2);
+        let elem_ref = coordinate_of(&mut b, arr, vec![i, j]);
+        assert_eq!(m.value_type(elem_ref), &Type::fir_ref(Type::f64()));
+    }
+
+    #[test]
+    fn coordinate_of_on_heap_array() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, top);
+        let arr = allocmem(&mut b, "h", Type::fir_array(vec![8], Type::f64()));
+        let i = arith::const_index(&mut b, 0);
+        let elem_ref = coordinate_of(&mut b, arr, vec![i]);
+        assert_eq!(m.value_type(elem_ref), &Type::fir_ref(Type::f64()));
+        let mut b = OpBuilder::at_end(&mut m, top);
+        freemem(&mut b, arr);
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn do_loop_view_and_body_builder() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, top);
+        let lb = arith::const_index(&mut b, 1);
+        let ub = arith::const_index(&mut b, 10);
+        let one = arith::const_index(&mut b, 1);
+        let lp = build_do_loop(&mut b, lb, ub, one);
+        assert_eq!(lp.lb(&m), lb);
+        assert_eq!(lp.ub(&m), ub);
+        assert_eq!(m.value_type(lp.iv(&m)), &Type::Index);
+        assert!(lp.body_ops(&m).is_empty());
+        let mut bb = body_builder(&mut m, lp);
+        arith::const_f64(&mut bb, 0.0);
+        assert_eq!(lp.body_ops(&m).len(), 1);
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn convert_and_no_reassoc_types() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, top);
+        let i = arith::const_int(&mut b, 5, Type::i32());
+        let conv = convert(&mut b, i, Type::i64());
+        let f = arith::const_f64(&mut b, 1.0);
+        let nr = no_reassoc(&mut b, f);
+        assert_eq!(m.value_type(conv), &Type::i64());
+        assert_eq!(m.value_type(nr), &Type::f64());
+    }
+}

@@ -1,0 +1,151 @@
+//! The `func` dialect: function definition, call and return.
+//!
+//! The paper's extraction pass communicates between the Flang-compiled FIR
+//! module and the mlir-opt-compiled stencil module through plain function
+//! calls — `func.func` / `func.call` are that interface.
+
+use fsc_ir::{Attribute, BlockId, Module, OpBuilder, OpId, Type, ValueId};
+
+/// `func.func`.
+pub const FUNC: &str = "func.func";
+/// `func.return`.
+pub const RETURN: &str = "func.return";
+/// `func.call`.
+pub const CALL: &str = "func.call";
+
+/// View of a `func.func` op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuncOp(pub OpId);
+
+impl FuncOp {
+    /// Function symbol name.
+    pub fn name(self, m: &Module) -> String {
+        m.op(self.0)
+            .attr("sym_name")
+            .and_then(Attribute::as_str)
+            .unwrap_or("")
+            .to_string()
+    }
+
+    /// Declared function type.
+    pub fn function_type(self, m: &Module) -> Option<Type> {
+        m.op(self.0).attr("function_type").and_then(Attribute::as_type).cloned()
+    }
+
+    /// Argument and result types from the declared function type.
+    pub fn signature(self, m: &Module) -> (Vec<Type>, Vec<Type>) {
+        match self.function_type(m) {
+            Some(Type::Function { inputs, results }) => (inputs, results),
+            _ => (vec![], vec![]),
+        }
+    }
+
+    /// Entry block (the body), if the function has one.
+    pub fn entry_block(self, m: &Module) -> Option<BlockId> {
+        let region = *m.op(self.0).regions.first()?;
+        m.region_blocks(region).first().copied()
+    }
+
+    /// Entry block arguments (the function's SSA parameters).
+    pub fn arguments(self, m: &Module) -> Vec<ValueId> {
+        self.entry_block(m).map(|b| m.block_args(b).to_vec()).unwrap_or_default()
+    }
+}
+
+/// Create a function at the end of the module's top block; returns the view
+/// and its entry block.
+pub fn build_func(
+    m: &mut Module,
+    name: &str,
+    arg_types: Vec<Type>,
+    result_types: Vec<Type>,
+) -> (FuncOp, BlockId) {
+    let ftype = Type::Function { inputs: arg_types.clone(), results: result_types };
+    let op = m.create_op(
+        FUNC,
+        vec![],
+        vec![],
+        vec![
+            ("sym_name", Attribute::string(name)),
+            ("function_type", Attribute::Type(ftype)),
+        ],
+    );
+    let top = m.top_block();
+    m.append_op(top, op);
+    let region = m.add_region(op);
+    let entry = m.add_block(region, &arg_types);
+    (FuncOp(op), entry)
+}
+
+/// Build `func.return` with the given values.
+pub fn build_return(b: &mut OpBuilder, values: Vec<ValueId>) -> OpId {
+    b.op(RETURN, values, vec![], vec![])
+}
+
+/// Build `func.call @callee(args)`.
+pub fn build_call(
+    b: &mut OpBuilder,
+    callee: &str,
+    args: Vec<ValueId>,
+    result_types: Vec<Type>,
+) -> OpId {
+    b.op(CALL, args, result_types, vec![("callee", Attribute::symbol(callee))])
+}
+
+/// The callee symbol of a `func.call`.
+pub fn call_callee(m: &Module, op: OpId) -> Option<&str> {
+    m.op(op).attr("callee").and_then(Attribute::as_symbol)
+}
+
+/// Find a function by symbol name in the module.
+pub fn find_func(m: &Module, name: &str) -> Option<FuncOp> {
+    m.top_level_ops_named(FUNC)
+        .into_iter()
+        .map(FuncOp)
+        .find(|f| f.name(m) == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_inspect_func() {
+        let mut m = Module::new();
+        let (f, entry) = build_func(
+            &mut m,
+            "kernel",
+            vec![Type::Index, Type::f64()],
+            vec![Type::f64()],
+        );
+        assert_eq!(f.name(&m), "kernel");
+        let (ins, outs) = f.signature(&m);
+        assert_eq!(ins, vec![Type::Index, Type::f64()]);
+        assert_eq!(outs, vec![Type::f64()]);
+        assert_eq!(f.entry_block(&m), Some(entry));
+        assert_eq!(f.arguments(&m).len(), 2);
+    }
+
+    #[test]
+    fn call_and_return_roundtrip() {
+        let mut m = Module::new();
+        let (_, entry) = build_func(&mut m, "f", vec![Type::f64()], vec![Type::f64()]);
+        let arg = m.block_args(entry)[0];
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        let call = build_call(&mut b, "g", vec![arg], vec![Type::f64()]);
+        let res = m.result(call);
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        build_return(&mut b, vec![res]);
+        assert_eq!(call_callee(&m, call), Some("g"));
+        fsc_ir::verifier::verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn find_func_by_name() {
+        let mut m = Module::new();
+        build_func(&mut m, "a", vec![], vec![]);
+        let (fb, _) = build_func(&mut m, "b", vec![], vec![]);
+        assert_eq!(find_func(&m, "b"), Some(fb));
+        assert_eq!(find_func(&m, "zzz"), None);
+    }
+}

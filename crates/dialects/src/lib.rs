@@ -1,0 +1,35 @@
+//! # fsc-dialects — dialect definitions over `fsc-ir`
+//!
+//! One module per dialect, mirroring the dialect set the paper's pipeline
+//! (Figure 1 / Listing 4) touches:
+//!
+//! | dialect | role in the paper |
+//! |---------|------------------|
+//! | [`func`]    | functions, calls, returns (module interface) |
+//! | [`arith`]   | arithmetic — Flang lowers Fortran expressions to these |
+//! | [`math`]    | transcendental functions |
+//! | [`memref`]  | memory abstraction used by the stencil lowering |
+//! | [`scf`]     | structured control flow: `scf.for` / `scf.parallel` |
+//! | [`fir`]     | Flang's Fortran IR: loops, array addressing, load/store |
+//! | [`stencil`] | the Open Earth Compiler stencil dialect |
+//! | [`omp`]     | OpenMP constructs targeted by `convert-scf-to-openmp` |
+//! | [`gpu`]     | GPU launch, data registration/movement |
+//! | [`dmp`]     | xDSL distributed-memory parallelism (halo swaps) |
+//! | [`mpi`]     | xDSL MPI dialect lowered from `dmp` |
+//!
+//! Each module provides op-name constants, typed *builder* helpers, *view*
+//! structs for reading structured ops back (e.g. [`scf::ForOp`]), and
+//! verification hooks collected by [`verify::dialect_checks`].
+
+pub mod arith;
+pub mod dmp;
+pub mod fir;
+pub mod func;
+pub mod gpu;
+pub mod math;
+pub mod memref;
+pub mod mpi;
+pub mod omp;
+pub mod scf;
+pub mod stencil;
+pub mod verify;

@@ -1,0 +1,131 @@
+//! The `mpi` dialect — xDSL's MPI abstraction, the target of the
+//! `dmp-to-mpi` lowering.
+//!
+//! Ops carry the information the runtime (our `fsc-mpisim` substrate) needs
+//! to move halo slabs between ranks: which buffer, which neighbour offset in
+//! the process grid, and a message tag.
+
+use fsc_ir::{Attribute, Module, OpBuilder, OpId, Type, ValueId};
+
+/// `mpi.init`.
+pub const INIT: &str = "mpi.init";
+/// `mpi.finalize`.
+pub const FINALIZE: &str = "mpi.finalize";
+/// `mpi.comm_rank` — this process's rank, as i32.
+pub const COMM_RANK: &str = "mpi.comm_rank";
+/// `mpi.comm_size` — total ranks, as i32.
+pub const COMM_SIZE: &str = "mpi.comm_size";
+/// `mpi.isend` — non-blocking send of a halo slab.
+pub const ISEND: &str = "mpi.isend";
+/// `mpi.irecv` — non-blocking receive of a halo slab.
+pub const IRECV: &str = "mpi.irecv";
+/// `mpi.waitall` — complete outstanding requests.
+pub const WAITALL: &str = "mpi.waitall";
+/// `mpi.barrier`.
+pub const BARRIER: &str = "mpi.barrier";
+
+/// Build `mpi.init`.
+pub fn init(b: &mut OpBuilder) -> OpId {
+    b.op(INIT, vec![], vec![], vec![])
+}
+
+/// Build `mpi.finalize`.
+pub fn finalize(b: &mut OpBuilder) -> OpId {
+    b.op(FINALIZE, vec![], vec![], vec![])
+}
+
+/// Build `mpi.comm_rank`.
+pub fn comm_rank(b: &mut OpBuilder) -> ValueId {
+    b.op1(COMM_RANK, vec![], Type::i32(), vec![]).1
+}
+
+/// Build `mpi.comm_size`.
+pub fn comm_size(b: &mut OpBuilder) -> ValueId {
+    b.op1(COMM_SIZE, vec![], Type::i32(), vec![]).1
+}
+
+/// Description of the halo slab a send/recv moves, attached as attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HaloSpec {
+    /// Data dimension the exchange crosses.
+    pub dim: i64,
+    /// +1 = towards the upper neighbour, -1 = towards the lower neighbour.
+    pub direction: i64,
+    /// Halo width in cells along `dim`.
+    pub width: i64,
+    /// Message tag.
+    pub tag: i64,
+}
+
+fn halo_attrs(spec: &HaloSpec) -> Vec<(&'static str, Attribute)> {
+    vec![
+        ("dim", Attribute::int(spec.dim)),
+        ("direction", Attribute::int(spec.direction)),
+        ("width", Attribute::int(spec.width)),
+        ("tag", Attribute::int(spec.tag)),
+    ]
+}
+
+/// Read a [`HaloSpec`] back from an `mpi.isend`/`mpi.irecv`.
+pub fn halo_spec(m: &Module, op: OpId) -> Option<HaloSpec> {
+    let data = m.op(op);
+    Some(HaloSpec {
+        dim: data.attr("dim")?.as_int()?,
+        direction: data.attr("direction")?.as_int()?,
+        width: data.attr("width")?.as_int()?,
+        tag: data.attr("tag")?.as_int()?,
+    })
+}
+
+/// Build `mpi.isend buffer` for the halo slab described by `spec`.
+pub fn isend(b: &mut OpBuilder, buffer: ValueId, spec: &HaloSpec) -> OpId {
+    b.op(ISEND, vec![buffer], vec![], halo_attrs(spec))
+}
+
+/// Build `mpi.irecv buffer` for the halo slab described by `spec`.
+pub fn irecv(b: &mut OpBuilder, buffer: ValueId, spec: &HaloSpec) -> OpId {
+    b.op(IRECV, vec![buffer], vec![], halo_attrs(spec))
+}
+
+/// Build `mpi.waitall`.
+pub fn waitall(b: &mut OpBuilder) -> OpId {
+    b.op(WAITALL, vec![], vec![], vec![])
+}
+
+/// Build `mpi.barrier`.
+pub fn barrier(b: &mut OpBuilder) -> OpId {
+    b.op(BARRIER, vec![], vec![], vec![])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_and_size_types() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, top);
+        init(&mut b);
+        let r = comm_rank(&mut b);
+        let s = comm_size(&mut b);
+        finalize(&mut b);
+        assert_eq!(m.value_type(r), &Type::i32());
+        assert_eq!(m.value_type(s), &Type::i32());
+    }
+
+    #[test]
+    fn halo_spec_roundtrip() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, top);
+        let buf = b.op1("test.buf", vec![], Type::memref(vec![16], Type::f64()), vec![]).1;
+        let spec = HaloSpec { dim: 1, direction: -1, width: 1, tag: 7 };
+        let snd = isend(&mut b, buf, &spec);
+        let rcv = irecv(&mut b, buf, &spec);
+        let bar = barrier(&mut b);
+        assert_eq!(halo_spec(&m, snd), Some(spec.clone()));
+        assert_eq!(halo_spec(&m, rcv), Some(spec));
+        assert_eq!(halo_spec(&m, bar), None);
+    }
+}

@@ -1,0 +1,142 @@
+//! The `omp` dialect: the OpenMP constructs produced by the
+//! `convert-scf-to-openmp` pass in the paper's CPU flow.
+//!
+//! We model the `omp.parallel { omp.wsloop { ... } }` nest MLIR emits: the
+//! parallel region forks a team, the work-sharing loop distributes
+//! iterations of the (formerly `scf.parallel`) loop across the team.
+
+use fsc_ir::{Attribute, BlockId, Module, OpBuilder, OpId, Type, ValueId};
+
+/// `omp.parallel` — fork a thread team over the nested region.
+pub const PARALLEL: &str = "omp.parallel";
+/// `omp.wsloop` — work-share the iterations of a loop nest over the team.
+pub const WSLOOP: &str = "omp.wsloop";
+/// `omp.yield` — terminator of wsloop bodies.
+pub const YIELD: &str = "omp.yield";
+/// `omp.terminator` — terminator of parallel regions.
+pub const TERMINATOR: &str = "omp.terminator";
+
+/// View of an `omp.wsloop`: operands `[lbs..., ubs..., steps...]`, exclusive
+/// upper bounds, body block args are the induction variables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WsLoopOp(pub OpId);
+
+impl WsLoopOp {
+    /// Number of collapsed loop dimensions.
+    pub fn num_dims(self, m: &Module) -> usize {
+        m.block_args(self.body(m)).len()
+    }
+
+    /// Lower bounds.
+    pub fn lbs(self, m: &Module) -> Vec<ValueId> {
+        let n = self.num_dims(m);
+        m.op(self.0).operands[0..n].to_vec()
+    }
+
+    /// Exclusive upper bounds.
+    pub fn ubs(self, m: &Module) -> Vec<ValueId> {
+        let n = self.num_dims(m);
+        m.op(self.0).operands[n..2 * n].to_vec()
+    }
+
+    /// Steps.
+    pub fn steps(self, m: &Module) -> Vec<ValueId> {
+        let n = self.num_dims(m);
+        m.op(self.0).operands[2 * n..3 * n].to_vec()
+    }
+
+    /// Body block.
+    pub fn body(self, m: &Module) -> BlockId {
+        let region = m.op(self.0).regions[0];
+        m.region_blocks(region)[0]
+    }
+
+    /// Induction variables.
+    pub fn ivs(self, m: &Module) -> Vec<ValueId> {
+        m.block_args(self.body(m)).to_vec()
+    }
+}
+
+/// Build `omp.parallel` (empty region terminated by `omp.terminator`);
+/// `num_threads = 0` means "runtime default".
+pub fn build_parallel(b: &mut OpBuilder, num_threads: u32) -> (OpId, BlockId) {
+    let attrs = if num_threads > 0 {
+        vec![("num_threads", Attribute::int(num_threads as i64))]
+    } else {
+        vec![]
+    };
+    let op = b.op(PARALLEL, vec![], vec![], attrs);
+    let m = b.module();
+    let region = m.add_region(op);
+    let body = m.add_block(region, &[]);
+    let t = m.create_op(TERMINATOR, vec![], vec![], vec![]);
+    m.append_op(body, t);
+    (op, body)
+}
+
+/// The `num_threads` clause of an `omp.parallel` (0 = default).
+pub fn parallel_num_threads(m: &Module, op: OpId) -> u32 {
+    m.op(op)
+        .attr("num_threads")
+        .and_then(Attribute::as_int)
+        .unwrap_or(0) as u32
+}
+
+/// Build an `omp.wsloop` with empty body terminated by `omp.yield`.
+pub fn build_wsloop(
+    b: &mut OpBuilder,
+    lbs: Vec<ValueId>,
+    ubs: Vec<ValueId>,
+    steps: Vec<ValueId>,
+) -> WsLoopOp {
+    assert_eq!(lbs.len(), ubs.len());
+    assert_eq!(lbs.len(), steps.len());
+    let n = lbs.len();
+    let mut operands = lbs;
+    operands.extend(ubs);
+    operands.extend(steps);
+    let op = b.op(WSLOOP, operands, vec![], vec![]);
+    let m = b.module();
+    let region = m.add_region(op);
+    let body = m.add_block(region, &vec![Type::Index; n]);
+    let y = m.create_op(YIELD, vec![], vec![], vec![]);
+    m.append_op(body, y);
+    WsLoopOp(op)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arith;
+    use fsc_ir::verifier::verify_module;
+
+    #[test]
+    fn parallel_wsloop_nest() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, top);
+        let zero = arith::const_index(&mut b, 0);
+        let n = arith::const_index(&mut b, 100);
+        let one = arith::const_index(&mut b, 1);
+        let (par, par_body) = build_parallel(&mut b, 8);
+        assert_eq!(parallel_num_threads(&m, par), 8);
+        let term = m.block_terminator(par_body).unwrap();
+        let mut inner = OpBuilder::before(&mut m, term);
+        let ws = build_wsloop(&mut inner, vec![zero], vec![n], vec![one]);
+        assert_eq!(ws.num_dims(&m), 1);
+        assert_eq!(ws.lbs(&m), vec![zero]);
+        assert_eq!(ws.ubs(&m), vec![n]);
+        assert_eq!(ws.steps(&m), vec![one]);
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn default_num_threads_is_zero() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, top);
+        let (par, _) = build_parallel(&mut b, 0);
+        assert_eq!(parallel_num_threads(&m, par), 0);
+        assert!(m.op(par).attr("num_threads").is_none());
+    }
+}

@@ -1,0 +1,197 @@
+//! The `scf` dialect: structured control flow.
+//!
+//! The stencil lowering of the paper converts `stencil.apply` into
+//! `scf.parallel` (outer) + `scf.for` (inner) for CPUs, or one coalesced
+//! `scf.parallel` for GPUs; `convert-scf-to-openmp` then maps the parallel
+//! loop to OpenMP.
+
+use fsc_ir::{BlockId, Module, OpBuilder, OpId, Type, ValueId};
+
+/// `scf.for`.
+pub const FOR: &str = "scf.for";
+/// `scf.parallel`.
+pub const PARALLEL: &str = "scf.parallel";
+/// `scf.yield`.
+pub const YIELD: &str = "scf.yield";
+/// `scf.if`.
+pub const IF: &str = "scf.if";
+
+/// View of an `scf.for` op: operands `[lb, ub, step]`, one region whose
+/// single block takes the induction variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForOp(pub OpId);
+
+impl ForOp {
+    /// Lower bound operand.
+    pub fn lb(self, m: &Module) -> ValueId {
+        m.op(self.0).operands[0]
+    }
+
+    /// Upper bound operand (exclusive).
+    pub fn ub(self, m: &Module) -> ValueId {
+        m.op(self.0).operands[1]
+    }
+
+    /// Step operand.
+    pub fn step(self, m: &Module) -> ValueId {
+        m.op(self.0).operands[2]
+    }
+
+    /// Body block.
+    pub fn body(self, m: &Module) -> BlockId {
+        let region = m.op(self.0).regions[0];
+        m.region_blocks(region)[0]
+    }
+
+    /// Induction variable (first body block argument).
+    pub fn iv(self, m: &Module) -> ValueId {
+        m.block_args(self.body(m))[0]
+    }
+}
+
+/// View of an `scf.parallel` op: operands `[lb0.., ub0.., step0..]` with the
+/// dimensionality recoverable from the body block's argument count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelOp(pub OpId);
+
+impl ParallelOp {
+    /// Number of parallel dimensions.
+    pub fn num_dims(self, m: &Module) -> usize {
+        m.block_args(self.body(m)).len()
+    }
+
+    /// Lower bounds, one per dimension.
+    pub fn lbs(self, m: &Module) -> Vec<ValueId> {
+        let n = self.num_dims(m);
+        m.op(self.0).operands[0..n].to_vec()
+    }
+
+    /// Upper bounds (exclusive), one per dimension.
+    pub fn ubs(self, m: &Module) -> Vec<ValueId> {
+        let n = self.num_dims(m);
+        m.op(self.0).operands[n..2 * n].to_vec()
+    }
+
+    /// Steps, one per dimension.
+    pub fn steps(self, m: &Module) -> Vec<ValueId> {
+        let n = self.num_dims(m);
+        m.op(self.0).operands[2 * n..3 * n].to_vec()
+    }
+
+    /// Body block.
+    pub fn body(self, m: &Module) -> BlockId {
+        let region = m.op(self.0).regions[0];
+        m.region_blocks(region)[0]
+    }
+
+    /// Induction variables, one per dimension.
+    pub fn ivs(self, m: &Module) -> Vec<ValueId> {
+        m.block_args(self.body(m)).to_vec()
+    }
+}
+
+/// Build an `scf.for lb..ub step` with an empty body (terminated by
+/// `scf.yield`); returns the view. The builder's insertion point is *not*
+/// moved — build the body via `ForOp::body`.
+pub fn build_for(b: &mut OpBuilder, lb: ValueId, ub: ValueId, step: ValueId) -> ForOp {
+    let op = b.op(FOR, vec![lb, ub, step], vec![], vec![]);
+    let m = b.module();
+    let region = m.add_region(op);
+    let body = m.add_block(region, &[Type::Index]);
+    let y = m.create_op(YIELD, vec![], vec![], vec![]);
+    m.append_op(body, y);
+    ForOp(op)
+}
+
+/// Build an n-dimensional `scf.parallel` with an empty body terminated by
+/// `scf.yield`.
+pub fn build_parallel(
+    b: &mut OpBuilder,
+    lbs: Vec<ValueId>,
+    ubs: Vec<ValueId>,
+    steps: Vec<ValueId>,
+) -> ParallelOp {
+    assert_eq!(lbs.len(), ubs.len());
+    assert_eq!(lbs.len(), steps.len());
+    let n = lbs.len();
+    let mut operands = lbs;
+    operands.extend(ubs);
+    operands.extend(steps);
+    let op = b.op(PARALLEL, operands, vec![], vec![]);
+    let m = b.module();
+    let region = m.add_region(op);
+    let body = m.add_block(region, &vec![Type::Index; n]);
+    let y = m.create_op(YIELD, vec![], vec![], vec![]);
+    m.append_op(body, y);
+    ParallelOp(op)
+}
+
+/// A builder positioned just before a block's terminator — the natural spot
+/// to grow a loop body that already ends in `scf.yield`.
+pub fn body_builder(m: &mut Module, body: BlockId) -> OpBuilder<'_> {
+    let term = m.block_terminator(body).expect("body has no terminator");
+    OpBuilder::before(m, term)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arith;
+    use fsc_ir::verifier::verify_module;
+
+    #[test]
+    fn for_roundtrip() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, top);
+        let lb = arith::const_index(&mut b, 0);
+        let ub = arith::const_index(&mut b, 10);
+        let st = arith::const_index(&mut b, 1);
+        let f = build_for(&mut b, lb, ub, st);
+        assert_eq!(f.lb(&m), lb);
+        assert_eq!(f.ub(&m), ub);
+        assert_eq!(f.step(&m), st);
+        assert_eq!(m.value_type(f.iv(&m)), &Type::Index);
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn parallel_dims_and_operand_slicing() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, top);
+        let zero = arith::const_index(&mut b, 0);
+        let ten = arith::const_index(&mut b, 10);
+        let twenty = arith::const_index(&mut b, 20);
+        let one = arith::const_index(&mut b, 1);
+        let p = build_parallel(
+            &mut b,
+            vec![zero, zero],
+            vec![ten, twenty],
+            vec![one, one],
+        );
+        assert_eq!(p.num_dims(&m), 2);
+        assert_eq!(p.lbs(&m), vec![zero, zero]);
+        assert_eq!(p.ubs(&m), vec![ten, twenty]);
+        assert_eq!(p.steps(&m), vec![one, one]);
+        assert_eq!(p.ivs(&m).len(), 2);
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn body_builder_inserts_before_yield() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, top);
+        let lb = arith::const_index(&mut b, 0);
+        let ub = arith::const_index(&mut b, 4);
+        let one = arith::const_index(&mut b, 1);
+        let f = build_for(&mut b, lb, ub, one);
+        let body = f.body(&m);
+        let mut bb = body_builder(&mut m, body);
+        arith::const_f64(&mut bb, 1.0);
+        let ops = m.block_ops(body);
+        assert_eq!(m.op(ops[0]).name.full(), "arith.constant");
+        assert_eq!(m.op(ops[1]).name.full(), YIELD);
+    }
+}

@@ -1,0 +1,281 @@
+//! The `stencil` dialect from the Open Earth Compiler, as used by xDSL and
+//! the paper (Listing 2).
+//!
+//! Value-semantics stencil computation:
+//!
+//! * [`EXTERNAL_LOAD`] wraps externally owned storage (the pointer handed
+//!   over from the FIR module) into a `!stencil.field`;
+//! * [`LOAD`] turns a field into a read-only `!stencil.temp`;
+//! * [`APPLY`] maps a multi-dimensional region computation over the iteration
+//!   domain implied by its result type's bounds, with [`ACCESS`] reading
+//!   relative neighbours (`#stencil.index<0, -1>` offsets) and [`RETURN`]
+//!   yielding the per-cell results;
+//! * [`STORE`] writes a temp back into a field over given bounds;
+//! * [`EXTERNAL_STORE`] copies a field back out to external storage.
+
+use fsc_ir::types::DimBound;
+use fsc_ir::{Attribute, BlockId, Module, OpBuilder, OpId, Type, ValueId};
+
+/// `stencil.external_load` — external storage to `!stencil.field`.
+pub const EXTERNAL_LOAD: &str = "stencil.external_load";
+/// `stencil.external_store` — `!stencil.field` back to external storage.
+pub const EXTERNAL_STORE: &str = "stencil.external_store";
+/// `stencil.load` — field to temp.
+pub const LOAD: &str = "stencil.load";
+/// `stencil.apply` — the stencil computation.
+pub const APPLY: &str = "stencil.apply";
+/// `stencil.access` — relative neighbour read inside an apply.
+pub const ACCESS: &str = "stencil.access";
+/// `stencil.index` — current iteration index inside an apply.
+pub const INDEX: &str = "stencil.index";
+/// `stencil.return` — terminator of apply bodies.
+pub const RETURN: &str = "stencil.return";
+/// `stencil.store` — temp into field over bounds.
+pub const STORE: &str = "stencil.store";
+
+/// Build `stencil.external_load` of `source` as a field with `bounds`.
+pub fn external_load(
+    b: &mut OpBuilder,
+    source: ValueId,
+    bounds: Vec<DimBound>,
+    elem: Type,
+) -> ValueId {
+    let ty = Type::stencil_field(bounds, elem);
+    b.op1(EXTERNAL_LOAD, vec![source], ty, vec![]).1
+}
+
+/// Build `stencil.external_store field -> dest`.
+pub fn external_store(b: &mut OpBuilder, field: ValueId, dest: ValueId) -> OpId {
+    b.op(EXTERNAL_STORE, vec![field, dest], vec![], vec![])
+}
+
+/// Build `stencil.load` of a field, producing a temp with the same bounds.
+pub fn load(b: &mut OpBuilder, field: ValueId) -> ValueId {
+    let (bounds, elem) = match b.module_ref().value_type(field) {
+        Type::StencilField { bounds, elem } => (bounds.clone(), (**elem).clone()),
+        other => panic!("stencil.load on non-field type {other}"),
+    };
+    let ty = Type::stencil_temp(bounds, elem);
+    b.op1(LOAD, vec![field], ty, vec![]).1
+}
+
+/// View of a `stencil.apply`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ApplyOp(pub OpId);
+
+impl ApplyOp {
+    /// The apply's input operands (temps and captured scalars).
+    pub fn inputs(self, m: &Module) -> Vec<ValueId> {
+        m.op(self.0).operands.clone()
+    }
+
+    /// Body block; its arguments mirror the inputs 1:1.
+    pub fn body(self, m: &Module) -> BlockId {
+        let region = m.op(self.0).regions[0];
+        m.region_blocks(region)[0]
+    }
+
+    /// The iteration-domain bounds, taken from the first result type.
+    pub fn output_bounds(self, m: &Module) -> Vec<DimBound> {
+        let r = m.op(self.0).results[0];
+        m.value_type(r).stencil_bounds().expect("apply result not a temp").to_vec()
+    }
+
+    /// The block argument corresponding to input `i`.
+    pub fn body_arg(self, m: &Module, i: usize) -> ValueId {
+        m.block_args(self.body(m))[i]
+    }
+
+    /// The `stencil.return` terminator of the body.
+    pub fn return_op(self, m: &Module) -> OpId {
+        m.block_terminator(self.body(m)).expect("apply body missing return")
+    }
+
+    /// Number of grid cells in the iteration domain.
+    pub fn domain_cells(self, m: &Module) -> i64 {
+        self.output_bounds(m).iter().map(DimBound::extent).product()
+    }
+}
+
+/// Build a `stencil.apply` whose body block receives one argument per
+/// input (same types) and is *not* yet terminated — callers build the body
+/// and finish with [`build_return`].
+pub fn build_apply(
+    b: &mut OpBuilder,
+    inputs: Vec<ValueId>,
+    result_bounds: Vec<DimBound>,
+    result_elems: Vec<Type>,
+) -> ApplyOp {
+    let result_types: Vec<Type> = result_elems
+        .into_iter()
+        .map(|e| Type::stencil_temp(result_bounds.clone(), e))
+        .collect();
+    let arg_types: Vec<Type> = inputs
+        .iter()
+        .map(|&v| b.module_ref().value_type(v).clone())
+        .collect();
+    let op = b.op(APPLY, inputs, result_types, vec![]);
+    let m = b.module();
+    let region = m.add_region(op);
+    m.add_block(region, &arg_types);
+    ApplyOp(op)
+}
+
+/// Build the `stencil.return` terminator of an apply body.
+pub fn build_return(b: &mut OpBuilder, values: Vec<ValueId>) -> OpId {
+    b.op(RETURN, values, vec![], vec![])
+}
+
+/// Build `stencil.access temp[offsets]`; result is the temp's element type.
+pub fn access(b: &mut OpBuilder, temp: ValueId, offsets: Vec<i64>) -> ValueId {
+    let elem = match b.module_ref().value_type(temp) {
+        Type::StencilTemp { elem, .. } => (**elem).clone(),
+        other => panic!("stencil.access on non-temp type {other}"),
+    };
+    b.op1(
+        ACCESS,
+        vec![temp],
+        elem,
+        vec![("offset", Attribute::IndexList(offsets))],
+    )
+    .1
+}
+
+/// The constant offset vector of a `stencil.access`.
+pub fn access_offset(m: &Module, op: OpId) -> Option<Vec<i64>> {
+    if m.op(op).name.full() != ACCESS {
+        return None;
+    }
+    m.op(op).attr("offset").and_then(Attribute::as_index_list).map(<[i64]>::to_vec)
+}
+
+/// Build `stencil.index` for dimension `dim` (the current iteration index in
+/// that dimension, as an `index` value).
+pub fn index(b: &mut OpBuilder, dim: i64) -> ValueId {
+    b.op1(INDEX, vec![], Type::Index, vec![("dim", Attribute::int(dim))]).1
+}
+
+/// Build `stencil.store temp -> field` over `[lb, ub)` bounds per dim.
+pub fn store(
+    b: &mut OpBuilder,
+    temp: ValueId,
+    field: ValueId,
+    bounds: Vec<DimBound>,
+) -> OpId {
+    let lb: Vec<i64> = bounds.iter().map(|d| d.lower).collect();
+    let ub: Vec<i64> = bounds.iter().map(|d| d.upper).collect();
+    b.op(
+        STORE,
+        vec![temp, field],
+        vec![],
+        vec![
+            ("lb", Attribute::IndexList(lb)),
+            ("ub", Attribute::IndexList(ub)),
+        ],
+    )
+}
+
+/// The inclusive store bounds of a `stencil.store`.
+pub fn store_bounds(m: &Module, op: OpId) -> Option<Vec<DimBound>> {
+    if m.op(op).name.full() != STORE {
+        return None;
+    }
+    let lb = m.op(op).attr("lb")?.as_index_list()?;
+    let ub = m.op(op).attr("ub")?.as_index_list()?;
+    Some(
+        lb.iter()
+            .zip(ub)
+            .map(|(&l, &u)| DimBound::new(l, u))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arith;
+    use fsc_ir::verifier::verify_module;
+
+    /// Build the paper's Listing 2 five-point average stencil and check the
+    /// structure round-trips through the views.
+    #[test]
+    fn listing2_shape() {
+        let mut m = Module::new();
+        let (_, entry) = crate::func::build_func(&mut m, "stencil_fn", vec![], vec![]);
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        // Fake external source standing in for the FIR llvm_ptr.
+        let src = b
+            .op1("test.source", vec![], Type::LlvmPtr(Some(Box::new(Type::f64()))), vec![])
+            .1;
+        let bounds = vec![DimBound::new(-1, 255), DimBound::new(-1, 255)];
+        let field = external_load(&mut b, src, bounds.clone(), Type::f64());
+        let temp = load(&mut b, field);
+        let out_bounds = vec![DimBound::new(0, 254), DimBound::new(0, 254)];
+        let apply = build_apply(&mut b, vec![temp], out_bounds.clone(), vec![Type::f64()]);
+        let body = apply.body(&m);
+        let data = apply.body_arg(&m, 0);
+        let mut bb = OpBuilder::at_end(&mut m, body);
+        let c0 = arith::const_f64(&mut bb, 0.25);
+        let d0 = access(&mut bb, data, vec![0, -1]);
+        let d1 = access(&mut bb, data, vec![0, 1]);
+        let d2 = access(&mut bb, data, vec![-1, 0]);
+        let d3 = access(&mut bb, data, vec![1, 0]);
+        let t0 = arith::addf(&mut bb, d3, d2);
+        let t1 = arith::addf(&mut bb, t0, d1);
+        let t2 = arith::addf(&mut bb, t1, d0);
+        let t3 = arith::mulf(&mut bb, t2, c0);
+        build_return(&mut bb, vec![t3]);
+
+        assert_eq!(apply.output_bounds(&m), out_bounds);
+        assert_eq!(apply.domain_cells(&m), 255 * 255);
+        assert_eq!(apply.inputs(&m), vec![temp]);
+        let ret = apply.return_op(&m);
+        assert_eq!(m.op(ret).name.full(), RETURN);
+        let d0_op = m.defining_op(d0).unwrap();
+        assert_eq!(access_offset(&m, d0_op), Some(vec![0, -1]));
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn store_bounds_roundtrip() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, top);
+        let src = b
+            .op1("test.source", vec![], Type::LlvmPtr(None), vec![])
+            .1;
+        let bounds = vec![DimBound::new(-1, 9)];
+        let field = external_load(&mut b, src, bounds, Type::f64());
+        let temp = load(&mut b, field);
+        let sb = vec![DimBound::new(0, 8)];
+        let st = store(&mut b, temp, field, sb.clone());
+        assert_eq!(store_bounds(&m, st), Some(sb));
+        assert_eq!(store_bounds(&m, m.defining_op(temp).unwrap()), None);
+    }
+
+    #[test]
+    fn load_preserves_bounds() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, top);
+        let src = b.op1("test.source", vec![], Type::LlvmPtr(None), vec![]).1;
+        let bounds = vec![DimBound::new(-2, 12), DimBound::new(0, 7)];
+        let field = external_load(&mut b, src, bounds.clone(), Type::f32());
+        let temp = load(&mut b, field);
+        assert_eq!(
+            m.value_type(temp),
+            &Type::stencil_temp(bounds, Type::f32())
+        );
+    }
+
+    #[test]
+    fn index_op_carries_dim() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, top);
+        let v = index(&mut b, 2);
+        let op = m.defining_op(v).unwrap();
+        assert_eq!(m.op(op).attr("dim").unwrap().as_int(), Some(2));
+        assert_eq!(m.value_type(v), &Type::Index);
+    }
+}

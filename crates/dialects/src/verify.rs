@@ -1,0 +1,301 @@
+//! Dialect-level verification checks, plugged into
+//! [`fsc_ir::verifier::verify_module_with`].
+
+use fsc_ir::verifier::OpCheck;
+use fsc_ir::{Attribute, IrError, Module, OpId, Result, Type};
+
+use crate::{fir, omp, scf, stencil};
+
+/// Ops that terminate the region of a particular parent op.
+fn expected_terminator(parent: &str) -> Option<&'static str> {
+    Some(match parent {
+        scf::FOR | scf::PARALLEL => scf::YIELD,
+        fir::DO_LOOP => fir::RESULT,
+        stencil::APPLY => stencil::RETURN,
+        omp::WSLOOP => omp::YIELD,
+        omp::PARALLEL => omp::TERMINATOR,
+        _ => return None,
+    })
+}
+
+fn err(msg: String) -> IrError {
+    IrError::new(msg)
+}
+
+/// Structured loops: operand counts, index-typed bounds and ivs, correct
+/// terminators.
+pub fn check_loops(m: &Module, op: OpId) -> Result<()> {
+    let data = m.op(op);
+    let name = data.name.full();
+    match name {
+        scf::FOR | fir::DO_LOOP => {
+            if data.operands.len() != 3 {
+                return Err(err(format!("'{name}' needs [lb, ub, step] operands")));
+            }
+            for &o in &data.operands {
+                if m.value_type(o) != &Type::Index {
+                    return Err(err(format!("'{name}' bounds must be index-typed")));
+                }
+            }
+            let body = m.region_blocks(data.regions[0]);
+            let body = body.first().ok_or_else(|| err(format!("'{name}' missing body")))?;
+            if m.block_args(*body).len() != 1 {
+                return Err(err(format!("'{name}' body must take exactly the iv")));
+            }
+        }
+        scf::PARALLEL | omp::WSLOOP => {
+            let body = m.region_blocks(data.regions[0]);
+            let body = body.first().ok_or_else(|| err(format!("'{name}' missing body")))?;
+            let n = m.block_args(*body).len();
+            if n == 0 || data.operands.len() != 3 * n {
+                return Err(err(format!(
+                    "'{name}' needs 3*N operands for N={n} induction variables"
+                )));
+            }
+        }
+        _ => {}
+    }
+    if let Some(term) = expected_terminator(name) {
+        for region in &data.regions {
+            for block in m.region_blocks(*region) {
+                match m.block_terminator(block) {
+                    Some(t) if m.op(t).name.full() == term => {}
+                    _ => {
+                        return Err(err(format!("'{name}' region must end in '{term}'")));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Stencil dialect invariants: apply block args mirror inputs, access
+/// offsets have the domain's rank, stores carry matching bounds.
+pub fn check_stencil(m: &Module, op: OpId) -> Result<()> {
+    let data = m.op(op);
+    match data.name.full() {
+        stencil::APPLY => {
+            let apply = stencil::ApplyOp(op);
+            let body = apply.body(m);
+            if m.block_args(body).len() != data.operands.len() {
+                return Err(err(
+                    "'stencil.apply' body arguments must mirror its operands".into(),
+                ));
+            }
+            for (i, (&operand, &arg)) in data
+                .operands
+                .iter()
+                .zip(m.block_args(body))
+                .enumerate()
+            {
+                if m.value_type(operand) != m.value_type(arg) {
+                    return Err(err(format!(
+                        "'stencil.apply' operand {i} type differs from body argument"
+                    )));
+                }
+            }
+            if data.results.is_empty() {
+                return Err(err("'stencil.apply' must produce at least one temp".into()));
+            }
+            for &r in &data.results {
+                if m.value_type(r).stencil_bounds().is_none() {
+                    return Err(err("'stencil.apply' results must be stencil temps".into()));
+                }
+            }
+        }
+        stencil::ACCESS => {
+            let offsets = stencil::access_offset(m, op)
+                .ok_or_else(|| err("'stencil.access' missing offset attribute".into()))?;
+            let temp_ty = m.value_type(data.operands[0]);
+            let rank = temp_ty
+                .stencil_bounds()
+                .ok_or_else(|| err("'stencil.access' operand must be a stencil temp".into()))?
+                .len();
+            if offsets.len() != rank {
+                return Err(err(format!(
+                    "'stencil.access' offset rank {} != temp rank {rank}",
+                    offsets.len()
+                )));
+            }
+        }
+        stencil::STORE => {
+            let bounds = stencil::store_bounds(m, op)
+                .ok_or_else(|| err("'stencil.store' missing lb/ub bounds".into()))?;
+            let temp_rank = m
+                .value_type(data.operands[0])
+                .stencil_bounds()
+                .map(<[_]>::len)
+                .ok_or_else(|| err("'stencil.store' first operand must be a temp".into()))?;
+            if bounds.len() != temp_rank {
+                return Err(err("'stencil.store' bounds rank mismatch".into()));
+            }
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+/// Same-type binary arithmetic.
+pub fn check_arith(m: &Module, op: OpId) -> Result<()> {
+    let data = m.op(op);
+    let name = data.name.full();
+    let is_binary = matches!(
+        name,
+        "arith.addf"
+            | "arith.subf"
+            | "arith.mulf"
+            | "arith.divf"
+            | "arith.addi"
+            | "arith.subi"
+            | "arith.muli"
+            | "arith.divsi"
+            | "arith.remsi"
+            | "arith.maxf"
+            | "arith.minf"
+    );
+    if is_binary {
+        if data.operands.len() != 2 {
+            return Err(err(format!("'{name}' needs two operands")));
+        }
+        let lt = m.value_type(data.operands[0]);
+        let rt = m.value_type(data.operands[1]);
+        if lt != rt {
+            return Err(err(format!("'{name}' operand types differ: {lt} vs {rt}")));
+        }
+    }
+    Ok(())
+}
+
+/// All dialect checks, for passing to `verify_module_with`.
+pub fn dialect_checks() -> Vec<OpCheck> {
+    vec![check_loops, check_stencil, check_arith]
+}
+
+/// Verify a module with all dialect checks enabled.
+pub fn verify(m: &Module) -> Result<()> {
+    fsc_ir::verifier::verify_module_with(m, &dialect_checks())
+}
+
+/// Quick helper used by lowering passes: assert no op of `dialect` remains.
+pub fn assert_dialect_absent(m: &Module, dialect: &str) -> Result<()> {
+    let mut offender = None;
+    fsc_ir::walk::walk_module(m, &mut |op| {
+        if offender.is_none() && m.op(op).name.dialect() == dialect {
+            offender = Some(m.op(op).name.full().to_string());
+        }
+    });
+    match offender {
+        Some(name) => Err(err(format!("dialect '{dialect}' still present: '{name}'"))),
+        None => Ok(()),
+    }
+}
+
+/// Convenience used in tests: attribute as type, since `Attribute::as_type`
+/// returns a reference.
+pub fn attr_type(m: &Module, op: OpId, key: &str) -> Option<Type> {
+    m.op(op).attr(key).and_then(Attribute::as_type).cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arith;
+    use fsc_ir::types::DimBound;
+    use fsc_ir::OpBuilder;
+
+    #[test]
+    fn well_formed_loop_passes() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, top);
+        let lb = arith::const_index(&mut b, 0);
+        let ub = arith::const_index(&mut b, 8);
+        let one = arith::const_index(&mut b, 1);
+        scf::build_for(&mut b, lb, ub, one);
+        verify(&m).unwrap();
+    }
+
+    #[test]
+    fn loop_with_wrong_terminator_fails() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, top);
+        let lb = arith::const_index(&mut b, 0);
+        let ub = arith::const_index(&mut b, 8);
+        let one = arith::const_index(&mut b, 1);
+        let f = scf::build_for(&mut b, lb, ub, one);
+        // Replace the yield by something else.
+        let body = f.body(&m);
+        let yld = m.block_terminator(body).unwrap();
+        m.erase_op(yld);
+        let bogus = m.create_op("t.bogus", vec![], vec![], vec![]);
+        m.append_op(body, bogus);
+        let e = verify(&m).unwrap_err();
+        assert!(e.message.contains("must end in"), "{e}");
+    }
+
+    #[test]
+    fn non_index_bounds_fail() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, top);
+        let lb = arith::const_int(&mut b, 0, Type::i64());
+        let ub = arith::const_int(&mut b, 8, Type::i64());
+        let one = arith::const_int(&mut b, 1, Type::i64());
+        scf::build_for(&mut b, lb, ub, one);
+        let e = verify(&m).unwrap_err();
+        assert!(e.message.contains("index-typed"), "{e}");
+    }
+
+    #[test]
+    fn mismatched_arith_operands_fail() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, top);
+        let x = arith::const_f64(&mut b, 1.0);
+        let y = arith::const_index(&mut b, 1);
+        b.op("arith.addf", vec![x, y], vec![Type::f64()], vec![]);
+        let e = verify(&m).unwrap_err();
+        assert!(e.message.contains("operand types differ"), "{e}");
+    }
+
+    #[test]
+    fn access_rank_mismatch_fails() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, top);
+        let src = b.op1("test.src", vec![], Type::LlvmPtr(None), vec![]).1;
+        let field = stencil::external_load(
+            &mut b,
+            src,
+            vec![DimBound::new(-1, 9), DimBound::new(-1, 9)],
+            Type::f64(),
+        );
+        let temp = stencil::load(&mut b, field);
+        let apply = stencil::build_apply(
+            &mut b,
+            vec![temp],
+            vec![DimBound::new(0, 8), DimBound::new(0, 8)],
+            vec![Type::f64()],
+        );
+        let body = apply.body(&m);
+        let arg = apply.body_arg(&m, 0);
+        let mut bb = OpBuilder::at_end(&mut m, body);
+        // 1-D offset on a 2-D temp: wrong.
+        let a = stencil::access(&mut bb, arg, vec![0]);
+        stencil::build_return(&mut bb, vec![a]);
+        let e = verify(&m).unwrap_err();
+        assert!(e.message.contains("offset rank"), "{e}");
+    }
+
+    #[test]
+    fn dialect_absence_check() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, top);
+        arith::const_index(&mut b, 0);
+        assert!(assert_dialect_absent(&m, "fir").is_ok());
+        assert!(assert_dialect_absent(&m, "arith").is_err());
+    }
+}

@@ -1,0 +1,702 @@
+//! Flat register-machine bytecode for stencil kernel bodies.
+//!
+//! The kernel compiler (`crate::kernel`) turns the innermost block of a
+//! lowered loop nest into one [`BodyProgram`]: straight-line instructions
+//! over an `f64` register file, with every array access reduced to
+//! *cursor + precomputed relative offset* — the address arithmetic that the
+//! Flang tier re-derives per element is done once at compile time here.
+//!
+//! Integer index values that appear as data (`stencil.index`) are computed
+//! in `f64`; all coordinates in these kernels are far below 2^53, so the
+//! arithmetic is exact.
+
+/// Binary operation kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinKind {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// `powf`.
+    Pow,
+    /// `atan2`.
+    Atan2,
+    /// `copysign`.
+    CopySign,
+    /// Modulo (`%` on the f64 values; exact for small ints).
+    Rem,
+}
+
+/// Unary operation kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnKind {
+    /// Negation.
+    Neg,
+    /// Square root.
+    Sqrt,
+    /// Absolute value.
+    Abs,
+    /// `exp`.
+    Exp,
+    /// `ln`.
+    Log,
+    /// `sin`.
+    Sin,
+    /// `cos`.
+    Cos,
+    /// `tanh`.
+    Tanh,
+    /// Truncation towards zero (int casts).
+    Trunc,
+}
+
+/// Comparison predicates producing 0.0 / 1.0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpKind {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater or equal.
+    Ge,
+}
+
+/// One bytecode instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// `regs[dst] = val`.
+    Const {
+        /// Destination register.
+        dst: u16,
+        /// Immediate.
+        val: f64,
+    },
+    /// `regs[dst] = scalar_args[arg]` — a captured scalar kernel argument.
+    Arg {
+        /// Destination register.
+        dst: u16,
+        /// Scalar argument index.
+        arg: u16,
+    },
+    /// `regs[dst] = view_data[view][cursor[view] + off]`.
+    Load {
+        /// Destination register.
+        dst: u16,
+        /// View index.
+        view: u16,
+        /// Relative linear offset (precomputed from the stencil offsets).
+        off: i64,
+    },
+    /// `regs[dst] = current global coordinate of dimension dim`.
+    Coord {
+        /// Destination register.
+        dst: u16,
+        /// Dimension.
+        dim: u8,
+    },
+    /// Binary arithmetic.
+    Bin {
+        /// Destination register.
+        dst: u16,
+        /// Operation.
+        kind: BinKind,
+        /// Left operand register.
+        a: u16,
+        /// Right operand register.
+        b: u16,
+    },
+    /// Unary arithmetic.
+    Un {
+        /// Destination register.
+        dst: u16,
+        /// Operation.
+        kind: UnKind,
+        /// Operand register.
+        a: u16,
+    },
+    /// Comparison producing 0.0/1.0.
+    Cmp {
+        /// Destination register.
+        dst: u16,
+        /// Predicate.
+        kind: CmpKind,
+        /// Left operand register.
+        a: u16,
+        /// Right operand register.
+        b: u16,
+    },
+    /// `regs[dst] = regs[c] != 0.0 ? regs[a] : regs[b]`.
+    Select {
+        /// Destination register.
+        dst: u16,
+        /// Condition register.
+        c: u16,
+        /// Value if true.
+        a: u16,
+        /// Value if false.
+        b: u16,
+    },
+    /// `view_data[view][cursor[view] + off] = regs[src]`.
+    Store {
+        /// View index (must refer to an output view).
+        view: u16,
+        /// Relative linear offset.
+        off: i64,
+        /// Source register.
+        src: u16,
+    },
+}
+
+/// Elementwise binary op over register strips (SSA guarantees `dst`
+/// disjoint from `a`/`b`).
+#[inline]
+fn binary_strip(regs: &mut [f64], w: usize, dst: u16, a: u16, b: u16, kind: BinKind) {
+    let (a0, b0, d0) = (a as usize * w, b as usize * w, dst as usize * w);
+    for x in 0..w {
+        let va = regs[a0 + x];
+        let vb = regs[b0 + x];
+        regs[d0 + x] = match kind {
+            BinKind::Add => va + vb,
+            BinKind::Sub => va - vb,
+            BinKind::Mul => va * vb,
+            BinKind::Div => va / vb,
+            BinKind::Min => va.min(vb),
+            BinKind::Max => va.max(vb),
+            BinKind::Pow => va.powf(vb),
+            BinKind::Atan2 => va.atan2(vb),
+            BinKind::CopySign => va.copysign(vb),
+            BinKind::Rem => va % vb,
+        };
+    }
+}
+
+/// Elementwise unary op over register strips.
+#[inline]
+fn unary_strip(regs: &mut [f64], w: usize, dst: u16, a: u16, kind: UnKind) {
+    let (a0, d0) = (a as usize * w, dst as usize * w);
+    for x in 0..w {
+        let v = regs[a0 + x];
+        regs[d0 + x] = match kind {
+            UnKind::Neg => -v,
+            UnKind::Sqrt => v.sqrt(),
+            UnKind::Abs => v.abs(),
+            UnKind::Exp => v.exp(),
+            UnKind::Log => v.ln(),
+            UnKind::Sin => v.sin(),
+            UnKind::Cos => v.cos(),
+            UnKind::Tanh => v.tanh(),
+            UnKind::Trunc => v.trunc(),
+        };
+    }
+}
+
+/// Elementwise comparison over register strips.
+#[inline]
+fn cmp_strip(regs: &mut [f64], w: usize, dst: u16, a: u16, b: u16, kind: CmpKind) {
+    let (a0, b0, d0) = (a as usize * w, b as usize * w, dst as usize * w);
+    for x in 0..w {
+        let va = regs[a0 + x];
+        let vb = regs[b0 + x];
+        let r = match kind {
+            CmpKind::Eq => va == vb,
+            CmpKind::Ne => va != vb,
+            CmpKind::Lt => va < vb,
+            CmpKind::Le => va <= vb,
+            CmpKind::Gt => va > vb,
+            CmpKind::Ge => va >= vb,
+        };
+        regs[d0 + x] = r as u8 as f64;
+    }
+}
+
+/// Execute one non-memory instruction (shared by the fast and naive
+/// interpreters so they cannot diverge).
+#[inline]
+pub fn exec_scalar_instr(instr: &Instr, regs: &mut [f64], coords: &[i64], scalars: &[f64]) {
+    match *instr {
+        Instr::Const { dst, val } => regs[dst as usize] = val,
+        Instr::Arg { dst, arg } => regs[dst as usize] = scalars[arg as usize],
+        Instr::Coord { dst, dim } => regs[dst as usize] = coords[dim as usize] as f64,
+        Instr::Bin { dst, kind, a, b } => {
+            let x = regs[a as usize];
+            let y = regs[b as usize];
+            regs[dst as usize] = match kind {
+                BinKind::Add => x + y,
+                BinKind::Sub => x - y,
+                BinKind::Mul => x * y,
+                BinKind::Div => x / y,
+                BinKind::Min => x.min(y),
+                BinKind::Max => x.max(y),
+                BinKind::Pow => x.powf(y),
+                BinKind::Atan2 => x.atan2(y),
+                BinKind::CopySign => x.copysign(y),
+                BinKind::Rem => x % y,
+            };
+        }
+        Instr::Un { dst, kind, a } => {
+            let x = regs[a as usize];
+            regs[dst as usize] = match kind {
+                UnKind::Neg => -x,
+                UnKind::Sqrt => x.sqrt(),
+                UnKind::Abs => x.abs(),
+                UnKind::Exp => x.exp(),
+                UnKind::Log => x.ln(),
+                UnKind::Sin => x.sin(),
+                UnKind::Cos => x.cos(),
+                UnKind::Tanh => x.tanh(),
+                UnKind::Trunc => x.trunc(),
+            };
+        }
+        Instr::Cmp { dst, kind, a, b } => {
+            let x = regs[a as usize];
+            let y = regs[b as usize];
+            let r = match kind {
+                CmpKind::Eq => x == y,
+                CmpKind::Ne => x != y,
+                CmpKind::Lt => x < y,
+                CmpKind::Le => x <= y,
+                CmpKind::Gt => x > y,
+                CmpKind::Ge => x >= y,
+            };
+            regs[dst as usize] = r as u8 as f64;
+        }
+        Instr::Select { dst, c, a, b } => {
+            regs[dst as usize] =
+                if regs[c as usize] != 0.0 { regs[a as usize] } else { regs[b as usize] };
+        }
+        Instr::Load { .. } | Instr::Store { .. } => {
+            unreachable!("memory instructions handled by the callers")
+        }
+    }
+}
+
+/// A compiled straight-line kernel body.
+#[derive(Debug, Clone, Default)]
+pub struct BodyProgram {
+    /// Instructions in execution order.
+    pub instrs: Vec<Instr>,
+    /// Cell-invariant prefix length: the first `prelude_len` instructions
+    /// (constants, scalar arguments) can execute once per kernel run; the
+    /// fast runner does, the naive runner deliberately re-executes them per
+    /// cell the way unhoisted compiled code would.
+    pub prelude_len: usize,
+    /// Register file size.
+    pub num_regs: u16,
+    /// Floating point ops per cell (for throughput/GPU modelling).
+    pub flops_per_cell: u64,
+    /// Array loads per cell.
+    pub loads_per_cell: u64,
+    /// Array stores per cell.
+    pub stores_per_cell: u64,
+}
+
+impl BodyProgram {
+    /// Execute the program for one cell.
+    ///
+    /// `inputs[v]` is the read slice of view `v` (empty for pure outputs),
+    /// `cursors[v]` the current linear cursor of view `v` (shared by loads
+    /// and stores), `coords` the current global coordinates, `scalars` the
+    /// kernel's scalar arguments. Stores resolve their output slice through
+    /// `out_view_map[view]`.
+    #[inline]
+    pub fn run_cell(
+        &self,
+        regs: &mut [f64],
+        inputs: &[&[f64]],
+        outputs: &mut [&mut [f64]],
+        out_view_map: &[Option<u16>],
+        cursors: &[i64],
+        coords: &[i64],
+        scalars: &[f64],
+    ) {
+        for instr in &self.instrs {
+            match *instr {
+                Instr::Const { dst, val } => regs[dst as usize] = val,
+                Instr::Arg { dst, arg } => regs[dst as usize] = scalars[arg as usize],
+                Instr::Load { dst, view, off } => {
+                    let idx = (cursors[view as usize] + off) as usize;
+                    regs[dst as usize] = inputs[view as usize][idx];
+                }
+                Instr::Coord { dst, dim } => {
+                    regs[dst as usize] = coords[dim as usize] as f64;
+                }
+                Instr::Bin { dst, kind, a, b } => {
+                    let x = regs[a as usize];
+                    let y = regs[b as usize];
+                    regs[dst as usize] = match kind {
+                        BinKind::Add => x + y,
+                        BinKind::Sub => x - y,
+                        BinKind::Mul => x * y,
+                        BinKind::Div => x / y,
+                        BinKind::Min => x.min(y),
+                        BinKind::Max => x.max(y),
+                        BinKind::Pow => x.powf(y),
+                        BinKind::Atan2 => x.atan2(y),
+                        BinKind::CopySign => x.copysign(y),
+                        BinKind::Rem => x % y,
+                    };
+                }
+                Instr::Un { dst, kind, a } => {
+                    let x = regs[a as usize];
+                    regs[dst as usize] = match kind {
+                        UnKind::Neg => -x,
+                        UnKind::Sqrt => x.sqrt(),
+                        UnKind::Abs => x.abs(),
+                        UnKind::Exp => x.exp(),
+                        UnKind::Log => x.ln(),
+                        UnKind::Sin => x.sin(),
+                        UnKind::Cos => x.cos(),
+                        UnKind::Tanh => x.tanh(),
+                        UnKind::Trunc => x.trunc(),
+                    };
+                }
+                Instr::Cmp { dst, kind, a, b } => {
+                    let x = regs[a as usize];
+                    let y = regs[b as usize];
+                    let r = match kind {
+                        CmpKind::Eq => x == y,
+                        CmpKind::Ne => x != y,
+                        CmpKind::Lt => x < y,
+                        CmpKind::Le => x <= y,
+                        CmpKind::Gt => x > y,
+                        CmpKind::Ge => x >= y,
+                    };
+                    regs[dst as usize] = r as u8 as f64;
+                }
+                Instr::Select { dst, c, a, b } => {
+                    regs[dst as usize] = if regs[c as usize] != 0.0 {
+                        regs[a as usize]
+                    } else {
+                        regs[b as usize]
+                    };
+                }
+                Instr::Store { view, off, src } => {
+                    let slot = out_view_map[view as usize]
+                        .expect("store to a view that is not an output") as usize;
+                    let idx = (cursors[view as usize] + off) as usize;
+                    outputs[slot][idx] = regs[src as usize];
+                }
+            }
+        }
+    }
+
+    /// Execute one cell the way unoptimised compiled code does: every array
+    /// access bounds-checked, no assumptions about cursor validity. Used by
+    /// the *naive* runner that models Flang's direct FIR→LLVM codegen.
+    #[inline]
+    pub fn run_cell_checked(
+        &self,
+        regs: &mut [f64],
+        inputs: &[&[f64]],
+        outputs: &mut [&mut [f64]],
+        out_view_map: &[Option<u16>],
+        cursors: &[i64],
+        coords: &[i64],
+        scalars: &[f64],
+    ) {
+        for instr in &self.instrs {
+            match *instr {
+                Instr::Load { dst, view, off } => {
+                    let idx = cursors[view as usize] + off;
+                    let slice = inputs[view as usize];
+                    assert!(
+                        idx >= 0 && (idx as usize) < slice.len(),
+                        "load out of bounds: {idx} in view {view}"
+                    );
+                    regs[dst as usize] = slice[idx as usize];
+                }
+                Instr::Store { view, off, src } => {
+                    let slot = out_view_map[view as usize]
+                        .expect("store to a view that is not an output")
+                        as usize;
+                    let idx = cursors[view as usize] + off;
+                    let slice = &mut outputs[slot];
+                    assert!(
+                        idx >= 0 && (idx as usize) < slice.len(),
+                        "store out of bounds: {idx} in view {view}"
+                    );
+                    slice[idx as usize] = regs[src as usize];
+                }
+                // Scalar instructions behave identically.
+                ref other => exec_scalar_instr(other, regs, coords, scalars),
+            }
+        }
+    }
+
+    /// Execute the cell-invariant prelude (constants, scalar arguments)
+    /// into the register file, once per kernel run.
+    pub fn run_prelude(&self, regs: &mut [f64], scalars: &[f64]) {
+        for instr in &self.instrs[..self.prelude_len] {
+            exec_scalar_instr(instr, regs, &[], scalars);
+        }
+    }
+
+    /// The per-cell instruction slice (after the prelude).
+    #[inline]
+    pub fn cell_instrs(&self) -> &[Instr] {
+        &self.instrs[self.prelude_len..]
+    }
+
+    /// Execute the per-cell body (prelude assumed already applied).
+    #[inline]
+    pub fn run_cell_body(
+        &self,
+        regs: &mut [f64],
+        inputs: &[&[f64]],
+        outputs: &mut [&mut [f64]],
+        out_view_map: &[Option<u16>],
+        cursors: &[i64],
+        coords: &[i64],
+        scalars: &[f64],
+    ) {
+        for instr in self.cell_instrs() {
+            match *instr {
+                Instr::Load { dst, view, off } => {
+                    let idx = (cursors[view as usize] + off) as usize;
+                    regs[dst as usize] = inputs[view as usize][idx];
+                }
+                Instr::Store { view, off, src } => {
+                    let slot = out_view_map[view as usize]
+                        .expect("store to a view that is not an output")
+                        as usize;
+                    let idx = (cursors[view as usize] + off) as usize;
+                    outputs[slot][idx] = regs[src as usize];
+                }
+                ref other => exec_scalar_instr(other, regs, coords, scalars),
+            }
+        }
+    }
+
+    /// Execute the per-cell body over a *strip* of `w` consecutive
+    /// innermost-dimension cells at once — the vector-VM realisation of the
+    /// `scf-parallel-loop-specialization` (vectorisation) step in the CPU
+    /// pipeline. Each register becomes a strip of `w` lanes; elementwise
+    /// loops over plain slices let LLVM vectorise them.
+    ///
+    /// Requires every view's innermost stride to be 1 (the caller checks).
+    /// `regs` has `num_regs * w` elements; `cursors[v]` addresses the strip
+    /// start; `coord0` is the global dim-0 coordinate of lane 0.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_strip(
+        &self,
+        regs: &mut [f64],
+        w: usize,
+        inputs: &[&[f64]],
+        outputs: &mut [&mut [f64]],
+        out_view_map: &[Option<u16>],
+        cursors: &[i64],
+        coord0: i64,
+        coords: &[i64],
+        scalars: &[f64],
+    ) {
+        let lane = |r: u16| (r as usize) * w..(r as usize) * w + w;
+        for instr in self.cell_instrs() {
+            match *instr {
+                Instr::Load { dst, view, off } => {
+                    let base = (cursors[view as usize] + off) as usize;
+                    let src = &inputs[view as usize][base..base + w];
+                    regs[lane(dst)].copy_from_slice(src);
+                }
+                Instr::Store { view, off, src } => {
+                    let slot = out_view_map[view as usize]
+                        .expect("store to a view that is not an output")
+                        as usize;
+                    let base = (cursors[view as usize] + off) as usize;
+                    outputs[slot][base..base + w].copy_from_slice(&regs[lane(src)]);
+                }
+                Instr::Const { dst, val } => regs[lane(dst)].fill(val),
+                Instr::Arg { dst, arg } => regs[lane(dst)].fill(scalars[arg as usize]),
+                Instr::Coord { dst, dim } => {
+                    if dim == 0 {
+                        for (x, r) in regs[lane(dst)].iter_mut().enumerate() {
+                            *r = (coord0 + x as i64) as f64;
+                        }
+                    } else {
+                        regs[lane(dst)].fill(coords[dim as usize] as f64);
+                    }
+                }
+                Instr::Bin { dst, kind, a, b } => {
+                    binary_strip(regs, w, dst, a, b, kind);
+                }
+                Instr::Un { dst, kind, a } => {
+                    unary_strip(regs, w, dst, a, kind);
+                }
+                Instr::Cmp { dst, kind, a, b } => {
+                    cmp_strip(regs, w, dst, a, b, kind);
+                }
+                Instr::Select { dst, c, a, b } => {
+                    for x in 0..w {
+                        let cv = regs[c as usize * w + x];
+                        regs[dst as usize * w + x] = if cv != 0.0 {
+                            regs[a as usize * w + x]
+                        } else {
+                            regs[b as usize * w + x]
+                        };
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fill strip lanes of the prelude registers (constants / scalar args),
+    /// once per kernel run in strip mode.
+    pub fn run_prelude_strip(&self, regs: &mut [f64], w: usize, scalars: &[f64]) {
+        for instr in &self.instrs[..self.prelude_len] {
+            match *instr {
+                Instr::Const { dst, val } => {
+                    regs[dst as usize * w..dst as usize * w + w].fill(val);
+                }
+                Instr::Arg { dst, arg } => {
+                    regs[dst as usize * w..dst as usize * w + w]
+                        .fill(scalars[arg as usize]);
+                }
+                _ => unreachable!("prelude holds only Const/Arg"),
+            }
+        }
+    }
+
+    /// Hoist the cell-invariant prefix: stable-partition `Const`/`Arg`
+    /// instructions to the front and record the prelude length. Register
+    /// assignments are unaffected (registers persist across the split).
+    pub fn hoist_invariants(&mut self) {
+        let (prelude, body): (Vec<Instr>, Vec<Instr>) = self
+            .instrs
+            .drain(..)
+            .partition(|i| matches!(i, Instr::Const { .. } | Instr::Arg { .. }));
+        self.prelude_len = prelude.len();
+        self.instrs = prelude;
+        self.instrs.extend(body);
+    }
+
+    /// Recompute the per-cell statistics from the instruction stream.
+    pub fn finalize_stats(&mut self) {
+        self.flops_per_cell = self
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Bin { .. } | Instr::Un { .. } | Instr::Cmp { .. }))
+            .count() as u64;
+        self.loads_per_cell = self
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Load { .. }))
+            .count() as u64;
+        self.stores_per_cell = self
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Store { .. }))
+            .count() as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Run a tiny program: out[c] = 0.5 * (in[c-1] + in[c+1]).
+    #[test]
+    fn one_dim_average() {
+        let mut p = BodyProgram {
+            instrs: vec![
+                Instr::Const { dst: 0, val: 0.5 },
+                Instr::Load { dst: 1, view: 0, off: -1 },
+                Instr::Load { dst: 2, view: 0, off: 1 },
+                Instr::Bin { dst: 3, kind: BinKind::Add, a: 1, b: 2 },
+                Instr::Bin { dst: 4, kind: BinKind::Mul, a: 3, b: 0 },
+                Instr::Store { view: 1, off: 0, src: 4 },
+            ],
+            num_regs: 5,
+            ..Default::default()
+        };
+        p.finalize_stats();
+        assert_eq!(p.flops_per_cell, 2);
+        assert_eq!(p.loads_per_cell, 2);
+        assert_eq!(p.stores_per_cell, 1);
+
+        let input = vec![0.0, 1.0, 2.0, 3.0, 4.0];
+        let mut output = vec![0.0; 5];
+        let mut regs = vec![0.0; 5];
+        for c in 1..4i64 {
+            let inputs: Vec<&[f64]> = vec![&input, &[]];
+            let mut outs: Vec<&mut [f64]> = vec![&mut output];
+            p.run_cell(&mut regs, &inputs, &mut outs, &[None, Some(0)], &[c, c], &[c], &[]);
+        }
+        assert_eq!(output, vec![0.0, 1.0, 2.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn coord_and_scalar_args() {
+        let mut p = BodyProgram {
+            instrs: vec![
+                Instr::Coord { dst: 0, dim: 0 },
+                Instr::Arg { dst: 1, arg: 0 },
+                Instr::Bin { dst: 2, kind: BinKind::Mul, a: 0, b: 1 },
+                Instr::Store { view: 0, off: 0, src: 2 },
+            ],
+            num_regs: 3,
+            ..Default::default()
+        };
+        p.finalize_stats();
+        let mut output = vec![0.0; 4];
+        let mut regs = vec![0.0; 3];
+        for c in 0..4i64 {
+            let inputs: Vec<&[f64]> = vec![&[]];
+            let mut outs: Vec<&mut [f64]> = vec![&mut output];
+            p.run_cell(&mut regs, &inputs, &mut outs, &[Some(0)], &[c], &[c], &[2.0]);
+        }
+        assert_eq!(output, vec![0.0, 2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn select_and_cmp() {
+        let p = BodyProgram {
+            instrs: vec![
+                Instr::Const { dst: 0, val: 3.0 },
+                Instr::Const { dst: 1, val: 5.0 },
+                Instr::Cmp { dst: 2, kind: CmpKind::Lt, a: 0, b: 1 },
+                Instr::Select { dst: 3, c: 2, a: 0, b: 1 },
+                Instr::Store { view: 0, off: 0, src: 3 },
+            ],
+            num_regs: 4,
+            ..Default::default()
+        };
+        let mut output = vec![0.0];
+        let mut regs = vec![0.0; 4];
+        let inputs: Vec<&[f64]> = vec![&[]];
+        let mut outs: Vec<&mut [f64]> = vec![&mut output];
+        p.run_cell(&mut regs, &inputs, &mut outs, &[Some(0)], &[0], &[0], &[]);
+        assert_eq!(output[0], 3.0);
+    }
+
+    #[test]
+    fn unary_math() {
+        let p = BodyProgram {
+            instrs: vec![
+                Instr::Const { dst: 0, val: 16.0 },
+                Instr::Un { dst: 1, kind: UnKind::Sqrt, a: 0 },
+                Instr::Store { view: 0, off: 0, src: 1 },
+            ],
+            num_regs: 2,
+            ..Default::default()
+        };
+        let mut output = vec![0.0];
+        let mut regs = vec![0.0; 2];
+        let inputs: Vec<&[f64]> = vec![&[]];
+        let mut outs: Vec<&mut [f64]> = vec![&mut output];
+        p.run_cell(&mut regs, &inputs, &mut outs, &[Some(0)], &[0], &[0], &[]);
+        assert_eq!(output[0], 4.0);
+    }
+}

@@ -1,0 +1,1640 @@
+//! The stencil kernel compiler and runners — the optimised execution tier.
+//!
+//! [`compile_kernel`] pattern-matches the loop shapes the lowering passes
+//! generate (CPU `scf.parallel`+`scf.for`, tiled nests, `omp` nests, GPU
+//! launches) and compiles each loop nest of a region function to
+//! [`BodyProgram`] bytecode with per-view strides and relative offsets
+//! resolved at compile time. A region may hold *several* nests (e.g. the
+//! Gauss–Seidel compute sweep followed by the copy sweep, sharing field
+//! views) — they execute in order.
+//!
+//! Runners ([`run_kernel`]):
+//! * single thread — innermost (unit-stride) dimension as the contiguous
+//!   hot loop;
+//! * work-shared over a rayon pool by slicing the slowest dimension into
+//!   contiguous output slabs (`omp.wsloop`);
+//! * GPU plans execute on the CPU for correctness while the driver charges
+//!   modeled time (see `fsc-gpusim`).
+
+use std::collections::HashMap;
+
+use fsc_dialects::arith::CmpPredicate;
+use fsc_dialects::{fir, func, gpu, memref, mpi, omp, scf};
+use fsc_ir::{Attribute, BlockId, IrError, Module, OpId, Result, Type, ValueId};
+
+use crate::bytecode::{BinKind, BodyProgram, CmpKind, Instr, UnKind};
+use crate::value::{column_major_strides, BufId, Memory};
+
+fn err(msg: impl std::fmt::Display) -> IrError {
+    IrError::new(format!("kernel compiler: {msg}"))
+}
+
+/// Kind of kernel argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArgKind {
+    /// Pointer to an array buffer.
+    Ptr,
+    /// Scalar passed by value.
+    Scalar,
+}
+
+/// A runtime kernel argument.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KernelArg {
+    /// Array buffer.
+    Buf(BufId),
+    /// Scalar value.
+    Scalar(f64),
+}
+
+/// Where a view's storage comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViewSource {
+    /// The pointer argument with this function-argument index.
+    Arg(usize),
+    /// A value-semantics snapshot of another view (in-place stencils);
+    /// refreshed before each nest that lists it in [`Nest::snapshots`].
+    SnapshotOf(usize),
+}
+
+/// A lowered memref view.
+#[derive(Debug, Clone)]
+pub struct ViewSpec {
+    /// Storage origin.
+    pub source: ViewSource,
+    /// Per-dimension extents (dimension 0 fastest).
+    pub extents: Vec<i64>,
+    /// Column-major strides.
+    pub strides: Vec<i64>,
+}
+
+impl ViewSpec {
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.extents.iter().product::<i64>().max(0) as usize
+    }
+
+    /// True when the view holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One halo exchange required before a nest executes (distributed plans).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MpiExchange {
+    /// View being exchanged.
+    pub view: usize,
+    /// Data dimension crossed.
+    pub dim: usize,
+    /// +1 towards upper neighbour, -1 towards lower.
+    pub direction: i64,
+    /// Halo width in cells.
+    pub width: i64,
+    /// Message tag.
+    pub tag: i64,
+}
+
+/// One compiled loop nest of a region.
+#[derive(Debug, Clone)]
+pub struct Nest {
+    /// Half-open iteration bounds per dimension, in global coordinates.
+    pub bounds: Vec<(i64, i64)>,
+    /// Indices (into the kernel's views) that this nest writes.
+    pub out_views: Vec<usize>,
+    /// The body bytecode.
+    pub program: BodyProgram,
+    /// Halo exchanges preceding this nest (distributed plans).
+    pub exchanges: Vec<MpiExchange>,
+    /// Snapshot views to refresh (copy from source) before this nest.
+    pub snapshots: Vec<usize>,
+}
+
+impl Nest {
+    /// Number of grid cells in this nest's iteration domain.
+    pub fn domain_cells(&self) -> u64 {
+        self.bounds
+            .iter()
+            .map(|&(lb, ub)| (ub - lb).max(0) as u64)
+            .product()
+    }
+}
+
+/// GPU data-movement strategy (Figure 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GpuStrategy {
+    /// `gpu.host_register`: demand paging on every launch.
+    HostRegister,
+    /// Explicit ensure-valid copies with device residency.
+    Explicit,
+}
+
+/// How the kernel is meant to execute.
+#[derive(Debug, Clone)]
+pub enum PlanKind {
+    /// Single-threaded CPU loops.
+    Cpu,
+    /// Work-shared CPU loops.
+    Omp {
+        /// Requested team size (0 = runtime default).
+        num_threads: usize,
+    },
+    /// GPU launch (executed on CPU, timed by the V100 model).
+    Gpu {
+        /// Grid dimensions.
+        grid: [i64; 3],
+        /// Thread-block dimensions.
+        block: [i64; 3],
+        /// Data strategy.
+        strategy: GpuStrategy,
+        /// Function-argument indices read by the kernel.
+        read_args: Vec<usize>,
+        /// Function-argument indices written by the kernel.
+        written_args: Vec<usize>,
+    },
+}
+
+/// Work metrics of one kernel invocation (drives the GPU/network models).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KernelStats {
+    /// Grid cells processed (sum over nests).
+    pub cells: u64,
+    /// Floating point operations.
+    pub flops: u64,
+    /// Bytes loaded from arrays.
+    pub bytes_read: u64,
+    /// Bytes stored to arrays.
+    pub bytes_written: u64,
+}
+
+/// A fully compiled region, callable through [`run_kernel`].
+#[derive(Debug, Clone)]
+pub struct CompiledKernel {
+    /// Function symbol name (`stencil_region_N`).
+    pub name: String,
+    /// Argument kinds, in signature order.
+    pub args: Vec<ArgKind>,
+    /// Views shared by all nests.
+    pub views: Vec<ViewSpec>,
+    /// Loop nests in execution order.
+    pub nests: Vec<Nest>,
+    /// Execution flavour.
+    pub kind: PlanKind,
+    /// Process-grid decomposition (distributed plans; empty otherwise).
+    pub decomposition: Vec<i64>,
+}
+
+impl CompiledKernel {
+    /// Work metrics for one invocation (summed over nests).
+    pub fn stats(&self) -> KernelStats {
+        let mut s = KernelStats::default();
+        for nest in &self.nests {
+            let cells = nest.domain_cells();
+            s.cells += cells;
+            s.flops += cells * nest.program.flops_per_cell;
+            s.bytes_read += cells * nest.program.loads_per_cell * 8;
+            s.bytes_written += cells * nest.program.stores_per_cell * 8;
+        }
+        s
+    }
+
+    /// True when any nest carries halo exchanges (distributed plan).
+    pub fn is_distributed(&self) -> bool {
+        self.nests.iter().any(|n| !n.exchanges.is_empty())
+    }
+}
+
+// --------------------------------------------------------------------------
+// Compilation
+// --------------------------------------------------------------------------
+
+/// Compile the function named `func_name` of a fully lowered stencil module.
+pub fn compile_kernel(module: &Module, func_name: &str) -> Result<CompiledKernel> {
+    let f = func::find_func(module, func_name)
+        .ok_or_else(|| err(format!("no function '{func_name}'")))?;
+    let entry = f
+        .entry_block(module)
+        .ok_or_else(|| err(format!("'{func_name}' has no body")))?;
+    let (ins, _) = f.signature(module);
+    let args: Vec<ArgKind> = ins
+        .iter()
+        .map(|t| match t {
+            Type::LlvmPtr(_) | Type::FirLlvmPtr(_) => ArgKind::Ptr,
+            _ => ArgKind::Scalar,
+        })
+        .collect();
+    let decomposition = module
+        .op(f.0)
+        .attr("dmp_decomposition")
+        .and_then(Attribute::as_index_list)
+        .map(<[i64]>::to_vec)
+        .unwrap_or_default();
+
+    // GPU plan: the host body is a launch; the nests live in the gpu.module.
+    if let Some(launch) = module
+        .block_ops(entry)
+        .into_iter()
+        .find(|&o| module.op(o).name.full() == gpu::LAUNCH_FUNC)
+    {
+        let kernel_sym = module
+            .op(launch)
+            .attr("kernel")
+            .and_then(Attribute::as_symbol)
+            .ok_or_else(|| err("launch without kernel symbol"))?
+            .to_string();
+        let (grid, block) =
+            gpu::launch_dims(module, launch).ok_or_else(|| err("launch without dims"))?;
+        let strategy = match module
+            .op(launch)
+            .attr("data_strategy")
+            .and_then(Attribute::as_str)
+        {
+            Some("explicit") => GpuStrategy::Explicit,
+            _ => GpuStrategy::HostRegister,
+        };
+        let read_args = attr_indices(module, launch, "read_args");
+        let written_args = attr_indices(module, launch, "written_args");
+        let kentry = find_gpu_kernel_block(module, &kernel_sym)?;
+        let kargs = module.block_args(kentry).to_vec();
+        let (views, nests) = compile_nests(module, kentry, &kargs, &args)?;
+        return Ok(CompiledKernel {
+            name: func_name.to_string(),
+            args,
+            views,
+            nests,
+            kind: PlanKind::Gpu { grid, block, strategy, read_args, written_args },
+            decomposition,
+        });
+    }
+
+    let arg_values = f.arguments(module);
+    let (views, nests) = compile_nests(module, entry, &arg_values, &args)?;
+    let kind = match module
+        .block_ops(entry)
+        .into_iter()
+        .find(|&o| module.op(o).name.full() == omp::PARALLEL)
+    {
+        Some(par) => {
+            PlanKind::Omp { num_threads: omp::parallel_num_threads(module, par) as usize }
+        }
+        None => PlanKind::Cpu,
+    };
+    Ok(CompiledKernel {
+        name: func_name.to_string(),
+        args,
+        views,
+        nests,
+        kind,
+        decomposition,
+    })
+}
+
+fn attr_indices(module: &Module, op: OpId, key: &str) -> Vec<usize> {
+    module
+        .op(op)
+        .attr(key)
+        .and_then(Attribute::as_index_list)
+        .map(|l| l.iter().map(|&i| i as usize).collect())
+        .unwrap_or_default()
+}
+
+fn find_gpu_kernel_block(module: &Module, sym: &str) -> Result<BlockId> {
+    for gm in module.top_level_ops_named(gpu::MODULE) {
+        let region = module.op(gm).regions[0];
+        for block in module.region_blocks(region) {
+            for op in module.block_ops(block) {
+                if module.op(op).name.full() == gpu::FUNC
+                    && module.op(op).attr("sym_name").and_then(Attribute::as_str)
+                        == Some(sym)
+                {
+                    let kregion = module.op(op).regions[0];
+                    return Ok(module.region_blocks(kregion)[0]);
+                }
+            }
+        }
+    }
+    Err(err(format!("gpu kernel '{sym}' not found")))
+}
+
+/// Compile every loop nest in `block` in program order, accumulating the
+/// shared view list.
+fn compile_nests(
+    module: &Module,
+    block: BlockId,
+    arg_values: &[ValueId],
+    arg_kinds: &[ArgKind],
+) -> Result<(Vec<ViewSpec>, Vec<Nest>)> {
+    let mut views: Vec<ViewSpec> = Vec::new();
+    let mut view_of_value: HashMap<ValueId, usize> = HashMap::new();
+    let mut nests: Vec<Nest> = Vec::new();
+    let mut pending_exchanges: Vec<MpiExchange> = Vec::new();
+    let mut pending_snapshots: Vec<usize> = Vec::new();
+
+    // Function-arg index lookup.
+    let arg_index: HashMap<ValueId, usize> =
+        arg_values.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    // Scalar-arg slot numbering (bytecode Arg indices count scalars only).
+    let mut scalar_slot: HashMap<ValueId, u16> = HashMap::new();
+    {
+        let mut slot = 0u16;
+        for (i, &kind) in arg_kinds.iter().enumerate() {
+            if kind == ArgKind::Scalar {
+                if let Some(&v) = arg_values.get(i) {
+                    scalar_slot.insert(v, slot);
+                }
+                slot += 1;
+            }
+        }
+    }
+
+    for op in module.block_ops(block) {
+        let data = module.op(op);
+        match data.name.full() {
+            memref::FROM_PTR => {
+                let src = data.operands[0];
+                let idx = *arg_index
+                    .get(&src)
+                    .ok_or_else(|| err("from_ptr source is not a kernel argument"))?;
+                let Type::MemRef { shape, .. } = module.value_type(module.result(op)) else {
+                    return Err(err("from_ptr of non-memref"));
+                };
+                view_of_value.insert(module.result(op), views.len());
+                views.push(ViewSpec {
+                    source: ViewSource::Arg(idx),
+                    strides: column_major_strides(shape),
+                    extents: shape.clone(),
+                });
+            }
+            memref::ALLOC => {
+                let Type::MemRef { shape, .. } = module.value_type(module.result(op)) else {
+                    return Err(err("alloc of non-memref"));
+                };
+                view_of_value.insert(module.result(op), views.len());
+                views.push(ViewSpec {
+                    source: ViewSource::SnapshotOf(usize::MAX),
+                    strides: column_major_strides(shape),
+                    extents: shape.clone(),
+                });
+            }
+            memref::COPY => {
+                let src = *view_of_value
+                    .get(&data.operands[0])
+                    .ok_or_else(|| err("copy of unknown view"))?;
+                let dst = *view_of_value
+                    .get(&data.operands[1])
+                    .ok_or_else(|| err("copy to unknown view"))?;
+                views[dst].source = ViewSource::SnapshotOf(src);
+                pending_snapshots.push(dst);
+            }
+            mpi::ISEND => {
+                let spec = mpi::halo_spec(module, op)
+                    .ok_or_else(|| err("isend without halo spec"))?;
+                let view = *view_of_value
+                    .get(&data.operands[0])
+                    .ok_or_else(|| err("isend of unknown view"))?;
+                pending_exchanges.push(MpiExchange {
+                    view,
+                    dim: spec.dim as usize,
+                    direction: spec.direction,
+                    width: spec.width,
+                    tag: spec.tag,
+                });
+            }
+            mpi::IRECV | mpi::WAITALL | mpi::BARRIER | mpi::INIT | mpi::FINALIZE
+            | mpi::COMM_RANK | mpi::COMM_SIZE => {}
+            "arith.constant" | gpu::HOST_REGISTER | gpu::MEMCPY | gpu::ALLOC
+            | gpu::DEALLOC => {}
+            scf::PARALLEL | omp::PARALLEL => {
+                let nest = compile_one_nest(
+                    module,
+                    op,
+                    &views,
+                    &view_of_value,
+                    &scalar_slot,
+                    std::mem::take(&mut pending_exchanges),
+                    std::mem::take(&mut pending_snapshots),
+                )?;
+                nests.push(nest);
+            }
+            func::RETURN | gpu::RETURN => {}
+            other => return Err(err(format!("unexpected op '{other}' in region body"))),
+        }
+    }
+    if nests.is_empty() {
+        return Err(err("no loop nest found in region"));
+    }
+    Ok((views, nests))
+}
+
+fn compile_one_nest(
+    module: &Module,
+    loop_root: OpId,
+    views: &[ViewSpec],
+    view_of_value: &HashMap<ValueId, usize>,
+    scalar_slot: &HashMap<ValueId, u16>,
+    exchanges: Vec<MpiExchange>,
+    snapshots: Vec<usize>,
+) -> Result<Nest> {
+    let mut iv_bounds: HashMap<ValueId, (i64, i64)> = HashMap::new();
+    let innermost = collect_loops(module, loop_root, &mut iv_bounds)?;
+
+    let mut compiler = BodyCompiler {
+        module,
+        view_of_value,
+        views,
+        iv_bounds: &iv_bounds,
+        scalar_slot,
+        regs: 0,
+        memo: HashMap::new(),
+        program: BodyProgram::default(),
+        dim_of_iv: HashMap::new(),
+        out_views: Vec::new(),
+    };
+    // First pass: decode every access so ivs are bound to dimensions before
+    // any `stencil.index`-as-data use needs the mapping.
+    for op in module.block_ops(innermost) {
+        match module.op(op).name.full() {
+            memref::LOAD => {
+                compiler.access_of(op, 0)?;
+            }
+            memref::STORE => {
+                compiler.access_of(op, 1)?;
+            }
+            _ => {}
+        }
+    }
+    for op in module.block_ops(innermost) {
+        compiler.compile_op(op)?;
+    }
+    let BodyCompiler { regs, mut program, dim_of_iv, out_views, .. } = compiler;
+    program.num_regs = regs;
+    program.finalize_stats();
+    program.hoist_invariants();
+
+    let rank = views
+        .first()
+        .map(|v| v.extents.len())
+        .ok_or_else(|| err("kernel touches no views"))?;
+    let mut bounds = vec![(0i64, 0i64); rank];
+    let mut assigned = vec![false; rank];
+    for (iv, dim) in &dim_of_iv {
+        let b = iv_bounds.get(iv).ok_or_else(|| err("iv without bounds"))?;
+        bounds[*dim] = *b;
+        assigned[*dim] = true;
+    }
+    if !assigned.iter().all(|&a| a) {
+        return Err(err("not every dimension indexed by a loop"));
+    }
+    Ok(Nest { bounds, out_views, program, exchanges, snapshots })
+}
+
+/// Descend a loop structure (`scf.parallel` / `omp.parallel{wsloop}` with
+/// nested `scf.for`s, possibly tiled) collecting each induction variable's
+/// global bounds; returns the innermost block.
+fn collect_loops(
+    module: &Module,
+    root: OpId,
+    iv_bounds: &mut HashMap<ValueId, (i64, i64)>,
+) -> Result<BlockId> {
+    let name = module.op(root).name.full();
+    let (body, ivs, lbs, ubs): (BlockId, Vec<ValueId>, Vec<ValueId>, Vec<ValueId>) = match name
+    {
+        scf::PARALLEL => {
+            let p = scf::ParallelOp(root);
+            (p.body(module), p.ivs(module), p.lbs(module), p.ubs(module))
+        }
+        omp::PARALLEL => {
+            let region = module.op(root).regions[0];
+            let pblock = module.region_blocks(region)[0];
+            let ws = module
+                .block_ops(pblock)
+                .into_iter()
+                .find(|&o| module.op(o).name.full() == omp::WSLOOP)
+                .ok_or_else(|| err("omp.parallel without wsloop"))?;
+            let w = omp::WsLoopOp(ws);
+            (w.body(module), w.ivs(module), w.lbs(module), w.ubs(module))
+        }
+        other => return Err(err(format!("unsupported loop root '{other}'"))),
+    };
+    let tiled = module.op(root).attr("tiled").is_some();
+    for ((iv, lb), ub) in ivs.iter().zip(&lbs).zip(&ubs) {
+        let lb_c = trace_index_const(module, *lb)
+            .ok_or_else(|| err("non-constant loop lower bound"))?;
+        let ub_c = trace_index_const(module, *ub)
+            .ok_or_else(|| err("non-constant loop upper bound"))?;
+        iv_bounds.insert(*iv, (lb_c, ub_c));
+    }
+    // Descend through nested scf.for chains.
+    let mut current = body;
+    loop {
+        let fors: Vec<OpId> = module
+            .block_ops(current)
+            .into_iter()
+            .filter(|&o| module.op(o).name.full() == scf::FOR)
+            .collect();
+        match fors.len() {
+            0 => return Ok(current),
+            1 => {
+                let f = scf::ForOp(fors[0]);
+                let lb = f.lb(module);
+                let iv = f.iv(module);
+                if tiled || iv_bounds.contains_key(&lb) {
+                    // Tiled intra-tile loop: its true range is the parent
+                    // parallel dimension's full range.
+                    let parent = iv_bounds
+                        .get(&lb)
+                        .copied()
+                        .ok_or_else(|| err("tiled loop without parallel parent bound"))?;
+                    iv_bounds.insert(iv, parent);
+                } else {
+                    let lb_c = trace_index_const(module, lb)
+                        .ok_or_else(|| err("non-constant for lower bound"))?;
+                    let ub_c = trace_index_const(module, f.ub(module))
+                        .ok_or_else(|| err("non-constant for upper bound"))?;
+                    iv_bounds.insert(iv, (lb_c, ub_c));
+                }
+                current = f.body(module);
+            }
+            _ => return Err(err("multiple sibling loops in nest body")),
+        }
+    }
+}
+
+/// A constant `index` value (bounds are constants after canonicalisation).
+fn trace_index_const(module: &Module, v: ValueId) -> Option<i64> {
+    let def = module.defining_op(v)?;
+    if module.op(def).name.full() == "arith.constant" {
+        return module.op(def).attr("value")?.as_int();
+    }
+    None
+}
+
+struct BodyCompiler<'a> {
+    module: &'a Module,
+    view_of_value: &'a HashMap<ValueId, usize>,
+    views: &'a [ViewSpec],
+    iv_bounds: &'a HashMap<ValueId, (i64, i64)>,
+    scalar_slot: &'a HashMap<ValueId, u16>,
+    regs: u16,
+    memo: HashMap<ValueId, u16>,
+    program: BodyProgram,
+    dim_of_iv: HashMap<ValueId, usize>,
+    out_views: Vec<usize>,
+}
+
+impl<'a> BodyCompiler<'a> {
+    fn fresh(&mut self) -> u16 {
+        self.regs += 1;
+        self.regs - 1
+    }
+
+    fn compile_op(&mut self, op: OpId) -> Result<()> {
+        let m = self.module;
+        match m.op(op).name.full() {
+            memref::STORE => {
+                let value = m.op(op).operands[0];
+                let src = self.reg_for(value)?;
+                let (view, off) = self.access_of(op, 1)?;
+                if !self.out_views.contains(&view) {
+                    self.out_views.push(view);
+                }
+                self.program.instrs.push(Instr::Store { view: view as u16, off, src });
+                Ok(())
+            }
+            scf::YIELD | omp::YIELD | omp::TERMINATOR | fir::RESULT => Ok(()),
+            // Pure value ops (including address arithmetic) compile lazily,
+            // on demand from the store chains.
+            _ => Ok(()),
+        }
+    }
+
+    /// Decode a memref access: `(view index, relative linear offset)` while
+    /// assigning ivs to dimensions.
+    fn access_of(&mut self, op: OpId, memref_pos: usize) -> Result<(usize, i64)> {
+        let m = self.module;
+        let data = m.op(op);
+        let view = *self
+            .view_of_value
+            .get(&data.operands[memref_pos])
+            .ok_or_else(|| err("access of unknown view"))?;
+        let strides = self.views[view].strides.clone();
+        let mut off = 0i64;
+        for (k, &idx) in data.operands[memref_pos + 1..].iter().enumerate() {
+            let (iv, c) = decode_index_expr(m, idx)
+                .ok_or_else(|| err("unsupported index expression in kernel"))?;
+            match self.dim_of_iv.get(&iv) {
+                Some(&d) if d != k => {
+                    return Err(err("inconsistent loop-to-dimension mapping"));
+                }
+                _ => {
+                    self.dim_of_iv.insert(iv, k);
+                }
+            }
+            off += c * strides[k];
+        }
+        Ok((view, off))
+    }
+
+    /// Register holding the value of `v`, compiling its defining op if
+    /// needed.
+    fn reg_for(&mut self, v: ValueId) -> Result<u16> {
+        if let Some(&r) = self.memo.get(&v) {
+            return Ok(r);
+        }
+        let m = self.module;
+        // Loop induction variable used as data.
+        if self.iv_bounds.contains_key(&v) {
+            let dim = *self
+                .dim_of_iv
+                .get(&v)
+                .ok_or_else(|| err("loop index used as data before any array access"))?;
+            let dst = self.fresh();
+            self.program.instrs.push(Instr::Coord { dst, dim: dim as u8 });
+            self.memo.insert(v, dst);
+            return Ok(dst);
+        }
+        // Scalar kernel argument.
+        if let Some(&slot) = self.scalar_slot.get(&v) {
+            let dst = self.fresh();
+            self.program.instrs.push(Instr::Arg { dst, arg: slot });
+            self.memo.insert(v, dst);
+            return Ok(dst);
+        }
+        let def = m
+            .defining_op(v)
+            .ok_or_else(|| err("kernel body uses an unknown block argument"))?;
+        let name = m.op(def).name.full().to_string();
+        let operands = m.op(def).operands.clone();
+        let dst = match name.as_str() {
+            "arith.constant" => {
+                let val = match m.op(def).attr("value") {
+                    Some(Attribute::Float(f, _)) => *f,
+                    Some(Attribute::Int(i, _)) => *i as f64,
+                    _ => return Err(err("constant without numeric value")),
+                };
+                let dst = self.fresh();
+                self.program.instrs.push(Instr::Const { dst, val });
+                dst
+            }
+            memref::LOAD => {
+                let (view, off) = self.access_of(def, 0)?;
+                let dst = self.fresh();
+                self.program.instrs.push(Instr::Load { dst, view: view as u16, off });
+                dst
+            }
+            "arith.addf" | "arith.addi" => self.bin(BinKind::Add, &operands)?,
+            "arith.subf" | "arith.subi" => self.bin(BinKind::Sub, &operands)?,
+            "arith.mulf" | "arith.muli" => self.bin(BinKind::Mul, &operands)?,
+            "arith.divf" => self.bin(BinKind::Div, &operands)?,
+            "arith.divsi" => {
+                let d = self.bin(BinKind::Div, &operands)?;
+                let dst = self.fresh();
+                self.program.instrs.push(Instr::Un { dst, kind: UnKind::Trunc, a: d });
+                dst
+            }
+            "arith.remsi" => self.bin(BinKind::Rem, &operands)?,
+            "arith.minf" | "arith.minsi" => self.bin(BinKind::Min, &operands)?,
+            "arith.maxf" | "arith.maxsi" => self.bin(BinKind::Max, &operands)?,
+            "arith.negf" => self.un(UnKind::Neg, operands[0])?,
+            "arith.andi" => self.bin(BinKind::Mul, &operands)?,
+            "arith.ori" => self.bin(BinKind::Max, &operands)?,
+            "arith.xori" => {
+                let a = self.reg_for(operands[0])?;
+                let b = self.reg_for(operands[1])?;
+                let dst = self.fresh();
+                self.program.instrs.push(Instr::Cmp { dst, kind: CmpKind::Ne, a, b });
+                dst
+            }
+            "arith.cmpf" | "arith.cmpi" => {
+                let pred = m
+                    .op(def)
+                    .attr("predicate")
+                    .and_then(Attribute::as_str)
+                    .and_then(CmpPredicate::parse)
+                    .ok_or_else(|| err("cmp without predicate"))?;
+                let kind = match pred {
+                    CmpPredicate::Eq => CmpKind::Eq,
+                    CmpPredicate::Ne => CmpKind::Ne,
+                    CmpPredicate::Lt => CmpKind::Lt,
+                    CmpPredicate::Le => CmpKind::Le,
+                    CmpPredicate::Gt => CmpKind::Gt,
+                    CmpPredicate::Ge => CmpKind::Ge,
+                };
+                let a = self.reg_for(operands[0])?;
+                let b = self.reg_for(operands[1])?;
+                let dst = self.fresh();
+                self.program.instrs.push(Instr::Cmp { dst, kind, a, b });
+                dst
+            }
+            "arith.select" => {
+                let c = self.reg_for(operands[0])?;
+                let a = self.reg_for(operands[1])?;
+                let b = self.reg_for(operands[2])?;
+                let dst = self.fresh();
+                self.program.instrs.push(Instr::Select { dst, c, a, b });
+                dst
+            }
+            "arith.index_cast" | "arith.extsi" | "arith.trunci" | "arith.sitofp" => {
+                self.reg_for(operands[0])?
+            }
+            "arith.fptosi" => self.un(UnKind::Trunc, operands[0])?,
+            "math.sqrt" => self.un(UnKind::Sqrt, operands[0])?,
+            "math.absf" => self.un(UnKind::Abs, operands[0])?,
+            "math.exp" => self.un(UnKind::Exp, operands[0])?,
+            "math.log" => self.un(UnKind::Log, operands[0])?,
+            "math.sin" => self.un(UnKind::Sin, operands[0])?,
+            "math.cos" => self.un(UnKind::Cos, operands[0])?,
+            "math.tanh" => self.un(UnKind::Tanh, operands[0])?,
+            "math.powf" => self.bin(BinKind::Pow, &operands)?,
+            "math.atan2" => self.bin(BinKind::Atan2, &operands)?,
+            "math.copysign" => self.bin(BinKind::CopySign, &operands)?,
+            other => return Err(err(format!("cannot compile op '{other}'"))),
+        };
+        self.memo.insert(v, dst);
+        Ok(dst)
+    }
+
+    fn bin(&mut self, kind: BinKind, operands: &[ValueId]) -> Result<u16> {
+        let a = self.reg_for(operands[0])?;
+        let b = self.reg_for(operands[1])?;
+        let dst = self.fresh();
+        self.program.instrs.push(Instr::Bin { dst, kind, a, b });
+        Ok(dst)
+    }
+
+    fn un(&mut self, kind: UnKind, operand: ValueId) -> Result<u16> {
+        let a = self.reg_for(operand)?;
+        let dst = self.fresh();
+        self.program.instrs.push(Instr::Un { dst, kind, a });
+        Ok(dst)
+    }
+}
+
+/// Decode an index operand: the iv plus a constant, i.e. `iv`, `addi(iv,c)`,
+/// `addi(c,iv)`, `subi(iv,c)`.
+fn decode_index_expr(m: &Module, v: ValueId) -> Option<(ValueId, i64)> {
+    match m.defining_op(v) {
+        None => Some((v, 0)), // a block argument: the iv itself
+        Some(def) => match m.op(def).name.full() {
+            "arith.addi" => {
+                let a = m.op(def).operands[0];
+                let b = m.op(def).operands[1];
+                if let Some(c) = trace_index_const(m, b) {
+                    let (iv, c0) = decode_index_expr(m, a)?;
+                    Some((iv, c0 + c))
+                } else if let Some(c) = trace_index_const(m, a) {
+                    let (iv, c0) = decode_index_expr(m, b)?;
+                    Some((iv, c0 + c))
+                } else {
+                    None
+                }
+            }
+            "arith.subi" => {
+                let a = m.op(def).operands[0];
+                let c = trace_index_const(m, m.op(def).operands[1])?;
+                let (iv, c0) = decode_index_expr(m, a)?;
+                Some((iv, c0 - c))
+            }
+            _ => None,
+        },
+    }
+}
+
+// --------------------------------------------------------------------------
+// Execution
+// --------------------------------------------------------------------------
+
+/// Run a compiled kernel: resolve views, then execute every nest in order
+/// (refreshing snapshots in between). `threads > 1` with a pool work-shares
+/// each nest; otherwise nests run on the calling thread.
+pub fn run_kernel(
+    kernel: &CompiledKernel,
+    memory: &mut Memory,
+    args: &[KernelArg],
+    threads: usize,
+    pool: Option<&rayon::ThreadPool>,
+) -> Result<()> {
+    // Resolve all views to buffers (snapshots allocate backing storage).
+    let mut bufs: Vec<BufId> = Vec::with_capacity(kernel.views.len());
+    for view in &kernel.views {
+        let buf = match view.source {
+            ViewSource::Arg(i) => match args.get(i) {
+                Some(KernelArg::Buf(b)) => *b,
+                _ => return Err(err("pointer argument missing at call")),
+            },
+            ViewSource::SnapshotOf(src) => {
+                if src == usize::MAX || src >= bufs.len() {
+                    return Err(err("snapshot of unresolved view"));
+                }
+                memory.alloc_buffer(view.len())
+            }
+        };
+        bufs.push(buf);
+    }
+    let scalars: Vec<f64> = args
+        .iter()
+        .filter_map(|a| match a {
+            KernelArg::Scalar(s) => Some(*s),
+            KernelArg::Buf(_) => None,
+        })
+        .collect();
+
+    for nest in &kernel.nests {
+        // Refresh snapshot views.
+        for &v in &nest.snapshots {
+            let ViewSource::SnapshotOf(src) = kernel.views[v].source else {
+                return Err(err("snapshot refresh of non-snapshot view"));
+            };
+            if bufs[src] != bufs[v] {
+                let (s, d) = memory.buffer_pair_mut(bufs[src], bufs[v]);
+                d.copy_from_slice(s);
+            }
+        }
+        run_nest(nest, &kernel.views, &bufs, memory, &scalars, threads, pool)?;
+    }
+    // Scratch snapshot buffers are call-local: release them so time loops
+    // reuse rather than grow memory.
+    for (view, &buf) in kernel.views.iter().zip(&bufs) {
+        if matches!(view.source, ViewSource::SnapshotOf(_)) {
+            memory.release_buffer(buf);
+        }
+    }
+    Ok(())
+}
+
+/// Run a compiled kernel the way Flang's direct FIR→LLVM flow executes the
+/// same program: one cell at a time with the *full* column-major address
+/// computed from scratch for every view at every cell (multiply chains per
+/// access, as `fir.coordinate_of` lowers), bounds checks on every array
+/// access, and no contiguous-run specialisation the vectoriser could
+/// exploit. Numerically identical to [`run_kernel`]; only slower.
+///
+/// This is the figures' "Flang only" execution tier at compiled-code (not
+/// interpreter) speed — see DESIGN.md for the substitution rationale.
+pub fn run_kernel_naive(
+    kernel: &CompiledKernel,
+    memory: &mut Memory,
+    args: &[KernelArg],
+) -> Result<()> {
+    let mut bufs: Vec<BufId> = Vec::with_capacity(kernel.views.len());
+    for view in &kernel.views {
+        let buf = match view.source {
+            ViewSource::Arg(i) => match args.get(i) {
+                Some(KernelArg::Buf(b)) => *b,
+                _ => return Err(err("pointer argument missing at call")),
+            },
+            ViewSource::SnapshotOf(_) => memory.alloc_buffer(view.len()),
+        };
+        bufs.push(buf);
+    }
+    let scalars: Vec<f64> = args
+        .iter()
+        .filter_map(|a| match a {
+            KernelArg::Scalar(s) => Some(*s),
+            KernelArg::Buf(_) => None,
+        })
+        .collect();
+
+    for nest in &kernel.nests {
+        for &v in &nest.snapshots {
+            let ViewSource::SnapshotOf(src) = kernel.views[v].source else {
+                return Err(err("snapshot refresh of non-snapshot view"));
+            };
+            if bufs[src] != bufs[v] {
+                let (s, d) = memory.buffer_pair_mut(bufs[src], bufs[v]);
+                d.copy_from_slice(s);
+            }
+        }
+        if nest.domain_cells() == 0 {
+            continue;
+        }
+        let rank = nest.bounds.len();
+        let views = &kernel.views;
+        let mut out_view_map: Vec<Option<u16>> = vec![None; views.len()];
+        let mut out_buf_ids: Vec<BufId> = Vec::new();
+        for (slot, &v) in nest.out_views.iter().enumerate() {
+            out_view_map[v] = Some(slot as u16);
+            out_buf_ids.push(bufs[v]);
+        }
+        let mut taken: Vec<Vec<f64>> =
+            out_buf_ids.iter().map(|&b| memory.take_buffer(b)).collect();
+        {
+            let inputs: Vec<&[f64]> = bufs
+                .iter()
+                .enumerate()
+                .map(|(v, &b)| {
+                    if out_view_map[v].is_some() {
+                        &[][..]
+                    } else {
+                        memory.buffer(b)
+                    }
+                })
+                .collect();
+            let mut outputs: Vec<&mut [f64]> =
+                taken.iter_mut().map(|v| v.as_mut_slice()).collect();
+            let mut regs = vec![0.0f64; nest.program.num_regs.max(1) as usize];
+            let mut coords: Vec<i64> = nest.bounds.iter().map(|&(lb, _)| lb).collect();
+            'cells: loop {
+                naive_cell(
+                    &nest.program,
+                    views,
+                    &coords,
+                    &mut regs,
+                    &inputs,
+                    &mut outputs,
+                    &out_view_map,
+                    &scalars,
+                );
+                let mut d = 0;
+                loop {
+                    coords[d] += 1;
+                    if coords[d] < nest.bounds[d].1 {
+                        break;
+                    }
+                    coords[d] = nest.bounds[d].0;
+                    d += 1;
+                    if d == rank {
+                        break 'cells;
+                    }
+                }
+            }
+        }
+        for (b, data) in out_buf_ids.iter().zip(taken) {
+            memory.restore_buffer(*b, data);
+        }
+    }
+    for (view, &buf) in kernel.views.iter().zip(&bufs) {
+        if matches!(view.source, ViewSource::SnapshotOf(_)) {
+            memory.release_buffer(buf);
+        }
+    }
+    Ok(())
+}
+
+/// One naive-tier cell: every array access recomputes its full column-major
+/// address from the coordinates (the multiply chain `fir.coordinate_of`
+/// emits per access) and is bounds-checked; scalar instructions execute
+/// per cell with nothing hoisted.
+#[allow(clippy::too_many_arguments)]
+fn naive_cell(
+    program: &BodyProgram,
+    views: &[ViewSpec],
+    coords: &[i64],
+    regs: &mut [f64],
+    inputs: &[&[f64]],
+    outputs: &mut [&mut [f64]],
+    out_view_map: &[Option<u16>],
+    scalars: &[f64],
+) {
+    use crate::bytecode::Instr;
+    let address = |view: usize, off: i64| -> i64 {
+        let spec = &views[view];
+        let mut idx = off;
+        for (d, &c) in coords.iter().enumerate() {
+            idx += c * spec.strides[d];
+        }
+        idx
+    };
+    for instr in &program.instrs {
+        match *instr {
+            Instr::Load { dst, view, off } => {
+                let idx = address(view as usize, off);
+                let slice = inputs[view as usize];
+                assert!(
+                    idx >= 0 && (idx as usize) < slice.len(),
+                    "load out of bounds: {idx} in view {view}"
+                );
+                regs[dst as usize] = slice[idx as usize];
+            }
+            Instr::Store { view, off, src } => {
+                let slot = out_view_map[view as usize]
+                    .expect("store to a view that is not an output")
+                    as usize;
+                let idx = address(view as usize, off);
+                let slice = &mut outputs[slot];
+                assert!(
+                    idx >= 0 && (idx as usize) < slice.len(),
+                    "store out of bounds: {idx} in view {view}"
+                );
+                slice[idx as usize] = regs[src as usize];
+            }
+            ref other => crate::bytecode::exec_scalar_instr(other, regs, coords, scalars),
+        }
+    }
+}
+
+fn run_nest(
+    nest: &Nest,
+    views: &[ViewSpec],
+    bufs: &[BufId],
+    memory: &mut Memory,
+    scalars: &[f64],
+    threads: usize,
+    pool: Option<&rayon::ThreadPool>,
+) -> Result<()> {
+    if nest.domain_cells() == 0 {
+        return Ok(());
+    }
+    let rank = nest.bounds.len();
+    let outer = rank - 1;
+    let (outer_lo, outer_hi) = nest.bounds[outer];
+
+    // Output views: distinct buffers, moved out of the arena.
+    let mut out_view_map: Vec<Option<u16>> = vec![None; views.len()];
+    let mut out_buf_ids: Vec<BufId> = Vec::new();
+    for (slot, &v) in nest.out_views.iter().enumerate() {
+        out_view_map[v] = Some(slot as u16);
+        out_buf_ids.push(bufs[v]);
+    }
+    // Input views of THIS nest must not alias its outputs (snapshot copies
+    // guarantee this for in-place stencils).
+    for instr in &nest.program.instrs {
+        if let Instr::Load { view, .. } = instr {
+            let v = *view as usize;
+            if out_view_map[v].is_none() && out_buf_ids.contains(&bufs[v]) {
+                return Err(err("output buffer aliases an input view"));
+            }
+        }
+    }
+    let mut taken: Vec<Vec<f64>> =
+        out_buf_ids.iter().map(|&b| memory.take_buffer(b)).collect();
+
+    {
+        let inputs: Vec<&[f64]> = bufs
+            .iter()
+            .enumerate()
+            .map(|(v, &b)| {
+                if out_view_map[v].is_some() {
+                    &[][..]
+                } else {
+                    memory.buffer(b)
+                }
+            })
+            .collect();
+
+        let effective_threads = threads.max(1);
+        if effective_threads == 1 || pool.is_none() || (outer_hi - outer_lo) < 2 {
+            let mut outputs: Vec<&mut [f64]> =
+                taken.iter_mut().map(|v| v.as_mut_slice()).collect();
+            let slab_starts = vec![0i64; views.len()];
+            run_range(
+                nest,
+                views,
+                &inputs,
+                &mut outputs,
+                &slab_starts,
+                &out_view_map,
+                scalars,
+                outer_lo,
+                outer_hi,
+            );
+        } else {
+            run_sliced(
+                nest,
+                views,
+                &inputs,
+                &mut taken,
+                &out_view_map,
+                scalars,
+                effective_threads,
+                pool.unwrap(),
+            )?;
+        }
+    }
+
+    for (b, data) in out_buf_ids.iter().zip(taken) {
+        memory.restore_buffer(*b, data);
+    }
+    Ok(())
+}
+
+/// Run a nest serially over `[outer_lo, outer_hi)` of the slowest dimension.
+///
+/// When every view has unit innermost stride (always true for the shapes
+/// our lowering produces), the innermost dimension executes in *strips*
+/// through the vector VM — the realisation of the pipeline's
+/// `scf-parallel-loop-specialization` vectorisation step. Otherwise a
+/// scalar cell loop runs.
+#[allow(clippy::too_many_arguments)]
+fn run_range(
+    nest: &Nest,
+    views: &[ViewSpec],
+    inputs: &[&[f64]],
+    outputs: &mut [&mut [f64]],
+    out_slab_starts: &[i64],
+    out_view_map: &[Option<u16>],
+    scalars: &[f64],
+    outer_lo: i64,
+    outer_hi: i64,
+) {
+    const STRIP: usize = 64;
+    let rank = nest.bounds.len();
+    let outer = rank - 1;
+    if (0..rank).any(|d| nest.bounds[d].0 >= nest.bounds[d].1) || outer_lo >= outer_hi {
+        return;
+    }
+    let strip_ok = views.iter().all(|v| v.strides.first() == Some(&1));
+    let num_regs = nest.program.num_regs.max(1) as usize;
+
+    let mut coords: Vec<i64> = nest.bounds.iter().map(|&(lb, _)| lb).collect();
+    coords[outer] = outer_lo;
+    let mut cursors = vec![0i64; views.len()];
+
+    // Scalar registers (fallback path).
+    let mut regs = vec![0.0f64; num_regs];
+    nest.program.run_prelude(&mut regs, scalars);
+    // Strip registers (vector path).
+    let mut sregs = vec![0.0f64; num_regs * STRIP];
+    let mut cur_w = STRIP;
+    if strip_ok {
+        nest.program.run_prelude_strip(&mut sregs, STRIP, scalars);
+    }
+
+    loop {
+        for (v, spec) in views.iter().enumerate() {
+            let mut c = 0i64;
+            for d in 0..rank {
+                c += coords[d] * spec.strides[d];
+            }
+            c -= out_slab_starts[v];
+            cursors[v] = c;
+        }
+        let (lb0, ub0) = if rank == 1 { (outer_lo, outer_hi) } else { nest.bounds[0] };
+        if strip_ok {
+            let mut i = lb0;
+            while i < ub0 {
+                let w = ((ub0 - i) as usize).min(STRIP);
+                if w != cur_w {
+                    nest.program.run_prelude_strip(&mut sregs, w, scalars);
+                    cur_w = w;
+                }
+                nest.program.run_strip(
+                    &mut sregs,
+                    w,
+                    inputs,
+                    outputs,
+                    out_view_map,
+                    &cursors,
+                    i,
+                    &coords,
+                    scalars,
+                );
+                for cur in cursors.iter_mut() {
+                    *cur += w as i64;
+                }
+                i += w as i64;
+            }
+        } else {
+            let mut i = lb0;
+            while i < ub0 {
+                coords[0] = i;
+                nest.program.run_cell_body(
+                    &mut regs,
+                    inputs,
+                    outputs,
+                    out_view_map,
+                    &cursors,
+                    &coords,
+                    scalars,
+                );
+                for (v, spec) in views.iter().enumerate() {
+                    cursors[v] += spec.strides[0];
+                }
+                i += 1;
+            }
+        }
+        coords[0] = nest.bounds[0].0;
+        let mut d = 1;
+        loop {
+            if d >= rank {
+                return;
+            }
+            coords[d] += 1;
+            let hi = if d == outer { outer_hi } else { nest.bounds[d].1 };
+            if coords[d] < hi {
+                break;
+            }
+            coords[d] = nest.bounds[d].0;
+            if d == outer {
+                return;
+            }
+            d += 1;
+        }
+    }
+}
+
+/// Split outputs into contiguous per-range slabs and run under the pool.
+#[allow(clippy::too_many_arguments)]
+fn run_sliced(
+    nest: &Nest,
+    views: &[ViewSpec],
+    inputs: &[&[f64]],
+    taken: &mut [Vec<f64>],
+    out_view_map: &[Option<u16>],
+    scalars: &[f64],
+    threads: usize,
+    pool: &rayon::ThreadPool,
+) -> Result<()> {
+    let rank = nest.bounds.len();
+    let outer = rank - 1;
+    let (lo, hi) = nest.bounds[outer];
+    let total = (hi - lo) as usize;
+    let nchunks = threads.min(total).max(1);
+
+    let mut ranges = Vec::with_capacity(nchunks);
+    let chunk = total / nchunks;
+    let extra = total % nchunks;
+    let mut start = lo;
+    for t in 0..nchunks {
+        let len = chunk + usize::from(t < extra);
+        ranges.push((start, start + len as i64));
+        start += len as i64;
+    }
+
+    // Exact per-store offset extremes per out view.
+    let mut out_offsets: Vec<(i64, i64)> = vec![(i64::MAX, i64::MIN); views.len()];
+    for instr in &nest.program.instrs {
+        if let Instr::Store { view, off, .. } = instr {
+            let e = &mut out_offsets[*view as usize];
+            e.0 = e.0.min(*off);
+            e.1 = e.1.max(*off);
+        }
+    }
+    let slab_bounds = |view: usize, c0: i64, c1: i64| -> (i64, i64) {
+        let spec = &views[view];
+        let s_outer = spec.strides[outer];
+        let (off_min, off_max) = out_offsets[view];
+        let (rest_min, rest_max) = if rank == 1 {
+            (0, 0)
+        } else {
+            (
+                (0..outer).map(|d| nest.bounds[d].0 * spec.strides[d]).sum(),
+                (0..outer).map(|d| (nest.bounds[d].1 - 1) * spec.strides[d]).sum(),
+            )
+        };
+        let min_idx = c0 * s_outer + rest_min + off_min;
+        let max_idx = (c1 - 1) * s_outer + rest_max + off_max;
+        (min_idx, max_idx + 1)
+    };
+
+    struct Task<'t> {
+        range: (i64, i64),
+        outs: Vec<&'t mut [f64]>,
+        slab_starts: Vec<i64>,
+    }
+    let mut tasks: Vec<Task> = ranges
+        .iter()
+        .map(|&range| Task { range, outs: Vec::new(), slab_starts: vec![0; views.len()] })
+        .collect();
+
+    for (&view, buf) in nest.out_views.iter().zip(taken.iter_mut()) {
+        let mut remaining: &mut [f64] = buf.as_mut_slice();
+        let mut consumed = 0i64;
+        for (t, &(c0, c1)) in ranges.iter().enumerate() {
+            let (s, e) = slab_bounds(view, c0, c1);
+            if s < consumed {
+                return Err(err("parallel slabs overlap; cannot work-share this kernel"));
+            }
+            let (_skip, rest) = remaining.split_at_mut((s - consumed) as usize);
+            let (slab, rest) = rest.split_at_mut((e - s) as usize);
+            tasks[t].outs.push(slab);
+            tasks[t].slab_starts[view] = s;
+            remaining = rest;
+            consumed = e;
+        }
+    }
+
+    pool.scope(|scope| {
+        for task in tasks.into_iter() {
+            let inputs_ref = inputs;
+            scope.spawn(move |_| {
+                let Task { range, mut outs, slab_starts } = task;
+                run_range(
+                    nest,
+                    views,
+                    inputs_ref,
+                    &mut outs,
+                    &slab_starts,
+                    out_view_map,
+                    scalars,
+                    range.0,
+                    range.1,
+                );
+            });
+        }
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsc_ir::Pass as _;
+    use fsc_passes::discover::discover_stencils;
+    use fsc_passes::extract::extract_stencils;
+    use fsc_passes::merge::merge_adjacent_applies;
+    use fsc_passes::stencil_to_scf::{lower_stencils, LoweringTarget};
+
+    const LISTING1: &str = "
+program average
+  integer, parameter :: n = 16
+  integer :: i, j
+  real(kind=8) :: data(0:n+1, 0:n+1), res(0:n+1, 0:n+1)
+  do i = 1, n
+    do j = 1, n
+      res(j, i) = 0.25 * (data(j, i-1) + data(j, i+1) + data(j-1, i) + data(j+1, i))
+    end do
+  end do
+end program average
+";
+
+    fn compile(src: &str) -> CompiledKernel {
+        let mut m = fsc_fortran::compile_to_fir(src).unwrap();
+        discover_stencils(&mut m).unwrap();
+        merge_adjacent_applies(&mut m).unwrap();
+        let mut st = extract_stencils(&mut m).unwrap();
+        lower_stencils(&mut st, LoweringTarget::Cpu).unwrap();
+        fsc_passes::canonicalize::Canonicalize.run(&mut st).unwrap();
+        compile_kernel(&st, "stencil_region_0").unwrap()
+    }
+
+    #[test]
+    fn compiles_listing1_shape() {
+        let k = compile(LISTING1);
+        assert_eq!(k.nests.len(), 1);
+        let nest = &k.nests[0];
+        assert_eq!(nest.bounds, vec![(1, 17), (1, 17)]);
+        assert_eq!(k.views.len(), 2);
+        assert_eq!(nest.out_views.len(), 1);
+        assert_eq!(nest.program.loads_per_cell, 4);
+        assert_eq!(nest.program.stores_per_cell, 1);
+        assert_eq!(nest.program.flops_per_cell, 4); // 3 add + 1 mul
+        let stats = k.stats();
+        assert_eq!(stats.cells, 256);
+        assert_eq!(stats.flops, 1024);
+    }
+
+    #[test]
+    fn serial_execution_matches_reference() {
+        let k = compile(LISTING1);
+        let mut memory = Memory::new();
+        let n = 18usize;
+        let data = memory.alloc_buffer(n * n);
+        let res = memory.alloc_buffer(n * n);
+        for i in 0..n {
+            for j in 0..n {
+                memory.buffer_mut(data)[j + n * i] = j as f64 + 10.0 * i as f64;
+            }
+        }
+        run_kernel(&k, &mut memory, &[KernelArg::Buf(data), KernelArg::Buf(res)], 1, None)
+            .unwrap();
+        for i in 1..=16usize {
+            for j in 1..=16usize {
+                let expect = j as f64 + 10.0 * i as f64;
+                let got = memory.buffer(res)[j + n * i];
+                assert!((got - expect).abs() < 1e-12, "({j},{i}): {got} vs {expect}");
+            }
+        }
+        assert_eq!(memory.buffer(res)[0], 0.0);
+    }
+
+    #[test]
+    fn parallel_execution_matches_serial() {
+        let k = compile(LISTING1);
+        let n = 18usize;
+        let mk = |mem: &mut Memory| {
+            let data = mem.alloc_buffer(n * n);
+            let res = mem.alloc_buffer(n * n);
+            for idx in 0..n * n {
+                mem.buffer_mut(data)[idx] = (idx as f64).sin();
+            }
+            (data, res)
+        };
+        let mut m1 = Memory::new();
+        let (d1, r1) = mk(&mut m1);
+        run_kernel(&k, &mut m1, &[KernelArg::Buf(d1), KernelArg::Buf(r1)], 1, None).unwrap();
+
+        let mut m2 = Memory::new();
+        let (d2, r2) = mk(&mut m2);
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        run_kernel(&k, &mut m2, &[KernelArg::Buf(d2), KernelArg::Buf(r2)], 4, Some(&pool))
+            .unwrap();
+        assert_eq!(m1.buffer(r1), m2.buffer(r2));
+    }
+
+    #[test]
+    fn in_place_kernel_uses_snapshot() {
+        let src = "
+program t
+  integer, parameter :: n = 8
+  integer :: i
+  real(kind=8) :: u(0:n+1)
+  do i = 1, n
+    u(i) = 0.5 * (u(i-1) + u(i+1))
+  end do
+end program t
+";
+        let k = compile(src);
+        assert!(k
+            .views
+            .iter()
+            .any(|v| matches!(v.source, ViewSource::SnapshotOf(_))));
+        assert!(!k.nests[0].snapshots.is_empty());
+        let mut memory = Memory::new();
+        let u = memory.alloc_buffer(10);
+        for i in 0..10 {
+            memory.buffer_mut(u)[i] = i as f64;
+        }
+        run_kernel(&k, &mut memory, &[KernelArg::Buf(u)], 1, None).unwrap();
+        for i in 1..=8usize {
+            assert_eq!(memory.buffer(u)[i], i as f64, "cell {i}");
+        }
+    }
+
+    #[test]
+    fn scalar_argument_flows_into_body() {
+        let src = "
+program t
+  integer, parameter :: n = 8
+  integer :: i
+  real(kind=8) :: c
+  real(kind=8) :: a(0:n+1), r(0:n+1)
+  c = 0.25
+  do i = 1, n
+    r(i) = c * (a(i-1) + a(i+1))
+  end do
+end program t
+";
+        let k = compile(src);
+        assert_eq!(k.args, vec![ArgKind::Ptr, ArgKind::Ptr, ArgKind::Scalar]);
+        let mut memory = Memory::new();
+        let a = memory.alloc_buffer(10);
+        let r = memory.alloc_buffer(10);
+        for i in 0..10 {
+            memory.buffer_mut(a)[i] = 4.0;
+        }
+        run_kernel(
+            &k,
+            &mut memory,
+            &[KernelArg::Buf(a), KernelArg::Buf(r), KernelArg::Scalar(0.25)],
+            1,
+            None,
+        )
+        .unwrap();
+        for i in 1..=8usize {
+            assert_eq!(memory.buffer(r)[i], 2.0);
+        }
+    }
+
+    #[test]
+    fn multi_nest_region_runs_in_order() {
+        // Compute then copy in one time step: after the kernel, a must hold
+        // the averaged values (catches the nest-ordering bug the harmonic
+        // init masked).
+        let src = "
+program t
+  integer, parameter :: n = 8
+  integer :: i
+  real(kind=8) :: a(0:n+1), b(0:n+1)
+  do i = 1, n
+    b(i) = 0.5 * (a(i-1) + a(i+1))
+  end do
+  do i = 1, n
+    a(i) = b(i)
+  end do
+end program t
+";
+        let k = compile(src);
+        assert_eq!(k.nests.len(), 2, "compute + copy nests in one region");
+        let mut memory = Memory::new();
+        let a = memory.alloc_buffer(10);
+        let b = memory.alloc_buffer(10);
+        for i in 0..10 {
+            memory.buffer_mut(a)[i] = (i * i) as f64;
+        }
+        run_kernel(&k, &mut memory, &[KernelArg::Buf(a), KernelArg::Buf(b)], 1, None)
+            .unwrap();
+        // a(i) must now equal 0.5*((i-1)² + (i+1)²) = i² + 1 for interior i.
+        for i in 1..=8usize {
+            let expect = (i * i + 1) as f64;
+            assert_eq!(memory.buffer(a)[i], expect, "cell {i}");
+        }
+    }
+
+    #[test]
+    fn snapshot_buffers_are_reused_across_calls() {
+        let src = "
+program t
+  integer, parameter :: n = 8
+  integer :: i
+  real(kind=8) :: u(0:n+1)
+  do i = 1, n
+    u(i) = 0.5 * (u(i-1) + u(i+1))
+  end do
+end program t
+";
+        let k = compile(src);
+        let mut memory = Memory::new();
+        let u = memory.alloc_buffer(10);
+        run_kernel(&k, &mut memory, &[KernelArg::Buf(u)], 1, None).unwrap();
+        let after_one = memory.buffer_count();
+        for _ in 0..10 {
+            run_kernel(&k, &mut memory, &[KernelArg::Buf(u)], 1, None).unwrap();
+        }
+        assert_eq!(
+            memory.buffer_count(),
+            after_one,
+            "snapshots must be recycled, not accumulated"
+        );
+    }
+
+    #[test]
+    fn naive_runner_matches_fast_runner() {
+        let k = compile(LISTING1);
+        let n = 18usize;
+        let mk = |mem: &mut Memory| {
+            let data = mem.alloc_buffer(n * n);
+            let res = mem.alloc_buffer(n * n);
+            for idx in 0..n * n {
+                mem.buffer_mut(data)[idx] = (idx as f64 * 0.37).cos();
+            }
+            (data, res)
+        };
+        let mut m1 = Memory::new();
+        let (d1, r1) = mk(&mut m1);
+        run_kernel(&k, &mut m1, &[KernelArg::Buf(d1), KernelArg::Buf(r1)], 1, None).unwrap();
+        let mut m2 = Memory::new();
+        let (d2, r2) = mk(&mut m2);
+        run_kernel_naive(&k, &mut m2, &[KernelArg::Buf(d2), KernelArg::Buf(r2)]).unwrap();
+        assert_eq!(m1.buffer(r1), m2.buffer(r2), "tiers must agree bitwise");
+    }
+
+    #[test]
+    fn gpu_plan_compiles_from_tiled_kernel() {
+        let mut m = fsc_fortran::compile_to_fir(LISTING1).unwrap();
+        discover_stencils(&mut m).unwrap();
+        let mut st = extract_stencils(&mut m).unwrap();
+        lower_stencils(&mut st, LoweringTarget::Gpu).unwrap();
+        fsc_passes::tiling::ParallelLoopTiling { tile_sizes: vec![8, 8, 1] }
+            .run(&mut st)
+            .unwrap();
+        fsc_passes::gpu_lowering::ConvertParallelLoopsToGpu.run(&mut st).unwrap();
+        fsc_passes::gpu_lowering::GpuDataExplicit.run(&mut st).unwrap();
+        let k = compile_kernel(&st, "stencil_region_0").unwrap();
+        let PlanKind::Gpu { grid, block, strategy, .. } = &k.kind else {
+            panic!("expected gpu plan");
+        };
+        assert_eq!(*block, [8, 8, 1]);
+        assert_eq!(*grid, [2, 2, 1]);
+        assert_eq!(*strategy, GpuStrategy::Explicit);
+        // The nest recovered the full (untiled) domain.
+        assert_eq!(k.nests[0].bounds, vec![(1, 17), (1, 17)]);
+        // And it executes correctly despite the tiled IR.
+        let mut memory = Memory::new();
+        let n = 18usize;
+        let data = memory.alloc_buffer(n * n);
+        let res = memory.alloc_buffer(n * n);
+        for i in 0..n * n {
+            memory.buffer_mut(data)[i] = 2.0;
+        }
+        run_kernel(&k, &mut memory, &[KernelArg::Buf(data), KernelArg::Buf(res)], 1, None)
+            .unwrap();
+        assert_eq!(memory.buffer(res)[1 + n], 2.0);
+    }
+
+    #[test]
+    fn three_d_seven_point_runs() {
+        let src = "
+program gs
+  integer, parameter :: n = 6
+  integer :: i, j, k
+  real(kind=8) :: u(0:n+1, 0:n+1, 0:n+1), un(0:n+1, 0:n+1, 0:n+1)
+  do k = 1, n
+    do j = 1, n
+      do i = 1, n
+        un(i, j, k) = (u(i-1, j, k) + u(i+1, j, k) + u(i, j-1, k) &
+                     + u(i, j+1, k) + u(i, j, k-1) + u(i, j, k+1)) / 6.0
+      end do
+    end do
+  end do
+end program gs
+";
+        let kern = compile(src);
+        let nest = &kern.nests[0];
+        assert_eq!(nest.bounds.len(), 3);
+        assert_eq!(nest.program.loads_per_cell, 6);
+        let mut memory = Memory::new();
+        let e = 8usize;
+        let u = memory.alloc_buffer(e * e * e);
+        let un = memory.alloc_buffer(e * e * e);
+        for idx in 0..e * e * e {
+            memory.buffer_mut(u)[idx] = 1.0;
+        }
+        run_kernel(&kern, &mut memory, &[KernelArg::Buf(u), KernelArg::Buf(un)], 1, None)
+            .unwrap();
+        let at = |i: usize, j: usize, k: usize| memory.buffer(un)[i + e * j + e * e * k];
+        assert_eq!(at(3, 3, 3), 1.0);
+        assert_eq!(at(1, 1, 1), 1.0);
+        assert_eq!(at(0, 0, 0), 0.0);
+    }
+}

@@ -1,0 +1,273 @@
+//! Runtime values and the flat-buffer memory model.
+
+use std::sync::Arc;
+
+/// Identifier of an array buffer inside [`Memory`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BufId(pub u32);
+
+/// Identifier of a scalar slot inside [`Memory`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SlotId(pub u32);
+
+/// A reference value (what FIR `!fir.ref`/`!fir.heap`/`llvm_ptr` evaluate
+/// to at runtime).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Ref {
+    /// Reference to a scalar slot.
+    Scalar(SlotId),
+    /// Reference to a whole array (the binding of an array variable).
+    Array {
+        /// Backing buffer.
+        buf: BufId,
+        /// Per-dimension extents (dimension 0 fastest-varying).
+        extents: Arc<Vec<i64>>,
+    },
+    /// Reference to one element of an array.
+    Elem {
+        /// Backing buffer.
+        buf: BufId,
+        /// Linear (column-major) element index.
+        linear: i64,
+    },
+}
+
+/// A dynamic value flowing through the interpreter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// 32-bit integer (Fortran default integer).
+    I32(i32),
+    /// 64-bit integer.
+    I64(i64),
+    /// Loop/index value.
+    Index(i64),
+    /// Double-precision float.
+    F64(f64),
+    /// Boolean (`i1`).
+    Bool(bool),
+    /// Memory reference.
+    Ref(Ref),
+}
+
+impl Value {
+    /// Any integer-like value as i64.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::I32(v) => Some(*v as i64),
+            Value::I64(v) | Value::Index(v) => Some(*v),
+            Value::Bool(b) => Some(*b as i64),
+            _ => None,
+        }
+    }
+
+    /// Float value.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value widened to f64 (ints convert).
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::F64(v) => Some(*v),
+            other => other.as_int().map(|i| i as f64),
+        }
+    }
+
+    /// Reference payload.
+    pub fn as_ref_val(&self) -> Option<&Ref> {
+        match self {
+            Value::Ref(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Boolean payload (accepting integer 0/1).
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            Value::I32(v) => Some(*v != 0),
+            Value::I64(v) | Value::Index(v) => Some(*v != 0),
+            _ => None,
+        }
+    }
+}
+
+/// A scalar memory slot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scalar {
+    /// Float slot.
+    F64(f64),
+    /// Integer slot (i32 storage).
+    I32(i32),
+    /// Boolean slot.
+    Bool(bool),
+}
+
+/// Column-major strides for the given extents (dimension 0 fastest).
+pub fn column_major_strides(extents: &[i64]) -> Vec<i64> {
+    let mut strides = Vec::with_capacity(extents.len());
+    let mut acc = 1i64;
+    for &e in extents {
+        strides.push(acc);
+        acc *= e.max(0);
+    }
+    strides
+}
+
+/// Owner of all runtime storage for one program execution.
+#[derive(Debug, Default)]
+pub struct Memory {
+    buffers: Vec<Vec<f64>>,
+    scalars: Vec<Scalar>,
+    /// Released buffer ids available for reuse (scratch buffers allocated
+    /// inside kernels, e.g. value-semantics snapshots in time loops).
+    free: Vec<BufId>,
+}
+
+impl Memory {
+    /// Fresh, empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a zero-initialised buffer of `len` doubles, reusing a
+    /// released buffer of the same length when one exists.
+    pub fn alloc_buffer(&mut self, len: usize) -> BufId {
+        if let Some(pos) = self
+            .free
+            .iter()
+            .position(|&b| self.buffers[b.0 as usize].len() == len)
+        {
+            let buf = self.free.swap_remove(pos);
+            self.buffers[buf.0 as usize].fill(0.0);
+            return buf;
+        }
+        self.buffers.push(vec![0.0; len]);
+        BufId(self.buffers.len() as u32 - 1)
+    }
+
+    /// Release a buffer for reuse by a later [`Memory::alloc_buffer`]. The
+    /// id stays valid (the storage is retained) but its contents may be
+    /// overwritten by the next allocation of the same size.
+    pub fn release_buffer(&mut self, buf: BufId) {
+        if !self.free.contains(&buf) {
+            self.free.push(buf);
+        }
+    }
+
+    /// Allocate a scalar slot.
+    pub fn alloc_scalar(&mut self, init: Scalar) -> SlotId {
+        self.scalars.push(init);
+        SlotId(self.scalars.len() as u32 - 1)
+    }
+
+    /// Read a scalar slot.
+    pub fn read_scalar(&self, slot: SlotId) -> Scalar {
+        self.scalars[slot.0 as usize]
+    }
+
+    /// Write a scalar slot.
+    pub fn write_scalar(&mut self, slot: SlotId, v: Scalar) {
+        self.scalars[slot.0 as usize] = v;
+    }
+
+    /// Immutable view of a buffer.
+    pub fn buffer(&self, buf: BufId) -> &[f64] {
+        &self.buffers[buf.0 as usize]
+    }
+
+    /// Mutable view of a buffer.
+    pub fn buffer_mut(&mut self, buf: BufId) -> &mut [f64] {
+        &mut self.buffers[buf.0 as usize]
+    }
+
+    /// Two distinct buffers, one mutable — for copies and halo exchange.
+    ///
+    /// Panics if `a == b`.
+    pub fn buffer_pair_mut(&mut self, a: BufId, b: BufId) -> (&[f64], &mut [f64]) {
+        assert_ne!(a, b, "buffer_pair_mut needs distinct buffers");
+        let (ai, bi) = (a.0 as usize, b.0 as usize);
+        if ai < bi {
+            let (lo, hi) = self.buffers.split_at_mut(bi);
+            (lo[ai].as_slice(), &mut hi[0])
+        } else {
+            let (lo, hi) = self.buffers.split_at_mut(ai);
+            (hi[0].as_slice(), &mut lo[bi])
+        }
+    }
+
+    /// Number of buffers allocated so far.
+    pub fn buffer_count(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// Move a buffer out of the arena (leaving it empty) — used by the
+    /// kernel runners to hold mutable output slabs while inputs stay
+    /// shareable. Pair with [`Memory::restore_buffer`].
+    pub fn take_buffer(&mut self, buf: BufId) -> Vec<f64> {
+        std::mem::take(&mut self.buffers[buf.0 as usize])
+    }
+
+    /// Put back a buffer taken with [`Memory::take_buffer`].
+    pub fn restore_buffer(&mut self, buf: BufId, data: Vec<f64>) {
+        self.buffers[buf.0 as usize] = data;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_are_column_major() {
+        assert_eq!(column_major_strides(&[4, 5, 6]), vec![1, 4, 20]);
+        assert_eq!(column_major_strides(&[10]), vec![1]);
+        assert!(column_major_strides(&[]).is_empty());
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::I32(7).as_int(), Some(7));
+        assert_eq!(Value::Index(3).as_int(), Some(3));
+        assert_eq!(Value::F64(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::I32(7).as_number(), Some(7.0));
+        assert_eq!(Value::F64(2.5).as_int(), None);
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::I64(0).as_bool(), Some(false));
+    }
+
+    #[test]
+    fn memory_buffers_and_scalars() {
+        let mut m = Memory::new();
+        let b = m.alloc_buffer(10);
+        m.buffer_mut(b)[3] = 1.5;
+        assert_eq!(m.buffer(b)[3], 1.5);
+        assert_eq!(m.buffer(b)[0], 0.0);
+        let s = m.alloc_scalar(Scalar::I32(4));
+        assert_eq!(m.read_scalar(s), Scalar::I32(4));
+        m.write_scalar(s, Scalar::F64(1.0));
+        assert_eq!(m.read_scalar(s), Scalar::F64(1.0));
+    }
+
+    #[test]
+    fn buffer_pair_mut_both_orders() {
+        let mut m = Memory::new();
+        let a = m.alloc_buffer(4);
+        let b = m.alloc_buffer(4);
+        m.buffer_mut(a)[0] = 9.0;
+        {
+            let (src, dst) = m.buffer_pair_mut(a, b);
+            dst[0] = src[0];
+        }
+        assert_eq!(m.buffer(b)[0], 9.0);
+        m.buffer_mut(b)[1] = 5.0;
+        {
+            let (src, dst) = m.buffer_pair_mut(b, a);
+            dst[1] = src[1];
+        }
+        assert_eq!(m.buffer(a)[1], 5.0);
+    }
+}

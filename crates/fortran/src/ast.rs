@@ -1,0 +1,256 @@
+//! Abstract syntax tree for the supported Fortran subset.
+
+/// A whole source file: one or more program units.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceFile {
+    /// Program units in source order.
+    pub units: Vec<ProgramUnit>,
+}
+
+/// Kind of program unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnitKind {
+    /// `program name ... end program`.
+    Program,
+    /// `subroutine name(args) ... end subroutine`.
+    Subroutine,
+}
+
+/// A program or subroutine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramUnit {
+    /// Program vs subroutine.
+    pub kind: UnitKind,
+    /// Unit name (lowercased).
+    pub name: String,
+    /// Dummy argument names, in order (empty for programs).
+    pub args: Vec<String>,
+    /// Specification part.
+    pub decls: Vec<Decl>,
+    /// Execution part.
+    pub body: Vec<Stmt>,
+}
+
+/// Scalar type of a declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TypeSpec {
+    /// Default `integer` (32-bit).
+    Integer,
+    /// `real` with a kind in bytes (4 or 8); `double precision` = kind 8.
+    Real {
+        /// Kind in bytes.
+        kind: u8,
+    },
+    /// `logical`.
+    Logical,
+}
+
+/// One dimension of an array declaration: `lower:upper` (default lower 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dim {
+    /// Lower bound expression (must fold to a constant in sema).
+    pub lower: Expr,
+    /// Upper bound expression.
+    pub upper: Expr,
+}
+
+/// Declared intent of a dummy argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Intent {
+    /// `intent(in)`.
+    In,
+    /// `intent(out)`.
+    Out,
+    /// `intent(inout)` or unspecified.
+    InOut,
+}
+
+/// A variable or parameter declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decl {
+    /// Variable name (lowercased).
+    pub name: String,
+    /// Scalar element type.
+    pub ty: TypeSpec,
+    /// Array dimensions; empty = scalar.
+    pub dims: Vec<Dim>,
+    /// Declared `allocatable` (dims then give rank via `:` placeholders).
+    pub allocatable: bool,
+    /// `parameter` initialiser, if this is a named constant.
+    pub parameter: Option<Expr>,
+    /// Dummy-argument intent (meaningful only in subroutines).
+    pub intent: Intent,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `**`
+    Pow,
+    /// `==`
+    Eq,
+    /// `/=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `.and.`
+    And,
+    /// `.or.`
+    Or,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Unary minus.
+    Neg,
+    /// `.not.`
+    Not,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// Logical literal.
+    Logical(bool),
+    /// Scalar variable or named constant reference.
+    Var(String),
+    /// Array element `name(i, j, ...)` — also the syntax of function calls;
+    /// sema disambiguates using the symbol table.
+    Index {
+        /// Array (or function) name.
+        name: String,
+        /// Index (or argument) expressions.
+        indices: Vec<Expr>,
+    },
+    /// Binary operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary operation.
+    Un {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        operand: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Build a binary node.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+    }
+
+    /// Build a unary node.
+    pub fn un(op: UnOp, operand: Expr) -> Expr {
+        Expr::Un { op, operand: Box::new(operand) }
+    }
+}
+
+/// Assignment target.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// Scalar variable.
+    Var(String),
+    /// Array element.
+    Element {
+        /// Array name.
+        name: String,
+        /// Index expressions.
+        indices: Vec<Expr>,
+    },
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `target = value`.
+    Assign {
+        /// Left-hand side.
+        target: LValue,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// `do var = lb, ub[, step] ... end do`.
+    Do {
+        /// Loop variable name.
+        var: String,
+        /// Lower bound.
+        lb: Expr,
+        /// Inclusive upper bound.
+        ub: Expr,
+        /// Step (default 1).
+        step: Option<Expr>,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `if (cond) then ... [else ...] end if`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_body: Vec<Stmt>,
+        /// Else branch (empty if absent).
+        else_body: Vec<Stmt>,
+    },
+    /// `call name(args)`.
+    Call {
+        /// Subroutine name.
+        name: String,
+        /// Actual arguments.
+        args: Vec<Expr>,
+    },
+    /// `allocate(name(dims), ...)`.
+    Allocate {
+        /// Each allocation: array name plus its runtime dims.
+        items: Vec<(String, Vec<Dim>)>,
+    },
+    /// `deallocate(name, ...)`.
+    Deallocate {
+        /// Array names.
+        names: Vec<String>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_builders() {
+        let e = Expr::bin(BinOp::Add, Expr::Int(1), Expr::Int(2));
+        match e {
+            Expr::Bin { op: BinOp::Add, .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        let n = Expr::un(UnOp::Neg, Expr::Real(1.5));
+        match n {
+            Expr::Un { op: UnOp::Neg, .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

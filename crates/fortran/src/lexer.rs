@@ -1,0 +1,421 @@
+//! Free-form Fortran lexer.
+//!
+//! Produces a flat token stream with explicit end-of-statement tokens
+//! (newlines and `;`). Handles `!` comments, `&` continuations, and
+//! case-insensitive keywords/identifiers (everything is lowercased).
+
+use fsc_ir::{IrError, Result};
+
+/// Kinds of lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword, lowercased.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Real literal (covers `1.0`, `1.d0`, `2.5e-1`, `1.0_8`).
+    Real(f64),
+    /// `.true.` / `.false.`
+    Logical(bool),
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `**`
+    Pow,
+    /// `/`
+    Slash,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `=`
+    Assign,
+    /// `==`
+    Eq,
+    /// `/=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `.and.`
+    And,
+    /// `.or.`
+    Or,
+    /// `.not.`
+    Not,
+    /// `::`
+    DoubleColon,
+    /// `:`
+    Colon,
+    /// `%` (derived-type access; lexed but unsupported downstream)
+    Percent,
+    /// End of statement (newline or `;`).
+    Eos,
+    /// End of file.
+    Eof,
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+fn err(line: u32, msg: impl std::fmt::Display) -> IrError {
+    IrError::new(format!("lex error at line {line}: {msg}"))
+}
+
+/// Lex free-form Fortran source into tokens.
+pub fn lex(source: &str) -> Result<Vec<Token>> {
+    let mut tokens: Vec<Token> = Vec::new();
+    let bytes = source.as_bytes();
+    let mut pos = 0usize;
+    let mut line: u32 = 1;
+    // Set when a `&` continuation was seen: swallow the next newline.
+    let mut continuation = false;
+
+    macro_rules! push {
+        ($kind:expr) => {
+            tokens.push(Token { kind: $kind, line })
+        };
+    }
+
+    while pos < bytes.len() {
+        let c = bytes[pos];
+        match c {
+            b' ' | b'\t' | b'\r' => pos += 1,
+            b'!' => {
+                // Comment to end of line.
+                while pos < bytes.len() && bytes[pos] != b'\n' {
+                    pos += 1;
+                }
+            }
+            b'\n' => {
+                pos += 1;
+                if continuation {
+                    continuation = false;
+                } else if !matches!(
+                    tokens.last().map(|t| &t.kind),
+                    None | Some(TokenKind::Eos)
+                ) {
+                    push!(TokenKind::Eos);
+                }
+                line += 1;
+            }
+            b';' => {
+                pos += 1;
+                if !matches!(tokens.last().map(|t| &t.kind), None | Some(TokenKind::Eos)) {
+                    push!(TokenKind::Eos);
+                }
+            }
+            b'&' => {
+                continuation = true;
+                pos += 1;
+            }
+            b'+' => {
+                push!(TokenKind::Plus);
+                pos += 1;
+            }
+            b'-' => {
+                push!(TokenKind::Minus);
+                pos += 1;
+            }
+            b'*' => {
+                if bytes.get(pos + 1) == Some(&b'*') {
+                    push!(TokenKind::Pow);
+                    pos += 2;
+                } else {
+                    push!(TokenKind::Star);
+                    pos += 1;
+                }
+            }
+            b'/' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    push!(TokenKind::Ne);
+                    pos += 2;
+                } else {
+                    push!(TokenKind::Slash);
+                    pos += 1;
+                }
+            }
+            b'(' => {
+                push!(TokenKind::LParen);
+                pos += 1;
+            }
+            b')' => {
+                push!(TokenKind::RParen);
+                pos += 1;
+            }
+            b',' => {
+                push!(TokenKind::Comma);
+                pos += 1;
+            }
+            b'%' => {
+                push!(TokenKind::Percent);
+                pos += 1;
+            }
+            b'=' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    push!(TokenKind::Eq);
+                    pos += 2;
+                } else {
+                    push!(TokenKind::Assign);
+                    pos += 1;
+                }
+            }
+            b'<' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    push!(TokenKind::Le);
+                    pos += 2;
+                } else {
+                    push!(TokenKind::Lt);
+                    pos += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    push!(TokenKind::Ge);
+                    pos += 2;
+                } else {
+                    push!(TokenKind::Gt);
+                    pos += 1;
+                }
+            }
+            b':' => {
+                if bytes.get(pos + 1) == Some(&b':') {
+                    push!(TokenKind::DoubleColon);
+                    pos += 2;
+                } else {
+                    push!(TokenKind::Colon);
+                    pos += 1;
+                }
+            }
+            b'.' => {
+                // Dot-operator (.and., .lt., .true., ...) or a real literal
+                // like `.5`.
+                if bytes.get(pos + 1).is_some_and(u8::is_ascii_digit) {
+                    let (tok, next) = lex_number(bytes, pos, line)?;
+                    push!(tok);
+                    pos = next;
+                } else {
+                    let end = bytes[pos + 1..]
+                        .iter()
+                        .position(|&b| b == b'.')
+                        .map(|i| pos + 1 + i)
+                        .ok_or_else(|| err(line, "unterminated dot-operator"))?;
+                    let word = source[pos + 1..end].to_ascii_lowercase();
+                    let kind = match word.as_str() {
+                        "and" => TokenKind::And,
+                        "or" => TokenKind::Or,
+                        "not" => TokenKind::Not,
+                        "true" => TokenKind::Logical(true),
+                        "false" => TokenKind::Logical(false),
+                        "eq" => TokenKind::Eq,
+                        "ne" => TokenKind::Ne,
+                        "lt" => TokenKind::Lt,
+                        "le" => TokenKind::Le,
+                        "gt" => TokenKind::Gt,
+                        "ge" => TokenKind::Ge,
+                        other => return Err(err(line, format!("unknown operator .{other}."))),
+                    };
+                    push!(kind);
+                    pos = end + 1;
+                }
+            }
+            b'0'..=b'9' => {
+                let (tok, next) = lex_number(bytes, pos, line)?;
+                push!(tok);
+                pos = next;
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = pos;
+                while pos < bytes.len()
+                    && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_')
+                {
+                    pos += 1;
+                }
+                let word = source[start..pos].to_ascii_lowercase();
+                push!(TokenKind::Ident(word));
+            }
+            other => {
+                return Err(err(line, format!("unexpected character '{}'", other as char)));
+            }
+        }
+    }
+    if !matches!(tokens.last().map(|t| &t.kind), None | Some(TokenKind::Eos)) {
+        tokens.push(Token { kind: TokenKind::Eos, line });
+    }
+    tokens.push(Token { kind: TokenKind::Eof, line });
+    Ok(tokens)
+}
+
+/// Lex a numeric literal starting at `pos`. Handles Fortran double-precision
+/// exponents (`1.5d-3`), kind suffixes (`1.0_8`) and plain integers.
+fn lex_number(bytes: &[u8], mut pos: usize, line: u32) -> Result<(TokenKind, usize)> {
+    let start = pos;
+    let mut is_real = false;
+    while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+        pos += 1;
+    }
+    if pos < bytes.len() && bytes[pos] == b'.' {
+        // Not a dot-operator: only a real fraction if followed by digit,
+        // exponent letter, end, or non-alphabetic. `1.and.` must stay int.
+        let next = bytes.get(pos + 1);
+        let looks_like_op = next.is_some_and(|&n| n.is_ascii_alphabetic())
+            && !matches!(next, Some(b'd' | b'D' | b'e' | b'E'));
+        if !looks_like_op {
+            is_real = true;
+            pos += 1;
+            while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+                pos += 1;
+            }
+        }
+    }
+    if pos < bytes.len() && matches!(bytes[pos], b'd' | b'D' | b'e' | b'E') {
+        let mut p = pos + 1;
+        if p < bytes.len() && matches!(bytes[p], b'+' | b'-') {
+            p += 1;
+        }
+        if p < bytes.len() && bytes[p].is_ascii_digit() {
+            is_real = true;
+            pos = p;
+            while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+                pos += 1;
+            }
+        }
+    }
+    let mut text: String = std::str::from_utf8(&bytes[start..pos]).unwrap().to_string();
+    // Kind suffix `_8` — consume and ignore.
+    if pos < bytes.len() && bytes[pos] == b'_' {
+        let mut p = pos + 1;
+        while p < bytes.len() && (bytes[p].is_ascii_alphanumeric()) {
+            p += 1;
+        }
+        pos = p;
+    }
+    if is_real {
+        // Fortran `d` exponent → `e` for Rust parsing.
+        text = text.replace(['d', 'D'], "e");
+        let v: f64 = text
+            .parse()
+            .map_err(|_| err(line, format!("bad real literal '{text}'")))?;
+        Ok((TokenKind::Real(v), pos))
+    } else {
+        let v: i64 = text
+            .parse()
+            .map_err(|_| err(line, format!("bad integer literal '{text}'")))?;
+        Ok((TokenKind::Int(v), pos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents_lowercased() {
+        let ks = kinds("PROGRAM Test");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("program".into()),
+                TokenKind::Ident("test".into()),
+                TokenKind::Eos,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42")[0], TokenKind::Int(42));
+        assert_eq!(kinds("2.5")[0], TokenKind::Real(2.5));
+        assert_eq!(kinds("1.d0")[0], TokenKind::Real(1.0));
+        assert_eq!(kinds("2.5e-1")[0], TokenKind::Real(0.25));
+        assert_eq!(kinds("1.0_8")[0], TokenKind::Real(1.0));
+        assert_eq!(kinds("1d3")[0], TokenKind::Real(1000.0));
+    }
+
+    #[test]
+    fn operators() {
+        let ks = kinds("a = b ** 2 + c / d");
+        assert!(ks.contains(&TokenKind::Assign));
+        assert!(ks.contains(&TokenKind::Pow));
+        assert!(ks.contains(&TokenKind::Slash));
+        let ks = kinds("a <= b .and. c /= d");
+        assert!(ks.contains(&TokenKind::Le));
+        assert!(ks.contains(&TokenKind::And));
+        assert!(ks.contains(&TokenKind::Ne));
+    }
+
+    #[test]
+    fn dot_operators_and_logicals() {
+        let ks = kinds("x .lt. y .or. .true.");
+        assert_eq!(ks[1], TokenKind::Lt);
+        assert_eq!(ks[3], TokenKind::Or);
+        assert_eq!(ks[4], TokenKind::Logical(true));
+    }
+
+    #[test]
+    fn comments_and_continuation() {
+        let ks = kinds("a = 1 ! comment\nb = 2");
+        // The comment disappears; two statements remain.
+        let eos_count = ks.iter().filter(|k| **k == TokenKind::Eos).count();
+        assert_eq!(eos_count, 2);
+        let ks = kinds("a = 1 + &\n    2");
+        // Continuation: one statement only.
+        let eos_count = ks.iter().filter(|k| **k == TokenKind::Eos).count();
+        assert_eq!(eos_count, 1);
+    }
+
+    #[test]
+    fn double_colon_and_dims() {
+        let ks = kinds("real(kind=8), dimension(0:n+1) :: u");
+        assert!(ks.contains(&TokenKind::DoubleColon));
+        assert!(ks.contains(&TokenKind::Colon));
+    }
+
+    #[test]
+    fn semicolon_separates_statements() {
+        let ks = kinds("a = 1; b = 2");
+        let eos_count = ks.iter().filter(|k| **k == TokenKind::Eos).count();
+        assert_eq!(eos_count, 2);
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let toks = lex("a = 1\nb = 2\nc = 3").unwrap();
+        let b_tok = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident("b".into()))
+            .unwrap();
+        assert_eq!(b_tok.line, 2);
+    }
+
+    #[test]
+    fn bad_character_is_error() {
+        assert!(lex("a = $").is_err());
+    }
+
+    #[test]
+    fn unknown_dot_operator_is_error() {
+        assert!(lex("a .bogus. b").is_err());
+    }
+}

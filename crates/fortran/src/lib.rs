@@ -1,0 +1,46 @@
+//! # fsc-fortran — a Fortran frontend lowering to the FIR dialect
+//!
+//! This crate plays the role of Flang in the paper's pipeline (Figure 1):
+//! free-form Fortran source in, a module of `fir` + `arith` + `math` IR out,
+//! structurally matching what `flang -fc1 -emit-mlir` emits for the same
+//! code — in particular the patterns the stencil-discovery pass keys on:
+//!
+//! * counted `do` loops become `fir.do_loop` whose induction variable is
+//!   stored to the loop variable's `fir.alloca` at the top of the body (as
+//!   Flang does), so array index expressions *load* the variable rather than
+//!   using the SSA iv directly;
+//! * array element accesses become explicit 1-based → 0-based index
+//!   arithmetic feeding `fir.coordinate_of`;
+//! * all scalar arithmetic uses the standard `arith`/`math` dialects.
+//!
+//! The supported subset is the one the paper's benchmarks (Gauss–Seidel and
+//! Piacsek–Williams advection) and tests use: programs and subroutines,
+//! `integer`/`real(kind=8)` scalars and arrays with explicit (possibly
+//! non-default lower bound) shapes, `parameter` constants, `allocatable`
+//! arrays with `allocate`/`deallocate`, nested `do` loops, block `if`, array
+//! and scalar assignment, intrinsic calls, and `call`.
+
+pub mod ast;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+pub mod sema;
+
+pub use ast::{Decl, Expr, ProgramUnit, SourceFile, Stmt, TypeSpec};
+pub use lexer::{lex, Token, TokenKind};
+pub use lower::lower_to_fir;
+pub use parser::parse_source;
+pub use sema::analyze;
+
+use fsc_ir::{Module, Result};
+
+/// One-call convenience: source text → analysed AST → FIR module.
+///
+/// This is "running Flang" in the reproduction: the output module is the
+/// input to the stencil discovery pass of `fsc-passes`.
+pub fn compile_to_fir(source: &str) -> Result<Module> {
+    let tokens = lex(source)?;
+    let ast = parse_source(&tokens)?;
+    let analysed = analyze(ast)?;
+    lower_to_fir(&analysed)
+}

@@ -1,0 +1,805 @@
+//! Lowering the analysed AST to the FIR dialect, reproducing Flang's
+//! structural patterns (see crate docs).
+//!
+//! Simplifications relative to full Flang, documented in DESIGN.md:
+//!
+//! * both `real(4)` and `real(8)` lower to `f64` (as if `-fdefault-real-8`);
+//! * `allocate` must appear at the top nesting level of a unit body so the
+//!   heap binding dominates all uses;
+//! * dummy arguments are passed by reference (`!fir.ref<...>`), arrays with
+//!   their full static shape.
+
+use std::collections::HashMap;
+
+use fsc_dialects::{arith, fir, func, math};
+use fsc_ir::{Attribute, BlockId, IrError, Module, OpBuilder, Result, Type, ValueId};
+
+use crate::ast::*;
+use crate::sema::{expr_type, Analyzed, SymbolKind, UnitInfo, INTRINSICS};
+
+fn err(msg: impl std::fmt::Display) -> IrError {
+    IrError::new(format!("lowering error: {msg}"))
+}
+
+/// Attribute on alloca/allocmem ops holding the Fortran lower bounds.
+pub const LBOUNDS_ATTR: &str = "fortran_lbounds";
+/// Attribute marking the main program's function.
+pub const PROGRAM_ATTR: &str = "fortran_program";
+
+/// Lower an analysed source file to a FIR module.
+pub fn lower_to_fir(analyzed: &Analyzed) -> Result<Module> {
+    let mut module = Module::new();
+    for (unit, info) in analyzed.file.units.iter().zip(&analyzed.units) {
+        lower_unit(&mut module, unit, info)?;
+    }
+    Ok(module)
+}
+
+/// Map a Fortran scalar type to an IR type.
+fn scalar_type(ty: TypeSpec) -> Type {
+    match ty {
+        TypeSpec::Integer => Type::i32(),
+        TypeSpec::Real { .. } => Type::f64(),
+        TypeSpec::Logical => Type::bool(),
+    }
+}
+
+struct Lowerer<'a> {
+    module: &'a mut Module,
+    info: &'a UnitInfo,
+    /// Variable name → reference value (alloca result / heap / dummy arg).
+    bindings: HashMap<String, ValueId>,
+    /// Fortran lower bounds per array name (for index rebasing).
+    lbounds: HashMap<String, Vec<i64>>,
+    /// Allocation sites consumed in order (from sema).
+    next_allocation: usize,
+}
+
+fn lower_unit(module: &mut Module, unit: &ProgramUnit, info: &UnitInfo) -> Result<()> {
+    // Build the function signature from dummy arguments.
+    let mut arg_types = Vec::new();
+    for arg in &unit.args {
+        let sym = &info.symbols[arg];
+        let ty = match &sym.kind {
+            SymbolKind::Scalar => Type::fir_ref(scalar_type(sym.ty)),
+            SymbolKind::Array { extents, .. } => {
+                Type::fir_ref(Type::fir_array(extents.clone(), scalar_type(sym.ty)))
+            }
+            SymbolKind::AllocArray { .. } => {
+                return Err(err(format!("allocatable dummy argument '{arg}' unsupported")));
+            }
+            SymbolKind::Param(_) => unreachable!("sema rejects parameter dummies"),
+        };
+        arg_types.push(ty);
+    }
+    let (f, entry) = func::build_func(module, &unit.name, arg_types, vec![]);
+    if unit.kind == UnitKind::Program {
+        module.op_mut(f.0).attrs.insert(PROGRAM_ATTR.into(), Attribute::Unit);
+    }
+    // Terminator first; everything else inserts before it.
+    {
+        let mut b = OpBuilder::at_end(module, entry);
+        func::build_return(&mut b, vec![]);
+    }
+
+    let mut lw = Lowerer {
+        module,
+        info,
+        bindings: HashMap::new(),
+        lbounds: HashMap::new(),
+        next_allocation: 0,
+    };
+
+    // Bind dummy arguments.
+    let args = f.arguments(lw.module);
+    for (name, value) in unit.args.iter().zip(args) {
+        lw.bindings.insert(name.clone(), value);
+        if let SymbolKind::Array { lbounds, .. } = &info.symbols[name].kind {
+            lw.lbounds.insert(name.clone(), lbounds.clone());
+        }
+    }
+
+    // Allocate locals.
+    for (name, sym) in &info.symbols {
+        if sym.is_dummy || matches!(sym.kind, SymbolKind::Param(_)) {
+            continue;
+        }
+        match &sym.kind {
+            SymbolKind::Scalar => {
+                let mut b = lw.cursor(entry);
+                let r = fir::alloca(&mut b, name, scalar_type(sym.ty));
+                lw.bindings.insert(name.clone(), r);
+            }
+            SymbolKind::Array { lbounds, extents } => {
+                let arr_ty = Type::fir_array(extents.clone(), scalar_type(sym.ty));
+                let mut b = lw.cursor(entry);
+                let r = fir::alloca(&mut b, name, arr_ty);
+                let op = lw.module.defining_op(r).unwrap();
+                lw.module
+                    .op_mut(op)
+                    .attrs
+                    .insert(LBOUNDS_ATTR.into(), Attribute::IndexList(lbounds.clone()));
+                lw.bindings.insert(name.clone(), r);
+                lw.lbounds.insert(name.clone(), lbounds.clone());
+            }
+            SymbolKind::AllocArray { .. } => {
+                // Bound at the allocate statement.
+            }
+            SymbolKind::Param(_) => {}
+        }
+    }
+
+    lw.lower_stmts(entry, &unit.body)?;
+    Ok(())
+}
+
+impl<'a> Lowerer<'a> {
+    /// Builder inserting before the block's terminator.
+    fn cursor(&mut self, block: BlockId) -> OpBuilder<'_> {
+        let term = self
+            .module
+            .block_terminator(block)
+            .expect("lowering blocks always carry a terminator");
+        OpBuilder::before(self.module, term)
+    }
+
+    fn binding(&self, name: &str) -> Result<ValueId> {
+        self.bindings
+            .get(name)
+            .copied()
+            .ok_or_else(|| err(format!("'{name}' has no storage binding (allocate it first?)")))
+    }
+
+    fn lower_stmts(&mut self, block: BlockId, stmts: &[Stmt]) -> Result<()> {
+        for stmt in stmts {
+            self.lower_stmt(block, stmt)?;
+        }
+        Ok(())
+    }
+
+    fn lower_stmt(&mut self, block: BlockId, stmt: &Stmt) -> Result<()> {
+        match stmt {
+            Stmt::Assign { target, value } => self.lower_assign(block, target, value),
+            Stmt::Do { var, lb, ub, step, body } => {
+                self.lower_do(block, var, lb, ub, step.as_ref(), body)
+            }
+            Stmt::If { cond, then_body, else_body } => {
+                let cond_v = self.lower_expr_as(block, cond, TypeSpec::Logical)?;
+                let if_op = {
+                    let mut b = self.cursor(block);
+                    fir::build_if(&mut b, cond_v)
+                };
+                let then_b = if_op.then_block(self.module);
+                self.lower_stmts(then_b, then_body)?;
+                let else_b = if_op.else_block(self.module);
+                self.lower_stmts(else_b, else_body)?;
+                Ok(())
+            }
+            Stmt::Call { name, args } => self.lower_call(block, name, args),
+            Stmt::Allocate { items } => {
+                for (name, _) in items {
+                    let (alloc_name, bounds) = self
+                        .info
+                        .allocations
+                        .get(self.next_allocation)
+                        .cloned()
+                        .ok_or_else(|| err("allocate out of sync with analysis"))?;
+                    self.next_allocation += 1;
+                    debug_assert_eq!(&alloc_name, name);
+                    let sym = &self.info.symbols[name];
+                    let extents: Vec<i64> = bounds.iter().map(|&(_, e)| e).collect();
+                    let lbs: Vec<i64> = bounds.iter().map(|&(l, _)| l).collect();
+                    let arr_ty = Type::fir_array(extents, scalar_type(sym.ty));
+                    let mut b = self.cursor(block);
+                    let r = fir::allocmem(&mut b, name, arr_ty);
+                    let op = self.module.defining_op(r).unwrap();
+                    self.module
+                        .op_mut(op)
+                        .attrs
+                        .insert(LBOUNDS_ATTR.into(), Attribute::IndexList(lbs.clone()));
+                    self.bindings.insert(name.clone(), r);
+                    self.lbounds.insert(name.clone(), lbs);
+                }
+                Ok(())
+            }
+            Stmt::Deallocate { names } => {
+                for name in names {
+                    let heap = self.binding(name)?;
+                    let mut b = self.cursor(block);
+                    fir::freemem(&mut b, heap);
+                    self.bindings.remove(name);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn lower_assign(&mut self, block: BlockId, target: &LValue, value: &Expr) -> Result<()> {
+        match target {
+            LValue::Var(name) => {
+                let sym_ty = self.info.symbols[name].ty;
+                let v = self.lower_expr_as(block, value, sym_ty)?;
+                let dest = self.binding(name)?;
+                let mut b = self.cursor(block);
+                fir::store(&mut b, v, dest);
+                Ok(())
+            }
+            LValue::Element { name, indices } => {
+                let sym_ty = self.info.symbols[name].ty;
+                let v = self.lower_expr_as(block, value, sym_ty)?;
+                let elem_ref = self.lower_element_ref(block, name, indices)?;
+                let mut b = self.cursor(block);
+                fir::store(&mut b, v, elem_ref);
+                Ok(())
+            }
+        }
+    }
+
+    /// Compute the `!fir.ref<elem>` of `name(indices...)`: per dimension,
+    /// evaluate the i32 index expression, widen to i64, subtract the declared
+    /// lower bound, and convert to `index` — exactly Flang's addressing
+    /// pattern that the discovery pass later walks backwards.
+    fn lower_element_ref(
+        &mut self,
+        block: BlockId,
+        name: &str,
+        indices: &[Expr],
+    ) -> Result<ValueId> {
+        let array_ref = self.binding(name)?;
+        let lbounds = self
+            .lbounds
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| vec![1; indices.len()]);
+        let mut zero_based = Vec::with_capacity(indices.len());
+        for (idx_expr, &lb) in indices.iter().zip(&lbounds) {
+            let i32_v = self.lower_expr_as(block, idx_expr, TypeSpec::Integer)?;
+            let mut b = self.cursor(block);
+            let wide = fir::convert(&mut b, i32_v, Type::i64());
+            let lb_c = arith::const_int(&mut b, lb, Type::i64());
+            let rebased = arith::subi(&mut b, wide, lb_c);
+            let as_index = fir::convert(&mut b, rebased, Type::Index);
+            zero_based.push(as_index);
+        }
+        let mut b = self.cursor(block);
+        Ok(fir::coordinate_of(&mut b, array_ref, zero_based))
+    }
+
+    /// Lower an expression and coerce the result to `want`.
+    fn lower_expr_as(&mut self, block: BlockId, expr: &Expr, want: TypeSpec) -> Result<ValueId> {
+        let (v, got) = self.lower_expr(block, expr)?;
+        self.coerce(block, v, got, want)
+    }
+
+    fn coerce(
+        &mut self,
+        block: BlockId,
+        v: ValueId,
+        got: TypeSpec,
+        want: TypeSpec,
+    ) -> Result<ValueId> {
+        let same = match (got, want) {
+            (TypeSpec::Integer, TypeSpec::Integer) | (TypeSpec::Logical, TypeSpec::Logical) => {
+                true
+            }
+            (TypeSpec::Real { .. }, TypeSpec::Real { .. }) => true,
+            _ => false,
+        };
+        if same {
+            return Ok(v);
+        }
+        let target = scalar_type(want);
+        let mut b = self.cursor(block);
+        Ok(fir::convert(&mut b, v, target))
+    }
+
+    fn lower_expr(&mut self, block: BlockId, expr: &Expr) -> Result<(ValueId, TypeSpec)> {
+        match expr {
+            Expr::Int(v) => {
+                let mut b = self.cursor(block);
+                Ok((arith::const_int(&mut b, *v, Type::i32()), TypeSpec::Integer))
+            }
+            Expr::Real(v) => {
+                let mut b = self.cursor(block);
+                Ok((arith::const_f64(&mut b, *v), TypeSpec::Real { kind: 8 }))
+            }
+            Expr::Logical(v) => {
+                let mut b = self.cursor(block);
+                Ok((
+                    arith::const_int(&mut b, *v as i64, Type::bool()),
+                    TypeSpec::Logical,
+                ))
+            }
+            Expr::Var(name) => {
+                let sym = &self.info.symbols[name];
+                if let SymbolKind::Param(c) = sym.kind {
+                    let mut b = self.cursor(block);
+                    return Ok(match c {
+                        crate::sema::Const::Int(v) => {
+                            (arith::const_int(&mut b, v, Type::i32()), TypeSpec::Integer)
+                        }
+                        crate::sema::Const::Real(v) => {
+                            (arith::const_f64(&mut b, v), TypeSpec::Real { kind: 8 })
+                        }
+                        crate::sema::Const::Logical(v) => (
+                            arith::const_int(&mut b, v as i64, Type::bool()),
+                            TypeSpec::Logical,
+                        ),
+                    });
+                }
+                let r = self.binding(name)?;
+                let mut b = self.cursor(block);
+                Ok((fir::load(&mut b, r), sym.ty))
+            }
+            Expr::Index { name, indices } => {
+                if INTRINSICS.contains(&name.as_str()) {
+                    return self.lower_intrinsic(block, name, indices);
+                }
+                let sym_ty = self.info.symbols[name].ty;
+                let elem_ref = self.lower_element_ref(block, name, indices)?;
+                let mut b = self.cursor(block);
+                Ok((fir::load(&mut b, elem_ref), sym_ty))
+            }
+            Expr::Un { op: UnOp::Neg, operand } => {
+                let (v, ty) = self.lower_expr(block, operand)?;
+                let mut b = self.cursor(block);
+                match ty {
+                    TypeSpec::Real { .. } => Ok((arith::negf(&mut b, v), ty)),
+                    TypeSpec::Integer => {
+                        let zero = arith::const_int(&mut b, 0, Type::i32());
+                        Ok((arith::subi(&mut b, zero, v), ty))
+                    }
+                    TypeSpec::Logical => Err(err("cannot negate a logical")),
+                }
+            }
+            Expr::Un { op: UnOp::Not, operand } => {
+                let v = self.lower_expr_as(block, operand, TypeSpec::Logical)?;
+                let mut b = self.cursor(block);
+                let one = arith::const_int(&mut b, 1, Type::bool());
+                Ok((arith::binary(&mut b, "arith.xori", v, one), TypeSpec::Logical))
+            }
+            Expr::Bin { op, lhs, rhs } => self.lower_binop(block, *op, lhs, rhs),
+        }
+    }
+
+    fn lower_binop(
+        &mut self,
+        block: BlockId,
+        op: BinOp,
+        lhs: &Expr,
+        rhs: &Expr,
+    ) -> Result<(ValueId, TypeSpec)> {
+        use BinOp::*;
+        // Special-case small constant integer powers: Flang unrolls these to
+        // multiplies, which also keeps stencil bodies free of math calls.
+        if op == Pow {
+            if let Expr::Int(k) = rhs {
+                if (1..=4).contains(k) {
+                    let (base, bty) = self.lower_expr(block, lhs)?;
+                    if matches!(bty, TypeSpec::Real { .. }) {
+                        let mut acc = base;
+                        let mut b = self.cursor(block);
+                        for _ in 1..*k {
+                            acc = arith::mulf(&mut b, acc, base);
+                        }
+                        return Ok((acc, bty));
+                    }
+                }
+            }
+            let l = self.lower_expr_as(block, lhs, TypeSpec::Real { kind: 8 })?;
+            let r = self.lower_expr_as(block, rhs, TypeSpec::Real { kind: 8 })?;
+            let mut b = self.cursor(block);
+            return Ok((math::powf(&mut b, l, r), TypeSpec::Real { kind: 8 }));
+        }
+
+        if matches!(op, And | Or) {
+            let l = self.lower_expr_as(block, lhs, TypeSpec::Logical)?;
+            let r = self.lower_expr_as(block, rhs, TypeSpec::Logical)?;
+            let name = if op == And { "arith.andi" } else { "arith.ori" };
+            let mut b = self.cursor(block);
+            return Ok((arith::binary(&mut b, name, l, r), TypeSpec::Logical));
+        }
+
+        let lt = expr_type(lhs, self.info)?;
+        let rt = expr_type(rhs, self.info)?;
+        let operand_ty =
+            if matches!(lt, TypeSpec::Real { .. }) || matches!(rt, TypeSpec::Real { .. }) {
+                TypeSpec::Real { kind: 8 }
+            } else {
+                TypeSpec::Integer
+            };
+        let l = self.lower_expr_as(block, lhs, operand_ty)?;
+        let r = self.lower_expr_as(block, rhs, operand_ty)?;
+        let is_real = matches!(operand_ty, TypeSpec::Real { .. });
+
+        if matches!(op, Eq | Ne | Lt | Le | Gt | Ge) {
+            let pred = match op {
+                Eq => arith::CmpPredicate::Eq,
+                Ne => arith::CmpPredicate::Ne,
+                Lt => arith::CmpPredicate::Lt,
+                Le => arith::CmpPredicate::Le,
+                Gt => arith::CmpPredicate::Gt,
+                _ => arith::CmpPredicate::Ge,
+            };
+            let mut b = self.cursor(block);
+            let v = if is_real {
+                arith::cmpf(&mut b, pred, l, r)
+            } else {
+                arith::cmpi(&mut b, pred, l, r)
+            };
+            return Ok((v, TypeSpec::Logical));
+        }
+
+        let name = match (op, is_real) {
+            (Add, true) => "arith.addf",
+            (Sub, true) => "arith.subf",
+            (Mul, true) => "arith.mulf",
+            (Div, true) => "arith.divf",
+            (Add, false) => "arith.addi",
+            (Sub, false) => "arith.subi",
+            (Mul, false) => "arith.muli",
+            (Div, false) => "arith.divsi",
+            _ => unreachable!("handled above"),
+        };
+        let mut b = self.cursor(block);
+        Ok((arith::binary(&mut b, name, l, r), operand_ty))
+    }
+
+    fn lower_intrinsic(
+        &mut self,
+        block: BlockId,
+        name: &str,
+        args: &[Expr],
+    ) -> Result<(ValueId, TypeSpec)> {
+        let real8 = TypeSpec::Real { kind: 8 };
+        match name {
+            "sqrt" | "exp" | "log" | "sin" | "cos" | "tanh" => {
+                let v = self.lower_expr_as(block, &args[0], real8)?;
+                let mut b = self.cursor(block);
+                let op_name = math::intrinsic_to_op(name).unwrap();
+                Ok((math::unary(&mut b, op_name, v), real8))
+            }
+            "abs" => {
+                let (v, ty) = self.lower_expr(block, &args[0])?;
+                if matches!(ty, TypeSpec::Real { .. }) {
+                    let mut b = self.cursor(block);
+                    Ok((math::unary(&mut b, "math.absf", v), ty))
+                } else {
+                    // |i| = select(i < 0, -i, i)
+                    let mut b = self.cursor(block);
+                    let zero = arith::const_int(&mut b, 0, Type::i32());
+                    let neg = arith::subi(&mut b, zero, v);
+                    let is_neg = arith::cmpi(&mut b, arith::CmpPredicate::Lt, v, zero);
+                    Ok((arith::select(&mut b, is_neg, neg, v), ty))
+                }
+            }
+            "atan2" => {
+                let x = self.lower_expr_as(block, &args[0], real8)?;
+                let y = self.lower_expr_as(block, &args[1], real8)?;
+                let mut b = self.cursor(block);
+                Ok((math::binary(&mut b, "math.atan2", x, y), real8))
+            }
+            "min" | "max" => {
+                let ty = expr_type(&args[0], self.info)?;
+                let is_real = matches!(ty, TypeSpec::Real { .. });
+                let want = if is_real { real8 } else { TypeSpec::Integer };
+                let mut acc = self.lower_expr_as(block, &args[0], want)?;
+                for a in &args[1..] {
+                    let v = self.lower_expr_as(block, a, want)?;
+                    let mut b = self.cursor(block);
+                    acc = if is_real {
+                        let op = if name == "min" { "arith.minf" } else { "arith.maxf" };
+                        arith::binary(&mut b, op, acc, v)
+                    } else {
+                        let pred = if name == "min" {
+                            arith::CmpPredicate::Lt
+                        } else {
+                            arith::CmpPredicate::Gt
+                        };
+                        let c = arith::cmpi(&mut b, pred, acc, v);
+                        arith::select(&mut b, c, acc, v)
+                    };
+                }
+                Ok((acc, want))
+            }
+            "mod" => {
+                let l = self.lower_expr_as(block, &args[0], TypeSpec::Integer)?;
+                let r = self.lower_expr_as(block, &args[1], TypeSpec::Integer)?;
+                let mut b = self.cursor(block);
+                Ok((arith::binary(&mut b, "arith.remsi", l, r), TypeSpec::Integer))
+            }
+            "dble" | "real" => {
+                let v = self.lower_expr_as(block, &args[0], real8)?;
+                Ok((v, real8))
+            }
+            "int" => {
+                let v = self.lower_expr_as(block, &args[0], TypeSpec::Integer)?;
+                Ok((v, TypeSpec::Integer))
+            }
+            other => Err(err(format!("intrinsic '{other}' not supported"))),
+        }
+    }
+
+    fn lower_do(
+        &mut self,
+        block: BlockId,
+        var: &str,
+        lb: &Expr,
+        ub: &Expr,
+        step: Option<&Expr>,
+        body: &[Stmt],
+    ) -> Result<()> {
+        let lb_i32 = self.lower_expr_as(block, lb, TypeSpec::Integer)?;
+        let ub_i32 = self.lower_expr_as(block, ub, TypeSpec::Integer)?;
+        let step_i32 = match step {
+            Some(s) => self.lower_expr_as(block, s, TypeSpec::Integer)?,
+            None => {
+                let mut b = self.cursor(block);
+                arith::const_int(&mut b, 1, Type::i32())
+            }
+        };
+        let var_ref = self.binding(var)?;
+        let loop_op = {
+            let mut b = self.cursor(block);
+            let lb_idx = fir::convert(&mut b, lb_i32, Type::Index);
+            let ub_idx = fir::convert(&mut b, ub_i32, Type::Index);
+            let step_idx = fir::convert(&mut b, step_i32, Type::Index);
+            fir::build_do_loop(&mut b, lb_idx, ub_idx, step_idx)
+        };
+        // Flang stores the iv into the loop variable's alloca at the top of
+        // the body; all uses in the body then *load* the variable.
+        let body_block = loop_op.body(self.module);
+        let iv = loop_op.iv(self.module);
+        {
+            let mut b = self.cursor(body_block);
+            let iv_i32 = fir::convert(&mut b, iv, Type::i32());
+            fir::store(&mut b, iv_i32, var_ref);
+        }
+        self.lower_stmts(body_block, body)
+    }
+
+    fn lower_call(&mut self, block: BlockId, name: &str, args: &[Expr]) -> Result<()> {
+        let mut operands = Vec::with_capacity(args.len());
+        for a in args {
+            match a {
+                // Variables and whole arrays pass their reference.
+                Expr::Var(vname) if !matches!(self.info.symbols[vname].kind, SymbolKind::Param(_)) => {
+                    operands.push(self.binding(vname)?);
+                }
+                // Everything else: evaluate into a temporary and pass its ref.
+                other => {
+                    let (v, ty) = self.lower_expr(block, other)?;
+                    let mut b = self.cursor(block);
+                    let tmp = fir::alloca(&mut b, "call_tmp", scalar_type(ty));
+                    fir::store(&mut b, v, tmp);
+                    operands.push(tmp);
+                }
+            }
+        }
+        let mut b = self.cursor(block);
+        fir::call(&mut b, name, operands, vec![]);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile_to_fir;
+    use fsc_ir::walk::collect_ops_named;
+
+    /// The paper's Listing 1.
+    const LISTING1: &str = "
+program average
+  integer, parameter :: n = 256
+  integer :: i, j
+  real(kind=8) :: data(0:n+1, 0:n+1), res(0:n+1, 0:n+1)
+  do i = 1, n
+    do j = 1, n
+      res(j, i) = 0.25 * (data(j, i-1) + data(j, i+1) + data(j-1, i) + data(j+1, i))
+    end do
+  end do
+end program average
+";
+
+    #[test]
+    fn listing1_lowers_to_nested_do_loops() {
+        let m = compile_to_fir(LISTING1).unwrap();
+        let loops = collect_ops_named(&m, fir::DO_LOOP);
+        assert_eq!(loops.len(), 2);
+        // The inner loop contains exactly one store (to res).
+        let stores = collect_ops_named(&m, fir::STORE);
+        // 2 iv stores (one per loop) + 1 array store.
+        assert_eq!(stores.len(), 3);
+        let coords = collect_ops_named(&m, fir::COORDINATE_OF);
+        // 4 reads + 1 write.
+        assert_eq!(coords.len(), 5);
+        fsc_dialects::verify::verify(&m).unwrap();
+    }
+
+    #[test]
+    fn program_attr_marks_entry() {
+        let m = compile_to_fir("program t\nend program t").unwrap();
+        let f = func::find_func(&m, "t").unwrap();
+        assert!(m.op(f.0).attr(PROGRAM_ATTR).is_some());
+    }
+
+    #[test]
+    fn array_alloca_records_lbounds() {
+        let m = compile_to_fir(
+            "program t
+real(kind=8) :: u(0:9, -1:5)
+u(0, -1) = 1.0
+end program t",
+        )
+        .unwrap();
+        let allocas = collect_ops_named(&m, fir::ALLOCA);
+        let arr = allocas
+            .iter()
+            .find(|&&op| m.op(op).attr("bindc_name").and_then(Attribute::as_str) == Some("u"))
+            .unwrap();
+        assert_eq!(
+            m.op(*arr).attr(LBOUNDS_ATTR).unwrap().as_index_list(),
+            Some(&[0, -1][..])
+        );
+        fsc_dialects::verify::verify(&m).unwrap();
+    }
+
+    #[test]
+    fn allocatable_lowers_to_allocmem_freemem() {
+        let m = compile_to_fir(
+            "program t
+integer, parameter :: n = 4
+real(kind=8), dimension(:,:), allocatable :: u
+allocate(u(0:n+1, 0:n+1))
+u(1, 1) = 2.0
+deallocate(u)
+end program t",
+        )
+        .unwrap();
+        assert_eq!(collect_ops_named(&m, fir::ALLOCMEM).len(), 1);
+        assert_eq!(collect_ops_named(&m, fir::FREEMEM).len(), 1);
+        fsc_dialects::verify::verify(&m).unwrap();
+    }
+
+    #[test]
+    fn do_loop_stores_iv_into_variable() {
+        let m = compile_to_fir(
+            "program t
+integer :: i
+real(kind=8) :: x
+do i = 1, 4
+  x = 1.0
+end do
+end program t",
+        )
+        .unwrap();
+        let loops = collect_ops_named(&m, fir::DO_LOOP);
+        assert_eq!(loops.len(), 1);
+        let lp = fir::DoLoopOp(loops[0]);
+        let body_ops = lp.body_ops(&m);
+        // First two body ops: convert iv, store to i's alloca.
+        assert_eq!(m.op(body_ops[0]).name.full(), fir::CONVERT);
+        assert_eq!(m.op(body_ops[1]).name.full(), fir::STORE);
+    }
+
+    #[test]
+    fn subroutine_args_are_references() {
+        let m = compile_to_fir(
+            "subroutine s(a, n2)
+real(kind=8), intent(inout) :: a(8)
+integer, intent(in) :: n2
+a(1) = 1.0
+end subroutine s",
+        )
+        .unwrap();
+        let f = func::find_func(&m, "s").unwrap();
+        let (ins, _) = f.signature(&m);
+        assert_eq!(ins[0], Type::fir_ref(Type::fir_array(vec![8], Type::f64())));
+        assert_eq!(ins[1], Type::fir_ref(Type::i32()));
+        fsc_dialects::verify::verify(&m).unwrap();
+    }
+
+    #[test]
+    fn call_passes_array_reference_directly() {
+        let m = compile_to_fir(
+            "subroutine s(a)
+real(kind=8), intent(inout) :: a(8)
+a(1) = 0.0
+end subroutine s
+program t
+real(kind=8) :: x(8)
+call s(x)
+end program t",
+        )
+        .unwrap();
+        let calls = collect_ops_named(&m, fir::CALL);
+        assert_eq!(calls.len(), 1);
+        let arg = m.op(calls[0]).operands[0];
+        let def = m.defining_op(arg).unwrap();
+        assert_eq!(m.op(def).name.full(), fir::ALLOCA);
+    }
+
+    #[test]
+    fn if_lowering_builds_two_regions() {
+        let m = compile_to_fir(
+            "program t
+real(kind=8) :: x
+if (x > 0.0) then
+  x = 1.0
+else
+  x = 2.0
+end if
+end program t",
+        )
+        .unwrap();
+        let ifs = collect_ops_named(&m, fir::IF);
+        assert_eq!(ifs.len(), 1);
+        assert_eq!(m.op(ifs[0]).regions.len(), 2);
+        fsc_dialects::verify::verify(&m).unwrap();
+    }
+
+    #[test]
+    fn integer_pow_unrolls_to_multiplies() {
+        let m = compile_to_fir(
+            "program t
+real(kind=8) :: x, y
+y = x ** 2
+end program t",
+        )
+        .unwrap();
+        assert!(collect_ops_named(&m, "math.powf").is_empty());
+        assert_eq!(collect_ops_named(&m, "arith.mulf").len(), 1);
+    }
+
+    #[test]
+    fn general_pow_uses_math() {
+        let m = compile_to_fir(
+            "program t
+real(kind=8) :: x, y, z
+z = x ** y
+end program t",
+        )
+        .unwrap();
+        assert_eq!(collect_ops_named(&m, "math.powf").len(), 1);
+    }
+
+    #[test]
+    fn mixed_arithmetic_inserts_converts() {
+        let m = compile_to_fir(
+            "program t
+integer :: i
+real(kind=8) :: x
+i = 3
+x = x + i
+end program t",
+        )
+        .unwrap();
+        // At least one conversion from i32 to f64.
+        let converts = collect_ops_named(&m, fir::CONVERT);
+        assert!(converts
+            .iter()
+            .any(|&c| m.value_type(m.result(c)) == &Type::f64()));
+        fsc_dialects::verify::verify(&m).unwrap();
+    }
+
+    #[test]
+    fn intrinsics_lower() {
+        let m = compile_to_fir(
+            "program t
+real(kind=8) :: x, y
+integer :: i
+y = sqrt(x) + max(x, y) + abs(x)
+i = mod(i, 3)
+y = min(x, y, 2.0)
+end program t",
+        )
+        .unwrap();
+        assert_eq!(collect_ops_named(&m, "math.sqrt").len(), 1);
+        assert_eq!(collect_ops_named(&m, "math.absf").len(), 1);
+        assert_eq!(collect_ops_named(&m, "arith.maxf").len(), 1);
+        assert_eq!(collect_ops_named(&m, "arith.remsi").len(), 1);
+        assert_eq!(collect_ops_named(&m, "arith.minf").len(), 2);
+        fsc_dialects::verify::verify(&m).unwrap();
+    }
+}

@@ -1,0 +1,787 @@
+//! Recursive-descent parser for the supported Fortran subset.
+
+use fsc_ir::{IrError, Result};
+
+use crate::ast::*;
+use crate::lexer::{Token, TokenKind};
+
+/// Parse a token stream into a [`SourceFile`].
+pub fn parse_source(tokens: &[Token]) -> Result<SourceFile> {
+    let mut p = Parser { tokens, pos: 0 };
+    let mut units = Vec::new();
+    p.skip_eos();
+    while !p.at(TokenKind::Eof) {
+        units.push(p.parse_unit()?);
+        p.skip_eos();
+    }
+    if units.is_empty() {
+        return Err(IrError::new("empty source: no program units"));
+    }
+    Ok(SourceFile { units })
+}
+
+struct Parser<'t> {
+    tokens: &'t [Token],
+    pos: usize,
+}
+
+impl<'t> Parser<'t> {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].line
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn at(&self, kind: TokenKind) -> bool {
+        *self.peek() == kind
+    }
+
+    fn err(&self, msg: impl std::fmt::Display) -> IrError {
+        IrError::new(format!("parse error at line {}: {}", self.line(), msg))
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<()> {
+        if self.eat(&kind) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {kind:?}, found {:?}", self.peek())))
+        }
+    }
+
+    /// Is the current token the given (lowercased) keyword?
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), TokenKind::Ident(s) if s == kw)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{kw}', found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.bump() {
+            TokenKind::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect_eos(&mut self) -> Result<()> {
+        if self.eat(&TokenKind::Eos) || self.at(TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected end of statement, found {:?}", self.peek())))
+        }
+    }
+
+    fn skip_eos(&mut self) {
+        while self.eat(&TokenKind::Eos) {}
+    }
+
+    // ------------------------------------------------------------- units
+
+    fn parse_unit(&mut self) -> Result<ProgramUnit> {
+        if self.eat_kw("program") {
+            let name = self.expect_ident()?;
+            self.expect_eos()?;
+            let (decls, body) = self.parse_unit_body()?;
+            self.parse_end("program", &name)?;
+            Ok(ProgramUnit { kind: UnitKind::Program, name, args: vec![], decls, body })
+        } else if self.eat_kw("subroutine") {
+            let name = self.expect_ident()?;
+            let mut args = Vec::new();
+            if self.eat(&TokenKind::LParen) {
+                if !self.eat(&TokenKind::RParen) {
+                    loop {
+                        args.push(self.expect_ident()?);
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(TokenKind::RParen)?;
+                }
+            }
+            self.expect_eos()?;
+            let (decls, body) = self.parse_unit_body()?;
+            self.parse_end("subroutine", &name)?;
+            Ok(ProgramUnit { kind: UnitKind::Subroutine, name, args, decls, body })
+        } else {
+            Err(self.err(format!(
+                "expected 'program' or 'subroutine', found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    /// `end [program|subroutine] [name]`.
+    fn parse_end(&mut self, unit_kw: &str, _name: &str) -> Result<()> {
+        self.expect_kw("end")?;
+        if self.eat_kw(unit_kw) {
+            // Optional repeat of the unit name.
+            if matches!(self.peek(), TokenKind::Ident(_)) {
+                self.bump();
+            }
+        }
+        self.expect_eos()?;
+        Ok(())
+    }
+
+    fn parse_unit_body(&mut self) -> Result<(Vec<Decl>, Vec<Stmt>)> {
+        let mut decls = Vec::new();
+        // Specification part.
+        loop {
+            self.skip_eos();
+            if self.at_kw("implicit") {
+                self.bump();
+                self.expect_kw("none")?;
+                self.expect_eos()?;
+            } else if self.at_type_spec() {
+                decls.extend(self.parse_decl_stmt()?);
+            } else {
+                break;
+            }
+        }
+        // Execution part.
+        let body = self.parse_stmts(&["end"])?;
+        Ok((decls, body))
+    }
+
+    fn at_type_spec(&self) -> bool {
+        self.at_kw("integer")
+            || self.at_kw("real")
+            || self.at_kw("logical")
+            || self.at_kw("double")
+    }
+
+    // ------------------------------------------------------- declarations
+
+    fn parse_type_spec(&mut self) -> Result<TypeSpec> {
+        if self.eat_kw("integer") {
+            // Optional kind selector, ignored (default integer).
+            if self.eat(&TokenKind::LParen) {
+                self.skip_kind_selector()?;
+            }
+            Ok(TypeSpec::Integer)
+        } else if self.eat_kw("logical") {
+            Ok(TypeSpec::Logical)
+        } else if self.eat_kw("double") {
+            self.expect_kw("precision")?;
+            Ok(TypeSpec::Real { kind: 8 })
+        } else if self.eat_kw("real") {
+            let mut kind = 4u8;
+            if self.eat(&TokenKind::LParen) {
+                kind = self.parse_kind_value()?;
+            }
+            Ok(TypeSpec::Real { kind })
+        } else {
+            Err(self.err("expected type specifier"))
+        }
+    }
+
+    /// After `(`: `kind=8)` or `8)`.
+    fn parse_kind_value(&mut self) -> Result<u8> {
+        if self.eat_kw("kind") {
+            self.expect(TokenKind::Assign)?;
+        }
+        let v = match self.bump() {
+            TokenKind::Int(v) => v as u8,
+            other => return Err(self.err(format!("expected kind value, found {other:?}"))),
+        };
+        self.expect(TokenKind::RParen)?;
+        Ok(v)
+    }
+
+    fn skip_kind_selector(&mut self) -> Result<()> {
+        let mut depth = 1;
+        while depth > 0 {
+            match self.bump() {
+                TokenKind::LParen => depth += 1,
+                TokenKind::RParen => depth -= 1,
+                TokenKind::Eof => return Err(self.err("unterminated kind selector")),
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_decl_stmt(&mut self) -> Result<Vec<Decl>> {
+        let ty = self.parse_type_spec()?;
+        let mut dims_attr: Vec<Dim> = Vec::new();
+        let mut allocatable = false;
+        let mut parameter = false;
+        let mut intent = Intent::InOut;
+        while self.eat(&TokenKind::Comma) {
+            if self.eat_kw("dimension") {
+                self.expect(TokenKind::LParen)?;
+                dims_attr = self.parse_dim_list()?;
+                self.expect(TokenKind::RParen)?;
+            } else if self.eat_kw("allocatable") {
+                allocatable = true;
+            } else if self.eat_kw("parameter") {
+                parameter = true;
+            } else if self.eat_kw("intent") {
+                self.expect(TokenKind::LParen)?;
+                intent = if self.eat_kw("in") {
+                    Intent::In
+                } else if self.eat_kw("out") {
+                    Intent::Out
+                } else if self.eat_kw("inout") {
+                    Intent::InOut
+                } else {
+                    return Err(self.err("expected in/out/inout"));
+                };
+                self.expect(TokenKind::RParen)?;
+            } else {
+                return Err(self.err(format!("unknown declaration attribute {:?}", self.peek())));
+            }
+        }
+        self.expect(TokenKind::DoubleColon)?;
+        let mut out = Vec::new();
+        loop {
+            let name = self.expect_ident()?;
+            let mut dims = dims_attr.clone();
+            if self.eat(&TokenKind::LParen) {
+                dims = self.parse_dim_list()?;
+                self.expect(TokenKind::RParen)?;
+            }
+            let init = if self.eat(&TokenKind::Assign) {
+                Some(self.parse_expr()?)
+            } else {
+                None
+            };
+            if parameter && init.is_none() {
+                return Err(self.err(format!("parameter '{name}' missing initialiser")));
+            }
+            out.push(Decl {
+                name,
+                ty,
+                dims,
+                allocatable,
+                parameter: if parameter { init } else { None },
+                intent,
+            });
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect_eos()?;
+        Ok(out)
+    }
+
+    /// Dim list items: `expr`, `lower:upper`, or `:` (deferred shape).
+    fn parse_dim_list(&mut self) -> Result<Vec<Dim>> {
+        let mut dims = Vec::new();
+        loop {
+            if self.at(TokenKind::Colon) {
+                // Deferred shape for allocatables: rank marker only.
+                self.bump();
+                dims.push(Dim { lower: Expr::Int(1), upper: Expr::Int(0) });
+            } else {
+                let first = self.parse_expr()?;
+                if self.eat(&TokenKind::Colon) {
+                    let upper = self.parse_expr()?;
+                    dims.push(Dim { lower: first, upper });
+                } else {
+                    dims.push(Dim { lower: Expr::Int(1), upper: first });
+                }
+            }
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(dims)
+    }
+
+    // -------------------------------------------------------- statements
+
+    /// Parse statements until one of `stop_kws` begins a line.
+    fn parse_stmts(&mut self, stop_kws: &[&str]) -> Result<Vec<Stmt>> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_eos();
+            if self.at(TokenKind::Eof) {
+                return Ok(out);
+            }
+            if let TokenKind::Ident(word) = self.peek() {
+                if stop_kws.contains(&word.as_str()) {
+                    return Ok(out);
+                }
+            }
+            out.push(self.parse_stmt()?);
+        }
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt> {
+        if self.eat_kw("do") {
+            return self.parse_do();
+        }
+        if self.eat_kw("if") {
+            return self.parse_if();
+        }
+        if self.eat_kw("call") {
+            let name = self.expect_ident()?;
+            let mut args = Vec::new();
+            if self.eat(&TokenKind::LParen) {
+                if !self.eat(&TokenKind::RParen) {
+                    loop {
+                        args.push(self.parse_expr()?);
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(TokenKind::RParen)?;
+                }
+            }
+            self.expect_eos()?;
+            return Ok(Stmt::Call { name, args });
+        }
+        if self.eat_kw("allocate") {
+            self.expect(TokenKind::LParen)?;
+            let mut items = Vec::new();
+            loop {
+                let name = self.expect_ident()?;
+                self.expect(TokenKind::LParen)?;
+                let dims = self.parse_dim_list()?;
+                self.expect(TokenKind::RParen)?;
+                items.push((name, dims));
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(TokenKind::RParen)?;
+            self.expect_eos()?;
+            return Ok(Stmt::Allocate { items });
+        }
+        if self.eat_kw("deallocate") {
+            self.expect(TokenKind::LParen)?;
+            let mut names = Vec::new();
+            loop {
+                names.push(self.expect_ident()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(TokenKind::RParen)?;
+            self.expect_eos()?;
+            return Ok(Stmt::Deallocate { names });
+        }
+        // Assignment.
+        let name = self.expect_ident()?;
+        let target = if self.eat(&TokenKind::LParen) {
+            let mut indices = Vec::new();
+            if !self.eat(&TokenKind::RParen) {
+                loop {
+                    indices.push(self.parse_expr()?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(TokenKind::RParen)?;
+            }
+            LValue::Element { name, indices }
+        } else {
+            LValue::Var(name)
+        };
+        self.expect(TokenKind::Assign)?;
+        let value = self.parse_expr()?;
+        self.expect_eos()?;
+        Ok(Stmt::Assign { target, value })
+    }
+
+    fn parse_do(&mut self) -> Result<Stmt> {
+        let var = self.expect_ident()?;
+        self.expect(TokenKind::Assign)?;
+        let lb = self.parse_expr()?;
+        self.expect(TokenKind::Comma)?;
+        let ub = self.parse_expr()?;
+        let step = if self.eat(&TokenKind::Comma) {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        self.expect_eos()?;
+        let body = self.parse_stmts(&["end", "enddo"])?;
+        if self.eat_kw("enddo") {
+        } else {
+            self.expect_kw("end")?;
+            self.expect_kw("do")?;
+        }
+        self.expect_eos()?;
+        Ok(Stmt::Do { var, lb, ub, step, body })
+    }
+
+    fn parse_if(&mut self) -> Result<Stmt> {
+        self.expect(TokenKind::LParen)?;
+        let cond = self.parse_expr()?;
+        self.expect(TokenKind::RParen)?;
+        if self.eat_kw("then") {
+            self.expect_eos()?;
+            let then_body = self.parse_stmts(&["end", "endif", "else"])?;
+            let mut else_body = Vec::new();
+            if self.eat_kw("else") {
+                self.expect_eos()?;
+                else_body = self.parse_stmts(&["end", "endif"])?;
+            }
+            if self.eat_kw("endif") {
+            } else {
+                self.expect_kw("end")?;
+                self.expect_kw("if")?;
+            }
+            self.expect_eos()?;
+            Ok(Stmt::If { cond, then_body, else_body })
+        } else {
+            // One-line logical IF.
+            let stmt = self.parse_stmt()?;
+            Ok(Stmt::If { cond, then_body: vec![stmt], else_body: vec![] })
+        }
+    }
+
+    // ------------------------------------------------------- expressions
+
+    fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_and()?;
+        while self.eat(&TokenKind::Or) {
+            let rhs = self.parse_and()?;
+            lhs = Expr::bin(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_not()?;
+        while self.eat(&TokenKind::And) {
+            let rhs = self.parse_not()?;
+            lhs = Expr::bin(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr> {
+        if self.eat(&TokenKind::Not) {
+            let e = self.parse_not()?;
+            Ok(Expr::un(UnOp::Not, e))
+        } else {
+            self.parse_comparison()
+        }
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr> {
+        let lhs = self.parse_addsub()?;
+        let op = match self.peek() {
+            TokenKind::Eq => BinOp::Eq,
+            TokenKind::Ne => BinOp::Ne,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.parse_addsub()?;
+        Ok(Expr::bin(op, lhs, rhs))
+    }
+
+    fn parse_addsub(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_muldiv()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.parse_muldiv()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+    }
+
+    fn parse_muldiv(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.parse_unary()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        if self.eat(&TokenKind::Minus) {
+            // Fortran: -a**b parses as -(a**b).
+            let e = self.parse_unary()?;
+            Ok(Expr::un(UnOp::Neg, e))
+        } else if self.eat(&TokenKind::Plus) {
+            self.parse_unary()
+        } else {
+            self.parse_power()
+        }
+    }
+
+    fn parse_power(&mut self) -> Result<Expr> {
+        let base = self.parse_primary()?;
+        if self.eat(&TokenKind::Pow) {
+            // Right-associative; exponent may itself be unary.
+            let exp = self.parse_unary()?;
+            Ok(Expr::bin(BinOp::Pow, base, exp))
+        } else {
+            Ok(base)
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        match self.bump() {
+            TokenKind::Int(v) => Ok(Expr::Int(v)),
+            TokenKind::Real(v) => Ok(Expr::Real(v)),
+            TokenKind::Logical(v) => Ok(Expr::Logical(v)),
+            TokenKind::LParen => {
+                let e = self.parse_expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                if self.eat(&TokenKind::LParen) {
+                    let mut indices = Vec::new();
+                    if !self.eat(&TokenKind::RParen) {
+                        loop {
+                            indices.push(self.parse_expr()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(TokenKind::RParen)?;
+                    }
+                    Ok(Expr::Index { name, indices })
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => Err(self.err(format!("unexpected token {other:?} in expression"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> SourceFile {
+        parse_source(&lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn minimal_program() {
+        let f = parse("program t\nimplicit none\nend program t\n");
+        assert_eq!(f.units.len(), 1);
+        assert_eq!(f.units[0].name, "t");
+        assert_eq!(f.units[0].kind, UnitKind::Program);
+        assert!(f.units[0].body.is_empty());
+    }
+
+    #[test]
+    fn declarations_with_attrs() {
+        let f = parse(
+            "program t
+integer, parameter :: n = 64
+real(kind=8), dimension(0:n+1, 0:n+1) :: u, u_new
+real(kind=8), dimension(:,:), allocatable :: h
+integer :: i, j
+end program t",
+        );
+        let d = &f.units[0].decls;
+        assert_eq!(d.len(), 6);
+        assert_eq!(d[0].name, "n");
+        assert!(d[0].parameter.is_some());
+        assert_eq!(d[1].name, "u");
+        assert_eq!(d[1].dims.len(), 2);
+        assert_eq!(d[1].ty, TypeSpec::Real { kind: 8 });
+        assert!(d[3].allocatable);
+        assert_eq!(d[4].ty, TypeSpec::Integer);
+    }
+
+    #[test]
+    fn nested_do_with_array_assign() {
+        let f = parse(
+            "program t
+integer :: i, j
+real(kind=8) :: data(10, 10), res(10, 10)
+do i = 2, 9
+  do j = 2, 9
+    res(j, i) = 0.25 * (data(j, i-1) + data(j, i+1) + data(j-1, i) + data(j+1, i))
+  end do
+end do
+end program t",
+        );
+        let body = &f.units[0].body;
+        assert_eq!(body.len(), 1);
+        let Stmt::Do { var, body: inner, .. } = &body[0] else {
+            panic!("expected do");
+        };
+        assert_eq!(var, "i");
+        let Stmt::Do { var: jv, body: innermost, .. } = &inner[0] else {
+            panic!("expected nested do");
+        };
+        assert_eq!(jv, "j");
+        let Stmt::Assign { target: LValue::Element { name, indices }, .. } = &innermost[0]
+        else {
+            panic!("expected array assign");
+        };
+        assert_eq!(name, "res");
+        assert_eq!(indices.len(), 2);
+    }
+
+    #[test]
+    fn do_with_step_and_enddo() {
+        let f = parse("program t\ninteger :: i\ndo i = 1, 10, 2\nenddo\nend program t");
+        let Stmt::Do { step, .. } = &f.units[0].body[0] else {
+            panic!()
+        };
+        assert_eq!(step.as_ref(), Some(&Expr::Int(2)));
+    }
+
+    #[test]
+    fn if_then_else() {
+        let f = parse(
+            "program t
+real(kind=8) :: x
+if (x > 0.0) then
+  x = 1.0
+else
+  x = -1.0
+end if
+end program t",
+        );
+        let Stmt::If { then_body, else_body, .. } = &f.units[0].body[0] else {
+            panic!()
+        };
+        assert_eq!(then_body.len(), 1);
+        assert_eq!(else_body.len(), 1);
+    }
+
+    #[test]
+    fn one_line_if() {
+        let f = parse("program t\nreal(kind=8) :: x\nif (x > 0.0) x = 0.0\nend program t");
+        let Stmt::If { then_body, else_body, .. } = &f.units[0].body[0] else {
+            panic!()
+        };
+        assert_eq!(then_body.len(), 1);
+        assert!(else_body.is_empty());
+    }
+
+    #[test]
+    fn subroutine_with_args_and_call() {
+        let f = parse(
+            "subroutine sub(a, b)
+real(kind=8), intent(in) :: a(8)
+real(kind=8), intent(out) :: b(8)
+integer :: i
+do i = 1, 8
+  b(i) = a(i)
+end do
+end subroutine sub
+
+program main
+real(kind=8) :: x(8), y(8)
+call sub(x, y)
+end program main",
+        );
+        assert_eq!(f.units.len(), 2);
+        assert_eq!(f.units[0].kind, UnitKind::Subroutine);
+        assert_eq!(f.units[0].args, vec!["a", "b"]);
+        let Stmt::Call { name, args } = &f.units[1].body[0] else {
+            panic!()
+        };
+        assert_eq!(name, "sub");
+        assert_eq!(args.len(), 2);
+    }
+
+    #[test]
+    fn allocate_deallocate() {
+        let f = parse(
+            "program t
+real(kind=8), dimension(:,:), allocatable :: u
+allocate(u(0:65, 0:65))
+deallocate(u)
+end program t",
+        );
+        let Stmt::Allocate { items } = &f.units[0].body[0] else {
+            panic!()
+        };
+        assert_eq!(items[0].0, "u");
+        assert_eq!(items[0].1.len(), 2);
+        let Stmt::Deallocate { names } = &f.units[0].body[1] else {
+            panic!()
+        };
+        assert_eq!(names, &vec!["u".to_string()]);
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let f = parse("program t\nreal(kind=8) :: x\nx = 1.0 + 2.0 * 3.0 ** 2\nend program t");
+        let Stmt::Assign { value, .. } = &f.units[0].body[0] else {
+            panic!()
+        };
+        // 1 + (2 * (3 ** 2))
+        let Expr::Bin { op: BinOp::Add, rhs, .. } = value else {
+            panic!("expected + at top, got {value:?}")
+        };
+        let Expr::Bin { op: BinOp::Mul, rhs: pow, .. } = rhs.as_ref() else {
+            panic!("expected * under +")
+        };
+        assert!(matches!(pow.as_ref(), Expr::Bin { op: BinOp::Pow, .. }));
+    }
+
+    #[test]
+    fn unary_minus_binds_looser_than_pow() {
+        let f = parse("program t\nreal(kind=8) :: x\nx = -x ** 2\nend program t");
+        let Stmt::Assign { value, .. } = &f.units[0].body[0] else {
+            panic!()
+        };
+        // -(x**2)
+        assert!(matches!(value, Expr::Un { op: UnOp::Neg, .. }));
+    }
+
+    #[test]
+    fn missing_end_is_error() {
+        let toks = lex("program t\ninteger :: i\n").unwrap();
+        assert!(parse_source(&toks).is_err());
+    }
+}

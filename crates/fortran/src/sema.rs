@@ -1,0 +1,636 @@
+//! Semantic analysis: symbol tables, constant folding of parameters and
+//! array bounds, type inference and use checking.
+
+use std::collections::BTreeMap;
+
+use fsc_ir::{IrError, Result};
+
+use crate::ast::*;
+
+/// A compile-time constant value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Const {
+    /// Integer constant.
+    Int(i64),
+    /// Real constant.
+    Real(f64),
+    /// Logical constant.
+    Logical(bool),
+}
+
+impl Const {
+    /// As integer, if this is one.
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Const::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as f64 (ints promote).
+    pub fn as_real(self) -> Option<f64> {
+        match self {
+            Const::Int(v) => Some(v as f64),
+            Const::Real(v) => Some(v),
+            Const::Logical(_) => None,
+        }
+    }
+}
+
+/// How a name is used in a unit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SymbolKind {
+    /// A scalar variable.
+    Scalar,
+    /// A statically shaped array: per-dim declared lower bounds and extents.
+    Array {
+        /// Declared lower bound of each dimension.
+        lbounds: Vec<i64>,
+        /// Extent (number of elements) of each dimension.
+        extents: Vec<i64>,
+    },
+    /// An allocatable array of known rank; bounds fixed at `allocate`.
+    AllocArray {
+        /// Declared rank.
+        rank: usize,
+    },
+    /// A named constant.
+    Param(Const),
+}
+
+/// A resolved symbol.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Symbol {
+    /// Scalar element type.
+    pub ty: TypeSpec,
+    /// Role and shape.
+    pub kind: SymbolKind,
+    /// True for dummy arguments (storage owned by the caller).
+    pub is_dummy: bool,
+    /// Declared intent (dummy arguments only).
+    pub intent: Intent,
+}
+
+/// Per-unit analysis results.
+#[derive(Debug, Clone)]
+pub struct UnitInfo {
+    /// Name → symbol.
+    pub symbols: BTreeMap<String, Symbol>,
+    /// For each `allocate` site (in statement walk order), the folded
+    /// bounds: `(array name, per-dim (lbound, extent))`.
+    pub allocations: Vec<(String, Vec<(i64, i64)>)>,
+}
+
+/// The analysed program: AST plus per-unit symbol information.
+#[derive(Debug, Clone)]
+pub struct Analyzed {
+    /// The source AST, unit order preserved.
+    pub file: SourceFile,
+    /// Analysis results, parallel to `file.units`.
+    pub units: Vec<UnitInfo>,
+}
+
+/// Names of supported intrinsic functions.
+pub const INTRINSICS: &[&str] = &[
+    "sqrt", "abs", "exp", "log", "sin", "cos", "tanh", "min", "max", "mod", "dble", "real",
+    "int", "atan2",
+];
+
+fn err(msg: impl std::fmt::Display) -> IrError {
+    IrError::new(format!("semantic error: {msg}"))
+}
+
+/// Run semantic analysis over a parsed source file.
+pub fn analyze(file: SourceFile) -> Result<Analyzed> {
+    let unit_names: Vec<String> = file.units.iter().map(|u| u.name.clone()).collect();
+    let mut units = Vec::with_capacity(file.units.len());
+    for unit in &file.units {
+        units.push(analyze_unit(unit, &unit_names)?);
+    }
+    Ok(Analyzed { file, units })
+}
+
+fn analyze_unit(unit: &ProgramUnit, unit_names: &[String]) -> Result<UnitInfo> {
+    let mut symbols: BTreeMap<String, Symbol> = BTreeMap::new();
+    let mut params: BTreeMap<String, Const> = BTreeMap::new();
+
+    for decl in &unit.decls {
+        if symbols.contains_key(&decl.name) {
+            return Err(err(format!("'{}' declared twice", decl.name)));
+        }
+        let is_dummy = unit.args.contains(&decl.name);
+        let kind = if let Some(init) = &decl.parameter {
+            if is_dummy {
+                return Err(err(format!("dummy argument '{}' cannot be a parameter", decl.name)));
+            }
+            let v = fold_const(init, &params)?;
+            params.insert(decl.name.clone(), v);
+            SymbolKind::Param(v)
+        } else if decl.allocatable {
+            if decl.dims.is_empty() {
+                return Err(err(format!("allocatable '{}' needs a deferred shape", decl.name)));
+            }
+            SymbolKind::AllocArray { rank: decl.dims.len() }
+        } else if decl.dims.is_empty() {
+            SymbolKind::Scalar
+        } else {
+            let mut lbounds = Vec::new();
+            let mut extents = Vec::new();
+            for d in &decl.dims {
+                let lo = fold_const(&d.lower, &params)?
+                    .as_int()
+                    .ok_or_else(|| err(format!("non-integer bound for '{}'", decl.name)))?;
+                let hi = fold_const(&d.upper, &params)?
+                    .as_int()
+                    .ok_or_else(|| err(format!("non-integer bound for '{}'", decl.name)))?;
+                if hi < lo {
+                    return Err(err(format!(
+                        "dimension of '{}' has upper bound {hi} < lower bound {lo}",
+                        decl.name
+                    )));
+                }
+                lbounds.push(lo);
+                extents.push(hi - lo + 1);
+            }
+            SymbolKind::Array { lbounds, extents }
+        };
+        symbols.insert(
+            decl.name.clone(),
+            Symbol { ty: decl.ty, kind, is_dummy, intent: decl.intent },
+        );
+    }
+
+    // Every dummy argument must be declared.
+    for arg in &unit.args {
+        if !symbols.contains_key(arg) {
+            return Err(err(format!("dummy argument '{arg}' not declared")));
+        }
+    }
+
+    let mut info = UnitInfo { symbols, allocations: Vec::new() };
+    check_stmts(&unit.body, &mut info, &params, unit_names)?;
+    Ok(info)
+}
+
+fn check_stmts(
+    stmts: &[Stmt],
+    info: &mut UnitInfo,
+    params: &BTreeMap<String, Const>,
+    unit_names: &[String],
+) -> Result<()> {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Assign { target, value } => {
+                match target {
+                    LValue::Var(name) => {
+                        let sym = lookup(info, name)?;
+                        if matches!(sym.kind, SymbolKind::Param(_)) {
+                            return Err(err(format!("cannot assign to parameter '{name}'")));
+                        }
+                        if matches!(sym.kind, SymbolKind::Array { .. } | SymbolKind::AllocArray { .. })
+                        {
+                            return Err(err(format!(
+                                "whole-array assignment to '{name}' is not supported; use loops"
+                            )));
+                        }
+                    }
+                    LValue::Element { name, indices } => {
+                        let sym = lookup(info, name)?.clone();
+                        let rank = match &sym.kind {
+                            SymbolKind::Array { extents, .. } => extents.len(),
+                            SymbolKind::AllocArray { rank } => *rank,
+                            _ => {
+                                return Err(err(format!("'{name}' is not an array")));
+                            }
+                        };
+                        if indices.len() != rank {
+                            return Err(err(format!(
+                                "'{name}' has rank {rank} but {} indices given",
+                                indices.len()
+                            )));
+                        }
+                        for idx in indices {
+                            check_expr(idx, info)?;
+                        }
+                    }
+                }
+                check_expr(value, info)?;
+            }
+            Stmt::Do { var, lb, ub, step, body } => {
+                let sym = lookup(info, var)?;
+                if sym.ty != TypeSpec::Integer || !matches!(sym.kind, SymbolKind::Scalar) {
+                    return Err(err(format!("do variable '{var}' must be an integer scalar")));
+                }
+                check_expr(lb, info)?;
+                check_expr(ub, info)?;
+                if let Some(s) = step {
+                    check_expr(s, info)?;
+                }
+                check_stmts(body, info, params, unit_names)?;
+            }
+            Stmt::If { cond, then_body, else_body } => {
+                check_expr(cond, info)?;
+                check_stmts(then_body, info, params, unit_names)?;
+                check_stmts(else_body, info, params, unit_names)?;
+            }
+            Stmt::Call { name, args } => {
+                if !unit_names.contains(name) {
+                    return Err(err(format!("call to unknown subroutine '{name}'")));
+                }
+                for a in args {
+                    check_expr(a, info)?;
+                }
+            }
+            Stmt::Allocate { items } => {
+                for (name, dims) in items {
+                    let sym = lookup(info, name)?.clone();
+                    let SymbolKind::AllocArray { rank } = sym.kind else {
+                        return Err(err(format!("'{name}' is not allocatable")));
+                    };
+                    if dims.len() != rank {
+                        return Err(err(format!(
+                            "allocate('{name}') rank mismatch: {} vs declared {rank}",
+                            dims.len()
+                        )));
+                    }
+                    let mut bounds = Vec::new();
+                    for d in dims {
+                        let lo = fold_const(&d.lower, params)?
+                            .as_int()
+                            .ok_or_else(|| err("allocate bounds must fold to constants"))?;
+                        let hi = fold_const(&d.upper, params)?
+                            .as_int()
+                            .ok_or_else(|| err("allocate bounds must fold to constants"))?;
+                        if hi < lo {
+                            return Err(err(format!("allocate('{name}') empty dimension")));
+                        }
+                        bounds.push((lo, hi - lo + 1));
+                    }
+                    info.allocations.push((name.clone(), bounds));
+                }
+            }
+            Stmt::Deallocate { names } => {
+                for name in names {
+                    let sym = lookup(info, name)?;
+                    if !matches!(sym.kind, SymbolKind::AllocArray { .. }) {
+                        return Err(err(format!("deallocate of non-allocatable '{name}'")));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn lookup<'a>(info: &'a UnitInfo, name: &str) -> Result<&'a Symbol> {
+    info.symbols
+        .get(name)
+        .ok_or_else(|| err(format!("'{name}' used but not declared")))
+}
+
+fn check_expr(expr: &Expr, info: &UnitInfo) -> Result<()> {
+    match expr {
+        Expr::Int(_) | Expr::Real(_) | Expr::Logical(_) => Ok(()),
+        Expr::Var(name) => lookup(info, name).map(|_| ()),
+        Expr::Index { name, indices } => {
+            if INTRINSICS.contains(&name.as_str()) {
+                for a in indices {
+                    check_expr(a, info)?;
+                }
+                return Ok(());
+            }
+            let sym = lookup(info, name)?;
+            let rank = match &sym.kind {
+                SymbolKind::Array { extents, .. } => extents.len(),
+                SymbolKind::AllocArray { rank } => *rank,
+                _ => {
+                    return Err(err(format!("'{name}' is neither an array nor an intrinsic")));
+                }
+            };
+            if indices.len() != rank {
+                return Err(err(format!(
+                    "'{name}' has rank {rank} but {} indices given",
+                    indices.len()
+                )));
+            }
+            for idx in indices {
+                check_expr(idx, info)?;
+            }
+            Ok(())
+        }
+        Expr::Bin { lhs, rhs, .. } => {
+            check_expr(lhs, info)?;
+            check_expr(rhs, info)
+        }
+        Expr::Un { operand, .. } => check_expr(operand, info),
+    }
+}
+
+/// Fold an expression to a constant using the parameter environment.
+pub fn fold_const(expr: &Expr, params: &BTreeMap<String, Const>) -> Result<Const> {
+    Ok(match expr {
+        Expr::Int(v) => Const::Int(*v),
+        Expr::Real(v) => Const::Real(*v),
+        Expr::Logical(v) => Const::Logical(*v),
+        Expr::Var(name) => *params
+            .get(name)
+            .ok_or_else(|| err(format!("'{name}' is not a constant")))?,
+        Expr::Un { op: UnOp::Neg, operand } => match fold_const(operand, params)? {
+            Const::Int(v) => Const::Int(-v),
+            Const::Real(v) => Const::Real(-v),
+            Const::Logical(_) => return Err(err("cannot negate a logical")),
+        },
+        Expr::Un { op: UnOp::Not, operand } => match fold_const(operand, params)? {
+            Const::Logical(v) => Const::Logical(!v),
+            _ => return Err(err(".not. needs a logical")),
+        },
+        Expr::Bin { op, lhs, rhs } => {
+            let l = fold_const(lhs, params)?;
+            let r = fold_const(rhs, params)?;
+            fold_binop(*op, l, r)?
+        }
+        Expr::Index { .. } => {
+            return Err(err("array reference in constant expression"));
+        }
+    })
+}
+
+fn fold_binop(op: BinOp, l: Const, r: Const) -> Result<Const> {
+    use BinOp::*;
+    if let (Const::Int(a), Const::Int(b)) = (l, r) {
+        return Ok(match op {
+            Add => Const::Int(a + b),
+            Sub => Const::Int(a - b),
+            Mul => Const::Int(a * b),
+            Div => {
+                if b == 0 {
+                    return Err(err("division by zero in constant expression"));
+                }
+                Const::Int(a / b)
+            }
+            Pow => Const::Int(a.pow(b.try_into().map_err(|_| err("negative int exponent"))?)),
+            Eq => Const::Logical(a == b),
+            Ne => Const::Logical(a != b),
+            Lt => Const::Logical(a < b),
+            Le => Const::Logical(a <= b),
+            Gt => Const::Logical(a > b),
+            Ge => Const::Logical(a >= b),
+            And | Or => return Err(err("logical op on integers")),
+        });
+    }
+    if let (Const::Logical(a), Const::Logical(b)) = (l, r) {
+        return Ok(match op {
+            And => Const::Logical(a && b),
+            Or => Const::Logical(a || b),
+            Eq => Const::Logical(a == b),
+            Ne => Const::Logical(a != b),
+            _ => return Err(err("arithmetic on logicals")),
+        });
+    }
+    let a = l.as_real().ok_or_else(|| err("mixed logical/numeric constant expression"))?;
+    let b = r.as_real().ok_or_else(|| err("mixed logical/numeric constant expression"))?;
+    Ok(match op {
+        Add => Const::Real(a + b),
+        Sub => Const::Real(a - b),
+        Mul => Const::Real(a * b),
+        Div => Const::Real(a / b),
+        Pow => Const::Real(a.powf(b)),
+        Eq => Const::Logical(a == b),
+        Ne => Const::Logical(a != b),
+        Lt => Const::Logical(a < b),
+        Le => Const::Logical(a <= b),
+        Gt => Const::Logical(a > b),
+        Ge => Const::Logical(a >= b),
+        And | Or => return Err(err("logical op on reals")),
+    })
+}
+
+/// Infer the scalar type of an expression under a unit's symbols.
+pub fn expr_type(expr: &Expr, info: &UnitInfo) -> Result<TypeSpec> {
+    Ok(match expr {
+        Expr::Int(_) => TypeSpec::Integer,
+        Expr::Real(_) => TypeSpec::Real { kind: 8 },
+        Expr::Logical(_) => TypeSpec::Logical,
+        Expr::Var(name) => lookup(info, name)?.ty,
+        Expr::Index { name, indices } => {
+            if INTRINSICS.contains(&name.as_str()) {
+                match name.as_str() {
+                    "int" => TypeSpec::Integer,
+                    "mod" => expr_type(&indices[0], info)?,
+                    "min" | "max" | "abs" => expr_type(&indices[0], info)?,
+                    _ => TypeSpec::Real { kind: 8 },
+                }
+            } else {
+                lookup(info, name)?.ty
+            }
+        }
+        Expr::Bin { op, lhs, rhs } => match op {
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+            | BinOp::And | BinOp::Or => TypeSpec::Logical,
+            _ => {
+                let lt = expr_type(lhs, info)?;
+                let rt = expr_type(rhs, info)?;
+                if matches!(lt, TypeSpec::Real { .. }) || matches!(rt, TypeSpec::Real { .. }) {
+                    TypeSpec::Real { kind: 8 }
+                } else {
+                    TypeSpec::Integer
+                }
+            }
+        },
+        Expr::Un { op: UnOp::Not, .. } => TypeSpec::Logical,
+        Expr::Un { operand, .. } => expr_type(operand, info)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse_source;
+
+    fn analyze_src(src: &str) -> Result<Analyzed> {
+        analyze(parse_source(&lex(src).unwrap())?)
+    }
+
+    #[test]
+    fn parameters_fold_and_size_arrays() {
+        let a = analyze_src(
+            "program t
+integer, parameter :: n = 16
+real(kind=8) :: u(0:n+1, n)
+end program t",
+        )
+        .unwrap();
+        let sym = &a.units[0].symbols["u"];
+        let SymbolKind::Array { lbounds, extents } = &sym.kind else {
+            panic!()
+        };
+        assert_eq!(lbounds, &vec![0, 1]);
+        assert_eq!(extents, &vec![18, 16]);
+        assert_eq!(
+            a.units[0].symbols["n"].kind,
+            SymbolKind::Param(Const::Int(16))
+        );
+    }
+
+    #[test]
+    fn undeclared_variable_rejected() {
+        let e = analyze_src("program t\nx = 1.0\nend program t").unwrap_err();
+        assert!(e.message.contains("not declared"), "{e}");
+    }
+
+    #[test]
+    fn rank_mismatch_rejected() {
+        let e = analyze_src(
+            "program t
+real(kind=8) :: u(4, 4)
+u(1) = 0.0
+end program t",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("rank"), "{e}");
+    }
+
+    #[test]
+    fn assign_to_parameter_rejected() {
+        let e = analyze_src(
+            "program t
+integer, parameter :: n = 4
+n = 5
+end program t",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("parameter"), "{e}");
+    }
+
+    #[test]
+    fn do_variable_must_be_integer() {
+        let e = analyze_src(
+            "program t
+real(kind=8) :: x
+do x = 1, 4
+end do
+end program t",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("integer scalar"), "{e}");
+    }
+
+    #[test]
+    fn allocations_are_folded() {
+        let a = analyze_src(
+            "program t
+integer, parameter :: n = 8
+real(kind=8), dimension(:,:), allocatable :: u
+allocate(u(0:n+1, 1:n))
+deallocate(u)
+end program t",
+        )
+        .unwrap();
+        assert_eq!(
+            a.units[0].allocations,
+            vec![("u".to_string(), vec![(0, 10), (1, 8)])]
+        );
+    }
+
+    #[test]
+    fn allocate_rank_mismatch_rejected() {
+        let e = analyze_src(
+            "program t
+real(kind=8), dimension(:,:), allocatable :: u
+allocate(u(8))
+end program t",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("rank mismatch"), "{e}");
+    }
+
+    #[test]
+    fn intrinsic_calls_pass_checking() {
+        analyze_src(
+            "program t
+real(kind=8) :: x, y
+x = sqrt(y) + abs(y) + max(x, y)
+end program t",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn unknown_subroutine_rejected() {
+        let e = analyze_src("program t\ncall nosuch()\nend program t").unwrap_err();
+        assert!(e.message.contains("unknown subroutine"), "{e}");
+    }
+
+    #[test]
+    fn call_to_sibling_unit_ok() {
+        analyze_src(
+            "subroutine s(x)
+real(kind=8), intent(inout) :: x
+x = x + 1.0
+end subroutine s
+program t
+real(kind=8) :: v
+call s(v)
+end program t",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn expr_types() {
+        let a = analyze_src(
+            "program t
+integer :: i
+real(kind=8) :: x
+x = x + i
+end program t",
+        )
+        .unwrap();
+        let info = &a.units[0];
+        assert_eq!(
+            expr_type(&Expr::bin(BinOp::Add, Expr::Var("x".into()), Expr::Var("i".into())), info)
+                .unwrap(),
+            TypeSpec::Real { kind: 8 }
+        );
+        assert_eq!(
+            expr_type(&Expr::bin(BinOp::Add, Expr::Var("i".into()), Expr::Int(1)), info).unwrap(),
+            TypeSpec::Integer
+        );
+        assert_eq!(
+            expr_type(
+                &Expr::bin(BinOp::Lt, Expr::Var("i".into()), Expr::Int(1)),
+                info
+            )
+            .unwrap(),
+            TypeSpec::Logical
+        );
+    }
+
+    #[test]
+    fn negative_bounds_fold() {
+        let a = analyze_src(
+            "program t
+real(kind=8) :: u(-1:1)
+end program t",
+        )
+        .unwrap();
+        let SymbolKind::Array { lbounds, extents } = &a.units[0].symbols["u"].kind else {
+            panic!()
+        };
+        assert_eq!(lbounds, &vec![-1]);
+        assert_eq!(extents, &vec![3]);
+    }
+
+    #[test]
+    fn whole_array_assign_rejected() {
+        let e = analyze_src(
+            "program t
+real(kind=8) :: u(4)
+u = 0.0
+end program t",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("whole-array"), "{e}");
+    }
+}

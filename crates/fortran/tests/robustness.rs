@@ -1,0 +1,83 @@
+//! Frontend robustness: the lexer/parser/sema/lowering chain must never
+//! panic — malformed input produces `Err`, never a crash — and valid
+//! generated programs always compile.
+
+use fsc_fortran::compile_to_fir;
+use proptest::prelude::*;
+
+proptest! {
+    /// Arbitrary byte soup (printable ASCII) must not panic the frontend.
+    #[test]
+    fn arbitrary_text_never_panics(s in "[ -~\\n]{0,300}") {
+        let _ = compile_to_fir(&s);
+    }
+
+    /// Fortran-shaped token soup: fragments recombined at random. Most are
+    /// invalid; all must fail gracefully.
+    #[test]
+    fn fortran_shaped_soup_never_panics(
+        picks in prop::collection::vec(0usize..16, 0..40)
+    ) {
+        const FRAGMENTS: &[&str] = &[
+            "program t\n", "end program t\n", "integer :: i\n",
+            "real(kind=8) :: a(8)\n", "do i = 1, 8\n", "end do\n",
+            "a(i) = a(i-1) + 1.0\n", "if (i > 2) then\n", "end if\n",
+            "call s(a)\n", "allocate(a(4))\n", "deallocate(a)\n",
+            "x = .true. .and. y\n", "** + - ( ) , ::\n",
+            "integer, parameter :: n = 4\n", "else\n",
+        ];
+        let text: String = picks.iter().map(|&i| FRAGMENTS[i]).collect();
+        let _ = compile_to_fir(&text);
+    }
+
+    /// Structurally valid generated programs always compile and verify.
+    #[test]
+    fn generated_programs_compile(
+        n in 2usize..32,
+        lb in -2i64..2,
+        coeff in -8i32..8,
+        depth in 1usize..4,
+    ) {
+        let mut body_open = String::new();
+        let mut body_close = String::new();
+        let vars = ["i", "j", "k"];
+        let mut decl_dims = Vec::new();
+        for d in 0..depth.min(3) {
+            body_open.push_str(&format!("do {} = 1, {n}\n", vars[d]));
+            body_close.insert_str(0, "end do\n");
+            decl_dims.push(format!("{lb}:{}", n as i64 + 2));
+        }
+        let dims = decl_dims.join(", ");
+        let idx = vars[..depth.min(3)].join(", ");
+        let src = format!(
+            "program g
+  implicit none
+  integer, parameter :: n = {n}
+  integer :: i, j, k
+  real(kind=8) :: a({dims}), r({dims})
+  {body_open}r({idx}) = {coeff}.0 * a({idx})
+{body_close}end program g
+"
+        );
+        let m = compile_to_fir(&src).unwrap();
+        fsc_dialects::verify::verify(&m).unwrap();
+    }
+}
+
+#[test]
+fn helpful_errors_for_common_mistakes() {
+    let cases = [
+        ("program t\nx = 1.0\nend program t", "not declared"),
+        ("program t\ninteger :: i\ni = 1", "expected"), // missing end
+        ("program t\nreal(kind=8) :: a(2)\na(1,2) = 0.0\nend program t", "rank"),
+        ("program t\ncall nothere()\nend program t", "unknown subroutine"),
+        ("program t\ninteger, parameter :: n = 2\nn = 3\nend program t", "parameter"),
+    ];
+    for (src, needle) in cases {
+        let err = compile_to_fir(src).unwrap_err();
+        assert!(
+            err.message.contains(needle),
+            "expected '{needle}' in error for {src:?}, got: {err}"
+        );
+    }
+}

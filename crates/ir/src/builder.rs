@@ -1,0 +1,145 @@
+//! [`OpBuilder`]: ergonomic op construction at an insertion point.
+//!
+//! Dialect crates extend the builder with their own helper traits (e.g.
+//! `ArithOps::const_f64`), so this type deliberately only knows the generic
+//! create-and-insert protocol.
+
+use crate::attributes::Attribute;
+use crate::module::{BlockId, Module, OpId, OpName, ValueId};
+use crate::types::Type;
+
+/// Insertion position for newly built ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertPoint {
+    /// Append at the end of the block.
+    EndOf(BlockId),
+    /// Insert immediately before the given op.
+    Before(OpId),
+    /// Insert immediately after the given op. Consecutive inserts keep their
+    /// relative order (the anchor advances to the op just inserted).
+    After(OpId),
+}
+
+/// A builder that creates operations at a movable insertion point.
+pub struct OpBuilder<'m> {
+    module: &'m mut Module,
+    point: InsertPoint,
+}
+
+impl<'m> OpBuilder<'m> {
+    /// Builder appending at the end of `block`.
+    pub fn at_end(module: &'m mut Module, block: BlockId) -> Self {
+        Self { module, point: InsertPoint::EndOf(block) }
+    }
+
+    /// Builder inserting before `op`.
+    pub fn before(module: &'m mut Module, op: OpId) -> Self {
+        Self { module, point: InsertPoint::Before(op) }
+    }
+
+    /// Builder inserting after `op`.
+    pub fn after(module: &'m mut Module, op: OpId) -> Self {
+        Self { module, point: InsertPoint::After(op) }
+    }
+
+    /// Move the insertion point.
+    pub fn set_point(&mut self, point: InsertPoint) {
+        self.point = point;
+    }
+
+    /// Access the underlying module.
+    pub fn module(&mut self) -> &mut Module {
+        self.module
+    }
+
+    /// Read-only module access.
+    pub fn module_ref(&self) -> &Module {
+        self.module
+    }
+
+    /// Create an op and insert it at the current point.
+    pub fn op(
+        &mut self,
+        name: impl Into<OpName>,
+        operands: Vec<ValueId>,
+        result_types: Vec<Type>,
+        attrs: Vec<(&str, Attribute)>,
+    ) -> OpId {
+        let op = self.module.create_op(name, operands, result_types, attrs);
+        self.insert(op);
+        op
+    }
+
+    /// Create an op with a single result and return `(op, result)`.
+    pub fn op1(
+        &mut self,
+        name: impl Into<OpName>,
+        operands: Vec<ValueId>,
+        result_type: Type,
+        attrs: Vec<(&str, Attribute)>,
+    ) -> (OpId, ValueId) {
+        let op = self.op(name, operands, vec![result_type], attrs);
+        (op, self.module.result(op))
+    }
+
+    /// Insert an already-created (detached) op at the current point.
+    pub fn insert(&mut self, op: OpId) {
+        match self.point {
+            InsertPoint::EndOf(block) => self.module.append_op(block, op),
+            InsertPoint::Before(anchor) => self.module.insert_op_before(anchor, op),
+            InsertPoint::After(anchor) => {
+                self.module.insert_op_after(anchor, op);
+                self.point = InsertPoint::After(op);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_in_order_at_end() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, top);
+        let x = b.op("t.x", vec![], vec![], vec![]);
+        let y = b.op("t.y", vec![], vec![], vec![]);
+        assert_eq!(m.block_ops(top), vec![x, y]);
+    }
+
+    #[test]
+    fn builds_before_anchor() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let anchor = m.create_op("t.anchor", vec![], vec![], vec![]);
+        m.append_op(top, anchor);
+        let mut b = OpBuilder::before(&mut m, anchor);
+        let x = b.op("t.x", vec![], vec![], vec![]);
+        let y = b.op("t.y", vec![], vec![], vec![]);
+        assert_eq!(m.block_ops(top), vec![x, y, anchor]);
+    }
+
+    #[test]
+    fn builds_after_anchor_preserving_order() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let anchor = m.create_op("t.anchor", vec![], vec![], vec![]);
+        m.append_op(top, anchor);
+        let mut b = OpBuilder::after(&mut m, anchor);
+        let x = b.op("t.x", vec![], vec![], vec![]);
+        let y = b.op("t.y", vec![], vec![], vec![]);
+        assert_eq!(m.block_ops(top), vec![anchor, x, y]);
+    }
+
+    #[test]
+    fn op1_returns_result() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, top);
+        let (op, v) = b.op1("t.c", vec![], Type::f64(), vec![]);
+        assert_eq!(m.result(op), v);
+        assert_eq!(m.value_type(v), &Type::f64());
+    }
+}

@@ -1,0 +1,71 @@
+//! # fsc-ir — an arena-based SSA IR framework
+//!
+//! This crate is a from-scratch, pure-Rust substitute for the slice of
+//! MLIR/xDSL infrastructure that the SC23 paper *"Fortran performance
+//! optimisation and auto-parallelisation by leveraging MLIR-based domain
+//! specific abstractions in Flang"* depends on.
+//!
+//! The design mirrors MLIR's recursive structure:
+//!
+//! * a [`Module`] owns arenas of operations, blocks, regions and values;
+//! * an [`OpId`] refers to an operation with a dialect-qualified name
+//!   (e.g. `fir.store`, `stencil.apply`), operands, results, attributes and
+//!   nested regions;
+//! * a [`RegionId`] holds an ordered list of [`BlockId`]s, each with block
+//!   arguments and an ordered list of operations;
+//! * [`Type`]s and [`Attribute`]s are plain value-semantic enums (we trade
+//!   MLIR's uniqued contexts for simplicity — our IRs are small enough that
+//!   structural equality is cheap).
+//!
+//! On top of this sit a [`builder::OpBuilder`] for construction, a generic
+//! textual [`print`](crate::print)er and [`parse`](crate::parse)r that round-trip, a structural
+//! [`verifier`], a [`pass::PassManager`], and rewrite helpers used by the
+//! stencil discovery and lowering passes.
+//!
+//! Unlike MLIR there is no dynamic dialect loading: the dialect *semantics*
+//! (op builders, verifiers, canonicalisation patterns) live in the
+//! `fsc-dialects` and `fsc-passes` crates, while this crate stays agnostic
+//! and treats every op generically — exactly the property that lets the
+//! paper's passes mix `fir`, `stencil` and standard dialects in one module.
+
+pub mod attributes;
+pub mod builder;
+pub mod module;
+pub mod parse;
+pub mod pass;
+pub mod print;
+pub mod rewrite;
+pub mod types;
+pub mod verifier;
+pub mod walk;
+
+pub use attributes::Attribute;
+pub use builder::OpBuilder;
+pub use module::{BlockId, Module, OpId, OpName, RegionId, ValueDef, ValueId};
+pub use pass::{Pass, PassError, PassManager, PassResult};
+pub use types::Type;
+
+/// A located error produced anywhere in the compiler stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IrError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl IrError {
+    /// Create a new error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for IrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for IrError {}
+
+/// Convenience alias used across the IR crates.
+pub type Result<T> = std::result::Result<T, IrError>;

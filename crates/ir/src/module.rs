@@ -1,0 +1,637 @@
+//! The [`Module`] arena: operations, blocks, regions and SSA values.
+//!
+//! A module owns four flat arenas indexed by copyable ids. Erasure is by
+//! tombstoning (`alive = false`); iteration APIs skip dead entities. This
+//! keeps ids stable across rewrites, which matters because the paper's
+//! stencil-discovery pass gathers ids in one sweep (loops, stores, reads)
+//! and mutates the IR afterwards.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::attributes::Attribute;
+use crate::types::Type;
+
+/// Identifier of an operation inside a [`Module`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId(pub u32);
+
+/// Identifier of a basic block inside a [`Module`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+/// Identifier of a region inside a [`Module`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionId(pub u32);
+
+/// Identifier of an SSA value inside a [`Module`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValueId(pub u32);
+
+/// Fully qualified operation name such as `fir.store` or `stencil.apply`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpName(String);
+
+impl OpName {
+    /// Create an op name from its full `dialect.op` spelling.
+    pub fn new(full: impl Into<String>) -> Self {
+        Self(full.into())
+    }
+
+    /// The full `dialect.op` name.
+    pub fn full(&self) -> &str {
+        &self.0
+    }
+
+    /// The dialect prefix (`fir` in `fir.store`). Names without a dot are
+    /// treated as belonging to the `builtin` dialect.
+    pub fn dialect(&self) -> &str {
+        self.0.split_once('.').map_or("builtin", |(d, _)| d)
+    }
+
+    /// The op suffix (`store` in `fir.store`).
+    pub fn op(&self) -> &str {
+        self.0.split_once('.').map_or(self.0.as_str(), |(_, o)| o)
+    }
+}
+
+impl fmt::Display for OpName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for OpName {
+    fn from(s: &str) -> Self {
+        OpName::new(s)
+    }
+}
+
+/// Where an SSA value comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueDef {
+    /// The `index`-th result of operation `op`.
+    OpResult {
+        /// Producing operation.
+        op: OpId,
+        /// Result position.
+        index: u32,
+    },
+    /// The `index`-th argument of block `block`.
+    BlockArg {
+        /// Owning block.
+        block: BlockId,
+        /// Argument position.
+        index: u32,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct ValueData {
+    def: ValueDef,
+    ty: Type,
+}
+
+/// Payload of one operation. Exposed read-only through [`Module::op`].
+#[derive(Debug, Clone)]
+pub struct OpData {
+    /// Dialect-qualified name.
+    pub name: OpName,
+    /// SSA operands, in order.
+    pub operands: Vec<ValueId>,
+    /// SSA results, in order.
+    pub results: Vec<ValueId>,
+    /// Attribute dictionary (sorted for deterministic printing).
+    pub attrs: BTreeMap<String, Attribute>,
+    /// Nested regions, in order.
+    pub regions: Vec<RegionId>,
+    /// The block the op currently lives in, if attached.
+    pub parent: Option<BlockId>,
+    alive: bool,
+}
+
+impl OpData {
+    /// Fetch an attribute by name.
+    pub fn attr(&self, name: &str) -> Option<&Attribute> {
+        self.attrs.get(name)
+    }
+
+    /// Whether the op is still live (not erased).
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+}
+
+#[derive(Debug, Clone)]
+struct BlockData {
+    args: Vec<ValueId>,
+    ops: Vec<OpId>,
+    parent: Option<RegionId>,
+    alive: bool,
+}
+
+#[derive(Debug, Clone)]
+struct RegionData {
+    blocks: Vec<BlockId>,
+    parent: Option<OpId>,
+    alive: bool,
+}
+
+/// An IR module: the owner of all IR entities plus a distinguished top-level
+/// region (with a single entry block) that holds module-scope operations
+/// such as `func.func`.
+#[derive(Debug, Clone)]
+pub struct Module {
+    ops: Vec<OpData>,
+    blocks: Vec<BlockData>,
+    regions: Vec<RegionData>,
+    values: Vec<ValueData>,
+    /// The module-level region.
+    pub body: RegionId,
+}
+
+impl Default for Module {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Module {
+    /// Create an empty module with one top-level region containing one block.
+    pub fn new() -> Self {
+        let mut m = Module {
+            ops: Vec::new(),
+            blocks: Vec::new(),
+            regions: Vec::new(),
+            values: Vec::new(),
+            body: RegionId(0),
+        };
+        let region = m.new_region(None);
+        m.body = region;
+        m.add_block(region, &[]);
+        m
+    }
+
+    /// The single entry block of the module-level region.
+    pub fn top_block(&self) -> BlockId {
+        self.regions[self.body.0 as usize].blocks[0]
+    }
+
+    // ---------------------------------------------------------------- regions
+
+    fn new_region(&mut self, parent: Option<OpId>) -> RegionId {
+        let id = RegionId(self.regions.len() as u32);
+        self.regions.push(RegionData { blocks: Vec::new(), parent, alive: true });
+        id
+    }
+
+    /// Append a fresh (empty) region to an operation.
+    pub fn add_region(&mut self, op: OpId) -> RegionId {
+        let region = self.new_region(Some(op));
+        self.ops[op.0 as usize].regions.push(region);
+        region
+    }
+
+    /// Blocks of a region, in order, live only.
+    pub fn region_blocks(&self, region: RegionId) -> Vec<BlockId> {
+        self.regions[region.0 as usize]
+            .blocks
+            .iter()
+            .copied()
+            .filter(|b| self.blocks[b.0 as usize].alive)
+            .collect()
+    }
+
+    /// The operation owning a region (none for the module body).
+    pub fn region_parent(&self, region: RegionId) -> Option<OpId> {
+        self.regions[region.0 as usize].parent
+    }
+
+    // ----------------------------------------------------------------- blocks
+
+    /// Append a new block with the given argument types to a region.
+    pub fn add_block(&mut self, region: RegionId, arg_types: &[Type]) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(BlockData {
+            args: Vec::new(),
+            ops: Vec::new(),
+            parent: Some(region),
+            alive: true,
+        });
+        for (i, ty) in arg_types.iter().enumerate() {
+            let v = self.new_value(ValueDef::BlockArg { block: id, index: i as u32 }, ty.clone());
+            self.blocks[id.0 as usize].args.push(v);
+        }
+        self.regions[region.0 as usize].blocks.push(id);
+        id
+    }
+
+    /// Add one more argument to an existing block, returning its value.
+    pub fn add_block_arg(&mut self, block: BlockId, ty: Type) -> ValueId {
+        let index = self.blocks[block.0 as usize].args.len() as u32;
+        let v = self.new_value(ValueDef::BlockArg { block, index }, ty);
+        self.blocks[block.0 as usize].args.push(v);
+        v
+    }
+
+    /// The argument values of a block.
+    pub fn block_args(&self, block: BlockId) -> &[ValueId] {
+        &self.blocks[block.0 as usize].args
+    }
+
+    /// Live operations of a block, in order.
+    pub fn block_ops(&self, block: BlockId) -> Vec<OpId> {
+        self.blocks[block.0 as usize]
+            .ops
+            .iter()
+            .copied()
+            .filter(|o| self.ops[o.0 as usize].alive)
+            .collect()
+    }
+
+    /// The region a block belongs to.
+    pub fn block_parent(&self, block: BlockId) -> Option<RegionId> {
+        self.blocks[block.0 as usize].parent
+    }
+
+    /// The last live operation of a block (its terminator if the dialect
+    /// requires one).
+    pub fn block_terminator(&self, block: BlockId) -> Option<OpId> {
+        self.block_ops(block).last().copied()
+    }
+
+    // ----------------------------------------------------------------- values
+
+    fn new_value(&mut self, def: ValueDef, ty: Type) -> ValueId {
+        let id = ValueId(self.values.len() as u32);
+        self.values.push(ValueData { def, ty });
+        id
+    }
+
+    /// The type of a value.
+    pub fn value_type(&self, v: ValueId) -> &Type {
+        &self.values[v.0 as usize].ty
+    }
+
+    /// Overwrite the type of a value (used by type-conversion passes).
+    pub fn set_value_type(&mut self, v: ValueId, ty: Type) {
+        self.values[v.0 as usize].ty = ty;
+    }
+
+    /// Where the value is defined.
+    pub fn value_def(&self, v: ValueId) -> ValueDef {
+        self.values[v.0 as usize].def
+    }
+
+    /// The op producing this value, if it is an op result.
+    pub fn defining_op(&self, v: ValueId) -> Option<OpId> {
+        match self.value_def(v) {
+            ValueDef::OpResult { op, .. } => Some(op),
+            ValueDef::BlockArg { .. } => None,
+        }
+    }
+
+    // -------------------------------------------------------------------- ops
+
+    /// Create a detached operation. Results are created according to
+    /// `result_types`. Attach it with [`Module::append_op`] or
+    /// [`Module::insert_op_before`].
+    pub fn create_op(
+        &mut self,
+        name: impl Into<OpName>,
+        operands: Vec<ValueId>,
+        result_types: Vec<Type>,
+        attrs: Vec<(&str, Attribute)>,
+    ) -> OpId {
+        let id = OpId(self.ops.len() as u32);
+        self.ops.push(OpData {
+            name: name.into(),
+            operands,
+            results: Vec::new(),
+            attrs: attrs.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+            regions: Vec::new(),
+            parent: None,
+            alive: true,
+        });
+        for (i, ty) in result_types.into_iter().enumerate() {
+            let v = self.new_value(ValueDef::OpResult { op: id, index: i as u32 }, ty);
+            self.ops[id.0 as usize].results.push(v);
+        }
+        id
+    }
+
+    /// Append an extra result value of type `ty` to an existing op.
+    ///
+    /// Used by the textual parser, where result types are only known after
+    /// the op's regions have been parsed.
+    pub fn add_op_result(&mut self, op: OpId, ty: Type) -> ValueId {
+        let index = self.ops[op.0 as usize].results.len() as u32;
+        let v = self.new_value(ValueDef::OpResult { op, index }, ty);
+        self.ops[op.0 as usize].results.push(v);
+        v
+    }
+
+    /// Read-only access to an operation.
+    pub fn op(&self, op: OpId) -> &OpData {
+        &self.ops[op.0 as usize]
+    }
+
+    /// Mutable access to an operation's name/operands/attributes.
+    pub fn op_mut(&mut self, op: OpId) -> &mut OpData {
+        &mut self.ops[op.0 as usize]
+    }
+
+    /// Shorthand: the single result of an op (panics if not exactly one).
+    pub fn result(&self, op: OpId) -> ValueId {
+        let r = &self.ops[op.0 as usize].results;
+        assert_eq!(r.len(), 1, "op {} has {} results", self.op(op).name, r.len());
+        r[0]
+    }
+
+    /// Append an op at the end of a block.
+    pub fn append_op(&mut self, block: BlockId, op: OpId) {
+        assert!(self.ops[op.0 as usize].parent.is_none(), "op already attached");
+        self.ops[op.0 as usize].parent = Some(block);
+        self.blocks[block.0 as usize].ops.push(op);
+    }
+
+    /// Insert `new` directly before `anchor` in the anchor's block.
+    pub fn insert_op_before(&mut self, anchor: OpId, new: OpId) {
+        let block = self.ops[anchor.0 as usize].parent.expect("anchor not attached");
+        assert!(self.ops[new.0 as usize].parent.is_none(), "op already attached");
+        let ops = &mut self.blocks[block.0 as usize].ops;
+        let pos = ops.iter().position(|&o| o == anchor).expect("anchor not in block");
+        ops.insert(pos, new);
+        self.ops[new.0 as usize].parent = Some(block);
+    }
+
+    /// Insert `new` directly after `anchor` in the anchor's block.
+    pub fn insert_op_after(&mut self, anchor: OpId, new: OpId) {
+        let block = self.ops[anchor.0 as usize].parent.expect("anchor not attached");
+        assert!(self.ops[new.0 as usize].parent.is_none(), "op already attached");
+        let ops = &mut self.blocks[block.0 as usize].ops;
+        let pos = ops.iter().position(|&o| o == anchor).expect("anchor not in block");
+        ops.insert(pos + 1, new);
+        self.ops[new.0 as usize].parent = Some(block);
+    }
+
+    /// Detach an op from its block without erasing it (it can be re-attached).
+    pub fn detach_op(&mut self, op: OpId) {
+        if let Some(block) = self.ops[op.0 as usize].parent.take() {
+            self.blocks[block.0 as usize].ops.retain(|&o| o != op);
+        }
+    }
+
+    /// Erase an op and everything nested inside its regions.
+    pub fn erase_op(&mut self, op: OpId) {
+        self.detach_op(op);
+        self.ops[op.0 as usize].alive = false;
+        let regions = self.ops[op.0 as usize].regions.clone();
+        for region in regions {
+            self.erase_region_contents(region);
+            self.regions[region.0 as usize].alive = false;
+        }
+    }
+
+    fn erase_region_contents(&mut self, region: RegionId) {
+        let blocks = self.regions[region.0 as usize].blocks.clone();
+        for block in blocks {
+            let ops = self.blocks[block.0 as usize].ops.clone();
+            for op in ops {
+                if self.ops[op.0 as usize].alive {
+                    self.ops[op.0 as usize].alive = false;
+                    let rs = self.ops[op.0 as usize].regions.clone();
+                    for r in rs {
+                        self.erase_region_contents(r);
+                        self.regions[r.0 as usize].alive = false;
+                    }
+                }
+            }
+            self.blocks[block.0 as usize].alive = false;
+        }
+    }
+
+    /// Whether an op is live.
+    pub fn is_alive(&self, op: OpId) -> bool {
+        self.ops[op.0 as usize].alive
+    }
+
+    // -------------------------------------------------------------- use lists
+
+    /// All live ops (anywhere in the module) that use `value` as an operand,
+    /// together with the operand positions.
+    pub fn uses(&self, value: ValueId) -> Vec<(OpId, usize)> {
+        let mut out = Vec::new();
+        for (i, op) in self.ops.iter().enumerate() {
+            if !op.alive {
+                continue;
+            }
+            for (pos, &operand) in op.operands.iter().enumerate() {
+                if operand == value {
+                    out.push((OpId(i as u32), pos));
+                }
+            }
+        }
+        out
+    }
+
+    /// True if the value has no live uses.
+    pub fn is_unused(&self, value: ValueId) -> bool {
+        self.uses(value).is_empty()
+    }
+
+    /// Replace every use of `old` by `new` across the whole module.
+    pub fn replace_all_uses(&mut self, old: ValueId, new: ValueId) {
+        for op in self.ops.iter_mut().filter(|o| o.alive) {
+            for operand in op.operands.iter_mut() {
+                if *operand == old {
+                    *operand = new;
+                }
+            }
+        }
+    }
+
+    /// Iterate over all live ops in creation order (no structural order).
+    pub fn all_live_ops(&self) -> impl Iterator<Item = OpId> + '_ {
+        self.ops
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.alive)
+            .map(|(i, _)| OpId(i as u32))
+    }
+
+    /// Number of live operations in the module (diagnostic / test helper).
+    pub fn live_op_count(&self) -> usize {
+        self.ops.iter().filter(|o| o.alive).count()
+    }
+
+    /// Find the enclosing op of `op` (the op owning the region that owns the
+    /// block `op` lives in).
+    pub fn parent_op(&self, op: OpId) -> Option<OpId> {
+        let block = self.ops[op.0 as usize].parent?;
+        let region = self.blocks[block.0 as usize].parent?;
+        self.regions[region.0 as usize].parent
+    }
+
+    /// Walk up the parent chain collecting enclosing ops, innermost first.
+    pub fn ancestors(&self, op: OpId) -> Vec<OpId> {
+        let mut out = Vec::new();
+        let mut cur = self.parent_op(op);
+        while let Some(p) = cur {
+            out.push(p);
+            cur = self.parent_op(p);
+        }
+        out
+    }
+
+    /// Find module-level ops with the given name (e.g. all `func.func`).
+    pub fn top_level_ops_named(&self, name: &str) -> Vec<OpId> {
+        self.block_ops(self.top_block())
+            .into_iter()
+            .filter(|&o| self.op(o).name.full() == name)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_name_parts() {
+        let n = OpName::new("fir.store");
+        assert_eq!(n.dialect(), "fir");
+        assert_eq!(n.op(), "store");
+        assert_eq!(n.full(), "fir.store");
+        let m = OpName::new("module");
+        assert_eq!(m.dialect(), "builtin");
+        assert_eq!(m.op(), "module");
+    }
+
+    #[test]
+    fn create_and_attach_op() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let c = m.create_op(
+            "arith.constant",
+            vec![],
+            vec![Type::i64()],
+            vec![("value", Attribute::int(4))],
+        );
+        m.append_op(top, c);
+        assert_eq!(m.block_ops(top), vec![c]);
+        assert_eq!(m.value_type(m.result(c)), &Type::i64());
+        assert_eq!(m.defining_op(m.result(c)), Some(c));
+    }
+
+    #[test]
+    fn insert_before_and_after() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let a = m.create_op("t.a", vec![], vec![], vec![]);
+        let b = m.create_op("t.b", vec![], vec![], vec![]);
+        let c = m.create_op("t.c", vec![], vec![], vec![]);
+        m.append_op(top, b);
+        m.insert_op_before(b, a);
+        m.insert_op_after(b, c);
+        assert_eq!(m.block_ops(top), vec![a, b, c]);
+    }
+
+    #[test]
+    fn erase_recursive() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let outer = m.create_op("scf.for", vec![], vec![], vec![]);
+        m.append_op(top, outer);
+        let region = m.add_region(outer);
+        let body = m.add_block(region, &[Type::Index]);
+        let inner = m.create_op("t.inner", vec![], vec![], vec![]);
+        m.append_op(body, inner);
+        assert_eq!(m.live_op_count(), 2);
+        m.erase_op(outer);
+        assert_eq!(m.live_op_count(), 0);
+        assert!(!m.is_alive(inner));
+        assert!(m.block_ops(top).is_empty());
+    }
+
+    #[test]
+    fn replace_all_uses_and_use_lists() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let a = m.create_op("t.a", vec![], vec![Type::i64()], vec![]);
+        let b = m.create_op("t.b", vec![], vec![Type::i64()], vec![]);
+        m.append_op(top, a);
+        m.append_op(top, b);
+        let va = m.result(a);
+        let vb = m.result(b);
+        let user = m.create_op("t.use", vec![va, va], vec![], vec![]);
+        m.append_op(top, user);
+        assert_eq!(m.uses(va).len(), 2);
+        assert!(m.is_unused(vb));
+        m.replace_all_uses(va, vb);
+        assert!(m.is_unused(va));
+        assert_eq!(m.uses(vb), vec![(user, 0), (user, 1)]);
+    }
+
+    #[test]
+    fn parent_chain() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let f = m.create_op("func.func", vec![], vec![], vec![]);
+        m.append_op(top, f);
+        let region = m.add_region(f);
+        let entry = m.add_block(region, &[]);
+        let lp = m.create_op("fir.do_loop", vec![], vec![], vec![]);
+        m.append_op(entry, lp);
+        let lr = m.add_region(lp);
+        let lb = m.add_block(lr, &[Type::Index]);
+        let body_op = m.create_op("t.x", vec![], vec![], vec![]);
+        m.append_op(lb, body_op);
+        assert_eq!(m.parent_op(body_op), Some(lp));
+        assert_eq!(m.ancestors(body_op), vec![lp, f]);
+        assert_eq!(m.parent_op(f), None);
+    }
+
+    #[test]
+    fn block_args_and_terminator() {
+        let mut m = Module::new();
+        let f = m.create_op("func.func", vec![], vec![], vec![]);
+        let region = m.add_region(f);
+        let b = m.add_block(region, &[Type::Index, Type::f64()]);
+        assert_eq!(m.block_args(b).len(), 2);
+        let extra = m.add_block_arg(b, Type::i64());
+        assert_eq!(m.block_args(b).len(), 3);
+        assert_eq!(m.value_type(extra), &Type::i64());
+        assert_eq!(m.block_terminator(b), None);
+        let t = m.create_op("func.return", vec![], vec![], vec![]);
+        m.append_op(b, t);
+        assert_eq!(m.block_terminator(b), Some(t));
+    }
+
+    #[test]
+    fn detach_and_reattach() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let a = m.create_op("t.a", vec![], vec![], vec![]);
+        m.append_op(top, a);
+        m.detach_op(a);
+        assert!(m.block_ops(top).is_empty());
+        assert!(m.is_alive(a));
+        m.append_op(top, a);
+        assert_eq!(m.block_ops(top), vec![a]);
+    }
+
+    #[test]
+    fn top_level_ops_named() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        for _ in 0..3 {
+            let f = m.create_op("func.func", vec![], vec![], vec![]);
+            m.append_op(top, f);
+        }
+        let g = m.create_op("fir.global", vec![], vec![], vec![]);
+        m.append_op(top, g);
+        assert_eq!(m.top_level_ops_named("func.func").len(), 3);
+        assert_eq!(m.top_level_ops_named("fir.global").len(), 1);
+    }
+}

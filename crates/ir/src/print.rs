@@ -1,0 +1,201 @@
+//! Textual printing of IR modules in MLIR's *generic* operation form.
+//!
+//! The generic form (`"dialect.op"(%operands) ({regions}) {attrs} : type`)
+//! round-trips through [`crate::parse`], which the test suite leans on, and
+//! matches the notation used in the paper's Listing 2.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::module::{BlockId, Module, OpId, RegionId, ValueId};
+
+/// Print the whole module.
+pub fn print_module(module: &Module) -> String {
+    let mut p = Printer::new(module);
+    let mut out = String::new();
+    out.push_str("module {\n");
+    for op in module.block_ops(module.top_block()) {
+        p.print_op(&mut out, op, 1);
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Print a single op (and everything nested inside it).
+pub fn print_op(module: &Module, op: OpId) -> String {
+    let mut p = Printer::new(module);
+    let mut out = String::new();
+    p.print_op(&mut out, op, 0);
+    out
+}
+
+struct Printer<'m> {
+    module: &'m Module,
+    names: HashMap<ValueId, String>,
+    next_value: usize,
+    next_block: usize,
+}
+
+impl<'m> Printer<'m> {
+    fn new(module: &'m Module) -> Self {
+        Self { module, names: HashMap::new(), next_value: 0, next_block: 0 }
+    }
+
+    fn value_name(&mut self, v: ValueId) -> String {
+        if let Some(n) = self.names.get(&v) {
+            return n.clone();
+        }
+        let n = format!("%{}", self.next_value);
+        self.next_value += 1;
+        self.names.insert(v, n.clone());
+        n
+    }
+
+    fn print_op(&mut self, out: &mut String, op: OpId, indent: usize) {
+        let data = self.module.op(op);
+        let pad = "  ".repeat(indent);
+        out.push_str(&pad);
+        if !data.results.is_empty() {
+            let names: Vec<String> =
+                data.results.iter().map(|&r| self.value_name(r)).collect();
+            let _ = write!(out, "{} = ", names.join(", "));
+        }
+        let _ = write!(out, "\"{}\"(", data.name);
+        let operand_names: Vec<String> =
+            data.operands.iter().map(|&o| self.value_name(o)).collect();
+        out.push_str(&operand_names.join(", "));
+        out.push(')');
+
+        if !data.regions.is_empty() {
+            out.push_str(" (");
+            for (i, &region) in data.regions.clone().iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                self.print_region(out, region, indent);
+            }
+            out.push(')');
+        }
+
+        if !data.attrs.is_empty() {
+            out.push_str(" {");
+            let attrs = data.attrs.clone();
+            for (i, (k, v)) in attrs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{k} = {v}");
+            }
+            out.push('}');
+        }
+
+        // Trailing function-style type signature.
+        let operand_tys: Vec<String> = data
+            .operands
+            .iter()
+            .map(|&o| self.module.value_type(o).to_string())
+            .collect();
+        let result_tys: Vec<String> = data
+            .results
+            .iter()
+            .map(|&r| self.module.value_type(r).to_string())
+            .collect();
+        let _ = write!(
+            out,
+            " : ({}) -> ({})\n",
+            operand_tys.join(", "),
+            result_tys.join(", ")
+        );
+    }
+
+    fn print_region(&mut self, out: &mut String, region: RegionId, indent: usize) {
+        out.push_str("{\n");
+        for block in self.module.region_blocks(region) {
+            self.print_block(out, block, indent + 1);
+        }
+        out.push_str(&"  ".repeat(indent));
+        out.push('}');
+    }
+
+    fn print_block(&mut self, out: &mut String, block: BlockId, indent: usize) {
+        let args = self.module.block_args(block).to_vec();
+        let label = self.next_block;
+        self.next_block += 1;
+        let pad = "  ".repeat(indent);
+        // Always print the header: unambiguous for the parser.
+        let _ = write!(out, "{pad}^bb{label}(");
+        for (i, &arg) in args.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let name = self.value_name(arg);
+            let _ = write!(out, "{name}: {}", self.module.value_type(arg));
+        }
+        out.push_str("):\n");
+        for op in self.module.block_ops(block) {
+            self.print_op(out, op, indent + 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::Attribute;
+    use crate::types::Type;
+
+    #[test]
+    fn prints_constant_with_attr_and_type() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let c = m.create_op(
+            "arith.constant",
+            vec![],
+            vec![Type::i64()],
+            vec![("value", Attribute::int(4))],
+        );
+        m.append_op(top, c);
+        let s = print_module(&m);
+        assert!(s.contains("%0 = \"arith.constant\"() {value = 4 : i64} : () -> (i64)"), "{s}");
+    }
+
+    #[test]
+    fn prints_nested_region_with_block_args() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let lp = m.create_op("scf.for", vec![], vec![], vec![]);
+        m.append_op(top, lp);
+        let r = m.add_region(lp);
+        let b = m.add_block(r, &[Type::Index]);
+        let iv = m.block_args(b)[0];
+        let u = m.create_op("t.use", vec![iv], vec![], vec![]);
+        m.append_op(b, u);
+        let s = print_module(&m);
+        assert!(s.contains("\"scf.for\"() ({"), "{s}");
+        assert!(s.contains("^bb0(%0: index):"), "{s}");
+        assert!(s.contains("\"t.use\"(%0) : (index) -> ()"), "{s}");
+    }
+
+    #[test]
+    fn shared_values_get_one_name() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let a = m.create_op("t.a", vec![], vec![Type::f64()], vec![]);
+        m.append_op(top, a);
+        let va = m.result(a);
+        let u = m.create_op("t.u", vec![va, va], vec![], vec![]);
+        m.append_op(top, u);
+        let s = print_module(&m);
+        assert!(s.contains("\"t.u\"(%0, %0)"), "{s}");
+    }
+
+    #[test]
+    fn multiple_results_comma_separated() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let a = m.create_op("t.pair", vec![], vec![Type::f64(), Type::i64()], vec![]);
+        m.append_op(top, a);
+        let s = print_module(&m);
+        assert!(s.contains("%0, %1 = \"t.pair\"()"), "{s}");
+    }
+}

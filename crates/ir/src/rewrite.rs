@@ -1,0 +1,286 @@
+//! Rewrite utilities: cloning with value remapping, op motion, region
+//! surgery and dead-code sweeping.
+//!
+//! These are the moves the paper's transformations are built from:
+//! * stencil *discovery* moves arithmetic out of FIR loop bodies into a new
+//!   `stencil.apply` region and deletes emptied loops;
+//! * stencil *extraction* outlines a subgraph into a fresh function in a
+//!   separate module (a clone-with-remap across modules);
+//! * fusion splices one apply region into another.
+
+use std::collections::HashMap;
+
+use crate::module::{BlockId, Module, OpId, ValueId};
+
+/// A mapping from values in a source context to values in a destination
+/// context, used when cloning or outlining IR.
+pub type ValueMap = HashMap<ValueId, ValueId>;
+
+/// Clone `op` (with all nested regions) into `dest_block` of `dest`,
+/// remapping operand values through `map`. Result values of cloned ops are
+/// added to `map` so later clones see them. Returns the new op id.
+///
+/// `src` and `dest` may be the same module (pass the same module for an
+/// intra-module clone) — the implementation only reads from `src_snapshot`,
+/// a pre-cloned copy, to avoid aliasing issues.
+pub fn clone_op_into(
+    src_snapshot: &Module,
+    src_op: OpId,
+    dest: &mut Module,
+    dest_block: BlockId,
+    map: &mut ValueMap,
+) -> OpId {
+    let data = src_snapshot.op(src_op);
+    let operands: Vec<ValueId> = data
+        .operands
+        .iter()
+        .map(|v| *map.get(v).unwrap_or(v))
+        .collect();
+    let result_types: Vec<_> = data
+        .results
+        .iter()
+        .map(|&r| src_snapshot.value_type(r).clone())
+        .collect();
+    let attrs: Vec<(&str, _)> = data
+        .attrs
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.clone()))
+        .collect();
+    let name = data.name.clone();
+    let src_results = data.results.clone();
+    let src_regions = data.regions.clone();
+
+    let new_op = dest.create_op(name, operands, result_types, attrs);
+    dest.append_op(dest_block, new_op);
+    for (i, &src_r) in src_results.iter().enumerate() {
+        let dest_r = dest.op(new_op).results[i];
+        map.insert(src_r, dest_r);
+    }
+    for src_region in src_regions {
+        let dest_region = dest.add_region(new_op);
+        for src_block in src_snapshot.region_blocks(src_region) {
+            let arg_types: Vec<_> = src_snapshot
+                .block_args(src_block)
+                .iter()
+                .map(|&a| src_snapshot.value_type(a).clone())
+                .collect();
+            let dest_blk = dest.add_block(dest_region, &arg_types);
+            let src_args = src_snapshot.block_args(src_block).to_vec();
+            let dest_args = dest.block_args(dest_blk).to_vec();
+            for (sa, da) in src_args.iter().zip(dest_args.iter()) {
+                map.insert(*sa, *da);
+            }
+            for inner in src_snapshot.block_ops(src_block) {
+                clone_op_into(src_snapshot, inner, dest, dest_blk, map);
+            }
+        }
+    }
+    new_op
+}
+
+/// Move `op` (keeping its regions intact) so it becomes the last op of
+/// `dest_block` in the same module.
+pub fn move_op_to_end(module: &mut Module, op: OpId, dest_block: BlockId) {
+    module.detach_op(op);
+    module.append_op(dest_block, op);
+}
+
+/// Move `op` so it sits immediately before `anchor` in the same module.
+pub fn move_op_before(module: &mut Module, op: OpId, anchor: OpId) {
+    module.detach_op(op);
+    module.insert_op_before(anchor, op);
+}
+
+/// Replace `op` with `replacement_values` (one per result) and erase it.
+pub fn replace_op(module: &mut Module, op: OpId, replacement_values: &[ValueId]) {
+    let results = module.op(op).results.clone();
+    assert_eq!(
+        results.len(),
+        replacement_values.len(),
+        "replacement count mismatch for {}",
+        module.op(op).name
+    );
+    for (old, new) in results.iter().zip(replacement_values) {
+        module.replace_all_uses(*old, *new);
+    }
+    module.erase_op(op);
+}
+
+/// If `value`'s defining op sits after `anchor` in the same block, move it
+/// (and transitively its operand definitions) to just before `anchor`.
+/// No-op when the definition already dominates the anchor or lives in a
+/// different block.
+pub fn hoist_def_before(m: &mut Module, value: ValueId, anchor: OpId) {
+    let Some(def) = m.defining_op(value) else { return };
+    let anchor_block = m.op(anchor).parent;
+    if m.op(def).parent != anchor_block || anchor_block.is_none() {
+        return;
+    }
+    let block = anchor_block.unwrap();
+    let ops = m.block_ops(block);
+    let def_pos = ops.iter().position(|&o| o == def);
+    let anchor_pos = ops.iter().position(|&o| o == anchor);
+    if let (Some(d), Some(a)) = (def_pos, anchor_pos) {
+        if d > a {
+            for operand in m.op(def).operands.clone() {
+                hoist_def_before(m, operand, anchor);
+            }
+            move_op_before(m, def, anchor);
+        }
+    }
+}
+
+/// Names of ops that may be removed when their results are unused.
+/// Anything with memory or control side effects must not be listed here.
+pub fn is_pure(name: &str) -> bool {
+    matches!(
+        name.split_once('.').map_or("", |(d, _)| d),
+        "arith" | "math" | "index"
+    ) || matches!(
+        name,
+        "fir.convert"
+            | "fir.no_reassoc"
+            | "fir.coordinate_of"
+            | "fir.load"
+            | "stencil.access"
+            | "stencil.index"
+            | "stencil.load"
+            | "memref.load"
+    )
+}
+
+/// Sweep the module erasing pure ops whose results are all unused, repeating
+/// until a fixed point. Returns the number of erased ops.
+pub fn erase_dead_pure_ops(module: &mut Module) -> usize {
+    let mut erased = 0;
+    loop {
+        let candidates: Vec<OpId> = module
+            .all_live_ops()
+            .filter(|&op| {
+                let data = module.op(op);
+                data.parent.is_some()
+                    && is_pure(data.name.full())
+                    && !data.results.is_empty()
+                    && data.results.iter().all(|&r| module.is_unused(r))
+            })
+            .collect();
+        if candidates.is_empty() {
+            return erased;
+        }
+        for op in candidates {
+            module.erase_op(op);
+            erased += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::Attribute;
+    use crate::types::Type;
+
+    #[test]
+    fn clone_remaps_operands_and_results() {
+        let mut src = Module::new();
+        let top = src.top_block();
+        let a = src.create_op("arith.constant", vec![], vec![Type::f64()], vec![
+            ("value", Attribute::float(1.0)),
+        ]);
+        src.append_op(top, a);
+        let va = src.result(a);
+        let add = src.create_op("arith.addf", vec![va, va], vec![Type::f64()], vec![]);
+        src.append_op(top, add);
+
+        let snapshot = src.clone();
+        let mut dest = Module::new();
+        let dtop = dest.top_block();
+        let mut map = ValueMap::new();
+        let ca = clone_op_into(&snapshot, a, &mut dest, dtop, &mut map);
+        let cadd = clone_op_into(&snapshot, add, &mut dest, dtop, &mut map);
+        let cva = dest.result(ca);
+        assert_eq!(dest.op(cadd).operands, vec![cva, cva]);
+    }
+
+    #[test]
+    fn clone_carries_regions_and_block_args() {
+        let mut src = Module::new();
+        let top = src.top_block();
+        let lp = src.create_op("scf.for", vec![], vec![], vec![]);
+        src.append_op(top, lp);
+        let r = src.add_region(lp);
+        let b = src.add_block(r, &[Type::Index]);
+        let iv = src.block_args(b)[0];
+        let use_iv = src.create_op("t.use", vec![iv], vec![], vec![]);
+        src.append_op(b, use_iv);
+
+        let snapshot = src.clone();
+        let mut dest = Module::new();
+        let dtop = dest.top_block();
+        let mut map = ValueMap::new();
+        let clp = clone_op_into(&snapshot, lp, &mut dest, dtop, &mut map);
+        let dregion = dest.op(clp).regions[0];
+        let dblock = dest.region_blocks(dregion)[0];
+        let dargs = dest.block_args(dblock).to_vec();
+        assert_eq!(dargs.len(), 1);
+        let dops = dest.block_ops(dblock);
+        assert_eq!(dops.len(), 1);
+        assert_eq!(dest.op(dops[0]).operands, vec![dargs[0]]);
+    }
+
+    #[test]
+    fn replace_op_rewires_uses() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let a = m.create_op("t.a", vec![], vec![Type::i64()], vec![]);
+        let b = m.create_op("t.b", vec![], vec![Type::i64()], vec![]);
+        m.append_op(top, a);
+        m.append_op(top, b);
+        let va = m.result(a);
+        let vb = m.result(b);
+        let user = m.create_op("t.use", vec![va], vec![], vec![]);
+        m.append_op(top, user);
+        replace_op(&mut m, a, &[vb]);
+        assert!(!m.is_alive(a));
+        assert_eq!(m.op(user).operands, vec![vb]);
+    }
+
+    #[test]
+    fn dead_pure_sweep_is_transitive() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        // c -> neg -> (unused); both should go in one sweep call.
+        let c = m.create_op("arith.constant", vec![], vec![Type::f64()], vec![]);
+        m.append_op(top, c);
+        let vc = m.result(c);
+        let neg = m.create_op("arith.negf", vec![vc], vec![Type::f64()], vec![]);
+        m.append_op(top, neg);
+        assert_eq!(erase_dead_pure_ops(&mut m), 2);
+        assert_eq!(m.live_op_count(), 0);
+    }
+
+    #[test]
+    fn dead_sweep_keeps_side_effecting_ops() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let c = m.create_op("fir.alloca", vec![], vec![Type::fir_ref(Type::f64())], vec![]);
+        m.append_op(top, c);
+        assert_eq!(erase_dead_pure_ops(&mut m), 0);
+        assert_eq!(m.live_op_count(), 1);
+    }
+
+    #[test]
+    fn move_ops_between_blocks() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let f = m.create_op("func.func", vec![], vec![], vec![]);
+        m.append_op(top, f);
+        let r = m.add_region(f);
+        let inner = m.add_block(r, &[]);
+        let x = m.create_op("t.x", vec![], vec![], vec![]);
+        m.append_op(top, x);
+        move_op_to_end(&mut m, x, inner);
+        assert_eq!(m.block_ops(inner), vec![x]);
+        assert_eq!(m.block_ops(top), vec![f]);
+    }
+}

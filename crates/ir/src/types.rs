@@ -1,0 +1,388 @@
+//! The IR type system.
+//!
+//! Types are value-semantic: two types are "the same type" iff they are
+//! structurally equal. This replaces MLIR's context-uniqued types; at the IR
+//! sizes this compiler handles (thousands of ops), cloning and comparing
+//! small enums is cheaper than maintaining an interner, and it keeps the
+//! whole stack free of shared mutable state.
+//!
+//! The enum covers every type the pipeline of the paper touches: the builtin
+//! and standard-dialect types (`index`, integers, floats, `memref`,
+//! function types), the FIR types Flang emits (`!fir.ref`, `!fir.array`,
+//! `!fir.box`, `!fir.llvm_ptr`, `!fir.char`), and the Open Earth stencil
+//! dialect types (`!stencil.field`, `!stencil.temp`) with their per-dimension
+//! bounds.
+
+use std::fmt;
+
+/// Bounds of one dimension of a stencil field/temp type, inclusive lower and
+/// upper index as in `!stencil.temp<[-1,255]x...>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DimBound {
+    /// Inclusive lower bound of the dimension.
+    pub lower: i64,
+    /// Inclusive upper bound of the dimension.
+    pub upper: i64,
+}
+
+impl DimBound {
+    /// Create a bound `[lower, upper]`.
+    pub fn new(lower: i64, upper: i64) -> Self {
+        Self { lower, upper }
+    }
+
+    /// Number of elements covered by this bound.
+    pub fn extent(&self) -> i64 {
+        self.upper - self.lower + 1
+    }
+}
+
+/// A type in the IR.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// Signless integer of the given bit width (`i1`, `i32`, `i64`, ...).
+    Int(u32),
+    /// IEEE float of the given bit width (`f32`, `f64`).
+    Float(u32),
+    /// Platform-sized index type used for loop induction variables.
+    Index,
+    /// The unit/none type for ops with no meaningful result.
+    None,
+    /// Ranked memref: shape (with `DYNAMIC` for unknown dims) over an
+    /// element type. Corresponds to the MLIR `memref` dialect type.
+    MemRef {
+        /// Static extents; [`Type::DYNAMIC`] marks a dynamic dimension.
+        shape: Vec<i64>,
+        /// Element type.
+        elem: Box<Type>,
+    },
+    /// A function type `(inputs) -> results`.
+    Function {
+        /// Argument types.
+        inputs: Vec<Type>,
+        /// Result types.
+        results: Vec<Type>,
+    },
+    /// FIR reference to a value in memory: `!fir.ref<T>`.
+    FirRef(Box<Type>),
+    /// FIR heap pointer: `!fir.heap<T>` (result of `fir.allocmem`).
+    FirHeap(Box<Type>),
+    /// FIR in-memory array: `!fir.array<e1 x e2 x ... x T>`.
+    FirArray {
+        /// Static extents; [`Type::DYNAMIC`] marks a dynamic dimension.
+        shape: Vec<i64>,
+        /// Element type.
+        elem: Box<Type>,
+    },
+    /// FIR boxed (descriptor-carrying) value: `!fir.box<T>`.
+    FirBox(Box<Type>),
+    /// FIR's own representation of an LLVM pointer: `!fir.llvm_ptr<T>`.
+    ///
+    /// As §3 of the paper stresses, FIR is isolated from the LLVM dialect's
+    /// pointer type; the paper's data hand-off between the Flang-compiled
+    /// module and the stencil module works only because the two pointer types
+    /// are semantically identical at link time. We keep them distinct types
+    /// to reproduce that friction faithfully.
+    FirLlvmPtr(Box<Type>),
+    /// LLVM-dialect pointer: `!llvm.ptr<T>` (with `None` modelling opaque
+    /// pointers, which the paper's flow deliberately avoids).
+    LlvmPtr(Option<Box<Type>>),
+    /// Stencil dialect input/output field: `!stencil.field<[l,u]x...xT>`.
+    StencilField {
+        /// Per-dimension inclusive bounds.
+        bounds: Vec<DimBound>,
+        /// Element type.
+        elem: Box<Type>,
+    },
+    /// Stencil dialect value semantics temporary: `!stencil.temp<...>`.
+    StencilTemp {
+        /// Per-dimension inclusive bounds.
+        bounds: Vec<DimBound>,
+        /// Element type.
+        elem: Box<Type>,
+    },
+    /// GPU-dialect async token used to order device operations.
+    GpuAsyncToken,
+}
+
+impl Type {
+    /// Marker for a dynamic dimension extent in shaped types.
+    pub const DYNAMIC: i64 = -1;
+
+    /// The boolean type `i1`.
+    pub fn bool() -> Type {
+        Type::Int(1)
+    }
+
+    /// The 32-bit integer type.
+    pub fn i32() -> Type {
+        Type::Int(32)
+    }
+
+    /// The 64-bit integer type.
+    pub fn i64() -> Type {
+        Type::Int(64)
+    }
+
+    /// The 32-bit float type.
+    pub fn f32() -> Type {
+        Type::Float(32)
+    }
+
+    /// The 64-bit float type.
+    pub fn f64() -> Type {
+        Type::Float(64)
+    }
+
+    /// A ranked memref over `elem` with the given shape.
+    pub fn memref(shape: Vec<i64>, elem: Type) -> Type {
+        Type::MemRef { shape, elem: Box::new(elem) }
+    }
+
+    /// A `!fir.ref<T>` type.
+    pub fn fir_ref(elem: Type) -> Type {
+        Type::FirRef(Box::new(elem))
+    }
+
+    /// A `!fir.heap<T>` type.
+    pub fn fir_heap(elem: Type) -> Type {
+        Type::FirHeap(Box::new(elem))
+    }
+
+    /// A `!fir.array<shape x T>` type.
+    pub fn fir_array(shape: Vec<i64>, elem: Type) -> Type {
+        Type::FirArray { shape, elem: Box::new(elem) }
+    }
+
+    /// A `!stencil.field` with the given bounds.
+    pub fn stencil_field(bounds: Vec<DimBound>, elem: Type) -> Type {
+        Type::StencilField { bounds, elem: Box::new(elem) }
+    }
+
+    /// A `!stencil.temp` with the given bounds.
+    pub fn stencil_temp(bounds: Vec<DimBound>, elem: Type) -> Type {
+        Type::StencilTemp { bounds, elem: Box::new(elem) }
+    }
+
+    /// True for integer, index and float types.
+    pub fn is_scalar(&self) -> bool {
+        matches!(self, Type::Int(_) | Type::Float(_) | Type::Index)
+    }
+
+    /// True for any float type.
+    pub fn is_float(&self) -> bool {
+        matches!(self, Type::Float(_))
+    }
+
+    /// True for integer or index types.
+    pub fn is_int_or_index(&self) -> bool {
+        matches!(self, Type::Int(_) | Type::Index)
+    }
+
+    /// The element type of a shaped (memref / fir.array / stencil) type.
+    pub fn elem_type(&self) -> Option<&Type> {
+        match self {
+            Type::MemRef { elem, .. }
+            | Type::FirArray { elem, .. }
+            | Type::StencilField { elem, .. }
+            | Type::StencilTemp { elem, .. } => Some(elem),
+            Type::FirRef(t) | Type::FirHeap(t) | Type::FirBox(t) | Type::FirLlvmPtr(t) => {
+                Some(t)
+            }
+            Type::LlvmPtr(Some(t)) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The rank of a shaped type, if this is one.
+    pub fn rank(&self) -> Option<usize> {
+        match self {
+            Type::MemRef { shape, .. } | Type::FirArray { shape, .. } => Some(shape.len()),
+            Type::StencilField { bounds, .. } | Type::StencilTemp { bounds, .. } => {
+                Some(bounds.len())
+            }
+            _ => None,
+        }
+    }
+
+    /// The stencil bounds of a stencil field/temp type.
+    pub fn stencil_bounds(&self) -> Option<&[DimBound]> {
+        match self {
+            Type::StencilField { bounds, .. } | Type::StencilTemp { bounds, .. } => {
+                Some(bounds)
+            }
+            _ => None,
+        }
+    }
+
+    /// Byte size of a scalar type; shaped types return the element count
+    /// times the element size when fully static.
+    pub fn byte_size(&self) -> Option<u64> {
+        match self {
+            Type::Int(w) | Type::Float(w) => Some((*w as u64).div_ceil(8)),
+            Type::Index => Some(8),
+            Type::MemRef { shape, elem } | Type::FirArray { shape, elem } => {
+                if shape.iter().any(|&d| d == Type::DYNAMIC) {
+                    return None;
+                }
+                let count: i64 = shape.iter().product();
+                elem.byte_size().map(|e| e * count as u64)
+            }
+            Type::StencilField { bounds, elem } | Type::StencilTemp { bounds, elem } => {
+                let count: i64 = bounds.iter().map(DimBound::extent).product();
+                elem.byte_size().map(|e| e * count as u64)
+            }
+            _ => None,
+        }
+    }
+}
+
+fn fmt_shape(f: &mut fmt::Formatter<'_>, shape: &[i64], elem: &Type) -> fmt::Result {
+    for d in shape {
+        if *d == Type::DYNAMIC {
+            write!(f, "?x")?;
+        } else {
+            write!(f, "{d}x")?;
+        }
+    }
+    write!(f, "{elem}")
+}
+
+fn fmt_bounds(f: &mut fmt::Formatter<'_>, bounds: &[DimBound], elem: &Type) -> fmt::Result {
+    for b in bounds {
+        write!(f, "[{},{}]x", b.lower, b.upper)?;
+    }
+    write!(f, "{elem}")
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Int(w) => write!(f, "i{w}"),
+            Type::Float(w) => write!(f, "f{w}"),
+            Type::Index => write!(f, "index"),
+            Type::None => write!(f, "none"),
+            Type::MemRef { shape, elem } => {
+                write!(f, "memref<")?;
+                fmt_shape(f, shape, elem)?;
+                write!(f, ">")
+            }
+            Type::Function { inputs, results } => {
+                write!(f, "(")?;
+                for (i, t) in inputs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ") -> (")?;
+                for (i, t) in results.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ")")
+            }
+            Type::FirRef(t) => write!(f, "!fir.ref<{t}>"),
+            Type::FirHeap(t) => write!(f, "!fir.heap<{t}>"),
+            Type::FirArray { shape, elem } => {
+                write!(f, "!fir.array<")?;
+                fmt_shape(f, shape, elem)?;
+                write!(f, ">")
+            }
+            Type::FirBox(t) => write!(f, "!fir.box<{t}>"),
+            Type::FirLlvmPtr(t) => write!(f, "!fir.llvm_ptr<{t}>"),
+            Type::LlvmPtr(Some(t)) => write!(f, "!llvm.ptr<{t}>"),
+            Type::LlvmPtr(None) => write!(f, "!llvm.ptr"),
+            Type::StencilField { bounds, elem } => {
+                write!(f, "!stencil.field<")?;
+                fmt_bounds(f, bounds, elem)?;
+                write!(f, ">")
+            }
+            Type::StencilTemp { bounds, elem } => {
+                write!(f, "!stencil.temp<")?;
+                fmt_bounds(f, bounds, elem)?;
+                write!(f, ">")
+            }
+            Type::GpuAsyncToken => write!(f, "!gpu.async.token"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_scalars() {
+        assert_eq!(Type::i32().to_string(), "i32");
+        assert_eq!(Type::f64().to_string(), "f64");
+        assert_eq!(Type::Index.to_string(), "index");
+        assert_eq!(Type::bool().to_string(), "i1");
+    }
+
+    #[test]
+    fn display_memref() {
+        let t = Type::memref(vec![256, Type::DYNAMIC], Type::f64());
+        assert_eq!(t.to_string(), "memref<256x?xf64>");
+    }
+
+    #[test]
+    fn display_stencil_temp_matches_paper_listing2() {
+        // The type printed at line 2 of the paper's Listing 2.
+        let t = Type::stencil_temp(
+            vec![DimBound::new(-1, 255), DimBound::new(-1, 255)],
+            Type::f64(),
+        );
+        assert_eq!(t.to_string(), "!stencil.temp<[-1,255]x[-1,255]xf64>");
+    }
+
+    #[test]
+    fn display_fir_types() {
+        let t = Type::fir_ref(Type::fir_array(vec![10, 20], Type::f64()));
+        assert_eq!(t.to_string(), "!fir.ref<!fir.array<10x20xf64>>");
+        assert_eq!(
+            Type::FirLlvmPtr(Box::new(Type::f64())).to_string(),
+            "!fir.llvm_ptr<f64>"
+        );
+    }
+
+    #[test]
+    fn dim_bound_extent() {
+        assert_eq!(DimBound::new(-1, 255).extent(), 257);
+        assert_eq!(DimBound::new(0, 254).extent(), 255);
+    }
+
+    #[test]
+    fn byte_sizes() {
+        assert_eq!(Type::f64().byte_size(), Some(8));
+        assert_eq!(Type::bool().byte_size(), Some(1));
+        assert_eq!(
+            Type::memref(vec![4, 4], Type::f32()).byte_size(),
+            Some(64)
+        );
+        assert_eq!(
+            Type::memref(vec![Type::DYNAMIC], Type::f32()).byte_size(),
+            None
+        );
+    }
+
+    #[test]
+    fn elem_and_rank() {
+        let t = Type::stencil_field(vec![DimBound::new(0, 9)], Type::f64());
+        assert_eq!(t.rank(), Some(1));
+        assert_eq!(t.elem_type(), Some(&Type::f64()));
+        assert!(t.stencil_bounds().is_some());
+        assert_eq!(Type::Index.rank(), None);
+    }
+
+    #[test]
+    fn function_type_display() {
+        let t = Type::Function {
+            inputs: vec![Type::i64(), Type::f64()],
+            results: vec![Type::f64()],
+        };
+        assert_eq!(t.to_string(), "(i64, f64) -> (f64)");
+    }
+}

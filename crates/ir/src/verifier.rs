@@ -1,0 +1,173 @@
+//! Structural IR verification.
+//!
+//! Checks the SSA invariants that MLIR's verifier would enforce:
+//!
+//! * every operand is visible at its use — defined earlier in the same
+//!   block, a block argument of an enclosing block, or defined earlier in an
+//!   enclosing region (structured-control-flow dominance);
+//! * ops marked isolated-from-above (`func.func`, `builtin.module`,
+//!   `gpu.module`) must not capture outside values;
+//! * parent links are consistent.
+//!
+//! Dialect-specific invariants (e.g. "`stencil.apply` regions end in
+//! `stencil.return`") are layered on via [`OpCheck`] callbacks registered by
+//! the dialect crate.
+
+use std::collections::HashSet;
+
+use crate::module::{Module, OpId, RegionId, ValueId};
+use crate::{IrError, Result};
+
+/// A dialect-provided per-op check.
+pub type OpCheck = fn(&Module, OpId) -> Result<()>;
+
+/// Op names whose regions may not reference values from enclosing scopes.
+const ISOLATED_FROM_ABOVE: &[&str] = &["func.func", "builtin.module", "gpu.module"];
+
+/// Verify the whole module; returns the first violation found.
+pub fn verify_module(module: &Module) -> Result<()> {
+    verify_module_with(module, &[])
+}
+
+/// Verify with extra dialect-level op checks.
+pub fn verify_module_with(module: &Module, checks: &[OpCheck]) -> Result<()> {
+    let mut scope: HashSet<ValueId> = HashSet::new();
+    verify_region(module, module.body, &mut scope, checks)
+}
+
+fn verify_region(
+    module: &Module,
+    region: RegionId,
+    scope: &mut HashSet<ValueId>,
+    checks: &[OpCheck],
+) -> Result<()> {
+    let added_at_entry = scope.len();
+    let _ = added_at_entry;
+    for block in module.region_blocks(region) {
+        let mut local: Vec<ValueId> = Vec::new();
+        for &arg in module.block_args(block) {
+            scope.insert(arg);
+            local.push(arg);
+        }
+        for op in module.block_ops(block) {
+            let data = module.op(op);
+            if data.parent != Some(block) {
+                return Err(IrError::new(format!(
+                    "op '{}' has inconsistent parent link",
+                    data.name
+                )));
+            }
+            for &operand in &data.operands {
+                if !scope.contains(&operand) {
+                    return Err(IrError::new(format!(
+                        "operand of '{}' does not dominate its use",
+                        data.name
+                    )));
+                }
+            }
+            for check in checks {
+                check(module, op)?;
+            }
+            let isolated = ISOLATED_FROM_ABOVE.contains(&data.name.full());
+            for nested in data.regions.clone() {
+                if isolated {
+                    let mut inner: HashSet<ValueId> = HashSet::new();
+                    verify_region(module, nested, &mut inner, checks)?;
+                } else {
+                    verify_region(module, nested, scope, checks)?;
+                }
+            }
+            for &r in &module.op(op).results {
+                scope.insert(r);
+                local.push(r);
+            }
+        }
+        // Values defined in this block stay visible to *later* sibling blocks
+        // only through block arguments; with structured control flow we never
+        // have later sibling blocks referencing them, so removing them keeps
+        // the check strict.
+        for v in local {
+            scope.remove(&v);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Type;
+
+    #[test]
+    fn accepts_well_formed_module() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let c = m.create_op("arith.constant", vec![], vec![Type::i64()], vec![]);
+        m.append_op(top, c);
+        let v = m.result(c);
+        let u = m.create_op("t.use", vec![v], vec![], vec![]);
+        m.append_op(top, u);
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn rejects_use_before_def() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let c = m.create_op("arith.constant", vec![], vec![Type::i64()], vec![]);
+        let v = m.result(c);
+        let u = m.create_op("t.use", vec![v], vec![], vec![]);
+        m.append_op(top, u);
+        m.append_op(top, c); // def after use
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.message.contains("dominate"), "{err}");
+    }
+
+    #[test]
+    fn nested_region_sees_enclosing_values() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let c = m.create_op("arith.constant", vec![], vec![Type::i64()], vec![]);
+        m.append_op(top, c);
+        let v = m.result(c);
+        let lp = m.create_op("scf.for", vec![], vec![], vec![]);
+        m.append_op(top, lp);
+        let r = m.add_region(lp);
+        let b = m.add_block(r, &[Type::Index]);
+        let u = m.create_op("t.use", vec![v], vec![], vec![]);
+        m.append_op(b, u);
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn isolated_op_must_not_capture() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let c = m.create_op("arith.constant", vec![], vec![Type::i64()], vec![]);
+        m.append_op(top, c);
+        let v = m.result(c);
+        let f = m.create_op("func.func", vec![], vec![], vec![]);
+        m.append_op(top, f);
+        let r = m.add_region(f);
+        let b = m.add_block(r, &[]);
+        let u = m.create_op("t.use", vec![v], vec![], vec![]);
+        m.append_op(b, u);
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.message.contains("dominate"), "{err}");
+    }
+
+    #[test]
+    fn custom_op_check_runs() {
+        fn no_foo(module: &Module, op: OpId) -> Result<()> {
+            if module.op(op).name.full() == "t.foo" {
+                return Err(IrError::new("t.foo is forbidden"));
+            }
+            Ok(())
+        }
+        let mut m = Module::new();
+        let top = m.top_block();
+        let f = m.create_op("t.foo", vec![], vec![], vec![]);
+        m.append_op(top, f);
+        assert!(verify_module_with(&m, &[no_foo]).is_err());
+    }
+}

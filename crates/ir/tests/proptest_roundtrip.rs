@@ -1,0 +1,116 @@
+//! Property tests: every printable type and attribute must survive the
+//! textual round-trip, and random well-formed modules must re-print
+//! identically after parsing.
+
+use fsc_ir::parse::{parse_module, parse_type};
+use fsc_ir::print::print_module;
+use fsc_ir::types::DimBound;
+use fsc_ir::{Attribute, Module, OpBuilder, Type};
+use proptest::prelude::*;
+
+fn scalar_type() -> impl Strategy<Value = Type> {
+    prop_oneof![
+        Just(Type::Index),
+        Just(Type::None),
+        prop_oneof![Just(1u32), Just(8), Just(16), Just(32), Just(64)].prop_map(Type::Int),
+        prop_oneof![Just(32u32), Just(64)].prop_map(Type::Float),
+    ]
+}
+
+fn shaped_type() -> impl Strategy<Value = Type> {
+    let dims = prop::collection::vec(prop_oneof![1i64..64, Just(Type::DYNAMIC)], 1..4);
+    let bounds = prop::collection::vec((-8i64..8, 8i64..64), 1..4)
+        .prop_map(|v| v.into_iter().map(|(l, u)| DimBound::new(l, u)).collect::<Vec<_>>());
+    prop_oneof![
+        (dims.clone(), scalar_type().prop_filter("elem", |t| t.is_scalar()))
+            .prop_map(|(shape, elem)| Type::memref(shape, elem)),
+        (dims, prop_oneof![Just(Type::f64()), Just(Type::f32())])
+            .prop_map(|(shape, elem)| Type::fir_array(shape, elem)),
+        (bounds.clone(), Just(Type::f64()))
+            .prop_map(|(b, e)| Type::stencil_field(b, e)),
+        (bounds, Just(Type::f64())).prop_map(|(b, e)| Type::stencil_temp(b, e)),
+    ]
+}
+
+fn any_type() -> impl Strategy<Value = Type> {
+    prop_oneof![
+        scalar_type(),
+        shaped_type(),
+        shaped_type().prop_map(Type::fir_ref),
+        shaped_type().prop_map(Type::fir_heap),
+        scalar_type().prop_map(|t| Type::FirLlvmPtr(Box::new(t))),
+        scalar_type().prop_map(|t| Type::LlvmPtr(Some(Box::new(t)))),
+        Just(Type::LlvmPtr(None)),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn type_display_parses_back(ty in any_type()) {
+        let text = ty.to_string();
+        let parsed = parse_type(&text).unwrap();
+        prop_assert_eq!(parsed, ty);
+    }
+
+    #[test]
+    fn int_attribute_roundtrip(v in any::<i32>()) {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let op = m.create_op(
+            "t.c",
+            vec![],
+            vec![Type::i64()],
+            vec![("value", Attribute::Int(v as i64, Type::i64()))],
+        );
+        m.append_op(top, op);
+        let text = print_module(&m);
+        let m2 = parse_module(&text).unwrap();
+        let op2 = m2.block_ops(m2.top_block())[0];
+        prop_assert_eq!(m2.op(op2).attr("value").unwrap().as_int(), Some(v as i64));
+    }
+
+    #[test]
+    fn index_list_attribute_roundtrip(items in prop::collection::vec(-64i64..64, 0..6)) {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let op = m.create_op(
+            "t.c",
+            vec![],
+            vec![],
+            vec![("offset", Attribute::IndexList(items.clone()))],
+        );
+        m.append_op(top, op);
+        let text = print_module(&m);
+        let m2 = parse_module(&text).unwrap();
+        let op2 = m2.block_ops(m2.top_block())[0];
+        prop_assert_eq!(
+            m2.op(op2).attr("offset").unwrap().as_index_list().unwrap().to_vec(),
+            items
+        );
+    }
+
+    /// Random straight-line modules: chains of ops over random types, each
+    /// consuming previous results — must round-trip print→parse→print.
+    #[test]
+    fn straight_line_module_roundtrip(
+        types in prop::collection::vec(scalar_type().prop_filter("no none", |t| *t != Type::None), 1..8),
+        use_prev in prop::collection::vec(any::<bool>(), 1..8),
+    ) {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let mut last = None;
+        for (i, ty) in types.iter().enumerate() {
+            let mut b = OpBuilder::at_end(&mut m, top);
+            let operands = match (last, use_prev.get(i)) {
+                (Some(v), Some(true)) => vec![v],
+                _ => vec![],
+            };
+            let (_, v) = b.op1("test.node", operands, ty.clone(), vec![]);
+            last = Some(v);
+        }
+        let p1 = print_module(&m);
+        let m2 = parse_module(&p1).unwrap();
+        let p2 = print_module(&m2);
+        prop_assert_eq!(p1, p2);
+    }
+}

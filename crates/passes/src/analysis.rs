@@ -1,0 +1,400 @@
+//! FIR analyses shared by the discovery pass: loop gathering and array
+//! index-expression walking.
+//!
+//! The paper's Listing 3 phrases these as `gather_program_loops`,
+//! `is_indexed_by_loops` and the walks backwards from `fir.store` /
+//! `fir.load` through `fir.coordinate_of`. The functions here reproduce
+//! those walks against the FIR patterns our frontend (like Flang) emits.
+
+use std::collections::HashMap;
+
+use fsc_dialects::fir;
+use fsc_ir::walk::collect_ops_named;
+use fsc_ir::{Module, OpId, Type, ValueId};
+
+/// Information about one `fir.do_loop`.
+#[derive(Debug, Clone)]
+pub struct LoopInfo {
+    /// The loop op.
+    pub op: OpId,
+    /// The `fir.alloca` of the Fortran loop variable this loop stores its
+    /// induction variable into (Flang's pattern), if recognised.
+    pub var_alloca: Option<ValueId>,
+    /// Constant lower bound (Fortran value), if it folds.
+    pub lb: Option<i64>,
+    /// Constant inclusive upper bound, if it folds.
+    pub ub: Option<i64>,
+    /// Constant step, if it folds.
+    pub step: Option<i64>,
+    /// Nesting depth (number of enclosing `fir.do_loop`s).
+    pub depth: usize,
+}
+
+/// Gather every `fir.do_loop` in the module with its loop-variable binding
+/// and constant bounds (the paper's `gather_program_loops`).
+pub fn gather_program_loops(m: &Module) -> Vec<LoopInfo> {
+    collect_ops_named(m, fir::DO_LOOP)
+        .into_iter()
+        .map(|op| {
+            let lp = fir::DoLoopOp(op);
+            let depth = m
+                .ancestors(op)
+                .iter()
+                .filter(|&&a| m.op(a).name.full() == fir::DO_LOOP)
+                .count();
+            LoopInfo {
+                op,
+                var_alloca: loop_var_alloca(m, lp),
+                lb: trace_const_int(m, lp.lb(m)),
+                ub: trace_const_int(m, lp.ub(m)),
+                step: trace_const_int(m, lp.step(m)),
+                depth,
+            }
+        })
+        .collect()
+}
+
+/// Find the alloca that receives the loop's induction variable: the first
+/// `fir.store` in the body whose stored value converts from the iv.
+fn loop_var_alloca(m: &Module, lp: fir::DoLoopOp) -> Option<ValueId> {
+    let iv = lp.iv(m);
+    for op in lp.body_ops(m) {
+        if m.op(op).name.full() == fir::STORE {
+            let value = m.op(op).operands[0];
+            let dest = m.op(op).operands[1];
+            if let Some(def) = m.defining_op(value) {
+                if m.op(def).name.full() == fir::CONVERT && m.op(def).operands[0] == iv {
+                    return Some(dest);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Fold a compile-time-constant integer value: follows `fir.convert`
+/// chains and evaluates constant integer arithmetic (so loop bounds like
+/// `n+1` with `n` a parameter resolve).
+pub fn trace_const_int(m: &Module, v: ValueId) -> Option<i64> {
+    let def = m.defining_op(v)?;
+    match m.op(def).name.full() {
+        fir::CONVERT | fir::NO_REASSOC => trace_const_int(m, m.op(def).operands[0]),
+        "arith.constant" => m.op(def).attr("value")?.as_int(),
+        "arith.addi" => Some(
+            trace_const_int(m, m.op(def).operands[0])?
+                + trace_const_int(m, m.op(def).operands[1])?,
+        ),
+        "arith.subi" => Some(
+            trace_const_int(m, m.op(def).operands[0])?
+                - trace_const_int(m, m.op(def).operands[1])?,
+        ),
+        "arith.muli" => Some(
+            trace_const_int(m, m.op(def).operands[0])?
+                * trace_const_int(m, m.op(def).operands[1])?,
+        ),
+        _ => None,
+    }
+}
+
+/// One dimension of an array subscript, classified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexExpr {
+    /// `loopvar + offset` — the stencil-friendly form.
+    LoopVar {
+        /// The loop variable's alloca.
+        alloca: ValueId,
+        /// Constant offset added to the variable.
+        offset: i64,
+    },
+    /// A constant absolute Fortran index.
+    Constant(i64),
+    /// Anything else (disqualifies the access from stencil treatment).
+    Unknown,
+}
+
+/// A fully decoded array element access (read or write).
+#[derive(Debug, Clone)]
+pub struct ArrayAccess {
+    /// The array storage binding (`fir.alloca`/`fir.allocmem` result or a
+    /// dummy-argument block argument).
+    pub base: ValueId,
+    /// Per-dimension classified subscripts, in Fortran order.
+    pub index_exprs: Vec<IndexExpr>,
+    /// Per-dimension Fortran lower bounds (recovered from the rebasing
+    /// arithmetic the frontend emitted).
+    pub lbounds: Vec<i64>,
+    /// Per-dimension extents, from the array type.
+    pub extents: Vec<i64>,
+    /// Element type.
+    pub elem: Type,
+    /// The `fir.coordinate_of` op.
+    pub coord_op: OpId,
+}
+
+impl ArrayAccess {
+    /// True if every subscript is `loopvar + const`.
+    pub fn is_loop_indexed(&self) -> bool {
+        self.index_exprs
+            .iter()
+            .all(|e| matches!(e, IndexExpr::LoopVar { .. }))
+    }
+}
+
+/// Decode the `fir.coordinate_of` feeding a `fir.store`/`fir.load`, walking
+/// each index operand back through the frontend's
+/// `convert(index) ← subi(lbound) ← convert(i64) ← i32-expr` chain.
+///
+/// Returns `None` if the address is not a `fir.coordinate_of` on a
+/// recognisable array binding.
+pub fn decode_access(m: &Module, address: ValueId) -> Option<ArrayAccess> {
+    let coord_op = m.defining_op(address)?;
+    if m.op(coord_op).name.full() != fir::COORDINATE_OF {
+        return None;
+    }
+    let base = m.op(coord_op).operands[0];
+    let (extents, elem) = array_shape(m, base)?;
+    let mut index_exprs = Vec::new();
+    let mut lbounds = Vec::new();
+    for &idx in &m.op(coord_op).operands[1..] {
+        let (expr, lb) = decode_index(m, idx);
+        index_exprs.push(expr);
+        lbounds.push(lb);
+    }
+    if index_exprs.len() != extents.len() {
+        return None;
+    }
+    Some(ArrayAccess { base, index_exprs, lbounds, extents, elem, coord_op })
+}
+
+/// Shape of the array behind a storage binding value.
+pub fn array_shape(m: &Module, base: ValueId) -> Option<(Vec<i64>, Type)> {
+    match m.value_type(base) {
+        Type::FirRef(inner) | Type::FirHeap(inner) => match inner.as_ref() {
+            Type::FirArray { shape, elem } => Some((shape.clone(), (**elem).clone())),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Decode one `index`-typed subscript operand. Returns the classified
+/// expression plus the Fortran lower bound that the rebasing subtracted
+/// (0 if the chain shape is unexpected).
+pub fn decode_index(m: &Module, idx: ValueId) -> (IndexExpr, i64) {
+    // Expected chain: fir.convert(index) of arith.subi(wide, lb_const),
+    // wide = fir.convert(i64) of the i32 expression.
+    let Some(conv) = m.defining_op(idx) else {
+        return (IndexExpr::Unknown, 0);
+    };
+    if m.op(conv).name.full() != fir::CONVERT {
+        return (IndexExpr::Unknown, 0);
+    }
+    let rebased = m.op(conv).operands[0];
+    let Some(sub) = m.defining_op(rebased) else {
+        return (IndexExpr::Unknown, 0);
+    };
+    if m.op(sub).name.full() != "arith.subi" {
+        return (IndexExpr::Unknown, 0);
+    }
+    let wide = m.op(sub).operands[0];
+    let Some(lb) = trace_const_int(m, m.op(sub).operands[1]) else {
+        return (IndexExpr::Unknown, 0);
+    };
+    let Some(wconv) = m.defining_op(wide) else {
+        return (IndexExpr::Unknown, lb);
+    };
+    if m.op(wconv).name.full() != fir::CONVERT {
+        return (IndexExpr::Unknown, lb);
+    }
+    (decode_i32_expr(m, m.op(wconv).operands[0]), lb)
+}
+
+/// Classify the i32-level subscript expression: `load var`,
+/// `load var ± const`, or a constant.
+fn decode_i32_expr(m: &Module, v: ValueId) -> IndexExpr {
+    if let Some(c) = trace_const_int(m, v) {
+        return IndexExpr::Constant(c);
+    }
+    let Some(def) = m.defining_op(v) else {
+        return IndexExpr::Unknown;
+    };
+    match m.op(def).name.full() {
+        fir::LOAD => {
+            let src = m.op(def).operands[0];
+            if is_scalar_int_binding(m, src) {
+                IndexExpr::LoopVar { alloca: src, offset: 0 }
+            } else {
+                IndexExpr::Unknown
+            }
+        }
+        "arith.addi" | "arith.subi" => {
+            let name = m.op(def).name.full().to_string();
+            let a = m.op(def).operands[0];
+            let b = m.op(def).operands[1];
+            let sign = if name == "arith.subi" { -1 } else { 1 };
+            match (decode_i32_expr(m, a), trace_const_int(m, b)) {
+                (IndexExpr::LoopVar { alloca, offset }, Some(c)) => {
+                    IndexExpr::LoopVar { alloca, offset: offset + sign * c }
+                }
+                _ => {
+                    // Also allow const + var for addi.
+                    if name == "arith.addi" {
+                        if let (Some(c), IndexExpr::LoopVar { alloca, offset }) =
+                            (trace_const_int(m, a), decode_i32_expr(m, b))
+                        {
+                            return IndexExpr::LoopVar { alloca, offset: offset + c };
+                        }
+                    }
+                    IndexExpr::Unknown
+                }
+            }
+        }
+        fir::CONVERT => decode_i32_expr(m, m.op(def).operands[0]),
+        _ => IndexExpr::Unknown,
+    }
+}
+
+/// Is `v` a reference to a scalar integer (candidate loop variable)?
+fn is_scalar_int_binding(m: &Module, v: ValueId) -> bool {
+    matches!(m.value_type(v), Type::FirRef(inner) if matches!(inner.as_ref(), Type::Int(_)))
+}
+
+/// Map loop-variable allocas to their loop info, for quick lookup.
+pub fn loops_by_var(loops: &[LoopInfo]) -> HashMap<ValueId, &LoopInfo> {
+    loops
+        .iter()
+        .filter_map(|l| l.var_alloca.map(|a| (a, l)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsc_fortran::compile_to_fir;
+    use fsc_ir::walk::collect_ops_named;
+
+    const SRC: &str = "
+program t
+  integer, parameter :: n = 8
+  integer :: i, j
+  real(kind=8) :: a(0:n+1, 0:n+1), r(0:n+1, 0:n+1)
+  do i = 1, n
+    do j = 1, n
+      r(j, i) = a(j, i-1) + a(j+1, i)
+    end do
+  end do
+end program t
+";
+
+    #[test]
+    fn gathers_loops_with_bounds_and_vars() {
+        let m = compile_to_fir(SRC).unwrap();
+        let loops = gather_program_loops(&m);
+        assert_eq!(loops.len(), 2);
+        let outer = loops.iter().find(|l| l.depth == 0).unwrap();
+        let inner = loops.iter().find(|l| l.depth == 1).unwrap();
+        assert_eq!(outer.lb, Some(1));
+        assert_eq!(outer.ub, Some(8));
+        assert_eq!(outer.step, Some(1));
+        assert!(outer.var_alloca.is_some());
+        assert!(inner.var_alloca.is_some());
+        assert_ne!(outer.var_alloca, inner.var_alloca);
+    }
+
+    #[test]
+    fn decodes_store_access() {
+        let m = compile_to_fir(SRC).unwrap();
+        let loops = gather_program_loops(&m);
+        let by_var = loops_by_var(&loops);
+        // Find the array store (value is f64).
+        let store = collect_ops_named(&m, fir::STORE)
+            .into_iter()
+            .find(|&s| m.value_type(m.op(s).operands[0]) == &Type::f64())
+            .unwrap();
+        let access = decode_access(&m, m.op(store).operands[1]).unwrap();
+        assert_eq!(access.extents, vec![10, 10]);
+        assert_eq!(access.lbounds, vec![0, 0]);
+        assert_eq!(access.elem, Type::f64());
+        assert!(access.is_loop_indexed());
+        // Dim 0 indexed by the inner (j) loop at offset 0; dim 1 by i.
+        let IndexExpr::LoopVar { alloca: a0, offset: o0 } = access.index_exprs[0] else {
+            panic!()
+        };
+        assert_eq!(o0, 0);
+        assert!(by_var.contains_key(&a0));
+    }
+
+    #[test]
+    fn decodes_read_offsets() {
+        let m = compile_to_fir(SRC).unwrap();
+        // a(j, i-1) and a(j+1, i): find loads of f64 through coordinates.
+        let mut offsets = Vec::new();
+        for ld in collect_ops_named(&m, fir::LOAD) {
+            if m.value_type(m.result(ld)) != &Type::f64() {
+                continue;
+            }
+            let access = decode_access(&m, m.op(ld).operands[0]).unwrap();
+            let offs: Vec<i64> = access
+                .index_exprs
+                .iter()
+                .map(|e| match e {
+                    IndexExpr::LoopVar { offset, .. } => *offset,
+                    _ => panic!("expected loop var"),
+                })
+                .collect();
+            offsets.push(offs);
+        }
+        offsets.sort();
+        assert_eq!(offsets, vec![vec![0, -1], vec![1, 0]]);
+    }
+
+    #[test]
+    fn constant_index_classified() {
+        let m = compile_to_fir(
+            "program t
+real(kind=8) :: a(8)
+a(3) = 1.0
+end program t",
+        )
+        .unwrap();
+        let store = collect_ops_named(&m, fir::STORE)[0];
+        let access = decode_access(&m, m.op(store).operands[1]).unwrap();
+        assert_eq!(access.index_exprs, vec![IndexExpr::Constant(3)]);
+        assert_eq!(access.lbounds, vec![1]);
+        assert!(!access.is_loop_indexed());
+    }
+
+    #[test]
+    fn non_coordinate_address_returns_none() {
+        let m = compile_to_fir(
+            "program t
+real(kind=8) :: x
+x = 1.0
+end program t",
+        )
+        .unwrap();
+        let store = collect_ops_named(&m, fir::STORE)[0];
+        assert!(decode_access(&m, m.op(store).operands[1]).is_none());
+    }
+
+    #[test]
+    fn scaled_index_is_unknown() {
+        // a(2*i) is not a stencil access.
+        let m = compile_to_fir(
+            "program t
+integer :: i
+real(kind=8) :: a(16)
+do i = 1, 8
+  a(2*i) = 0.0
+end do
+end program t",
+        )
+        .unwrap();
+        let store = collect_ops_named(&m, fir::STORE)
+            .into_iter()
+            .find(|&s| m.value_type(m.op(s).operands[0]) == &Type::f64())
+            .unwrap();
+        let access = decode_access(&m, m.op(store).operands[1]).unwrap();
+        assert_eq!(access.index_exprs, vec![IndexExpr::Unknown]);
+    }
+}

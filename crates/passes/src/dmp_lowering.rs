@@ -1,0 +1,211 @@
+//! Distributed-memory lowering: `stencil-to-dmp` and `dmp-to-mpi`
+//! (§3 / Figure 6 of the paper).
+//!
+//! `stencil-to-dmp` computes each apply's halo (the maximum absolute access
+//! offset per dimension) and inserts a technology-agnostic `dmp.swap` on
+//! every input temp, plus a `dmp.grid` describing the process decomposition
+//! (the paper decomposes the 3-D domain over two dimensions).
+//!
+//! `dmp-to-mpi` specialises every swap into non-blocking point-to-point
+//! exchanges with both neighbours along each decomposed dimension, followed
+//! by a `mpi.waitall` — the message schedule the `fsc-mpisim` substrate
+//! executes and times.
+
+use fsc_dialects::{dmp, mpi, stencil};
+use fsc_ir::pass::PassOptions;
+use fsc_ir::walk::collect_ops_named;
+use fsc_ir::{Attribute, Module, OpBuilder, Pass, PassResult, Result};
+
+/// Attribute on `func.func` recording the process-grid decomposition.
+pub const DECOMPOSITION_ATTR: &str = "dmp_decomposition";
+
+/// `stencil-to-dmp`: annotate applies with halo swaps.
+#[derive(Debug, Clone)]
+pub struct StencilToDmp {
+    /// Process grid shape, aligned to the *last* (slowest) data dimensions.
+    /// E.g. `[4, 2]` over a 3-D domain decomposes dims 2 and 1.
+    pub grid: Vec<i64>,
+}
+
+impl Default for StencilToDmp {
+    fn default() -> Self {
+        Self { grid: vec![2, 2] }
+    }
+}
+
+impl StencilToDmp {
+    /// From pipeline options (`grid=4,2`).
+    pub fn from_options(opts: &PassOptions) -> Self {
+        Self { grid: opts.get_int_list("grid").unwrap_or_else(|| vec![2, 2]) }
+    }
+}
+
+impl Pass for StencilToDmp {
+    fn name(&self) -> &str {
+        "stencil-to-dmp"
+    }
+
+    fn run(&self, module: &mut Module) -> Result<PassResult> {
+        let applies = collect_ops_named(module, stencil::APPLY);
+        if applies.is_empty() {
+            return Ok(PassResult::Unchanged);
+        }
+        for apply_op in applies {
+            let apply = stencil::ApplyOp(apply_op);
+            let rank = apply.output_bounds(module).len();
+            // Halo per dim = max |offset| over all accesses in the body.
+            let mut halo = vec![0i64; rank];
+            for op in module.block_ops(apply.body(module)) {
+                if let Some(offs) = stencil::access_offset(module, op) {
+                    for (d, &o) in offs.iter().enumerate() {
+                        halo[d] = halo[d].max(o.abs());
+                    }
+                }
+            }
+            // Which dims are decomposed: the last `grid.len()` ones.
+            let decomposed_from = rank.saturating_sub(self.grid.len());
+            let mut swap_halo = vec![0i64; rank];
+            for d in decomposed_from..rank {
+                swap_halo[d] = halo[d];
+            }
+            let inputs = module.op(apply_op).operands.clone();
+            let mut b = OpBuilder::before(module, apply_op);
+            for input in inputs {
+                if b.module_ref().value_type(input).stencil_bounds().is_some() {
+                    dmp::build_swap(&mut b, input, swap_halo.clone());
+                }
+            }
+        }
+        // Record the decomposition on every function containing an apply.
+        let funcs = module.top_level_ops_named(fsc_dialects::func::FUNC);
+        for f in funcs {
+            module.op_mut(f).attrs.insert(
+                DECOMPOSITION_ATTR.into(),
+                Attribute::IndexList(self.grid.clone()),
+            );
+        }
+        Ok(PassResult::Changed)
+    }
+}
+
+/// `dmp-to-mpi`: swaps become isend/irecv pairs plus waitall.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DmpToMpi;
+
+impl Pass for DmpToMpi {
+    fn name(&self) -> &str {
+        "dmp-to-mpi"
+    }
+
+    fn run(&self, module: &mut Module) -> Result<PassResult> {
+        let swaps = collect_ops_named(module, dmp::SWAP);
+        if swaps.is_empty() {
+            return Ok(PassResult::Unchanged);
+        }
+        let mut tag = 0i64;
+        for swap in swaps {
+            let halo = dmp::swap_halo(module, swap).unwrap_or_default();
+            let buffer = module.op(swap).operands[0];
+            let mut b = OpBuilder::before(module, swap);
+            let mut any = false;
+            for (dim, &width) in halo.iter().enumerate() {
+                if width == 0 {
+                    continue;
+                }
+                any = true;
+                for direction in [-1i64, 1] {
+                    let spec = mpi::HaloSpec { dim: dim as i64, direction, width, tag };
+                    mpi::isend(&mut b, buffer, &spec);
+                    mpi::irecv(&mut b, buffer, &spec);
+                    tag += 1;
+                }
+            }
+            if any {
+                mpi::waitall(&mut b);
+            }
+            module.erase_op(swap);
+        }
+        Ok(PassResult::Changed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discover::discover_stencils;
+    use crate::extract::extract_stencils;
+    use fsc_fortran::compile_to_fir;
+
+    const GS3D: &str = "
+program gs
+  integer, parameter :: n = 8
+  integer :: i, j, k
+  real(kind=8) :: u(0:n+1, 0:n+1, 0:n+1), un(0:n+1, 0:n+1, 0:n+1)
+  do k = 1, n
+    do j = 1, n
+      do i = 1, n
+        un(i, j, k) = (u(i-1, j, k) + u(i+1, j, k) + u(i, j-1, k) &
+                     + u(i, j+1, k) + u(i, j, k-1) + u(i, j, k+1)) / 6.0
+      end do
+    end do
+  end do
+end program gs
+";
+
+    fn stencil_module() -> Module {
+        let mut m = compile_to_fir(GS3D).unwrap();
+        discover_stencils(&mut m).unwrap();
+        extract_stencils(&mut m).unwrap()
+    }
+
+    #[test]
+    fn swap_carries_halo_on_decomposed_dims() {
+        let mut st = stencil_module();
+        StencilToDmp { grid: vec![4, 2] }.run(&mut st).unwrap();
+        let swaps = collect_ops_named(&st, dmp::SWAP);
+        assert_eq!(swaps.len(), 1, "one input temp");
+        // 3-D domain, 2-D grid: dims 1 and 2 decomposed, dim 0 local.
+        assert_eq!(dmp::swap_halo(&st, swaps[0]), Some(vec![0, 1, 1]));
+        // Decomposition recorded on the function.
+        let f = st.top_level_ops_named(fsc_dialects::func::FUNC)[0];
+        assert_eq!(
+            st.op(f).attr(DECOMPOSITION_ATTR).unwrap().as_index_list(),
+            Some(&[4, 2][..])
+        );
+    }
+
+    #[test]
+    fn dmp_to_mpi_generates_neighbour_exchanges() {
+        let mut st = stencil_module();
+        StencilToDmp { grid: vec![4, 2] }.run(&mut st).unwrap();
+        DmpToMpi.run(&mut st).unwrap();
+        assert!(collect_ops_named(&st, dmp::SWAP).is_empty());
+        // 2 decomposed dims × 2 directions = 4 isend + 4 irecv + 1 waitall.
+        assert_eq!(collect_ops_named(&st, mpi::ISEND).len(), 4);
+        assert_eq!(collect_ops_named(&st, mpi::IRECV).len(), 4);
+        assert_eq!(collect_ops_named(&st, mpi::WAITALL).len(), 1);
+        let spec = mpi::halo_spec(&st, collect_ops_named(&st, mpi::ISEND)[0]).unwrap();
+        assert_eq!(spec.width, 1);
+    }
+
+    #[test]
+    fn one_dim_grid_swaps_last_dim_only() {
+        let mut st = stencil_module();
+        StencilToDmp { grid: vec![8] }.run(&mut st).unwrap();
+        let swaps = collect_ops_named(&st, dmp::SWAP);
+        assert_eq!(dmp::swap_halo(&st, swaps[0]), Some(vec![0, 0, 1]));
+        let mut st2 = st.clone();
+        DmpToMpi.run(&mut st2).unwrap();
+        assert_eq!(collect_ops_named(&st2, mpi::ISEND).len(), 2);
+    }
+
+    #[test]
+    fn no_applies_means_unchanged() {
+        let mut m = Module::new();
+        assert_eq!(
+            StencilToDmp::default().run(&mut m).unwrap(),
+            PassResult::Unchanged
+        );
+        assert_eq!(DmpToMpi.run(&mut m).unwrap(), PassResult::Unchanged);
+    }
+}

@@ -1,0 +1,146 @@
+//! The Gauss–Seidel / Laplace benchmark of §4.1: a 7-point, 6-flop
+//! neighbour average in three dimensions, iterated with double buffering
+//! (so every execution path — interpreter, stencil kernels, baselines —
+//! computes the identical Jacobi-style result).
+
+use crate::grid::{init_value, Grid3};
+
+/// FP operations per grid cell (5 adds + 1 divide), as stated in §4.1.
+pub const FLOPS_PER_CELL: u64 = 6;
+
+/// The benchmark's Fortran source for interior size `n` and `iters` time
+/// steps. This is what the driver feeds the frontend — the same unmodified
+/// serial code for every target, which is the paper's headline claim.
+pub fn fortran_source(n: usize, iters: usize) -> String {
+    format!(
+        "program gauss_seidel
+  implicit none
+  integer, parameter :: n = {n}
+  integer, parameter :: niters = {iters}
+  integer :: i, j, k, t
+  real(kind=8) :: u(0:n+1, 0:n+1, 0:n+1), un(0:n+1, 0:n+1, 0:n+1)
+  do k = 0, n+1
+    do j = 0, n+1
+      do i = 0, n+1
+        u(i, j, k) = 0.01 * i + 0.02 * j + 0.03 * k
+      end do
+    end do
+  end do
+  do t = 1, niters
+    do k = 1, n
+      do j = 1, n
+        do i = 1, n
+          un(i, j, k) = (u(i-1, j, k) + u(i+1, j, k) + u(i, j-1, k) &
+                       + u(i, j+1, k) + u(i, j, k-1) + u(i, j, k+1)) / 6.0
+        end do
+      end do
+    end do
+    do k = 1, n
+      do j = 1, n
+        do i = 1, n
+          u(i, j, k) = un(i, j, k)
+        end do
+      end do
+    end do
+  end do
+end program gauss_seidel
+"
+    )
+}
+
+/// One double-buffered sweep: interior of `un` from `u`.
+pub fn sweep(u: &Grid3, un: &mut Grid3) {
+    let n = u.n;
+    for k in 1..=n {
+        for j in 1..=n {
+            for i in 1..=n {
+                let v = (u.at(i - 1, j, k)
+                    + u.at(i + 1, j, k)
+                    + u.at(i, j - 1, k)
+                    + u.at(i, j + 1, k)
+                    + u.at(i, j, k - 1)
+                    + u.at(i, j, k + 1))
+                    / 6.0;
+                un.set(i, j, k, v);
+            }
+        }
+    }
+}
+
+/// Clarity-first reference: run the full benchmark and return the final `u`.
+pub fn reference(n: usize, iters: usize) -> Grid3 {
+    let mut u = Grid3::new(n);
+    u.init_analytic();
+    let mut un = Grid3::new(n);
+    for _ in 0..iters {
+        sweep(&u, &mut un);
+        // Copy interior back (the Fortran copy loop).
+        for k in 1..=n {
+            for j in 1..=n {
+                for i in 1..=n {
+                    let v = un.at(i, j, k);
+                    u.set(i, j, k, v);
+                }
+            }
+        }
+    }
+    u
+}
+
+/// The expected value of the initial field at `(i,j,k)` (halo cells keep it
+/// throughout, since boundaries are never rewritten).
+pub fn boundary_value(i: usize, j: usize, k: usize) -> f64 {
+    init_value(i, j, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_field_is_harmonic() {
+        // u = 0.01 i + 0.02 j + 0.03 k is harmonic: the 6-neighbour average
+        // equals the centre, so iteration is a fixed point.
+        let u = reference(6, 3);
+        for k in 1..=6 {
+            for j in 1..=6 {
+                for i in 1..=6 {
+                    let expect = init_value(i, j, k);
+                    assert!(
+                        (u.at(i, j, k) - expect).abs() < 1e-12,
+                        "({i},{j},{k}): {} vs {expect}",
+                        u.at(i, j, k)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_smooths_a_spike() {
+        let n = 5;
+        let mut u = Grid3::new(n);
+        u.set(3, 3, 3, 6.0);
+        let mut un = Grid3::new(n);
+        sweep(&u, &mut un);
+        assert_eq!(un.at(3, 3, 3), 0.0, "centre sees only zero neighbours");
+        assert_eq!(un.at(2, 3, 3), 1.0, "each neighbour sees the spike once");
+        assert_eq!(un.at(3, 4, 3), 1.0);
+        assert_eq!(un.at(1, 1, 1), 0.0);
+    }
+
+    #[test]
+    fn source_parses_and_compiles() {
+        let src = fortran_source(4, 2);
+        let m = fsc_fortran::compile_to_fir(&src).unwrap();
+        assert!(m.live_op_count() > 50);
+    }
+
+    #[test]
+    fn zero_iterations_is_initial_field() {
+        let u = reference(4, 0);
+        let mut expect = Grid3::new(4);
+        expect.init_analytic();
+        assert_eq!(u, expect);
+    }
+}

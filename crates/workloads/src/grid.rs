@@ -1,0 +1,108 @@
+//! 3-D grid storage shared by references and baselines.
+//!
+//! Layout matches the compiler stack: column-major (first index fastest),
+//! with a one-cell halo on every side — an array declared
+//! `u(0:n+1, 0:n+1, 0:n+1)` in Fortran.
+
+/// A cube grid with halo: extents `(n+2)³`, interior `1..=n`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid3 {
+    /// Interior points per dimension.
+    pub n: usize,
+    /// Extent per dimension (`n + 2`).
+    pub e: usize,
+    /// Flat column-major storage.
+    pub data: Vec<f64>,
+}
+
+impl Grid3 {
+    /// Zero-filled grid with interior size `n`.
+    pub fn new(n: usize) -> Self {
+        let e = n + 2;
+        Self { n, e, data: vec![0.0; e * e * e] }
+    }
+
+    /// Linear index of Fortran coordinates `(i, j, k)` with lower bound 0.
+    #[inline]
+    pub fn idx(&self, i: usize, j: usize, k: usize) -> usize {
+        i + self.e * (j + self.e * k)
+    }
+
+    /// Read one cell.
+    #[inline]
+    pub fn at(&self, i: usize, j: usize, k: usize) -> f64 {
+        self.data[self.idx(i, j, k)]
+    }
+
+    /// Write one cell.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, k: usize, v: f64) {
+        let idx = self.idx(i, j, k);
+        self.data[idx] = v;
+    }
+
+    /// Deterministic analytic initialisation, identical to the loop the
+    /// benchmark Fortran sources run: `0.01*i + 0.02*j + 0.03*k` over the
+    /// whole extent (halo included).
+    pub fn init_analytic(&mut self) {
+        for k in 0..self.e {
+            for j in 0..self.e {
+                for i in 0..self.e {
+                    self.set(i, j, k, init_value(i, j, k));
+                }
+            }
+        }
+    }
+
+    /// Total cells including halo.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the grid has no storage (never for constructed grids).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Interior cell count (`n³`).
+    pub fn interior_cells(&self) -> u64 {
+        (self.n as u64).pow(3)
+    }
+}
+
+/// The shared analytic initial condition.
+#[inline]
+pub fn init_value(i: usize, j: usize, k: usize) -> f64 {
+    0.01 * i as f64 + 0.02 * j as f64 + 0.03 * k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_column_major() {
+        let g = Grid3::new(2);
+        assert_eq!(g.e, 4);
+        assert_eq!(g.idx(1, 0, 0), 1);
+        assert_eq!(g.idx(0, 1, 0), 4);
+        assert_eq!(g.idx(0, 0, 1), 16);
+        assert_eq!(g.len(), 64);
+    }
+
+    #[test]
+    fn init_matches_formula() {
+        let mut g = Grid3::new(3);
+        g.init_analytic();
+        assert_eq!(g.at(1, 2, 3), 0.01 + 0.04 + 0.09);
+        assert_eq!(g.at(0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn set_then_read() {
+        let mut g = Grid3::new(2);
+        g.set(2, 1, 3, 42.0);
+        assert_eq!(g.at(2, 1, 3), 42.0);
+        assert_eq!(g.interior_cells(), 8);
+    }
+}

@@ -1,0 +1,21 @@
+//! # fsc-workloads — the paper's two benchmarks
+//!
+//! * [`gauss_seidel`] — the 3-D Laplace solver of §4.1: a 7-point stencil
+//!   averaging the six orthogonal neighbours, 6 FP ops per grid cell,
+//!   iterated with double buffering;
+//! * [`pw_advection`] — the Piacsek–Williams advection scheme used by the
+//!   Met Office MONC model: three stencil computations over three velocity
+//!   fields (≈63 FP ops per grid cell) that the stencil transformation
+//!   fuses into a single region.
+//!
+//! Each workload provides the Fortran source (fed to the `fsc-fortran`
+//! frontend exactly as the paper feeds Flang), a clarity-first Rust
+//! reference implementation for differential testing, and helpers shared by
+//! the verification code ([`verify`], [`grid`]).
+
+pub mod gauss_seidel;
+pub mod grid;
+pub mod pw_advection;
+pub mod verify;
+
+pub use grid::Grid3;

@@ -1,0 +1,213 @@
+//! The Piacsek–Williams advection benchmark of §4.1: the momentum advection
+//! scheme used by Met Office codes such as MONC. Three stencil computations
+//! (source terms `su`, `sv`, `sw` for the three velocity components) over
+//! three fields (`u`, `v`, `w`), each combining neighbour products along all
+//! three dimensions — ≈63 FP ops per grid cell, fused by the stencil
+//! transformation into a single region.
+
+use crate::grid::Grid3;
+
+/// Nominal FP operations per grid cell as the paper reports it.
+pub const FLOPS_PER_CELL: u64 = 63;
+
+/// Advection coefficients (time step over cell spacing per dimension).
+pub const TCX: f64 = 0.1;
+/// See [`TCX`].
+pub const TCY: f64 = 0.2;
+/// See [`TCX`].
+pub const TCZ: f64 = 0.3;
+
+/// The benchmark's Fortran source: init of the three velocity fields, then
+/// one triple nest computing all three source terms (which discovery turns
+/// into three applies and fusion merges).
+pub fn fortran_source(n: usize) -> String {
+    format!(
+        "program pw_advection
+  implicit none
+  integer, parameter :: n = {n}
+  real(kind=8), parameter :: tcx = {TCX}
+  real(kind=8), parameter :: tcy = {TCY}
+  real(kind=8), parameter :: tcz = {TCZ}
+  integer :: i, j, k
+  real(kind=8) :: u(0:n+1, 0:n+1, 0:n+1), v(0:n+1, 0:n+1, 0:n+1), w(0:n+1, 0:n+1, 0:n+1)
+  real(kind=8) :: su(0:n+1, 0:n+1, 0:n+1), sv(0:n+1, 0:n+1, 0:n+1), sw(0:n+1, 0:n+1, 0:n+1)
+  do k = 0, n+1
+    do j = 0, n+1
+      do i = 0, n+1
+        u(i, j, k) = 0.01 * i + 0.02 * j + 0.03 * k
+        v(i, j, k) = 0.01 * k + 0.02 * i + 0.03 * j
+        w(i, j, k) = 0.01 * j + 0.02 * k + 0.03 * i
+      end do
+    end do
+  end do
+  do k = 1, n
+    do j = 1, n
+      do i = 1, n
+        su(i, j, k) = tcx * (u(i-1, j, k) * (u(i, j, k) + u(i-1, j, k)) &
+                    - u(i+1, j, k) * (u(i, j, k) + u(i+1, j, k))) &
+                    + tcy * (v(i, j, k) * (u(i, j-1, k) + u(i, j, k)) &
+                    - v(i, j+1, k) * (u(i, j, k) + u(i, j+1, k))) &
+                    + tcz * (w(i, j, k) * (u(i, j, k-1) + u(i, j, k)) &
+                    - w(i, j, k+1) * (u(i, j, k) + u(i, j, k+1)))
+        sv(i, j, k) = tcx * (u(i, j, k) * (v(i-1, j, k) + v(i, j, k)) &
+                    - u(i+1, j, k) * (v(i, j, k) + v(i+1, j, k))) &
+                    + tcy * (v(i, j-1, k) * (v(i, j, k) + v(i, j-1, k)) &
+                    - v(i, j+1, k) * (v(i, j, k) + v(i, j+1, k))) &
+                    + tcz * (w(i, j, k) * (v(i, j, k-1) + v(i, j, k)) &
+                    - w(i, j, k+1) * (v(i, j, k) + v(i, j, k+1)))
+        sw(i, j, k) = tcx * (u(i, j, k) * (w(i-1, j, k) + w(i, j, k)) &
+                    - u(i+1, j, k) * (w(i, j, k) + w(i+1, j, k))) &
+                    + tcy * (v(i, j, k) * (w(i, j-1, k) + w(i, j, k)) &
+                    - v(i, j+1, k) * (w(i, j, k) + w(i, j+1, k))) &
+                    + tcz * (w(i, j, k-1) * (w(i, j, k) + w(i, j, k-1)) &
+                    - w(i, j, k+1) * (w(i, j, k) + w(i, j, k+1)))
+      end do
+    end do
+  end do
+end program pw_advection
+"
+    )
+}
+
+/// Like [`fortran_source`] but with the compute nest wrapped in a time loop
+/// of `reps` iterations — models the kernel "called from a larger code base"
+/// (§4.4) so GPU residency effects across launches are exercised.
+pub fn fortran_source_repeated(n: usize, reps: usize) -> String {
+    let single = fortran_source(n);
+    // Declare the loop variable and wrap the compute nest (which starts at
+    // the first `do k = 1, n`) in `do t = 1, reps`.
+    let with_t = single.replace(
+        "  integer :: i, j, k\n",
+        "  integer :: i, j, k, t\n",
+    );
+    let marker = "  do k = 1, n";
+    let pos = with_t.find(marker).expect("compute nest marker");
+    let (head, tail) = with_t.split_at(pos);
+    let tail = tail
+        .strip_suffix("end program pw_advection\n")
+        .expect("program trailer");
+    format!("{head}  do t = 1, {reps}\n{tail}  end do\nend program pw_advection\n")
+}
+
+/// The three initial velocity fields the Fortran source sets up.
+pub fn initial_fields(n: usize) -> (Grid3, Grid3, Grid3) {
+    let mut u = Grid3::new(n);
+    let mut v = Grid3::new(n);
+    let mut w = Grid3::new(n);
+    for k in 0..n + 2 {
+        for j in 0..n + 2 {
+            for i in 0..n + 2 {
+                u.set(i, j, k, 0.01 * i as f64 + 0.02 * j as f64 + 0.03 * k as f64);
+                v.set(i, j, k, 0.01 * k as f64 + 0.02 * i as f64 + 0.03 * j as f64);
+                w.set(i, j, k, 0.01 * j as f64 + 0.02 * k as f64 + 0.03 * i as f64);
+            }
+        }
+    }
+    (u, v, w)
+}
+
+/// Clarity-first reference for the source terms.
+pub fn reference(u: &Grid3, v: &Grid3, w: &Grid3) -> (Grid3, Grid3, Grid3) {
+    let n = u.n;
+    let mut su = Grid3::new(n);
+    let mut sv = Grid3::new(n);
+    let mut sw = Grid3::new(n);
+    for k in 1..=n {
+        for j in 1..=n {
+            for i in 1..=n {
+                let su_v = TCX
+                    * (u.at(i - 1, j, k) * (u.at(i, j, k) + u.at(i - 1, j, k))
+                        - u.at(i + 1, j, k) * (u.at(i, j, k) + u.at(i + 1, j, k)))
+                    + TCY
+                        * (v.at(i, j, k) * (u.at(i, j - 1, k) + u.at(i, j, k))
+                            - v.at(i, j + 1, k) * (u.at(i, j, k) + u.at(i, j + 1, k)))
+                    + TCZ
+                        * (w.at(i, j, k) * (u.at(i, j, k - 1) + u.at(i, j, k))
+                            - w.at(i, j, k + 1) * (u.at(i, j, k) + u.at(i, j, k + 1)));
+                let sv_v = TCX
+                    * (u.at(i, j, k) * (v.at(i - 1, j, k) + v.at(i, j, k))
+                        - u.at(i + 1, j, k) * (v.at(i, j, k) + v.at(i + 1, j, k)))
+                    + TCY
+                        * (v.at(i, j - 1, k) * (v.at(i, j, k) + v.at(i, j - 1, k))
+                            - v.at(i, j + 1, k) * (v.at(i, j, k) + v.at(i, j + 1, k)))
+                    + TCZ
+                        * (w.at(i, j, k) * (v.at(i, j, k - 1) + v.at(i, j, k))
+                            - w.at(i, j, k + 1) * (v.at(i, j, k) + v.at(i, j, k + 1)));
+                let sw_v = TCX
+                    * (u.at(i, j, k) * (w.at(i - 1, j, k) + w.at(i, j, k))
+                        - u.at(i + 1, j, k) * (w.at(i, j, k) + w.at(i + 1, j, k)))
+                    + TCY
+                        * (v.at(i, j, k) * (w.at(i, j - 1, k) + w.at(i, j, k))
+                            - v.at(i, j + 1, k) * (w.at(i, j, k) + w.at(i, j + 1, k)))
+                    + TCZ
+                        * (w.at(i, j, k - 1) * (w.at(i, j, k) + w.at(i, j, k - 1))
+                            - w.at(i, j, k + 1) * (w.at(i, j, k) + w.at(i, j, k + 1)));
+                su.set(i, j, k, su_v);
+                sv.set(i, j, k, sv_v);
+                sw.set(i, j, k, sw_v);
+            }
+        }
+    }
+    (su, sv, sw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_parses_and_compiles() {
+        let src = fortran_source(4);
+        let m = fsc_fortran::compile_to_fir(&src).unwrap();
+        assert!(m.live_op_count() > 100);
+    }
+
+    #[test]
+    fn repeated_source_parses_and_compiles() {
+        let src = fortran_source_repeated(4, 3);
+        assert!(src.contains("do t = 1, 3"));
+        let m = fsc_fortran::compile_to_fir(&src).unwrap();
+        assert!(m.live_op_count() > 100);
+    }
+
+    #[test]
+    fn reference_is_antisymmetric_for_uniform_fields() {
+        // Uniform fields: the upwind/downwind products cancel exactly.
+        let n = 4;
+        let mut u = Grid3::new(n);
+        let mut v = Grid3::new(n);
+        let mut w = Grid3::new(n);
+        for c in [&mut u, &mut v, &mut w] {
+            for x in c.data.iter_mut() {
+                *x = 2.0;
+            }
+        }
+        let (su, sv, sw) = reference(&u, &v, &w);
+        for g in [&su, &sv, &sw] {
+            for k in 1..=n {
+                for j in 1..=n {
+                    for i in 1..=n {
+                        assert!(g.at(i, j, k).abs() < 1e-12);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reference_produces_nonzero_terms_for_sheared_fields() {
+        let (u, v, w) = initial_fields(4);
+        let (su, _, _) = reference(&u, &v, &w);
+        assert!(su.at(2, 2, 2).abs() > 1e-9);
+    }
+
+    #[test]
+    fn halo_untouched_by_reference() {
+        let (u, v, w) = initial_fields(4);
+        let (su, sv, sw) = reference(&u, &v, &w);
+        for g in [&su, &sv, &sw] {
+            assert_eq!(g.at(0, 0, 0), 0.0);
+            assert_eq!(g.at(5, 5, 5), 0.0);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Verification helpers for comparing execution paths.
+
+/// Maximum absolute elementwise difference.
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch: {} vs {}", a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Root-mean-square difference.
+pub fn rms_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    if a.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    (sum / a.len() as f64).sqrt()
+}
+
+/// Order-independent checksum for regression tracking.
+pub fn checksum(a: &[f64]) -> f64 {
+    a.iter().enumerate().map(|(i, &v)| v * ((i % 97) as f64 + 1.0)).sum()
+}
+
+/// Assert two fields agree to `tol`, with a helpful message.
+pub fn assert_fields_match(a: &[f64], b: &[f64], tol: f64, what: &str) {
+    let d = max_abs_diff(a, b);
+    assert!(d <= tol, "{what}: max |diff| = {d:e} exceeds {tol:e}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diffs() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 2.5, 3.0];
+        assert_eq!(max_abs_diff(&a, &b), 0.5);
+        assert!((rms_diff(&a, &b) - (0.25f64 / 3.0).sqrt()).abs() < 1e-15);
+        assert_eq!(max_abs_diff(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn checksum_is_position_sensitive() {
+        assert_ne!(checksum(&[1.0, 2.0]), checksum(&[2.0, 1.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn mismatch_panics() {
+        assert_fields_match(&[0.0], &[1.0], 1e-9, "test");
+    }
+}

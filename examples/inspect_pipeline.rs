@@ -1,0 +1,64 @@
+//! Walk the paper's Listing 1 through every stage of the Figure 1 pipeline
+//! and print the IR after each transformation — the compiler-engineer's view
+//! of what the other examples do end to end.
+//!
+//! ```sh
+//! cargo run --example inspect_pipeline
+//! ```
+
+use flang_stencil::ir::print::print_module;
+use flang_stencil::ir::Pass as _;
+use flang_stencil::passes;
+
+const LISTING1: &str = "
+program average
+  integer, parameter :: n = 8
+  integer :: i, j
+  real(kind=8) :: data(0:n+1, 0:n+1), res(0:n+1, 0:n+1)
+  do i = 1, n
+    do j = 1, n
+      res(j, i) = 0.25 * (data(j, i-1) + data(j, i+1) + data(j-1, i) + data(j+1, i))
+    end do
+  end do
+end program average
+";
+
+fn banner(title: &str) {
+    println!("\n{}\n{title}\n{}", "=".repeat(72), "=".repeat(72));
+}
+
+fn show(m: &flang_stencil::ir::Module, max_lines: usize) {
+    let text = print_module(m);
+    for line in text.lines().take(max_lines) {
+        println!("{line}");
+    }
+    let total = text.lines().count();
+    if total > max_lines {
+        println!("... ({total} lines total)");
+    }
+}
+
+fn main() {
+    banner("1. Flang frontend output: the FIR dialect");
+    let mut m = flang_stencil::fortran::compile_to_fir(LISTING1).unwrap();
+    show(&m, 40);
+
+    banner("2. after discover-stencils + merge-stencils (Listing 3)");
+    passes::discover::DiscoverStencils::default().run(&mut m).unwrap();
+    show(&m, 40);
+
+    banner("3. after extract-stencils: the FIR module (calls the region)");
+    let mut st = passes::extract::extract_stencils(&mut m).unwrap();
+    show(&m, 25);
+
+    banner("3b. ... and the extracted stencil module");
+    show(&st, 40);
+
+    banner("4. after the CPU pipeline (stencil → scf.parallel/scf.for)");
+    passes::pipelines::cpu_pipeline().unwrap().run(&mut st).unwrap();
+    show(&st, 50);
+
+    banner("5. the compiled kernel");
+    let kernel = flang_stencil::exec::kernel::compile_kernel(&st, "stencil_region_0").unwrap();
+    println!("{kernel:#?}");
+}

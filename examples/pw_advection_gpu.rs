@@ -1,0 +1,66 @@
+//! PW advection on the modeled V100 (Figure 5's configuration): both of the
+//! paper's data-management strategies against the hand-written OpenACC
+//! baseline.
+//!
+//! ```sh
+//! cargo run --release --example pw_advection_gpu [n] [launches]
+//! ```
+
+use flang_stencil::baselines::openacc;
+use flang_stencil::core::{CompileOptions, Compiler, Target};
+use flang_stencil::gpusim::V100Model;
+use flang_stencil::workloads::pw_advection;
+use flang_stencil::workloads::verify::assert_fields_match;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(64);
+    let launches: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(10);
+    println!("PW advection {n}³ on the V100 model ({launches} kernel launches)\n");
+
+    let source = pw_advection::fortran_source(n);
+    let mut results = Vec::new();
+    for (label, explicit) in [("stencil (host_register data)", false),
+                              ("stencil (optimised data)   ", true)] {
+        let opts = CompileOptions {
+            target: Target::StencilGpu { explicit_data: explicit, tile: [32, 32, 1] },
+            verify_each_pass: false,
+        };
+        // The benchmark kernel is launched repeatedly from a larger code;
+        // model that by re-running the program and accumulating per-launch
+        // costs (residency carries inside one program run; across runs the
+        // first-touch cost is charged again, matching a cold start).
+        let compiled = Compiler::compile(&source, &opts).expect("compile");
+        let exec = compiled.run().expect("run");
+        let per_launch = exec.report.gpu_seconds.unwrap();
+        // One program run does `1` compute launch; scale by launches with
+        // steady-state residency for the explicit path.
+        let total = if explicit {
+            // First launch pays the upload; the rest are kernel-only.
+            let counters = exec.report.gpu.unwrap();
+            per_launch + (launches as f64 - 1.0) * counters.kernel_seconds
+        } else {
+            per_launch * launches as f64
+        };
+        let cells = (n as f64).powi(3) * launches as f64;
+        println!("{label}: {:10.1} MCells/s   ({total:.5}s modeled)", cells / total / 1e6);
+        results.push(exec);
+    }
+
+    // The hand-written OpenACC baseline under unified memory.
+    let acc = openacc::pw_run(n, launches, V100Model::default());
+    println!(
+        "hand-written OpenACC        : {:10.1} MCells/s   ({:.5}s modeled)",
+        acc.mcells_per_sec(),
+        acc.modeled_seconds
+    );
+
+    // All three agree numerically.
+    let (u, v, w) = pw_advection::initial_fields(n);
+    let (su, _, _) = pw_advection::reference(&u, &v, &w);
+    for exec in &results {
+        assert_fields_match(exec.array("su").unwrap(), &su.data, 1e-12, "su");
+    }
+    assert_fields_match(&acc.fields[0].data, &su.data, 1e-12, "acc su");
+    println!("\nall paths verified against the reference ✓");
+}
