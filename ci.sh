@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus lint gates. Run from the repo root.
+#
+#   ./ci.sh           # everything
+#   ./ci.sh --quick   # skip the release build (debug tests + lints only)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+echo "== fmt =="
+cargo fmt --all --check
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ $quick -eq 0 ]]; then
+  echo "== build (release) =="
+  cargo build --release
+fi
+
+echo "== test =="
+cargo test -q
+
+echo "ci: all green"

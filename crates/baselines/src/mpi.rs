@@ -15,7 +15,10 @@ use fsc_workloads::grid::{init_value, Grid3};
 /// Run hand-MPI Gauss–Seidel over `ranks` ranks (1-D decomposition along
 /// `k`), returning the assembled global field.
 pub fn gs_run(n: usize, iters: usize, ranks: usize) -> Grid3 {
-    assert!(ranks >= 1 && n % ranks == 0, "n must divide by ranks");
+    assert!(
+        ranks >= 1 && n.is_multiple_of(ranks),
+        "n must divide by ranks"
+    );
     let nk = n / ranks; // interior k-planes per rank
     let e = n + 2;
     let plane = e * e;
@@ -81,13 +84,9 @@ fn gs_rank_body(ctx: &mut RankCtx, n: usize, nk: usize, iters: usize) -> Vec<f64
             for j in 1..=n {
                 for i in 1..=n {
                     let c = lk * plane + j * e + i;
-                    un[c] = (u[c - 1]
-                        + u[c + 1]
-                        + u[c - e]
-                        + u[c + e]
-                        + u[c - plane]
-                        + u[c + plane])
-                        * inv6;
+                    un[c] =
+                        (u[c - 1] + u[c + 1] + u[c - e] + u[c + e] + u[c - plane] + u[c + plane])
+                            * inv6;
                 }
             }
         }
@@ -108,7 +107,7 @@ fn gs_rank_body(ctx: &mut RankCtx, n: usize, nk: usize, iters: usize) -> Vec<f64
 /// grid over the j and k dimensions, halo swaps with up to four
 /// neighbours per iteration, real message passing.
 pub fn gs_run_2d(n: usize, iters: usize, pj: usize, pk: usize) -> Grid3 {
-    assert!(pj >= 1 && pk >= 1 && n % pj == 0 && n % pk == 0);
+    assert!(pj >= 1 && pk >= 1 && n.is_multiple_of(pj) && n.is_multiple_of(pk));
     let (nj, nk) = (n / pj, n / pk);
     let e = n + 2;
 
@@ -128,8 +127,7 @@ pub fn gs_run_2d(n: usize, iters: usize, pj: usize, pk: usize) -> Grid3 {
                 let gk = 1 + rk * nk + dk;
                 let src = (dj + 1) * e + (dk + 1) * e * lj;
                 let dst = gj * e + gk * e * e;
-                u.data[dst + 1..dst + 1 + n]
-                    .copy_from_slice(&local[src + 1..src + 1 + n]);
+                u.data[dst + 1..dst + 1 + n].copy_from_slice(&local[src + 1..src + 1 + n]);
             }
         }
     }
@@ -327,10 +325,8 @@ mod tests {
         let cost = CostModel::default();
         let per_cell = 1e-9;
         let t128 = modeled_iteration_time(2048, &ProcessGrid::new(vec![128]), &cost, per_cell);
-        let t1024 =
-            modeled_iteration_time(2048, &ProcessGrid::new(vec![128, 8]), &cost, per_cell);
-        let t8192 =
-            modeled_iteration_time(2048, &ProcessGrid::new(vec![128, 64]), &cost, per_cell);
+        let t1024 = modeled_iteration_time(2048, &ProcessGrid::new(vec![128, 8]), &cost, per_cell);
+        let t8192 = modeled_iteration_time(2048, &ProcessGrid::new(vec![128, 64]), &cost, per_cell);
         assert!(t1024 < t128, "more ranks must be faster: {t1024} vs {t128}");
         assert!(t8192 < t1024);
         // But not perfectly: efficiency decays.

@@ -54,8 +54,18 @@ pub fn gs_run(n: usize, iters: usize, model: V100Model) -> AccRun {
         bytes_written: cells * 8,
     };
     let bufs = [
-        BufferUse { id: 0, bytes: grid_bytes(n), read: true, written: true },
-        BufferUse { id: 1, bytes: grid_bytes(n), read: true, written: true },
+        BufferUse {
+            id: 0,
+            bytes: grid_bytes(n),
+            read: true,
+            written: true,
+        },
+        BufferUse {
+            id: 1,
+            bytes: grid_bytes(n),
+            read: true,
+            written: true,
+        },
     ];
     let mut u = Grid3::new(n);
     u.init_analytic();

@@ -85,16 +85,12 @@ pub fn gs_run(n: usize, iters: usize, threads: usize) -> Grid3 {
 }
 
 /// Parallel PW advection.
-pub fn pw_run(
-    u: &Grid3,
-    v: &Grid3,
-    w: &Grid3,
-    tp: &rayon::ThreadPool,
-) -> (Grid3, Grid3, Grid3) {
+pub fn pw_run(u: &Grid3, v: &Grid3, w: &Grid3, tp: &rayon::ThreadPool) -> (Grid3, Grid3, Grid3) {
     let n = u.n;
     let e = u.e;
     let (sx, sy, sz) = (1usize, e, e * e);
-    let (tcx, tcy, tcz) = (pw_advection::TCX, pw_advection::TCY, pw_advection::TCZ);
+    let (tcx, tcy) = (pw_advection::TCX, pw_advection::TCY);
+    let (tzc1, tzc2) = (pw_advection::TZC1, pw_advection::TZC2);
     let mut su = Grid3::new(n);
     let mut sv = Grid3::new(n);
     let mut sw = Grid3::new(n);
@@ -111,24 +107,28 @@ pub fn pw_run(
                     let row = j * sy;
                     for i in 1..=n {
                         let c = k * sz + row + i;
-                        su_p[row + i] = tcx * (ud[c - sx] * (ud[c] + ud[c - sx])
-                            - ud[c + sx] * (ud[c] + ud[c + sx]))
-                            + tcy * (vd[c] * (ud[c - sy] + ud[c])
-                                - vd[c + sy] * (ud[c] + ud[c + sy]))
-                            + tcz * (wd[c] * (ud[c - sz] + ud[c])
-                                - wd[c + sz] * (ud[c] + ud[c + sz]));
-                        sv_p[row + i] = tcx * (ud[c] * (vd[c - sx] + vd[c])
-                            - ud[c + sx] * (vd[c] + vd[c + sx]))
-                            + tcy * (vd[c - sy] * (vd[c] + vd[c - sy])
-                                - vd[c + sy] * (vd[c] + vd[c + sy]))
-                            + tcz * (wd[c] * (vd[c - sz] + vd[c])
-                                - wd[c + sz] * (vd[c] + vd[c + sz]));
-                        sw_p[row + i] = tcx * (ud[c] * (wd[c - sx] + wd[c])
-                            - ud[c + sx] * (wd[c] + wd[c + sx]))
-                            + tcy * (vd[c] * (wd[c - sy] + wd[c])
-                                - vd[c + sy] * (wd[c] + wd[c + sy]))
-                            + tcz * (wd[c - sz] * (wd[c] + wd[c - sz])
-                                - wd[c + sz] * (wd[c] + wd[c + sz]));
+                        su_p[row + i] = tcx
+                            * (ud[c - sx] * (ud[c] + ud[c - sx])
+                                - ud[c + sx] * (ud[c] + ud[c + sx]))
+                            + tcy
+                                * (vd[c] * (ud[c - sy] + ud[c])
+                                    - vd[c + sy] * (ud[c] + ud[c + sy]))
+                            + tzc1 * wd[c] * (ud[c - sz] + ud[c])
+                            - tzc2 * wd[c + sz] * (ud[c] + ud[c + sz]);
+                        sv_p[row + i] = tcx
+                            * (ud[c] * (vd[c - sx] + vd[c]) - ud[c + sx] * (vd[c] + vd[c + sx]))
+                            + tcy
+                                * (vd[c - sy] * (vd[c] + vd[c - sy])
+                                    - vd[c + sy] * (vd[c] + vd[c + sy]))
+                            + tzc1 * wd[c] * (vd[c - sz] + vd[c])
+                            - tzc2 * wd[c + sz] * (vd[c] + vd[c + sz]);
+                        sw_p[row + i] = tcx
+                            * (ud[c] * (wd[c - sx] + wd[c]) - ud[c + sx] * (wd[c] + wd[c + sx]))
+                            + tcy
+                                * (vd[c] * (wd[c - sy] + wd[c])
+                                    - vd[c + sy] * (wd[c] + wd[c + sy]))
+                            + tzc1 * wd[c - sz] * (wd[c] + wd[c - sz])
+                            - tzc2 * wd[c + sz] * (wd[c] + wd[c + sz]);
                     }
                 }
             });

@@ -2,8 +2,10 @@
 //!
 //! * **fusion** — PW advection with `merge_stencils_if_possible` on vs off;
 //! * **tile size** — the Listing 4 GPU tiling sensitivity (modeled time);
-//! * **execution tier** — the same lowered kernels through the vectorised
-//!   runner, the naive (Flang-model) runner and the op-by-op interpreter;
+//! * **execution tier** — the same lowered kernels through each rung of
+//!   the specialization ladder (native specialized loops, superinstruction
+//!   VM, generic VM), plus the naive (Flang-model) runner and the op-by-op
+//!   interpreter;
 //! * **halo width** — DMP exchange cost as the stencil radius grows.
 //!
 //! ```sh
@@ -12,6 +14,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fsc_core::{CompileOptions, Compiler, Target};
+use fsc_exec::ExecPath;
 use fsc_mpisim::{CostModel, ProcessGrid};
 use fsc_workloads::pw_advection;
 
@@ -22,21 +25,35 @@ fn ablation_fusion(c: &mut Criterion) {
     // discovery but with the *optimised* runner, isolating fusion itself.
     let mut g = c.benchmark_group("ablation_fusion");
     let source = pw_advection::fortran_source(N);
-    let fused =
-        Compiler::compile(&source, &CompileOptions { target: Target::StencilCpu, verify_each_pass: false }).unwrap();
+    let fused = Compiler::compile(
+        &source,
+        &CompileOptions {
+            target: Target::StencilCpu,
+            verify_each_pass: false,
+        },
+    )
+    .unwrap();
     g.bench_function("pw_fused", |b| b.iter(|| fused.run().unwrap()));
     // Unfused: compile via the unoptimised pipeline (no merge), then run
     // through the same dispatcher — kernel count differs.
     let unfused = {
         let mut fir = fsc_fortran::compile_to_fir(&source).unwrap();
-        fsc_passes::pipelines::discovery_pipeline_unfused().run(&mut fir).unwrap();
+        fsc_passes::pipelines::discovery_pipeline_unfused()
+            .run(&mut fir)
+            .unwrap();
         let mut st = fsc_passes::extract::extract_stencils(&mut fir).unwrap();
-        fsc_passes::pipelines::cpu_pipeline().unwrap().run(&mut st).unwrap();
+        fsc_passes::pipelines::cpu_pipeline()
+            .unwrap()
+            .run(&mut st)
+            .unwrap();
         let mut kernels = std::collections::HashMap::new();
         for f in st.top_level_ops_named("func.func") {
             let name = fsc_dialects::func::FuncOp(f).name(&st);
             if name.starts_with("stencil_region_") {
-                kernels.insert(name.clone(), fsc_exec::kernel::compile_kernel(&st, &name).unwrap());
+                kernels.insert(
+                    name.clone(),
+                    fsc_exec::kernel::compile_kernel(&st, &name).unwrap(),
+                );
             }
         }
         (fir, kernels)
@@ -62,7 +79,13 @@ fn ablation_tiling(c: &mut Criterion) {
         let label = format!("{}x{}x{}", tile[0], tile[1], tile[2]);
         let compiled = Compiler::compile(
             &source,
-            &CompileOptions { target: Target::StencilGpu { explicit_data: true, tile }, verify_each_pass: false },
+            &CompileOptions {
+                target: Target::StencilGpu {
+                    explicit_data: true,
+                    tile,
+                },
+                verify_each_pass: false,
+            },
         )
         .unwrap();
         let exec = compiled.run().unwrap();
@@ -80,12 +103,41 @@ fn ablation_tiling(c: &mut Criterion) {
 fn ablation_exec_tier(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_exec_tier");
     let source = pw_advection::fortran_source(N);
+    // The stencil tier's own specialization ladder: native loops vs the
+    // superinstruction VM vs the generic VM, all on the same compiled
+    // kernels (forced per nest, so the gap is pure dispatch cost).
+    for path in [
+        ExecPath::Specialized,
+        ExecPath::FusedVm,
+        ExecPath::GenericVm,
+    ] {
+        let mut compiled = Compiler::compile(
+            &source,
+            &CompileOptions {
+                target: Target::StencilCpu,
+                verify_each_pass: false,
+            },
+        )
+        .unwrap();
+        for kernel in compiled.kernels.values_mut() {
+            kernel.force_exec_path(path);
+        }
+        g.bench_function(BenchmarkId::new("pw", path.to_string()), |b| {
+            b.iter(|| compiled.run().unwrap())
+        });
+    }
     for (label, target) in [
-        ("vectorised", Target::StencilCpu),
         ("naive", Target::UnoptimizedCpu),
         ("interpreter", Target::FlangOnly),
     ] {
-        let compiled = Compiler::compile(&source, &CompileOptions { target, verify_each_pass: false }).unwrap();
+        let compiled = Compiler::compile(
+            &source,
+            &CompileOptions {
+                target,
+                verify_each_pass: false,
+            },
+        )
+        .unwrap();
         g.bench_function(BenchmarkId::new("pw", label), |b| {
             b.iter(|| compiled.run().unwrap())
         });

@@ -21,7 +21,10 @@ fn bench_gs_threads(c: &mut Criterion) {
         let source = gauss_seidel::fortran_source(N, ITERS);
         let compiled = Compiler::compile(
             &source,
-            &CompileOptions { target: Target::StencilOpenMp { threads }, verify_each_pass: false },
+            &CompileOptions {
+                target: Target::StencilOpenMp { threads },
+                verify_each_pass: false,
+            },
         )
         .unwrap();
         g.bench_function(BenchmarkId::new("stencil_auto", threads), |b| {
@@ -41,7 +44,10 @@ fn bench_pw_threads(c: &mut Criterion) {
         let source = pw_advection::fortran_source(N);
         let compiled = Compiler::compile(
             &source,
-            &CompileOptions { target: Target::StencilOpenMp { threads }, verify_each_pass: false },
+            &CompileOptions {
+                target: Target::StencilOpenMp { threads },
+                verify_each_pass: false,
+            },
         )
         .unwrap();
         g.bench_function(BenchmarkId::new("stencil_auto", threads), |b| {

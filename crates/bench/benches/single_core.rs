@@ -19,13 +19,25 @@ fn bench_gs(c: &mut Criterion) {
     g.bench_function(BenchmarkId::new("cray", N), |b| {
         b.iter(|| cray::gs_run(N, ITERS))
     });
-    let flang = Compiler::compile(&source, &CompileOptions { target: Target::UnoptimizedCpu, verify_each_pass: false })
-        .unwrap();
+    let flang = Compiler::compile(
+        &source,
+        &CompileOptions {
+            target: Target::UnoptimizedCpu,
+            verify_each_pass: false,
+        },
+    )
+    .unwrap();
     g.bench_function(BenchmarkId::new("flang_only", N), |b| {
         b.iter(|| flang.run().unwrap())
     });
-    let stencil =
-        Compiler::compile(&source, &CompileOptions { target: Target::StencilCpu, verify_each_pass: false }).unwrap();
+    let stencil = Compiler::compile(
+        &source,
+        &CompileOptions {
+            target: Target::StencilCpu,
+            verify_each_pass: false,
+        },
+    )
+    .unwrap();
     g.bench_function(BenchmarkId::new("stencil", N), |b| {
         b.iter(|| stencil.run().unwrap())
     });
@@ -39,13 +51,25 @@ fn bench_pw(c: &mut Criterion) {
     g.bench_function(BenchmarkId::new("cray", N), |b| {
         b.iter(|| cray::pw_run(&u, &v, &w))
     });
-    let flang = Compiler::compile(&source, &CompileOptions { target: Target::UnoptimizedCpu, verify_each_pass: false })
-        .unwrap();
+    let flang = Compiler::compile(
+        &source,
+        &CompileOptions {
+            target: Target::UnoptimizedCpu,
+            verify_each_pass: false,
+        },
+    )
+    .unwrap();
     g.bench_function(BenchmarkId::new("flang_only", N), |b| {
         b.iter(|| flang.run().unwrap())
     });
-    let stencil =
-        Compiler::compile(&source, &CompileOptions { target: Target::StencilCpu, verify_each_pass: false }).unwrap();
+    let stencil = Compiler::compile(
+        &source,
+        &CompileOptions {
+            target: Target::StencilCpu,
+            verify_each_pass: false,
+        },
+    )
+    .unwrap();
     g.bench_function(BenchmarkId::new("stencil", N), |b| {
         b.iter(|| stencil.run().unwrap())
     });
@@ -59,7 +83,14 @@ fn bench_compilation(c: &mut Criterion) {
     let source = gauss_seidel::fortran_source(16, 2);
     g.bench_function("gs_16_full_pipeline", |b| {
         b.iter(|| {
-            Compiler::compile(&source, &CompileOptions { target: Target::StencilCpu, verify_each_pass: false }).unwrap()
+            Compiler::compile(
+                &source,
+                &CompileOptions {
+                    target: Target::StencilCpu,
+                    verify_each_pass: false,
+                },
+            )
+            .unwrap()
         })
     });
     g.finish();

@@ -5,7 +5,7 @@
 //! cargo run --release -p fsc-bench --bin fig2 [-- sizes...]
 //! ```
 
-use fsc_bench::figures::fig2;
+use fsc_bench::figures::{fig2, fig2_exec_paths};
 use fsc_bench::print_rows;
 
 fn main() {
@@ -13,12 +13,22 @@ fn main() {
         .skip(1)
         .filter_map(|a| a.parse().ok())
         .collect();
-    let sizes = if sizes.is_empty() { vec![24, 32, 48] } else { sizes };
+    let sizes = if sizes.is_empty() {
+        vec![24, 32, 48]
+    } else {
+        sizes
+    };
     let rows = fig2(&sizes, 2, 3, Some(16));
     print_rows(
         "Figure 2: single-core performance (MCells/s, higher is better)",
         "size",
         &rows,
+    );
+    let ladder = fig2_exec_paths(*sizes.last().unwrap(), 3);
+    print_rows(
+        "Figure 2 companion: PW through the specialization ladder",
+        "size",
+        &ladder,
     );
     println!(
         "\npaper shape: Cray > Stencil > Flang-only; stencil/Flang gain larger for PW (~10x) than GS (~2x)"

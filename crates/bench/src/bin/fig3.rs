@@ -6,7 +6,10 @@ use fsc_bench::figures::fig3_gs;
 use fsc_bench::print_rows;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(48);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(48);
     let threads = [1u32, 2, 4, 8, 16, 32, 64, 128];
     let rows = fig3_gs(n, 2, &threads, 3);
     print_rows(

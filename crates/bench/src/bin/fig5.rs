@@ -10,7 +10,11 @@ fn main() {
         .skip(1)
         .filter_map(|a| a.parse().ok())
         .collect();
-    let sizes = if sizes.is_empty() { vec![32, 48, 64] } else { sizes };
+    let sizes = if sizes.is_empty() {
+        vec![32, 48, 64]
+    } else {
+        sizes
+    };
     let rows = fig5(&sizes, 10);
     print_rows(
         "Figure 5: V100 throughput (modeled; kernels executed for correctness)",

@@ -8,7 +8,10 @@ use fsc_core::{CompileOptions, Compiler, Target};
 use fsc_workloads::gauss_seidel;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(32);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(32);
     let iters = 10usize;
     let source = gauss_seidel::fortran_source(n, iters);
     let cells = (n as u64).pow(3) * iters as u64;
@@ -17,12 +20,22 @@ fn main() {
         let gpus: i64 = grid.iter().product();
         let exec = Compiler::run(
             &source,
-            &CompileOptions { target: Target::StencilMultiGpu { grid, tile: [32, 32, 1] }, verify_each_pass: false },
+            &CompileOptions {
+                target: Target::StencilMultiGpu {
+                    grid,
+                    tile: [32, 32, 1],
+                },
+                verify_each_pass: false,
+            },
         )
         .expect("run");
-        let total = exec.report.gpu_seconds.unwrap()
-            + exec.report.distributed_seconds.unwrap_or(0.0);
-        rows.push(Row::new("GS / stencil multi-GPU", gpus, mcells_per_sec(cells, total)));
+        let total =
+            exec.report.gpu_seconds.unwrap() + exec.report.distributed_seconds.unwrap_or(0.0);
+        rows.push(Row::new(
+            "GS / stencil multi-GPU",
+            gpus,
+            mcells_per_sec(cells, total),
+        ));
     }
     print_rows(
         &format!("Extension: multi-node GPU Gauss-Seidel at {n}^3 (further work §6, avenue 5)"),

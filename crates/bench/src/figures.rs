@@ -3,23 +3,38 @@
 //! Each function returns [`Row`]s so the `fig*` binaries, the tests and the
 //! EXPERIMENTS.md generator all share one implementation. Measured numbers
 //! come from real wall clocks on this machine; modeled numbers (GPU,
-//! >1-core thread scaling, multi-node runs) come from the documented
+//! multi-core thread scaling, multi-node runs) come from the documented
 //! analytic models — see EXPERIMENTS.md for the paper-vs-measured record.
 
 use fsc_baselines::{cray, mpi as hand_mpi, openacc};
 use fsc_core::{CompileOptions, Compiler, Execution, Target};
+use fsc_exec::ExecPath;
 use fsc_gpusim::V100Model;
 use fsc_mpisim::{CostModel, ProcessGrid};
 use fsc_workloads::{gauss_seidel, pw_advection};
 
-use crate::{measure, mcells_per_sec, Row, ThreadScalingModel};
+use crate::{mcells_per_sec, measure, Row, ThreadScalingModel};
 
 fn compile_target(source: &str, target: Target) -> fsc_core::Compiled {
-    Compiler::compile(source, &CompileOptions { target, verify_each_pass: false }).expect("benchmark compile failed")
+    Compiler::compile(
+        source,
+        &CompileOptions {
+            target,
+            verify_each_pass: false,
+        },
+    )
+    .expect("benchmark compile failed")
 }
 
 fn run_target(source: &str, target: Target) -> Execution {
-    Compiler::run(source, &CompileOptions { target, verify_each_pass: false }).expect("benchmark run failed")
+    Compiler::run(
+        source,
+        &CompileOptions {
+            target,
+            verify_each_pass: false,
+        },
+    )
+    .expect("benchmark run failed")
 }
 
 /// Compile once, then measure execution wall time only (compilation is not
@@ -74,7 +89,11 @@ pub fn pw_single_core(n: usize, reps: usize) -> PwSingleCore {
     let (cray_t, _) = measure(reps, || cray::pw_run(&u, &v, &w));
     let (flang_t, _) = measure_runs(&source, Target::UnoptimizedCpu, reps);
     let (stencil_t, _) = measure_runs(&source, Target::StencilCpu, reps);
-    PwSingleCore { cray: cray_t.as_secs_f64(), flang: flang_t, stencil: stencil_t }
+    PwSingleCore {
+        cray: cray_t.as_secs_f64(),
+        flang: flang_t,
+        stencil: stencil_t,
+    }
 }
 
 /// Figure 2: single-core throughput for both benchmarks across problem
@@ -85,13 +104,37 @@ pub fn fig2(sizes: &[usize], gs_iters: usize, reps: usize, interp_size: Option<u
     for &n in sizes {
         let cells = (n as u64).pow(3);
         let gs = gs_single_core(n, gs_iters, reps);
-        rows.push(Row::new("GS / Cray", format!("{n}^3"), mcells_per_sec(cells, gs.cray)));
-        rows.push(Row::new("GS / Flang only", format!("{n}^3"), mcells_per_sec(cells, gs.flang)));
-        rows.push(Row::new("GS / Stencil", format!("{n}^3"), mcells_per_sec(cells, gs.stencil)));
+        rows.push(Row::new(
+            "GS / Cray",
+            format!("{n}^3"),
+            mcells_per_sec(cells, gs.cray),
+        ));
+        rows.push(Row::new(
+            "GS / Flang only",
+            format!("{n}^3"),
+            mcells_per_sec(cells, gs.flang),
+        ));
+        rows.push(Row::new(
+            "GS / Stencil",
+            format!("{n}^3"),
+            mcells_per_sec(cells, gs.stencil),
+        ));
         let pw = pw_single_core(n, reps);
-        rows.push(Row::new("PW / Cray", format!("{n}^3"), mcells_per_sec(cells, pw.cray)));
-        rows.push(Row::new("PW / Flang only", format!("{n}^3"), mcells_per_sec(cells, pw.flang)));
-        rows.push(Row::new("PW / Stencil", format!("{n}^3"), mcells_per_sec(cells, pw.stencil)));
+        rows.push(Row::new(
+            "PW / Cray",
+            format!("{n}^3"),
+            mcells_per_sec(cells, pw.cray),
+        ));
+        rows.push(Row::new(
+            "PW / Flang only",
+            format!("{n}^3"),
+            mcells_per_sec(cells, pw.flang),
+        ));
+        rows.push(Row::new(
+            "PW / Stencil",
+            format!("{n}^3"),
+            mcells_per_sec(cells, pw.stencil),
+        ));
     }
     if let Some(n) = interp_size {
         let cells = (n as u64).pow(3);
@@ -99,6 +142,41 @@ pub fn fig2(sizes: &[usize], gs_iters: usize, reps: usize, interp_size: Option<u
         let (t, _) = measure(1, || run_target(&source, Target::FlangOnly));
         rows.push(Row::new(
             "GS / Flang only (FIR interpreter)",
+            format!("{n}^3"),
+            mcells_per_sec(cells, t.as_secs_f64()),
+        ));
+    }
+    rows
+}
+
+/// Figure 2 companion: the stencil tier's specialization ladder on PW
+/// advection — the same compiled kernels forced through native specialized
+/// loops, the superinstruction VM and the generic VM. Quantifies how much
+/// of the Stencil series' headroom comes from eliminating per-instruction
+/// dispatch. Panics if the default path is not `Specialized` for PW (the
+/// figure would silently measure the wrong tier).
+pub fn fig2_exec_paths(n: usize, reps: usize) -> Vec<Row> {
+    let source = pw_advection::fortran_source(n);
+    let cells = (n as u64).pow(3);
+    let probe = run_target(&source, Target::StencilCpu);
+    assert!(
+        probe.report.attests(ExecPath::Specialized),
+        "PW compute must take the specialized path, got {:?}",
+        probe.report.exec_paths
+    );
+    let mut rows = Vec::new();
+    for path in [
+        ExecPath::Specialized,
+        ExecPath::FusedVm,
+        ExecPath::GenericVm,
+    ] {
+        let mut compiled = compile_target(&source, Target::StencilCpu);
+        for kernel in compiled.kernels.values_mut() {
+            kernel.force_exec_path(path);
+        }
+        let (t, _) = measure(reps, || compiled.run().expect("benchmark run failed"));
+        rows.push(Row::new(
+            format!("PW / Stencil ({path})"),
             format!("{n}^3"),
             mcells_per_sec(cells, t.as_secs_f64()),
         ));
@@ -131,8 +209,16 @@ pub fn fig3_gs(n: usize, iters: usize, threads: &[u32], reps: usize) -> Vec<Row>
         let flang_t = omp.sweep_time(t, single.flang * scale, bytes, 2, 0.35);
         // Automatic: one region call covering both nests on the pool.
         let stencil_t = pool.sweep_time(t, single.stencil * scale, bytes, 1, 0.65);
-        rows.push(Row::new("GS / Cray + hand OpenMP", t, mcells_per_sec(PAPER_CELLS, cray_t)));
-        rows.push(Row::new("GS / Flang + hand OpenMP", t, mcells_per_sec(PAPER_CELLS, flang_t)));
+        rows.push(Row::new(
+            "GS / Cray + hand OpenMP",
+            t,
+            mcells_per_sec(PAPER_CELLS, cray_t),
+        ));
+        rows.push(Row::new(
+            "GS / Flang + hand OpenMP",
+            t,
+            mcells_per_sec(PAPER_CELLS, flang_t),
+        ));
         rows.push(Row::new(
             "GS / Stencil (automatic)",
             t,
@@ -157,8 +243,16 @@ pub fn fig4_pw(n: usize, threads: &[u32], reps: usize) -> Vec<Row> {
         let cray_t = omp.sweep_time(t, single.cray * scale, bytes, 1, 1.0);
         let flang_t = omp.sweep_time(t, single.flang * scale, bytes, 1, 0.35);
         let stencil_t = pool.sweep_time(t, single.stencil * scale, bytes, 1, 0.65);
-        rows.push(Row::new("PW / Cray + hand OpenMP", t, mcells_per_sec(PAPER_CELLS, cray_t)));
-        rows.push(Row::new("PW / Flang + hand OpenMP", t, mcells_per_sec(PAPER_CELLS, flang_t)));
+        rows.push(Row::new(
+            "PW / Cray + hand OpenMP",
+            t,
+            mcells_per_sec(PAPER_CELLS, cray_t),
+        ));
+        rows.push(Row::new(
+            "PW / Flang + hand OpenMP",
+            t,
+            mcells_per_sec(PAPER_CELLS, flang_t),
+        ));
         rows.push(Row::new(
             "PW / Stencil (automatic)",
             t,
@@ -176,12 +270,16 @@ pub fn fig5(sizes: &[usize], iters: usize) -> Vec<Row> {
         let cells = (n as u64).pow(3) * iters as u64;
         // --- Gauss–Seidel (time loop inside the program) ---
         let source = gauss_seidel::fortran_source(n, iters);
-        for (label, explicit) in
-            [("GS / Stencil (initial data)", false), ("GS / Stencil (optimised data)", true)]
-        {
+        for (label, explicit) in [
+            ("GS / Stencil (initial data)", false),
+            ("GS / Stencil (optimised data)", true),
+        ] {
             let exec = run_target(
                 &source,
-                Target::StencilGpu { explicit_data: explicit, tile: [32, 32, 1] },
+                Target::StencilGpu {
+                    explicit_data: explicit,
+                    tile: [32, 32, 1],
+                },
             );
             let t = exec.report.gpu_seconds.unwrap();
             rows.push(Row::new(label, format!("{n}^3"), mcells_per_sec(cells, t)));
@@ -195,12 +293,16 @@ pub fn fig5(sizes: &[usize], iters: usize) -> Vec<Row> {
 
         // --- PW advection (kernel launched repeatedly) ---
         let source = pw_advection::fortran_source_repeated(n, iters);
-        for (label, explicit) in
-            [("PW / Stencil (initial data)", false), ("PW / Stencil (optimised data)", true)]
-        {
+        for (label, explicit) in [
+            ("PW / Stencil (initial data)", false),
+            ("PW / Stencil (optimised data)", true),
+        ] {
             let exec = run_target(
                 &source,
-                Target::StencilGpu { explicit_data: explicit, tile: [32, 32, 1] },
+                Target::StencilGpu {
+                    explicit_data: explicit,
+                    tile: [32, 32, 1],
+                },
             );
             let t = exec.report.gpu_seconds.unwrap();
             rows.push(Row::new(label, format!("{n}^3"), mcells_per_sec(cells, t)));
@@ -234,7 +336,10 @@ pub fn fig6(nodes: &[i64], measure_n: usize, global_n: u64) -> Vec<Row> {
     let source = gauss_seidel::fortran_source(measure_n, 1);
     let compiled = Compiler::compile(
         &source,
-        &CompileOptions { target: Target::StencilDistributed { grid: vec![2, 2] }, verify_each_pass: false },
+        &CompileOptions {
+            target: Target::StencilDistributed { grid: vec![2, 2] },
+            verify_each_pass: false,
+        },
     )
     .expect("compile distributed");
     let auto_exchange_phases: usize = compiled
@@ -253,12 +358,14 @@ pub fn fig6(nodes: &[i64], measure_n: usize, global_n: u64) -> Vec<Row> {
         let grid = ProcessGrid::new(vec![128, nn]);
         let hand_t = hand_mpi::modeled_iteration_time(global_n, &grid, &cost, per_cell_hand);
         // The automatic path: slower per-cell rate and more exchange phases.
-        let auto_base =
-            hand_mpi::modeled_iteration_time(global_n, &grid, &cost, per_cell_auto);
-        let one_comm =
-            auto_base - cells as f64 / ranks as f64 * per_cell_auto;
+        let auto_base = hand_mpi::modeled_iteration_time(global_n, &grid, &cost, per_cell_auto);
+        let one_comm = auto_base - cells as f64 / ranks as f64 * per_cell_auto;
         let auto_t = auto_base + one_comm * (auto_exchange_phases as f64 - 1.0);
-        rows.push(Row::new("GS / hand parallelised (Cray)", nn, mcells_per_sec(cells, hand_t)));
+        rows.push(Row::new(
+            "GS / hand parallelised (Cray)",
+            nn,
+            mcells_per_sec(cells, hand_t),
+        ));
         rows.push(Row::new(
             "GS / stencil automatic (DMP→MPI)",
             nn,
@@ -294,10 +401,25 @@ mod tests {
     }
 
     #[test]
+    fn fig2_exec_path_ladder_is_ordered() {
+        let rows = fig2_exec_paths(16, 2);
+        let get = |s: &str| rows.iter().find(|r| r.series == s).unwrap().mcells;
+        let spec = get("PW / Stencil (specialized)");
+        let generic = get("PW / Stencil (generic-vm)");
+        assert!(
+            spec > generic,
+            "native loops must beat the generic VM: {spec} vs {generic}"
+        );
+    }
+
+    #[test]
     fn fig3_stencil_catches_up_at_high_threads() {
         let rows = fig3_gs(24, 2, &[1, 128], 1);
         let get = |s: &str, x: &str| {
-            rows.iter().find(|r| r.series == s && r.x == x).unwrap().mcells
+            rows.iter()
+                .find(|r| r.series == s && r.x == x)
+                .unwrap()
+                .mcells
         };
         let cray1 = get("GS / Cray + hand OpenMP", "1");
         let st1 = get("GS / Stencil (automatic)", "1");
@@ -306,7 +428,10 @@ mod tests {
         assert!(cray1 > st1, "Cray wins at 1 thread");
         let gap1 = cray1 / st1;
         let gap128 = cray128 / st128;
-        assert!(gap128 < gap1, "the gap must shrink with threads: {gap1} → {gap128}");
+        assert!(
+            gap128 < gap1,
+            "the gap must shrink with threads: {gap1} → {gap128}"
+        );
     }
 
     #[test]
@@ -327,7 +452,10 @@ mod tests {
     fn fig6_hand_beats_auto_but_both_scale() {
         let rows = fig6(&[1, 8], 12, 512);
         let get = |s: &str, x: &str| {
-            rows.iter().find(|r| r.series == s && r.x == x).unwrap().mcells
+            rows.iter()
+                .find(|r| r.series == s && r.x == x)
+                .unwrap()
+                .mcells
         };
         let hand1 = get("GS / hand parallelised (Cray)", "1");
         let auto1 = get("GS / stencil automatic (DMP→MPI)", "1");

@@ -47,7 +47,11 @@ pub struct Row {
 impl Row {
     /// Convenience constructor.
     pub fn new(series: impl Into<String>, x: impl std::fmt::Display, mcells: f64) -> Self {
-        Self { series: series.into(), x: x.to_string(), mcells }
+        Self {
+            series: series.into(),
+            x: x.to_string(),
+            mcells,
+        }
     }
 }
 

@@ -21,6 +21,7 @@ use std::time::{Duration, Instant};
 use fsc_exec::interp::{Interpreter, RegionDispatcher, RunStats};
 use fsc_exec::kernel::{self, CompiledKernel, GpuStrategy, KernelArg, PlanKind};
 use fsc_exec::value::{Memory, Ref, Value};
+use fsc_exec::ExecPath;
 use fsc_gpusim::{BufferUse, GpuCounters, GpuSession, KernelLoad, V100Model};
 use fsc_ir::{IrError, Module, Result};
 use fsc_mpisim::{CostModel, ProcessGrid};
@@ -80,14 +81,20 @@ pub struct CompileOptions {
 
 impl Default for CompileOptions {
     fn default() -> Self {
-        Self { target: Target::StencilCpu, verify_each_pass: false }
+        Self {
+            target: Target::StencilCpu,
+            verify_each_pass: false,
+        }
     }
 }
 
 impl CompileOptions {
     /// Options for `target` with defaults elsewhere.
     pub fn for_target(target: Target) -> Self {
-        Self { target, ..Self::default() }
+        Self {
+            target,
+            ..Self::default()
+        }
     }
 }
 
@@ -125,6 +132,17 @@ pub struct RunReport {
     pub distributed_seconds: Option<f64>,
     /// Ranks used by the distributed model.
     pub ranks: Option<i64>,
+    /// Distinct execution paths the stencil nests ran through (sorted;
+    /// empty for Flang-only and naive-tier runs, which bypass the
+    /// specialization ladder).
+    pub exec_paths: Vec<ExecPath>,
+}
+
+impl RunReport {
+    /// True when at least one nest executed through `path`.
+    pub fn attests(&self, path: ExecPath) -> bool {
+        self.exec_paths.contains(&path)
+    }
 }
 
 /// A finished execution: memory plus accounting.
@@ -185,13 +203,12 @@ impl Compiler {
             Target::UnoptimizedCpu => pipelines::unoptimized_cpu_pipeline()?,
             Target::StencilCpu => pipelines::cpu_pipeline()?,
             Target::StencilOpenMp { threads } => pipelines::openmp_pipeline(*threads)?,
-            Target::StencilGpu { explicit_data, tile } => {
-                pipelines::gpu_pipeline(*explicit_data, tile)?
-            }
+            Target::StencilGpu {
+                explicit_data,
+                tile,
+            } => pipelines::gpu_pipeline(*explicit_data, tile)?,
             Target::StencilDistributed { grid } => pipelines::dmp_pipeline(grid)?,
-            Target::StencilMultiGpu { grid, tile } => {
-                pipelines::gpu_dmp_pipeline(grid, tile)?
-            }
+            Target::StencilMultiGpu { grid, tile } => pipelines::gpu_dmp_pipeline(grid, tile)?,
         };
         if options.verify_each_pass {
             pm.enable_verifier();
@@ -260,8 +277,13 @@ impl Compiled {
             gpu: gpu_counters,
             distributed_seconds: is_distributed.then_some(dispatcher.distributed_seconds),
             ranks: dispatcher.grid.as_ref().map(ProcessGrid::size),
+            exec_paths: dispatcher.exec_paths.iter().copied().collect(),
         };
-        Ok(Execution { memory, report, bindings })
+        Ok(Execution {
+            memory,
+            report,
+            bindings,
+        })
     }
 }
 
@@ -299,6 +321,9 @@ pub struct KernelDispatcher<'k> {
     pub cells: u64,
     /// Modeled distributed seconds.
     pub distributed_seconds: f64,
+    /// Distinct execution paths observed across dispatched nests (only
+    /// recorded for runs through the optimised runner).
+    pub exec_paths: std::collections::BTreeSet<ExecPath>,
     /// Buffers written on the device (for final d2h accounting).
     written_buffers: HashMap<u64, u64>,
 }
@@ -350,6 +375,7 @@ impl<'k> KernelDispatcher<'k> {
             kernel_wall: Duration::ZERO,
             cells: 0,
             distributed_seconds: 0.0,
+            exec_paths: std::collections::BTreeSet::new(),
             written_buffers: HashMap::new(),
         }
     }
@@ -385,7 +411,9 @@ impl<'k> KernelDispatcher<'k> {
 }
 
 fn num_cpus_max() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(8)
 }
 
 impl<'k> RegionDispatcher for KernelDispatcher<'k> {
@@ -402,13 +430,7 @@ impl<'k> RegionDispatcher for KernelDispatcher<'k> {
                     // Execute rank slabs work-shared over local cores, then
                     // charge the modeled distributed iteration: per-rank
                     // compute (measured rate / ranks) + halo communication.
-                    kernel::run_kernel(
-                        kernel,
-                        memory,
-                        &kargs,
-                        self.threads,
-                        self.pool.as_ref(),
-                    )?;
+                    kernel::run_kernel(kernel, memory, &kargs, self.threads, self.pool.as_ref())?;
                     let grid = self.grid.as_ref().expect("distributed target has a grid");
                     let elapsed = start.elapsed().as_secs_f64();
                     let ranks = grid.size() as f64;
@@ -438,13 +460,24 @@ impl<'k> RegionDispatcher for KernelDispatcher<'k> {
                 }
             }
             PlanKind::Omp { num_threads } => {
-                let pool = self.pool.as_ref().ok_or_else(|| {
-                    IrError::new("omp kernel dispatched without a thread pool")
-                })?;
-                let t = if *num_threads > 0 { *num_threads } else { self.threads };
+                let pool = self
+                    .pool
+                    .as_ref()
+                    .ok_or_else(|| IrError::new("omp kernel dispatched without a thread pool"))?;
+                let t = if *num_threads > 0 {
+                    *num_threads
+                } else {
+                    self.threads
+                };
                 kernel::run_kernel(kernel, memory, &kargs, t, Some(pool))?;
             }
-            PlanKind::Gpu { block, strategy, read_args, written_args, .. } => {
+            PlanKind::Gpu {
+                block,
+                strategy,
+                read_args,
+                written_args,
+                ..
+            } => {
                 // Execute on CPU for correctness, charge the V100 model.
                 // Multi-GPU plans (future-work avenue 5) split the domain
                 // over `ranks` devices: each device sees 1/ranks of the
@@ -452,7 +485,11 @@ impl<'k> RegionDispatcher for KernelDispatcher<'k> {
                 // iteration; the makespan is per-device time + comm.
                 kernel::run_kernel(kernel, memory, &kargs, 1, None)?;
                 let ranks = if kernel.is_distributed() {
-                    self.grid.as_ref().map(|g| g.size() as u64).unwrap_or(1).max(1)
+                    self.grid
+                        .as_ref()
+                        .map(|g| g.size() as u64)
+                        .unwrap_or(1)
+                        .max(1)
                 } else {
                     1
                 };
@@ -473,7 +510,12 @@ impl<'k> RegionDispatcher for KernelDispatcher<'k> {
                         if written {
                             self.written_buffers.insert(b.0 as u64, bytes);
                         }
-                        uses.push(BufferUse { id: b.0 as u64, bytes, read, written });
+                        uses.push(BufferUse {
+                            id: b.0 as u64,
+                            bytes,
+                            read,
+                            written,
+                        });
                     }
                 }
                 let model_strategy = match strategy {
@@ -496,14 +538,20 @@ impl<'k> RegionDispatcher for KernelDispatcher<'k> {
                             .map(|e| (e.dim, e.direction))
                             .collect::<std::collections::HashSet<_>>()
                             .len();
-                        comm += self.cost.halo_exchange_time(
-                            face_bytes(nest, grid),
-                            neighbors,
-                            1.0,
-                        );
+                        comm +=
+                            self.cost
+                                .halo_exchange_time(face_bytes(nest, grid), neighbors, 1.0);
                     }
                     self.distributed_seconds += comm;
                 }
+            }
+        }
+        // Attest which specialization tiers actually executed. The naive
+        // runner models Flang's unoptimised codegen and bypasses the ladder
+        // entirely, so it records nothing.
+        if !self.naive {
+            for nest in &kernel.nests {
+                self.exec_paths.insert(nest.path);
             }
         }
         self.cells += kernel.stats().cells;
@@ -545,7 +593,14 @@ mod tests {
     #[test]
     fn flang_only_compiles_without_stencil_module() {
         let src = fsc_workloads::gauss_seidel::fortran_source(4, 1);
-        let c = Compiler::compile(&src, &CompileOptions { target: Target::FlangOnly, verify_each_pass: false }).unwrap();
+        let c = Compiler::compile(
+            &src,
+            &CompileOptions {
+                target: Target::FlangOnly,
+                verify_each_pass: false,
+            },
+        )
+        .unwrap();
         assert!(c.stencil_module.is_none());
         assert!(c.kernels.is_empty());
         assert_eq!(c.entry, "gauss_seidel");
@@ -558,11 +613,24 @@ mod tests {
             Target::StencilCpu,
             Target::UnoptimizedCpu,
             Target::StencilOpenMp { threads: 2 },
-            Target::StencilGpu { explicit_data: true, tile: [4, 4, 1] },
+            Target::StencilGpu {
+                explicit_data: true,
+                tile: [4, 4, 1],
+            },
             Target::StencilDistributed { grid: vec![2] },
-            Target::StencilMultiGpu { grid: vec![2], tile: [4, 4, 1] },
+            Target::StencilMultiGpu {
+                grid: vec![2],
+                tile: [4, 4, 1],
+            },
         ] {
-            let c = Compiler::compile(&src, &CompileOptions { target: target.clone(), verify_each_pass: false }).unwrap();
+            let c = Compiler::compile(
+                &src,
+                &CompileOptions {
+                    target: target.clone(),
+                    verify_each_pass: false,
+                },
+            )
+            .unwrap();
             assert!(!c.kernels.is_empty(), "{target:?} produced no kernels");
             assert!(c.stencil_module.is_some());
         }
@@ -571,16 +639,11 @@ mod tests {
     #[test]
     fn convert_args_rejects_non_numeric() {
         use fsc_exec::value::{Ref, Value};
-        let ok = KernelDispatcher::convert_args(&[
-            Value::F64(1.0),
-            Value::I32(2),
-            Value::Index(3),
-        ])
-        .unwrap();
+        let ok = KernelDispatcher::convert_args(&[Value::F64(1.0), Value::I32(2), Value::Index(3)])
+            .unwrap();
         assert_eq!(ok.len(), 3);
-        let bad = KernelDispatcher::convert_args(&[Value::Ref(Ref::Scalar(
-            fsc_exec::value::SlotId(0),
-        ))]);
+        let bad =
+            KernelDispatcher::convert_args(&[Value::Ref(Ref::Scalar(fsc_exec::value::SlotId(0)))]);
         assert!(bad.is_err());
     }
 
@@ -589,7 +652,10 @@ mod tests {
         let src = fsc_workloads::gauss_seidel::fortran_source(6, 1);
         let exec = Compiler::run(
             &src,
-            &CompileOptions { target: Target::StencilDistributed { grid: vec![3, 2] }, verify_each_pass: false },
+            &CompileOptions {
+                target: Target::StencilDistributed { grid: vec![3, 2] },
+                verify_each_pass: false,
+            },
         )
         .unwrap();
         assert_eq!(exec.report.ranks, Some(6));
@@ -601,10 +667,16 @@ mod tests {
         for target in [
             Target::StencilCpu,
             Target::StencilOpenMp { threads: 2 },
-            Target::StencilGpu { explicit_data: true, tile: [4, 4, 1] },
+            Target::StencilGpu {
+                explicit_data: true,
+                tile: [4, 4, 1],
+            },
             Target::StencilDistributed { grid: vec![2] },
         ] {
-            let opts = CompileOptions { target, verify_each_pass: true };
+            let opts = CompileOptions {
+                target,
+                verify_each_pass: true,
+            };
             Compiler::compile(&src, &opts).unwrap();
         }
     }
@@ -612,8 +684,14 @@ mod tests {
     #[test]
     fn array_lookup_by_name() {
         let src = "program t\nreal(kind=8) :: weird_name(3)\nweird_name(1) = 5.0\nend program t";
-        let exec =
-            Compiler::run(src, &CompileOptions { target: Target::FlangOnly, verify_each_pass: false }).unwrap();
+        let exec = Compiler::run(
+            src,
+            &CompileOptions {
+                target: Target::FlangOnly,
+                verify_each_pass: false,
+            },
+        )
+        .unwrap();
         assert_eq!(exec.array("weird_name").unwrap()[0], 5.0);
         assert!(exec.array("missing").is_none());
     }

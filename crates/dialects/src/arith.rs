@@ -56,7 +56,13 @@ impl CmpPredicate {
 
 /// Build an integer constant of the given type.
 pub fn const_int(b: &mut OpBuilder, value: i64, ty: Type) -> ValueId {
-    b.op1(CONSTANT, vec![], ty.clone(), vec![("value", Attribute::Int(value, ty))]).1
+    b.op1(
+        CONSTANT,
+        vec![],
+        ty.clone(),
+        vec![("value", Attribute::Int(value, ty))],
+    )
+    .1
 }
 
 /// Build an `index`-typed constant.
@@ -66,7 +72,13 @@ pub fn const_index(b: &mut OpBuilder, value: i64) -> ValueId {
 
 /// Build a float constant of the given type.
 pub fn const_float(b: &mut OpBuilder, value: f64, ty: Type) -> ValueId {
-    b.op1(CONSTANT, vec![], ty.clone(), vec![("value", Attribute::Float(value, ty))]).1
+    b.op1(
+        CONSTANT,
+        vec![],
+        ty.clone(),
+        vec![("value", Attribute::Float(value, ty))],
+    )
+    .1
 }
 
 /// Build an `f64` constant.
@@ -147,7 +159,8 @@ pub fn cmpf(b: &mut OpBuilder, pred: CmpPredicate, lhs: ValueId, rhs: ValueId) -
 /// `arith.select` — ternary choice.
 pub fn select(b: &mut OpBuilder, cond: ValueId, if_true: ValueId, if_false: ValueId) -> ValueId {
     let ty = b.module_ref().value_type(if_true).clone();
-    b.op1("arith.select", vec![cond, if_true, if_false], ty, vec![]).1
+    b.op1("arith.select", vec![cond, if_true, if_false], ty, vec![])
+        .1
 }
 
 /// `arith.index_cast` between `index` and integer types.

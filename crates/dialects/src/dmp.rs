@@ -15,7 +15,12 @@ pub const GRID: &str = "dmp.grid";
 /// Build `dmp.grid` declaring an `n`-dimensional process decomposition
 /// (e.g. `[2, 4]` = 8 ranks in a 2×4 grid over the first two data dims).
 pub fn build_grid(b: &mut OpBuilder, decomposition: Vec<i64>) -> OpId {
-    b.op(GRID, vec![], vec![], vec![("shape", Attribute::IndexList(decomposition))])
+    b.op(
+        GRID,
+        vec![],
+        vec![],
+        vec![("shape", Attribute::IndexList(decomposition))],
+    )
 }
 
 /// The decomposition shape of a `dmp.grid`.
@@ -29,7 +34,12 @@ pub fn grid_shape(m: &Module, op: OpId) -> Option<Vec<i64>> {
 /// Build `dmp.swap` for `field` with per-dimension halo widths (the stencil
 /// radius in each dimension; `0` means no exchange along that dim).
 pub fn build_swap(b: &mut OpBuilder, field: ValueId, halo: Vec<i64>) -> OpId {
-    b.op(SWAP, vec![field], vec![], vec![("halo", Attribute::IndexList(halo))])
+    b.op(
+        SWAP,
+        vec![field],
+        vec![],
+        vec![("halo", Attribute::IndexList(halo))],
+    )
 }
 
 /// The halo widths of a `dmp.swap`.
@@ -51,7 +61,14 @@ mod tests {
         let top = m.top_block();
         let mut b = OpBuilder::at_end(&mut m, top);
         let g = build_grid(&mut b, vec![4, 2]);
-        let f = b.op1("test.field", vec![], Type::memref(vec![8, 8], Type::f64()), vec![]).1;
+        let f = b
+            .op1(
+                "test.field",
+                vec![],
+                Type::memref(vec![8, 8], Type::f64()),
+                vec![],
+            )
+            .1;
         let s = build_swap(&mut b, f, vec![1, 1, 0]);
         assert_eq!(grid_shape(&m, g), Some(vec![4, 2]));
         assert_eq!(swap_halo(&m, s), Some(vec![1, 1, 0]));

@@ -96,7 +96,8 @@ pub fn coordinate_of(b: &mut OpBuilder, array_ref: ValueId, indices: Vec<ValueId
     };
     let mut operands = vec![array_ref];
     operands.extend(indices);
-    b.op1(COORDINATE_OF, operands, Type::fir_ref(elem), vec![]).1
+    b.op1(COORDINATE_OF, operands, Type::fir_ref(elem), vec![])
+        .1
 }
 
 /// Build `fir.convert` to the given type.
@@ -111,13 +112,13 @@ pub fn no_reassoc(b: &mut OpBuilder, value: ValueId) -> ValueId {
 }
 
 /// Build `fir.call @callee(args)`.
-pub fn call(
-    b: &mut OpBuilder,
-    callee: &str,
-    args: Vec<ValueId>,
-    result_types: Vec<Type>,
-) -> OpId {
-    b.op(CALL, args, result_types, vec![("callee", Attribute::symbol(callee))])
+pub fn call(b: &mut OpBuilder, callee: &str, args: Vec<ValueId>, result_types: Vec<Type>) -> OpId {
+    b.op(
+        CALL,
+        args,
+        result_types,
+        vec![("callee", Attribute::symbol(callee))],
+    )
 }
 
 /// View of a `fir.do_loop`: operands `[lb, ub, step]` with **inclusive**
@@ -177,7 +178,9 @@ pub fn build_do_loop(b: &mut OpBuilder, lb: ValueId, ub: ValueId, step: ValueId)
 /// body.
 pub fn body_builder(m: &mut Module, loop_op: DoLoopOp) -> OpBuilder<'_> {
     let body = loop_op.body(m);
-    let term = m.block_terminator(body).expect("do_loop body missing terminator");
+    let term = m
+        .block_terminator(body)
+        .expect("do_loop body missing terminator");
     OpBuilder::before(m, term)
 }
 

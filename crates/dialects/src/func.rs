@@ -29,7 +29,10 @@ impl FuncOp {
 
     /// Declared function type.
     pub fn function_type(self, m: &Module) -> Option<Type> {
-        m.op(self.0).attr("function_type").and_then(Attribute::as_type).cloned()
+        m.op(self.0)
+            .attr("function_type")
+            .and_then(Attribute::as_type)
+            .cloned()
     }
 
     /// Argument and result types from the declared function type.
@@ -48,7 +51,9 @@ impl FuncOp {
 
     /// Entry block arguments (the function's SSA parameters).
     pub fn arguments(self, m: &Module) -> Vec<ValueId> {
-        self.entry_block(m).map(|b| m.block_args(b).to_vec()).unwrap_or_default()
+        self.entry_block(m)
+            .map(|b| m.block_args(b).to_vec())
+            .unwrap_or_default()
     }
 }
 
@@ -60,7 +65,10 @@ pub fn build_func(
     arg_types: Vec<Type>,
     result_types: Vec<Type>,
 ) -> (FuncOp, BlockId) {
-    let ftype = Type::Function { inputs: arg_types.clone(), results: result_types };
+    let ftype = Type::Function {
+        inputs: arg_types.clone(),
+        results: result_types,
+    };
     let op = m.create_op(
         FUNC,
         vec![],
@@ -89,7 +97,12 @@ pub fn build_call(
     args: Vec<ValueId>,
     result_types: Vec<Type>,
 ) -> OpId {
-    b.op(CALL, args, result_types, vec![("callee", Attribute::symbol(callee))])
+    b.op(
+        CALL,
+        args,
+        result_types,
+        vec![("callee", Attribute::symbol(callee))],
+    )
 }
 
 /// The callee symbol of a `func.call`.

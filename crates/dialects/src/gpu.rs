@@ -61,7 +61,12 @@ impl CopyDirection {
 
 /// Create a `gpu.module` named `name` at module top level; returns its body.
 pub fn build_gpu_module(m: &mut Module, name: &str) -> (OpId, BlockId) {
-    let op = m.create_op(MODULE, vec![], vec![], vec![("sym_name", Attribute::string(name))]);
+    let op = m.create_op(
+        MODULE,
+        vec![],
+        vec![],
+        vec![("sym_name", Attribute::string(name))],
+    );
     let top = m.top_block();
     m.append_op(top, op);
     let region = m.add_region(op);
@@ -94,10 +99,7 @@ pub fn build_launch_func(
 pub fn launch_dims(m: &Module, op: OpId) -> Option<([i64; 3], [i64; 3])> {
     let grid = m.op(op).attr("grid_size")?.as_index_list()?;
     let block = m.op(op).attr("block_size")?.as_index_list()?;
-    Some((
-        [grid[0], grid[1], grid[2]],
-        [block[0], block[1], block[2]],
-    ))
+    Some(([grid[0], grid[1], grid[2]], [block[0], block[1], block[2]]))
 }
 
 /// Build `gpu.host_register` on a memref (initial data strategy).
@@ -108,7 +110,13 @@ pub fn host_register(b: &mut OpBuilder, memref: ValueId) -> OpId {
 /// Build `gpu.alloc` for a device buffer of the same memref type as `like`'s
 /// type (explicit data strategy).
 pub fn alloc(b: &mut OpBuilder, ty: Type) -> ValueId {
-    b.op1(ALLOC, vec![], ty, vec![("memory_space", Attribute::string("device"))]).1
+    b.op1(
+        ALLOC,
+        vec![],
+        ty,
+        vec![("memory_space", Attribute::string("device"))],
+    )
+    .1
 }
 
 /// Build `gpu.dealloc`.
@@ -135,7 +143,13 @@ pub fn memcpy_direction(m: &Module, op: OpId) -> Option<CopyDirection> {
 /// `dim` (0 = x, 1 = y, 2 = z).
 pub fn id_op(b: &mut OpBuilder, name: &str, dim: i64) -> ValueId {
     debug_assert!(matches!(name, THREAD_ID | BLOCK_ID | BLOCK_DIM));
-    b.op1(name, vec![], Type::Index, vec![("dimension", Attribute::int(dim))]).1
+    b.op1(
+        name,
+        vec![],
+        Type::Index,
+        vec![("dimension", Attribute::int(dim))],
+    )
+    .1
 }
 
 #[cfg(test)]
@@ -147,12 +161,22 @@ mod tests {
         let mut m = Module::new();
         let top = m.top_block();
         let mut b = OpBuilder::at_end(&mut m, top);
-        let arg = b.op1("test.buf", vec![], Type::memref(vec![64], Type::f64()), vec![]).1;
+        let arg = b
+            .op1(
+                "test.buf",
+                vec![],
+                Type::memref(vec![64], Type::f64()),
+                vec![],
+            )
+            .1;
         let launch = build_launch_func(&mut b, "kern", [8, 8, 1], [32, 32, 1], vec![arg]);
         let (grid, block) = launch_dims(&m, launch).unwrap();
         assert_eq!(grid, [8, 8, 1]);
         assert_eq!(block, [32, 32, 1]);
-        assert_eq!(m.op(launch).attr("kernel").unwrap().as_symbol(), Some("kern"));
+        assert_eq!(
+            m.op(launch).attr("kernel").unwrap().as_symbol(),
+            Some("kern")
+        );
     }
 
     #[test]
@@ -166,7 +190,10 @@ mod tests {
         let cp = memcpy(&mut b, d, h, CopyDirection::HostToDevice);
         let back = memcpy(&mut b, h, d, CopyDirection::DeviceToHost);
         assert_eq!(memcpy_direction(&m, cp), Some(CopyDirection::HostToDevice));
-        assert_eq!(memcpy_direction(&m, back), Some(CopyDirection::DeviceToHost));
+        assert_eq!(
+            memcpy_direction(&m, back),
+            Some(CopyDirection::DeviceToHost)
+        );
     }
 
     #[test]
@@ -182,8 +209,14 @@ mod tests {
 
     #[test]
     fn copy_direction_parse() {
-        assert_eq!(CopyDirection::parse("h2d"), Some(CopyDirection::HostToDevice));
-        assert_eq!(CopyDirection::parse("d2h"), Some(CopyDirection::DeviceToHost));
+        assert_eq!(
+            CopyDirection::parse("h2d"),
+            Some(CopyDirection::HostToDevice)
+        );
+        assert_eq!(
+            CopyDirection::parse("d2h"),
+            Some(CopyDirection::DeviceToHost)
+        );
         assert_eq!(CopyDirection::parse("x"), None);
     }
 }

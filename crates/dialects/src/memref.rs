@@ -103,7 +103,12 @@ mod tests {
         let top = m.top_block();
         let mut b = OpBuilder::at_end(&mut m, top);
         let ptr = b
-            .op1("test.ptr", vec![], Type::LlvmPtr(Some(Box::new(Type::f64()))), vec![])
+            .op1(
+                "test.ptr",
+                vec![],
+                Type::LlvmPtr(Some(Box::new(Type::f64()))),
+                vec![],
+            )
             .1;
         let ty = Type::memref(vec![16], Type::f64());
         let mr = from_ptr(&mut b, ptr, ty.clone());

@@ -119,8 +119,20 @@ mod tests {
         let mut m = Module::new();
         let top = m.top_block();
         let mut b = OpBuilder::at_end(&mut m, top);
-        let buf = b.op1("test.buf", vec![], Type::memref(vec![16], Type::f64()), vec![]).1;
-        let spec = HaloSpec { dim: 1, direction: -1, width: 1, tag: 7 };
+        let buf = b
+            .op1(
+                "test.buf",
+                vec![],
+                Type::memref(vec![16], Type::f64()),
+                vec![],
+            )
+            .1;
+        let spec = HaloSpec {
+            dim: 1,
+            direction: -1,
+            width: 1,
+            tag: 7,
+        };
         let snd = isend(&mut b, buf, &spec);
         let rcv = irecv(&mut b, buf, &spec);
         let bar = barrier(&mut b);

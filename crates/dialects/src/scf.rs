@@ -164,12 +164,7 @@ mod tests {
         let ten = arith::const_index(&mut b, 10);
         let twenty = arith::const_index(&mut b, 20);
         let one = arith::const_index(&mut b, 1);
-        let p = build_parallel(
-            &mut b,
-            vec![zero, zero],
-            vec![ten, twenty],
-            vec![one, one],
-        );
+        let p = build_parallel(&mut b, vec![zero, zero], vec![ten, twenty], vec![one, one]);
         assert_eq!(p.num_dims(&m), 2);
         assert_eq!(p.lbs(&m), vec![zero, zero]);
         assert_eq!(p.ubs(&m), vec![ten, twenty]);

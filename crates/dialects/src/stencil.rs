@@ -78,7 +78,10 @@ impl ApplyOp {
     /// The iteration-domain bounds, taken from the first result type.
     pub fn output_bounds(self, m: &Module) -> Vec<DimBound> {
         let r = m.op(self.0).results[0];
-        m.value_type(r).stencil_bounds().expect("apply result not a temp").to_vec()
+        m.value_type(r)
+            .stencil_bounds()
+            .expect("apply result not a temp")
+            .to_vec()
     }
 
     /// The block argument corresponding to input `i`.
@@ -88,7 +91,8 @@ impl ApplyOp {
 
     /// The `stencil.return` terminator of the body.
     pub fn return_op(self, m: &Module) -> OpId {
-        m.block_terminator(self.body(m)).expect("apply body missing return")
+        m.block_terminator(self.body(m))
+            .expect("apply body missing return")
     }
 
     /// Number of grid cells in the iteration domain.
@@ -146,22 +150,26 @@ pub fn access_offset(m: &Module, op: OpId) -> Option<Vec<i64>> {
     if m.op(op).name.full() != ACCESS {
         return None;
     }
-    m.op(op).attr("offset").and_then(Attribute::as_index_list).map(<[i64]>::to_vec)
+    m.op(op)
+        .attr("offset")
+        .and_then(Attribute::as_index_list)
+        .map(<[i64]>::to_vec)
 }
 
 /// Build `stencil.index` for dimension `dim` (the current iteration index in
 /// that dimension, as an `index` value).
 pub fn index(b: &mut OpBuilder, dim: i64) -> ValueId {
-    b.op1(INDEX, vec![], Type::Index, vec![("dim", Attribute::int(dim))]).1
+    b.op1(
+        INDEX,
+        vec![],
+        Type::Index,
+        vec![("dim", Attribute::int(dim))],
+    )
+    .1
 }
 
 /// Build `stencil.store temp -> field` over `[lb, ub)` bounds per dim.
-pub fn store(
-    b: &mut OpBuilder,
-    temp: ValueId,
-    field: ValueId,
-    bounds: Vec<DimBound>,
-) -> OpId {
+pub fn store(b: &mut OpBuilder, temp: ValueId, field: ValueId, bounds: Vec<DimBound>) -> OpId {
     let lb: Vec<i64> = bounds.iter().map(|d| d.lower).collect();
     let ub: Vec<i64> = bounds.iter().map(|d| d.upper).collect();
     b.op(
@@ -205,7 +213,12 @@ mod tests {
         let mut b = OpBuilder::at_end(&mut m, entry);
         // Fake external source standing in for the FIR llvm_ptr.
         let src = b
-            .op1("test.source", vec![], Type::LlvmPtr(Some(Box::new(Type::f64()))), vec![])
+            .op1(
+                "test.source",
+                vec![],
+                Type::LlvmPtr(Some(Box::new(Type::f64()))),
+                vec![],
+            )
             .1;
         let bounds = vec![DimBound::new(-1, 255), DimBound::new(-1, 255)];
         let field = external_load(&mut b, src, bounds.clone(), Type::f64());
@@ -241,9 +254,7 @@ mod tests {
         let mut m = Module::new();
         let top = m.top_block();
         let mut b = OpBuilder::at_end(&mut m, top);
-        let src = b
-            .op1("test.source", vec![], Type::LlvmPtr(None), vec![])
-            .1;
+        let src = b.op1("test.source", vec![], Type::LlvmPtr(None), vec![]).1;
         let bounds = vec![DimBound::new(-1, 9)];
         let field = external_load(&mut b, src, bounds, Type::f64());
         let temp = load(&mut b, field);
@@ -262,10 +273,7 @@ mod tests {
         let bounds = vec![DimBound::new(-2, 12), DimBound::new(0, 7)];
         let field = external_load(&mut b, src, bounds.clone(), Type::f32());
         let temp = load(&mut b, field);
-        assert_eq!(
-            m.value_type(temp),
-            &Type::stencil_temp(bounds, Type::f32())
-        );
+        assert_eq!(m.value_type(temp), &Type::stencil_temp(bounds, Type::f32()));
     }
 
     #[test]

@@ -38,14 +38,18 @@ pub fn check_loops(m: &Module, op: OpId) -> Result<()> {
                 }
             }
             let body = m.region_blocks(data.regions[0]);
-            let body = body.first().ok_or_else(|| err(format!("'{name}' missing body")))?;
+            let body = body
+                .first()
+                .ok_or_else(|| err(format!("'{name}' missing body")))?;
             if m.block_args(*body).len() != 1 {
                 return Err(err(format!("'{name}' body must take exactly the iv")));
             }
         }
         scf::PARALLEL | omp::WSLOOP => {
             let body = m.region_blocks(data.regions[0]);
-            let body = body.first().ok_or_else(|| err(format!("'{name}' missing body")))?;
+            let body = body
+                .first()
+                .ok_or_else(|| err(format!("'{name}' missing body")))?;
             let n = m.block_args(*body).len();
             if n == 0 || data.operands.len() != 3 * n {
                 return Err(err(format!(
@@ -83,12 +87,7 @@ pub fn check_stencil(m: &Module, op: OpId) -> Result<()> {
                     "'stencil.apply' body arguments must mirror its operands".into(),
                 ));
             }
-            for (i, (&operand, &arg)) in data
-                .operands
-                .iter()
-                .zip(m.block_args(body))
-                .enumerate()
-            {
+            for (i, (&operand, &arg)) in data.operands.iter().zip(m.block_args(body)).enumerate() {
                 if m.value_type(operand) != m.value_type(arg) {
                     return Err(err(format!(
                         "'stencil.apply' operand {i} type differs from body argument"

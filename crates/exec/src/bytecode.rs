@@ -58,6 +58,50 @@ pub enum UnKind {
     Trunc,
 }
 
+/// Accumulate variants of the fused multiply–add superinstruction.
+///
+/// All variants perform **two roundings** — the multiply result is rounded
+/// before the accumulate, exactly like the unfused `Mul` + `Add`/`Sub`
+/// pair they replace. This is *not* a hardware FMA; fusion only removes
+/// dispatch, never changes bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaKind {
+    /// `c + (a*b)` — also encodes `(a*b) + c` (addition is commutative
+    /// bitwise for the values these kernels produce).
+    CPlusMul,
+    /// `c - (a*b)`.
+    CMinusMul,
+    /// `(a*b) - c`.
+    MulMinusC,
+}
+
+#[inline]
+fn mul_acc(kind: MaKind, a: f64, b: f64, c: f64) -> f64 {
+    let m = a * b;
+    match kind {
+        MaKind::CPlusMul => c + m,
+        MaKind::CMinusMul => c - m,
+        MaKind::MulMinusC => m - c,
+    }
+}
+
+/// Evaluate a binary op on two scalars (shared by `Bin` and `BinLoad`).
+#[inline]
+pub(crate) fn bin_eval(kind: BinKind, x: f64, y: f64) -> f64 {
+    match kind {
+        BinKind::Add => x + y,
+        BinKind::Sub => x - y,
+        BinKind::Mul => x * y,
+        BinKind::Div => x / y,
+        BinKind::Min => x.min(y),
+        BinKind::Max => x.max(y),
+        BinKind::Pow => x.powf(y),
+        BinKind::Atan2 => x.atan2(y),
+        BinKind::CopySign => x.copysign(y),
+        BinKind::Rem => x % y,
+    }
+}
+
 /// Comparison predicates producing 0.0 / 1.0.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CmpKind {
@@ -159,6 +203,40 @@ pub enum Instr {
         /// Source register.
         src: u16,
     },
+    /// Superinstruction: fused multiply–accumulate over registers,
+    /// `regs[dst] = mul_acc(kind, regs[a], regs[b], regs[c])`. Two
+    /// roundings — bit-identical to the `Mul` + `Add`/`Sub` pair it
+    /// replaces. Produced by `specialize::fuse_program`, never by the body
+    /// compiler.
+    MulAdd {
+        /// Destination register.
+        dst: u16,
+        /// Left multiplicand register.
+        a: u16,
+        /// Right multiplicand register.
+        b: u16,
+        /// Accumulate operand register.
+        c: u16,
+        /// Accumulate variant.
+        kind: MaKind,
+    },
+    /// Superinstruction: binary op with one operand loaded directly from
+    /// memory, skipping the intermediate register strip. Produced by
+    /// `specialize::fuse_program`.
+    BinLoad {
+        /// Destination register.
+        dst: u16,
+        /// Operation.
+        kind: BinKind,
+        /// Register operand.
+        a: u16,
+        /// View index of the memory operand.
+        view: u16,
+        /// Relative linear offset of the memory operand.
+        off: i64,
+        /// When true the memory operand is the *left* operand of `kind`.
+        load_left: bool,
+    },
 }
 
 /// Elementwise binary op over register strips (SSA guarantees `dst`
@@ -223,6 +301,20 @@ fn cmp_strip(regs: &mut [f64], w: usize, dst: u16, a: u16, b: u16, kind: CmpKind
     }
 }
 
+/// Elementwise fused multiply–accumulate over register strips.
+#[inline]
+fn mul_acc_strip(regs: &mut [f64], w: usize, dst: u16, a: u16, b: u16, c: u16, kind: MaKind) {
+    let (a0, b0, c0, d0) = (
+        a as usize * w,
+        b as usize * w,
+        c as usize * w,
+        dst as usize * w,
+    );
+    for x in 0..w {
+        regs[d0 + x] = mul_acc(kind, regs[a0 + x], regs[b0 + x], regs[c0 + x]);
+    }
+}
+
 /// Execute one non-memory instruction (shared by the fast and naive
 /// interpreters so they cannot diverge).
 #[inline]
@@ -275,10 +367,17 @@ pub fn exec_scalar_instr(instr: &Instr, regs: &mut [f64], coords: &[i64], scalar
             regs[dst as usize] = r as u8 as f64;
         }
         Instr::Select { dst, c, a, b } => {
-            regs[dst as usize] =
-                if regs[c as usize] != 0.0 { regs[a as usize] } else { regs[b as usize] };
+            regs[dst as usize] = if regs[c as usize] != 0.0 {
+                regs[a as usize]
+            } else {
+                regs[b as usize]
+            };
         }
-        Instr::Load { .. } | Instr::Store { .. } => {
+        Instr::MulAdd { dst, a, b, c, kind } => {
+            regs[dst as usize] =
+                mul_acc(kind, regs[a as usize], regs[b as usize], regs[c as usize]);
+        }
+        Instr::Load { .. } | Instr::Store { .. } | Instr::BinLoad { .. } => {
             unreachable!("memory instructions handled by the callers")
         }
     }
@@ -313,6 +412,7 @@ impl BodyProgram {
     /// kernel's scalar arguments. Stores resolve their output slice through
     /// `out_view_map[view]`.
     #[inline]
+    #[allow(clippy::too_many_arguments)] // VM entry point: the argument list *is* the machine state.
     pub fn run_cell(
         &self,
         regs: &mut [f64],
@@ -386,9 +486,31 @@ impl BodyProgram {
                 }
                 Instr::Store { view, off, src } => {
                     let slot = out_view_map[view as usize]
-                        .expect("store to a view that is not an output") as usize;
+                        .expect("store to a view that is not an output")
+                        as usize;
                     let idx = (cursors[view as usize] + off) as usize;
                     outputs[slot][idx] = regs[src as usize];
+                }
+                Instr::MulAdd { dst, a, b, c, kind } => {
+                    regs[dst as usize] =
+                        mul_acc(kind, regs[a as usize], regs[b as usize], regs[c as usize]);
+                }
+                Instr::BinLoad {
+                    dst,
+                    kind,
+                    a,
+                    view,
+                    off,
+                    load_left,
+                } => {
+                    let idx = (cursors[view as usize] + off) as usize;
+                    let m = inputs[view as usize][idx];
+                    let r = regs[a as usize];
+                    regs[dst as usize] = if load_left {
+                        bin_eval(kind, m, r)
+                    } else {
+                        bin_eval(kind, r, m)
+                    };
                 }
             }
         }
@@ -398,6 +520,7 @@ impl BodyProgram {
     /// access bounds-checked, no assumptions about cursor validity. Used by
     /// the *naive* runner that models Flang's direct FIR→LLVM codegen.
     #[inline]
+    #[allow(clippy::too_many_arguments)] // VM entry point: the argument list *is* the machine state.
     pub fn run_cell_checked(
         &self,
         regs: &mut [f64],
@@ -431,6 +554,28 @@ impl BodyProgram {
                     );
                     slice[idx as usize] = regs[src as usize];
                 }
+                Instr::BinLoad {
+                    dst,
+                    kind,
+                    a,
+                    view,
+                    off,
+                    load_left,
+                } => {
+                    let idx = cursors[view as usize] + off;
+                    let slice = inputs[view as usize];
+                    assert!(
+                        idx >= 0 && (idx as usize) < slice.len(),
+                        "load out of bounds: {idx} in view {view}"
+                    );
+                    let m = slice[idx as usize];
+                    let r = regs[a as usize];
+                    regs[dst as usize] = if load_left {
+                        bin_eval(kind, m, r)
+                    } else {
+                        bin_eval(kind, r, m)
+                    };
+                }
                 // Scalar instructions behave identically.
                 ref other => exec_scalar_instr(other, regs, coords, scalars),
             }
@@ -453,6 +598,7 @@ impl BodyProgram {
 
     /// Execute the per-cell body (prelude assumed already applied).
     #[inline]
+    #[allow(clippy::too_many_arguments)] // VM entry point: the argument list *is* the machine state.
     pub fn run_cell_body(
         &self,
         regs: &mut [f64],
@@ -475,6 +621,23 @@ impl BodyProgram {
                         as usize;
                     let idx = (cursors[view as usize] + off) as usize;
                     outputs[slot][idx] = regs[src as usize];
+                }
+                Instr::BinLoad {
+                    dst,
+                    kind,
+                    a,
+                    view,
+                    off,
+                    load_left,
+                } => {
+                    let idx = (cursors[view as usize] + off) as usize;
+                    let m = inputs[view as usize][idx];
+                    let r = regs[a as usize];
+                    regs[dst as usize] = if load_left {
+                        bin_eval(kind, m, r)
+                    } else {
+                        bin_eval(kind, r, m)
+                    };
                 }
                 ref other => exec_scalar_instr(other, regs, coords, scalars),
             }
@@ -548,6 +711,30 @@ impl BodyProgram {
                         };
                     }
                 }
+                Instr::MulAdd { dst, a, b, c, kind } => {
+                    mul_acc_strip(regs, w, dst, a, b, c, kind);
+                }
+                Instr::BinLoad {
+                    dst,
+                    kind,
+                    a,
+                    view,
+                    off,
+                    load_left,
+                } => {
+                    let base = (cursors[view as usize] + off) as usize;
+                    let mem = &inputs[view as usize][base..base + w];
+                    let (a0, d0) = (a as usize * w, dst as usize * w);
+                    for x in 0..w {
+                        let m = mem[x];
+                        let r = regs[a0 + x];
+                        regs[d0 + x] = if load_left {
+                            bin_eval(kind, m, r)
+                        } else {
+                            bin_eval(kind, r, m)
+                        };
+                    }
+                }
             }
         }
     }
@@ -561,8 +748,7 @@ impl BodyProgram {
                     regs[dst as usize * w..dst as usize * w + w].fill(val);
                 }
                 Instr::Arg { dst, arg } => {
-                    regs[dst as usize * w..dst as usize * w + w]
-                        .fill(scalars[arg as usize]);
+                    regs[dst as usize * w..dst as usize * w + w].fill(scalars[arg as usize]);
                 }
                 _ => unreachable!("prelude holds only Const/Arg"),
             }
@@ -583,16 +769,65 @@ impl BodyProgram {
     }
 
     /// Recompute the per-cell statistics from the instruction stream.
+    ///
+    /// Flops follow the paper's GFLOP/s convention: the **algorithmic**
+    /// operation count of the source statements. CSE may have merged a
+    /// subexpression shared by several stores into one instruction, so each
+    /// instruction is weighted by how many times the store chains consume
+    /// it (its use multiplicity under full re-expansion — the stream is
+    /// SSA, every register written exactly once, so one reverse pass
+    /// suffices). Loads and stores stay plain stream counts: bytes measure
+    /// what the machine actually moves, and a CSE'd load is read once.
+    ///
+    /// Superinstructions count the same as the ops they fuse: `MulAdd` is
+    /// two flops, `BinLoad` one flop and one load — so fusion never skews
+    /// accounting (it only ever fuses single-use values).
     pub fn finalize_stats(&mut self) {
-        self.flops_per_cell = self
-            .instrs
-            .iter()
-            .filter(|i| matches!(i, Instr::Bin { .. } | Instr::Un { .. } | Instr::Cmp { .. }))
-            .count() as u64;
+        let mut mult = vec![0u64; self.num_regs as usize];
+        let mut flops = 0u64;
+        for i in self.instrs.iter().rev() {
+            match *i {
+                Instr::Store { src, .. } => mult[src as usize] += 1,
+                Instr::Bin { dst, a, b, .. } | Instr::Cmp { dst, a, b, .. } => {
+                    let m = mult[dst as usize];
+                    flops += m;
+                    mult[a as usize] += m;
+                    mult[b as usize] += m;
+                }
+                Instr::Un { dst, a, .. } => {
+                    let m = mult[dst as usize];
+                    flops += m;
+                    mult[a as usize] += m;
+                }
+                Instr::Select { dst, c, a, b } => {
+                    let m = mult[dst as usize];
+                    mult[c as usize] += m;
+                    mult[a as usize] += m;
+                    mult[b as usize] += m;
+                }
+                Instr::MulAdd { dst, a, b, c, .. } => {
+                    let m = mult[dst as usize];
+                    flops += 2 * m;
+                    mult[a as usize] += m;
+                    mult[b as usize] += m;
+                    mult[c as usize] += m;
+                }
+                Instr::BinLoad { dst, a, .. } => {
+                    let m = mult[dst as usize];
+                    flops += m;
+                    mult[a as usize] += m;
+                }
+                Instr::Const { .. }
+                | Instr::Arg { .. }
+                | Instr::Coord { .. }
+                | Instr::Load { .. } => {}
+            }
+        }
+        self.flops_per_cell = flops;
         self.loads_per_cell = self
             .instrs
             .iter()
-            .filter(|i| matches!(i, Instr::Load { .. }))
+            .filter(|i| matches!(i, Instr::Load { .. } | Instr::BinLoad { .. }))
             .count() as u64;
         self.stores_per_cell = self
             .instrs
@@ -612,11 +847,33 @@ mod tests {
         let mut p = BodyProgram {
             instrs: vec![
                 Instr::Const { dst: 0, val: 0.5 },
-                Instr::Load { dst: 1, view: 0, off: -1 },
-                Instr::Load { dst: 2, view: 0, off: 1 },
-                Instr::Bin { dst: 3, kind: BinKind::Add, a: 1, b: 2 },
-                Instr::Bin { dst: 4, kind: BinKind::Mul, a: 3, b: 0 },
-                Instr::Store { view: 1, off: 0, src: 4 },
+                Instr::Load {
+                    dst: 1,
+                    view: 0,
+                    off: -1,
+                },
+                Instr::Load {
+                    dst: 2,
+                    view: 0,
+                    off: 1,
+                },
+                Instr::Bin {
+                    dst: 3,
+                    kind: BinKind::Add,
+                    a: 1,
+                    b: 2,
+                },
+                Instr::Bin {
+                    dst: 4,
+                    kind: BinKind::Mul,
+                    a: 3,
+                    b: 0,
+                },
+                Instr::Store {
+                    view: 1,
+                    off: 0,
+                    src: 4,
+                },
             ],
             num_regs: 5,
             ..Default::default()
@@ -632,7 +889,15 @@ mod tests {
         for c in 1..4i64 {
             let inputs: Vec<&[f64]> = vec![&input, &[]];
             let mut outs: Vec<&mut [f64]> = vec![&mut output];
-            p.run_cell(&mut regs, &inputs, &mut outs, &[None, Some(0)], &[c, c], &[c], &[]);
+            p.run_cell(
+                &mut regs,
+                &inputs,
+                &mut outs,
+                &[None, Some(0)],
+                &[c, c],
+                &[c],
+                &[],
+            );
         }
         assert_eq!(output, vec![0.0, 1.0, 2.0, 3.0, 0.0]);
     }
@@ -643,8 +908,17 @@ mod tests {
             instrs: vec![
                 Instr::Coord { dst: 0, dim: 0 },
                 Instr::Arg { dst: 1, arg: 0 },
-                Instr::Bin { dst: 2, kind: BinKind::Mul, a: 0, b: 1 },
-                Instr::Store { view: 0, off: 0, src: 2 },
+                Instr::Bin {
+                    dst: 2,
+                    kind: BinKind::Mul,
+                    a: 0,
+                    b: 1,
+                },
+                Instr::Store {
+                    view: 0,
+                    off: 0,
+                    src: 2,
+                },
             ],
             num_regs: 3,
             ..Default::default()
@@ -655,7 +929,15 @@ mod tests {
         for c in 0..4i64 {
             let inputs: Vec<&[f64]> = vec![&[]];
             let mut outs: Vec<&mut [f64]> = vec![&mut output];
-            p.run_cell(&mut regs, &inputs, &mut outs, &[Some(0)], &[c], &[c], &[2.0]);
+            p.run_cell(
+                &mut regs,
+                &inputs,
+                &mut outs,
+                &[Some(0)],
+                &[c],
+                &[c],
+                &[2.0],
+            );
         }
         assert_eq!(output, vec![0.0, 2.0, 4.0, 6.0]);
     }
@@ -666,9 +948,23 @@ mod tests {
             instrs: vec![
                 Instr::Const { dst: 0, val: 3.0 },
                 Instr::Const { dst: 1, val: 5.0 },
-                Instr::Cmp { dst: 2, kind: CmpKind::Lt, a: 0, b: 1 },
-                Instr::Select { dst: 3, c: 2, a: 0, b: 1 },
-                Instr::Store { view: 0, off: 0, src: 3 },
+                Instr::Cmp {
+                    dst: 2,
+                    kind: CmpKind::Lt,
+                    a: 0,
+                    b: 1,
+                },
+                Instr::Select {
+                    dst: 3,
+                    c: 2,
+                    a: 0,
+                    b: 1,
+                },
+                Instr::Store {
+                    view: 0,
+                    off: 0,
+                    src: 3,
+                },
             ],
             num_regs: 4,
             ..Default::default()
@@ -686,8 +982,16 @@ mod tests {
         let p = BodyProgram {
             instrs: vec![
                 Instr::Const { dst: 0, val: 16.0 },
-                Instr::Un { dst: 1, kind: UnKind::Sqrt, a: 0 },
-                Instr::Store { view: 0, off: 0, src: 1 },
+                Instr::Un {
+                    dst: 1,
+                    kind: UnKind::Sqrt,
+                    a: 0,
+                },
+                Instr::Store {
+                    view: 0,
+                    off: 0,
+                    src: 1,
+                },
             ],
             num_regs: 2,
             ..Default::default()

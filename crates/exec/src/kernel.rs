@@ -23,6 +23,7 @@ use fsc_dialects::{fir, func, gpu, memref, mpi, omp, scf};
 use fsc_ir::{Attribute, BlockId, IrError, Module, OpId, Result, Type, ValueId};
 
 use crate::bytecode::{BinKind, BodyProgram, CmpKind, Instr, UnKind};
+use crate::specialize::{self, ExecPath, SpecProgram};
 use crate::value::{column_major_strides, BufId, Memory};
 
 fn err(msg: impl std::fmt::Display) -> IrError {
@@ -102,8 +103,18 @@ pub struct Nest {
     pub bounds: Vec<(i64, i64)>,
     /// Indices (into the kernel's views) that this nest writes.
     pub out_views: Vec<usize>,
-    /// The body bytecode.
+    /// The body bytecode (generic form — the accounting source of truth).
     pub program: BodyProgram,
+    /// Superinstruction-fused variant of `program` (the FusedVm path).
+    /// Same op counts, fewer dispatches; see `specialize::fuse_program`.
+    pub fused: BodyProgram,
+    /// Native specialized realisation when the body matches a template
+    /// (the Specialized path); see `specialize::specialize_program`.
+    pub specialized: Option<SpecProgram>,
+    /// Execution path this nest runs through. Defaults to the fastest
+    /// available tier; tests override via
+    /// [`CompiledKernel::force_exec_path`].
+    pub path: ExecPath,
     /// Halo exchanges preceding this nest (distributed plans).
     pub exchanges: Vec<MpiExchange>,
     /// Snapshot views to refresh (copy from source) before this nest.
@@ -155,7 +166,7 @@ pub enum PlanKind {
 }
 
 /// Work metrics of one kernel invocation (drives the GPU/network models).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct KernelStats {
     /// Grid cells processed (sum over nests).
     pub cells: u64,
@@ -165,6 +176,8 @@ pub struct KernelStats {
     pub bytes_read: u64,
     /// Bytes stored to arrays.
     pub bytes_written: u64,
+    /// Execution path of each nest, in nest order.
+    pub paths: Vec<ExecPath>,
 }
 
 /// A fully compiled region, callable through [`run_kernel`].
@@ -191,9 +204,13 @@ impl CompiledKernel {
         for nest in &self.nests {
             let cells = nest.domain_cells();
             s.cells += cells;
+            // Always account against the generic program: specialization
+            // and fusion preserve op counts by construction, and using one
+            // source of truth keeps the models immune to path overrides.
             s.flops += cells * nest.program.flops_per_cell;
             s.bytes_read += cells * nest.program.loads_per_cell * 8;
             s.bytes_written += cells * nest.program.stores_per_cell * 8;
+            s.paths.push(nest.path);
         }
         s
     }
@@ -201,6 +218,24 @@ impl CompiledKernel {
     /// True when any nest carries halo exchanges (distributed plan).
     pub fn is_distributed(&self) -> bool {
         self.nests.iter().any(|n| !n.exchanges.is_empty())
+    }
+
+    /// Force every nest onto `path` where that tier is available; nests
+    /// without a specialized form keep their current path when
+    /// `Specialized` is requested. Returns how many nests were switched.
+    /// Intended for differential tests (`tests/property.rs`).
+    pub fn force_exec_path(&mut self, path: ExecPath) -> usize {
+        let mut switched = 0;
+        for nest in &mut self.nests {
+            if path == ExecPath::Specialized && nest.specialized.is_none() {
+                continue;
+            }
+            if nest.path != path {
+                switched += 1;
+            }
+            nest.path = path;
+        }
+        switched
     }
 }
 
@@ -262,7 +297,13 @@ pub fn compile_kernel(module: &Module, func_name: &str) -> Result<CompiledKernel
             args,
             views,
             nests,
-            kind: PlanKind::Gpu { grid, block, strategy, read_args, written_args },
+            kind: PlanKind::Gpu {
+                grid,
+                block,
+                strategy,
+                read_args,
+                written_args,
+            },
             decomposition,
         });
     }
@@ -274,9 +315,9 @@ pub fn compile_kernel(module: &Module, func_name: &str) -> Result<CompiledKernel
         .into_iter()
         .find(|&o| module.op(o).name.full() == omp::PARALLEL)
     {
-        Some(par) => {
-            PlanKind::Omp { num_threads: omp::parallel_num_threads(module, par) as usize }
-        }
+        Some(par) => PlanKind::Omp {
+            num_threads: omp::parallel_num_threads(module, par) as usize,
+        },
         None => PlanKind::Cpu,
     };
     Ok(CompiledKernel {
@@ -304,8 +345,7 @@ fn find_gpu_kernel_block(module: &Module, sym: &str) -> Result<BlockId> {
         for block in module.region_blocks(region) {
             for op in module.block_ops(block) {
                 if module.op(op).name.full() == gpu::FUNC
-                    && module.op(op).attr("sym_name").and_then(Attribute::as_str)
-                        == Some(sym)
+                    && module.op(op).attr("sym_name").and_then(Attribute::as_str) == Some(sym)
                 {
                     let kregion = module.op(op).regions[0];
                     return Ok(module.region_blocks(kregion)[0]);
@@ -331,8 +371,11 @@ fn compile_nests(
     let mut pending_snapshots: Vec<usize> = Vec::new();
 
     // Function-arg index lookup.
-    let arg_index: HashMap<ValueId, usize> =
-        arg_values.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let arg_index: HashMap<ValueId, usize> = arg_values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i))
+        .collect();
     // Scalar-arg slot numbering (bytecode Arg indices count scalars only).
     let mut scalar_slot: HashMap<ValueId, u16> = HashMap::new();
     {
@@ -387,8 +430,8 @@ fn compile_nests(
                 pending_snapshots.push(dst);
             }
             mpi::ISEND => {
-                let spec = mpi::halo_spec(module, op)
-                    .ok_or_else(|| err("isend without halo spec"))?;
+                let spec =
+                    mpi::halo_spec(module, op).ok_or_else(|| err("isend without halo spec"))?;
                 let view = *view_of_value
                     .get(&data.operands[0])
                     .ok_or_else(|| err("isend of unknown view"))?;
@@ -400,10 +443,14 @@ fn compile_nests(
                     tag: spec.tag,
                 });
             }
-            mpi::IRECV | mpi::WAITALL | mpi::BARRIER | mpi::INIT | mpi::FINALIZE
-            | mpi::COMM_RANK | mpi::COMM_SIZE => {}
-            "arith.constant" | gpu::HOST_REGISTER | gpu::MEMCPY | gpu::ALLOC
-            | gpu::DEALLOC => {}
+            mpi::IRECV
+            | mpi::WAITALL
+            | mpi::BARRIER
+            | mpi::INIT
+            | mpi::FINALIZE
+            | mpi::COMM_RANK
+            | mpi::COMM_SIZE => {}
+            "arith.constant" | gpu::HOST_REGISTER | gpu::MEMCPY | gpu::ALLOC | gpu::DEALLOC => {}
             scf::PARALLEL | omp::PARALLEL => {
                 let nest = compile_one_nest(
                     module,
@@ -466,10 +513,25 @@ fn compile_one_nest(
     for op in module.block_ops(innermost) {
         compiler.compile_op(op)?;
     }
-    let BodyCompiler { regs, mut program, dim_of_iv, out_views, .. } = compiler;
+    let BodyCompiler {
+        regs,
+        mut program,
+        dim_of_iv,
+        out_views,
+        ..
+    } = compiler;
     program.num_regs = regs;
     program.finalize_stats();
     program.hoist_invariants();
+    // Specialization ladder: native loops if the body matches a template,
+    // otherwise the superinstruction-fused VM program.
+    let fused = specialize::fuse_program(&program);
+    let specialized = specialize::specialize_program(&program);
+    let path = if specialized.is_some() {
+        ExecPath::Specialized
+    } else {
+        ExecPath::FusedVm
+    };
 
     let rank = views
         .first()
@@ -485,7 +547,16 @@ fn compile_one_nest(
     if !assigned.iter().all(|&a| a) {
         return Err(err("not every dimension indexed by a loop"));
     }
-    Ok(Nest { bounds, out_views, program, exchanges, snapshots })
+    Ok(Nest {
+        bounds,
+        out_views,
+        program,
+        fused,
+        specialized,
+        path,
+        exchanges,
+        snapshots,
+    })
 }
 
 /// Descend a loop structure (`scf.parallel` / `omp.parallel{wsloop}` with
@@ -497,8 +568,7 @@ fn collect_loops(
     iv_bounds: &mut HashMap<ValueId, (i64, i64)>,
 ) -> Result<BlockId> {
     let name = module.op(root).name.full();
-    let (body, ivs, lbs, ubs): (BlockId, Vec<ValueId>, Vec<ValueId>, Vec<ValueId>) = match name
-    {
+    let (body, ivs, lbs, ubs): (BlockId, Vec<ValueId>, Vec<ValueId>, Vec<ValueId>) = match name {
         scf::PARALLEL => {
             let p = scf::ParallelOp(root);
             (p.body(module), p.ivs(module), p.lbs(module), p.ubs(module))
@@ -518,10 +588,10 @@ fn collect_loops(
     };
     let tiled = module.op(root).attr("tiled").is_some();
     for ((iv, lb), ub) in ivs.iter().zip(&lbs).zip(&ubs) {
-        let lb_c = trace_index_const(module, *lb)
-            .ok_or_else(|| err("non-constant loop lower bound"))?;
-        let ub_c = trace_index_const(module, *ub)
-            .ok_or_else(|| err("non-constant loop upper bound"))?;
+        let lb_c =
+            trace_index_const(module, *lb).ok_or_else(|| err("non-constant loop lower bound"))?;
+        let ub_c =
+            trace_index_const(module, *ub).ok_or_else(|| err("non-constant loop upper bound"))?;
         iv_bounds.insert(*iv, (lb_c, ub_c));
     }
     // Descend through nested scf.for chains.
@@ -598,7 +668,11 @@ impl<'a> BodyCompiler<'a> {
                 if !self.out_views.contains(&view) {
                     self.out_views.push(view);
                 }
-                self.program.instrs.push(Instr::Store { view: view as u16, off, src });
+                self.program.instrs.push(Instr::Store {
+                    view: view as u16,
+                    off,
+                    src,
+                });
                 Ok(())
             }
             scf::YIELD | omp::YIELD | omp::TERMINATOR | fir::RESULT => Ok(()),
@@ -649,7 +723,10 @@ impl<'a> BodyCompiler<'a> {
                 .get(&v)
                 .ok_or_else(|| err("loop index used as data before any array access"))?;
             let dst = self.fresh();
-            self.program.instrs.push(Instr::Coord { dst, dim: dim as u8 });
+            self.program.instrs.push(Instr::Coord {
+                dst,
+                dim: dim as u8,
+            });
             self.memo.insert(v, dst);
             return Ok(dst);
         }
@@ -679,7 +756,11 @@ impl<'a> BodyCompiler<'a> {
             memref::LOAD => {
                 let (view, off) = self.access_of(def, 0)?;
                 let dst = self.fresh();
-                self.program.instrs.push(Instr::Load { dst, view: view as u16, off });
+                self.program.instrs.push(Instr::Load {
+                    dst,
+                    view: view as u16,
+                    off,
+                });
                 dst
             }
             "arith.addf" | "arith.addi" => self.bin(BinKind::Add, &operands)?,
@@ -689,7 +770,11 @@ impl<'a> BodyCompiler<'a> {
             "arith.divsi" => {
                 let d = self.bin(BinKind::Div, &operands)?;
                 let dst = self.fresh();
-                self.program.instrs.push(Instr::Un { dst, kind: UnKind::Trunc, a: d });
+                self.program.instrs.push(Instr::Un {
+                    dst,
+                    kind: UnKind::Trunc,
+                    a: d,
+                });
                 dst
             }
             "arith.remsi" => self.bin(BinKind::Rem, &operands)?,
@@ -702,7 +787,12 @@ impl<'a> BodyCompiler<'a> {
                 let a = self.reg_for(operands[0])?;
                 let b = self.reg_for(operands[1])?;
                 let dst = self.fresh();
-                self.program.instrs.push(Instr::Cmp { dst, kind: CmpKind::Ne, a, b });
+                self.program.instrs.push(Instr::Cmp {
+                    dst,
+                    kind: CmpKind::Ne,
+                    a,
+                    b,
+                });
                 dst
             }
             "arith.cmpf" | "arith.cmpi" => {
@@ -840,6 +930,11 @@ pub fn run_kernel(
         .collect();
 
     for nest in &kernel.nests {
+        // Degenerate domains (n ≤ 2·halo leaves no interior) have nothing
+        // to compute — skip before paying for snapshot refreshes.
+        if nest.domain_cells() == 0 {
+            continue;
+        }
         // Refresh snapshot views.
         for &v in &nest.snapshots {
             let ViewSource::SnapshotOf(src) = kernel.views[v].source else {
@@ -896,6 +991,10 @@ pub fn run_kernel_naive(
         .collect();
 
     for nest in &kernel.nests {
+        // Empty iteration domain: nothing to do, including snapshots.
+        if nest.domain_cells() == 0 {
+            continue;
+        }
         for &v in &nest.snapshots {
             let ViewSource::SnapshotOf(src) = kernel.views[v].source else {
                 return Err(err("snapshot refresh of non-snapshot view"));
@@ -905,9 +1004,6 @@ pub fn run_kernel_naive(
                 d.copy_from_slice(s);
             }
         }
-        if nest.domain_cells() == 0 {
-            continue;
-        }
         let rank = nest.bounds.len();
         let views = &kernel.views;
         let mut out_view_map: Vec<Option<u16>> = vec![None; views.len()];
@@ -916,8 +1012,7 @@ pub fn run_kernel_naive(
             out_view_map[v] = Some(slot as u16);
             out_buf_ids.push(bufs[v]);
         }
-        let mut taken: Vec<Vec<f64>> =
-            out_buf_ids.iter().map(|&b| memory.take_buffer(b)).collect();
+        let mut taken: Vec<Vec<f64>> = out_buf_ids.iter().map(|&b| memory.take_buffer(b)).collect();
         {
             let inputs: Vec<&[f64]> = bufs
                 .iter()
@@ -930,8 +1025,7 @@ pub fn run_kernel_naive(
                     }
                 })
                 .collect();
-            let mut outputs: Vec<&mut [f64]> =
-                taken.iter_mut().map(|v| v.as_mut_slice()).collect();
+            let mut outputs: Vec<&mut [f64]> = taken.iter_mut().map(|v| v.as_mut_slice()).collect();
             let mut regs = vec![0.0f64; nest.program.num_regs.max(1) as usize];
             let mut coords: Vec<i64> = nest.bounds.iter().map(|&(lb, _)| lb).collect();
             'cells: loop {
@@ -1056,8 +1150,7 @@ fn run_nest(
             }
         }
     }
-    let mut taken: Vec<Vec<f64>> =
-        out_buf_ids.iter().map(|&b| memory.take_buffer(b)).collect();
+    let mut taken: Vec<Vec<f64>> = out_buf_ids.iter().map(|&b| memory.take_buffer(b)).collect();
 
     {
         let inputs: Vec<&[f64]> = bufs
@@ -1073,9 +1166,24 @@ fn run_nest(
             .collect();
 
         let effective_threads = threads.max(1);
-        if effective_threads == 1 || pool.is_none() || (outer_hi - outer_lo) < 2 {
-            let mut outputs: Vec<&mut [f64]> =
-                taken.iter_mut().map(|v| v.as_mut_slice()).collect();
+        let par_pool = if effective_threads > 1 && (outer_hi - outer_lo) >= 2 {
+            pool
+        } else {
+            None
+        };
+        if let Some(tp) = par_pool {
+            run_sliced(
+                nest,
+                views,
+                &inputs,
+                &mut taken,
+                &out_view_map,
+                scalars,
+                effective_threads,
+                tp,
+            )?;
+        } else {
+            let mut outputs: Vec<&mut [f64]> = taken.iter_mut().map(|v| v.as_mut_slice()).collect();
             let slab_starts = vec![0i64; views.len()];
             run_range(
                 nest,
@@ -1088,17 +1196,6 @@ fn run_nest(
                 outer_lo,
                 outer_hi,
             );
-        } else {
-            run_sliced(
-                nest,
-                views,
-                &inputs,
-                &mut taken,
-                &out_view_map,
-                scalars,
-                effective_threads,
-                pool.unwrap(),
-            )?;
         }
     }
 
@@ -1134,7 +1231,21 @@ fn run_range(
         return;
     }
     let strip_ok = views.iter().all(|v| v.strides.first() == Some(&1));
-    let num_regs = nest.program.num_regs.max(1) as usize;
+    // Path selection. Native specialized loops assume unit innermost stride
+    // exactly like the strip VM; without it, fall down the ladder. The
+    // GenericVm override runs the unfused program; everything else runs the
+    // fused one (identical values either way — fusion is bit-exact).
+    let specialized: Option<&SpecProgram> = if nest.path == ExecPath::Specialized && strip_ok {
+        nest.specialized.as_ref()
+    } else {
+        None
+    };
+    let program = if nest.path == ExecPath::GenericVm {
+        &nest.program
+    } else {
+        &nest.fused
+    };
+    let num_regs = program.num_regs.max(1) as usize;
 
     let mut coords: Vec<i64> = nest.bounds.iter().map(|&(lb, _)| lb).collect();
     coords[outer] = outer_lo;
@@ -1142,33 +1253,44 @@ fn run_range(
 
     // Scalar registers (fallback path).
     let mut regs = vec![0.0f64; num_regs];
-    nest.program.run_prelude(&mut regs, scalars);
+    program.run_prelude(&mut regs, scalars);
     // Strip registers (vector path).
     let mut sregs = vec![0.0f64; num_regs * STRIP];
     let mut cur_w = STRIP;
-    if strip_ok {
-        nest.program.run_prelude_strip(&mut sregs, STRIP, scalars);
+    if strip_ok && specialized.is_none() {
+        program.run_prelude_strip(&mut sregs, STRIP, scalars);
     }
 
     loop {
         for (v, spec) in views.iter().enumerate() {
             let mut c = 0i64;
-            for d in 0..rank {
-                c += coords[d] * spec.strides[d];
+            for (d, &coord) in coords.iter().enumerate().take(rank) {
+                c += coord * spec.strides[d];
             }
             c -= out_slab_starts[v];
             cursors[v] = c;
         }
-        let (lb0, ub0) = if rank == 1 { (outer_lo, outer_hi) } else { nest.bounds[0] };
-        if strip_ok {
+        let (lb0, ub0) = if rank == 1 {
+            (outer_lo, outer_hi)
+        } else {
+            nest.bounds[0]
+        };
+        if let Some(spec) = specialized {
+            // Native fast path: each store sweeps the whole unit-stride row
+            // in one monomorphised loop — no bytecode dispatch at all.
+            let w = (ub0 - lb0) as usize;
+            for body in &spec.stores {
+                specialize::run_spec_row(body, inputs, outputs, out_view_map, &cursors, scalars, w);
+            }
+        } else if strip_ok {
             let mut i = lb0;
             while i < ub0 {
                 let w = ((ub0 - i) as usize).min(STRIP);
                 if w != cur_w {
-                    nest.program.run_prelude_strip(&mut sregs, w, scalars);
+                    program.run_prelude_strip(&mut sregs, w, scalars);
                     cur_w = w;
                 }
-                nest.program.run_strip(
+                program.run_strip(
                     &mut sregs,
                     w,
                     inputs,
@@ -1188,7 +1310,7 @@ fn run_range(
             let mut i = lb0;
             while i < ub0 {
                 coords[0] = i;
-                nest.program.run_cell_body(
+                program.run_cell_body(
                     &mut regs,
                     inputs,
                     outputs,
@@ -1210,7 +1332,11 @@ fn run_range(
                 return;
             }
             coords[d] += 1;
-            let hi = if d == outer { outer_hi } else { nest.bounds[d].1 };
+            let hi = if d == outer {
+                outer_hi
+            } else {
+                nest.bounds[d].1
+            };
             if coords[d] < hi {
                 break;
             }
@@ -1269,7 +1395,9 @@ fn run_sliced(
         } else {
             (
                 (0..outer).map(|d| nest.bounds[d].0 * spec.strides[d]).sum(),
-                (0..outer).map(|d| (nest.bounds[d].1 - 1) * spec.strides[d]).sum(),
+                (0..outer)
+                    .map(|d| (nest.bounds[d].1 - 1) * spec.strides[d])
+                    .sum(),
             )
         };
         let min_idx = c0 * s_outer + rest_min + off_min;
@@ -1284,7 +1412,11 @@ fn run_sliced(
     }
     let mut tasks: Vec<Task> = ranges
         .iter()
-        .map(|&range| Task { range, outs: Vec::new(), slab_starts: vec![0; views.len()] })
+        .map(|&range| Task {
+            range,
+            outs: Vec::new(),
+            slab_starts: vec![0; views.len()],
+        })
         .collect();
 
     for (&view, buf) in nest.out_views.iter().zip(taken.iter_mut()) {
@@ -1308,7 +1440,11 @@ fn run_sliced(
         for task in tasks.into_iter() {
             let inputs_ref = inputs;
             scope.spawn(move |_| {
-                let Task { range, mut outs, slab_starts } = task;
+                let Task {
+                    range,
+                    mut outs,
+                    slab_starts,
+                } = task;
                 run_range(
                     nest,
                     views,
@@ -1386,8 +1522,14 @@ end program average
                 memory.buffer_mut(data)[j + n * i] = j as f64 + 10.0 * i as f64;
             }
         }
-        run_kernel(&k, &mut memory, &[KernelArg::Buf(data), KernelArg::Buf(res)], 1, None)
-            .unwrap();
+        run_kernel(
+            &k,
+            &mut memory,
+            &[KernelArg::Buf(data), KernelArg::Buf(res)],
+            1,
+            None,
+        )
+        .unwrap();
         for i in 1..=16usize {
             for j in 1..=16usize {
                 let expect = j as f64 + 10.0 * i as f64;
@@ -1412,13 +1554,29 @@ end program average
         };
         let mut m1 = Memory::new();
         let (d1, r1) = mk(&mut m1);
-        run_kernel(&k, &mut m1, &[KernelArg::Buf(d1), KernelArg::Buf(r1)], 1, None).unwrap();
+        run_kernel(
+            &k,
+            &mut m1,
+            &[KernelArg::Buf(d1), KernelArg::Buf(r1)],
+            1,
+            None,
+        )
+        .unwrap();
 
         let mut m2 = Memory::new();
         let (d2, r2) = mk(&mut m2);
-        let pool = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
-        run_kernel(&k, &mut m2, &[KernelArg::Buf(d2), KernelArg::Buf(r2)], 4, Some(&pool))
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
             .unwrap();
+        run_kernel(
+            &k,
+            &mut m2,
+            &[KernelArg::Buf(d2), KernelArg::Buf(r2)],
+            4,
+            Some(&pool),
+        )
+        .unwrap();
         assert_eq!(m1.buffer(r1), m2.buffer(r2));
     }
 
@@ -1476,7 +1634,11 @@ end program t
         run_kernel(
             &k,
             &mut memory,
-            &[KernelArg::Buf(a), KernelArg::Buf(r), KernelArg::Scalar(0.25)],
+            &[
+                KernelArg::Buf(a),
+                KernelArg::Buf(r),
+                KernelArg::Scalar(0.25),
+            ],
             1,
             None,
         )
@@ -1512,8 +1674,14 @@ end program t
         for i in 0..10 {
             memory.buffer_mut(a)[i] = (i * i) as f64;
         }
-        run_kernel(&k, &mut memory, &[KernelArg::Buf(a), KernelArg::Buf(b)], 1, None)
-            .unwrap();
+        run_kernel(
+            &k,
+            &mut memory,
+            &[KernelArg::Buf(a), KernelArg::Buf(b)],
+            1,
+            None,
+        )
+        .unwrap();
         // a(i) must now equal 0.5*((i-1)² + (i+1)²) = i² + 1 for interior i.
         for i in 1..=8usize {
             let expect = (i * i + 1) as f64;
@@ -1562,7 +1730,14 @@ end program t
         };
         let mut m1 = Memory::new();
         let (d1, r1) = mk(&mut m1);
-        run_kernel(&k, &mut m1, &[KernelArg::Buf(d1), KernelArg::Buf(r1)], 1, None).unwrap();
+        run_kernel(
+            &k,
+            &mut m1,
+            &[KernelArg::Buf(d1), KernelArg::Buf(r1)],
+            1,
+            None,
+        )
+        .unwrap();
         let mut m2 = Memory::new();
         let (d2, r2) = mk(&mut m2);
         run_kernel_naive(&k, &mut m2, &[KernelArg::Buf(d2), KernelArg::Buf(r2)]).unwrap();
@@ -1575,13 +1750,25 @@ end program t
         discover_stencils(&mut m).unwrap();
         let mut st = extract_stencils(&mut m).unwrap();
         lower_stencils(&mut st, LoweringTarget::Gpu).unwrap();
-        fsc_passes::tiling::ParallelLoopTiling { tile_sizes: vec![8, 8, 1] }
+        fsc_passes::tiling::ParallelLoopTiling {
+            tile_sizes: vec![8, 8, 1],
+        }
+        .run(&mut st)
+        .unwrap();
+        fsc_passes::gpu_lowering::ConvertParallelLoopsToGpu
             .run(&mut st)
             .unwrap();
-        fsc_passes::gpu_lowering::ConvertParallelLoopsToGpu.run(&mut st).unwrap();
-        fsc_passes::gpu_lowering::GpuDataExplicit.run(&mut st).unwrap();
+        fsc_passes::gpu_lowering::GpuDataExplicit
+            .run(&mut st)
+            .unwrap();
         let k = compile_kernel(&st, "stencil_region_0").unwrap();
-        let PlanKind::Gpu { grid, block, strategy, .. } = &k.kind else {
+        let PlanKind::Gpu {
+            grid,
+            block,
+            strategy,
+            ..
+        } = &k.kind
+        else {
             panic!("expected gpu plan");
         };
         assert_eq!(*block, [8, 8, 1]);
@@ -1597,8 +1784,14 @@ end program t
         for i in 0..n * n {
             memory.buffer_mut(data)[i] = 2.0;
         }
-        run_kernel(&k, &mut memory, &[KernelArg::Buf(data), KernelArg::Buf(res)], 1, None)
-            .unwrap();
+        run_kernel(
+            &k,
+            &mut memory,
+            &[KernelArg::Buf(data), KernelArg::Buf(res)],
+            1,
+            None,
+        )
+        .unwrap();
         assert_eq!(memory.buffer(res)[1 + n], 2.0);
     }
 
@@ -1630,8 +1823,14 @@ end program gs
         for idx in 0..e * e * e {
             memory.buffer_mut(u)[idx] = 1.0;
         }
-        run_kernel(&kern, &mut memory, &[KernelArg::Buf(u), KernelArg::Buf(un)], 1, None)
-            .unwrap();
+        run_kernel(
+            &kern,
+            &mut memory,
+            &[KernelArg::Buf(u), KernelArg::Buf(un)],
+            1,
+            None,
+        )
+        .unwrap();
         let at = |i: usize, j: usize, k: usize| memory.buffer(un)[i + e * j + e * e * k];
         assert_eq!(at(3, 3, 3), 1.0);
         assert_eq!(at(1, 1, 1), 1.0);

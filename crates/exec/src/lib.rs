@@ -24,8 +24,10 @@
 pub mod bytecode;
 pub mod interp;
 pub mod kernel;
+pub mod specialize;
 pub mod value;
 
 pub use interp::{Interpreter, RunStats};
 pub use kernel::{CompiledKernel, KernelArg, KernelStats};
+pub use specialize::ExecPath;
 pub use value::{BufId, Memory, Ref, Value};

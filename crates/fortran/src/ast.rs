@@ -162,12 +162,19 @@ pub enum Expr {
 impl Expr {
     /// Build a binary node.
     pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
-        Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+        Expr::Bin {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
     }
 
     /// Build a unary node.
     pub fn un(op: UnOp, operand: Expr) -> Expr {
-        Expr::Un { op, operand: Box::new(operand) }
+        Expr::Un {
+            op,
+            operand: Box::new(operand),
+        }
     }
 }
 

@@ -107,10 +107,7 @@ pub fn lex(source: &str) -> Result<Vec<Token>> {
                 pos += 1;
                 if continuation {
                     continuation = false;
-                } else if !matches!(
-                    tokens.last().map(|t| &t.kind),
-                    None | Some(TokenKind::Eos)
-                ) {
+                } else if !matches!(tokens.last().map(|t| &t.kind), None | Some(TokenKind::Eos)) {
                     push!(TokenKind::Eos);
                 }
                 line += 1;
@@ -251,14 +248,23 @@ pub fn lex(source: &str) -> Result<Vec<Token>> {
                 push!(TokenKind::Ident(word));
             }
             other => {
-                return Err(err(line, format!("unexpected character '{}'", other as char)));
+                return Err(err(
+                    line,
+                    format!("unexpected character '{}'", other as char),
+                ));
             }
         }
     }
     if !matches!(tokens.last().map(|t| &t.kind), None | Some(TokenKind::Eos)) {
-        tokens.push(Token { kind: TokenKind::Eos, line });
+        tokens.push(Token {
+            kind: TokenKind::Eos,
+            line,
+        });
     }
-    tokens.push(Token { kind: TokenKind::Eof, line });
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+    });
     Ok(tokens)
 }
 

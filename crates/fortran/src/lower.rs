@@ -66,7 +66,9 @@ fn lower_unit(module: &mut Module, unit: &ProgramUnit, info: &UnitInfo) -> Resul
                 Type::fir_ref(Type::fir_array(extents.clone(), scalar_type(sym.ty)))
             }
             SymbolKind::AllocArray { .. } => {
-                return Err(err(format!("allocatable dummy argument '{arg}' unsupported")));
+                return Err(err(format!(
+                    "allocatable dummy argument '{arg}' unsupported"
+                )));
             }
             SymbolKind::Param(_) => unreachable!("sema rejects parameter dummies"),
         };
@@ -74,7 +76,10 @@ fn lower_unit(module: &mut Module, unit: &ProgramUnit, info: &UnitInfo) -> Resul
     }
     let (f, entry) = func::build_func(module, &unit.name, arg_types, vec![]);
     if unit.kind == UnitKind::Program {
-        module.op_mut(f.0).attrs.insert(PROGRAM_ATTR.into(), Attribute::Unit);
+        module
+            .op_mut(f.0)
+            .attrs
+            .insert(PROGRAM_ATTR.into(), Attribute::Unit);
     }
     // Terminator first; everything else inserts before it.
     {
@@ -144,10 +149,11 @@ impl<'a> Lowerer<'a> {
     }
 
     fn binding(&self, name: &str) -> Result<ValueId> {
-        self.bindings
-            .get(name)
-            .copied()
-            .ok_or_else(|| err(format!("'{name}' has no storage binding (allocate it first?)")))
+        self.bindings.get(name).copied().ok_or_else(|| {
+            err(format!(
+                "'{name}' has no storage binding (allocate it first?)"
+            ))
+        })
     }
 
     fn lower_stmts(&mut self, block: BlockId, stmts: &[Stmt]) -> Result<()> {
@@ -160,10 +166,18 @@ impl<'a> Lowerer<'a> {
     fn lower_stmt(&mut self, block: BlockId, stmt: &Stmt) -> Result<()> {
         match stmt {
             Stmt::Assign { target, value } => self.lower_assign(block, target, value),
-            Stmt::Do { var, lb, ub, step, body } => {
-                self.lower_do(block, var, lb, ub, step.as_ref(), body)
-            }
-            Stmt::If { cond, then_body, else_body } => {
+            Stmt::Do {
+                var,
+                lb,
+                ub,
+                step,
+                body,
+            } => self.lower_do(block, var, lb, ub, step.as_ref(), body),
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 let cond_v = self.lower_expr_as(block, cond, TypeSpec::Logical)?;
                 let if_op = {
                     let mut b = self.cursor(block);
@@ -278,13 +292,12 @@ impl<'a> Lowerer<'a> {
         got: TypeSpec,
         want: TypeSpec,
     ) -> Result<ValueId> {
-        let same = match (got, want) {
-            (TypeSpec::Integer, TypeSpec::Integer) | (TypeSpec::Logical, TypeSpec::Logical) => {
-                true
-            }
-            (TypeSpec::Real { .. }, TypeSpec::Real { .. }) => true,
-            _ => false,
-        };
+        let same = matches!(
+            (got, want),
+            (TypeSpec::Integer, TypeSpec::Integer)
+                | (TypeSpec::Logical, TypeSpec::Logical)
+                | (TypeSpec::Real { .. }, TypeSpec::Real { .. })
+        );
         if same {
             return Ok(v);
         }
@@ -340,7 +353,10 @@ impl<'a> Lowerer<'a> {
                 let mut b = self.cursor(block);
                 Ok((fir::load(&mut b, elem_ref), sym_ty))
             }
-            Expr::Un { op: UnOp::Neg, operand } => {
+            Expr::Un {
+                op: UnOp::Neg,
+                operand,
+            } => {
                 let (v, ty) = self.lower_expr(block, operand)?;
                 let mut b = self.cursor(block);
                 match ty {
@@ -352,11 +368,17 @@ impl<'a> Lowerer<'a> {
                     TypeSpec::Logical => Err(err("cannot negate a logical")),
                 }
             }
-            Expr::Un { op: UnOp::Not, operand } => {
+            Expr::Un {
+                op: UnOp::Not,
+                operand,
+            } => {
                 let v = self.lower_expr_as(block, operand, TypeSpec::Logical)?;
                 let mut b = self.cursor(block);
                 let one = arith::const_int(&mut b, 1, Type::bool());
-                Ok((arith::binary(&mut b, "arith.xori", v, one), TypeSpec::Logical))
+                Ok((
+                    arith::binary(&mut b, "arith.xori", v, one),
+                    TypeSpec::Logical,
+                ))
             }
             Expr::Bin { op, lhs, rhs } => self.lower_binop(block, *op, lhs, rhs),
         }
@@ -488,7 +510,11 @@ impl<'a> Lowerer<'a> {
                     let v = self.lower_expr_as(block, a, want)?;
                     let mut b = self.cursor(block);
                     acc = if is_real {
-                        let op = if name == "min" { "arith.minf" } else { "arith.maxf" };
+                        let op = if name == "min" {
+                            "arith.minf"
+                        } else {
+                            "arith.maxf"
+                        };
                         arith::binary(&mut b, op, acc, v)
                     } else {
                         let pred = if name == "min" {
@@ -506,7 +532,10 @@ impl<'a> Lowerer<'a> {
                 let l = self.lower_expr_as(block, &args[0], TypeSpec::Integer)?;
                 let r = self.lower_expr_as(block, &args[1], TypeSpec::Integer)?;
                 let mut b = self.cursor(block);
-                Ok((arith::binary(&mut b, "arith.remsi", l, r), TypeSpec::Integer))
+                Ok((
+                    arith::binary(&mut b, "arith.remsi", l, r),
+                    TypeSpec::Integer,
+                ))
             }
             "dble" | "real" => {
                 let v = self.lower_expr_as(block, &args[0], real8)?;
@@ -563,7 +592,9 @@ impl<'a> Lowerer<'a> {
         for a in args {
             match a {
                 // Variables and whole arrays pass their reference.
-                Expr::Var(vname) if !matches!(self.info.symbols[vname].kind, SymbolKind::Param(_)) => {
+                Expr::Var(vname)
+                    if !matches!(self.info.symbols[vname].kind, SymbolKind::Param(_)) =>
+                {
                     operands.push(self.binding(vname)?);
                 }
                 // Everything else: evaluate into a temporary and pass its ref.

@@ -35,7 +35,9 @@ impl<'t> Parser<'t> {
     }
 
     fn bump(&mut self) -> TokenKind {
-        let k = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        let k = self.tokens[self.pos.min(self.tokens.len() - 1)]
+            .kind
+            .clone();
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
         }
@@ -100,7 +102,10 @@ impl<'t> Parser<'t> {
         if self.eat(&TokenKind::Eos) || self.at(TokenKind::Eof) {
             Ok(())
         } else {
-            Err(self.err(format!("expected end of statement, found {:?}", self.peek())))
+            Err(self.err(format!(
+                "expected end of statement, found {:?}",
+                self.peek()
+            )))
         }
     }
 
@@ -116,25 +121,35 @@ impl<'t> Parser<'t> {
             self.expect_eos()?;
             let (decls, body) = self.parse_unit_body()?;
             self.parse_end("program", &name)?;
-            Ok(ProgramUnit { kind: UnitKind::Program, name, args: vec![], decls, body })
+            Ok(ProgramUnit {
+                kind: UnitKind::Program,
+                name,
+                args: vec![],
+                decls,
+                body,
+            })
         } else if self.eat_kw("subroutine") {
             let name = self.expect_ident()?;
             let mut args = Vec::new();
-            if self.eat(&TokenKind::LParen) {
-                if !self.eat(&TokenKind::RParen) {
-                    loop {
-                        args.push(self.expect_ident()?);
-                        if !self.eat(&TokenKind::Comma) {
-                            break;
-                        }
+            if self.eat(&TokenKind::LParen) && !self.eat(&TokenKind::RParen) {
+                loop {
+                    args.push(self.expect_ident()?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
                     }
-                    self.expect(TokenKind::RParen)?;
                 }
+                self.expect(TokenKind::RParen)?;
             }
             self.expect_eos()?;
             let (decls, body) = self.parse_unit_body()?;
             self.parse_end("subroutine", &name)?;
-            Ok(ProgramUnit { kind: UnitKind::Subroutine, name, args, decls, body })
+            Ok(ProgramUnit {
+                kind: UnitKind::Subroutine,
+                name,
+                args,
+                decls,
+                body,
+            })
         } else {
             Err(self.err(format!(
                 "expected 'program' or 'subroutine', found {:?}",
@@ -177,10 +192,7 @@ impl<'t> Parser<'t> {
     }
 
     fn at_type_spec(&self) -> bool {
-        self.at_kw("integer")
-            || self.at_kw("real")
-            || self.at_kw("logical")
-            || self.at_kw("double")
+        self.at_kw("integer") || self.at_kw("real") || self.at_kw("logical") || self.at_kw("double")
     }
 
     // ------------------------------------------------------- declarations
@@ -305,14 +317,23 @@ impl<'t> Parser<'t> {
             if self.at(TokenKind::Colon) {
                 // Deferred shape for allocatables: rank marker only.
                 self.bump();
-                dims.push(Dim { lower: Expr::Int(1), upper: Expr::Int(0) });
+                dims.push(Dim {
+                    lower: Expr::Int(1),
+                    upper: Expr::Int(0),
+                });
             } else {
                 let first = self.parse_expr()?;
                 if self.eat(&TokenKind::Colon) {
                     let upper = self.parse_expr()?;
-                    dims.push(Dim { lower: first, upper });
+                    dims.push(Dim {
+                        lower: first,
+                        upper,
+                    });
                 } else {
-                    dims.push(Dim { lower: Expr::Int(1), upper: first });
+                    dims.push(Dim {
+                        lower: Expr::Int(1),
+                        upper: first,
+                    });
                 }
             }
             if !self.eat(&TokenKind::Comma) {
@@ -351,16 +372,14 @@ impl<'t> Parser<'t> {
         if self.eat_kw("call") {
             let name = self.expect_ident()?;
             let mut args = Vec::new();
-            if self.eat(&TokenKind::LParen) {
-                if !self.eat(&TokenKind::RParen) {
-                    loop {
-                        args.push(self.parse_expr()?);
-                        if !self.eat(&TokenKind::Comma) {
-                            break;
-                        }
+            if self.eat(&TokenKind::LParen) && !self.eat(&TokenKind::RParen) {
+                loop {
+                    args.push(self.parse_expr()?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
                     }
-                    self.expect(TokenKind::RParen)?;
                 }
+                self.expect(TokenKind::RParen)?;
             }
             self.expect_eos()?;
             return Ok(Stmt::Call { name, args });
@@ -437,7 +456,13 @@ impl<'t> Parser<'t> {
             self.expect_kw("do")?;
         }
         self.expect_eos()?;
-        Ok(Stmt::Do { var, lb, ub, step, body })
+        Ok(Stmt::Do {
+            var,
+            lb,
+            ub,
+            step,
+            body,
+        })
     }
 
     fn parse_if(&mut self) -> Result<Stmt> {
@@ -458,11 +483,19 @@ impl<'t> Parser<'t> {
                 self.expect_kw("if")?;
             }
             self.expect_eos()?;
-            Ok(Stmt::If { cond, then_body, else_body })
+            Ok(Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            })
         } else {
             // One-line logical IF.
             let stmt = self.parse_stmt()?;
-            Ok(Stmt::If { cond, then_body: vec![stmt], else_body: vec![] })
+            Ok(Stmt::If {
+                cond,
+                then_body: vec![stmt],
+                else_body: vec![],
+            })
         }
     }
 
@@ -652,15 +685,26 @@ end program t",
         );
         let body = &f.units[0].body;
         assert_eq!(body.len(), 1);
-        let Stmt::Do { var, body: inner, .. } = &body[0] else {
+        let Stmt::Do {
+            var, body: inner, ..
+        } = &body[0]
+        else {
             panic!("expected do");
         };
         assert_eq!(var, "i");
-        let Stmt::Do { var: jv, body: innermost, .. } = &inner[0] else {
+        let Stmt::Do {
+            var: jv,
+            body: innermost,
+            ..
+        } = &inner[0]
+        else {
             panic!("expected nested do");
         };
         assert_eq!(jv, "j");
-        let Stmt::Assign { target: LValue::Element { name, indices }, .. } = &innermost[0]
+        let Stmt::Assign {
+            target: LValue::Element { name, indices },
+            ..
+        } = &innermost[0]
         else {
             panic!("expected array assign");
         };
@@ -689,7 +733,12 @@ else
 end if
 end program t",
         );
-        let Stmt::If { then_body, else_body, .. } = &f.units[0].body[0] else {
+        let Stmt::If {
+            then_body,
+            else_body,
+            ..
+        } = &f.units[0].body[0]
+        else {
             panic!()
         };
         assert_eq!(then_body.len(), 1);
@@ -699,7 +748,12 @@ end program t",
     #[test]
     fn one_line_if() {
         let f = parse("program t\nreal(kind=8) :: x\nif (x > 0.0) x = 0.0\nend program t");
-        let Stmt::If { then_body, else_body, .. } = &f.units[0].body[0] else {
+        let Stmt::If {
+            then_body,
+            else_body,
+            ..
+        } = &f.units[0].body[0]
+        else {
             panic!()
         };
         assert_eq!(then_body.len(), 1);
@@ -760,10 +814,20 @@ end program t",
             panic!()
         };
         // 1 + (2 * (3 ** 2))
-        let Expr::Bin { op: BinOp::Add, rhs, .. } = value else {
+        let Expr::Bin {
+            op: BinOp::Add,
+            rhs,
+            ..
+        } = value
+        else {
             panic!("expected + at top, got {value:?}")
         };
-        let Expr::Bin { op: BinOp::Mul, rhs: pow, .. } = rhs.as_ref() else {
+        let Expr::Bin {
+            op: BinOp::Mul,
+            rhs: pow,
+            ..
+        } = rhs.as_ref()
+        else {
             panic!("expected * under +")
         };
         assert!(matches!(pow.as_ref(), Expr::Bin { op: BinOp::Pow, .. }));

@@ -92,8 +92,8 @@ pub struct Analyzed {
 
 /// Names of supported intrinsic functions.
 pub const INTRINSICS: &[&str] = &[
-    "sqrt", "abs", "exp", "log", "sin", "cos", "tanh", "min", "max", "mod", "dble", "real",
-    "int", "atan2",
+    "sqrt", "abs", "exp", "log", "sin", "cos", "tanh", "min", "max", "mod", "dble", "real", "int",
+    "atan2",
 ];
 
 fn err(msg: impl std::fmt::Display) -> IrError {
@@ -121,16 +121,24 @@ fn analyze_unit(unit: &ProgramUnit, unit_names: &[String]) -> Result<UnitInfo> {
         let is_dummy = unit.args.contains(&decl.name);
         let kind = if let Some(init) = &decl.parameter {
             if is_dummy {
-                return Err(err(format!("dummy argument '{}' cannot be a parameter", decl.name)));
+                return Err(err(format!(
+                    "dummy argument '{}' cannot be a parameter",
+                    decl.name
+                )));
             }
             let v = fold_const(init, &params)?;
             params.insert(decl.name.clone(), v);
             SymbolKind::Param(v)
         } else if decl.allocatable {
             if decl.dims.is_empty() {
-                return Err(err(format!("allocatable '{}' needs a deferred shape", decl.name)));
+                return Err(err(format!(
+                    "allocatable '{}' needs a deferred shape",
+                    decl.name
+                )));
             }
-            SymbolKind::AllocArray { rank: decl.dims.len() }
+            SymbolKind::AllocArray {
+                rank: decl.dims.len(),
+            }
         } else if decl.dims.is_empty() {
             SymbolKind::Scalar
         } else {
@@ -156,7 +164,12 @@ fn analyze_unit(unit: &ProgramUnit, unit_names: &[String]) -> Result<UnitInfo> {
         };
         symbols.insert(
             decl.name.clone(),
-            Symbol { ty: decl.ty, kind, is_dummy, intent: decl.intent },
+            Symbol {
+                ty: decl.ty,
+                kind,
+                is_dummy,
+                intent: decl.intent,
+            },
         );
     }
 
@@ -167,7 +180,10 @@ fn analyze_unit(unit: &ProgramUnit, unit_names: &[String]) -> Result<UnitInfo> {
         }
     }
 
-    let mut info = UnitInfo { symbols, allocations: Vec::new() };
+    let mut info = UnitInfo {
+        symbols,
+        allocations: Vec::new(),
+    };
     check_stmts(&unit.body, &mut info, &params, unit_names)?;
     Ok(info)
 }
@@ -187,8 +203,10 @@ fn check_stmts(
                         if matches!(sym.kind, SymbolKind::Param(_)) {
                             return Err(err(format!("cannot assign to parameter '{name}'")));
                         }
-                        if matches!(sym.kind, SymbolKind::Array { .. } | SymbolKind::AllocArray { .. })
-                        {
+                        if matches!(
+                            sym.kind,
+                            SymbolKind::Array { .. } | SymbolKind::AllocArray { .. }
+                        ) {
                             return Err(err(format!(
                                 "whole-array assignment to '{name}' is not supported; use loops"
                             )));
@@ -216,10 +234,18 @@ fn check_stmts(
                 }
                 check_expr(value, info)?;
             }
-            Stmt::Do { var, lb, ub, step, body } => {
+            Stmt::Do {
+                var,
+                lb,
+                ub,
+                step,
+                body,
+            } => {
                 let sym = lookup(info, var)?;
                 if sym.ty != TypeSpec::Integer || !matches!(sym.kind, SymbolKind::Scalar) {
-                    return Err(err(format!("do variable '{var}' must be an integer scalar")));
+                    return Err(err(format!(
+                        "do variable '{var}' must be an integer scalar"
+                    )));
                 }
                 check_expr(lb, info)?;
                 check_expr(ub, info)?;
@@ -228,7 +254,11 @@ fn check_stmts(
                 }
                 check_stmts(body, info, params, unit_names)?;
             }
-            Stmt::If { cond, then_body, else_body } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 check_expr(cond, info)?;
                 check_stmts(then_body, info, params, unit_names)?;
                 check_stmts(else_body, info, params, unit_names)?;
@@ -304,7 +334,9 @@ fn check_expr(expr: &Expr, info: &UnitInfo) -> Result<()> {
                 SymbolKind::Array { extents, .. } => extents.len(),
                 SymbolKind::AllocArray { rank } => *rank,
                 _ => {
-                    return Err(err(format!("'{name}' is neither an array nor an intrinsic")));
+                    return Err(err(format!(
+                        "'{name}' is neither an array nor an intrinsic"
+                    )));
                 }
             };
             if indices.len() != rank {
@@ -335,12 +367,18 @@ pub fn fold_const(expr: &Expr, params: &BTreeMap<String, Const>) -> Result<Const
         Expr::Var(name) => *params
             .get(name)
             .ok_or_else(|| err(format!("'{name}' is not a constant")))?,
-        Expr::Un { op: UnOp::Neg, operand } => match fold_const(operand, params)? {
+        Expr::Un {
+            op: UnOp::Neg,
+            operand,
+        } => match fold_const(operand, params)? {
             Const::Int(v) => Const::Int(-v),
             Const::Real(v) => Const::Real(-v),
             Const::Logical(_) => return Err(err("cannot negate a logical")),
         },
-        Expr::Un { op: UnOp::Not, operand } => match fold_const(operand, params)? {
+        Expr::Un {
+            op: UnOp::Not,
+            operand,
+        } => match fold_const(operand, params)? {
             Const::Logical(v) => Const::Logical(!v),
             _ => return Err(err(".not. needs a logical")),
         },
@@ -387,8 +425,12 @@ fn fold_binop(op: BinOp, l: Const, r: Const) -> Result<Const> {
             _ => return Err(err("arithmetic on logicals")),
         });
     }
-    let a = l.as_real().ok_or_else(|| err("mixed logical/numeric constant expression"))?;
-    let b = r.as_real().ok_or_else(|| err("mixed logical/numeric constant expression"))?;
+    let a = l
+        .as_real()
+        .ok_or_else(|| err("mixed logical/numeric constant expression"))?;
+    let b = r
+        .as_real()
+        .ok_or_else(|| err("mixed logical/numeric constant expression"))?;
     Ok(match op {
         Add => Const::Real(a + b),
         Sub => Const::Real(a - b),
@@ -425,8 +467,14 @@ pub fn expr_type(expr: &Expr, info: &UnitInfo) -> Result<TypeSpec> {
             }
         }
         Expr::Bin { op, lhs, rhs } => match op {
-            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
-            | BinOp::And | BinOp::Or => TypeSpec::Logical,
+            BinOp::Eq
+            | BinOp::Ne
+            | BinOp::Lt
+            | BinOp::Le
+            | BinOp::Gt
+            | BinOp::Ge
+            | BinOp::And
+            | BinOp::Or => TypeSpec::Logical,
             _ => {
                 let lt = expr_type(lhs, info)?;
                 let rt = expr_type(rhs, info)?;
@@ -589,12 +637,19 @@ end program t",
         .unwrap();
         let info = &a.units[0];
         assert_eq!(
-            expr_type(&Expr::bin(BinOp::Add, Expr::Var("x".into()), Expr::Var("i".into())), info)
-                .unwrap(),
+            expr_type(
+                &Expr::bin(BinOp::Add, Expr::Var("x".into()), Expr::Var("i".into())),
+                info
+            )
+            .unwrap(),
             TypeSpec::Real { kind: 8 }
         );
         assert_eq!(
-            expr_type(&Expr::bin(BinOp::Add, Expr::Var("i".into()), Expr::Int(1)), info).unwrap(),
+            expr_type(
+                &Expr::bin(BinOp::Add, Expr::Var("i".into()), Expr::Int(1)),
+                info
+            )
+            .unwrap(),
             TypeSpec::Integer
         );
         assert_eq!(

@@ -42,8 +42,8 @@ proptest! {
         let mut body_close = String::new();
         let vars = ["i", "j", "k"];
         let mut decl_dims = Vec::new();
-        for d in 0..depth.min(3) {
-            body_open.push_str(&format!("do {} = 1, {n}\n", vars[d]));
+        for var in vars.iter().take(depth.min(3)) {
+            body_open.push_str(&format!("do {var} = 1, {n}\n"));
             body_close.insert_str(0, "end do\n");
             decl_dims.push(format!("{lb}:{}", n as i64 + 2));
         }
@@ -69,9 +69,18 @@ fn helpful_errors_for_common_mistakes() {
     let cases = [
         ("program t\nx = 1.0\nend program t", "not declared"),
         ("program t\ninteger :: i\ni = 1", "expected"), // missing end
-        ("program t\nreal(kind=8) :: a(2)\na(1,2) = 0.0\nend program t", "rank"),
-        ("program t\ncall nothere()\nend program t", "unknown subroutine"),
-        ("program t\ninteger, parameter :: n = 2\nn = 3\nend program t", "parameter"),
+        (
+            "program t\nreal(kind=8) :: a(2)\na(1,2) = 0.0\nend program t",
+            "rank",
+        ),
+        (
+            "program t\ncall nothere()\nend program t",
+            "unknown subroutine",
+        ),
+        (
+            "program t\ninteger, parameter :: n = 2\nn = 3\nend program t",
+            "parameter",
+        ),
     ];
     for (src, needle) in cases {
         let err = compile_to_fir(src).unwrap_err();

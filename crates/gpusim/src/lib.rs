@@ -136,7 +136,11 @@ pub struct GpuSession {
 impl GpuSession {
     /// New session with the given machine model.
     pub fn new(model: V100Model) -> Self {
-        Self { model, ledger: HashMap::new(), counters: GpuCounters::default() }
+        Self {
+            model,
+            ledger: HashMap::new(),
+            counters: GpuCounters::default(),
+        }
     }
 
     /// Total modeled seconds so far.
@@ -155,7 +159,7 @@ impl GpuSession {
         if threads > 1024.0 {
             return 0.0;
         }
-        (threads / 128.0).min(1.0).max(1.0 / 128.0)
+        (threads / 128.0).clamp(1.0 / 128.0, 1.0)
     }
 
     /// Pure kernel execution time (roofline + launch overhead).
@@ -201,8 +205,7 @@ impl GpuSession {
                     let pages = moved.div_ceil(self.model.page_size);
                     self.counters.page_faults += pages;
                     transfer += moved as f64 / self.model.pcie_bw
-                        + pages as f64 * self.model.page_fault_cost
-                            / self.model.fault_concurrency;
+                        + pages as f64 * self.model.page_fault_cost / self.model.fault_concurrency;
                 }
                 Strategy::Explicit => {
                     // Ensure-valid: pay PCIe only when the host copy is
@@ -231,11 +234,10 @@ impl GpuSession {
                         self.counters.page_faults += pages;
                         state.resident = true;
                     } else {
-                        let stalled =
-                            (pages as f64 * self.model.unified_stall_fraction).ceil();
+                        let stalled = (pages as f64 * self.model.unified_stall_fraction).ceil();
                         self.counters.page_faults += stalled as u64;
-                        transfer += stalled * self.model.page_fault_cost
-                            / self.model.fault_concurrency;
+                        transfer +=
+                            stalled * self.model.page_fault_cost / self.model.fault_concurrency;
                     }
                     if b.written {
                         state.device_dirty = true;
@@ -288,7 +290,12 @@ mod tests {
     }
 
     fn buf(id: u64, read: bool, written: bool) -> BufferUse {
-        BufferUse { id, bytes: 8_000_000, read, written }
+        BufferUse {
+            id,
+            bytes: 8_000_000,
+            read,
+            written,
+        }
     }
 
     #[test]

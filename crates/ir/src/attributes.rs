@@ -194,7 +194,10 @@ mod tests {
         assert_eq!(Attribute::int(7).to_string(), "7 : i64");
         assert_eq!(Attribute::index(3).to_string(), "3 : index");
         assert_eq!(Attribute::symbol("apply_0").to_string(), "@apply_0");
-        assert_eq!(Attribute::IndexList(vec![0, -1]).to_string(), "#index<0, -1>");
+        assert_eq!(
+            Attribute::IndexList(vec![0, -1]).to_string(),
+            "#index<0, -1>"
+        );
         assert_eq!(Attribute::string("x").to_string(), "\"x\"");
     }
 

@@ -29,17 +29,26 @@ pub struct OpBuilder<'m> {
 impl<'m> OpBuilder<'m> {
     /// Builder appending at the end of `block`.
     pub fn at_end(module: &'m mut Module, block: BlockId) -> Self {
-        Self { module, point: InsertPoint::EndOf(block) }
+        Self {
+            module,
+            point: InsertPoint::EndOf(block),
+        }
     }
 
     /// Builder inserting before `op`.
     pub fn before(module: &'m mut Module, op: OpId) -> Self {
-        Self { module, point: InsertPoint::Before(op) }
+        Self {
+            module,
+            point: InsertPoint::Before(op),
+        }
     }
 
     /// Builder inserting after `op`.
     pub fn after(module: &'m mut Module, op: OpId) -> Self {
-        Self { module, point: InsertPoint::After(op) }
+        Self {
+            module,
+            point: InsertPoint::After(op),
+        }
     }
 
     /// Move the insertion point.

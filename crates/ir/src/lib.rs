@@ -55,7 +55,9 @@ pub struct IrError {
 impl IrError {
     /// Create a new error with the given message.
     pub fn new(message: impl Into<String>) -> Self {
-        Self { message: message.into() }
+        Self {
+            message: message.into(),
+        }
     }
 }
 

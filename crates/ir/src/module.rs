@@ -181,7 +181,11 @@ impl Module {
 
     fn new_region(&mut self, parent: Option<OpId>) -> RegionId {
         let id = RegionId(self.regions.len() as u32);
-        self.regions.push(RegionData { blocks: Vec::new(), parent, alive: true });
+        self.regions.push(RegionData {
+            blocks: Vec::new(),
+            parent,
+            alive: true,
+        });
         id
     }
 
@@ -219,7 +223,13 @@ impl Module {
             alive: true,
         });
         for (i, ty) in arg_types.iter().enumerate() {
-            let v = self.new_value(ValueDef::BlockArg { block: id, index: i as u32 }, ty.clone());
+            let v = self.new_value(
+                ValueDef::BlockArg {
+                    block: id,
+                    index: i as u32,
+                },
+                ty.clone(),
+            );
             self.blocks[id.0 as usize].args.push(v);
         }
         self.regions[region.0 as usize].blocks.push(id);
@@ -314,7 +324,13 @@ impl Module {
             alive: true,
         });
         for (i, ty) in result_types.into_iter().enumerate() {
-            let v = self.new_value(ValueDef::OpResult { op: id, index: i as u32 }, ty);
+            let v = self.new_value(
+                ValueDef::OpResult {
+                    op: id,
+                    index: i as u32,
+                },
+                ty,
+            );
             self.ops[id.0 as usize].results.push(v);
         }
         id
@@ -344,33 +360,58 @@ impl Module {
     /// Shorthand: the single result of an op (panics if not exactly one).
     pub fn result(&self, op: OpId) -> ValueId {
         let r = &self.ops[op.0 as usize].results;
-        assert_eq!(r.len(), 1, "op {} has {} results", self.op(op).name, r.len());
+        assert_eq!(
+            r.len(),
+            1,
+            "op {} has {} results",
+            self.op(op).name,
+            r.len()
+        );
         r[0]
     }
 
     /// Append an op at the end of a block.
     pub fn append_op(&mut self, block: BlockId, op: OpId) {
-        assert!(self.ops[op.0 as usize].parent.is_none(), "op already attached");
+        assert!(
+            self.ops[op.0 as usize].parent.is_none(),
+            "op already attached"
+        );
         self.ops[op.0 as usize].parent = Some(block);
         self.blocks[block.0 as usize].ops.push(op);
     }
 
     /// Insert `new` directly before `anchor` in the anchor's block.
     pub fn insert_op_before(&mut self, anchor: OpId, new: OpId) {
-        let block = self.ops[anchor.0 as usize].parent.expect("anchor not attached");
-        assert!(self.ops[new.0 as usize].parent.is_none(), "op already attached");
+        let block = self.ops[anchor.0 as usize]
+            .parent
+            .expect("anchor not attached");
+        assert!(
+            self.ops[new.0 as usize].parent.is_none(),
+            "op already attached"
+        );
         let ops = &mut self.blocks[block.0 as usize].ops;
-        let pos = ops.iter().position(|&o| o == anchor).expect("anchor not in block");
+        let pos = ops
+            .iter()
+            .position(|&o| o == anchor)
+            .expect("anchor not in block");
         ops.insert(pos, new);
         self.ops[new.0 as usize].parent = Some(block);
     }
 
     /// Insert `new` directly after `anchor` in the anchor's block.
     pub fn insert_op_after(&mut self, anchor: OpId, new: OpId) {
-        let block = self.ops[anchor.0 as usize].parent.expect("anchor not attached");
-        assert!(self.ops[new.0 as usize].parent.is_none(), "op already attached");
+        let block = self.ops[anchor.0 as usize]
+            .parent
+            .expect("anchor not attached");
+        assert!(
+            self.ops[new.0 as usize].parent.is_none(),
+            "op already attached"
+        );
         let ops = &mut self.blocks[block.0 as usize].ops;
-        let pos = ops.iter().position(|&o| o == anchor).expect("anchor not in block");
+        let pos = ops
+            .iter()
+            .position(|&o| o == anchor)
+            .expect("anchor not in block");
         ops.insert(pos + 1, new);
         self.ops[new.0 as usize].parent = Some(block);
     }

@@ -58,7 +58,11 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(text: &'a str) -> Self {
-        Self { src: text.as_bytes(), pos: 0, values: HashMap::new() }
+        Self {
+            src: text.as_bytes(),
+            pos: 0,
+            values: HashMap::new(),
+        }
     }
 
     fn at_end(&self) -> bool {
@@ -225,12 +229,21 @@ impl<'a> Parser<'a> {
                         self.expect_char(b'<')?;
                         let (shape, elem) = self.parse_shape_and_elem()?;
                         self.expect_char(b'>')?;
-                        Ok(Type::MemRef { shape, elem: Box::new(elem) })
+                        Ok(Type::MemRef {
+                            shape,
+                            elem: Box::new(elem),
+                        })
                     }
-                    s if s.starts_with('i') && s[1..].chars().all(|c| c.is_ascii_digit()) && s.len() > 1 => {
+                    s if s.starts_with('i')
+                        && s[1..].chars().all(|c| c.is_ascii_digit())
+                        && s.len() > 1 =>
+                    {
                         Ok(Type::Int(s[1..].parse().unwrap()))
                     }
-                    s if s.starts_with('f') && s[1..].chars().all(|c| c.is_ascii_digit()) && s.len() > 1 => {
+                    s if s.starts_with('f')
+                        && s[1..].chars().all(|c| c.is_ascii_digit())
+                        && s.len() > 1 =>
+                    {
                         Ok(Type::Float(s[1..].parse().unwrap()))
                     }
                     _ => {
@@ -304,7 +317,10 @@ impl<'a> Parser<'a> {
                 self.expect_char(b'<')?;
                 let (shape, elem) = self.parse_shape_and_elem()?;
                 self.expect_char(b'>')?;
-                Ok(Type::FirArray { shape, elem: Box::new(elem) })
+                Ok(Type::FirArray {
+                    shape,
+                    elem: Box::new(elem),
+                })
             }
             "llvm.ptr" => {
                 if self.eat_char(b'<') {
@@ -319,13 +335,19 @@ impl<'a> Parser<'a> {
                 self.expect_char(b'<')?;
                 let (bounds, elem) = self.parse_bounds_and_elem()?;
                 self.expect_char(b'>')?;
-                Ok(Type::StencilField { bounds, elem: Box::new(elem) })
+                Ok(Type::StencilField {
+                    bounds,
+                    elem: Box::new(elem),
+                })
             }
             "stencil.temp" => {
                 self.expect_char(b'<')?;
                 let (bounds, elem) = self.parse_bounds_and_elem()?;
                 self.expect_char(b'>')?;
-                Ok(Type::StencilTemp { bounds, elem: Box::new(elem) })
+                Ok(Type::StencilTemp {
+                    bounds,
+                    elem: Box::new(elem),
+                })
             }
             "gpu.async.token" => Ok(Type::GpuAsyncToken),
             _ => Err(self.error(&format!("unknown dialect type '!{name}'"))),
@@ -409,7 +431,7 @@ impl<'a> Parser<'a> {
             }
             Some(b'#') => {
                 self.expect_str("#index<")
-                    .or_else(|_| Err(self.error("expected #index<...> attribute")))?;
+                    .map_err(|_| self.error("expected #index<...> attribute"))?;
                 let mut items = Vec::new();
                 if !self.eat_char(b'>') {
                     loop {
@@ -473,8 +495,12 @@ impl<'a> Parser<'a> {
                 _ => break,
             }
         }
-        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap().to_string();
-        let ty = if self.eat_char(b':') { self.parse_type()? } else if is_float {
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .unwrap()
+            .to_string();
+        let ty = if self.eat_char(b':') {
+            self.parse_type()?
+        } else if is_float {
             Type::f64()
         } else {
             Type::i64()

@@ -124,9 +124,10 @@ impl PassRegistry {
                 }
             }
             let (name, opts) = parse_entry(entry)?;
-            let factory = self.factories.get(&name).ok_or_else(|| {
-                IrError::new(format!("unknown pass '{name}' in pipeline"))
-            })?;
+            let factory = self
+                .factories
+                .get(&name)
+                .ok_or_else(|| IrError::new(format!("unknown pass '{name}' in pipeline")))?;
             pm.add_boxed(factory(&opts));
         }
         Ok(())
@@ -203,7 +204,10 @@ pub struct PassManager {
 impl PassManager {
     /// Empty pass manager.
     pub fn new() -> Self {
-        Self { passes: Vec::new(), verify_each: false }
+        Self {
+            passes: Vec::new(),
+            verify_each: false,
+        }
     }
 
     /// Run the structural verifier after every pass (catches pass bugs at
@@ -308,9 +312,7 @@ mod tests {
         let mut reg = PassRegistry::new();
         reg.register("nop", make_nop);
         reg.register("add-marker", make_marker);
-        let pm = reg
-            .parse_pipeline("nop,add-marker{x=1},nop")
-            .unwrap();
+        let pm = reg.parse_pipeline("nop,add-marker{x=1},nop").unwrap();
         assert_eq!(pm.pass_names(), vec!["nop", "add-marker", "nop"]);
         assert!(reg.parse_pipeline("does-not-exist").is_err());
     }
@@ -351,9 +353,12 @@ mod tests {
             fn run(&self, module: &mut Module) -> Result<PassResult> {
                 // Create a user of a value defined by a detached op: invalid.
                 let top = module.top_block();
-                let c = module.create_op("t.c", vec![], vec![crate::Type::i64()], vec![
-                    ("value", Attribute::int(0)),
-                ]);
+                let c = module.create_op(
+                    "t.c",
+                    vec![],
+                    vec![crate::Type::i64()],
+                    vec![("value", Attribute::int(0))],
+                );
                 let v = module.result(c);
                 let u = module.create_op("t.use", vec![v], vec![], vec![]);
                 module.append_op(top, u);

@@ -38,7 +38,12 @@ struct Printer<'m> {
 
 impl<'m> Printer<'m> {
     fn new(module: &'m Module) -> Self {
-        Self { module, names: HashMap::new(), next_value: 0, next_block: 0 }
+        Self {
+            module,
+            names: HashMap::new(),
+            next_value: 0,
+            next_block: 0,
+        }
     }
 
     fn value_name(&mut self, v: ValueId) -> String {
@@ -56,8 +61,7 @@ impl<'m> Printer<'m> {
         let pad = "  ".repeat(indent);
         out.push_str(&pad);
         if !data.results.is_empty() {
-            let names: Vec<String> =
-                data.results.iter().map(|&r| self.value_name(r)).collect();
+            let names: Vec<String> = data.results.iter().map(|&r| self.value_name(r)).collect();
             let _ = write!(out, "{} = ", names.join(", "));
         }
         let _ = write!(out, "\"{}\"(", data.name);
@@ -100,9 +104,9 @@ impl<'m> Printer<'m> {
             .iter()
             .map(|&r| self.module.value_type(r).to_string())
             .collect();
-        let _ = write!(
+        let _ = writeln!(
             out,
-            " : ({}) -> ({})\n",
+            " : ({}) -> ({})",
             operand_tys.join(", "),
             result_tys.join(", ")
         );
@@ -156,7 +160,10 @@ mod tests {
         );
         m.append_op(top, c);
         let s = print_module(&m);
-        assert!(s.contains("%0 = \"arith.constant\"() {value = 4 : i64} : () -> (i64)"), "{s}");
+        assert!(
+            s.contains("%0 = \"arith.constant\"() {value = 4 : i64} : () -> (i64)"),
+            "{s}"
+        );
     }
 
     #[test]

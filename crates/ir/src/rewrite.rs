@@ -111,7 +111,9 @@ pub fn replace_op(module: &mut Module, op: OpId, replacement_values: &[ValueId])
 /// No-op when the definition already dominates the anchor or lives in a
 /// different block.
 pub fn hoist_def_before(m: &mut Module, value: ValueId, anchor: OpId) {
-    let Some(def) = m.defining_op(value) else { return };
+    let Some(def) = m.defining_op(value) else {
+        return;
+    };
     let anchor_block = m.op(anchor).parent;
     if m.op(def).parent != anchor_block || anchor_block.is_none() {
         return;
@@ -184,9 +186,12 @@ mod tests {
     fn clone_remaps_operands_and_results() {
         let mut src = Module::new();
         let top = src.top_block();
-        let a = src.create_op("arith.constant", vec![], vec![Type::f64()], vec![
-            ("value", Attribute::float(1.0)),
-        ]);
+        let a = src.create_op(
+            "arith.constant",
+            vec![],
+            vec![Type::f64()],
+            vec![("value", Attribute::float(1.0))],
+        );
         src.append_op(top, a);
         let va = src.result(a);
         let add = src.create_op("arith.addf", vec![va, va], vec![Type::f64()], vec![]);
@@ -263,7 +268,12 @@ mod tests {
     fn dead_sweep_keeps_side_effecting_ops() {
         let mut m = Module::new();
         let top = m.top_block();
-        let c = m.create_op("fir.alloca", vec![], vec![Type::fir_ref(Type::f64())], vec![]);
+        let c = m.create_op(
+            "fir.alloca",
+            vec![],
+            vec![Type::fir_ref(Type::f64())],
+            vec![],
+        );
         m.append_op(top, c);
         assert_eq!(erase_dead_pure_ops(&mut m), 0);
         assert_eq!(m.live_op_count(), 1);

@@ -136,7 +136,10 @@ impl Type {
 
     /// A ranked memref over `elem` with the given shape.
     pub fn memref(shape: Vec<i64>, elem: Type) -> Type {
-        Type::MemRef { shape, elem: Box::new(elem) }
+        Type::MemRef {
+            shape,
+            elem: Box::new(elem),
+        }
     }
 
     /// A `!fir.ref<T>` type.
@@ -151,17 +154,26 @@ impl Type {
 
     /// A `!fir.array<shape x T>` type.
     pub fn fir_array(shape: Vec<i64>, elem: Type) -> Type {
-        Type::FirArray { shape, elem: Box::new(elem) }
+        Type::FirArray {
+            shape,
+            elem: Box::new(elem),
+        }
     }
 
     /// A `!stencil.field` with the given bounds.
     pub fn stencil_field(bounds: Vec<DimBound>, elem: Type) -> Type {
-        Type::StencilField { bounds, elem: Box::new(elem) }
+        Type::StencilField {
+            bounds,
+            elem: Box::new(elem),
+        }
     }
 
     /// A `!stencil.temp` with the given bounds.
     pub fn stencil_temp(bounds: Vec<DimBound>, elem: Type) -> Type {
-        Type::StencilTemp { bounds, elem: Box::new(elem) }
+        Type::StencilTemp {
+            bounds,
+            elem: Box::new(elem),
+        }
     }
 
     /// True for integer, index and float types.
@@ -186,9 +198,7 @@ impl Type {
             | Type::FirArray { elem, .. }
             | Type::StencilField { elem, .. }
             | Type::StencilTemp { elem, .. } => Some(elem),
-            Type::FirRef(t) | Type::FirHeap(t) | Type::FirBox(t) | Type::FirLlvmPtr(t) => {
-                Some(t)
-            }
+            Type::FirRef(t) | Type::FirHeap(t) | Type::FirBox(t) | Type::FirLlvmPtr(t) => Some(t),
             Type::LlvmPtr(Some(t)) => Some(t),
             _ => None,
         }
@@ -208,9 +218,7 @@ impl Type {
     /// The stencil bounds of a stencil field/temp type.
     pub fn stencil_bounds(&self) -> Option<&[DimBound]> {
         match self {
-            Type::StencilField { bounds, .. } | Type::StencilTemp { bounds, .. } => {
-                Some(bounds)
-            }
+            Type::StencilField { bounds, .. } | Type::StencilTemp { bounds, .. } => Some(bounds),
             _ => None,
         }
     }
@@ -222,7 +230,7 @@ impl Type {
             Type::Int(w) | Type::Float(w) => Some((*w as u64).div_ceil(8)),
             Type::Index => Some(8),
             Type::MemRef { shape, elem } | Type::FirArray { shape, elem } => {
-                if shape.iter().any(|&d| d == Type::DYNAMIC) {
+                if shape.contains(&Type::DYNAMIC) {
                     return None;
                 }
                 let count: i64 = shape.iter().product();
@@ -358,10 +366,7 @@ mod tests {
     fn byte_sizes() {
         assert_eq!(Type::f64().byte_size(), Some(8));
         assert_eq!(Type::bool().byte_size(), Some(1));
-        assert_eq!(
-            Type::memref(vec![4, 4], Type::f32()).byte_size(),
-            Some(64)
-        );
+        assert_eq!(Type::memref(vec![4, 4], Type::f32()).byte_size(), Some(64));
         assert_eq!(
             Type::memref(vec![Type::DYNAMIC], Type::f32()).byte_size(),
             None

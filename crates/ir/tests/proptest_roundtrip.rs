@@ -19,15 +19,20 @@ fn scalar_type() -> impl Strategy<Value = Type> {
 
 fn shaped_type() -> impl Strategy<Value = Type> {
     let dims = prop::collection::vec(prop_oneof![1i64..64, Just(Type::DYNAMIC)], 1..4);
-    let bounds = prop::collection::vec((-8i64..8, 8i64..64), 1..4)
-        .prop_map(|v| v.into_iter().map(|(l, u)| DimBound::new(l, u)).collect::<Vec<_>>());
+    let bounds = prop::collection::vec((-8i64..8, 8i64..64), 1..4).prop_map(|v| {
+        v.into_iter()
+            .map(|(l, u)| DimBound::new(l, u))
+            .collect::<Vec<_>>()
+    });
     prop_oneof![
-        (dims.clone(), scalar_type().prop_filter("elem", |t| t.is_scalar()))
+        (
+            dims.clone(),
+            scalar_type().prop_filter("elem", |t| t.is_scalar())
+        )
             .prop_map(|(shape, elem)| Type::memref(shape, elem)),
         (dims, prop_oneof![Just(Type::f64()), Just(Type::f32())])
             .prop_map(|(shape, elem)| Type::fir_array(shape, elem)),
-        (bounds.clone(), Just(Type::f64()))
-            .prop_map(|(b, e)| Type::stencil_field(b, e)),
+        (bounds.clone(), Just(Type::f64())).prop_map(|(b, e)| Type::stencil_field(b, e)),
         (bounds, Just(Type::f64())).prop_map(|(b, e)| Type::stencil_temp(b, e)),
     ]
 }

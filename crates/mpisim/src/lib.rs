@@ -126,9 +126,8 @@ impl CostModel {
         let offnode_fraction = offnode_fraction.clamp(0.0, 1.0);
         // Off-node messages share the node's NICs: with R ranks each sending
         // f*n messages off node, per-rank effective bandwidth shrinks.
-        let offnode_msgs_per_node = self.ranks_per_node as f64
-            * neighbors as f64
-            * offnode_fraction;
+        let offnode_msgs_per_node =
+            self.ranks_per_node as f64 * neighbors as f64 * offnode_fraction;
         let node_bw = self.nic_bw * self.nics_per_node;
         let per_msg_bw_off = if offnode_msgs_per_node > 0.0 {
             (node_bw / offnode_msgs_per_node).min(self.nic_bw)

@@ -29,7 +29,11 @@ struct Barrier {
 
 impl Barrier {
     fn new(n: usize) -> Self {
-        Self { lock: Mutex::new((0, 0)), cv: Condvar::new(), n }
+        Self {
+            lock: Mutex::new((0, 0)),
+            cv: Condvar::new(),
+            n,
+        }
     }
 
     fn wait(&self) {
@@ -65,15 +69,21 @@ impl RankCtx {
     /// Send `data` to `dest` with `tag` (non-blocking, buffered).
     pub fn send(&self, dest: usize, tag: i64, data: Vec<f64>) {
         self.senders[dest]
-            .send(Message { from: self.rank, tag, data })
+            .send(Message {
+                from: self.rank,
+                tag,
+                data,
+            })
             .expect("rank channel closed");
     }
 
     /// Receive the next message from `src` with `tag` (blocking, with
     /// out-of-order stashing like an MPI matching queue).
     pub fn recv(&mut self, src: usize, tag: i64) -> Vec<f64> {
-        if let Some(pos) =
-            self.stash.iter().position(|m| m.from == src && m.tag == tag)
+        if let Some(pos) = self
+            .stash
+            .iter()
+            .position(|m| m.from == src && m.tag == tag)
         {
             return self.stash.swap_remove(pos).data;
         }
@@ -141,10 +151,7 @@ pub fn message_counts_after<F>(size: usize, body: F) -> HashMap<usize, usize>
 where
     F: Fn(&mut RankCtx) -> usize + Send + Sync + 'static,
 {
-    run_ranks(size, body)
-        .into_iter()
-        .enumerate()
-        .collect()
+    run_ranks(size, body).into_iter().enumerate().collect()
 }
 
 #[cfg(test)]
@@ -198,8 +205,8 @@ mod tests {
         // Each rank owns 4 cells of a 16-cell line initialised to its rank;
         // one halo swap then an average must see neighbour values.
         let results = run_ranks(4, |ctx| {
-            let mut local = vec![ctx.rank as f64; 6]; // 4 + 2 halo
-            // Exchange with left and right.
+            let mut local = [ctx.rank as f64; 6]; // 4 + 2 halo
+                                                  // Exchange with left and right.
             if ctx.rank > 0 {
                 ctx.send(ctx.rank - 1, 1, vec![local[1]]);
             }

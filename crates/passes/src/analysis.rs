@@ -81,16 +81,13 @@ pub fn trace_const_int(m: &Module, v: ValueId) -> Option<i64> {
         fir::CONVERT | fir::NO_REASSOC => trace_const_int(m, m.op(def).operands[0]),
         "arith.constant" => m.op(def).attr("value")?.as_int(),
         "arith.addi" => Some(
-            trace_const_int(m, m.op(def).operands[0])?
-                + trace_const_int(m, m.op(def).operands[1])?,
+            trace_const_int(m, m.op(def).operands[0])? + trace_const_int(m, m.op(def).operands[1])?,
         ),
         "arith.subi" => Some(
-            trace_const_int(m, m.op(def).operands[0])?
-                - trace_const_int(m, m.op(def).operands[1])?,
+            trace_const_int(m, m.op(def).operands[0])? - trace_const_int(m, m.op(def).operands[1])?,
         ),
         "arith.muli" => Some(
-            trace_const_int(m, m.op(def).operands[0])?
-                * trace_const_int(m, m.op(def).operands[1])?,
+            trace_const_int(m, m.op(def).operands[0])? * trace_const_int(m, m.op(def).operands[1])?,
         ),
         _ => None,
     }
@@ -163,7 +160,14 @@ pub fn decode_access(m: &Module, address: ValueId) -> Option<ArrayAccess> {
     if index_exprs.len() != extents.len() {
         return None;
     }
-    Some(ArrayAccess { base, index_exprs, lbounds, extents, elem, coord_op })
+    Some(ArrayAccess {
+        base,
+        index_exprs,
+        lbounds,
+        extents,
+        elem,
+        coord_op,
+    })
 }
 
 /// Shape of the array behind a storage binding value.
@@ -222,7 +226,10 @@ fn decode_i32_expr(m: &Module, v: ValueId) -> IndexExpr {
         fir::LOAD => {
             let src = m.op(def).operands[0];
             if is_scalar_int_binding(m, src) {
-                IndexExpr::LoopVar { alloca: src, offset: 0 }
+                IndexExpr::LoopVar {
+                    alloca: src,
+                    offset: 0,
+                }
             } else {
                 IndexExpr::Unknown
             }
@@ -233,16 +240,20 @@ fn decode_i32_expr(m: &Module, v: ValueId) -> IndexExpr {
             let b = m.op(def).operands[1];
             let sign = if name == "arith.subi" { -1 } else { 1 };
             match (decode_i32_expr(m, a), trace_const_int(m, b)) {
-                (IndexExpr::LoopVar { alloca, offset }, Some(c)) => {
-                    IndexExpr::LoopVar { alloca, offset: offset + sign * c }
-                }
+                (IndexExpr::LoopVar { alloca, offset }, Some(c)) => IndexExpr::LoopVar {
+                    alloca,
+                    offset: offset + sign * c,
+                },
                 _ => {
                     // Also allow const + var for addi.
                     if name == "arith.addi" {
                         if let (Some(c), IndexExpr::LoopVar { alloca, offset }) =
                             (trace_const_int(m, a), decode_i32_expr(m, b))
                         {
-                            return IndexExpr::LoopVar { alloca, offset: offset + c };
+                            return IndexExpr::LoopVar {
+                                alloca,
+                                offset: offset + c,
+                            };
                         }
                     }
                     IndexExpr::Unknown
@@ -317,7 +328,11 @@ end program t
         assert_eq!(access.elem, Type::f64());
         assert!(access.is_loop_indexed());
         // Dim 0 indexed by the inner (j) loop at offset 0; dim 1 by i.
-        let IndexExpr::LoopVar { alloca: a0, offset: o0 } = access.index_exprs[0] else {
+        let IndexExpr::LoopVar {
+            alloca: a0,
+            offset: o0,
+        } = access.index_exprs[0]
+        else {
             panic!()
         };
         assert_eq!(o0, 0);

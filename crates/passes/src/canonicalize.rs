@@ -29,7 +29,11 @@ impl Pass for Canonicalize {
             }
             changed = true;
         }
-        Ok(if changed { PassResult::Changed } else { PassResult::Unchanged })
+        Ok(if changed {
+            PassResult::Changed
+        } else {
+            PassResult::Unchanged
+        })
     }
 }
 
@@ -45,7 +49,11 @@ impl Pass for Cse {
 
     fn run(&self, module: &mut Module) -> Result<PassResult> {
         let changed = run_cse(module);
-        Ok(if changed { PassResult::Changed } else { PassResult::Unchanged })
+        Ok(if changed {
+            PassResult::Changed
+        } else {
+            PassResult::Unchanged
+        })
     }
 }
 
@@ -60,7 +68,11 @@ impl Pass for Dce {
 
     fn run(&self, module: &mut Module) -> Result<PassResult> {
         let n = erase_dead_pure_ops(module);
-        Ok(if n > 0 { PassResult::Changed } else { PassResult::Unchanged })
+        Ok(if n > 0 {
+            PassResult::Changed
+        } else {
+            PassResult::Unchanged
+        })
     }
 }
 
@@ -101,7 +113,10 @@ fn try_fold(m: &mut Module, op: OpId) -> bool {
 
     // Integer binary folding.
     let int2 = |m: &Module| -> Option<(i64, i64)> {
-        Some((const_of(m, operands[0])?.as_int()?, const_of(m, operands[1])?.as_int()?))
+        Some((
+            const_of(m, operands[0])?.as_int()?,
+            const_of(m, operands[1])?.as_int()?,
+        ))
     };
     let float2 = |m: &Module| -> Option<(f64, f64)> {
         Some((
@@ -120,11 +135,13 @@ fn try_fold(m: &mut Module, op: OpId) -> bool {
         "arith.divf" => float2(m).map(|(a, b)| Attribute::Float(a / b, result_ty.clone())),
         "fir.convert" | "arith.index_cast" | "arith.extsi" | "arith.trunci" => {
             // Conversions between integer-ish types of a constant.
-            const_of(m, operands[0]).and_then(Attribute::as_int).and_then(|v| {
-                result_ty
-                    .is_int_or_index()
-                    .then(|| Attribute::Int(v, result_ty.clone()))
-            })
+            const_of(m, operands[0])
+                .and_then(Attribute::as_int)
+                .and_then(|v| {
+                    result_ty
+                        .is_int_or_index()
+                        .then(|| Attribute::Int(v, result_ty.clone()))
+                })
         }
         "arith.sitofp" => const_of(m, operands[0])
             .and_then(Attribute::as_int)
@@ -208,8 +225,7 @@ fn run_cse(m: &mut Module) -> bool {
         let mut seen: HashMap<String, fsc_ir::OpId> = HashMap::new();
         for op in m.block_ops(block) {
             let data = m.op(op);
-            if !is_pure(data.name.full()) || data.results.len() != 1 || !data.regions.is_empty()
-            {
+            if !is_pure(data.name.full()) || data.results.len() != 1 || !data.regions.is_empty() {
                 continue;
             }
             let key = format!(

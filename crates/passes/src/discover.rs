@@ -140,10 +140,7 @@ fn analyze_candidate(m: &Module, store: OpId, loops: &[LoopInfo]) -> Option<Cand
         store_offsets.push(offset);
         dim_loops.push(info);
     }
-    let top_loop = dim_loops
-        .iter()
-        .min_by_key(|l| l.depth)
-        .map(|l| l.op)?;
+    let top_loop = dim_loops.iter().min_by_key(|l| l.depth).map(|l| l.op)?;
     // No conditional control flow between the store and the outermost
     // applicable loop: every ancestor on that path must itself be a
     // `fir.do_loop` (extracting the store would otherwise change which
@@ -170,7 +167,12 @@ fn analyze_candidate(m: &Module, store: OpId, loops: &[LoopInfo]) -> Option<Cand
     if !ctx.validate(m.op(store).operands[0]) {
         return None;
     }
-    let SliceCtx { captured, read_bases, read_info, .. } = ctx;
+    let SliceCtx {
+        captured,
+        read_bases,
+        read_info,
+        ..
+    } = ctx;
     Some(Candidate {
         store,
         store_offsets,
@@ -255,9 +257,9 @@ impl<'a> SliceCtx<'a> {
     /// A captured scalar must not be written anywhere inside the loop nest.
     fn is_mutated_inside_nest(&self, alloca: ValueId) -> bool {
         let m = self.m;
-        collect_nested_ops(m, self.top_loop).iter().any(|&op| {
-            m.op(op).name.full() == fir::STORE && m.op(op).operands[1] == alloca
-        })
+        collect_nested_ops(m, self.top_loop)
+            .iter()
+            .any(|&op| m.op(op).name.full() == fir::STORE && m.op(op).operands[1] == alloca)
     }
 }
 
@@ -289,11 +291,10 @@ fn build_stencil(m: &mut Module, cand: &Candidate) -> Result<()> {
             let temp = stencil::load(&mut b, field);
             temps.insert(base, temp);
         }
-        if !fields.contains_key(&cand.target.base) {
+        if let std::collections::hash_map::Entry::Vacant(e) = fields.entry(cand.target.base) {
             let bounds = field_bounds(&cand.target);
-            let field =
-                stencil::external_load(&mut b, cand.target.base, bounds, elem.clone());
-            fields.insert(cand.target.base, field);
+            let field = stencil::external_load(&mut b, cand.target.base, bounds, elem.clone());
+            e.insert(field);
         }
     }
 
@@ -404,8 +405,7 @@ impl<'a> BodyEmitter<'a> {
                         let off = self.cand.store_offsets[dim];
                         let mut b = OpBuilder::at_end(m, body);
                         let idx = stencil::index(&mut b, dim as i64);
-                        let as_i32 =
-                            b.op1("arith.index_cast", vec![idx], Type::i32(), vec![]).1;
+                        let as_i32 = b.op1("arith.index_cast", vec![idx], Type::i32(), vec![]).1;
                         if off != 0 {
                             let c = fsc_dialects::arith::const_int(&mut b, off, Type::i32());
                             fsc_dialects::arith::subi(&mut b, as_i32, c)
@@ -423,7 +423,8 @@ impl<'a> BodyEmitter<'a> {
                 let value = m.op(def).attr("value").cloned().unwrap();
                 let ty = m.value_type(v).clone();
                 let mut b = OpBuilder::at_end(m, body);
-                b.op1("arith.constant", vec![], ty, vec![("value", value)]).1
+                b.op1("arith.constant", vec![], ty, vec![("value", value)])
+                    .1
             }
             fir::NO_REASSOC => {
                 let inner = m.op(def).operands[0];
@@ -520,8 +521,7 @@ pub fn remove_empty_loops(m: &mut Module) {
                         // A store of the converted iv into a scalar ref.
                         m.defining_op(data.operands[0])
                             .map(|d| {
-                                m.op(d).name.full() == fir::CONVERT
-                                    && m.op(d).operands == vec![iv]
+                                m.op(d).name.full() == fir::CONVERT && m.op(d).operands == vec![iv]
                             })
                             .unwrap_or(false)
                     }

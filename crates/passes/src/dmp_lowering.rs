@@ -36,7 +36,9 @@ impl Default for StencilToDmp {
 impl StencilToDmp {
     /// From pipeline options (`grid=4,2`).
     pub fn from_options(opts: &PassOptions) -> Self {
-        Self { grid: opts.get_int_list("grid").unwrap_or_else(|| vec![2, 2]) }
+        Self {
+            grid: opts.get_int_list("grid").unwrap_or_else(|| vec![2, 2]),
+        }
     }
 }
 
@@ -65,9 +67,7 @@ impl Pass for StencilToDmp {
             // Which dims are decomposed: the last `grid.len()` ones.
             let decomposed_from = rank.saturating_sub(self.grid.len());
             let mut swap_halo = vec![0i64; rank];
-            for d in decomposed_from..rank {
-                swap_halo[d] = halo[d];
-            }
+            swap_halo[decomposed_from..rank].copy_from_slice(&halo[decomposed_from..rank]);
             let inputs = module.op(apply_op).operands.clone();
             let mut b = OpBuilder::before(module, apply_op);
             for input in inputs {
@@ -114,7 +114,12 @@ impl Pass for DmpToMpi {
                 }
                 any = true;
                 for direction in [-1i64, 1] {
-                    let spec = mpi::HaloSpec { dim: dim as i64, direction, width, tag };
+                    let spec = mpi::HaloSpec {
+                        dim: dim as i64,
+                        direction,
+                        width,
+                        tag,
+                    };
                     mpi::isend(&mut b, buffer, &spec);
                     mpi::irecv(&mut b, buffer, &spec);
                     tag += 1;

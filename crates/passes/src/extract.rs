@@ -132,7 +132,11 @@ fn extract_cluster(
                 main.value_type(operand),
                 Type::FirRef(_) | Type::FirHeap(_) | Type::FirLlvmPtr(_)
             );
-            let list = if is_ptr_like { &mut ptr_inputs } else { &mut scalar_inputs };
+            let list = if is_ptr_like {
+                &mut ptr_inputs
+            } else {
+                &mut scalar_inputs
+            };
             if !list.contains(&operand) {
                 list.push(operand);
             }

@@ -50,13 +50,19 @@ impl Pass for ConvertParallelLoopsToGpu {
                 changed = true;
             }
         }
-        Ok(if changed { PassResult::Changed } else { PassResult::Unchanged })
+        Ok(if changed {
+            PassResult::Changed
+        } else {
+            PassResult::Unchanged
+        })
     }
 }
 
 fn outline_func(module: &mut Module, f_op: OpId) -> Result<bool> {
     let f = func::FuncOp(f_op);
-    let Some(entry) = f.entry_block(module) else { return Ok(false) };
+    let Some(entry) = f.entry_block(module) else {
+        return Ok(false);
+    };
     // Find the top-level scf.parallel (the stencil loop nest).
     let Some(par_op) = module
         .block_ops(entry)
@@ -128,7 +134,10 @@ fn outline_func(module: &mut Module, f_op: OpId) -> Result<bool> {
             ("sym_name", Attribute::string(kernel_name.clone())),
             (
                 "function_type",
-                Attribute::Type(Type::Function { inputs: ins.clone(), results: vec![] }),
+                Attribute::Type(Type::Function {
+                    inputs: ins.clone(),
+                    results: vec![],
+                }),
             ),
             ("kernel", Attribute::Unit),
         ],
@@ -182,15 +191,14 @@ fn outline_func(module: &mut Module, f_op: OpId) -> Result<bool> {
 /// Which argument indices are read / written by the function body. A buffer
 /// is *written* when its `memref.from_ptr` view is stored to (or copied
 /// into), *read* otherwise.
-fn classify_arg_uses(
-    module: &Module,
-    f_op: OpId,
-    args: &[ValueId],
-) -> (Vec<usize>, Vec<usize>) {
+fn classify_arg_uses(module: &Module, f_op: OpId, args: &[ValueId]) -> (Vec<usize>, Vec<usize>) {
     let mut read = Vec::new();
     let mut written = Vec::new();
     for (i, &arg) in args.iter().enumerate() {
-        if !matches!(module.value_type(arg), Type::LlvmPtr(_) | Type::FirLlvmPtr(_)) {
+        if !matches!(
+            module.value_type(arg),
+            Type::LlvmPtr(_) | Type::FirLlvmPtr(_)
+        ) {
             continue;
         }
         // Find the from_ptr view(s) of this arg.
@@ -207,15 +215,11 @@ fn classify_arg_uses(
         for op in collect_nested_ops(module, f_op) {
             let data = module.op(op);
             match data.name.full() {
-                fsc_dialects::memref::STORE => {
-                    if views.contains(&data.operands[1]) {
-                        is_written = true;
-                    }
+                fsc_dialects::memref::STORE if views.contains(&data.operands[1]) => {
+                    is_written = true;
                 }
-                fsc_dialects::memref::LOAD => {
-                    if views.contains(&data.operands[0]) {
-                        is_read = true;
-                    }
+                fsc_dialects::memref::LOAD if views.contains(&data.operands[0]) => {
+                    is_read = true;
                 }
                 fsc_dialects::memref::COPY => {
                     if views.contains(&data.operands[0]) {
@@ -264,13 +268,17 @@ impl Pass for GpuDataNaive {
                     gpu::host_register(&mut b, arg);
                 }
             }
-            module
-                .op_mut(launch)
-                .attrs
-                .insert(DATA_STRATEGY_ATTR.into(), Attribute::string("host_register"));
+            module.op_mut(launch).attrs.insert(
+                DATA_STRATEGY_ATTR.into(),
+                Attribute::string("host_register"),
+            );
             changed = true;
         }
-        Ok(if changed { PassResult::Changed } else { PassResult::Unchanged })
+        Ok(if changed {
+            PassResult::Changed
+        } else {
+            PassResult::Unchanged
+        })
     }
 }
 
@@ -316,7 +324,11 @@ impl Pass for GpuDataExplicit {
                 .insert(DATA_STRATEGY_ATTR.into(), Attribute::string("explicit"));
             changed = true;
         }
-        Ok(if changed { PassResult::Changed } else { PassResult::Unchanged })
+        Ok(if changed {
+            PassResult::Changed
+        } else {
+            PassResult::Unchanged
+        })
     }
 }
 
@@ -349,7 +361,9 @@ end program average
         merge_adjacent_applies(&mut m).unwrap();
         let mut st = extract_stencils(&mut m).unwrap();
         lower_stencils(&mut st, LoweringTarget::Gpu).unwrap();
-        ParallelLoopTiling { tile_sizes: tile }.run(&mut st).unwrap();
+        ParallelLoopTiling { tile_sizes: tile }
+            .run(&mut st)
+            .unwrap();
         ConvertParallelLoopsToGpu.run(&mut st).unwrap();
         st
     }
@@ -362,7 +376,7 @@ end program average
         let (grid, block) = gpu::launch_dims(&st, launches[0]).unwrap();
         assert_eq!(block, [32, 32, 1]);
         assert_eq!(grid, [2, 2, 1]); // 64/32 per dim
-        // The kernel lives in a gpu.module.
+                                     // The kernel lives in a gpu.module.
         let gms = st.top_level_ops_named(gpu::MODULE);
         assert_eq!(gms.len(), 1);
         let kernels = collect_ops_named(&st, gpu::FUNC);
@@ -377,9 +391,18 @@ end program average
     fn read_write_args_classified() {
         let st = gpu_module(LISTING1, vec![32, 32, 1]);
         let launch = collect_ops_named(&st, gpu::LAUNCH_FUNC)[0];
-        let read = st.op(launch).attr(READ_ARGS_ATTR).unwrap().as_index_list().unwrap();
-        let written =
-            st.op(launch).attr(WRITTEN_ARGS_ATTR).unwrap().as_index_list().unwrap();
+        let read = st
+            .op(launch)
+            .attr(READ_ARGS_ATTR)
+            .unwrap()
+            .as_index_list()
+            .unwrap();
+        let written = st
+            .op(launch)
+            .attr(WRITTEN_ARGS_ATTR)
+            .unwrap()
+            .as_index_list()
+            .unwrap();
         assert_eq!(read, &[0]); // data
         assert_eq!(written, &[1]); // res
     }

@@ -23,7 +23,11 @@ impl Pass for MergeStencils {
 
     fn run(&self, module: &mut Module) -> Result<PassResult> {
         let changed = merge_adjacent_applies(module)?;
-        Ok(if changed { PassResult::Changed } else { PassResult::Unchanged })
+        Ok(if changed {
+            PassResult::Changed
+        } else {
+            PassResult::Unchanged
+        })
     }
 }
 
@@ -89,7 +93,9 @@ fn dedupe_loads(module: &mut Module) -> bool {
 fn fuse_one_pair(module: &mut Module) -> Result<bool> {
     let applies = collect_ops_named(module, stencil::APPLY);
     for &a in &applies {
-        let Some(block) = module.op(a).parent else { continue };
+        let Some(block) = module.op(a).parent else {
+            continue;
+        };
         // The next apply in the same block, if any.
         let siblings = module.block_ops(block);
         let a_pos = siblings.iter().position(|&o| o == a).unwrap();
@@ -359,7 +365,11 @@ end program t
         let apply = stencil::ApplyOp(applies[0]);
         assert_eq!(
             apply.output_bounds(&m),
-            vec![DimBound::new(1, 8), DimBound::new(1, 8), DimBound::new(1, 8)]
+            vec![
+                DimBound::new(1, 8),
+                DimBound::new(1, 8),
+                DimBound::new(1, 8)
+            ]
         );
     }
 }

@@ -44,16 +44,21 @@ impl Pass for ConvertScfToOpenMp {
                 continue;
             }
             // Only *outermost* parallel loops fork a team.
-            let nested_in_parallel = module.ancestors(par_op).iter().any(|&a| {
-                matches!(module.op(a).name.full(), scf::PARALLEL | omp::WSLOOP)
-            });
+            let nested_in_parallel = module
+                .ancestors(par_op)
+                .iter()
+                .any(|&a| matches!(module.op(a).name.full(), scf::PARALLEL | omp::WSLOOP));
             if nested_in_parallel {
                 continue;
             }
             convert_one(module, par_op, self.num_threads)?;
             changed = true;
         }
-        Ok(if changed { PassResult::Changed } else { PassResult::Unchanged })
+        Ok(if changed {
+            PassResult::Changed
+        } else {
+            PassResult::Unchanged
+        })
     }
 }
 
@@ -113,12 +118,7 @@ mod tests {
             let zero = arith::const_index(&mut b, 0);
             let n = arith::const_index(&mut b, 16);
             let one = arith::const_index(&mut b, 1);
-            let par = scf::build_parallel(
-                &mut b,
-                vec![zero; dims],
-                vec![n; dims],
-                vec![one; dims],
-            );
+            let par = scf::build_parallel(&mut b, vec![zero; dims], vec![n; dims], vec![one; dims]);
             let m2 = b.module();
             let body = par.body(m2);
             let iv = par.ivs(m2)[0];

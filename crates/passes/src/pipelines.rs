@@ -79,9 +79,13 @@ pub fn registry() -> PassRegistry {
     reg.register("canonicalize", |_| Box::new(Canonicalize));
     reg.register("cse", |_| Box::new(Cse));
     reg.register("dce", |_| Box::new(Dce));
-    reg.register("discover-stencils", |_| Box::new(DiscoverStencils::default()));
+    reg.register("discover-stencils", |_| {
+        Box::new(DiscoverStencils::default())
+    });
     reg.register("merge-stencils", |_| Box::new(MergeStencils));
-    reg.register("stencil-to-scf", |o| Box::new(StencilToScf::from_options(o)));
+    reg.register("stencil-to-scf", |o| {
+        Box::new(StencilToScf::from_options(o))
+    });
     reg.register("convert-scf-to-openmp", |o| {
         Box::new(ConvertScfToOpenMp::from_options(o))
     });
@@ -93,7 +97,9 @@ pub fn registry() -> PassRegistry {
     });
     reg.register("gpu-data-host-register", |_| Box::new(GpuDataNaive));
     reg.register("gpu-data-explicit", |_| Box::new(GpuDataExplicit));
-    reg.register("stencil-to-dmp", |o| Box::new(StencilToDmp::from_options(o)));
+    reg.register("stencil-to-dmp", |o| {
+        Box::new(StencilToDmp::from_options(o))
+    });
     reg.register("dmp-to-mpi", |_| Box::new(DmpToMpi));
     reg.register("convert-fir-to-standard", |_| {
         Box::new(crate::fir_to_standard::ConvertFirToStandard)
@@ -102,7 +108,9 @@ pub fn registry() -> PassRegistry {
     // explicitly instead.
     macro_rules! marker {
         ($reg:expr, $name:literal) => {
-            $reg.register($name, |_: &PassOptions| Box::new(MarkerPass { name: $name }));
+            $reg.register($name, |_: &PassOptions| {
+                Box::new(MarkerPass { name: $name })
+            });
         };
     }
     marker!(reg, "test-math-algebraic-simplification");
@@ -173,7 +181,11 @@ pub fn gpu_pipeline(explicit_data: bool, tile_sizes: &[i64]) -> Result<PassManag
         "parallel-loop-tile-sizes=32,32,1",
         &format!("parallel-loop-tile-sizes={}", tiles.join(",")),
     );
-    let data = if explicit_data { "gpu-data-explicit" } else { "gpu-data-host-register" };
+    let data = if explicit_data {
+        "gpu-data-explicit"
+    } else {
+        "gpu-data-host-register"
+    };
     registry().parse_pipeline(&format!(
         "canonicalize,cse,stencil-to-scf{{target=gpu}},{listing4},{data}"
     ))
@@ -222,7 +234,10 @@ mod tests {
         assert!(names.contains(&"gpu-to-cubin"));
         assert_eq!(names.iter().filter(|n| **n == "canonicalize").count(), 3);
         assert_eq!(
-            names.iter().filter(|n| **n == "finalize-memref-to-llvm").count(),
+            names
+                .iter()
+                .filter(|n| **n == "finalize-memref-to-llvm")
+                .count(),
             4
         );
     }
@@ -252,7 +267,9 @@ mod tests {
     #[test]
     fn markers_are_noops() {
         let mut m = Module::new();
-        let pm = registry().parse_pipeline("gpu-to-cubin,lower-affine").unwrap();
+        let pm = registry()
+            .parse_pipeline("gpu-to-cubin,lower-affine")
+            .unwrap();
         let stats = pm.run(&mut m).unwrap();
         assert!(stats.iter().all(|s| !s.changed));
     }

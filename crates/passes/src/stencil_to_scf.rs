@@ -20,12 +20,11 @@
 use std::collections::HashMap;
 
 use fsc_dialects::{arith, memref, scf, stencil};
+use fsc_ir::pass::PassOptions;
 use fsc_ir::types::DimBound;
 use fsc_ir::walk::collect_ops_named;
-use fsc_ir::pass::PassOptions;
 use fsc_ir::{
-    Attribute, BlockId, IrError, Module, OpBuilder, OpId, Pass, PassResult, Result, Type,
-    ValueId,
+    Attribute, BlockId, IrError, Module, OpBuilder, OpId, Pass, PassResult, Result, Type, ValueId,
 };
 
 /// Which loop shape to generate.
@@ -63,7 +62,11 @@ impl Pass for StencilToScf {
 
     fn run(&self, module: &mut Module) -> Result<PassResult> {
         let changed = lower_stencils(module, self.target)?;
-        Ok(if changed { PassResult::Changed } else { PassResult::Unchanged })
+        Ok(if changed {
+            PassResult::Changed
+        } else {
+            PassResult::Unchanged
+        })
     }
 }
 
@@ -78,9 +81,7 @@ struct View {
 /// Lower all stencil ops in the module; returns whether anything changed.
 pub fn lower_stencils(module: &mut Module, target: LoweringTarget) -> Result<bool> {
     let applies = collect_ops_named(module, stencil::APPLY);
-    if applies.is_empty()
-        && collect_ops_named(module, stencil::EXTERNAL_LOAD).is_empty()
-    {
+    if applies.is_empty() && collect_ops_named(module, stencil::EXTERNAL_LOAD).is_empty() {
         return Ok(false);
     }
 
@@ -203,7 +204,10 @@ fn lower_apply(
                 let mut b = OpBuilder::before(module, apply_op);
                 let copy = memref::alloc(&mut b, mr_ty);
                 memref::copy(&mut b, view.memref, copy);
-                View { memref: copy, lbs: view.lbs.clone() }
+                View {
+                    memref: copy,
+                    lbs: view.lbs.clone(),
+                }
             } else {
                 view.clone()
             };
@@ -219,8 +223,10 @@ fn lower_apply(
     let innermost: BlockId;
     {
         let mut b = OpBuilder::before(module, apply_op);
-        let lb_consts: Vec<ValueId> =
-            bounds.iter().map(|d| arith::const_index(&mut b, d.lower)).collect();
+        let lb_consts: Vec<ValueId> = bounds
+            .iter()
+            .map(|d| arith::const_index(&mut b, d.lower))
+            .collect();
         let ub_consts: Vec<ValueId> = bounds
             .iter()
             .map(|d| arith::const_index(&mut b, d.upper + 1))
@@ -288,14 +294,16 @@ fn lower_apply(
                     .clone();
                 let result = module.result(op);
                 let mut b = OpBuilder::before(module, term);
-                let indices =
-                    address_indices(&mut b, &ivs, &offsets, &view.lbs);
+                let indices = address_indices(&mut b, &ivs, &offsets, &view.lbs);
                 let loaded = memref::load(&mut b, view.memref, indices);
                 value_map.insert(result, loaded);
             }
             stencil::INDEX => {
-                let dim = module.op(op).attr("dim").and_then(Attribute::as_int).unwrap_or(0)
-                    as usize;
+                let dim = module
+                    .op(op)
+                    .attr("dim")
+                    .and_then(Attribute::as_int)
+                    .unwrap_or(0) as usize;
                 value_map.insert(module.result(op), ivs[dim]);
             }
             stencil::RETURN => {
@@ -304,8 +312,7 @@ fn lower_apply(
                     let out = out_views[i].clone();
                     let stored = *value_map.get(&v).unwrap_or(&v);
                     let mut b = OpBuilder::before(module, term);
-                    let indices =
-                        address_indices(&mut b, &ivs, &vec![0; rank], &out.lbs);
+                    let indices = address_indices(&mut b, &ivs, &vec![0; rank], &out.lbs);
                     memref::store(&mut b, stored, out.memref, indices);
                 }
             }
@@ -315,12 +322,7 @@ fn lower_apply(
                     .op(op)
                     .operands
                     .iter()
-                    .map(|o| {
-                        *value_map
-                            .get(o)
-                            .or_else(|| scalar_map.get(o))
-                            .unwrap_or(o)
-                    })
+                    .map(|o| *value_map.get(o).or_else(|| scalar_map.get(o)).unwrap_or(o))
                     .collect();
                 let result_tys: Vec<Type> = module
                     .op(op)
@@ -507,7 +509,10 @@ end program pw
     fn pass_options_select_target() {
         let mut opts = PassOptions::default();
         opts.set("target", "gpu");
-        assert_eq!(StencilToScf::from_options(&opts).target, LoweringTarget::Gpu);
+        assert_eq!(
+            StencilToScf::from_options(&opts).target,
+            LoweringTarget::Gpu
+        );
         assert_eq!(
             StencilToScf::from_options(&PassOptions::default()).target,
             LoweringTarget::Cpu

@@ -23,7 +23,9 @@ pub struct ParallelLoopTiling {
 
 impl Default for ParallelLoopTiling {
     fn default() -> Self {
-        Self { tile_sizes: vec![32, 32, 1] }
+        Self {
+            tile_sizes: vec![32, 32, 1],
+        }
     }
 }
 
@@ -60,7 +62,11 @@ impl Pass for ParallelLoopTiling {
             tile_one(module, par, self)?;
             changed = true;
         }
-        Ok(if changed { PassResult::Changed } else { PassResult::Unchanged })
+        Ok(if changed {
+            PassResult::Changed
+        } else {
+            PassResult::Unchanged
+        })
     }
 }
 
@@ -147,7 +153,9 @@ mod tests {
     #[test]
     fn tiles_two_dims() {
         let mut m = parallel_module(2, 64);
-        let pass = ParallelLoopTiling { tile_sizes: vec![32, 16] };
+        let pass = ParallelLoopTiling {
+            tile_sizes: vec![32, 16],
+        };
         assert_eq!(pass.run(&mut m).unwrap(), PassResult::Changed);
         let pars = collect_ops_named(&m, scf::PARALLEL);
         assert_eq!(pars.len(), 1);
@@ -174,7 +182,9 @@ mod tests {
     #[test]
     fn idempotent_on_tiled_loops() {
         let mut m = parallel_module(1, 64);
-        let pass = ParallelLoopTiling { tile_sizes: vec![8] };
+        let pass = ParallelLoopTiling {
+            tile_sizes: vec![8],
+        };
         pass.run(&mut m).unwrap();
         assert_eq!(pass.run(&mut m).unwrap(), PassResult::Unchanged);
         assert_eq!(collect_ops_named(&m, scf::PARALLEL).len(), 1);
@@ -194,7 +204,11 @@ mod tests {
     #[test]
     fn records_tile_attr_for_gpu_mapping() {
         let mut m = parallel_module(2, 64);
-        ParallelLoopTiling { tile_sizes: vec![32, 4] }.run(&mut m).unwrap();
+        ParallelLoopTiling {
+            tile_sizes: vec![32, 4],
+        }
+        .run(&mut m)
+        .unwrap();
         let pars = collect_ops_named(&m, scf::PARALLEL);
         assert_eq!(
             m.op(pars[0]).attr("tiled").unwrap().as_index_list(),

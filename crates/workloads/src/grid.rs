@@ -19,7 +19,11 @@ impl Grid3 {
     /// Zero-filled grid with interior size `n`.
     pub fn new(n: usize) -> Self {
         let e = n + 2;
-        Self { n, e, data: vec![0.0; e * e * e] }
+        Self {
+            n,
+            e,
+            data: vec![0.0; e * e * e],
+        }
     }
 
     /// Linear index of Fortran coordinates `(i, j, k)` with lower bound 0.

@@ -2,7 +2,13 @@
 
 /// Maximum absolute elementwise difference.
 pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "length mismatch: {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "length mismatch: {} vs {}",
+        a.len(),
+        b.len()
+    );
     a.iter()
         .zip(b)
         .map(|(x, y)| (x - y).abs())
@@ -21,7 +27,10 @@ pub fn rms_diff(a: &[f64], b: &[f64]) -> f64 {
 
 /// Order-independent checksum for regression tracking.
 pub fn checksum(a: &[f64]) -> f64 {
-    a.iter().enumerate().map(|(i, &v)| v * ((i % 97) as f64 + 1.0)).sum()
+    a.iter()
+        .enumerate()
+        .map(|(i, &v)| v * ((i % 97) as f64 + 1.0))
+        .sum()
 }
 
 /// Assert two fields agree to `tol`, with a helpful message.

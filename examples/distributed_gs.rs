@@ -20,7 +20,10 @@ fn main() {
 
     // Auto-parallelised: serial source + DMP/MPI lowering, 2-D grid.
     let source = gauss_seidel::fortran_source(n, iters);
-    let opts = CompileOptions { target: Target::StencilDistributed { grid: vec![2, 2] }, verify_each_pass: false };
+    let opts = CompileOptions {
+        target: Target::StencilDistributed { grid: vec![2, 2] },
+        verify_each_pass: false,
+    };
     let exec = Compiler::run(&source, &opts).expect("run");
     println!(
         "auto-parallelised over {} ranks: modeled {:.5}s/run",

@@ -17,7 +17,9 @@
 use flang_stencil::core::{CompileOptions, Compiler, Target};
 
 fn parse_grid(s: &str) -> Vec<i64> {
-    s.split(['x', 'X', ',']).filter_map(|p| p.parse().ok()).collect()
+    s.split(['x', 'X', ','])
+        .filter_map(|p| p.parse().ok())
+        .collect()
 }
 
 fn parse_tile(s: &str) -> [i64; 3] {
@@ -91,16 +93,28 @@ fn main() {
         "unopt" => Target::UnoptimizedCpu,
         "cpu" => Target::StencilCpu,
         "openmp" => Target::StencilOpenMp { threads },
-        "gpu" => Target::StencilGpu { explicit_data, tile },
+        "gpu" => Target::StencilGpu {
+            explicit_data,
+            tile,
+        },
         "dmp" => Target::StencilDistributed { grid: grid.clone() },
-        "multigpu" => Target::StencilMultiGpu { grid: grid.clone(), tile },
+        "multigpu" => Target::StencilMultiGpu {
+            grid: grid.clone(),
+            tile,
+        },
         other => {
             eprintln!("unknown target '{other}'");
             std::process::exit(2);
         }
     };
 
-    let compiled = match Compiler::compile(&source, &CompileOptions { target, verify_each_pass: false }) {
+    let compiled = match Compiler::compile(
+        &source,
+        &CompileOptions {
+            target,
+            verify_each_pass: false,
+        },
+    ) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("error: {e}");
@@ -129,11 +143,23 @@ fn main() {
         exec.report.kernel_cells,
         compiled.kernels.len()
     );
+    if !exec.report.exec_paths.is_empty() {
+        let paths: Vec<String> = exec
+            .report
+            .exec_paths
+            .iter()
+            .map(|p| p.to_string())
+            .collect();
+        eprintln!("exec paths: {}", paths.join(", "));
+    }
     if let Some(gpu) = exec.report.gpu_seconds {
         eprintln!("gpu model: {gpu:.6}s ({:?})", exec.report.gpu.unwrap());
     }
     if let Some(d) = exec.report.distributed_seconds {
-        eprintln!("distributed model: {d:.6}s over {} ranks", exec.report.ranks.unwrap());
+        eprintln!(
+            "distributed model: {d:.6}s over {} ranks",
+            exec.report.ranks.unwrap()
+        );
     }
     for name in dump {
         match exec.array(&name) {

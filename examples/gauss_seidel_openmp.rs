@@ -24,7 +24,12 @@ fn main() {
 
     // Automatic parallelisation: the same serial source, OpenMP target.
     let source = gauss_seidel::fortran_source(n, iters);
-    let opts = CompileOptions { target: Target::StencilOpenMp { threads: threads as u32 }, verify_each_pass: false };
+    let opts = CompileOptions {
+        target: Target::StencilOpenMp {
+            threads: threads as u32,
+        },
+        verify_each_pass: false,
+    };
     let compiled = Compiler::compile(&source, &opts).expect("compile");
     let exec = compiled.run().expect("run");
     let auto = exec.report.kernel_wall.as_secs_f64();

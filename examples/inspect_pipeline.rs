@@ -44,7 +44,9 @@ fn main() {
     show(&m, 40);
 
     banner("2. after discover-stencils + merge-stencils (Listing 3)");
-    passes::discover::DiscoverStencils::default().run(&mut m).unwrap();
+    passes::discover::DiscoverStencils::default()
+        .run(&mut m)
+        .unwrap();
     show(&m, 40);
 
     banner("3. after extract-stencils: the FIR module (calls the region)");
@@ -55,7 +57,10 @@ fn main() {
     show(&st, 40);
 
     banner("4. after the CPU pipeline (stencil → scf.parallel/scf.for)");
-    passes::pipelines::cpu_pipeline().unwrap().run(&mut st).unwrap();
+    passes::pipelines::cpu_pipeline()
+        .unwrap()
+        .run(&mut st)
+        .unwrap();
     show(&st, 50);
 
     banner("5. the compiled kernel");

@@ -20,10 +20,15 @@ fn main() {
 
     let source = pw_advection::fortran_source(n);
     let mut results = Vec::new();
-    for (label, explicit) in [("stencil (host_register data)", false),
-                              ("stencil (optimised data)   ", true)] {
+    for (label, explicit) in [
+        ("stencil (host_register data)", false),
+        ("stencil (optimised data)   ", true),
+    ] {
         let opts = CompileOptions {
-            target: Target::StencilGpu { explicit_data: explicit, tile: [32, 32, 1] },
+            target: Target::StencilGpu {
+                explicit_data: explicit,
+                tile: [32, 32, 1],
+            },
             verify_each_pass: false,
         };
         // The benchmark kernel is launched repeatedly from a larger code;
@@ -43,7 +48,10 @@ fn main() {
             per_launch * launches as f64
         };
         let cells = (n as f64).powi(3) * launches as f64;
-        println!("{label}: {:10.1} MCells/s   ({total:.5}s modeled)", cells / total / 1e6);
+        println!(
+            "{label}: {:10.1} MCells/s   ({total:.5}s modeled)",
+            cells / total / 1e6
+        );
         results.push(exec);
     }
 

@@ -29,8 +29,14 @@ end program average
 ";
 
     println!("== compiling through the stencil flow (Figure 1) ==");
-    let compiled = Compiler::compile(source, &CompileOptions { target: Target::StencilCpu, verify_each_pass: false })
-        .expect("compilation failed");
+    let compiled = Compiler::compile(
+        source,
+        &CompileOptions {
+            target: Target::StencilCpu,
+            verify_each_pass: false,
+        },
+    )
+    .expect("compilation failed");
 
     println!(
         "extracted {} stencil region(s): {:?}",
@@ -41,9 +47,7 @@ end program average
         for (i, nest) in kernel.nests.iter().enumerate() {
             println!(
                 "  {name} nest {i}: domain {:?}, {} flops/cell, {} loads/cell",
-                nest.bounds,
-                nest.program.flops_per_cell,
-                nest.program.loads_per_cell
+                nest.bounds, nest.program.flops_per_cell, nest.program.loads_per_cell
             );
         }
     }
@@ -65,12 +69,18 @@ end program average
     let expect = |j: f64, i: f64| 0.001 * i * j;
     let got = at(100, 100);
     let want = 0.25
-        * (expect(100.0, 99.0) + expect(100.0, 101.0) + expect(99.0, 100.0)
-            + expect(101.0, 100.0));
+        * (expect(100.0, 99.0) + expect(100.0, 101.0) + expect(99.0, 100.0) + expect(101.0, 100.0));
     println!("res(100,100) = {got} (expected {want})");
     assert!((got - want).abs() < 1e-12);
     println!(
         "ok — {} cells through compiled stencil kernels in {:?}",
         exec.report.kernel_cells, exec.report.kernel_wall
     );
+    let paths: Vec<String> = exec
+        .report
+        .exec_paths
+        .iter()
+        .map(|p| p.to_string())
+        .collect();
+    println!("execution paths attested: {}", paths.join(", "));
 }

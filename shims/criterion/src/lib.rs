@@ -1,0 +1,208 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of criterion's API the workspace benches use —
+//! `Criterion::default().sample_size(n)`, `benchmark_group`,
+//! `bench_function`, `BenchmarkId::new`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros — as a small wall-clock
+//! harness: each benchmark is warmed up once, then timed over
+//! `sample_size` samples, reporting min/mean per-iteration time to stdout.
+//! There is no statistical analysis or HTML report; benches exist in this
+//! workspace to print comparable numbers, not publish-grade statistics.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_bench(&id.to_string(), self.sample_size, f);
+        self
+    }
+
+    /// Called by `criterion_main!` after all groups ran.
+    pub fn final_summary(&mut self) {}
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id);
+        run_bench(&label, self.criterion.sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        Self { label }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // One warm-up iteration, then `sample_size` timed samples.
+        std_black_box(routine());
+        self.samples.reserve(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            std_black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{label}: no samples");
+        return;
+    }
+    let min = b.samples.iter().min().copied().unwrap_or_default();
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    println!(
+        "{label}: mean {:>12.3?}  min {:>12.3?}  ({} samples)",
+        mean,
+        min,
+        b.samples.len()
+    );
+}
+
+/// Mirrors criterion's `criterion_group!` in both its simple and
+/// `name/config/targets` forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Mirrors criterion's `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut g = c.benchmark_group("shim");
+        let mut count = 0u64;
+        g.bench_function(BenchmarkId::new("count", 1), |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        g.finish();
+        // 1 warmup + 3 samples.
+        assert_eq!(count, 4);
+    }
+}

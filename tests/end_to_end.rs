@@ -8,19 +8,38 @@ use flang_stencil::workloads::{gauss_seidel, pw_advection};
 
 fn run_gs(n: usize, iters: usize, target: Target) -> flang_stencil::core::Execution {
     let source = gauss_seidel::fortran_source(n, iters);
-    Compiler::run(&source, &CompileOptions { target, verify_each_pass: false }).expect("run failed")
+    Compiler::run(
+        &source,
+        &CompileOptions {
+            target,
+            verify_each_pass: false,
+        },
+    )
+    .expect("run failed")
 }
 
 fn run_pw(n: usize, target: Target) -> flang_stencil::core::Execution {
     let source = pw_advection::fortran_source(n);
-    Compiler::run(&source, &CompileOptions { target, verify_each_pass: false }).expect("run failed")
+    Compiler::run(
+        &source,
+        &CompileOptions {
+            target,
+            verify_each_pass: false,
+        },
+    )
+    .expect("run failed")
 }
 
 #[test]
 fn gauss_seidel_flang_only_matches_reference() {
     let exec = run_gs(6, 3, Target::FlangOnly);
     let expect = gauss_seidel::reference(6, 3);
-    assert_fields_match(exec.array("u").unwrap(), &expect.data, 1e-12, "flang-only gs");
+    assert_fields_match(
+        exec.array("u").unwrap(),
+        &expect.data,
+        1e-12,
+        "flang-only gs",
+    );
     assert_eq!(exec.report.kernel_cells, 0, "no kernels in the flang path");
 }
 
@@ -29,7 +48,10 @@ fn gauss_seidel_stencil_cpu_matches_reference() {
     let exec = run_gs(6, 3, Target::StencilCpu);
     let expect = gauss_seidel::reference(6, 3);
     assert_fields_match(exec.array("u").unwrap(), &expect.data, 1e-12, "stencil gs");
-    assert!(exec.report.kernel_cells > 0, "stencil kernels must have run");
+    assert!(
+        exec.report.kernel_cells > 0,
+        "stencil kernels must have run"
+    );
 }
 
 #[test]
@@ -42,7 +64,14 @@ fn gauss_seidel_openmp_matches_reference() {
 #[test]
 fn gauss_seidel_gpu_both_strategies_match_reference() {
     for explicit in [false, true] {
-        let exec = run_gs(6, 3, Target::StencilGpu { explicit_data: explicit, tile: [8, 8, 1] });
+        let exec = run_gs(
+            6,
+            3,
+            Target::StencilGpu {
+                explicit_data: explicit,
+                tile: [8, 8, 1],
+            },
+        );
         let expect = gauss_seidel::reference(6, 3);
         assert_fields_match(
             exec.array("u").unwrap(),
@@ -75,9 +104,24 @@ fn pw_advection_all_cpu_targets_match_reference() {
     ] {
         let label = format!("{target:?}");
         let exec = run_pw(6, target);
-        assert_fields_match(exec.array("su").unwrap(), &su.data, 1e-12, &format!("{label} su"));
-        assert_fields_match(exec.array("sv").unwrap(), &sv.data, 1e-12, &format!("{label} sv"));
-        assert_fields_match(exec.array("sw").unwrap(), &sw.data, 1e-12, &format!("{label} sw"));
+        assert_fields_match(
+            exec.array("su").unwrap(),
+            &su.data,
+            1e-12,
+            &format!("{label} su"),
+        );
+        assert_fields_match(
+            exec.array("sv").unwrap(),
+            &sv.data,
+            1e-12,
+            &format!("{label} sv"),
+        );
+        assert_fields_match(
+            exec.array("sw").unwrap(),
+            &sw.data,
+            1e-12,
+            &format!("{label} sw"),
+        );
     }
 }
 
@@ -85,7 +129,13 @@ fn pw_advection_all_cpu_targets_match_reference() {
 fn pw_advection_gpu_matches_reference() {
     let (u, v, w) = pw_advection::initial_fields(6);
     let (su, _, _) = pw_advection::reference(&u, &v, &w);
-    let exec = run_pw(6, Target::StencilGpu { explicit_data: true, tile: [8, 8, 1] });
+    let exec = run_pw(
+        6,
+        Target::StencilGpu {
+            explicit_data: true,
+            tile: [8, 8, 1],
+        },
+    );
     assert_fields_match(exec.array("su").unwrap(), &su.data, 1e-12, "gpu pw su");
 }
 
@@ -94,7 +144,10 @@ fn pw_fusion_produces_single_region_with_three_outputs() {
     let source = pw_advection::fortran_source(6);
     let compiled = Compiler::compile(
         &source,
-        &CompileOptions { target: Target::StencilCpu, verify_each_pass: false },
+        &CompileOptions {
+            target: Target::StencilCpu,
+            verify_each_pass: false,
+        },
     )
     .unwrap();
     // One connected region (init + fused compute share the field views);
@@ -115,6 +168,113 @@ fn pw_fusion_produces_single_region_with_three_outputs() {
         .find(|n| n.program.loads_per_cell == 0)
         .expect("init nest with no array reads");
     assert_eq!(init.out_views.len(), 3);
+}
+
+#[test]
+fn flop_accounting_pins_paper_counts_and_specialized_path() {
+    use flang_stencil::exec::ExecPath;
+    // Gauss–Seidel compute: 5 adds + 1 divide = 6 flops per cell (§4.1).
+    let source = gauss_seidel::fortran_source(6, 2);
+    let compiled = Compiler::compile(
+        &source,
+        &CompileOptions {
+            target: Target::StencilCpu,
+            verify_each_pass: false,
+        },
+    )
+    .unwrap();
+    let gs_compute = compiled
+        .kernels
+        .values()
+        .flat_map(|k| &k.nests)
+        .find(|n| n.program.loads_per_cell == 6)
+        .expect("GS compute nest");
+    assert_eq!(
+        gs_compute.program.flops_per_cell,
+        gauss_seidel::FLOPS_PER_CELL
+    );
+    assert_eq!(
+        gs_compute.path,
+        ExecPath::Specialized,
+        "GS compute must specialize"
+    );
+
+    // PW fused advection: 21 ops per statement × 3 statements = 63 (§4.1).
+    let source = pw_advection::fortran_source(6);
+    let compiled = Compiler::compile(
+        &source,
+        &CompileOptions {
+            target: Target::StencilCpu,
+            verify_each_pass: false,
+        },
+    )
+    .unwrap();
+    let pw_compute = compiled
+        .kernels
+        .values()
+        .flat_map(|k| &k.nests)
+        .find(|n| n.out_views.len() == 3 && n.program.loads_per_cell > 0)
+        .expect("PW fused compute nest");
+    assert_eq!(
+        pw_compute.program.flops_per_cell,
+        pw_advection::FLOPS_PER_CELL
+    );
+    assert_eq!(
+        pw_compute.path,
+        ExecPath::Specialized,
+        "PW compute must specialize"
+    );
+}
+
+#[test]
+fn report_attests_specialized_path_for_both_benchmarks() {
+    use flang_stencil::exec::ExecPath;
+    let gs = run_gs(6, 2, Target::StencilCpu);
+    assert!(
+        gs.report.attests(ExecPath::Specialized),
+        "{:?}",
+        gs.report.exec_paths
+    );
+    let pw = run_pw(6, Target::StencilCpu);
+    assert!(
+        pw.report.attests(ExecPath::Specialized),
+        "{:?}",
+        pw.report.exec_paths
+    );
+    // Flang-only runs no kernels at all, so it attests nothing.
+    let flang = run_gs(6, 2, Target::FlangOnly);
+    assert!(flang.report.exec_paths.is_empty());
+}
+
+#[test]
+fn empty_interior_is_skipped_on_all_cpu_paths() {
+    // n = 0: the arrays are pure halo (extent 0:1 per dimension, n ≤ 2·halo)
+    // and the compute nests' `do i = 1, n` have no iterations. Both kernel
+    // runners must skip the zero-cell nests — without panicking and without
+    // touching the (still initialised) halo.
+    let source = gauss_seidel::fortran_source(0, 2);
+    let flang = Compiler::run(
+        &source,
+        &CompileOptions {
+            target: Target::FlangOnly,
+            verify_each_pass: false,
+        },
+    )
+    .unwrap();
+    let expect = flang.array("u").unwrap().to_vec();
+    assert_eq!(expect.len(), 8, "2x2x2 halo-only field");
+    for target in [Target::StencilCpu, Target::UnoptimizedCpu] {
+        let label = format!("{target:?}");
+        let exec = Compiler::run(
+            &source,
+            &CompileOptions {
+                target,
+                verify_each_pass: false,
+            },
+        )
+        .unwrap();
+        assert_fields_match(exec.array("u").unwrap(), &expect, 0.0, &label);
+    }
 }
 
 #[test]
@@ -154,7 +314,14 @@ program quad
   end do
 end program quad
 ";
-    let flang = Compiler::run(source, &CompileOptions { target: Target::FlangOnly, verify_each_pass: false }).unwrap();
+    let flang = Compiler::run(
+        source,
+        &CompileOptions {
+            target: Target::FlangOnly,
+            verify_each_pass: false,
+        },
+    )
+    .unwrap();
     let reference = flang.array("u").unwrap().to_vec();
     // The field must actually have changed (non-harmonic!).
     let mut initial = vec![0.0f64; 10 * 10 * 10];
@@ -174,11 +341,21 @@ end program quad
         Target::UnoptimizedCpu,
         Target::StencilCpu,
         Target::StencilOpenMp { threads: 4 },
-        Target::StencilGpu { explicit_data: true, tile: [8, 8, 1] },
+        Target::StencilGpu {
+            explicit_data: true,
+            tile: [8, 8, 1],
+        },
         Target::StencilDistributed { grid: vec![2, 2] },
     ] {
         let label = format!("{target:?}");
-        let exec = Compiler::run(source, &CompileOptions { target, verify_each_pass: false }).unwrap();
+        let exec = Compiler::run(
+            source,
+            &CompileOptions {
+                target,
+                verify_each_pass: false,
+            },
+        )
+        .unwrap();
         assert_fields_match(exec.array("u").unwrap(), &reference, 1e-12, &label);
     }
 }
@@ -190,7 +367,14 @@ fn multi_gpu_future_work_matches_reference_and_scales() {
     let expect = gauss_seidel::reference(8, 2);
     let mut totals = Vec::new();
     for ranks in [vec![1i64], vec![2, 2]] {
-        let exec = run_gs(8, 2, Target::StencilMultiGpu { grid: ranks.clone(), tile: [8, 8, 1] });
+        let exec = run_gs(
+            8,
+            2,
+            Target::StencilMultiGpu {
+                grid: ranks.clone(),
+                tile: [8, 8, 1],
+            },
+        );
         assert_fields_match(
             exec.array("u").unwrap(),
             &expect.data,
@@ -227,9 +411,22 @@ fn stencil_cpu_beats_flang_only_wall_clock() {
 fn gpu_explicit_data_beats_host_register() {
     let n = 16;
     let iters = 4;
-    let naive = run_gs(n, iters, Target::StencilGpu { explicit_data: false, tile: [16, 16, 1] });
-    let explicit =
-        run_gs(n, iters, Target::StencilGpu { explicit_data: true, tile: [16, 16, 1] });
+    let naive = run_gs(
+        n,
+        iters,
+        Target::StencilGpu {
+            explicit_data: false,
+            tile: [16, 16, 1],
+        },
+    );
+    let explicit = run_gs(
+        n,
+        iters,
+        Target::StencilGpu {
+            explicit_data: true,
+            tile: [16, 16, 1],
+        },
+    );
     let t_naive = naive.report.gpu_seconds.unwrap();
     let t_explicit = explicit.report.gpu_seconds.unwrap();
     assert!(

@@ -53,7 +53,10 @@ fn listing1_produces_listing2_structure() {
         .filter_map(|op| stencil::access_offset(&m, op))
         .collect();
     offsets.sort();
-    assert_eq!(offsets, vec![vec![-1, 0], vec![0, -1], vec![0, 1], vec![1, 0]]);
+    assert_eq!(
+        offsets,
+        vec![vec![-1, 0], vec![0, -1], vec![0, 1], vec![1, 0]]
+    );
 
     // Lines 3 and 8–11: one constant (0.25), three addf, one mulf.
     let names: Vec<String> = m
@@ -76,7 +79,10 @@ fn stencil_ir_round_trips_through_text() {
 
     let printed = flang_stencil::ir::print::print_module(&st);
     assert!(printed.contains("\"stencil.apply\""), "{printed}");
-    assert!(printed.contains("!stencil.temp<[0,257]x[0,257]xf64>"), "{printed}");
+    assert!(
+        printed.contains("!stencil.temp<[0,257]x[0,257]xf64>"),
+        "{printed}"
+    );
     assert!(printed.contains("#index<0, -1>"), "{printed}");
 
     let reparsed = flang_stencil::ir::parse::parse_module(&printed).unwrap();
@@ -92,7 +98,6 @@ fn reparsed_stencil_module_still_compiles_and_runs() {
     // kernels compiled from the in-memory module.
     use flang_stencil::exec::kernel::{compile_kernel, run_kernel, KernelArg};
     use flang_stencil::exec::value::Memory;
-    use flang_stencil::ir::Pass as _;
 
     let mut m = flang_stencil::fortran::compile_to_fir(LISTING1).unwrap();
     discover_stencils(&mut m).unwrap();
@@ -117,8 +122,14 @@ fn reparsed_stencil_module_still_compiles_and_runs() {
         for i in 0..e * e {
             memory.buffer_mut(data)[i] = (i % 101) as f64 * 0.01;
         }
-        run_kernel(k, &mut memory, &[KernelArg::Buf(data), KernelArg::Buf(res)], 1, None)
-            .unwrap();
+        run_kernel(
+            k,
+            &mut memory,
+            &[KernelArg::Buf(data), KernelArg::Buf(res)],
+            1,
+            None,
+        )
+        .unwrap();
         memory.buffer(res).to_vec()
     };
     assert_eq!(run(&from_memory), run(&from_text));

@@ -26,7 +26,12 @@ fn term() -> impl Strategy<Value = Term> {
 /// Build a Fortran program computing `r(i) = Σ coeff_k * a(i+off_k)` over
 /// the interior, with halo wide enough for the largest offset.
 fn program(terms: &[Term], n: usize) -> String {
-    let halo = terms.iter().map(|t| t.offset.abs()).max().unwrap_or(1).max(1);
+    let halo = terms
+        .iter()
+        .map(|t| t.offset.abs())
+        .max()
+        .unwrap_or(1)
+        .max(1);
     let expr = terms
         .iter()
         .map(|t| {
@@ -59,8 +64,73 @@ end program prop
 }
 
 fn run(source: &str, target: Target) -> Vec<f64> {
-    let exec = Compiler::run(source, &CompileOptions { target, verify_each_pass: false }).expect("run");
+    let exec = Compiler::run(
+        source,
+        &CompileOptions {
+            target,
+            verify_each_pass: false,
+        },
+    )
+    .expect("run");
     exec.array("r").expect("r array").to_vec()
+}
+
+/// A randomly generated 2-D stencil term: coefficient × a(i+di, j+dj).
+#[derive(Debug, Clone)]
+struct Term2 {
+    coeff: f64,
+    di: i64,
+    dj: i64,
+}
+
+fn term2() -> impl Strategy<Value = Term2> {
+    (-2i64..=2, -2i64..=2, -8i32..=8).prop_map(|(di, dj, c)| Term2 {
+        coeff: c as f64 * 0.125,
+        di,
+        dj,
+    })
+}
+
+/// Build a 2-D Fortran program computing
+/// `r(i, j) = Σ coeff_k * a(i+di_k, j+dj_k)` over the interior.
+fn program_2d(terms: &[Term2], n: usize) -> String {
+    let halo = terms
+        .iter()
+        .map(|t| t.di.abs().max(t.dj.abs()))
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let idx = |base: &str, off: i64| match off.cmp(&0) {
+        std::cmp::Ordering::Less => format!("{base}-{}", -off),
+        std::cmp::Ordering::Equal => base.to_string(),
+        std::cmp::Ordering::Greater => format!("{base}+{off}"),
+    };
+    let expr = terms
+        .iter()
+        .map(|t| format!("{} * a({}, {})", t.coeff, idx("i", t.di), idx("j", t.dj)))
+        .collect::<Vec<_>>()
+        .join(" + ");
+    format!(
+        "program prop2
+  implicit none
+  integer, parameter :: n = {n}
+  integer :: i, j
+  real(kind=8) :: a({lo}:{hi}, {lo}:{hi}), r({lo}:{hi}, {lo}:{hi})
+  do j = {lo}, {hi}
+    do i = {lo}, {hi}
+      a(i, j) = 0.0625 * i * j + 0.125 * i - 0.25 * j
+    end do
+  end do
+  do j = 1, n
+    do i = 1, n
+      r(i, j) = {expr}
+    end do
+  end do
+end program prop2
+",
+        lo = -halo,
+        hi = n as i64 + halo,
+    )
 }
 
 proptest! {
@@ -89,6 +159,44 @@ proptest! {
         let serial = run(&source, Target::StencilCpu);
         let parallel = run(&source, Target::StencilOpenMp { threads });
         prop_assert_eq!(serial, parallel);
+    }
+
+    /// Every rung of the specialization ladder — native loops, the
+    /// superinstruction VM and the generic VM — must be **bit**-identical
+    /// on random 2-D stencils, and the run report must attest which rung
+    /// actually executed.
+    #[test]
+    fn exec_paths_bit_identical_on_random_2d_stencils(
+        terms in prop::collection::vec(term2(), 1..6),
+        n in 4usize..12,
+    ) {
+        use flang_stencil::exec::ExecPath;
+        let source = program_2d(&terms, n);
+        let opts = CompileOptions { target: Target::StencilCpu, verify_each_pass: false };
+        let mut compiled = Compiler::compile(&source, &opts).unwrap();
+        let has_spec = compiled
+            .kernels
+            .values()
+            .flat_map(|k| &k.nests)
+            .any(|nest| nest.specialized.is_some());
+        let mut results = Vec::new();
+        for path in [ExecPath::Specialized, ExecPath::FusedVm, ExecPath::GenericVm] {
+            for kernel in compiled.kernels.values_mut() {
+                kernel.force_exec_path(path);
+            }
+            let exec = compiled.run().expect("forced-path run");
+            // Specialized is best-effort (nests without a template keep
+            // their tier); the VM tiers always switch.
+            if path != ExecPath::Specialized || has_spec {
+                prop_assert!(
+                    exec.report.attests(path),
+                    "expected {} in {:?}", path, exec.report.exec_paths
+                );
+            }
+            results.push(exec.array("r").expect("r array").to_vec());
+        }
+        prop_assert_eq!(&results[0], &results[1], "specialized vs fused-vm");
+        prop_assert_eq!(&results[1], &results[2], "fused-vm vs generic-vm");
     }
 
     #[test]
