@@ -21,6 +21,9 @@ if [[ $quick -eq 0 ]]; then
 fi
 
 echo "== test =="
-cargo test -q
+# Hard timeout: the mpisim fault/deadlock tests are designed so no code
+# path can block forever, but a regression there must fail CI loudly
+# instead of hanging it. SIGKILL follows 30s after SIGTERM if needed.
+timeout --kill-after=30s 900s cargo test -q
 
 echo "ci: all green"

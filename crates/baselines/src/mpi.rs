@@ -8,8 +8,10 @@
 //! with the Slingshot cost model for the node counts of Figure 6 that this
 //! machine cannot host.
 
+use fsc_mpisim::fault::{FaultPlan, FaultStats};
+use fsc_mpisim::resilient::{run_resilient, ResilientConfig, ResilientCtx};
 use fsc_mpisim::runtime::{run_ranks, RankCtx};
-use fsc_mpisim::{CostModel, ProcessGrid};
+use fsc_mpisim::{CostModel, MpiSimError, ProcessGrid};
 use fsc_workloads::grid::{init_value, Grid3};
 
 /// Run hand-MPI Gauss–Seidel over `ranks` ranks (1-D decomposition along
@@ -25,9 +27,15 @@ pub fn gs_run(n: usize, iters: usize, ranks: usize) -> Grid3 {
 
     let locals = run_ranks(ranks, move |ctx: &mut RankCtx| {
         gs_rank_body(ctx, n, nk, iters)
-    });
+    })
+    .expect("hand-MPI rank group failed");
 
-    // Assemble: rank r owns global k-planes [1 + r*nk, 1 + (r+1)*nk).
+    assemble_1d(locals, n, nk, e, plane)
+}
+
+/// Assemble rank-local slabs (1-D k decomposition) into the global field:
+/// rank r owns global k-planes [1 + r*nk, 1 + (r+1)*nk).
+fn assemble_1d(locals: Vec<Vec<f64>>, n: usize, nk: usize, _e: usize, plane: usize) -> Grid3 {
     let mut u = Grid3::new(n);
     u.init_analytic();
     for (r, local) in locals.into_iter().enumerate() {
@@ -39,6 +47,138 @@ pub fn gs_run(n: usize, iters: usize, ranks: usize) -> Grid3 {
         }
     }
     u
+}
+
+/// Outcome of a resilient distributed run: the assembled field plus the
+/// fault-injection / recovery attestation.
+#[derive(Debug)]
+pub struct ResilientGsRun {
+    /// The assembled global field.
+    pub grid: Grid3,
+    /// Counters merged across all ranks.
+    pub stats: FaultStats,
+    /// Per-rank counters (rank order).
+    pub per_rank: Vec<FaultStats>,
+}
+
+/// Run hand-MPI Gauss–Seidel on the **resilient** context: same math and
+/// decomposition as [`gs_run`], but every halo message travels through the
+/// sequenced/acked/checksummed protocol under the injected `plan`, ranks
+/// checkpoint every `cfg.checkpoint_interval` iterations, and a planned
+/// rank crash restores from checkpoint and replays. The final grid is
+/// bit-identical to the fault-free run for any recoverable plan.
+pub fn gs_run_resilient(
+    n: usize,
+    iters: usize,
+    ranks: usize,
+    plan: FaultPlan,
+    cfg: ResilientConfig,
+) -> Result<ResilientGsRun, MpiSimError> {
+    if ranks < 1 || !n.is_multiple_of(ranks) {
+        return Err(MpiSimError::InvalidConfig(format!(
+            "n = {n} must divide by ranks = {ranks}"
+        )));
+    }
+    if plan.crash.is_some() && cfg.checkpoint_interval == 0 {
+        return Err(MpiSimError::InvalidConfig(
+            "a crash plan requires a non-zero checkpoint interval".into(),
+        ));
+    }
+    let nk = n / ranks;
+    let e = n + 2;
+    let plane = e * e;
+    let results = run_resilient(ranks, plan, cfg, move |ctx| {
+        gs_rank_body_resilient(ctx, n, nk, iters, cfg.checkpoint_interval)
+    })?;
+    let mut locals = Vec::with_capacity(ranks);
+    let mut per_rank = Vec::with_capacity(ranks);
+    let mut stats = FaultStats::default();
+    for (local, s) in results {
+        locals.push(local);
+        stats.merge(&s);
+        per_rank.push(s);
+    }
+    Ok(ResilientGsRun {
+        grid: assemble_1d(locals, n, nk, e, plane),
+        stats,
+        per_rank,
+    })
+}
+
+/// Per-rank body of the resilient run: identical arithmetic to
+/// [`gs_rank_body`], with checkpoints at the top of every
+/// `checkpoint_interval`-th iteration and crash/restore handling.
+fn gs_rank_body_resilient(
+    ctx: &mut ResilientCtx,
+    n: usize,
+    nk: usize,
+    iters: usize,
+    checkpoint_interval: usize,
+) -> Result<Vec<f64>, MpiSimError> {
+    let e = n + 2;
+    let plane = e * e;
+    let rank = ctx.rank();
+    let size = ctx.size();
+    let mut u = vec![0.0f64; (nk + 2) * plane];
+    let mut un = vec![0.0f64; (nk + 2) * plane];
+    let gk0 = rank * nk;
+    for lk in 0..nk + 2 {
+        let gk = gk0 + lk;
+        for j in 0..e {
+            for i in 0..e {
+                u[lk * plane + j * e + i] = init_value(i, j, gk);
+            }
+        }
+    }
+
+    let inv6 = 1.0 / 6.0;
+    let mut it = 0usize;
+    while it < iters {
+        if checkpoint_interval > 0 && it.is_multiple_of(checkpoint_interval) {
+            ctx.save_checkpoint(it, std::slice::from_ref(&u));
+        }
+        if ctx.crash_pending(it) {
+            let (restored_it, state) = ctx.crash_and_restore(it)?;
+            it = restored_it;
+            u = state.into_iter().next().expect("checkpointed grid");
+            continue;
+        }
+        // Halo swap along k (identical tags to the raw body; the resilient
+        // streams sequence repeated iterations on the same tag).
+        if rank > 0 {
+            ctx.send(rank - 1, 0, u[plane..2 * plane].to_vec());
+        }
+        if rank + 1 < size {
+            ctx.send(rank + 1, 1, u[nk * plane..(nk + 1) * plane].to_vec());
+        }
+        if rank > 0 {
+            let lower = ctx.recv(rank - 1, 1)?;
+            u[..plane].copy_from_slice(&lower);
+        }
+        if rank + 1 < size {
+            let upper = ctx.recv(rank + 1, 0)?;
+            u[(nk + 1) * plane..].copy_from_slice(&upper);
+        }
+        for lk in 1..=nk {
+            for j in 1..=n {
+                for i in 1..=n {
+                    let c = lk * plane + j * e + i;
+                    un[c] =
+                        (u[c - 1] + u[c + 1] + u[c - e] + u[c + e] + u[c - plane] + u[c + plane])
+                            * inv6;
+                }
+            }
+        }
+        for lk in 1..=nk {
+            for j in 1..=n {
+                let row = lk * plane + j * e;
+                u[row + 1..row + 1 + n].copy_from_slice(&un[row + 1..row + 1 + n]);
+            }
+        }
+        ctx.barrier()?;
+        it += 1;
+    }
+    Ok(u)
 }
 
 /// Per-rank body: local slab of `nk` interior planes with one halo plane on
@@ -113,7 +253,8 @@ pub fn gs_run_2d(n: usize, iters: usize, pj: usize, pk: usize) -> Grid3 {
 
     let locals = run_ranks(pj * pk, move |ctx: &mut RankCtx| {
         gs_rank_body_2d(ctx, n, nj, nk, pj, pk, iters)
-    });
+    })
+    .expect("hand-MPI rank group failed");
 
     // Assemble the global interior.
     let mut u = Grid3::new(n);
@@ -279,6 +420,27 @@ pub fn modeled_iteration_time(
     compute + comm
 }
 
+/// Analytic per-iteration time of the same decomposition on the resilient
+/// transport with **zero** injected faults: every halo message additionally
+/// carries a sequence/checksum header (negligible) and is acknowledged, so
+/// the steady-state overhead is one ack per halo message per iteration.
+/// Checkpoints are local memory copies and amortise to noise at realistic
+/// intervals, so they are not charged here.
+pub fn modeled_resilient_iteration_time(
+    n: u64,
+    grid: &ProcessGrid,
+    cost: &CostModel,
+    per_cell_seconds: f64,
+) -> f64 {
+    let plain = modeled_iteration_time(n, grid, cost, per_cell_seconds);
+    let neighbors = grid.shape.iter().filter(|&&s| s > 1).count() * 2;
+    let stats = FaultStats {
+        acks_sent: neighbors as u64,
+        ..Default::default()
+    };
+    plain + cost.resilience_time(&stats, 0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -318,6 +480,68 @@ mod tests {
         let dist = gs_run_2d(12, 2, 3, 2);
         let serial = gauss_seidel::reference(12, 2);
         assert_fields_match(&dist.data, &serial.data, 1e-13, "3x2 mpi gs");
+    }
+
+    #[test]
+    fn resilient_zero_faults_matches_raw_and_serial() {
+        let out = gs_run_resilient(8, 4, 4, FaultPlan::none(7), ResilientConfig::default())
+            .expect("fault-free resilient run");
+        let raw = gs_run(8, 4, 4);
+        let serial = gauss_seidel::reference(8, 4);
+        assert_fields_match(&out.grid.data, &raw.data, 0.0, "resilient vs raw (bitwise)");
+        assert_fields_match(&out.grid.data, &serial.data, 1e-13, "resilient vs serial");
+        assert_eq!(out.stats.injected(), 0, "no faults were planned");
+        assert_eq!(out.stats.restores, 0);
+        assert!(out.stats.data_msgs > 0, "halo traffic must be counted");
+        assert_eq!(out.per_rank.len(), 4);
+    }
+
+    #[test]
+    fn resilient_survives_drops_dups_and_a_crash_bit_identically() {
+        let mut plan = FaultPlan::lossy(42, 0.08);
+        plan.corrupt_prob = 0.02;
+        plan.delay_prob = 0.05;
+        plan.max_delay_ms = 3;
+        plan = plan.with_crash(2, 5);
+        let cfg = ResilientConfig {
+            checkpoint_interval: 3,
+            ..Default::default()
+        };
+        let out = gs_run_resilient(8, 8, 4, plan, cfg).expect("resilient run under faults");
+        let clean = gs_run(8, 8, 4);
+        assert_fields_match(
+            &out.grid.data,
+            &clean.data,
+            0.0,
+            "faulty run must be bit-identical to fault-free",
+        );
+        assert!(out.stats.injected() > 0, "plan must actually inject faults");
+        assert!(out.stats.retries > 0, "drops must force retransmits");
+        assert_eq!(out.stats.injected_crashes, 1, "exactly one rank crash");
+        assert_eq!(out.stats.restores, 1, "crash must restore from checkpoint");
+        assert!(
+            out.stats.replayed_iterations > 0,
+            "crash at 5 with checkpoints every 3 must replay iterations"
+        );
+        assert_eq!(out.per_rank[2].restores, 1, "rank 2 is the crash victim");
+    }
+
+    #[test]
+    fn resilient_rejects_crash_without_checkpoints() {
+        let plan = FaultPlan::none(1).with_crash(0, 2);
+        let cfg = ResilientConfig {
+            checkpoint_interval: 0,
+            ..Default::default()
+        };
+        let err = gs_run_resilient(4, 4, 2, plan, cfg).unwrap_err();
+        assert!(matches!(err, MpiSimError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn resilient_rejects_indivisible_decomposition() {
+        let err =
+            gs_run_resilient(7, 2, 3, FaultPlan::none(0), ResilientConfig::default()).unwrap_err();
+        assert!(matches!(err, MpiSimError::InvalidConfig(_)));
     }
 
     #[test]

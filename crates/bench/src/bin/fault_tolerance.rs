@@ -1,0 +1,54 @@
+//! Fault-tolerance ablation: distributed Gauss–Seidel on the raw vs the
+//! resilient MPI transport — protocol overhead at 0% faults, behaviour
+//! under injected drop rates, and crash-recovery cost vs checkpoint
+//! interval — plus the modeled protocol overhead on the Figure 6 harness.
+
+use fsc_bench::figures::{fault_ablation, fig6_resilience_overhead, gs_single_core};
+
+fn main() {
+    let (n, iters, ranks, reps) = (24, 8, 4, 3);
+    println!("=== Fault-tolerance ablation: GS {n}^3, {iters} iters, {ranks} ranks ===");
+    println!(
+        "{:<44} {:>9} {:>8} {:>8} {:>8} {:>6} {:>7}",
+        "configuration", "wall s", "injected", "retries", "acks", "ckpts", "replay"
+    );
+    let rows = fault_ablation(n, iters, ranks, reps);
+    let baseline = rows[0].seconds;
+    for row in &rows {
+        println!(
+            "{:<44} {:>9.4} {:>8} {:>8} {:>8} {:>6} {:>7}",
+            row.label,
+            row.seconds,
+            row.stats.injected(),
+            row.stats.retries,
+            row.stats.acks_sent,
+            row.stats.checkpoints,
+            row.stats.replayed_iterations
+        );
+    }
+    let protocol = rows[1].seconds;
+    println!(
+        "\nmeasured resilient-protocol overhead at 0% faults: {:+.1}%",
+        (protocol / baseline - 1.0) * 100.0
+    );
+    println!("every resilient row verified bit-identical to the raw transport");
+
+    println!("\n=== Modeled protocol overhead on the Figure 6 harness (0% faults) ===");
+    let gs = gs_single_core(48, 2, 2);
+    let per_cell = gs.cray / 48f64.powi(3);
+    println!(
+        "{:>6} {:>14} {:>14} {:>9}",
+        "nodes", "plain s/iter", "resilient", "overhead"
+    );
+    for (nn, plain, resilient) in
+        fig6_resilience_overhead(&[1, 2, 4, 8, 16, 32, 64], 2048, per_cell)
+    {
+        println!(
+            "{:>6} {:>14.6} {:>14.6} {:>8.2}%",
+            nn,
+            plain,
+            resilient,
+            (resilient / plain - 1.0) * 100.0
+        );
+    }
+}

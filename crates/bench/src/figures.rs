@@ -10,6 +10,8 @@ use fsc_baselines::{cray, mpi as hand_mpi, openacc};
 use fsc_core::{CompileOptions, Compiler, Execution, Target};
 use fsc_exec::ExecPath;
 use fsc_gpusim::V100Model;
+use fsc_mpisim::fault::{FaultPlan, FaultStats};
+use fsc_mpisim::resilient::ResilientConfig;
 use fsc_mpisim::{CostModel, ProcessGrid};
 use fsc_workloads::{gauss_seidel, pw_advection};
 
@@ -375,6 +377,120 @@ pub fn fig6(nodes: &[i64], measure_n: usize, global_n: u64) -> Vec<Row> {
     rows
 }
 
+/// One row of the fault-tolerance ablation: a distributed Gauss–Seidel
+/// configuration, its measured wall time, and the transport's attestation.
+#[derive(Debug)]
+pub struct FaultRow {
+    /// Configuration label.
+    pub label: String,
+    /// Measured wall seconds (best of reps).
+    pub seconds: f64,
+    /// Merged fault/recovery counters (zero for the raw transport).
+    pub stats: FaultStats,
+}
+
+/// Fault-tolerance ablation (the robustness experiment): measured wall time
+/// of distributed Gauss–Seidel on the raw vs the resilient transport at 0%
+/// faults (the protocol's overhead), under increasing drop rates, and with
+/// a mid-run rank crash at several checkpoint intervals (recovery cost).
+/// Every resilient run's final field is verified bit-identical to the raw
+/// transport's before its row is emitted.
+pub fn fault_ablation(n: usize, iters: usize, ranks: usize, reps: usize) -> Vec<FaultRow> {
+    let reference = hand_mpi::gs_run(n, iters, ranks);
+    let check = |out: &fsc_baselines::mpi::ResilientGsRun, label: &str| {
+        assert!(
+            reference
+                .data
+                .iter()
+                .zip(&out.grid.data)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "{label}: resilient result diverged from the raw transport"
+        );
+    };
+    let mut rows = Vec::new();
+    let (raw_t, _) = measure(reps, || hand_mpi::gs_run(n, iters, ranks));
+    rows.push(FaultRow {
+        label: "raw transport".into(),
+        seconds: raw_t.as_secs_f64(),
+        stats: FaultStats::default(),
+    });
+
+    let cfg = ResilientConfig::default();
+    let (t, out) = measure(reps, || {
+        hand_mpi::gs_run_resilient(n, iters, ranks, FaultPlan::none(3), cfg)
+            .expect("fault-free resilient run")
+    });
+    check(&out, "0% faults");
+    rows.push(FaultRow {
+        label: "resilient, 0% faults".into(),
+        seconds: t.as_secs_f64(),
+        stats: out.stats,
+    });
+
+    for drop in [0.02, 0.05, 0.10] {
+        let label = format!("resilient, {:.0}% drop", drop * 100.0);
+        let (t, out) = measure(reps, || {
+            hand_mpi::gs_run_resilient(n, iters, ranks, FaultPlan::lossy(7, drop), cfg)
+                .expect("lossy resilient run")
+        });
+        check(&out, &label);
+        rows.push(FaultRow {
+            label,
+            seconds: t.as_secs_f64(),
+            stats: out.stats,
+        });
+    }
+
+    // Crash one past the halfway point so it does not land on a checkpoint
+    // boundary for every interval — wider spacing then has to replay more.
+    let crash_at = iters / 2 + 1;
+    for interval in [1usize, 2, 4] {
+        let label = format!("resilient, 5% drop + crash (ckpt every {interval})");
+        let plan = FaultPlan::lossy(9, 0.05).with_crash(ranks - 1, crash_at);
+        let mut ccfg = cfg;
+        ccfg.checkpoint_interval = interval;
+        let (t, out) = measure(reps, || {
+            hand_mpi::gs_run_resilient(n, iters, ranks, plan.clone(), ccfg)
+                .expect("crash-recovery run")
+        });
+        check(&out, &label);
+        assert_eq!(out.stats.restores, 1, "{label}: crash must restore once");
+        rows.push(FaultRow {
+            label,
+            seconds: t.as_secs_f64(),
+            stats: out.stats,
+        });
+    }
+    rows
+}
+
+/// Modeled resilient-protocol overhead on the Figure 6 harness at zero
+/// faults: `(nodes, plain_seconds, resilient_seconds)` per node count for
+/// the hand-MPI decomposition (128 ranks/node). The overhead is the
+/// steady-state ack traffic of the reliable transport; the ≤10% bound is
+/// asserted by the test suite.
+pub fn fig6_resilience_overhead(
+    nodes: &[i64],
+    global_n: u64,
+    per_cell_seconds: f64,
+) -> Vec<(i64, f64, f64)> {
+    let cost = CostModel::default();
+    nodes
+        .iter()
+        .map(|&nn| {
+            let grid = ProcessGrid::new(vec![128, nn]);
+            let plain = hand_mpi::modeled_iteration_time(global_n, &grid, &cost, per_cell_seconds);
+            let resilient = hand_mpi::modeled_resilient_iteration_time(
+                global_n,
+                &grid,
+                &cost,
+                per_cell_seconds,
+            );
+            (nn, plain, resilient)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -465,5 +581,46 @@ mod tests {
         assert!(hand8 > auto8);
         assert!(hand8 > hand1, "more nodes must help");
         assert!(auto8 > auto1);
+    }
+
+    #[test]
+    fn resilient_protocol_overhead_is_bounded_on_fig6_harness() {
+        // Deterministic: a fixed per-cell rate, the modeled cost only.
+        for &per_cell in &[1e-9, 1e-10] {
+            for (nn, plain, resilient) in fig6_resilience_overhead(&[1, 8, 64], 2048, per_cell) {
+                assert!(resilient > plain, "protocol must not be free");
+                let overhead = (resilient - plain) / plain;
+                assert!(
+                    overhead <= 0.10,
+                    "resilient overhead at 0% faults must stay within 10%: \
+                     {:.2}% at {nn} nodes (per_cell {per_cell:e})",
+                    overhead * 100.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fault_ablation_recovers_everywhere() {
+        let rows = fault_ablation(6, 4, 2, 1);
+        assert_eq!(rows.len(), 8);
+        assert_eq!(rows[0].stats.data_msgs, 0, "raw transport has no protocol");
+        assert!(rows[1].stats.data_msgs > 0);
+        assert_eq!(rows[1].stats.injected(), 0);
+        // Lossy rows actually injected faults and retried.
+        for row in &rows[2..5] {
+            assert!(row.stats.injected() > 0, "{}: nothing injected", row.label);
+            assert!(row.stats.retries > 0, "{}: nothing retried", row.label);
+        }
+        // Crash rows all restored exactly once; tighter checkpoint spacing
+        // never replays more iterations than looser spacing.
+        let crash = &rows[5..];
+        for row in crash {
+            assert_eq!(row.stats.restores, 1, "{}", row.label);
+        }
+        assert!(
+            crash[0].stats.replayed_iterations <= crash[2].stats.replayed_iterations,
+            "ckpt-every-1 must not replay more than ckpt-every-4"
+        );
     }
 }

@@ -12,7 +12,19 @@
 //!   ranks of a node. Figure 6's scaling curves come from real per-rank
 //!   compute on scaled-down grids plus this model's communication time.
 
+//! * [`fault`] / [`resilient`] — a **fault-injection and recovery layer**:
+//!   deterministic seeded fault plans (drop / duplicate / corrupt / delay /
+//!   reorder / rank crash) and a self-healing protocol (sequenced + acked
+//!   envelopes, bounded retry, checkpoint/restore-and-replay) with every
+//!   blocking wait deadline-protected and deadlock surfaced as a
+//!   structured [`MpiSimError`].
+
+mod error;
+pub mod fault;
+pub mod resilient;
 pub mod runtime;
+
+pub use error::{BlockedRank, MpiSimError};
 
 /// Cartesian process-grid helpers.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,9 +34,14 @@ pub struct ProcessGrid {
 }
 
 impl ProcessGrid {
-    /// New grid; total ranks is the product of `shape`.
+    /// New grid; total ranks is the product of `shape`. Panics on an empty
+    /// shape or a non-positive extent (a zero-rank dimension cannot index).
     pub fn new(shape: Vec<i64>) -> Self {
-        assert!(!shape.is_empty() && shape.iter().all(|&s| s > 0));
+        assert!(!shape.is_empty(), "process grid shape must be non-empty");
+        assert!(
+            shape.iter().all(|&s| s > 0),
+            "process grid extents must be positive, got {shape:?}"
+        );
         Self { shape }
     }
 
@@ -68,8 +85,15 @@ impl ProcessGrid {
     }
 
     /// Partition `[lb, ub)` into `parts` near-equal contiguous ranges and
-    /// return the `index`-th.
+    /// return the `index`-th. When `parts` exceeds the range length, the
+    /// trailing sub-ranges are empty but the parts still cover `[lb, ub)`
+    /// exactly. Panics on `parts <= 0` or an out-of-range `index`.
     pub fn partition(lb: i64, ub: i64, parts: i64, index: i64) -> (i64, i64) {
+        assert!(parts > 0, "partition requires parts > 0, got {parts}");
+        assert!(
+            (0..parts).contains(&index),
+            "partition index {index} outside [0, {parts})"
+        );
         let total = (ub - lb).max(0);
         let base = total / parts;
         let extra = total % parts;
@@ -147,6 +171,24 @@ impl CostModel {
         t_off.max(t_on)
     }
 
+    /// Modeled time of the resilience protocol's extra traffic and
+    /// recovery work, so fig6-style curves can show what fault tolerance
+    /// costs: each ack is a latency-bound small message, each
+    /// retransmission re-pays the full data-message cost, and crash
+    /// recovery charges the checkpoint-to-crash compute that was thrown
+    /// away (`wasted_seconds`) plus the replayed deliveries served from the
+    /// local log (charged at shared-memory speed — they never cross the
+    /// wire again).
+    pub fn resilience_time(&self, stats: &fault::FaultStats, msg_bytes: u64) -> f64 {
+        let ack = self.latency + self.sw_overhead;
+        let data = self.latency + self.sw_overhead + msg_bytes as f64 / self.nic_bw;
+        let replayed_local = msg_bytes as f64 / self.shm_bw + self.sw_overhead;
+        stats.acks_sent as f64 * ack
+            + stats.retries as f64 * data
+            + stats.replayed_iterations as f64 * replayed_local
+            + stats.wasted_seconds
+    }
+
     /// Fraction of a rank's neighbours in a `grid` that are off-node, when
     /// ranks are packed onto nodes in rank order.
     pub fn offnode_fraction(&self, grid: &ProcessGrid) -> f64 {
@@ -209,6 +251,60 @@ mod tests {
             covered.extend(lo..hi);
         }
         assert_eq!(covered, (1..18).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn partition_with_more_parts_than_range_still_covers_exactly() {
+        // 3-element range over 7 parts: four parts must be empty, and the
+        // non-empty ones must cover [5, 8) exactly, in order.
+        let mut covered = Vec::new();
+        let mut empties = 0;
+        for i in 0..7 {
+            let (lo, hi) = ProcessGrid::partition(5, 8, 7, i);
+            assert!(lo <= hi, "sub-range must not be inverted");
+            assert!((5..=8).contains(&lo) && (5..=8).contains(&hi));
+            if lo == hi {
+                empties += 1;
+            }
+            covered.extend(lo..hi);
+        }
+        assert_eq!(covered, vec![5, 6, 7]);
+        assert_eq!(empties, 4);
+        // Degenerate empty range: every part is empty but well-formed.
+        for i in 0..4 {
+            let (lo, hi) = ProcessGrid::partition(9, 9, 4, i);
+            assert_eq!(lo, hi);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "parts > 0")]
+    fn partition_rejects_zero_parts() {
+        ProcessGrid::partition(0, 10, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "parts > 0")]
+    fn partition_rejects_negative_parts() {
+        ProcessGrid::partition(0, 10, -3, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn partition_rejects_out_of_range_index() {
+        ProcessGrid::partition(0, 10, 2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn process_grid_rejects_zero_extent() {
+        ProcessGrid::new(vec![4, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn process_grid_rejects_empty_shape() {
+        ProcessGrid::new(vec![]);
     }
 
     #[test]

@@ -7,6 +7,9 @@
 
 pub mod channel {
     use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::RecvTimeoutError;
 
     pub struct Sender<T> {
         inner: mpsc::Sender<T>,
@@ -43,6 +46,11 @@ pub mod channel {
 
         pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
             self.inner.try_recv()
+        }
+
+        /// Blocks for at most `timeout` waiting for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout)
         }
     }
 

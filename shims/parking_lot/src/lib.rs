@@ -61,6 +61,23 @@ impl Condvar {
         Self::default()
     }
 
+    /// Blocks until notified or until `timeout` elapses, mirroring
+    /// parking_lot's `wait_for`. Returns a result whose `timed_out()`
+    /// reports whether the wait ended by timeout.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let std_guard = guard.guard.take().expect("guard present");
+        let (std_guard, res) = self
+            .inner
+            .wait_timeout(std_guard, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        guard.guard = Some(std_guard);
+        WaitTimeoutResult(res.timed_out())
+    }
+
     /// Blocks until notified. Mirrors parking_lot's `&mut guard` API on top
     /// of std's guard-consuming `wait`.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
@@ -78,6 +95,16 @@ impl Condvar {
 
     pub fn notify_all(&self) {
         self.inner.notify_all();
+    }
+}
+
+/// Result of [`Condvar::wait_for`], mirroring parking_lot's type.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
     }
 }
 
