@@ -26,4 +26,11 @@ echo "== test =="
 # instead of hanging it. SIGKILL follows 30s after SIGTERM if needed.
 timeout --kill-after=30s 900s cargo test -q
 
+echo "== fuzz smoke =="
+# Bounded differential fuzzing: every ladder rung and exec tier must be
+# bit-identical to the reference on seeded random stencils, and malformed
+# input must be rejected with coded diagnostics — never a panic. The fixed
+# seed keeps CI deterministic; nightly jobs can rotate it.
+timeout --kill-after=30s 300s cargo run -q -p fsc-bench --bin fuzz_diff -- --cases 200 --seed 1
+
 echo "ci: all green"

@@ -30,6 +30,7 @@ fn ablation_fusion(c: &mut Criterion) {
         &CompileOptions {
             target: Target::StencilCpu,
             verify_each_pass: false,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -85,6 +86,7 @@ fn ablation_tiling(c: &mut Criterion) {
                     tile,
                 },
                 verify_each_pass: false,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -116,6 +118,7 @@ fn ablation_exec_tier(c: &mut Criterion) {
             &CompileOptions {
                 target: Target::StencilCpu,
                 verify_each_pass: false,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -135,6 +138,7 @@ fn ablation_exec_tier(c: &mut Criterion) {
             &CompileOptions {
                 target,
                 verify_each_pass: false,
+                ..Default::default()
             },
         )
         .unwrap();

@@ -24,6 +24,7 @@ fn bench_gs_threads(c: &mut Criterion) {
             &CompileOptions {
                 target: Target::StencilOpenMp { threads },
                 verify_each_pass: false,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -47,6 +48,7 @@ fn bench_pw_threads(c: &mut Criterion) {
             &CompileOptions {
                 target: Target::StencilOpenMp { threads },
                 verify_each_pass: false,
+                ..Default::default()
             },
         )
         .unwrap();

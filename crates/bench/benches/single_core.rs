@@ -24,6 +24,7 @@ fn bench_gs(c: &mut Criterion) {
         &CompileOptions {
             target: Target::UnoptimizedCpu,
             verify_each_pass: false,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -35,6 +36,7 @@ fn bench_gs(c: &mut Criterion) {
         &CompileOptions {
             target: Target::StencilCpu,
             verify_each_pass: false,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -56,6 +58,7 @@ fn bench_pw(c: &mut Criterion) {
         &CompileOptions {
             target: Target::UnoptimizedCpu,
             verify_each_pass: false,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -67,6 +70,7 @@ fn bench_pw(c: &mut Criterion) {
         &CompileOptions {
             target: Target::StencilCpu,
             verify_each_pass: false,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -88,6 +92,7 @@ fn bench_compilation(c: &mut Criterion) {
                 &CompileOptions {
                     target: Target::StencilCpu,
                     verify_each_pass: false,
+                    ..Default::default()
                 },
             )
             .unwrap()

@@ -26,6 +26,7 @@ fn main() {
                     tile: [32, 32, 1],
                 },
                 verify_each_pass: false,
+                ..Default::default()
             },
         )
         .expect("run");

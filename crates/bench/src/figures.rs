@@ -23,6 +23,7 @@ fn compile_target(source: &str, target: Target) -> fsc_core::Compiled {
         &CompileOptions {
             target,
             verify_each_pass: false,
+            ..Default::default()
         },
     )
     .expect("benchmark compile failed")
@@ -34,6 +35,7 @@ fn run_target(source: &str, target: Target) -> Execution {
         &CompileOptions {
             target,
             verify_each_pass: false,
+            ..Default::default()
         },
     )
     .expect("benchmark run failed")
@@ -341,6 +343,7 @@ pub fn fig6(nodes: &[i64], measure_n: usize, global_n: u64) -> Vec<Row> {
         &CompileOptions {
             target: Target::StencilDistributed { grid: vec![2, 2] },
             verify_each_pass: false,
+            ..Default::default()
         },
     )
     .expect("compile distributed");

@@ -1,0 +1,286 @@
+//! Deterministic program generators for the differential fuzzing harness.
+//!
+//! Three generators, all driven by a seedable xorshift PRNG (no external
+//! dependency, bit-reproducible across runs):
+//!
+//! * [`gen_program`] — random but *valid* 1-D/2-D stencil programs in the
+//!   frontend's Fortran subset, with "nice" dyadic coefficients so every
+//!   execution tier is bit-comparable;
+//! * [`mutate_source`] — malformed variants of a valid program (token
+//!   swaps, truncation, garbage injection): the frontend must reject them
+//!   with coded diagnostics, never a panic;
+//! * [`gen_garbage_ir`] — byte soup and near-miss textual IR for the
+//!   `fsc_ir::parse` round-trip parser: same contract, located errors or
+//!   success, never a panic.
+//!
+//! The harness itself lives in `src/bin/fuzz_diff.rs`.
+
+/// xorshift64* — tiny, seedable, good enough for structural fuzzing.
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Seed the generator; seed 0 is remapped (xorshift fixpoint).
+    pub fn new(seed: u64) -> Self {
+        Self(if seed == 0 {
+            0x9e37_79b9_7f4a_7c15
+        } else {
+            seed
+        })
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n.max(1) as u64) as usize
+    }
+
+    /// Uniform in `[lo, hi]` (inclusive).
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next_u64() % (hi - lo + 1) as u64) as i64
+    }
+
+    /// Coin flip.
+    pub fn flip(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// A generated test program plus what to compare after running it.
+#[derive(Debug, Clone)]
+pub struct FuzzCase {
+    /// Fortran source text.
+    pub source: String,
+    /// Name of the output array to diff across tiers.
+    pub output: String,
+    /// Grid size used (for reporting).
+    pub n: usize,
+}
+
+fn offset_expr(base: &str, off: i64) -> String {
+    match off.cmp(&0) {
+        std::cmp::Ordering::Less => format!("{base}-{}", -off),
+        std::cmp::Ordering::Equal => base.to_string(),
+        std::cmp::Ordering::Greater => format!("{base}+{off}"),
+    }
+}
+
+/// Random valid stencil program. Coefficients are multiples of 1/8 so all
+/// tiers (which share evaluation order) agree bitwise; offsets are bounded
+/// by the declared halo; grid sizes deliberately include degenerate 0- and
+/// 1-cell interiors.
+pub fn gen_program(rng: &mut Rng) -> FuzzCase {
+    // Bias towards small grids where bound arithmetic edge cases live, but
+    // keep degenerate interiors in rotation.
+    let n = match rng.below(10) {
+        0 => 0,
+        1 => 1,
+        _ => 2 + rng.below(9),
+    };
+    let dims = if rng.flip() { 1 } else { 2 };
+    let nterms = 1 + rng.below(4);
+    let mut halo = 1i64;
+    let mut terms = Vec::with_capacity(nterms);
+    for _ in 0..nterms {
+        let c = rng.range_i64(-8, 8) as f64 * 0.125;
+        let di = rng.range_i64(-2, 2);
+        let dj = if dims == 2 { rng.range_i64(-2, 2) } else { 0 };
+        halo = halo.max(di.abs()).max(dj.abs());
+        terms.push((c, di, dj));
+    }
+    let lo = -halo;
+    let hi = n as i64 + halo;
+    let source = if dims == 1 {
+        let expr = terms
+            .iter()
+            .map(|(c, di, _)| format!("{c} * a({})", offset_expr("i", *di)))
+            .collect::<Vec<_>>()
+            .join(" + ");
+        format!(
+            "program fz1
+  implicit none
+  integer, parameter :: n = {n}
+  integer :: i
+  real(kind=8) :: a({lo}:{hi}), r({lo}:{hi})
+  do i = {lo}, {hi}
+    a(i) = 0.0625 * i * i - 0.25 * i
+    r(i) = 0.0
+  end do
+  do i = 1, n
+    r(i) = {expr}
+  end do
+end program fz1
+"
+        )
+    } else {
+        let expr = terms
+            .iter()
+            .map(|(c, di, dj)| {
+                format!(
+                    "{c} * a({}, {})",
+                    offset_expr("i", *di),
+                    offset_expr("j", *dj)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(" + ");
+        format!(
+            "program fz2
+  implicit none
+  integer, parameter :: n = {n}
+  integer :: i, j
+  real(kind=8) :: a({lo}:{hi}, {lo}:{hi}), r({lo}:{hi}, {lo}:{hi})
+  do j = {lo}, {hi}
+    do i = {lo}, {hi}
+      a(i, j) = 0.0625 * i * j + 0.125 * i - 0.25 * j
+      r(i, j) = 0.0
+    end do
+  end do
+  do j = 1, n
+    do i = 1, n
+      r(i, j) = {expr}
+    end do
+  end do
+end program fz2
+"
+        )
+    };
+    FuzzCase {
+        source,
+        output: "r".to_string(),
+        n,
+    }
+}
+
+/// Break a valid program: the result must be *rejected with diagnostics or
+/// still valid* — the frontend must never panic on it.
+pub fn mutate_source(rng: &mut Rng, source: &str) -> String {
+    let mut lines: Vec<String> = source.lines().map(|l| l.to_string()).collect();
+    match rng.below(6) {
+        // Drop a random line (unbalanced do/end, missing decl, ...).
+        0 => {
+            let i = rng.below(lines.len());
+            lines.remove(i);
+        }
+        // Truncate mid-program.
+        1 => {
+            let keep = 1 + rng.below(lines.len());
+            lines.truncate(keep);
+        }
+        // Inject a garbage statement.
+        2 => {
+            let i = rng.below(lines.len());
+            let junk = [
+                "do i =",
+                "r( = 3",
+                "integer ::",
+                "call (",
+                "x = * 2",
+                ") end do",
+            ];
+            lines.insert(i, junk[rng.below(junk.len())].to_string());
+        }
+        // Corrupt one character of a random non-empty line.
+        3 => {
+            let i = rng.below(lines.len());
+            if !lines[i].is_empty() {
+                let bytes = lines[i].as_bytes().to_vec();
+                let p = rng.below(bytes.len());
+                let mut bytes = bytes;
+                bytes[p] = b"(),*=!@$%"[rng.below(9)];
+                lines[i] = String::from_utf8_lossy(&bytes).into_owned();
+            }
+        }
+        // Rename one identifier occurrence (use-before-decl / unknown sym).
+        4 => {
+            let i = rng.below(lines.len());
+            lines[i] = lines[i].replacen('a', "zz_undeclared", 1);
+        }
+        // Duplicate a line (double decl, double end, ...).
+        _ => {
+            let i = rng.below(lines.len());
+            let dup = lines[i].clone();
+            lines.insert(i, dup);
+        }
+    }
+    lines.join("\n")
+}
+
+/// Garbage input for the textual IR parser: either pure byte soup or a
+/// near-miss mutation of a plausible module so the recursive-descent error
+/// paths all get exercised.
+pub fn gen_garbage_ir(rng: &mut Rng) -> String {
+    const PLAUSIBLE: &str = r#"builtin.module {
+  func.func @f(%arg0: !fir.ref<!fir.array<8xf64>>) {
+    %c1 = arith.constant 1 : index
+    %0 = fir.coordinate_of %arg0, %c1 : (!fir.ref<!fir.array<8xf64>>, index) -> !fir.ref<f64>
+    %1 = fir.load %0 : !fir.ref<f64>
+    func.return
+  }
+}
+"#;
+    if rng.below(3) == 0 {
+        // Pure soup: printable ASCII with IR-ish punctuation mixed in.
+        let len = 8 + rng.below(200);
+        let alphabet = b"%@!(){}<>:=,. abcdefXYZ0123\"\n";
+        (0..len)
+            .map(|_| alphabet[rng.below(alphabet.len())] as char)
+            .collect()
+    } else {
+        mutate_source(rng, PLAUSIBLE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn generated_programs_are_valid() {
+        let mut rng = Rng::new(42);
+        for _ in 0..50 {
+            let case = gen_program(&mut rng);
+            fsc_fortran::compile_to_fir(&case.source).unwrap_or_else(|e| {
+                panic!("generated program must compile:\n{}\n{e}", case.source)
+            });
+        }
+    }
+
+    #[test]
+    fn mutations_never_panic_the_frontend() {
+        let mut rng = Rng::new(43);
+        for _ in 0..100 {
+            let case = gen_program(&mut rng);
+            let bad = mutate_source(&mut rng, &case.source);
+            // Err or Ok both fine; a panic would fail the test.
+            let _ = fsc_fortran::compile_to_fir(&bad);
+        }
+    }
+
+    #[test]
+    fn garbage_ir_never_panics_the_parser() {
+        let mut rng = Rng::new(44);
+        for _ in 0..100 {
+            let text = gen_garbage_ir(&mut rng);
+            let _ = fsc_ir::parse::parse_module(&text);
+        }
+    }
+}

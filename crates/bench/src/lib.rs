@@ -11,6 +11,7 @@
 use std::time::{Duration, Instant};
 
 pub mod figures;
+pub mod fuzz;
 
 /// Best-of-`reps` wall time of `f`.
 pub fn measure<T>(reps: usize, mut f: impl FnMut() -> T) -> (Duration, T) {

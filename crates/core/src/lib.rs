@@ -23,11 +23,14 @@ use fsc_exec::kernel::{self, CompiledKernel, GpuStrategy, KernelArg, PlanKind};
 use fsc_exec::value::{Memory, Ref, Value};
 use fsc_exec::ExecPath;
 use fsc_gpusim::{BufferUse, GpuCounters, GpuSession, KernelLoad, V100Model};
+use fsc_ir::diag::{codes, Diagnostic};
 use fsc_ir::{IrError, Module, Result};
 use fsc_mpisim::fault::{CrashSpec, FaultPlan, FaultStats};
 use fsc_mpisim::resilient::{run_resilient, ResilientConfig};
 use fsc_mpisim::{CostModel, ProcessGrid};
+use fsc_passes::pipeline::{payload_message, HardenedPipeline};
 use fsc_passes::pipelines;
+use std::panic::AssertUnwindSafe;
 
 /// Execution configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -76,9 +79,24 @@ pub enum Target {
 pub struct CompileOptions {
     /// Execution target.
     pub target: Target,
-    /// Run the structural + dialect verifier after every pass (catches a
-    /// broken pass at the pass that broke the IR; costs compile time).
+    /// In the non-hardened (strict) flow: run the structural + dialect
+    /// verifier after every pass. The hardened flow always verifies after
+    /// every pass, so this flag only matters when `harden` is off.
     pub verify_each_pass: bool,
+    /// Drive the pass pipelines under the hardened snapshot / panic-catch /
+    /// verify / rollback driver, degrading down the fallback ladder
+    /// (stencil → sequential scf → direct FIR interpretation) instead of
+    /// failing the compile. On by default; turn off to get the strict
+    /// fail-fast behaviour.
+    pub harden: bool,
+    /// Fault-injection hook: deliberately corrupt the module right after
+    /// the named pass runs, forcing its post-pass verification to fail.
+    /// Exercises the rollback + degradation path end to end in tests.
+    pub sabotage_pass: Option<String>,
+    /// Start the degradation ladder at this rung instead of the full
+    /// stencil flow (differential testing of the lower rungs). `None` runs
+    /// the normal ladder from the top.
+    pub force_rung: Option<DegradationRung>,
 }
 
 impl Default for CompileOptions {
@@ -86,6 +104,9 @@ impl Default for CompileOptions {
         Self {
             target: Target::StencilCpu,
             verify_each_pass: false,
+            harden: true,
+            sabotage_pass: None,
+            force_rung: None,
         }
     }
 }
@@ -97,6 +118,85 @@ impl CompileOptions {
             target,
             ..Self::default()
         }
+    }
+}
+
+/// A rung of the degradation ladder, from the full stencil flow down to
+/// plain FIR interpretation. Ordered: a later rung is a simpler, slower,
+/// harder-to-break configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum DegradationRung {
+    /// The requested target's full stencil pipeline.
+    #[default]
+    Stencil,
+    /// Stencils lowered to plain sequential `scf.for` loops — no fusion
+    /// cleanup, no OpenMP/GPU/DMP shaping.
+    ScfFallback,
+    /// No stencil compilation at all: the raw Flang-style FIR is
+    /// interpreted op by op. Slow, but only the frontend can break it.
+    FirInterp,
+}
+
+impl DegradationRung {
+    /// Human-readable rung name (stable, used in reports and goldens).
+    pub fn describe(self) -> &'static str {
+        match self {
+            DegradationRung::Stencil => "full stencil pipeline",
+            DegradationRung::ScfFallback => "sequential scf fallback",
+            DegradationRung::FirInterp => "direct FIR interpretation",
+        }
+    }
+}
+
+/// One rejected rung: where it failed and why.
+#[derive(Debug, Clone)]
+pub struct RungAttempt {
+    /// The rung that was attempted.
+    pub rung: DegradationRung,
+    /// Compile stage that failed (`discovery`, `extract`,
+    /// `target-pipeline`, `kernel-compile`).
+    pub stage: String,
+    /// The failing pass, when the stage was a pass pipeline.
+    pub failed_pass: Option<String>,
+    /// Coded diagnostics describing the failure.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// Attestation of the degradation ladder: which rungs were rejected (and
+/// why), and which one actually ran.
+#[derive(Debug, Clone, Default)]
+pub struct DegradationReport {
+    /// Rungs attempted and rejected, in ladder order.
+    pub attempts: Vec<RungAttempt>,
+    /// The rung that produced the executed configuration.
+    pub ran: DegradationRung,
+}
+
+impl DegradationReport {
+    /// True when the run did not use the requested configuration.
+    pub fn degraded(&self) -> bool {
+        !self.attempts.is_empty() || self.ran != DegradationRung::Stencil
+    }
+
+    /// Render the ladder outcome for logs and error reports.
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        for a in &self.attempts {
+            out.push_str(&format!(
+                "rejected {} at {}{}:\n",
+                a.rung.describe(),
+                a.stage,
+                a.failed_pass
+                    .as_deref()
+                    .map(|p| format!(" (pass '{p}')"))
+                    .unwrap_or_default(),
+            ));
+            for d in &a.diagnostics {
+                out.push_str(&format!("  {}\n", d.render().replace('\n', "\n  ")));
+            }
+        }
+        out.push_str(&format!("ran: {}", self.ran.describe()));
+        out
     }
 }
 
@@ -113,6 +213,8 @@ pub struct Compiled {
     pub target: Target,
     /// Name of the main program unit.
     pub entry: String,
+    /// Degradation-ladder attestation for this compile.
+    pub degradation: DegradationReport,
 }
 
 /// Execution accounting.
@@ -142,6 +244,10 @@ pub struct RunReport {
     /// transport (distributed targets only; zero counters for a
     /// fault-free plan).
     pub resilience: Option<FaultStats>,
+    /// Which degradation-ladder rung produced this run, and which rungs
+    /// were rejected on the way down (empty attempts + `Stencil` = the
+    /// requested configuration ran).
+    pub degradation: DegradationReport,
 }
 
 impl RunReport {
@@ -174,9 +280,13 @@ impl Execution {
 pub struct Compiler;
 
 impl Compiler {
-    /// Compile Fortran source for the given target.
+    /// Compile Fortran source for the given target. Frontend errors (lex,
+    /// parse, sema, lowering) are always fatal — there is nothing to run.
+    /// With `options.harden` (the default), pass-pipeline failures are not:
+    /// the compile degrades down the fallback ladder and the outcome is
+    /// attested in [`Compiled::degradation`].
     pub fn compile(source: &str, options: &CompileOptions) -> Result<Compiled> {
-        let mut fir = fsc_fortran::compile_to_fir(source)?;
+        let fir = fsc_fortran::compile_to_fir(source)?;
         let entry = find_program(&fir)?;
         if options.target == Target::FlangOnly {
             return Ok(Compiled {
@@ -185,8 +295,22 @@ impl Compiler {
                 kernels: HashMap::new(),
                 target: options.target.clone(),
                 entry,
+                degradation: DegradationReport::default(),
             });
         }
+        if options.harden {
+            Self::compile_ladder(fir, entry, options)
+        } else {
+            Self::compile_strict(fir, entry, options)
+        }
+    }
+
+    /// The strict fail-fast flow: any pass error aborts the compile.
+    fn compile_strict(
+        mut fir: Module,
+        entry: String,
+        options: &CompileOptions,
+    ) -> Result<Compiled> {
         // Figure 1: discovery (+fusion) on FIR, then extraction. The
         // unoptimised tier models Flang's own codegen, which neither fuses
         // nor CSEs across statements.
@@ -204,18 +328,7 @@ impl Compiler {
         }
         let mut stencil = fsc_passes::extract::extract_stencils(&mut fir)?;
         // Target-specific lowering of the stencil module.
-        let mut pm = match &options.target {
-            Target::FlangOnly => unreachable!(),
-            Target::UnoptimizedCpu => pipelines::unoptimized_cpu_pipeline()?,
-            Target::StencilCpu => pipelines::cpu_pipeline()?,
-            Target::StencilOpenMp { threads } => pipelines::openmp_pipeline(*threads)?,
-            Target::StencilGpu {
-                explicit_data,
-                tile,
-            } => pipelines::gpu_pipeline(*explicit_data, tile)?,
-            Target::StencilDistributed { grid } => pipelines::dmp_pipeline(grid)?,
-            Target::StencilMultiGpu { grid, tile } => pipelines::gpu_dmp_pipeline(grid, tile)?,
-        };
+        let mut pm = target_pipeline(&options.target)?;
         if options.verify_each_pass {
             pm.enable_verifier();
         }
@@ -223,26 +336,167 @@ impl Compiler {
         if options.verify_each_pass {
             fsc_dialects::verify::verify(&stencil)?;
         }
-        // Compile every extracted region.
-        let mut kernels = HashMap::new();
-        for f in stencil.top_level_ops_named("func.func") {
-            let name = fsc_dialects::func::FuncOp(f).name(&stencil);
-            if name.starts_with("stencil_region_") {
-                kernels.insert(name.clone(), kernel::compile_kernel(&stencil, &name)?);
-            }
-        }
+        let kernels = compile_regions(&stencil)?;
         Ok(Compiled {
             fir_module: fir,
             stencil_module: Some(stencil),
             kernels,
             target: options.target.clone(),
             entry,
+            degradation: DegradationReport::default(),
+        })
+    }
+
+    /// The hardened flow: walk the degradation ladder from the requested
+    /// configuration down, re-compiling each rung from the pristine FIR.
+    /// The bottom rung (direct FIR interpretation) cannot fail, so this
+    /// only errors when a rung below the start was forced away.
+    fn compile_ladder(fir: Module, entry: String, options: &CompileOptions) -> Result<Compiled> {
+        let start = options.force_rung.unwrap_or(DegradationRung::Stencil);
+        let mut attempts = Vec::new();
+        for rung in [DegradationRung::Stencil, DegradationRung::ScfFallback] {
+            if start > rung {
+                continue;
+            }
+            match try_rung(&fir, options, rung) {
+                Ok((fir_out, stencil, kernels)) => {
+                    return Ok(Compiled {
+                        fir_module: fir_out,
+                        stencil_module: Some(stencil),
+                        kernels,
+                        target: options.target.clone(),
+                        entry,
+                        degradation: DegradationReport {
+                            attempts,
+                            ran: rung,
+                        },
+                    });
+                }
+                Err(attempt) => attempts.push(*attempt),
+            }
+        }
+        // Bottom rung: interpret the pristine FIR directly.
+        Ok(Compiled {
+            fir_module: fir,
+            stencil_module: None,
+            kernels: HashMap::new(),
+            target: options.target.clone(),
+            entry,
+            degradation: DegradationReport {
+                attempts,
+                ran: DegradationRung::FirInterp,
+            },
         })
     }
 
     /// Convenience: compile and run.
     pub fn run(source: &str, options: &CompileOptions) -> Result<Execution> {
         Self::compile(source, options)?.run()
+    }
+}
+
+/// Build the target-specific stencil-module pipeline.
+fn target_pipeline(target: &Target) -> Result<fsc_ir::PassManager> {
+    match target {
+        Target::FlangOnly => Err(IrError::new("Flang-only target has no stencil pipeline")),
+        Target::UnoptimizedCpu => pipelines::unoptimized_cpu_pipeline(),
+        Target::StencilCpu => pipelines::cpu_pipeline(),
+        Target::StencilOpenMp { threads } => pipelines::openmp_pipeline(*threads),
+        Target::StencilGpu {
+            explicit_data,
+            tile,
+        } => pipelines::gpu_pipeline(*explicit_data, tile),
+        Target::StencilDistributed { grid } => pipelines::dmp_pipeline(grid),
+        Target::StencilMultiGpu { grid, tile } => pipelines::gpu_dmp_pipeline(grid, tile),
+    }
+}
+
+/// Compile every extracted `stencil_region_*` function of a lowered module.
+fn compile_regions(stencil: &Module) -> Result<HashMap<String, CompiledKernel>> {
+    let mut kernels = HashMap::new();
+    for f in stencil.top_level_ops_named("func.func") {
+        let name = fsc_dialects::func::FuncOp(f).name(stencil);
+        if name.starts_with("stencil_region_") {
+            kernels.insert(name.clone(), kernel::compile_kernel(stencil, &name)?);
+        }
+    }
+    Ok(kernels)
+}
+
+/// Run `f` with panics contained: a panic becomes an `E0502` diagnostic.
+fn guarded<T>(stage: &str, f: impl FnOnce() -> Result<T>) -> Result<T> {
+    match std::panic::catch_unwind(AssertUnwindSafe(f)) {
+        Ok(r) => r,
+        Err(payload) => Err(IrError::from_diagnostic(Diagnostic::error(
+            codes::PASS_PANICKED,
+            format!("{stage} panicked: {}", payload_message(payload.as_ref())),
+        ))),
+    }
+}
+
+/// Attempt one ladder rung from the pristine FIR. On success returns the
+/// rewritten FIR module, the lowered stencil module and the compiled
+/// kernels; on failure, a [`RungAttempt`] saying where and why.
+fn try_rung(
+    pristine: &Module,
+    options: &CompileOptions,
+    rung: DegradationRung,
+) -> std::result::Result<(Module, Module, HashMap<String, CompiledKernel>), Box<RungAttempt>> {
+    let attempt = |stage: &str, failed_pass: Option<String>, diags: Vec<Diagnostic>| {
+        Box::new(RungAttempt {
+            rung,
+            stage: stage.to_string(),
+            failed_pass,
+            diagnostics: diags,
+        })
+    };
+    let harden = |pm: fsc_ir::PassManager| {
+        let mut hp = HardenedPipeline::new(pm);
+        if let Some(name) = &options.sabotage_pass {
+            hp = hp.sabotage_pass(name.clone());
+        }
+        hp
+    };
+
+    let mut fir = pristine.clone();
+    let discovery = if options.target == Target::UnoptimizedCpu {
+        pipelines::discovery_pipeline_unfused()
+    } else {
+        pipelines::discovery_pipeline()
+    };
+    let report = harden(discovery).run(&mut fir);
+    if let Some(f) = report.failure {
+        return Err(attempt("discovery", Some(f.pass), f.diagnostics));
+    }
+
+    let mut stencil = guarded("stencil extraction", || {
+        fsc_passes::extract::extract_stencils(&mut fir)
+    })
+    .map_err(|e| attempt("extract", None, error_diags(e)))?;
+
+    let pm = match rung {
+        DegradationRung::Stencil => target_pipeline(&options.target),
+        DegradationRung::ScfFallback => pipelines::scf_fallback_pipeline(),
+        DegradationRung::FirInterp => Err(IrError::new("FIR interpretation runs no pipeline")),
+    }
+    .map_err(|e| attempt("target-pipeline", None, error_diags(e)))?;
+    let report = harden(pm).run(&mut stencil);
+    if let Some(f) = report.failure {
+        return Err(attempt("target-pipeline", Some(f.pass), f.diagnostics));
+    }
+
+    let kernels = guarded("kernel compilation", || compile_regions(&stencil))
+        .map_err(|e| attempt("kernel-compile", None, error_diags(e)))?;
+    Ok((fir, stencil, kernels))
+}
+
+/// The diagnostics of an error, synthesising one (code `E0601`-free, plain
+/// message) when the error carries none.
+fn error_diags(e: IrError) -> Vec<Diagnostic> {
+    if e.diagnostics.is_empty() {
+        vec![Diagnostic::error(codes::PASS_FAILED, e.message)]
+    } else {
+        e.diagnostics
     }
 }
 
@@ -305,6 +559,7 @@ impl Compiled {
             ranks: dispatcher.grid.as_ref().map(ProcessGrid::size),
             exec_paths: dispatcher.exec_paths.iter().copied().collect(),
             resilience: is_distributed.then_some(dispatcher.resilience),
+            degradation: self.degradation.clone(),
         };
         Ok(Execution {
             memory,
@@ -511,7 +766,12 @@ impl<'k> KernelDispatcher<'k> {
             }
             Ok(())
         })
-        .map_err(|e| IrError::new(format!("resilient halo exchange failed: {e}")))?;
+        .map_err(|e| match e.into_compile_error() {
+            // A compiler error that surfaced inside a rank body keeps its
+            // coded diagnostics (annotated with the failing rank).
+            Ok(compile_err) => compile_err,
+            Err(other) => IrError::new(format!("resilient halo exchange failed: {other}")),
+        })?;
         let mut merged = FaultStats::default();
         for ((), s) in results {
             merged.merge(&s);
@@ -731,6 +991,7 @@ mod tests {
             &CompileOptions {
                 target: Target::FlangOnly,
                 verify_each_pass: false,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -761,6 +1022,7 @@ mod tests {
                 &CompileOptions {
                     target: target.clone(),
                     verify_each_pass: false,
+                    ..Default::default()
                 },
             )
             .unwrap();
@@ -788,6 +1050,7 @@ mod tests {
             &CompileOptions {
                 target: Target::StencilDistributed { grid: vec![3, 2] },
                 verify_each_pass: false,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -809,6 +1072,7 @@ mod tests {
             let opts = CompileOptions {
                 target,
                 verify_each_pass: true,
+                ..Default::default()
             };
             Compiler::compile(&src, &opts).unwrap();
         }
@@ -875,6 +1139,126 @@ mod tests {
     }
 
     #[test]
+    fn happy_path_never_degrades() {
+        let src = fsc_workloads::gauss_seidel::fortran_source(4, 1);
+        for target in [
+            Target::StencilCpu,
+            Target::UnoptimizedCpu,
+            Target::StencilOpenMp { threads: 2 },
+            Target::StencilGpu {
+                explicit_data: true,
+                tile: [4, 4, 1],
+            },
+            Target::StencilDistributed { grid: vec![2] },
+        ] {
+            let c = Compiler::compile(&src, &CompileOptions::for_target(target.clone())).unwrap();
+            assert!(
+                c.degradation.attempts.is_empty(),
+                "{target:?} degraded: {}",
+                c.degradation.describe()
+            );
+            assert_eq!(c.degradation.ran, DegradationRung::Stencil);
+            assert!(!c.degradation.degraded());
+        }
+    }
+
+    #[test]
+    fn sabotaged_pass_degrades_to_scf_rung_with_identical_results() {
+        let src = fsc_workloads::gauss_seidel::fortran_source(6, 2);
+        let clean = Compiler::run(&src, &CompileOptions::for_target(Target::StencilCpu)).unwrap();
+        // `cse` only runs in the full CPU pipeline, not in the scf
+        // fallback, so sabotaging it rejects exactly one rung.
+        let opts = CompileOptions {
+            sabotage_pass: Some("cse".into()),
+            ..CompileOptions::for_target(Target::StencilCpu)
+        };
+        let degraded = Compiler::run(&src, &opts).unwrap();
+        let report = &degraded.report.degradation;
+        assert_eq!(
+            report.ran,
+            DegradationRung::ScfFallback,
+            "{}",
+            report.describe()
+        );
+        assert_eq!(report.attempts.len(), 1);
+        let a = &report.attempts[0];
+        assert_eq!(a.rung, DegradationRung::Stencil);
+        assert_eq!(a.stage, "target-pipeline");
+        assert_eq!(a.failed_pass.as_deref(), Some("cse"));
+        assert!(
+            a.diagnostics[0].render().contains("E0503"),
+            "{}",
+            a.diagnostics[0].render()
+        );
+        // Degraded execution still computes the same answer, bit for bit.
+        let x = clean.array("u").unwrap();
+        let y = degraded.array("u").unwrap();
+        assert_eq!(x.len(), y.len());
+        assert!(x.iter().zip(y).all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
+    fn sabotaging_a_shared_pass_lands_on_fir_interpretation() {
+        let src = fsc_workloads::gauss_seidel::fortran_source(4, 1);
+        // `canonicalize` runs on both the full pipeline and the scf
+        // fallback, so both stencil rungs are rejected.
+        let opts = CompileOptions {
+            sabotage_pass: Some("canonicalize".into()),
+            ..CompileOptions::for_target(Target::StencilCpu)
+        };
+        let c = Compiler::compile(&src, &opts).unwrap();
+        assert_eq!(c.degradation.ran, DegradationRung::FirInterp);
+        assert_eq!(c.degradation.attempts.len(), 2);
+        assert!(c.stencil_module.is_none());
+        assert!(c.kernels.is_empty());
+        // And it still runs — matching the Flang-only tier bitwise.
+        let degraded = c.run().unwrap();
+        let flang = Compiler::run(&src, &CompileOptions::for_target(Target::FlangOnly)).unwrap();
+        let x = flang.array("u").unwrap();
+        let y = degraded.array("u").unwrap();
+        assert!(x.iter().zip(y).all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
+    fn forced_rungs_run_without_recording_failures() {
+        let src = fsc_workloads::gauss_seidel::fortran_source(6, 2);
+        let base = Compiler::run(&src, &CompileOptions::for_target(Target::StencilCpu)).unwrap();
+        for rung in [DegradationRung::ScfFallback, DegradationRung::FirInterp] {
+            let opts = CompileOptions {
+                force_rung: Some(rung),
+                ..CompileOptions::for_target(Target::StencilCpu)
+            };
+            let exec = Compiler::run(&src, &opts).unwrap();
+            assert_eq!(exec.report.degradation.ran, rung);
+            assert!(exec.report.degradation.attempts.is_empty());
+            let x = base.array("u").unwrap();
+            let y = exec.array("u").unwrap();
+            assert!(
+                x.iter().zip(y).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "rung {rung:?} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn strict_mode_fails_fast_on_sabotage() {
+        let src = fsc_workloads::gauss_seidel::fortran_source(4, 1);
+        let opts = CompileOptions {
+            harden: false,
+            ..CompileOptions::for_target(Target::StencilCpu)
+        };
+        // Strict mode has no sabotage hook path — it compiles fine...
+        assert!(Compiler::compile(&src, &opts).is_ok());
+        // ...and hardened mode with an unknown sabotage name never fires.
+        let opts = CompileOptions {
+            sabotage_pass: Some("no-such-pass".into()),
+            ..CompileOptions::for_target(Target::StencilCpu)
+        };
+        let c = Compiler::compile(&src, &opts).unwrap();
+        assert!(c.degradation.attempts.is_empty());
+    }
+
+    #[test]
     fn array_lookup_by_name() {
         let src = "program t\nreal(kind=8) :: weird_name(3)\nweird_name(1) = 5.0\nend program t";
         let exec = Compiler::run(
@@ -882,6 +1266,7 @@ mod tests {
             &CompileOptions {
                 target: Target::FlangOnly,
                 verify_each_pass: false,
+                ..Default::default()
             },
         )
         .unwrap();

@@ -80,6 +80,8 @@ pub struct Decl {
     pub parameter: Option<Expr>,
     /// Dummy-argument intent (meaningful only in subroutines).
     pub intent: Intent,
+    /// 1-based source line the declaration starts on (for diagnostics).
+    pub line: u32,
 }
 
 /// Binary operators.

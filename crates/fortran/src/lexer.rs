@@ -4,6 +4,7 @@
 //! (newlines and `;`). Handles `!` comments, `&` continuations, and
 //! case-insensitive keywords/identifiers (everything is lowercased).
 
+use fsc_ir::diag::{codes, Diagnostic};
 use fsc_ir::{IrError, Result};
 
 /// Kinds of lexical token.
@@ -65,17 +66,21 @@ pub enum TokenKind {
     Eof,
 }
 
-/// A token plus the 1-based source line it starts on.
+/// A token plus the 1-based source position it starts at.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Token {
     /// What was lexed.
     pub kind: TokenKind,
     /// 1-based line number.
     pub line: u32,
+    /// 1-based column number of the token's first character.
+    pub col: u32,
 }
 
-fn err(line: u32, msg: impl std::fmt::Display) -> IrError {
-    IrError::new(format!("lex error at line {line}: {msg}"))
+fn err(code: &'static str, line: u32, col: u32, msg: impl std::fmt::Display) -> IrError {
+    IrError::from_diagnostic(
+        Diagnostic::error(code, format!("lex error: {msg}")).at_line_col(line, col),
+    )
 }
 
 /// Lex free-form Fortran source into tokens.
@@ -84,17 +89,24 @@ pub fn lex(source: &str) -> Result<Vec<Token>> {
     let bytes = source.as_bytes();
     let mut pos = 0usize;
     let mut line: u32 = 1;
+    // Byte offset where the current line starts, for column tracking.
+    let mut line_start = 0usize;
     // Set when a `&` continuation was seen: swallow the next newline.
     let mut continuation = false;
 
-    macro_rules! push {
-        ($kind:expr) => {
-            tokens.push(Token { kind: $kind, line })
-        };
-    }
-
     while pos < bytes.len() {
         let c = bytes[pos];
+        let tok_start = pos;
+        // Defined inside the loop so it can see `tok_start` (macro hygiene).
+        macro_rules! push {
+            ($kind:expr) => {
+                tokens.push(Token {
+                    kind: $kind,
+                    line,
+                    col: (tok_start - line_start + 1) as u32,
+                })
+            };
+        }
         match c {
             b' ' | b'\t' | b'\r' => pos += 1,
             b'!' => {
@@ -111,6 +123,7 @@ pub fn lex(source: &str) -> Result<Vec<Token>> {
                     push!(TokenKind::Eos);
                 }
                 line += 1;
+                line_start = pos;
             }
             b';' => {
                 pos += 1;
@@ -204,7 +217,8 @@ pub fn lex(source: &str) -> Result<Vec<Token>> {
                 // Dot-operator (.and., .lt., .true., ...) or a real literal
                 // like `.5`.
                 if bytes.get(pos + 1).is_some_and(u8::is_ascii_digit) {
-                    let (tok, next) = lex_number(bytes, pos, line)?;
+                    let col = (tok_start - line_start + 1) as u32;
+                    let (tok, next) = lex_number(bytes, pos, line, col)?;
                     push!(tok);
                     pos = next;
                 } else {
@@ -212,7 +226,14 @@ pub fn lex(source: &str) -> Result<Vec<Token>> {
                         .iter()
                         .position(|&b| b == b'.')
                         .map(|i| pos + 1 + i)
-                        .ok_or_else(|| err(line, "unterminated dot-operator"))?;
+                        .ok_or_else(|| {
+                            err(
+                                codes::LEX_BAD_LITERAL,
+                                line,
+                                (tok_start - line_start + 1) as u32,
+                                "unterminated dot-operator",
+                            )
+                        })?;
                     let word = source[pos + 1..end].to_ascii_lowercase();
                     let kind = match word.as_str() {
                         "and" => TokenKind::And,
@@ -226,14 +247,22 @@ pub fn lex(source: &str) -> Result<Vec<Token>> {
                         "le" => TokenKind::Le,
                         "gt" => TokenKind::Gt,
                         "ge" => TokenKind::Ge,
-                        other => return Err(err(line, format!("unknown operator .{other}."))),
+                        other => {
+                            return Err(err(
+                                codes::LEX_BAD_LITERAL,
+                                line,
+                                (tok_start - line_start + 1) as u32,
+                                format!("unknown operator .{other}."),
+                            ))
+                        }
                     };
                     push!(kind);
                     pos = end + 1;
                 }
             }
             b'0'..=b'9' => {
-                let (tok, next) = lex_number(bytes, pos, line)?;
+                let col = (tok_start - line_start + 1) as u32;
+                let (tok, next) = lex_number(bytes, pos, line, col)?;
                 push!(tok);
                 pos = next;
             }
@@ -249,28 +278,33 @@ pub fn lex(source: &str) -> Result<Vec<Token>> {
             }
             other => {
                 return Err(err(
+                    codes::LEX_UNEXPECTED_CHAR,
                     line,
+                    (tok_start - line_start + 1) as u32,
                     format!("unexpected character '{}'", other as char),
                 ));
             }
         }
     }
+    let end_col = (bytes.len().saturating_sub(line_start) + 1) as u32;
     if !matches!(tokens.last().map(|t| &t.kind), None | Some(TokenKind::Eos)) {
         tokens.push(Token {
             kind: TokenKind::Eos,
             line,
+            col: end_col,
         });
     }
     tokens.push(Token {
         kind: TokenKind::Eof,
         line,
+        col: end_col,
     });
     Ok(tokens)
 }
 
 /// Lex a numeric literal starting at `pos`. Handles Fortran double-precision
 /// exponents (`1.5d-3`), kind suffixes (`1.0_8`) and plain integers.
-fn lex_number(bytes: &[u8], mut pos: usize, line: u32) -> Result<(TokenKind, usize)> {
+fn lex_number(bytes: &[u8], mut pos: usize, line: u32, col: u32) -> Result<(TokenKind, usize)> {
     let start = pos;
     let mut is_real = false;
     while pos < bytes.len() && bytes[pos].is_ascii_digit() {
@@ -303,7 +337,7 @@ fn lex_number(bytes: &[u8], mut pos: usize, line: u32) -> Result<(TokenKind, usi
             }
         }
     }
-    let mut text: String = std::str::from_utf8(&bytes[start..pos]).unwrap().to_string();
+    let mut text: String = String::from_utf8_lossy(&bytes[start..pos]).into_owned();
     // Kind suffix `_8` — consume and ignore.
     if pos < bytes.len() && bytes[pos] == b'_' {
         let mut p = pos + 1;
@@ -315,14 +349,24 @@ fn lex_number(bytes: &[u8], mut pos: usize, line: u32) -> Result<(TokenKind, usi
     if is_real {
         // Fortran `d` exponent → `e` for Rust parsing.
         text = text.replace(['d', 'D'], "e");
-        let v: f64 = text
-            .parse()
-            .map_err(|_| err(line, format!("bad real literal '{text}'")))?;
+        let v: f64 = text.parse().map_err(|_| {
+            err(
+                codes::LEX_BAD_LITERAL,
+                line,
+                col,
+                format!("bad real literal '{text}'"),
+            )
+        })?;
         Ok((TokenKind::Real(v), pos))
     } else {
-        let v: i64 = text
-            .parse()
-            .map_err(|_| err(line, format!("bad integer literal '{text}'")))?;
+        let v: i64 = text.parse().map_err(|_| {
+            err(
+                codes::LEX_BAD_LITERAL,
+                line,
+                col,
+                format!("bad integer literal '{text}'"),
+            )
+        })?;
         Ok((TokenKind::Int(v), pos))
     }
 }
@@ -417,7 +461,22 @@ mod tests {
 
     #[test]
     fn bad_character_is_error() {
-        assert!(lex("a = $").is_err());
+        let err = lex("a = $").unwrap_err();
+        let d = err.primary().expect("diagnostic");
+        assert_eq!(d.code, fsc_ir::diag::codes::LEX_UNEXPECTED_CHAR);
+        assert_eq!(d.span, Some(fsc_ir::Span::new(1, 5)));
+    }
+
+    #[test]
+    fn columns_tracked() {
+        let toks = lex("a = 1\n  b = 22").unwrap();
+        let b_tok = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident("b".into()))
+            .unwrap();
+        assert_eq!((b_tok.line, b_tok.col), (2, 3));
+        let n_tok = toks.iter().find(|t| t.kind == TokenKind::Int(22)).unwrap();
+        assert_eq!((n_tok.line, n_tok.col), (2, 7));
     }
 
     #[test]

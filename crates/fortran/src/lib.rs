@@ -20,6 +20,13 @@
 //! arrays with `allocate`/`deallocate`, nested `do` loops, block `if`, array
 //! and scalar assignment, intrinsic calls, and `call`.
 
+// The frontend must never panic on user input: every failure is a coded
+// `Diagnostic`. Keep the lint pressure on in non-test code.
+#![cfg_attr(
+    not(test),
+    warn(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
 pub mod ast;
 pub mod lexer;
 pub mod lower;

@@ -12,13 +12,32 @@
 use std::collections::HashMap;
 
 use fsc_dialects::{arith, fir, func, math};
+use fsc_ir::diag::{codes, Diagnostic};
 use fsc_ir::{Attribute, BlockId, IrError, Module, OpBuilder, Result, Type, ValueId};
 
 use crate::ast::*;
-use crate::sema::{expr_type, Analyzed, SymbolKind, UnitInfo, INTRINSICS};
+use crate::sema::{expr_type, Analyzed, Symbol, SymbolKind, UnitInfo, INTRINSICS};
 
 fn err(msg: impl std::fmt::Display) -> IrError {
-    IrError::new(format!("lowering error: {msg}"))
+    IrError::from_diagnostic(Diagnostic::error(
+        codes::LOWER,
+        format!("lowering error: {msg}"),
+    ))
+}
+
+/// Look up a symbol that sema is expected to have resolved. Failure means
+/// the AST and the analysis went out of sync — reported, not panicked on.
+fn symbol_of<'i>(info: &'i UnitInfo, name: &str) -> Result<&'i Symbol> {
+    info.symbols
+        .get(name)
+        .ok_or_else(|| err(format!("'{name}' missing from the symbol table")))
+}
+
+/// Fetch intrinsic argument `i`, guarding against arity drift between
+/// sema's checks and the lowering patterns.
+fn arg(args: &[Expr], i: usize) -> Result<&Expr> {
+    args.get(i)
+        .ok_or_else(|| err(format!("intrinsic argument {i} missing")))
 }
 
 /// Attribute on alloca/allocmem ops holding the Fortran lower bounds.
@@ -59,7 +78,7 @@ fn lower_unit(module: &mut Module, unit: &ProgramUnit, info: &UnitInfo) -> Resul
     // Build the function signature from dummy arguments.
     let mut arg_types = Vec::new();
     for arg in &unit.args {
-        let sym = &info.symbols[arg];
+        let sym = symbol_of(info, arg)?;
         let ty = match &sym.kind {
             SymbolKind::Scalar => Type::fir_ref(scalar_type(sym.ty)),
             SymbolKind::Array { extents, .. } => {
@@ -70,7 +89,9 @@ fn lower_unit(module: &mut Module, unit: &ProgramUnit, info: &UnitInfo) -> Resul
                     "allocatable dummy argument '{arg}' unsupported"
                 )));
             }
-            SymbolKind::Param(_) => unreachable!("sema rejects parameter dummies"),
+            SymbolKind::Param(_) => {
+                return Err(err(format!("dummy argument '{arg}' is a parameter")));
+            }
         };
         arg_types.push(ty);
     }
@@ -99,7 +120,7 @@ fn lower_unit(module: &mut Module, unit: &ProgramUnit, info: &UnitInfo) -> Resul
     let args = f.arguments(lw.module);
     for (name, value) in unit.args.iter().zip(args) {
         lw.bindings.insert(name.clone(), value);
-        if let SymbolKind::Array { lbounds, .. } = &info.symbols[name].kind {
+        if let SymbolKind::Array { lbounds, .. } = &symbol_of(info, name)?.kind {
             lw.lbounds.insert(name.clone(), lbounds.clone());
         }
     }
@@ -111,15 +132,18 @@ fn lower_unit(module: &mut Module, unit: &ProgramUnit, info: &UnitInfo) -> Resul
         }
         match &sym.kind {
             SymbolKind::Scalar => {
-                let mut b = lw.cursor(entry);
+                let mut b = lw.cursor(entry)?;
                 let r = fir::alloca(&mut b, name, scalar_type(sym.ty));
                 lw.bindings.insert(name.clone(), r);
             }
             SymbolKind::Array { lbounds, extents } => {
                 let arr_ty = Type::fir_array(extents.clone(), scalar_type(sym.ty));
-                let mut b = lw.cursor(entry);
+                let mut b = lw.cursor(entry)?;
                 let r = fir::alloca(&mut b, name, arr_ty);
-                let op = lw.module.defining_op(r).unwrap();
+                let op = lw
+                    .module
+                    .defining_op(r)
+                    .ok_or_else(|| err(format!("alloca for '{name}' produced no op")))?;
                 lw.module
                     .op_mut(op)
                     .attrs
@@ -139,13 +163,15 @@ fn lower_unit(module: &mut Module, unit: &ProgramUnit, info: &UnitInfo) -> Resul
 }
 
 impl<'a> Lowerer<'a> {
-    /// Builder inserting before the block's terminator.
-    fn cursor(&mut self, block: BlockId) -> OpBuilder<'_> {
+    /// Builder inserting before the block's terminator. Lowering always
+    /// places the terminator first, so a missing one means the module was
+    /// corrupted — reported as a diagnostic rather than a panic.
+    fn cursor(&mut self, block: BlockId) -> Result<OpBuilder<'_>> {
         let term = self
             .module
             .block_terminator(block)
-            .expect("lowering blocks always carry a terminator");
-        OpBuilder::before(self.module, term)
+            .ok_or_else(|| err("block lost its terminator during lowering"))?;
+        Ok(OpBuilder::before(self.module, term))
     }
 
     fn binding(&self, name: &str) -> Result<ValueId> {
@@ -180,7 +206,7 @@ impl<'a> Lowerer<'a> {
             } => {
                 let cond_v = self.lower_expr_as(block, cond, TypeSpec::Logical)?;
                 let if_op = {
-                    let mut b = self.cursor(block);
+                    let mut b = self.cursor(block)?;
                     fir::build_if(&mut b, cond_v)
                 };
                 let then_b = if_op.then_block(self.module);
@@ -200,13 +226,16 @@ impl<'a> Lowerer<'a> {
                         .ok_or_else(|| err("allocate out of sync with analysis"))?;
                     self.next_allocation += 1;
                     debug_assert_eq!(&alloc_name, name);
-                    let sym = &self.info.symbols[name];
+                    let sym = symbol_of(self.info, name)?;
                     let extents: Vec<i64> = bounds.iter().map(|&(_, e)| e).collect();
                     let lbs: Vec<i64> = bounds.iter().map(|&(l, _)| l).collect();
                     let arr_ty = Type::fir_array(extents, scalar_type(sym.ty));
-                    let mut b = self.cursor(block);
+                    let mut b = self.cursor(block)?;
                     let r = fir::allocmem(&mut b, name, arr_ty);
-                    let op = self.module.defining_op(r).unwrap();
+                    let op = self
+                        .module
+                        .defining_op(r)
+                        .ok_or_else(|| err(format!("allocmem for '{name}' produced no op")))?;
                     self.module
                         .op_mut(op)
                         .attrs
@@ -219,7 +248,7 @@ impl<'a> Lowerer<'a> {
             Stmt::Deallocate { names } => {
                 for name in names {
                     let heap = self.binding(name)?;
-                    let mut b = self.cursor(block);
+                    let mut b = self.cursor(block)?;
                     fir::freemem(&mut b, heap);
                     self.bindings.remove(name);
                 }
@@ -231,18 +260,18 @@ impl<'a> Lowerer<'a> {
     fn lower_assign(&mut self, block: BlockId, target: &LValue, value: &Expr) -> Result<()> {
         match target {
             LValue::Var(name) => {
-                let sym_ty = self.info.symbols[name].ty;
+                let sym_ty = symbol_of(self.info, name)?.ty;
                 let v = self.lower_expr_as(block, value, sym_ty)?;
                 let dest = self.binding(name)?;
-                let mut b = self.cursor(block);
+                let mut b = self.cursor(block)?;
                 fir::store(&mut b, v, dest);
                 Ok(())
             }
             LValue::Element { name, indices } => {
-                let sym_ty = self.info.symbols[name].ty;
+                let sym_ty = symbol_of(self.info, name)?.ty;
                 let v = self.lower_expr_as(block, value, sym_ty)?;
                 let elem_ref = self.lower_element_ref(block, name, indices)?;
-                let mut b = self.cursor(block);
+                let mut b = self.cursor(block)?;
                 fir::store(&mut b, v, elem_ref);
                 Ok(())
             }
@@ -268,14 +297,14 @@ impl<'a> Lowerer<'a> {
         let mut zero_based = Vec::with_capacity(indices.len());
         for (idx_expr, &lb) in indices.iter().zip(&lbounds) {
             let i32_v = self.lower_expr_as(block, idx_expr, TypeSpec::Integer)?;
-            let mut b = self.cursor(block);
+            let mut b = self.cursor(block)?;
             let wide = fir::convert(&mut b, i32_v, Type::i64());
             let lb_c = arith::const_int(&mut b, lb, Type::i64());
             let rebased = arith::subi(&mut b, wide, lb_c);
             let as_index = fir::convert(&mut b, rebased, Type::Index);
             zero_based.push(as_index);
         }
-        let mut b = self.cursor(block);
+        let mut b = self.cursor(block)?;
         Ok(fir::coordinate_of(&mut b, array_ref, zero_based))
     }
 
@@ -302,31 +331,31 @@ impl<'a> Lowerer<'a> {
             return Ok(v);
         }
         let target = scalar_type(want);
-        let mut b = self.cursor(block);
+        let mut b = self.cursor(block)?;
         Ok(fir::convert(&mut b, v, target))
     }
 
     fn lower_expr(&mut self, block: BlockId, expr: &Expr) -> Result<(ValueId, TypeSpec)> {
         match expr {
             Expr::Int(v) => {
-                let mut b = self.cursor(block);
+                let mut b = self.cursor(block)?;
                 Ok((arith::const_int(&mut b, *v, Type::i32()), TypeSpec::Integer))
             }
             Expr::Real(v) => {
-                let mut b = self.cursor(block);
+                let mut b = self.cursor(block)?;
                 Ok((arith::const_f64(&mut b, *v), TypeSpec::Real { kind: 8 }))
             }
             Expr::Logical(v) => {
-                let mut b = self.cursor(block);
+                let mut b = self.cursor(block)?;
                 Ok((
                     arith::const_int(&mut b, *v as i64, Type::bool()),
                     TypeSpec::Logical,
                 ))
             }
             Expr::Var(name) => {
-                let sym = &self.info.symbols[name];
+                let sym = symbol_of(self.info, name)?;
                 if let SymbolKind::Param(c) = sym.kind {
-                    let mut b = self.cursor(block);
+                    let mut b = self.cursor(block)?;
                     return Ok(match c {
                         crate::sema::Const::Int(v) => {
                             (arith::const_int(&mut b, v, Type::i32()), TypeSpec::Integer)
@@ -341,16 +370,16 @@ impl<'a> Lowerer<'a> {
                     });
                 }
                 let r = self.binding(name)?;
-                let mut b = self.cursor(block);
+                let mut b = self.cursor(block)?;
                 Ok((fir::load(&mut b, r), sym.ty))
             }
             Expr::Index { name, indices } => {
                 if INTRINSICS.contains(&name.as_str()) {
                     return self.lower_intrinsic(block, name, indices);
                 }
-                let sym_ty = self.info.symbols[name].ty;
+                let sym_ty = symbol_of(self.info, name)?.ty;
                 let elem_ref = self.lower_element_ref(block, name, indices)?;
-                let mut b = self.cursor(block);
+                let mut b = self.cursor(block)?;
                 Ok((fir::load(&mut b, elem_ref), sym_ty))
             }
             Expr::Un {
@@ -358,7 +387,7 @@ impl<'a> Lowerer<'a> {
                 operand,
             } => {
                 let (v, ty) = self.lower_expr(block, operand)?;
-                let mut b = self.cursor(block);
+                let mut b = self.cursor(block)?;
                 match ty {
                     TypeSpec::Real { .. } => Ok((arith::negf(&mut b, v), ty)),
                     TypeSpec::Integer => {
@@ -373,7 +402,7 @@ impl<'a> Lowerer<'a> {
                 operand,
             } => {
                 let v = self.lower_expr_as(block, operand, TypeSpec::Logical)?;
-                let mut b = self.cursor(block);
+                let mut b = self.cursor(block)?;
                 let one = arith::const_int(&mut b, 1, Type::bool());
                 Ok((
                     arith::binary(&mut b, "arith.xori", v, one),
@@ -400,7 +429,7 @@ impl<'a> Lowerer<'a> {
                     let (base, bty) = self.lower_expr(block, lhs)?;
                     if matches!(bty, TypeSpec::Real { .. }) {
                         let mut acc = base;
-                        let mut b = self.cursor(block);
+                        let mut b = self.cursor(block)?;
                         for _ in 1..*k {
                             acc = arith::mulf(&mut b, acc, base);
                         }
@@ -410,7 +439,7 @@ impl<'a> Lowerer<'a> {
             }
             let l = self.lower_expr_as(block, lhs, TypeSpec::Real { kind: 8 })?;
             let r = self.lower_expr_as(block, rhs, TypeSpec::Real { kind: 8 })?;
-            let mut b = self.cursor(block);
+            let mut b = self.cursor(block)?;
             return Ok((math::powf(&mut b, l, r), TypeSpec::Real { kind: 8 }));
         }
 
@@ -418,7 +447,7 @@ impl<'a> Lowerer<'a> {
             let l = self.lower_expr_as(block, lhs, TypeSpec::Logical)?;
             let r = self.lower_expr_as(block, rhs, TypeSpec::Logical)?;
             let name = if op == And { "arith.andi" } else { "arith.ori" };
-            let mut b = self.cursor(block);
+            let mut b = self.cursor(block)?;
             return Ok((arith::binary(&mut b, name, l, r), TypeSpec::Logical));
         }
 
@@ -443,7 +472,7 @@ impl<'a> Lowerer<'a> {
                 Gt => arith::CmpPredicate::Gt,
                 _ => arith::CmpPredicate::Ge,
             };
-            let mut b = self.cursor(block);
+            let mut b = self.cursor(block)?;
             let v = if is_real {
                 arith::cmpf(&mut b, pred, l, r)
             } else {
@@ -461,9 +490,9 @@ impl<'a> Lowerer<'a> {
             (Sub, false) => "arith.subi",
             (Mul, false) => "arith.muli",
             (Div, false) => "arith.divsi",
-            _ => unreachable!("handled above"),
+            _ => return Err(err(format!("operator {op:?} is not arithmetic"))),
         };
-        let mut b = self.cursor(block);
+        let mut b = self.cursor(block)?;
         Ok((arith::binary(&mut b, name, l, r), operand_ty))
     }
 
@@ -476,19 +505,20 @@ impl<'a> Lowerer<'a> {
         let real8 = TypeSpec::Real { kind: 8 };
         match name {
             "sqrt" | "exp" | "log" | "sin" | "cos" | "tanh" => {
-                let v = self.lower_expr_as(block, &args[0], real8)?;
-                let mut b = self.cursor(block);
-                let op_name = math::intrinsic_to_op(name).unwrap();
+                let v = self.lower_expr_as(block, arg(args, 0)?, real8)?;
+                let mut b = self.cursor(block)?;
+                let op_name = math::intrinsic_to_op(name)
+                    .ok_or_else(|| err(format!("no math op for intrinsic '{name}'")))?;
                 Ok((math::unary(&mut b, op_name, v), real8))
             }
             "abs" => {
-                let (v, ty) = self.lower_expr(block, &args[0])?;
+                let (v, ty) = self.lower_expr(block, arg(args, 0)?)?;
                 if matches!(ty, TypeSpec::Real { .. }) {
-                    let mut b = self.cursor(block);
+                    let mut b = self.cursor(block)?;
                     Ok((math::unary(&mut b, "math.absf", v), ty))
                 } else {
                     // |i| = select(i < 0, -i, i)
-                    let mut b = self.cursor(block);
+                    let mut b = self.cursor(block)?;
                     let zero = arith::const_int(&mut b, 0, Type::i32());
                     let neg = arith::subi(&mut b, zero, v);
                     let is_neg = arith::cmpi(&mut b, arith::CmpPredicate::Lt, v, zero);
@@ -496,19 +526,19 @@ impl<'a> Lowerer<'a> {
                 }
             }
             "atan2" => {
-                let x = self.lower_expr_as(block, &args[0], real8)?;
-                let y = self.lower_expr_as(block, &args[1], real8)?;
-                let mut b = self.cursor(block);
+                let x = self.lower_expr_as(block, arg(args, 0)?, real8)?;
+                let y = self.lower_expr_as(block, arg(args, 1)?, real8)?;
+                let mut b = self.cursor(block)?;
                 Ok((math::binary(&mut b, "math.atan2", x, y), real8))
             }
             "min" | "max" => {
-                let ty = expr_type(&args[0], self.info)?;
+                let ty = expr_type(arg(args, 0)?, self.info)?;
                 let is_real = matches!(ty, TypeSpec::Real { .. });
                 let want = if is_real { real8 } else { TypeSpec::Integer };
-                let mut acc = self.lower_expr_as(block, &args[0], want)?;
+                let mut acc = self.lower_expr_as(block, arg(args, 0)?, want)?;
                 for a in &args[1..] {
                     let v = self.lower_expr_as(block, a, want)?;
-                    let mut b = self.cursor(block);
+                    let mut b = self.cursor(block)?;
                     acc = if is_real {
                         let op = if name == "min" {
                             "arith.minf"
@@ -529,20 +559,20 @@ impl<'a> Lowerer<'a> {
                 Ok((acc, want))
             }
             "mod" => {
-                let l = self.lower_expr_as(block, &args[0], TypeSpec::Integer)?;
-                let r = self.lower_expr_as(block, &args[1], TypeSpec::Integer)?;
-                let mut b = self.cursor(block);
+                let l = self.lower_expr_as(block, arg(args, 0)?, TypeSpec::Integer)?;
+                let r = self.lower_expr_as(block, arg(args, 1)?, TypeSpec::Integer)?;
+                let mut b = self.cursor(block)?;
                 Ok((
                     arith::binary(&mut b, "arith.remsi", l, r),
                     TypeSpec::Integer,
                 ))
             }
             "dble" | "real" => {
-                let v = self.lower_expr_as(block, &args[0], real8)?;
+                let v = self.lower_expr_as(block, arg(args, 0)?, real8)?;
                 Ok((v, real8))
             }
             "int" => {
-                let v = self.lower_expr_as(block, &args[0], TypeSpec::Integer)?;
+                let v = self.lower_expr_as(block, arg(args, 0)?, TypeSpec::Integer)?;
                 Ok((v, TypeSpec::Integer))
             }
             other => Err(err(format!("intrinsic '{other}' not supported"))),
@@ -563,13 +593,13 @@ impl<'a> Lowerer<'a> {
         let step_i32 = match step {
             Some(s) => self.lower_expr_as(block, s, TypeSpec::Integer)?,
             None => {
-                let mut b = self.cursor(block);
+                let mut b = self.cursor(block)?;
                 arith::const_int(&mut b, 1, Type::i32())
             }
         };
         let var_ref = self.binding(var)?;
         let loop_op = {
-            let mut b = self.cursor(block);
+            let mut b = self.cursor(block)?;
             let lb_idx = fir::convert(&mut b, lb_i32, Type::Index);
             let ub_idx = fir::convert(&mut b, ub_i32, Type::Index);
             let step_idx = fir::convert(&mut b, step_i32, Type::Index);
@@ -580,7 +610,7 @@ impl<'a> Lowerer<'a> {
         let body_block = loop_op.body(self.module);
         let iv = loop_op.iv(self.module);
         {
-            let mut b = self.cursor(body_block);
+            let mut b = self.cursor(body_block)?;
             let iv_i32 = fir::convert(&mut b, iv, Type::i32());
             fir::store(&mut b, iv_i32, var_ref);
         }
@@ -593,21 +623,24 @@ impl<'a> Lowerer<'a> {
             match a {
                 // Variables and whole arrays pass their reference.
                 Expr::Var(vname)
-                    if !matches!(self.info.symbols[vname].kind, SymbolKind::Param(_)) =>
+                    if !matches!(
+                        self.info.symbols.get(vname).map(|s| &s.kind),
+                        Some(SymbolKind::Param(_)) | None
+                    ) =>
                 {
                     operands.push(self.binding(vname)?);
                 }
                 // Everything else: evaluate into a temporary and pass its ref.
                 other => {
                     let (v, ty) = self.lower_expr(block, other)?;
-                    let mut b = self.cursor(block);
+                    let mut b = self.cursor(block)?;
                     let tmp = fir::alloca(&mut b, "call_tmp", scalar_type(ty));
                     fir::store(&mut b, v, tmp);
                     operands.push(tmp);
                 }
             }
         }
-        let mut b = self.cursor(block);
+        let mut b = self.cursor(block)?;
         fir::call(&mut b, name, operands, vec![]);
         Ok(())
     }
@@ -634,8 +667,8 @@ end program average
 ";
 
     #[test]
-    fn listing1_lowers_to_nested_do_loops() {
-        let m = compile_to_fir(LISTING1).unwrap();
+    fn listing1_lowers_to_nested_do_loops() -> std::result::Result<(), Box<dyn std::error::Error>> {
+        let m = compile_to_fir(LISTING1)?;
         let loops = collect_ops_named(&m, fir::DO_LOOP);
         assert_eq!(loops.len(), 2);
         // The inner loop contains exactly one store (to res).
@@ -645,39 +678,45 @@ end program average
         let coords = collect_ops_named(&m, fir::COORDINATE_OF);
         // 4 reads + 1 write.
         assert_eq!(coords.len(), 5);
-        fsc_dialects::verify::verify(&m).unwrap();
+        fsc_dialects::verify::verify(&m)?;
+        Ok(())
     }
 
     #[test]
-    fn program_attr_marks_entry() {
-        let m = compile_to_fir("program t\nend program t").unwrap();
-        let f = func::find_func(&m, "t").unwrap();
+    fn program_attr_marks_entry() -> std::result::Result<(), Box<dyn std::error::Error>> {
+        let m = compile_to_fir("program t\nend program t")?;
+        let f = func::find_func(&m, "t").ok_or("missing value")?;
         assert!(m.op(f.0).attr(PROGRAM_ATTR).is_some());
+        Ok(())
     }
 
     #[test]
-    fn array_alloca_records_lbounds() {
+    fn array_alloca_records_lbounds() -> std::result::Result<(), Box<dyn std::error::Error>> {
         let m = compile_to_fir(
             "program t
 real(kind=8) :: u(0:9, -1:5)
 u(0, -1) = 1.0
 end program t",
-        )
-        .unwrap();
+        )?;
         let allocas = collect_ops_named(&m, fir::ALLOCA);
         let arr = allocas
             .iter()
             .find(|&&op| m.op(op).attr("bindc_name").and_then(Attribute::as_str) == Some("u"))
-            .unwrap();
+            .ok_or("missing value")?;
         assert_eq!(
-            m.op(*arr).attr(LBOUNDS_ATTR).unwrap().as_index_list(),
+            m.op(*arr)
+                .attr(LBOUNDS_ATTR)
+                .ok_or("missing value")?
+                .as_index_list(),
             Some(&[0, -1][..])
         );
-        fsc_dialects::verify::verify(&m).unwrap();
+        fsc_dialects::verify::verify(&m)?;
+        Ok(())
     }
 
     #[test]
-    fn allocatable_lowers_to_allocmem_freemem() {
+    fn allocatable_lowers_to_allocmem_freemem(
+    ) -> std::result::Result<(), Box<dyn std::error::Error>> {
         let m = compile_to_fir(
             "program t
 integer, parameter :: n = 4
@@ -686,15 +725,15 @@ allocate(u(0:n+1, 0:n+1))
 u(1, 1) = 2.0
 deallocate(u)
 end program t",
-        )
-        .unwrap();
+        )?;
         assert_eq!(collect_ops_named(&m, fir::ALLOCMEM).len(), 1);
         assert_eq!(collect_ops_named(&m, fir::FREEMEM).len(), 1);
-        fsc_dialects::verify::verify(&m).unwrap();
+        fsc_dialects::verify::verify(&m)?;
+        Ok(())
     }
 
     #[test]
-    fn do_loop_stores_iv_into_variable() {
+    fn do_loop_stores_iv_into_variable() -> std::result::Result<(), Box<dyn std::error::Error>> {
         let m = compile_to_fir(
             "program t
 integer :: i
@@ -703,8 +742,7 @@ do i = 1, 4
   x = 1.0
 end do
 end program t",
-        )
-        .unwrap();
+        )?;
         let loops = collect_ops_named(&m, fir::DO_LOOP);
         assert_eq!(loops.len(), 1);
         let lp = fir::DoLoopOp(loops[0]);
@@ -712,27 +750,29 @@ end program t",
         // First two body ops: convert iv, store to i's alloca.
         assert_eq!(m.op(body_ops[0]).name.full(), fir::CONVERT);
         assert_eq!(m.op(body_ops[1]).name.full(), fir::STORE);
+        Ok(())
     }
 
     #[test]
-    fn subroutine_args_are_references() {
+    fn subroutine_args_are_references() -> std::result::Result<(), Box<dyn std::error::Error>> {
         let m = compile_to_fir(
             "subroutine s(a, n2)
 real(kind=8), intent(inout) :: a(8)
 integer, intent(in) :: n2
 a(1) = 1.0
 end subroutine s",
-        )
-        .unwrap();
-        let f = func::find_func(&m, "s").unwrap();
+        )?;
+        let f = func::find_func(&m, "s").ok_or("missing value")?;
         let (ins, _) = f.signature(&m);
         assert_eq!(ins[0], Type::fir_ref(Type::fir_array(vec![8], Type::f64())));
         assert_eq!(ins[1], Type::fir_ref(Type::i32()));
-        fsc_dialects::verify::verify(&m).unwrap();
+        fsc_dialects::verify::verify(&m)?;
+        Ok(())
     }
 
     #[test]
-    fn call_passes_array_reference_directly() {
+    fn call_passes_array_reference_directly() -> std::result::Result<(), Box<dyn std::error::Error>>
+    {
         let m = compile_to_fir(
             "subroutine s(a)
 real(kind=8), intent(inout) :: a(8)
@@ -742,17 +782,17 @@ program t
 real(kind=8) :: x(8)
 call s(x)
 end program t",
-        )
-        .unwrap();
+        )?;
         let calls = collect_ops_named(&m, fir::CALL);
         assert_eq!(calls.len(), 1);
         let arg = m.op(calls[0]).operands[0];
-        let def = m.defining_op(arg).unwrap();
+        let def = m.defining_op(arg).ok_or("missing value")?;
         assert_eq!(m.op(def).name.full(), fir::ALLOCA);
+        Ok(())
     }
 
     #[test]
-    fn if_lowering_builds_two_regions() {
+    fn if_lowering_builds_two_regions() -> std::result::Result<(), Box<dyn std::error::Error>> {
         let m = compile_to_fir(
             "program t
 real(kind=8) :: x
@@ -762,41 +802,41 @@ else
   x = 2.0
 end if
 end program t",
-        )
-        .unwrap();
+        )?;
         let ifs = collect_ops_named(&m, fir::IF);
         assert_eq!(ifs.len(), 1);
         assert_eq!(m.op(ifs[0]).regions.len(), 2);
-        fsc_dialects::verify::verify(&m).unwrap();
+        fsc_dialects::verify::verify(&m)?;
+        Ok(())
     }
 
     #[test]
-    fn integer_pow_unrolls_to_multiplies() {
+    fn integer_pow_unrolls_to_multiplies() -> std::result::Result<(), Box<dyn std::error::Error>> {
         let m = compile_to_fir(
             "program t
 real(kind=8) :: x, y
 y = x ** 2
 end program t",
-        )
-        .unwrap();
+        )?;
         assert!(collect_ops_named(&m, "math.powf").is_empty());
         assert_eq!(collect_ops_named(&m, "arith.mulf").len(), 1);
+        Ok(())
     }
 
     #[test]
-    fn general_pow_uses_math() {
+    fn general_pow_uses_math() -> std::result::Result<(), Box<dyn std::error::Error>> {
         let m = compile_to_fir(
             "program t
 real(kind=8) :: x, y, z
 z = x ** y
 end program t",
-        )
-        .unwrap();
+        )?;
         assert_eq!(collect_ops_named(&m, "math.powf").len(), 1);
+        Ok(())
     }
 
     #[test]
-    fn mixed_arithmetic_inserts_converts() {
+    fn mixed_arithmetic_inserts_converts() -> std::result::Result<(), Box<dyn std::error::Error>> {
         let m = compile_to_fir(
             "program t
 integer :: i
@@ -804,18 +844,18 @@ real(kind=8) :: x
 i = 3
 x = x + i
 end program t",
-        )
-        .unwrap();
+        )?;
         // At least one conversion from i32 to f64.
         let converts = collect_ops_named(&m, fir::CONVERT);
         assert!(converts
             .iter()
             .any(|&c| m.value_type(m.result(c)) == &Type::f64()));
-        fsc_dialects::verify::verify(&m).unwrap();
+        fsc_dialects::verify::verify(&m)?;
+        Ok(())
     }
 
     #[test]
-    fn intrinsics_lower() {
+    fn intrinsics_lower() -> std::result::Result<(), Box<dyn std::error::Error>> {
         let m = compile_to_fir(
             "program t
 real(kind=8) :: x, y
@@ -824,13 +864,13 @@ y = sqrt(x) + max(x, y) + abs(x)
 i = mod(i, 3)
 y = min(x, y, 2.0)
 end program t",
-        )
-        .unwrap();
+        )?;
         assert_eq!(collect_ops_named(&m, "math.sqrt").len(), 1);
         assert_eq!(collect_ops_named(&m, "math.absf").len(), 1);
         assert_eq!(collect_ops_named(&m, "arith.maxf").len(), 1);
         assert_eq!(collect_ops_named(&m, "arith.remsi").len(), 1);
         assert_eq!(collect_ops_named(&m, "arith.minf").len(), 2);
-        fsc_dialects::verify::verify(&m).unwrap();
+        fsc_dialects::verify::verify(&m)?;
+        Ok(())
     }
 }

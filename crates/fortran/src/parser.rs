@@ -1,21 +1,50 @@
 //! Recursive-descent parser for the supported Fortran subset.
+//!
+//! The parser *recovers* from errors instead of bailing at the first one:
+//! a failed statement records a located [`Diagnostic`] and synchronizes at
+//! the next statement boundary (end-of-statement token), a failed unit
+//! synchronizes at the next `program`/`subroutine`, so one file reports
+//! every problem it contains (bounded by [`MAX_ERRORS`]). When anything
+//! was recorded the overall result is an [`IrError`] carrying the full
+//! batch; the partially-parsed AST is never handed downstream.
 
+use fsc_ir::diag::{codes, Diagnostic, Span};
 use fsc_ir::{IrError, Result};
 
 use crate::ast::*;
 use crate::lexer::{Token, TokenKind};
 
+/// Stop recording after this many diagnostics; a file this broken is
+/// usually one mistake cascading, and recovery time stays bounded.
+const MAX_ERRORS: usize = 25;
+
 /// Parse a token stream into a [`SourceFile`].
 pub fn parse_source(tokens: &[Token]) -> Result<SourceFile> {
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        diags: Vec::new(),
+    };
     let mut units = Vec::new();
     p.skip_eos();
-    while !p.at(TokenKind::Eof) {
-        units.push(p.parse_unit()?);
+    while !p.at(TokenKind::Eof) && p.diags.len() < MAX_ERRORS {
+        match p.parse_unit() {
+            Ok(u) => units.push(u),
+            Err(e) => {
+                p.record(e);
+                p.sync_to_unit_start();
+            }
+        }
         p.skip_eos();
     }
+    if !p.diags.is_empty() {
+        return Err(IrError::from_diagnostics(p.diags));
+    }
     if units.is_empty() {
-        return Err(IrError::new("empty source: no program units"));
+        return Err(IrError::from_diagnostic(Diagnostic::error(
+            codes::PARSE_EMPTY_SOURCE,
+            "empty source: no program units",
+        )));
     }
     Ok(SourceFile { units })
 }
@@ -23,6 +52,40 @@ pub fn parse_source(tokens: &[Token]) -> Result<SourceFile> {
 struct Parser<'t> {
     tokens: &'t [Token],
     pos: usize,
+    diags: Vec<Diagnostic>,
+}
+
+/// Human-readable description of a token for error messages.
+fn tok_desc(kind: &TokenKind) -> String {
+    match kind {
+        TokenKind::Ident(s) => format!("'{s}'"),
+        TokenKind::Int(v) => format!("integer literal {v}"),
+        TokenKind::Real(v) => format!("real literal {v}"),
+        TokenKind::Logical(v) => format!(".{v}."),
+        TokenKind::Eos => "end of statement".to_string(),
+        TokenKind::Eof => "end of file".to_string(),
+        TokenKind::Plus => "'+'".to_string(),
+        TokenKind::Minus => "'-'".to_string(),
+        TokenKind::Star => "'*'".to_string(),
+        TokenKind::Pow => "'**'".to_string(),
+        TokenKind::Slash => "'/'".to_string(),
+        TokenKind::LParen => "'('".to_string(),
+        TokenKind::RParen => "')'".to_string(),
+        TokenKind::Comma => "','".to_string(),
+        TokenKind::Assign => "'='".to_string(),
+        TokenKind::Eq => "'=='".to_string(),
+        TokenKind::Ne => "'/='".to_string(),
+        TokenKind::Lt => "'<'".to_string(),
+        TokenKind::Le => "'<='".to_string(),
+        TokenKind::Gt => "'>'".to_string(),
+        TokenKind::Ge => "'>='".to_string(),
+        TokenKind::And => "'.and.'".to_string(),
+        TokenKind::Or => "'.or.'".to_string(),
+        TokenKind::Not => "'.not.'".to_string(),
+        TokenKind::DoubleColon => "'::'".to_string(),
+        TokenKind::Colon => "':'".to_string(),
+        TokenKind::Percent => "'%'".to_string(),
+    }
 }
 
 impl<'t> Parser<'t> {
@@ -30,8 +93,9 @@ impl<'t> Parser<'t> {
         &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
     }
 
-    fn line(&self) -> u32 {
-        self.tokens[self.pos.min(self.tokens.len() - 1)].line
+    fn span(&self) -> Span {
+        let t = &self.tokens[self.pos.min(self.tokens.len() - 1)];
+        Span::new(t.line, t.col)
     }
 
     fn bump(&mut self) -> TokenKind {
@@ -49,7 +113,46 @@ impl<'t> Parser<'t> {
     }
 
     fn err(&self, msg: impl std::fmt::Display) -> IrError {
-        IrError::new(format!("parse error at line {}: {}", self.line(), msg))
+        self.err_code(codes::PARSE_UNEXPECTED_TOKEN, msg)
+    }
+
+    fn err_code(&self, code: &'static str, msg: impl std::fmt::Display) -> IrError {
+        IrError::from_diagnostic(
+            Diagnostic::error(code, format!("parse error: {msg}")).at(self.span()),
+        )
+    }
+
+    /// Fold an error's diagnostics into the recovery batch (no-op once the
+    /// cap is hit — recovery keeps running but stops accumulating).
+    fn record(&mut self, e: IrError) {
+        if self.diags.len() >= MAX_ERRORS {
+            return;
+        }
+        if e.diagnostics.is_empty() {
+            self.diags
+                .push(Diagnostic::error(codes::PARSE_UNEXPECTED_TOKEN, e.message));
+        } else {
+            self.diags.extend(e.diagnostics);
+        }
+    }
+
+    /// Skip to just past the next end-of-statement (or stop at EOF), so the
+    /// next parse attempt starts on a fresh statement.
+    fn sync_to_stmt_boundary(&mut self) {
+        while !self.at(TokenKind::Eof) && !self.at(TokenKind::Eos) {
+            self.bump();
+        }
+        self.eat(&TokenKind::Eos);
+    }
+
+    /// Skip to the next plausible program-unit start (or EOF).
+    fn sync_to_unit_start(&mut self) {
+        loop {
+            if self.at(TokenKind::Eof) || self.at_kw("program") || self.at_kw("subroutine") {
+                return;
+            }
+            self.bump();
+        }
     }
 
     fn eat(&mut self, kind: &TokenKind) -> bool {
@@ -61,11 +164,18 @@ impl<'t> Parser<'t> {
         }
     }
 
-    fn expect(&mut self, kind: TokenKind) -> Result<()> {
+    fn expect_tok(&mut self, kind: TokenKind) -> Result<()> {
         if self.eat(&kind) {
             Ok(())
         } else {
-            Err(self.err(format!("expected {kind:?}, found {:?}", self.peek())))
+            Err(self.err_code(
+                codes::PARSE_EXPECTED,
+                format!(
+                    "expected {}, found {}",
+                    tok_desc(&kind),
+                    tok_desc(self.peek())
+                ),
+            ))
         }
     }
 
@@ -87,14 +197,23 @@ impl<'t> Parser<'t> {
         if self.eat_kw(kw) {
             Ok(())
         } else {
-            Err(self.err(format!("expected '{kw}', found {:?}", self.peek())))
+            Err(self.err_code(
+                codes::PARSE_EXPECTED,
+                format!("expected '{kw}', found {}", tok_desc(self.peek())),
+            ))
         }
     }
 
     fn expect_ident(&mut self) -> Result<String> {
-        match self.bump() {
-            TokenKind::Ident(s) => Ok(s),
-            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        if let TokenKind::Ident(s) = self.peek() {
+            let s = s.clone();
+            self.bump();
+            Ok(s)
+        } else {
+            Err(self.err_code(
+                codes::PARSE_EXPECTED,
+                format!("expected identifier, found {}", tok_desc(self.peek())),
+            ))
         }
     }
 
@@ -102,10 +221,10 @@ impl<'t> Parser<'t> {
         if self.eat(&TokenKind::Eos) || self.at(TokenKind::Eof) {
             Ok(())
         } else {
-            Err(self.err(format!(
-                "expected end of statement, found {:?}",
-                self.peek()
-            )))
+            Err(self.err_code(
+                codes::PARSE_EXPECTED,
+                format!("expected end of statement, found {}", tok_desc(self.peek())),
+            ))
         }
     }
 
@@ -138,7 +257,7 @@ impl<'t> Parser<'t> {
                         break;
                     }
                 }
-                self.expect(TokenKind::RParen)?;
+                self.expect_tok(TokenKind::RParen)?;
             }
             self.expect_eos()?;
             let (decls, body) = self.parse_unit_body()?;
@@ -152,14 +271,20 @@ impl<'t> Parser<'t> {
             })
         } else {
             Err(self.err(format!(
-                "expected 'program' or 'subroutine', found {:?}",
-                self.peek()
+                "expected 'program' or 'subroutine', found {}",
+                tok_desc(self.peek())
             )))
         }
     }
 
     /// `end [program|subroutine] [name]`.
-    fn parse_end(&mut self, unit_kw: &str, _name: &str) -> Result<()> {
+    fn parse_end(&mut self, unit_kw: &str, name: &str) -> Result<()> {
+        if self.at(TokenKind::Eof) {
+            return Err(self.err_code(
+                codes::PARSE_UNTERMINATED,
+                format!("{unit_kw} '{name}' is not closed: missing 'end {unit_kw}'"),
+            ));
+        }
         self.expect_kw("end")?;
         if self.eat_kw(unit_kw) {
             // Optional repeat of the unit name.
@@ -173,7 +298,9 @@ impl<'t> Parser<'t> {
 
     fn parse_unit_body(&mut self) -> Result<(Vec<Decl>, Vec<Stmt>)> {
         let mut decls = Vec::new();
-        // Specification part.
+        // Specification part. A bad declaration records its diagnostic and
+        // resumes at the next statement so the rest of the unit still gets
+        // checked.
         loop {
             self.skip_eos();
             if self.at_kw("implicit") {
@@ -181,7 +308,16 @@ impl<'t> Parser<'t> {
                 self.expect_kw("none")?;
                 self.expect_eos()?;
             } else if self.at_type_spec() {
-                decls.extend(self.parse_decl_stmt()?);
+                match self.parse_decl_stmt() {
+                    Ok(ds) => decls.extend(ds),
+                    Err(e) => {
+                        self.record(e);
+                        if self.diags.len() >= MAX_ERRORS {
+                            break;
+                        }
+                        self.sync_to_stmt_boundary();
+                    }
+                }
             } else {
                 break;
             }
@@ -216,20 +352,25 @@ impl<'t> Parser<'t> {
             }
             Ok(TypeSpec::Real { kind })
         } else {
-            Err(self.err("expected type specifier"))
+            Err(self.err_code(codes::PARSE_BAD_DECL, "expected type specifier"))
         }
     }
 
     /// After `(`: `kind=8)` or `8)`.
     fn parse_kind_value(&mut self) -> Result<u8> {
         if self.eat_kw("kind") {
-            self.expect(TokenKind::Assign)?;
+            self.expect_tok(TokenKind::Assign)?;
         }
         let v = match self.bump() {
             TokenKind::Int(v) => v as u8,
-            other => return Err(self.err(format!("expected kind value, found {other:?}"))),
+            other => {
+                return Err(self.err_code(
+                    codes::PARSE_BAD_DECL,
+                    format!("expected kind value, found {}", tok_desc(&other)),
+                ))
+            }
         };
-        self.expect(TokenKind::RParen)?;
+        self.expect_tok(TokenKind::RParen)?;
         Ok(v)
     }
 
@@ -247,6 +388,7 @@ impl<'t> Parser<'t> {
     }
 
     fn parse_decl_stmt(&mut self) -> Result<Vec<Decl>> {
+        let decl_line = self.span().line;
         let ty = self.parse_type_spec()?;
         let mut dims_attr: Vec<Dim> = Vec::new();
         let mut allocatable = false;
@@ -254,15 +396,15 @@ impl<'t> Parser<'t> {
         let mut intent = Intent::InOut;
         while self.eat(&TokenKind::Comma) {
             if self.eat_kw("dimension") {
-                self.expect(TokenKind::LParen)?;
+                self.expect_tok(TokenKind::LParen)?;
                 dims_attr = self.parse_dim_list()?;
-                self.expect(TokenKind::RParen)?;
+                self.expect_tok(TokenKind::RParen)?;
             } else if self.eat_kw("allocatable") {
                 allocatable = true;
             } else if self.eat_kw("parameter") {
                 parameter = true;
             } else if self.eat_kw("intent") {
-                self.expect(TokenKind::LParen)?;
+                self.expect_tok(TokenKind::LParen)?;
                 intent = if self.eat_kw("in") {
                     Intent::In
                 } else if self.eat_kw("out") {
@@ -270,21 +412,24 @@ impl<'t> Parser<'t> {
                 } else if self.eat_kw("inout") {
                     Intent::InOut
                 } else {
-                    return Err(self.err("expected in/out/inout"));
+                    return Err(self.err_code(codes::PARSE_BAD_DECL, "expected in/out/inout"));
                 };
-                self.expect(TokenKind::RParen)?;
+                self.expect_tok(TokenKind::RParen)?;
             } else {
-                return Err(self.err(format!("unknown declaration attribute {:?}", self.peek())));
+                return Err(self.err_code(
+                    codes::PARSE_BAD_DECL,
+                    format!("unknown declaration attribute {}", tok_desc(self.peek())),
+                ));
             }
         }
-        self.expect(TokenKind::DoubleColon)?;
+        self.expect_tok(TokenKind::DoubleColon)?;
         let mut out = Vec::new();
         loop {
             let name = self.expect_ident()?;
             let mut dims = dims_attr.clone();
             if self.eat(&TokenKind::LParen) {
                 dims = self.parse_dim_list()?;
-                self.expect(TokenKind::RParen)?;
+                self.expect_tok(TokenKind::RParen)?;
             }
             let init = if self.eat(&TokenKind::Assign) {
                 Some(self.parse_expr()?)
@@ -292,7 +437,10 @@ impl<'t> Parser<'t> {
                 None
             };
             if parameter && init.is_none() {
-                return Err(self.err(format!("parameter '{name}' missing initialiser")));
+                return Err(self.err_code(
+                    codes::PARSE_BAD_DECL,
+                    format!("parameter '{name}' missing initialiser"),
+                ));
             }
             out.push(Decl {
                 name,
@@ -301,6 +449,7 @@ impl<'t> Parser<'t> {
                 allocatable,
                 parameter: if parameter { init } else { None },
                 intent,
+                line: decl_line,
             });
             if !self.eat(&TokenKind::Comma) {
                 break;
@@ -346,6 +495,10 @@ impl<'t> Parser<'t> {
     // -------------------------------------------------------- statements
 
     /// Parse statements until one of `stop_kws` begins a line.
+    ///
+    /// A statement that fails to parse records its diagnostic and recovery
+    /// skips to the next statement boundary, so every broken statement in
+    /// a block is reported, not just the first.
     fn parse_stmts(&mut self, stop_kws: &[&str]) -> Result<Vec<Stmt>> {
         let mut out = Vec::new();
         loop {
@@ -358,7 +511,16 @@ impl<'t> Parser<'t> {
                     return Ok(out);
                 }
             }
-            out.push(self.parse_stmt()?);
+            match self.parse_stmt() {
+                Ok(s) => out.push(s),
+                Err(e) => {
+                    self.record(e);
+                    if self.diags.len() >= MAX_ERRORS {
+                        return Ok(out);
+                    }
+                    self.sync_to_stmt_boundary();
+                }
+            }
         }
     }
 
@@ -379,30 +541,30 @@ impl<'t> Parser<'t> {
                         break;
                     }
                 }
-                self.expect(TokenKind::RParen)?;
+                self.expect_tok(TokenKind::RParen)?;
             }
             self.expect_eos()?;
             return Ok(Stmt::Call { name, args });
         }
         if self.eat_kw("allocate") {
-            self.expect(TokenKind::LParen)?;
+            self.expect_tok(TokenKind::LParen)?;
             let mut items = Vec::new();
             loop {
                 let name = self.expect_ident()?;
-                self.expect(TokenKind::LParen)?;
+                self.expect_tok(TokenKind::LParen)?;
                 let dims = self.parse_dim_list()?;
-                self.expect(TokenKind::RParen)?;
+                self.expect_tok(TokenKind::RParen)?;
                 items.push((name, dims));
                 if !self.eat(&TokenKind::Comma) {
                     break;
                 }
             }
-            self.expect(TokenKind::RParen)?;
+            self.expect_tok(TokenKind::RParen)?;
             self.expect_eos()?;
             return Ok(Stmt::Allocate { items });
         }
         if self.eat_kw("deallocate") {
-            self.expect(TokenKind::LParen)?;
+            self.expect_tok(TokenKind::LParen)?;
             let mut names = Vec::new();
             loop {
                 names.push(self.expect_ident()?);
@@ -410,7 +572,7 @@ impl<'t> Parser<'t> {
                     break;
                 }
             }
-            self.expect(TokenKind::RParen)?;
+            self.expect_tok(TokenKind::RParen)?;
             self.expect_eos()?;
             return Ok(Stmt::Deallocate { names });
         }
@@ -425,13 +587,13 @@ impl<'t> Parser<'t> {
                         break;
                     }
                 }
-                self.expect(TokenKind::RParen)?;
+                self.expect_tok(TokenKind::RParen)?;
             }
             LValue::Element { name, indices }
         } else {
             LValue::Var(name)
         };
-        self.expect(TokenKind::Assign)?;
+        self.expect_tok(TokenKind::Assign)?;
         let value = self.parse_expr()?;
         self.expect_eos()?;
         Ok(Stmt::Assign { target, value })
@@ -439,9 +601,9 @@ impl<'t> Parser<'t> {
 
     fn parse_do(&mut self) -> Result<Stmt> {
         let var = self.expect_ident()?;
-        self.expect(TokenKind::Assign)?;
+        self.expect_tok(TokenKind::Assign)?;
         let lb = self.parse_expr()?;
-        self.expect(TokenKind::Comma)?;
+        self.expect_tok(TokenKind::Comma)?;
         let ub = self.parse_expr()?;
         let step = if self.eat(&TokenKind::Comma) {
             Some(self.parse_expr()?)
@@ -466,9 +628,9 @@ impl<'t> Parser<'t> {
     }
 
     fn parse_if(&mut self) -> Result<Stmt> {
-        self.expect(TokenKind::LParen)?;
+        self.expect_tok(TokenKind::LParen)?;
         let cond = self.parse_expr()?;
-        self.expect(TokenKind::RParen)?;
+        self.expect_tok(TokenKind::RParen)?;
         if self.eat_kw("then") {
             self.expect_eos()?;
             let then_body = self.parse_stmts(&["end", "endif", "else"])?;
@@ -600,13 +762,28 @@ impl<'t> Parser<'t> {
     }
 
     fn parse_primary(&mut self) -> Result<Expr> {
+        // Peek before committing: erroring *without* consuming keeps the
+        // diagnostic span on the offending token, not the one after it.
+        if !matches!(
+            self.peek(),
+            TokenKind::Int(_)
+                | TokenKind::Real(_)
+                | TokenKind::Logical(_)
+                | TokenKind::LParen
+                | TokenKind::Ident(_)
+        ) {
+            return Err(self.err(format!(
+                "unexpected {} in expression",
+                tok_desc(self.peek())
+            )));
+        }
         match self.bump() {
             TokenKind::Int(v) => Ok(Expr::Int(v)),
             TokenKind::Real(v) => Ok(Expr::Real(v)),
             TokenKind::Logical(v) => Ok(Expr::Logical(v)),
             TokenKind::LParen => {
                 let e = self.parse_expr()?;
-                self.expect(TokenKind::RParen)?;
+                self.expect_tok(TokenKind::RParen)?;
                 Ok(e)
             }
             TokenKind::Ident(name) => {
@@ -619,14 +796,14 @@ impl<'t> Parser<'t> {
                                 break;
                             }
                         }
-                        self.expect(TokenKind::RParen)?;
+                        self.expect_tok(TokenKind::RParen)?;
                     }
                     Ok(Expr::Index { name, indices })
                 } else {
                     Ok(Expr::Var(name))
                 }
             }
-            other => Err(self.err(format!("unexpected token {other:?} in expression"))),
+            other => Err(self.err(format!("unexpected {} in expression", tok_desc(&other)))),
         }
     }
 }
@@ -846,6 +1023,80 @@ end program t",
     #[test]
     fn missing_end_is_error() {
         let toks = lex("program t\ninteger :: i\n").unwrap();
-        assert!(parse_source(&toks).is_err());
+        let err = parse_source(&toks).unwrap_err();
+        assert!(
+            err.diagnostics
+                .iter()
+                .any(|d| d.code == fsc_ir::diag::codes::PARSE_UNTERMINATED),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn recovery_reports_multiple_errors_per_file() {
+        // Three independent broken statements: all three must be reported.
+        let toks = lex("program t
+integer :: i
+i = + * 2
+i = )
+i = 3 +
+i = 1
+end program t")
+        .unwrap();
+        let err = parse_source(&toks).unwrap_err();
+        assert!(
+            err.diagnostics.len() >= 3,
+            "expected >=3 diagnostics, got {}: {err}",
+            err.diagnostics.len()
+        );
+        // Each carries a distinct source line.
+        let lines: Vec<u32> = err
+            .diagnostics
+            .iter()
+            .filter_map(|d| d.span.map(|s| s.line))
+            .collect();
+        assert!(lines.contains(&3), "{lines:?}");
+        assert!(lines.contains(&4), "{lines:?}");
+        assert!(lines.contains(&5), "{lines:?}");
+    }
+
+    #[test]
+    fn recovery_continues_past_bad_declaration() {
+        let toks = lex("program t
+integer, bogus :: i
+real(kind=8) :: x
+x = * 1.0
+end program t")
+        .unwrap();
+        let err = parse_source(&toks).unwrap_err();
+        // Both the bad decl attribute and the bad statement are reported.
+        assert!(
+            err.diagnostics
+                .iter()
+                .any(|d| d.code == fsc_ir::diag::codes::PARSE_BAD_DECL),
+            "{err}"
+        );
+        assert!(err.diagnostics.len() >= 2, "{err}");
+    }
+
+    #[test]
+    fn error_count_is_bounded() {
+        let mut src = String::from("program t\ninteger :: i\n");
+        for _ in 0..200 {
+            src.push_str("i = )\n");
+        }
+        src.push_str("end program t\n");
+        let toks = lex(&src).unwrap();
+        let err = parse_source(&toks).unwrap_err();
+        assert!(err.diagnostics.len() <= 25, "{}", err.diagnostics.len());
+    }
+
+    #[test]
+    fn errors_have_spans_and_stable_codes() {
+        let toks = lex("program t\ninteger :: i\ni = (1 + 2\nend program t").unwrap();
+        let err = parse_source(&toks).unwrap_err();
+        let d = err.primary().expect("diagnostic");
+        assert_eq!(d.code, fsc_ir::diag::codes::PARSE_EXPECTED);
+        assert_eq!(d.span.map(|s| s.line), Some(3));
     }
 }

@@ -1,11 +1,22 @@
 //! Semantic analysis: symbol tables, constant folding of parameters and
 //! array bounds, type inference and use checking.
+//!
+//! Like the parser, sema *accumulates* diagnostics instead of bailing at
+//! the first problem: every declaration and every statement is checked even
+//! when earlier ones failed, and the combined batch is returned as one
+//! [`IrError`]. Constant folding uses checked arithmetic throughout — an
+//! overflowing `parameter` expression is a diagnostic, not a debug-build
+//! panic.
 
 use std::collections::BTreeMap;
 
+use fsc_ir::diag::{codes, Diagnostic};
 use fsc_ir::{IrError, Result};
 
 use crate::ast::*;
+
+/// Diagnostic cap, mirroring the parser's.
+const MAX_ERRORS: usize = 25;
 
 /// A compile-time constant value.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -97,86 +108,72 @@ pub const INTRINSICS: &[&str] = &[
 ];
 
 fn err(msg: impl std::fmt::Display) -> IrError {
-    IrError::new(format!("semantic error: {msg}"))
+    err_code(codes::SEMA_TYPE, msg)
+}
+
+fn err_code(code: &'static str, msg: impl std::fmt::Display) -> IrError {
+    IrError::from_diagnostic(Diagnostic::error(code, format!("semantic error: {msg}")))
+}
+
+/// Fold an error into the batch, attaching `line` to any diagnostic that
+/// has no span of its own. No-op once the cap is hit.
+fn record(diags: &mut Vec<Diagnostic>, e: IrError, line: Option<u32>) {
+    if diags.len() >= MAX_ERRORS {
+        return;
+    }
+    if e.diagnostics.is_empty() {
+        diags.push(Diagnostic::error(codes::SEMA_TYPE, e.message));
+        return;
+    }
+    for mut d in e.diagnostics {
+        if d.span.is_none() {
+            if let Some(l) = line {
+                d = d.at_line_col(l, 1);
+            }
+        }
+        diags.push(d);
+    }
 }
 
 /// Run semantic analysis over a parsed source file.
 pub fn analyze(file: SourceFile) -> Result<Analyzed> {
     let unit_names: Vec<String> = file.units.iter().map(|u| u.name.clone()).collect();
     let mut units = Vec::with_capacity(file.units.len());
+    let mut diags = Vec::new();
     for unit in &file.units {
-        units.push(analyze_unit(unit, &unit_names)?);
+        units.push(analyze_unit(unit, &unit_names, &mut diags));
+    }
+    if !diags.is_empty() {
+        return Err(IrError::from_diagnostics(diags));
     }
     Ok(Analyzed { file, units })
 }
 
-fn analyze_unit(unit: &ProgramUnit, unit_names: &[String]) -> Result<UnitInfo> {
+fn analyze_unit(
+    unit: &ProgramUnit,
+    unit_names: &[String],
+    diags: &mut Vec<Diagnostic>,
+) -> UnitInfo {
     let mut symbols: BTreeMap<String, Symbol> = BTreeMap::new();
     let mut params: BTreeMap<String, Const> = BTreeMap::new();
 
     for decl in &unit.decls {
-        if symbols.contains_key(&decl.name) {
-            return Err(err(format!("'{}' declared twice", decl.name)));
+        if let Err(e) = analyze_decl(decl, unit, &mut symbols, &mut params) {
+            record(diags, e, Some(decl.line));
         }
-        let is_dummy = unit.args.contains(&decl.name);
-        let kind = if let Some(init) = &decl.parameter {
-            if is_dummy {
-                return Err(err(format!(
-                    "dummy argument '{}' cannot be a parameter",
-                    decl.name
-                )));
-            }
-            let v = fold_const(init, &params)?;
-            params.insert(decl.name.clone(), v);
-            SymbolKind::Param(v)
-        } else if decl.allocatable {
-            if decl.dims.is_empty() {
-                return Err(err(format!(
-                    "allocatable '{}' needs a deferred shape",
-                    decl.name
-                )));
-            }
-            SymbolKind::AllocArray {
-                rank: decl.dims.len(),
-            }
-        } else if decl.dims.is_empty() {
-            SymbolKind::Scalar
-        } else {
-            let mut lbounds = Vec::new();
-            let mut extents = Vec::new();
-            for d in &decl.dims {
-                let lo = fold_const(&d.lower, &params)?
-                    .as_int()
-                    .ok_or_else(|| err(format!("non-integer bound for '{}'", decl.name)))?;
-                let hi = fold_const(&d.upper, &params)?
-                    .as_int()
-                    .ok_or_else(|| err(format!("non-integer bound for '{}'", decl.name)))?;
-                if hi < lo {
-                    return Err(err(format!(
-                        "dimension of '{}' has upper bound {hi} < lower bound {lo}",
-                        decl.name
-                    )));
-                }
-                lbounds.push(lo);
-                extents.push(hi - lo + 1);
-            }
-            SymbolKind::Array { lbounds, extents }
-        };
-        symbols.insert(
-            decl.name.clone(),
-            Symbol {
-                ty: decl.ty,
-                kind,
-                is_dummy,
-                intent: decl.intent,
-            },
-        );
     }
 
     // Every dummy argument must be declared.
     for arg in &unit.args {
         if !symbols.contains_key(arg) {
-            return Err(err(format!("dummy argument '{arg}' not declared")));
+            record(
+                diags,
+                err_code(
+                    codes::SEMA_UNDECLARED,
+                    format!("dummy argument '{arg}' not declared"),
+                ),
+                None,
+            );
         }
     }
 
@@ -184,17 +181,112 @@ fn analyze_unit(unit: &ProgramUnit, unit_names: &[String]) -> Result<UnitInfo> {
         symbols,
         allocations: Vec::new(),
     };
-    check_stmts(&unit.body, &mut info, &params, unit_names)?;
-    Ok(info)
+    check_stmts(&unit.body, &mut info, &params, unit_names, diags);
+    info
 }
 
+/// Resolve one declaration into the symbol table.
+fn analyze_decl(
+    decl: &Decl,
+    unit: &ProgramUnit,
+    symbols: &mut BTreeMap<String, Symbol>,
+    params: &mut BTreeMap<String, Const>,
+) -> Result<()> {
+    if symbols.contains_key(&decl.name) {
+        return Err(err_code(
+            codes::SEMA_DUPLICATE,
+            format!("'{}' declared twice", decl.name),
+        ));
+    }
+    let is_dummy = unit.args.contains(&decl.name);
+    let kind = if let Some(init) = &decl.parameter {
+        if is_dummy {
+            return Err(err(format!(
+                "dummy argument '{}' cannot be a parameter",
+                decl.name
+            )));
+        }
+        let v = fold_const(init, params)?;
+        params.insert(decl.name.clone(), v);
+        SymbolKind::Param(v)
+    } else if decl.allocatable {
+        if decl.dims.is_empty() {
+            return Err(err_code(
+                codes::SEMA_ALLOC,
+                format!("allocatable '{}' needs a deferred shape", decl.name),
+            ));
+        }
+        SymbolKind::AllocArray {
+            rank: decl.dims.len(),
+        }
+    } else if decl.dims.is_empty() {
+        SymbolKind::Scalar
+    } else {
+        let mut lbounds = Vec::new();
+        let mut extents = Vec::new();
+        for d in &decl.dims {
+            let lo = fold_const(&d.lower, params)?
+                .as_int()
+                .ok_or_else(|| err(format!("non-integer bound for '{}'", decl.name)))?;
+            let hi = fold_const(&d.upper, params)?
+                .as_int()
+                .ok_or_else(|| err(format!("non-integer bound for '{}'", decl.name)))?;
+            if hi < lo {
+                return Err(err(format!(
+                    "dimension of '{}' has upper bound {hi} < lower bound {lo}",
+                    decl.name
+                )));
+            }
+            let extent = hi
+                .checked_sub(lo)
+                .and_then(|d| d.checked_add(1))
+                .ok_or_else(|| {
+                    err_code(
+                        codes::SEMA_CONST_FOLD,
+                        format!("extent of '{}' overflows", decl.name),
+                    )
+                })?;
+            lbounds.push(lo);
+            extents.push(extent);
+        }
+        SymbolKind::Array { lbounds, extents }
+    };
+    symbols.insert(
+        decl.name.clone(),
+        Symbol {
+            ty: decl.ty,
+            kind,
+            is_dummy,
+            intent: decl.intent,
+        },
+    );
+    Ok(())
+}
+
+/// Check a statement list, recording one diagnostic per broken statement
+/// and carrying on, so a unit reports all its semantic errors at once.
 fn check_stmts(
     stmts: &[Stmt],
     info: &mut UnitInfo,
     params: &BTreeMap<String, Const>,
     unit_names: &[String],
-) -> Result<()> {
+    diags: &mut Vec<Diagnostic>,
+) {
     for stmt in stmts {
+        if let Err(e) = check_stmt(stmt, info, params, unit_names, diags) {
+            record(diags, e, None);
+        }
+    }
+}
+
+fn check_stmt(
+    stmt: &Stmt,
+    info: &mut UnitInfo,
+    params: &BTreeMap<String, Const>,
+    unit_names: &[String],
+    diags: &mut Vec<Diagnostic>,
+) -> Result<()> {
+    {
         match stmt {
             Stmt::Assign { target, value } => {
                 match target {
@@ -222,10 +314,13 @@ fn check_stmts(
                             }
                         };
                         if indices.len() != rank {
-                            return Err(err(format!(
-                                "'{name}' has rank {rank} but {} indices given",
-                                indices.len()
-                            )));
+                            return Err(err_code(
+                                codes::SEMA_RANK_MISMATCH,
+                                format!(
+                                    "'{name}' has rank {rank} but {} indices given",
+                                    indices.len()
+                                ),
+                            ));
                         }
                         for idx in indices {
                             check_expr(idx, info)?;
@@ -252,7 +347,7 @@ fn check_stmts(
                 if let Some(s) = step {
                     check_expr(s, info)?;
                 }
-                check_stmts(body, info, params, unit_names)?;
+                check_stmts(body, info, params, unit_names, diags);
             }
             Stmt::If {
                 cond,
@@ -260,12 +355,15 @@ fn check_stmts(
                 else_body,
             } => {
                 check_expr(cond, info)?;
-                check_stmts(then_body, info, params, unit_names)?;
-                check_stmts(else_body, info, params, unit_names)?;
+                check_stmts(then_body, info, params, unit_names, diags);
+                check_stmts(else_body, info, params, unit_names, diags);
             }
             Stmt::Call { name, args } => {
                 if !unit_names.contains(name) {
-                    return Err(err(format!("call to unknown subroutine '{name}'")));
+                    return Err(err_code(
+                        codes::SEMA_UNKNOWN_CALL,
+                        format!("call to unknown subroutine '{name}'"),
+                    ));
                 }
                 for a in args {
                     check_expr(a, info)?;
@@ -275,26 +373,44 @@ fn check_stmts(
                 for (name, dims) in items {
                     let sym = lookup(info, name)?.clone();
                     let SymbolKind::AllocArray { rank } = sym.kind else {
-                        return Err(err(format!("'{name}' is not allocatable")));
+                        return Err(err_code(
+                            codes::SEMA_ALLOC,
+                            format!("'{name}' is not allocatable"),
+                        ));
                     };
                     if dims.len() != rank {
-                        return Err(err(format!(
-                            "allocate('{name}') rank mismatch: {} vs declared {rank}",
-                            dims.len()
-                        )));
+                        return Err(err_code(
+                            codes::SEMA_RANK_MISMATCH,
+                            format!(
+                                "allocate('{name}') rank mismatch: {} vs declared {rank}",
+                                dims.len()
+                            ),
+                        ));
                     }
                     let mut bounds = Vec::new();
                     for d in dims {
-                        let lo = fold_const(&d.lower, params)?
-                            .as_int()
-                            .ok_or_else(|| err("allocate bounds must fold to constants"))?;
-                        let hi = fold_const(&d.upper, params)?
-                            .as_int()
-                            .ok_or_else(|| err("allocate bounds must fold to constants"))?;
+                        let lo = fold_const(&d.lower, params)?.as_int().ok_or_else(|| {
+                            err_code(codes::SEMA_ALLOC, "allocate bounds must fold to constants")
+                        })?;
+                        let hi = fold_const(&d.upper, params)?.as_int().ok_or_else(|| {
+                            err_code(codes::SEMA_ALLOC, "allocate bounds must fold to constants")
+                        })?;
                         if hi < lo {
-                            return Err(err(format!("allocate('{name}') empty dimension")));
+                            return Err(err_code(
+                                codes::SEMA_ALLOC,
+                                format!("allocate('{name}') empty dimension"),
+                            ));
                         }
-                        bounds.push((lo, hi - lo + 1));
+                        let extent = hi
+                            .checked_sub(lo)
+                            .and_then(|d| d.checked_add(1))
+                            .ok_or_else(|| {
+                                err_code(
+                                    codes::SEMA_CONST_FOLD,
+                                    format!("allocate('{name}') extent overflows"),
+                                )
+                            })?;
+                        bounds.push((lo, extent));
                     }
                     info.allocations.push((name.clone(), bounds));
                 }
@@ -303,7 +419,10 @@ fn check_stmts(
                 for name in names {
                     let sym = lookup(info, name)?;
                     if !matches!(sym.kind, SymbolKind::AllocArray { .. }) {
-                        return Err(err(format!("deallocate of non-allocatable '{name}'")));
+                        return Err(err_code(
+                            codes::SEMA_ALLOC,
+                            format!("deallocate of non-allocatable '{name}'"),
+                        ));
                     }
                 }
             }
@@ -313,9 +432,22 @@ fn check_stmts(
 }
 
 fn lookup<'a>(info: &'a UnitInfo, name: &str) -> Result<&'a Symbol> {
-    info.symbols
-        .get(name)
-        .ok_or_else(|| err(format!("'{name}' used but not declared")))
+    info.symbols.get(name).ok_or_else(|| {
+        err_code(
+            codes::SEMA_UNDECLARED,
+            format!("'{name}' used but not declared"),
+        )
+    })
+}
+
+/// Inclusive argument-count range each intrinsic accepts (`min`/`max` are
+/// variadic: lowering folds them pairwise left to right).
+fn intrinsic_arity(name: &str) -> (usize, usize) {
+    match name {
+        "min" | "max" => (2, usize::MAX),
+        "mod" | "atan2" => (2, 2),
+        _ => (1, 1),
+    }
 }
 
 fn check_expr(expr: &Expr, info: &UnitInfo) -> Result<()> {
@@ -324,6 +456,23 @@ fn check_expr(expr: &Expr, info: &UnitInfo) -> Result<()> {
         Expr::Var(name) => lookup(info, name).map(|_| ()),
         Expr::Index { name, indices } => {
             if INTRINSICS.contains(&name.as_str()) {
+                let (lo, hi) = intrinsic_arity(name);
+                if indices.len() < lo || indices.len() > hi {
+                    let wants = if hi == usize::MAX {
+                        format!("at least {lo}")
+                    } else if lo == hi {
+                        lo.to_string()
+                    } else {
+                        format!("{lo}..{hi}")
+                    };
+                    return Err(err_code(
+                        codes::SEMA_INTRINSIC_ARITY,
+                        format!(
+                            "intrinsic '{name}' takes {wants} argument(s) but {} given",
+                            indices.len()
+                        ),
+                    ));
+                }
                 for a in indices {
                     check_expr(a, info)?;
                 }
@@ -340,10 +489,13 @@ fn check_expr(expr: &Expr, info: &UnitInfo) -> Result<()> {
                 }
             };
             if indices.len() != rank {
-                return Err(err(format!(
-                    "'{name}' has rank {rank} but {} indices given",
-                    indices.len()
-                )));
+                return Err(err_code(
+                    codes::SEMA_RANK_MISMATCH,
+                    format!(
+                        "'{name}' has rank {rank} but {} indices given",
+                        indices.len()
+                    ),
+                ));
             }
             for idx in indices {
                 check_expr(idx, info)?;
@@ -364,23 +516,29 @@ pub fn fold_const(expr: &Expr, params: &BTreeMap<String, Const>) -> Result<Const
         Expr::Int(v) => Const::Int(*v),
         Expr::Real(v) => Const::Real(*v),
         Expr::Logical(v) => Const::Logical(*v),
-        Expr::Var(name) => *params
-            .get(name)
-            .ok_or_else(|| err(format!("'{name}' is not a constant")))?,
+        Expr::Var(name) => *params.get(name).ok_or_else(|| {
+            err_code(
+                codes::SEMA_CONST_FOLD,
+                format!("'{name}' is not a constant"),
+            )
+        })?,
         Expr::Un {
             op: UnOp::Neg,
             operand,
         } => match fold_const(operand, params)? {
-            Const::Int(v) => Const::Int(-v),
+            Const::Int(v) => Const::Int(
+                v.checked_neg()
+                    .ok_or_else(|| fold_err("negation overflows"))?,
+            ),
             Const::Real(v) => Const::Real(-v),
-            Const::Logical(_) => return Err(err("cannot negate a logical")),
+            Const::Logical(_) => return Err(fold_err("cannot negate a logical")),
         },
         Expr::Un {
             op: UnOp::Not,
             operand,
         } => match fold_const(operand, params)? {
             Const::Logical(v) => Const::Logical(!v),
-            _ => return Err(err(".not. needs a logical")),
+            _ => return Err(fold_err(".not. needs a logical")),
         },
         Expr::Bin { op, lhs, rhs } => {
             let l = fold_const(lhs, params)?;
@@ -388,33 +546,48 @@ pub fn fold_const(expr: &Expr, params: &BTreeMap<String, Const>) -> Result<Const
             fold_binop(*op, l, r)?
         }
         Expr::Index { .. } => {
-            return Err(err("array reference in constant expression"));
+            return Err(fold_err("array reference in constant expression"));
         }
     })
+}
+
+fn fold_err(msg: impl std::fmt::Display) -> IrError {
+    err_code(codes::SEMA_CONST_FOLD, msg)
+}
+
+/// Checked integer op: overflow is a diagnostic, never a panic.
+fn checked(op: &str, v: Option<i64>) -> Result<Const> {
+    v.map(Const::Int)
+        .ok_or_else(|| fold_err(format!("integer {op} overflows in constant expression")))
 }
 
 fn fold_binop(op: BinOp, l: Const, r: Const) -> Result<Const> {
     use BinOp::*;
     if let (Const::Int(a), Const::Int(b)) = (l, r) {
-        return Ok(match op {
-            Add => Const::Int(a + b),
-            Sub => Const::Int(a - b),
-            Mul => Const::Int(a * b),
+        return match op {
+            Add => checked("addition", a.checked_add(b)),
+            Sub => checked("subtraction", a.checked_sub(b)),
+            Mul => checked("multiplication", a.checked_mul(b)),
             Div => {
                 if b == 0 {
-                    return Err(err("division by zero in constant expression"));
+                    return Err(fold_err("division by zero in constant expression"));
                 }
-                Const::Int(a / b)
+                checked("division", a.checked_div(b))
             }
-            Pow => Const::Int(a.pow(b.try_into().map_err(|_| err("negative int exponent"))?)),
-            Eq => Const::Logical(a == b),
-            Ne => Const::Logical(a != b),
-            Lt => Const::Logical(a < b),
-            Le => Const::Logical(a <= b),
-            Gt => Const::Logical(a > b),
-            Ge => Const::Logical(a >= b),
-            And | Or => return Err(err("logical op on integers")),
-        });
+            Pow => {
+                let e: u32 = b
+                    .try_into()
+                    .map_err(|_| fold_err("exponent out of range in constant expression"))?;
+                checked("exponentiation", a.checked_pow(e))
+            }
+            Eq => Ok(Const::Logical(a == b)),
+            Ne => Ok(Const::Logical(a != b)),
+            Lt => Ok(Const::Logical(a < b)),
+            Le => Ok(Const::Logical(a <= b)),
+            Gt => Ok(Const::Logical(a > b)),
+            Ge => Ok(Const::Logical(a >= b)),
+            And | Or => Err(fold_err("logical op on integers")),
+        };
     }
     if let (Const::Logical(a), Const::Logical(b)) = (l, r) {
         return Ok(match op {
@@ -422,15 +595,15 @@ fn fold_binop(op: BinOp, l: Const, r: Const) -> Result<Const> {
             Or => Const::Logical(a || b),
             Eq => Const::Logical(a == b),
             Ne => Const::Logical(a != b),
-            _ => return Err(err("arithmetic on logicals")),
+            _ => return Err(fold_err("arithmetic on logicals")),
         });
     }
     let a = l
         .as_real()
-        .ok_or_else(|| err("mixed logical/numeric constant expression"))?;
+        .ok_or_else(|| fold_err("mixed logical/numeric constant expression"))?;
     let b = r
         .as_real()
-        .ok_or_else(|| err("mixed logical/numeric constant expression"))?;
+        .ok_or_else(|| fold_err("mixed logical/numeric constant expression"))?;
     Ok(match op {
         Add => Const::Real(a + b),
         Sub => Const::Real(a - b),
@@ -443,7 +616,7 @@ fn fold_binop(op: BinOp, l: Const, r: Const) -> Result<Const> {
         Le => Const::Logical(a <= b),
         Gt => Const::Logical(a > b),
         Ge => Const::Logical(a >= b),
-        And | Or => return Err(err("logical op on reals")),
+        And | Or => return Err(fold_err("logical op on reals")),
     })
 }
 
@@ -458,8 +631,17 @@ pub fn expr_type(expr: &Expr, info: &UnitInfo) -> Result<TypeSpec> {
             if INTRINSICS.contains(&name.as_str()) {
                 match name.as_str() {
                     "int" => TypeSpec::Integer,
-                    "mod" => expr_type(&indices[0], info)?,
-                    "min" | "max" | "abs" => expr_type(&indices[0], info)?,
+                    // Type follows the first argument; a missing argument is
+                    // an arity error, not an index panic.
+                    "mod" | "min" | "max" | "abs" => match indices.first() {
+                        Some(first) => expr_type(first, info)?,
+                        None => {
+                            return Err(err_code(
+                                codes::SEMA_INTRINSIC_ARITY,
+                                format!("intrinsic '{name}' called with no arguments"),
+                            ))
+                        }
+                    },
                     _ => TypeSpec::Real { kind: 8 },
                 }
             } else {
@@ -675,6 +857,89 @@ end program t",
         };
         assert_eq!(lbounds, &vec![-1]);
         assert_eq!(extents, &vec![3]);
+    }
+
+    #[test]
+    fn multiple_errors_reported_at_once() {
+        let e = analyze_src(
+            "program t
+integer :: i
+x = 1.0
+y = 2.0
+i = sqrt(1.0, 2.0)
+end program t",
+        )
+        .unwrap_err();
+        let codes: Vec<&str> = e.diagnostics.iter().map(|d| d.code).collect();
+        assert!(
+            codes
+                .iter()
+                .filter(|c| **c == fsc_ir::diag::codes::SEMA_UNDECLARED)
+                .count()
+                >= 2,
+            "{codes:?}"
+        );
+        assert!(
+            codes.contains(&fsc_ir::diag::codes::SEMA_INTRINSIC_ARITY),
+            "{codes:?}"
+        );
+    }
+
+    #[test]
+    fn const_fold_overflow_is_diagnostic_not_panic() {
+        let e = analyze_src(
+            "program t
+integer, parameter :: big = 9000000000000000000 + 9000000000000000000
+end program t",
+        )
+        .unwrap_err();
+        assert!(
+            e.diagnostics
+                .iter()
+                .any(|d| d.code == fsc_ir::diag::codes::SEMA_CONST_FOLD),
+            "{e}"
+        );
+        let e = analyze_src(
+            "program t
+integer, parameter :: big = 2 ** 9999
+end program t",
+        )
+        .unwrap_err();
+        assert!(
+            e.message.contains("overflow") || e.message.contains("range"),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn intrinsic_arity_checked() {
+        for src in [
+            "program t\nreal(kind=8) :: x\nx = sqrt()\nend program t",
+            "program t\nreal(kind=8) :: x\nx = sqrt(x, x)\nend program t",
+            "program t\nreal(kind=8) :: x\nx = max(x)\nend program t",
+        ] {
+            let e = analyze_src(src).unwrap_err();
+            assert!(
+                e.diagnostics
+                    .iter()
+                    .any(|d| d.code == fsc_ir::diag::codes::SEMA_INTRINSIC_ARITY),
+                "{src}: {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn decl_diagnostics_carry_the_decl_line() {
+        let e = analyze_src(
+            "program t
+integer :: i
+integer :: i
+end program t",
+        )
+        .unwrap_err();
+        let d = e.primary().expect("diagnostic");
+        assert_eq!(d.code, fsc_ir::diag::codes::SEMA_DUPLICATE);
+        assert_eq!(d.span.map(|s| s.line), Some(3));
     }
 
     #[test]

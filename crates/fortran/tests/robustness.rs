@@ -68,7 +68,7 @@ proptest! {
 fn helpful_errors_for_common_mistakes() {
     let cases = [
         ("program t\nx = 1.0\nend program t", "not declared"),
-        ("program t\ninteger :: i\ni = 1", "expected"), // missing end
+        ("program t\ninteger :: i\ni = 1", "not closed"), // missing end
         (
             "program t\nreal(kind=8) :: a(2)\na(1,2) = 0.0\nend program t",
             "rank",

@@ -30,6 +30,7 @@
 
 pub mod attributes;
 pub mod builder;
+pub mod diag;
 pub mod module;
 pub mod parse;
 pub mod pass;
@@ -41,23 +42,76 @@ pub mod walk;
 
 pub use attributes::Attribute;
 pub use builder::OpBuilder;
+pub use diag::{Diagnostic, Severity, Span};
 pub use module::{BlockId, Module, OpId, OpName, RegionId, ValueDef, ValueId};
 pub use pass::{Pass, PassError, PassManager, PassResult};
 pub use types::Type;
 
 /// A located error produced anywhere in the compiler stack.
+///
+/// `message` is the legacy flat rendering; `diagnostics` carries the
+/// structured, source-located form (possibly several per error — the
+/// frontend recovers at statement boundaries and reports every problem it
+/// finds). Code that only has a string keeps working via [`IrError::new`];
+/// code that has structure should build with [`IrError::from_diagnostic`]
+/// or [`IrError::from_diagnostics`] so downstream layers (pipeline
+/// degradation reports, distributed rank errors) can surface codes and
+/// spans instead of prose.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IrError {
     /// Human-readable description of what went wrong.
     pub message: String,
+    /// Structured diagnostics backing this error (may be empty for legacy
+    /// string-only errors).
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 impl IrError {
-    /// Create a new error with the given message.
+    /// Create a new error with the given message and no structured
+    /// diagnostics.
     pub fn new(message: impl Into<String>) -> Self {
         Self {
             message: message.into(),
+            diagnostics: Vec::new(),
         }
+    }
+
+    /// Create an error backed by one structured diagnostic; the flat
+    /// message is the diagnostic's rendering.
+    pub fn from_diagnostic(diag: Diagnostic) -> Self {
+        Self {
+            message: diag.render(),
+            diagnostics: vec![diag],
+        }
+    }
+
+    /// Create an error backed by a batch of diagnostics (e.g. everything
+    /// parser recovery collected for one file). Panics never: an empty
+    /// batch degrades to a generic message.
+    pub fn from_diagnostics(diags: Vec<Diagnostic>) -> Self {
+        let message = if diags.is_empty() {
+            "unknown error".to_string()
+        } else {
+            diag::render_all(&diags)
+        };
+        Self {
+            message,
+            diagnostics: diags,
+        }
+    }
+
+    /// The first error-severity diagnostic, if any — the "primary" cause.
+    pub fn primary(&self) -> Option<&Diagnostic> {
+        self.diagnostics
+            .iter()
+            .find(|d| d.severity == Severity::Error)
+            .or(self.diagnostics.first())
+    }
+}
+
+impl From<Diagnostic> for IrError {
+    fn from(diag: Diagnostic) -> Self {
+        Self::from_diagnostic(diag)
     }
 }
 

@@ -18,9 +18,15 @@
 use std::collections::HashMap;
 
 use crate::attributes::Attribute;
+use crate::diag::{codes, Diagnostic};
 use crate::module::{BlockId, Module, RegionId, ValueId};
 use crate::types::{DimBound, Type};
 use crate::{IrError, Result};
+
+/// Hard bound on type/attribute/region nesting. Textual IR this deep is
+/// never legitimate; without the bound a fuzzer feeding `!fir.ref<` a few
+/// thousand times overflows the stack, which aborts instead of erroring.
+const MAX_NESTING_DEPTH: usize = 200;
 
 /// Parse a module from its textual form.
 pub fn parse_module(text: &str) -> Result<Module> {
@@ -54,6 +60,7 @@ struct Parser<'a> {
     src: &'a [u8],
     pos: usize,
     values: HashMap<String, ValueId>,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -62,6 +69,7 @@ impl<'a> Parser<'a> {
             src: text.as_bytes(),
             pos: 0,
             values: HashMap::new(),
+            depth: 0,
         }
     }
 
@@ -97,10 +105,44 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// 1-based line/column of the cursor, for locating errors.
+    fn line_col(&self) -> (u32, u32) {
+        let upto = &self.src[..self.pos.min(self.src.len())];
+        let line = upto.iter().filter(|&&c| c == b'\n').count() + 1;
+        let col = upto
+            .iter()
+            .rposition(|&c| c == b'\n')
+            .map(|nl| self.pos - nl)
+            .unwrap_or(self.pos + 1);
+        (line as u32, col as u32)
+    }
+
     fn error(&self, msg: &str) -> IrError {
-        let upto = String::from_utf8_lossy(&self.src[..self.pos.min(self.src.len())]);
-        let line = upto.lines().count().max(1);
-        IrError::new(format!("parse error at line {line}: {msg}"))
+        self.error_code(codes::IRPARSE_SYNTAX, msg)
+    }
+
+    fn error_code(&self, code: &'static str, msg: &str) -> IrError {
+        let (line, col) = self.line_col();
+        IrError::from_diagnostic(
+            Diagnostic::error(code, format!("parse error: {msg}")).at_line_col(line, col),
+        )
+    }
+
+    /// Guard recursive entry points against pathological nesting; call
+    /// [`Self::leave`] on every success path that called this.
+    fn enter(&mut self) -> Result<()> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING_DEPTH {
+            return Err(self.error_code(
+                codes::IRPARSE_TOO_DEEP,
+                &format!("nesting exceeds {MAX_NESTING_DEPTH} levels"),
+            ));
+        }
+        Ok(())
+    }
+
+    fn leave(&mut self) {
+        self.depth = self.depth.saturating_sub(1);
     }
 
     fn eat_char(&mut self, c: u8) -> bool {
@@ -174,10 +216,12 @@ impl<'a> Parser<'a> {
     }
 
     fn lookup_value(&self, name: &str) -> Result<ValueId> {
-        self.values
-            .get(name)
-            .copied()
-            .ok_or_else(|| self.error(&format!("use of undefined value {name}")))
+        self.values.get(name).copied().ok_or_else(|| {
+            self.error_code(
+                codes::IRPARSE_UNDEFINED_VALUE,
+                &format!("use of undefined value {name}"),
+            )
+        })
     }
 
     fn parse_integer(&mut self) -> Result<i64> {
@@ -189,7 +233,7 @@ impl<'a> Parser<'a> {
         while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
             self.pos += 1;
         }
-        let s = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        let s = String::from_utf8_lossy(&self.src[start..self.pos]);
         s.parse().map_err(|_| self.error("expected integer"))
     }
 
@@ -215,6 +259,13 @@ impl<'a> Parser<'a> {
     // ------------------------------------------------------------------ types
 
     fn parse_type(&mut self) -> Result<Type> {
+        self.enter()?;
+        let result = self.parse_type_inner();
+        self.leave();
+        result
+    }
+
+    fn parse_type_inner(&mut self) -> Result<Type> {
         self.skip_ws();
         match self.peek() {
             Some(b'(') => self.parse_function_type(),
@@ -238,21 +289,41 @@ impl<'a> Parser<'a> {
                         && s[1..].chars().all(|c| c.is_ascii_digit())
                         && s.len() > 1 =>
                     {
-                        Ok(Type::Int(s[1..].parse().unwrap()))
+                        self.parse_scalar_width(s).map(Type::Int)
                     }
                     s if s.starts_with('f')
                         && s[1..].chars().all(|c| c.is_ascii_digit())
                         && s.len() > 1 =>
                     {
-                        Ok(Type::Float(s[1..].parse().unwrap()))
+                        self.parse_scalar_width(s).map(Type::Float)
                     }
                     _ => {
                         self.pos = save;
-                        Err(self.error(&format!("unknown type '{ident}'")))
+                        Err(self
+                            .error_code(codes::IRPARSE_TYPE, &format!("unknown type '{ident}'")))
                     }
                 }
             }
         }
+    }
+
+    /// Parse the width digits of `iN`/`fN`. These used to `unwrap()`, which
+    /// made `i99999999999999999999` a process abort instead of a located
+    /// error — the first minimized crasher the differential fuzzer found.
+    fn parse_scalar_width(&self, ident: &str) -> Result<u32> {
+        let width: u32 = ident[1..].parse().map_err(|_| {
+            self.error_code(
+                codes::IRPARSE_TYPE,
+                &format!("scalar width in '{ident}' does not fit in 32 bits"),
+            )
+        })?;
+        if width == 0 || width > 4096 {
+            return Err(self.error_code(
+                codes::IRPARSE_TYPE,
+                &format!("scalar width {width} out of range (1..=4096)"),
+            ));
+        }
+        Ok(width)
     }
 
     fn parse_function_type(&mut self) -> Result<Type> {
@@ -350,7 +421,10 @@ impl<'a> Parser<'a> {
                 })
             }
             "gpu.async.token" => Ok(Type::GpuAsyncToken),
-            _ => Err(self.error(&format!("unknown dialect type '!{name}'"))),
+            _ => Err(self.error_code(
+                codes::IRPARSE_TYPE,
+                &format!("unknown dialect type '!{name}'"),
+            )),
         }
     }
 
@@ -408,6 +482,13 @@ impl<'a> Parser<'a> {
     // ------------------------------------------------------------- attributes
 
     fn parse_attribute(&mut self) -> Result<Attribute> {
+        self.enter()?;
+        let result = self.parse_attribute_inner();
+        self.leave();
+        result
+    }
+
+    fn parse_attribute_inner(&mut self) -> Result<Attribute> {
         self.skip_ws();
         match self.peek() {
             Some(b'"') => Ok(Attribute::String(self.parse_string_literal()?)),
@@ -495,9 +576,7 @@ impl<'a> Parser<'a> {
                 _ => break,
             }
         }
-        let text = std::str::from_utf8(&self.src[start..self.pos])
-            .unwrap()
-            .to_string();
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
         let ty = if self.eat_char(b':') {
             self.parse_type()?
         } else if is_float {
@@ -622,18 +701,24 @@ impl<'a> Parser<'a> {
             _ => unreachable!("parse_function_type returns Function"),
         };
         if inputs.len() != operands.len() {
-            return Err(self.error(&format!(
-                "op '{name}' has {} operands but signature lists {}",
-                operands.len(),
-                inputs.len()
-            )));
+            return Err(self.error_code(
+                codes::IRPARSE_SIGNATURE,
+                &format!(
+                    "op '{name}' has {} operands but signature lists {}",
+                    operands.len(),
+                    inputs.len()
+                ),
+            ));
         }
         if results.len() != result_names.len() {
-            return Err(self.error(&format!(
-                "op '{name}' binds {} results but signature lists {}",
-                result_names.len(),
-                results.len()
-            )));
+            return Err(self.error_code(
+                codes::IRPARSE_SIGNATURE,
+                &format!(
+                    "op '{name}' binds {} results but signature lists {}",
+                    result_names.len(),
+                    results.len()
+                ),
+            ));
         }
         // Create result values now that we know the types. `create_op` made
         // none, so we emulate by re-creating: simplest is to push results via
@@ -648,6 +733,13 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_region_into(&mut self, module: &mut Module, region: RegionId) -> Result<()> {
+        self.enter()?;
+        let result = self.parse_region_into_inner(module, region);
+        self.leave();
+        result
+    }
+
+    fn parse_region_into_inner(&mut self, module: &mut Module, region: RegionId) -> Result<()> {
         self.expect_char(b'{')?;
         loop {
             self.skip_ws();
@@ -811,6 +903,78 @@ mod tests {
             m.op(op).attr("idx").unwrap().as_index_list(),
             Some(&[1, 2, 3][..])
         );
+    }
+
+    // ----- regression tests from minimized fuzzer crashers -----
+
+    /// Crasher: `i<huge>` overflowed the width `unwrap()` and aborted.
+    #[test]
+    fn huge_scalar_width_is_a_located_error_not_a_panic() {
+        let err = parse_type("i99999999999999999999").unwrap_err();
+        let d = err.primary().expect("structured diagnostic");
+        assert_eq!(d.code, crate::diag::codes::IRPARSE_TYPE);
+        assert!(err.message.contains("32 bits"), "{err}");
+
+        let err = parse_type("f4294967295").unwrap_err();
+        assert!(err.message.contains("out of range"), "{err}");
+        assert!(parse_type("f0").is_err());
+        assert!(parse_type("i64").is_ok());
+    }
+
+    /// Crasher: unbounded recursion on `!fir.ref<!fir.ref<...` overflowed
+    /// the stack. Must be a clean E0305 instead.
+    #[test]
+    fn pathological_nesting_is_bounded() {
+        let deep = "!fir.ref<".repeat(5000) + "f64" + &">".repeat(5000);
+        let err = parse_type(&deep).unwrap_err();
+        assert_eq!(
+            err.primary().map(|d| d.code),
+            Some(crate::diag::codes::IRPARSE_TOO_DEEP),
+            "{err}"
+        );
+        // Attribute arrays recurse through parse_attribute.
+        let attr_bomb = format!(
+            "module {{\n  \"t.x\"() {{a = {}1{}}} : () -> ()\n}}",
+            "[".repeat(5000),
+            "]".repeat(5000)
+        );
+        assert!(parse_module(&attr_bomb).is_err());
+    }
+
+    /// Truncated and garbage inputs must all produce located errors.
+    #[test]
+    fn truncated_and_garbage_ir_errors_cleanly() {
+        for src in [
+            "",
+            "module",
+            "module {",
+            "module {\n  \"t.c\"(",
+            "module {\n  \"t.c\"() : () -> (",
+            "module {\n  %0 = \"t.c\"() : () -> (i64",
+            "module {\n  \"t.c\"() {k = } : () -> ()\n}",
+            "module {\n  \"t.c\"() : (zzz) -> ()\n}",
+            "module { @@@@ }",
+            "module {\n  \"unterminated",
+        ] {
+            let err = parse_module(src).unwrap_err();
+            assert!(
+                err.message.contains("parse error") || err.message.contains("expected"),
+                "input {src:?} gave unexpected error {err}"
+            );
+        }
+    }
+
+    /// Errors carry a 1-based line *and column* now.
+    #[test]
+    fn errors_carry_line_and_column() {
+        let text = "module {\n  \"t.use\"(%nope) : (i64) -> ()\n}";
+        let err = parse_module(text).unwrap_err();
+        let d = err.primary().expect("diagnostic");
+        assert_eq!(d.code, crate::diag::codes::IRPARSE_UNDEFINED_VALUE);
+        let span = d.span.expect("span");
+        assert_eq!(span.line, 2);
+        assert!(span.col > 1, "column should be past line start: {span}");
+        assert!(err.message.contains("line 2:"), "{err}");
     }
 
     #[test]

@@ -234,6 +234,13 @@ impl PassManager {
         self.passes.iter().map(|p| p.name()).collect()
     }
 
+    /// Decompose into the owned pass list, so a wrapper (e.g. the hardened
+    /// pipeline in `fsc-passes`) can drive registry-built passes with its
+    /// own snapshot/verify/rollback protocol.
+    pub fn into_passes(self) -> Vec<Box<dyn Pass>> {
+        self.passes
+    }
+
     /// Run all passes in order; returns per-pass statistics.
     pub fn run(&self, module: &mut Module) -> Result<Vec<PassStat>> {
         let mut stats = Vec::with_capacity(self.passes.len());

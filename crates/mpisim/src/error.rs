@@ -5,6 +5,8 @@
 //! of a hang or an anonymous panic: the test suite (and CI) always gets a
 //! diagnosis naming the rank, the peer, and the pending tag.
 
+use fsc_ir::diag::{codes, Diagnostic};
+use fsc_ir::IrError;
 use std::fmt;
 
 /// One rank's blocked operation, as seen by the deadlock watchdog.
@@ -77,6 +79,16 @@ pub enum MpiSimError {
         /// Send attempts made (first transmission + retries).
         attempts: u32,
     },
+    /// A rank's body hit a compiler error (an [`IrError`] escaping a kernel
+    /// compile or interpretation step). The diagnostics are carried through
+    /// structurally so the driving layer can render coded errors naming the
+    /// failing rank instead of a flattened panic string.
+    CompileFailure {
+        /// The rank on which the compiler error surfaced.
+        rank: usize,
+        /// The structured diagnostics of the underlying compile error.
+        diagnostics: Vec<Diagnostic>,
+    },
     /// A configuration error (bad fault plan, crash without a checkpoint,
     /// invalid partition arguments).
     InvalidConfig(String),
@@ -115,6 +127,13 @@ impl fmt::Display for MpiSimError {
                 f,
                 "rank {rank}: message to rank {dest} (tag {tag}) unacknowledged after {attempts} attempts"
             ),
+            Self::CompileFailure { rank, diagnostics } => {
+                write!(f, "rank {rank}: compiler error")?;
+                for d in diagnostics {
+                    write!(f, "\n  {}", d.render())?;
+                }
+                Ok(())
+            }
             Self::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }
@@ -128,12 +147,41 @@ impl MpiSimError {
     /// them.
     pub(crate) fn root_cause_priority(&self) -> u8 {
         match self {
-            Self::RankPanicked { .. } => 0,
-            Self::Deadlock { .. } => 1,
-            Self::RetriesExhausted { .. } => 2,
-            Self::Timeout { .. } => 3,
-            Self::InvalidConfig(_) => 4,
-            Self::Poisoned { .. } => 5,
+            Self::CompileFailure { .. } => 0,
+            Self::RankPanicked { .. } => 1,
+            Self::Deadlock { .. } => 2,
+            Self::RetriesExhausted { .. } => 3,
+            Self::Timeout { .. } => 4,
+            Self::InvalidConfig(_) => 5,
+            Self::Poisoned { .. } => 6,
+        }
+    }
+
+    /// Wrap a compiler error that surfaced on `rank`, preserving its
+    /// structured diagnostics (or synthesising an `E0701` one when the
+    /// error was string-only).
+    pub fn compile_failure(rank: usize, err: IrError) -> Self {
+        let diagnostics = if err.diagnostics.is_empty() {
+            vec![Diagnostic::error(codes::EXEC, err.message)]
+        } else {
+            err.diagnostics
+        };
+        Self::CompileFailure { rank, diagnostics }
+    }
+
+    /// Recover the structured compile error, if that is what this is: the
+    /// inverse of [`MpiSimError::compile_failure`], used by the driving
+    /// layer to re-raise rank failures as coded diagnostics.
+    pub fn into_compile_error(self) -> Result<IrError, Self> {
+        match self {
+            Self::CompileFailure { rank, diagnostics } => {
+                let diagnostics = diagnostics
+                    .into_iter()
+                    .map(|d| d.note(format!("surfaced on rank {rank} of a distributed run")))
+                    .collect();
+                Ok(IrError::from_diagnostics(diagnostics))
+            }
+            other => Err(other),
         }
     }
 }

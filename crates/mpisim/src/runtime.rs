@@ -376,16 +376,21 @@ impl RankCtx {
 fn panic_payload_to_error(rank: usize, payload: Box<dyn std::any::Any + Send>) -> MpiSimError {
     match payload.downcast::<MpiSimError>() {
         Ok(e) => *e,
-        Err(payload) => {
-            let message = if let Some(s) = payload.downcast_ref::<String>() {
-                s.clone()
-            } else if let Some(s) = payload.downcast_ref::<&'static str>() {
-                (*s).to_string()
-            } else {
-                "non-string panic payload".to_string()
-            };
-            MpiSimError::RankPanicked { rank, message }
-        }
+        // A compiler error escaping a rank body keeps its diagnostics
+        // instead of being flattened to a panic string.
+        Err(payload) => match payload.downcast::<fsc_ir::IrError>() {
+            Ok(e) => MpiSimError::compile_failure(rank, *e),
+            Err(payload) => {
+                let message = if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else if let Some(s) = payload.downcast_ref::<&'static str>() {
+                    (*s).to_string()
+                } else {
+                    "non-string panic payload".to_string()
+                };
+                MpiSimError::RankPanicked { rank, message }
+            }
+        },
     }
 }
 
@@ -620,6 +625,44 @@ mod tests {
         assert!(
             t0.elapsed() < Duration::from_secs(10),
             "survivors must not wait out the full deadline"
+        );
+    }
+
+    #[test]
+    fn compiler_error_in_rank_body_keeps_its_diagnostics() {
+        use fsc_ir::diag::Diagnostic;
+        use fsc_ir::IrError;
+        let err = run_ranks(4, |ctx| {
+            if ctx.rank == 1 {
+                let e = IrError::from_diagnostic(
+                    Diagnostic::error("E0601", "lowering error: no such kernel").at_line_col(3, 14),
+                );
+                std::panic::panic_any(e);
+            }
+            ctx.barrier();
+        })
+        .unwrap_err();
+        match &err {
+            MpiSimError::CompileFailure { rank, diagnostics } => {
+                assert_eq!(*rank, 1);
+                let rendered = diagnostics[0].render();
+                assert!(rendered.contains("E0601"), "{rendered}");
+                assert!(rendered.contains("line 3:14"), "{rendered}");
+            }
+            other => panic!("expected CompileFailure, got {other:?}"),
+        }
+        // Display names the rank and carries the coded diagnostic.
+        let shown = err.to_string();
+        assert!(shown.contains("rank 1"), "{shown}");
+        assert!(shown.contains("E0601"), "{shown}");
+        // And the driving layer can round-trip it back to an IrError whose
+        // diagnostics record which rank failed.
+        let back = err.into_compile_error().unwrap();
+        let d = back.primary().unwrap();
+        assert!(
+            d.notes.iter().any(|n| n.contains("rank 1")),
+            "{:?}",
+            d.notes
         );
     }
 

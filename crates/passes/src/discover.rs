@@ -270,13 +270,18 @@ fn build_stencil(m: &mut Module, cand: &Candidate) -> Result<()> {
     let elem = cand.target.elem.clone();
 
     // Output domain bounds in Fortran index space.
-    let out_bounds: Vec<DimBound> = (0..rank)
-        .map(|d| {
-            let l = cand.dim_loops[d].lb.unwrap() + cand.store_offsets[d];
-            let u = cand.dim_loops[d].ub.unwrap() + cand.store_offsets[d];
-            DimBound::new(l, u)
-        })
-        .collect();
+    let mut out_bounds: Vec<DimBound> = Vec::with_capacity(rank);
+    for d in 0..rank {
+        let (Some(lb), Some(ub)) = (cand.dim_loops[d].lb, cand.dim_loops[d].ub) else {
+            return Err(IrError::new(
+                "stencil candidate has non-constant loop bounds",
+            ));
+        };
+        out_bounds.push(DimBound::new(
+            lb + cand.store_offsets[d],
+            ub + cand.store_offsets[d],
+        ));
+    }
 
     // 1. Field loads for every read array and the output array.
     let mut temps: HashMap<ValueId, ValueId> = HashMap::new();
@@ -382,18 +387,21 @@ impl<'a> BodyEmitter<'a> {
                 let addr = m.op(def).operands[0];
                 if let Some(access) = decode_access(m, addr) {
                     // Relative offsets versus the store position.
-                    let offsets: Vec<i64> = access
-                        .index_exprs
-                        .iter()
-                        .enumerate()
-                        .map(|(d, e)| match e {
+                    let mut offsets = Vec::with_capacity(access.index_exprs.len());
+                    for (d, e) in access.index_exprs.iter().enumerate() {
+                        match e {
                             IndexExpr::LoopVar { offset, .. } => {
-                                offset - self.cand.store_offsets[d]
+                                offsets.push(offset - self.cand.store_offsets[d]);
                             }
-                            _ => unreachable!("validated as loop-indexed"),
-                        })
-                        .collect();
-                    let temp = self.temp_args[&access.base];
+                            _ => {
+                                return Err(IrError::new("stencil read index is not loop-indexed"))
+                            }
+                        }
+                    }
+                    let temp = *self
+                        .temp_args
+                        .get(&access.base)
+                        .ok_or_else(|| IrError::new("stencil read base missing a temp argument"))?;
                     let mut b = OpBuilder::at_end(m, body);
                     stencil::access(&mut b, temp, offsets)
                 } else {
@@ -420,7 +428,11 @@ impl<'a> BodyEmitter<'a> {
                 }
             }
             "arith.constant" => {
-                let value = m.op(def).attr("value").cloned().unwrap();
+                let value = m
+                    .op(def)
+                    .attr("value")
+                    .cloned()
+                    .ok_or_else(|| IrError::new("arith.constant without a value attr"))?;
                 let ty = m.value_type(v).clone();
                 let mut b = OpBuilder::at_end(m, body);
                 b.op1("arith.constant", vec![], ty, vec![("value", value)])
@@ -560,9 +572,44 @@ end program average
 ";
 
     #[test]
-    fn listing1_discovers_one_stencil() {
-        let mut m = compile_to_fir(LISTING1).unwrap();
-        let n = discover_stencils(&mut m).unwrap();
+    fn zero_trip_and_one_cell_nests_discover_cleanly(
+    ) -> std::result::Result<(), Box<dyn std::error::Error>> {
+        // `do i = 1, 0` (zero-extent interior) and `do i = 1, 1` (one-cell
+        // interior) are degenerate but legal: discovery must either build a
+        // verified zero/one-extent apply or reject the nest — never
+        // underflow the bound arithmetic or emit IR the verifier rejects.
+        for (upper, extent) in [(0i64, 0i64), (1, 1)] {
+            let src = format!(
+                "
+program tiny
+  integer, parameter :: n = {upper}
+  integer :: i, j
+  real(kind=8) :: a(0:n+1, 0:n+1), b(0:n+1, 0:n+1)
+  do i = 1, n
+    do j = 1, n
+      b(j, i) = 0.25 * (a(j, i-1) + a(j, i+1) + a(j-1, i) + a(j+1, i))
+    end do
+  end do
+end program tiny
+"
+            );
+            let mut m = compile_to_fir(&src)?;
+            let built = discover_stencils(&mut m)?;
+            assert_eq!(built, 1, "extent-{extent} nest must still be discovered");
+            verify(&m).unwrap_or_else(|e| panic!("extent-{extent}: {e}"));
+            let applies = collect_ops_named(&m, stencil::APPLY);
+            let apply = stencil::ApplyOp(applies[0]);
+            for b in apply.output_bounds(&m) {
+                assert_eq!(b.extent(), extent, "bound {b:?}");
+            }
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn listing1_discovers_one_stencil() -> std::result::Result<(), Box<dyn std::error::Error>> {
+        let mut m = compile_to_fir(LISTING1)?;
+        let n = discover_stencils(&mut m)?;
         assert_eq!(n, 1);
         let applies = collect_ops_named(&m, stencil::APPLY);
         assert_eq!(applies.len(), 1);
@@ -588,37 +635,42 @@ end program average
         );
         // Loops are gone.
         assert!(collect_ops_named(&m, fir::DO_LOOP).is_empty());
-        verify(&m).unwrap();
+        verify(&m)?;
+        Ok(())
     }
 
     #[test]
-    fn listing1_field_bounds_cover_declared_array() {
-        let mut m = compile_to_fir(LISTING1).unwrap();
-        discover_stencils(&mut m).unwrap();
+    fn listing1_field_bounds_cover_declared_array(
+    ) -> std::result::Result<(), Box<dyn std::error::Error>> {
+        let mut m = compile_to_fir(LISTING1)?;
+        discover_stencils(&mut m)?;
         let loads = collect_ops_named(&m, stencil::EXTERNAL_LOAD);
         assert_eq!(loads.len(), 2); // data + res
         for l in loads {
             let ty = m.value_type(m.result(l));
             assert_eq!(
-                ty.stencil_bounds().unwrap(),
+                ty.stencil_bounds().ok_or("missing value")?,
                 &[DimBound::new(0, 257), DimBound::new(0, 257)]
             );
         }
+        Ok(())
     }
 
     #[test]
-    fn apply_body_is_fir_free() {
-        let mut m = compile_to_fir(LISTING1).unwrap();
-        discover_stencils(&mut m).unwrap();
+    fn apply_body_is_fir_free() -> std::result::Result<(), Box<dyn std::error::Error>> {
+        let mut m = compile_to_fir(LISTING1)?;
+        discover_stencils(&mut m)?;
         let applies = collect_ops_named(&m, stencil::APPLY);
         let apply = stencil::ApplyOp(applies[0]);
         for op in m.block_ops(apply.body(&m)) {
             assert_ne!(m.op(op).name.dialect(), "fir", "FIR op left in body");
         }
+        Ok(())
     }
 
     #[test]
-    fn time_loop_survives_inner_stencil_extraction() {
+    fn time_loop_survives_inner_stencil_extraction(
+    ) -> std::result::Result<(), Box<dyn std::error::Error>> {
         // An outer iteration loop must remain, with the stencil inside it.
         let src = "
 program gs
@@ -639,8 +691,8 @@ program gs
   end do
 end program gs
 ";
-        let mut m = compile_to_fir(src).unwrap();
-        let n = discover_stencils(&mut m).unwrap();
+        let mut m = compile_to_fir(src)?;
+        let n = discover_stencils(&mut m)?;
         assert_eq!(n, 2);
         let loops = collect_ops_named(&m, fir::DO_LOOP);
         assert_eq!(loops.len(), 1, "only the time loop should remain");
@@ -648,11 +700,12 @@ end program gs
         for a in collect_ops_named(&m, stencil::APPLY) {
             assert!(m.ancestors(a).contains(&loops[0]));
         }
-        verify(&m).unwrap();
+        verify(&m)?;
+        Ok(())
     }
 
     #[test]
-    fn non_stencil_store_left_alone() {
+    fn non_stencil_store_left_alone() -> std::result::Result<(), Box<dyn std::error::Error>> {
         // a(2*i) disqualifies the subscript.
         let src = "
 program t
@@ -663,15 +716,16 @@ program t
   end do
 end program t
 ";
-        let mut m = compile_to_fir(src).unwrap();
-        let n = discover_stencils(&mut m).unwrap();
+        let mut m = compile_to_fir(src)?;
+        let n = discover_stencils(&mut m)?;
         assert_eq!(n, 0);
         assert_eq!(collect_ops_named(&m, fir::DO_LOOP).len(), 1);
         assert!(collect_ops_named(&m, stencil::APPLY).is_empty());
+        Ok(())
     }
 
     #[test]
-    fn transposed_access_disqualifies() {
+    fn transposed_access_disqualifies() -> std::result::Result<(), Box<dyn std::error::Error>> {
         let src = "
 program t
   integer, parameter :: n = 8
@@ -684,12 +738,14 @@ program t
   end do
 end program t
 ";
-        let mut m = compile_to_fir(src).unwrap();
-        assert_eq!(discover_stencils(&mut m).unwrap(), 0);
+        let mut m = compile_to_fir(src)?;
+        assert_eq!(discover_stencils(&mut m)?, 0);
+        Ok(())
     }
 
     #[test]
-    fn captured_scalar_becomes_apply_input() {
+    fn captured_scalar_becomes_apply_input() -> std::result::Result<(), Box<dyn std::error::Error>>
+    {
         let src = "
 program t
   integer, parameter :: n = 8
@@ -702,21 +758,23 @@ program t
   end do
 end program t
 ";
-        let mut m = compile_to_fir(src).unwrap();
-        assert_eq!(discover_stencils(&mut m).unwrap(), 1);
+        let mut m = compile_to_fir(src)?;
+        assert_eq!(discover_stencils(&mut m)?, 1);
         let applies = collect_ops_named(&m, stencil::APPLY);
         let apply = stencil::ApplyOp(applies[0]);
         // Inputs: the temp for `a` plus the captured scalar load of `c`.
         let inputs = apply.inputs(&m);
         assert_eq!(inputs.len(), 2);
         assert_eq!(m.value_type(inputs[1]), &Type::f64());
-        let def = m.defining_op(inputs[1]).unwrap();
+        let def = m.defining_op(inputs[1]).ok_or("missing value")?;
         assert_eq!(m.op(def).name.full(), fir::LOAD);
-        verify(&m).unwrap();
+        verify(&m)?;
+        Ok(())
     }
 
     #[test]
-    fn scalar_mutated_in_nest_disqualifies() {
+    fn scalar_mutated_in_nest_disqualifies() -> std::result::Result<(), Box<dyn std::error::Error>>
+    {
         let src = "
 program t
   integer, parameter :: n = 8
@@ -729,12 +787,14 @@ program t
   end do
 end program t
 ";
-        let mut m = compile_to_fir(src).unwrap();
-        assert_eq!(discover_stencils(&mut m).unwrap(), 0);
+        let mut m = compile_to_fir(src)?;
+        assert_eq!(discover_stencils(&mut m)?, 0);
+        Ok(())
     }
 
     #[test]
-    fn loop_index_value_uses_stencil_index() {
+    fn loop_index_value_uses_stencil_index() -> std::result::Result<(), Box<dyn std::error::Error>>
+    {
         let src = "
 program t
   integer, parameter :: n = 8
@@ -745,15 +805,16 @@ program t
   end do
 end program t
 ";
-        let mut m = compile_to_fir(src).unwrap();
-        assert_eq!(discover_stencils(&mut m).unwrap(), 1);
+        let mut m = compile_to_fir(src)?;
+        assert_eq!(discover_stencils(&mut m)?, 1);
         let idx_ops = collect_ops_named(&m, stencil::INDEX);
         assert_eq!(idx_ops.len(), 1);
-        verify(&m).unwrap();
+        verify(&m)?;
+        Ok(())
     }
 
     #[test]
-    fn in_place_update_is_discovered() {
+    fn in_place_update_is_discovered() -> std::result::Result<(), Box<dyn std::error::Error>> {
         // Reading and writing the same array (value semantics snapshot).
         let src = "
 program t
@@ -765,16 +826,17 @@ program t
   end do
 end program t
 ";
-        let mut m = compile_to_fir(src).unwrap();
-        assert_eq!(discover_stencils(&mut m).unwrap(), 1);
+        let mut m = compile_to_fir(src)?;
+        assert_eq!(discover_stencils(&mut m)?, 1);
         // One external_load for u (shared by read temp and store field).
         assert_eq!(collect_ops_named(&m, stencil::EXTERNAL_LOAD).len(), 1);
         assert_eq!(collect_ops_named(&m, stencil::STORE).len(), 1);
-        verify(&m).unwrap();
+        verify(&m)?;
+        Ok(())
     }
 
     #[test]
-    fn loop_with_if_is_not_a_stencil() {
+    fn loop_with_if_is_not_a_stencil() -> std::result::Result<(), Box<dyn std::error::Error>> {
         let src = "
 program t
   integer, parameter :: n = 8
@@ -787,12 +849,13 @@ program t
   end do
 end program t
 ";
-        let mut m = compile_to_fir(src).unwrap();
+        let mut m = compile_to_fir(src)?;
         // The store sits under fir.if; its driving loops still enclose it,
         // but the slice is fine — what must stop it is that removing the
         // store would leave the `if` behind. Conservatively, stores under
         // conditional control flow are skipped.
-        let n = discover_stencils(&mut m).unwrap();
+        let n = discover_stencils(&mut m)?;
         assert_eq!(n, 0);
+        Ok(())
     }
 }

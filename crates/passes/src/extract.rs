@@ -184,7 +184,9 @@ fn extract_cluster(
     }
 
     // Replace the cluster in the main module with a fir.call.
-    let last = *cluster.last().unwrap();
+    let last = *cluster
+        .last()
+        .ok_or_else(|| IrError::new("empty stencil cluster"))?;
     {
         let mut b = OpBuilder::before(main, last);
         let mut call_args = Vec::new();

@@ -274,23 +274,22 @@ end program t
     }
 
     #[test]
-    fn converted_module_is_fir_free_and_equivalent() {
-        let m1 = fsc_fortran::compile_to_fir(PROGRAM).unwrap();
+    fn converted_module_is_fir_free_and_equivalent(
+    ) -> std::result::Result<(), Box<dyn std::error::Error>> {
+        let m1 = fsc_fortran::compile_to_fir(PROGRAM)?;
         let before = run_module(&m1);
 
-        let mut m2 = fsc_fortran::compile_to_fir(PROGRAM).unwrap();
-        assert_eq!(
-            ConvertFirToStandard.run(&mut m2).unwrap(),
-            PassResult::Changed
-        );
-        fsc_dialects::verify::assert_dialect_absent(&m2, "fir").unwrap();
-        fsc_ir::verifier::verify_module(&m2).unwrap();
+        let mut m2 = fsc_fortran::compile_to_fir(PROGRAM)?;
+        assert_eq!(ConvertFirToStandard.run(&mut m2)?, PassResult::Changed);
+        fsc_dialects::verify::assert_dialect_absent(&m2, "fir")?;
+        fsc_ir::verifier::verify_module(&m2)?;
         let after = run_module(&m2);
         assert_eq!(before, after, "same numbers through standard dialects");
+        Ok(())
     }
 
     #[test]
-    fn loop_bounds_become_exclusive() {
+    fn loop_bounds_become_exclusive() -> std::result::Result<(), Box<dyn std::error::Error>> {
         let mut m = fsc_fortran::compile_to_fir(
             "program t
 integer :: i
@@ -299,22 +298,22 @@ do i = 1, 4
   a(i) = 1.0
 end do
 end program t",
-        )
-        .unwrap();
-        ConvertFirToStandard.run(&mut m).unwrap();
+        )?;
+        ConvertFirToStandard.run(&mut m)?;
         let fors = collect_ops_named(&m, scf::FOR);
         assert_eq!(fors.len(), 1);
         // Executing must fill exactly 4 cells.
         let mut interp = Interpreter::new(&m, NoDispatch);
-        interp.run_func("t", vec![]).unwrap();
-        let Ref::Array { buf, .. } = interp.array_binding("a").unwrap() else {
+        interp.run_func("t", vec![])?;
+        let Ref::Array { buf, .. } = interp.array_binding("a").ok_or("missing value")? else {
             panic!()
         };
         assert_eq!(interp.memory.buffer(buf), &[1.0, 1.0, 1.0, 1.0]);
+        Ok(())
     }
 
     #[test]
-    fn if_and_intrinsics_convert() {
+    fn if_and_intrinsics_convert() -> std::result::Result<(), Box<dyn std::error::Error>> {
         let mut m = fsc_fortran::compile_to_fir(
             "program t
 integer :: i
@@ -327,25 +326,23 @@ do i = 1, 4
   end if
 end do
 end program t",
-        )
-        .unwrap();
-        ConvertFirToStandard.run(&mut m).unwrap();
+        )?;
+        ConvertFirToStandard.run(&mut m)?;
         assert!(collect_ops_named(&m, "scf.if").len() == 1);
         let mut interp = Interpreter::new(&m, NoDispatch);
-        interp.run_func("t", vec![]).unwrap();
-        let Ref::Array { buf, .. } = interp.array_binding("a").unwrap() else {
+        interp.run_func("t", vec![])?;
+        let Ref::Array { buf, .. } = interp.array_binding("a").ok_or("missing value")? else {
             panic!()
         };
         assert_eq!(interp.memory.buffer(buf), &[4.0, 4.0, 2.0, 2.0]);
+        Ok(())
     }
 
     #[test]
-    fn idempotent_on_standard_modules() {
-        let mut m = fsc_fortran::compile_to_fir("program t\nend program t").unwrap();
-        ConvertFirToStandard.run(&mut m).unwrap();
-        assert_eq!(
-            ConvertFirToStandard.run(&mut m).unwrap(),
-            PassResult::Unchanged
-        );
+    fn idempotent_on_standard_modules() -> std::result::Result<(), Box<dyn std::error::Error>> {
+        let mut m = fsc_fortran::compile_to_fir("program t\nend program t")?;
+        ConvertFirToStandard.run(&mut m)?;
+        assert_eq!(ConvertFirToStandard.run(&mut m)?, PassResult::Unchanged);
+        Ok(())
     }
 }

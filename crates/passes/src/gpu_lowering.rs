@@ -369,11 +369,12 @@ end program average
     }
 
     #[test]
-    fn outlines_kernel_with_launch_geometry() {
+    fn outlines_kernel_with_launch_geometry() -> std::result::Result<(), Box<dyn std::error::Error>>
+    {
         let st = gpu_module(LISTING1, vec![32, 32, 1]);
         let launches = collect_ops_named(&st, gpu::LAUNCH_FUNC);
         assert_eq!(launches.len(), 1);
-        let (grid, block) = gpu::launch_dims(&st, launches[0]).unwrap();
+        let (grid, block) = gpu::launch_dims(&st, launches[0]).ok_or("missing value")?;
         assert_eq!(block, [32, 32, 1]);
         assert_eq!(grid, [2, 2, 1]); // 64/32 per dim
                                      // The kernel lives in a gpu.module.
@@ -382,74 +383,89 @@ end program average
         let kernels = collect_ops_named(&st, gpu::FUNC);
         assert_eq!(kernels.len(), 1);
         // The host function now only launches.
-        let f = func::find_func(&st, "stencil_region_0").unwrap();
-        let ops = st.block_ops(f.entry_block(&st).unwrap());
+        let f = func::find_func(&st, "stencil_region_0").ok_or("missing value")?;
+        let ops = st.block_ops(f.entry_block(&st).ok_or("missing value")?);
         assert_eq!(ops.len(), 2); // launch + return
+        Ok(())
     }
 
     #[test]
-    fn read_write_args_classified() {
+    fn read_write_args_classified() -> std::result::Result<(), Box<dyn std::error::Error>> {
         let st = gpu_module(LISTING1, vec![32, 32, 1]);
         let launch = collect_ops_named(&st, gpu::LAUNCH_FUNC)[0];
         let read = st
             .op(launch)
             .attr(READ_ARGS_ATTR)
-            .unwrap()
+            .ok_or("missing value")?
             .as_index_list()
-            .unwrap();
+            .ok_or("missing value")?;
         let written = st
             .op(launch)
             .attr(WRITTEN_ARGS_ATTR)
-            .unwrap()
+            .ok_or("missing value")?
             .as_index_list()
-            .unwrap();
+            .ok_or("missing value")?;
         assert_eq!(read, &[0]); // data
         assert_eq!(written, &[1]); // res
+        Ok(())
     }
 
     #[test]
-    fn naive_strategy_registers_all_buffers() {
+    fn naive_strategy_registers_all_buffers() -> std::result::Result<(), Box<dyn std::error::Error>>
+    {
         let mut st = gpu_module(LISTING1, vec![32, 32, 1]);
-        GpuDataNaive.run(&mut st).unwrap();
+        GpuDataNaive.run(&mut st)?;
         assert_eq!(collect_ops_named(&st, gpu::HOST_REGISTER).len(), 2);
         let launch = collect_ops_named(&st, gpu::LAUNCH_FUNC)[0];
         assert_eq!(
-            st.op(launch).attr(DATA_STRATEGY_ATTR).unwrap().as_str(),
+            st.op(launch)
+                .attr(DATA_STRATEGY_ATTR)
+                .ok_or("missing value")?
+                .as_str(),
             Some("host_register")
         );
+        Ok(())
     }
 
     #[test]
-    fn explicit_strategy_copies_reads_only() {
+    fn explicit_strategy_copies_reads_only() -> std::result::Result<(), Box<dyn std::error::Error>>
+    {
         let mut st = gpu_module(LISTING1, vec![32, 32, 1]);
-        GpuDataExplicit.run(&mut st).unwrap();
+        GpuDataExplicit.run(&mut st)?;
         let copies = collect_ops_named(&st, gpu::MEMCPY);
         assert_eq!(copies.len(), 1, "only the read buffer needs ensure-valid");
         assert!(st.op(copies[0]).attr("ensure_valid").is_some());
         let launch = collect_ops_named(&st, gpu::LAUNCH_FUNC)[0];
         assert_eq!(
-            st.op(launch).attr(DATA_STRATEGY_ATTR).unwrap().as_str(),
+            st.op(launch)
+                .attr(DATA_STRATEGY_ATTR)
+                .ok_or("missing value")?
+                .as_str(),
             Some("explicit")
         );
+        Ok(())
     }
 
     #[test]
-    fn strategies_do_not_stack() {
+    fn strategies_do_not_stack() -> std::result::Result<(), Box<dyn std::error::Error>> {
         let mut st = gpu_module(LISTING1, vec![32, 32, 1]);
-        GpuDataNaive.run(&mut st).unwrap();
-        assert_eq!(GpuDataExplicit.run(&mut st).unwrap(), PassResult::Unchanged);
+        GpuDataNaive.run(&mut st)?;
+        assert_eq!(GpuDataExplicit.run(&mut st)?, PassResult::Unchanged);
+        Ok(())
     }
 
     #[test]
-    fn untiled_parallel_uses_steps_as_block() {
-        let mut m = compile_to_fir(LISTING1).unwrap();
-        discover_stencils(&mut m).unwrap();
-        let mut st = extract_stencils(&mut m).unwrap();
-        lower_stencils(&mut st, LoweringTarget::Gpu).unwrap();
-        ConvertParallelLoopsToGpu.run(&mut st).unwrap();
+    fn untiled_parallel_uses_steps_as_block() -> std::result::Result<(), Box<dyn std::error::Error>>
+    {
+        let mut m = compile_to_fir(LISTING1)?;
+        discover_stencils(&mut m)?;
+        let mut st = extract_stencils(&mut m)?;
+        lower_stencils(&mut st, LoweringTarget::Gpu)?;
+        ConvertParallelLoopsToGpu.run(&mut st)?;
         let launch = collect_ops_named(&st, gpu::LAUNCH_FUNC)[0];
-        let (grid, block) = gpu::launch_dims(&st, launch).unwrap();
+        let (grid, block) = gpu::launch_dims(&st, launch).ok_or("missing value")?;
         assert_eq!(block, [1, 1, 1]);
         assert_eq!(grid, [64, 64, 1]);
+        Ok(())
     }
 }

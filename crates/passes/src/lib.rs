@@ -27,6 +27,13 @@
 //! * [`pipelines`] — named pass pipelines, including the verbatim Listing 4
 //!   GPU pipeline string.
 
+// Passes run under the hardened driver's containment protocol, but they
+// must still not panic on their own: every failure is a coded diagnostic.
+#![cfg_attr(
+    not(test),
+    warn(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
 pub mod analysis;
 pub mod canonicalize;
 pub mod discover;
@@ -36,6 +43,7 @@ pub mod fir_to_standard;
 pub mod gpu_lowering;
 pub mod merge;
 pub mod openmp;
+pub mod pipeline;
 pub mod pipelines;
 pub mod stencil_to_scf;
 pub mod tiling;
@@ -43,3 +51,4 @@ pub mod tiling;
 pub use discover::DiscoverStencils;
 pub use extract::extract_stencils;
 pub use merge::MergeStencils;
+pub use pipeline::{FailureKind, HardenedPipeline, PassFailure, PipelineReport};

@@ -10,7 +10,7 @@ use std::collections::HashMap;
 
 use fsc_dialects::stencil;
 use fsc_ir::walk::collect_ops_named;
-use fsc_ir::{Module, OpBuilder, OpId, Pass, PassResult, Result, ValueId};
+use fsc_ir::{IrError, Module, OpBuilder, OpId, Pass, PassResult, Result, ValueId};
 
 /// The merge pass. Registered as `merge-stencils`.
 #[derive(Debug, Default, Clone, Copy)]
@@ -98,7 +98,9 @@ fn fuse_one_pair(module: &mut Module) -> Result<bool> {
         };
         // The next apply in the same block, if any.
         let siblings = module.block_ops(block);
-        let a_pos = siblings.iter().position(|&o| o == a).unwrap();
+        let Some(a_pos) = siblings.iter().position(|&o| o == a) else {
+            continue;
+        };
         let Some(&b) = siblings[a_pos + 1..]
             .iter()
             .find(|&&o| module.op(o).name.full() == stencil::APPLY)
@@ -179,19 +181,15 @@ fn fuse(module: &mut Module, a: OpId, b: OpId) -> Result<()> {
             inputs.push(v);
         }
     }
-    let result_elems: Vec<_> = module
-        .op(a)
-        .results
-        .iter()
-        .chain(&module.op(b).results)
-        .map(|&r| {
-            module
-                .value_type(r)
-                .elem_type()
-                .expect("apply results are temps")
-                .clone()
-        })
-        .collect();
+    let mut result_elems = Vec::new();
+    for &r in module.op(a).results.iter().chain(&module.op(b).results) {
+        let elem = module
+            .value_type(r)
+            .elem_type()
+            .ok_or_else(|| IrError::new("apply result is not a temp type"))?
+            .clone();
+        result_elems.push(elem);
+    }
     let old_results: Vec<ValueId> = module
         .op(a)
         .results
@@ -222,7 +220,10 @@ fn fuse(module: &mut Module, a: OpId, b: OpId) -> Result<()> {
         let src_inputs = module.op(src_apply).operands.clone();
         let src_args = module.block_args(src_body).to_vec();
         for (arg, input) in src_args.iter().zip(&src_inputs) {
-            let fused_idx = inputs.iter().position(|v| v == input).unwrap();
+            let fused_idx = inputs
+                .iter()
+                .position(|v| v == input)
+                .ok_or_else(|| IrError::new("fused apply lost an input"))?;
             let fused_arg = module.block_args(fused_body)[fused_idx];
             map.insert(*arg, fused_arg);
         }

@@ -11,7 +11,7 @@ use fsc_dialects::{omp, scf};
 use fsc_ir::pass::PassOptions;
 use fsc_ir::rewrite::clone_op_into;
 use fsc_ir::walk::collect_ops_named;
-use fsc_ir::{Module, OpBuilder, Pass, PassResult, Result};
+use fsc_ir::{IrError, Module, OpBuilder, Pass, PassResult, Result};
 
 /// The `convert-scf-to-openmp` pass. Option `num-threads=N` fixes the team
 /// size (0 = runtime default).
@@ -76,7 +76,9 @@ fn convert_one(module: &mut Module, par_op: fsc_ir::OpId, num_threads: u32) -> R
         omp::build_parallel(&mut b, num_threads)
     };
     let ws = {
-        let term = module.block_terminator(par_body).unwrap();
+        let term = module
+            .block_terminator(par_body)
+            .ok_or_else(|| IrError::new("omp.parallel body lost its terminator"))?;
         let mut b = OpBuilder::before(module, term);
         omp::build_wsloop(&mut b, lbs, ubs, steps)
     };
@@ -88,7 +90,9 @@ fn convert_one(module: &mut Module, par_op: fsc_ir::OpId, num_threads: u32) -> R
     for (old, new) in src_ivs.iter().zip(&ws_ivs) {
         map.insert(*old, *new);
     }
-    let term = module.block_terminator(ws_body).unwrap();
+    let term = module
+        .block_terminator(ws_body)
+        .ok_or_else(|| IrError::new("omp.wsloop body lost its terminator"))?;
     let snapshot = module.clone();
     for op in snapshot.block_ops(src_body) {
         if snapshot.op(op).name.full() == scf::YIELD {

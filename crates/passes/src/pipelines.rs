@@ -157,6 +157,14 @@ pub fn unoptimized_cpu_pipeline() -> Result<PassManager> {
     registry().parse_pipeline("stencil-to-scf{target=cpu},canonicalize")
 }
 
+/// The degradation ladder's middle rung: plain sequential `scf.for`
+/// lowering with no fusion-dependent cleanup and no target-specific
+/// shaping. Deliberately minimal — the fewer passes on the fallback path,
+/// the fewer ways it can fail.
+pub fn scf_fallback_pipeline() -> Result<PassManager> {
+    registry().parse_pipeline("stencil-to-scf{target=cpu},canonicalize")
+}
+
 /// CPU single-core / vectorised flow for the extracted stencil module.
 pub fn cpu_pipeline() -> Result<PassManager> {
     registry().parse_pipeline(

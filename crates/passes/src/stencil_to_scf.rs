@@ -263,7 +263,9 @@ fn lower_apply(
                 ivs[top_dim] = par.ivs(m)[0];
                 let mut current = par.body(m);
                 for d in (0..top_dim).rev() {
-                    let term = m.block_terminator(current).unwrap();
+                    let term = m
+                        .block_terminator(current)
+                        .ok_or_else(|| IrError::new("loop body lost its terminator"))?;
                     let mut ib = OpBuilder::before(m, term);
                     let f = scf::build_for(&mut ib, lb_consts[d], ub_consts[d], one);
                     let m2 = ib.module();
@@ -280,7 +282,7 @@ fn lower_apply(
     let body_ops = module.block_ops(body);
     let term = module
         .block_terminator(innermost)
-        .expect("loop bodies carry yield terminators");
+        .ok_or_else(|| IrError::new("innermost loop body lost its terminator"))?;
     for op in body_ops {
         let name = module.op(op).name.full().to_string();
         match name.as_str() {

@@ -11,7 +11,7 @@ use fsc_dialects::{arith, scf};
 use fsc_ir::pass::PassOptions;
 use fsc_ir::rewrite::clone_op_into;
 use fsc_ir::walk::collect_ops_named;
-use fsc_ir::{Module, OpBuilder, OpId, Pass, PassResult, Result, ValueId};
+use fsc_ir::{IrError, Module, OpBuilder, OpId, Pass, PassResult, Result, ValueId};
 
 /// The tiling pass.
 #[derive(Debug, Clone)]
@@ -98,7 +98,9 @@ fn tile_one(module: &mut Module, par_op: OpId, cfg: &ParallelLoopTiling) -> Resu
     let mut current = outer.body(module);
     let mut inner_ivs: Vec<ValueId> = Vec::with_capacity(n);
     for d in 0..n {
-        let term = module.block_terminator(current).unwrap();
+        let term = module
+            .block_terminator(current)
+            .ok_or_else(|| IrError::new("tiled loop body lost its terminator"))?;
         let mut b = OpBuilder::before(module, term);
         let tile = arith::const_index(&mut b, cfg.tile_for_dim(d));
         let end = arith::addi(&mut b, outer_ivs[d], tile);
@@ -114,7 +116,9 @@ fn tile_one(module: &mut Module, par_op: OpId, cfg: &ParallelLoopTiling) -> Resu
     for (old, new) in src_ivs.iter().zip(&inner_ivs) {
         map.insert(*old, *new);
     }
-    let term = module.block_terminator(current).unwrap();
+    let term = module
+        .block_terminator(current)
+        .ok_or_else(|| IrError::new("tiled loop body lost its terminator"))?;
     let snapshot = module.clone();
     for op in snapshot.block_ops(src_body) {
         if snapshot.op(op).name.full() == scf::YIELD {

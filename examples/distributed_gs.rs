@@ -23,6 +23,7 @@ fn main() {
     let opts = CompileOptions {
         target: Target::StencilDistributed { grid: vec![2, 2] },
         verify_each_pass: false,
+        ..Default::default()
     };
     let exec = Compiler::run(&source, &opts).expect("run");
     println!(

@@ -79,6 +79,7 @@ fn main() {
     let opts = CompileOptions {
         target: Target::StencilDistributed { grid: vec![2, 2] },
         verify_each_pass: false,
+        ..Default::default()
     };
     let compiled = Compiler::compile(&source, &opts).expect("compile");
     let exec = compiled

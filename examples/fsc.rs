@@ -113,6 +113,7 @@ fn main() {
         &CompileOptions {
             target,
             verify_each_pass: false,
+            ..Default::default()
         },
     ) {
         Ok(c) => c,

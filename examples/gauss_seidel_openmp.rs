@@ -29,6 +29,7 @@ fn main() {
             threads: threads as u32,
         },
         verify_each_pass: false,
+        ..Default::default()
     };
     let compiled = Compiler::compile(&source, &opts).expect("compile");
     let exec = compiled.run().expect("run");

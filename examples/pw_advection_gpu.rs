@@ -30,6 +30,7 @@ fn main() {
                 tile: [32, 32, 1],
             },
             verify_each_pass: false,
+            ..Default::default()
         };
         // The benchmark kernel is launched repeatedly from a larger code;
         // model that by re-running the program and accumulating per-launch

@@ -34,6 +34,7 @@ end program average
         &CompileOptions {
             target: Target::StencilCpu,
             verify_each_pass: false,
+            ..Default::default()
         },
     )
     .expect("compilation failed");

@@ -1,0 +1,7 @@
+program p
+  implicit none
+  integer :: i
+  real(kind=8) :: a(10)
+  do i = 1, 10
+    a(i) = 1.0
+end program p

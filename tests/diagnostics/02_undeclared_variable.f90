@@ -1,0 +1,8 @@
+program p
+  implicit none
+  integer :: i
+  real(kind=8) :: a(10)
+  do i = 1, 10
+    a(i) = b(i) + 1.0
+  end do
+end program p

@@ -1,0 +1,8 @@
+program p
+  implicit none
+  integer :: i
+  real(kind=8) :: a(10, 10)
+  do i = 1, 10
+    a(i) = 2.0
+  end do
+end program p

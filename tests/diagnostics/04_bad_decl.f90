@@ -1,0 +1,5 @@
+program p
+  implicit none
+  real(kind=8) :: (10)
+  integer i j
+end program p

@@ -1,0 +1,7 @@
+program p
+  implicit none
+  integer :: i
+  integer :: i
+  real(kind=8) :: a(4)
+  a(1) = 1.0
+end program p

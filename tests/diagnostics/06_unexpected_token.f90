@@ -1,0 +1,5 @@
+program p
+  implicit none
+  integer :: i
+  i = = 3
+end program p

@@ -1,0 +1,5 @@
+program p
+  implicit none
+  real(kind=8) :: x
+  x = 1.0e
+end program p

@@ -1,0 +1,5 @@
+program p
+  implicit none
+  real(kind=8) :: x
+  x = sqrt(1.0, 2.0)
+end program p

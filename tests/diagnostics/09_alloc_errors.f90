@@ -1,0 +1,6 @@
+program p
+  implicit none
+  real(kind=8) :: a(4)
+  allocate(a(10))
+  deallocate(a)
+end program p

@@ -1,0 +1,9 @@
+program p
+  implicit none
+  integer :: i
+  real(kind=8) :: a(8)
+  do i = 1, 8
+    a(i) = c(i) * q
+  end do
+  x = 1.0
+end program p

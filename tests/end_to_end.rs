@@ -13,6 +13,7 @@ fn run_gs(n: usize, iters: usize, target: Target) -> flang_stencil::core::Execut
         &CompileOptions {
             target,
             verify_each_pass: false,
+            ..Default::default()
         },
     )
     .expect("run failed")
@@ -25,6 +26,7 @@ fn run_pw(n: usize, target: Target) -> flang_stencil::core::Execution {
         &CompileOptions {
             target,
             verify_each_pass: false,
+            ..Default::default()
         },
     )
     .expect("run failed")
@@ -147,6 +149,7 @@ fn pw_fusion_produces_single_region_with_three_outputs() {
         &CompileOptions {
             target: Target::StencilCpu,
             verify_each_pass: false,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -180,6 +183,7 @@ fn flop_accounting_pins_paper_counts_and_specialized_path() {
         &CompileOptions {
             target: Target::StencilCpu,
             verify_each_pass: false,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -206,6 +210,7 @@ fn flop_accounting_pins_paper_counts_and_specialized_path() {
         &CompileOptions {
             target: Target::StencilCpu,
             verify_each_pass: false,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -258,6 +263,7 @@ fn empty_interior_is_skipped_on_all_cpu_paths() {
         &CompileOptions {
             target: Target::FlangOnly,
             verify_each_pass: false,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -270,10 +276,45 @@ fn empty_interior_is_skipped_on_all_cpu_paths() {
             &CompileOptions {
                 target,
                 verify_each_pass: false,
+                ..Default::default()
             },
         )
         .unwrap();
         assert_fields_match(exec.array("u").unwrap(), &expect, 0.0, &label);
+    }
+}
+
+#[test]
+fn degenerate_grids_run_clean_through_the_discovery_path() {
+    // n = 0 (zero-extent interior) and n = 1 (one-cell interior) must go
+    // through the *full* pipeline — discovery, lowering, and kernel exec,
+    // on every target — without degrading to a fallback rung, without
+    // underflowing bound arithmetic, and bit-identical to the Flang-only
+    // interpretation of the same program.
+    for n in [0usize, 1] {
+        let source = gauss_seidel::fortran_source(n, 2);
+        let flang = Compiler::run(&source, &CompileOptions::for_target(Target::FlangOnly)).unwrap();
+        let expect = flang.array("u").unwrap().to_vec();
+        for target in [
+            Target::StencilCpu,
+            Target::StencilOpenMp { threads: 2 },
+            Target::StencilGpu {
+                explicit_data: true,
+                tile: [4, 4, 1],
+            },
+            Target::StencilDistributed { grid: vec![2] },
+        ] {
+            let label = format!("n={n} {target:?}");
+            let exec = Compiler::run(&source, &CompileOptions::for_target(target.clone())).unwrap();
+            // The stencil path itself must have handled the degenerate
+            // nest: any rejection would show up as a degradation attempt.
+            assert!(
+                exec.report.degradation.attempts.is_empty(),
+                "{label}: {}",
+                exec.report.degradation.describe()
+            );
+            assert_fields_match(exec.array("u").unwrap(), &expect, 0.0, &label);
+        }
     }
 }
 
@@ -319,6 +360,7 @@ end program quad
         &CompileOptions {
             target: Target::FlangOnly,
             verify_each_pass: false,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -353,6 +395,7 @@ end program quad
             &CompileOptions {
                 target,
                 verify_each_pass: false,
+                ..Default::default()
             },
         )
         .unwrap();

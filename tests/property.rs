@@ -69,6 +69,7 @@ fn run(source: &str, target: Target) -> Vec<f64> {
         &CompileOptions {
             target,
             verify_each_pass: false,
+            ..Default::default()
         },
     )
     .expect("run");
@@ -172,7 +173,7 @@ proptest! {
     ) {
         use flang_stencil::exec::ExecPath;
         let source = program_2d(&terms, n);
-        let opts = CompileOptions { target: Target::StencilCpu, verify_each_pass: false };
+        let opts = CompileOptions { target: Target::StencilCpu, verify_each_pass: false, ..Default::default() };
         let mut compiled = Compiler::compile(&source, &opts).unwrap();
         let has_spec = compiled
             .kernels
@@ -199,6 +200,34 @@ proptest! {
         prop_assert_eq!(&results[1], &results[2], "fused-vm vs generic-vm");
     }
 
+    /// Every degradation-ladder rung — full stencil pipeline, sequential
+    /// scf fallback, direct FIR interpretation — must agree bitwise on
+    /// random stencils, and the report must attest the forced rung.
+    #[test]
+    fn ladder_rungs_bit_identical_on_random_stencils(
+        terms in prop::collection::vec(term(), 1..5),
+        n in 4usize..16,
+    ) {
+        use flang_stencil::core::DegradationRung;
+        let source = program(&terms, n);
+        let reference = run(&source, Target::FlangOnly);
+        for rung in [
+            DegradationRung::Stencil,
+            DegradationRung::ScfFallback,
+            DegradationRung::FirInterp,
+        ] {
+            let opts = CompileOptions {
+                force_rung: Some(rung),
+                ..CompileOptions::for_target(Target::StencilCpu)
+            };
+            let exec = Compiler::run(&source, &opts).unwrap();
+            prop_assert_eq!(exec.report.degradation.ran, rung);
+            prop_assert!(exec.report.degradation.attempts.is_empty());
+            let got = exec.array("r").expect("r array");
+            prop_assert_eq!(got, reference.as_slice(), "rung {:?} diverged", rung);
+        }
+    }
+
     #[test]
     fn discovery_always_extracts_the_interior_loop(
         terms in prop::collection::vec(term(), 1..5),
@@ -207,7 +236,7 @@ proptest! {
         let source = program(&terms, n);
         let compiled = Compiler::compile(
             &source,
-            &CompileOptions { target: Target::StencilCpu, verify_each_pass: false },
+            &CompileOptions { target: Target::StencilCpu, verify_each_pass: false, ..Default::default() },
         ).unwrap();
         // Both the init nest and the stencil nest must have been extracted.
         let total_nests: usize = compiled.kernels.values().map(|k| k.nests.len()).sum();
