@@ -33,4 +33,13 @@ echo "== fuzz smoke =="
 # seed keeps CI deterministic; nightly jobs can rotate it.
 timeout --kill-after=30s 300s cargo run -q -p fsc-bench --bin fuzz_diff -- --cases 200 --seed 1
 
+echo "== autotune smoke =="
+# Calibration sweep + cache-blocked plan ablation on a throwaway cache
+# directory, so CI never reads or pollutes a developer's plan cache. The
+# run itself verifies all plan variants bit-identical.
+tmp="$(mktemp -d)"
+FSC_PLAN_CACHE="$tmp/cache.json" timeout --kill-after=30s 300s \
+  cargo run -q -p fsc-bench --bin tile_sweep -- --quick
+rm -rf "$tmp"
+
 echo "ci: all green"

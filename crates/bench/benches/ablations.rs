@@ -102,6 +102,54 @@ fn ablation_tiling(c: &mut Criterion) {
     g.finish();
 }
 
+fn ablation_cpu_tiling(c: &mut Criterion) {
+    // CPU cache-blocking sensitivity: the same OpenMP-lowered Gauss–Seidel
+    // kernels forced through a sweep of execution plans (the candidate
+    // space the autotuner searches, plus a pathological one).
+    use fsc_exec::plan::ExecPlan;
+    use fsc_workloads::gauss_seidel;
+    let mut g = c.benchmark_group("ablation_cpu_tiling");
+    let source = gauss_seidel::fortran_source(N, 2);
+    let plans = [
+        ("unblocked", ExecPlan::default()),
+        (
+            "unblocked_u4",
+            ExecPlan {
+                unroll: 4,
+                ..ExecPlan::default()
+            },
+        ),
+        (
+            "serial_slab_u4",
+            ExecPlan {
+                unroll: 4,
+                slabs: 1,
+                ..ExecPlan::default()
+            },
+        ),
+        ("blocked_16", ExecPlan::from_ir_tiles(vec![0, 16, 16])),
+        ("blocked_1x1x1", ExecPlan::from_ir_tiles(vec![1, 1, 1])),
+    ];
+    for (label, plan) in plans {
+        let mut compiled = Compiler::compile(
+            &source,
+            &CompileOptions {
+                target: Target::StencilOpenMp { threads: 8 },
+                verify_each_pass: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for kernel in compiled.kernels.values_mut() {
+            kernel.force_plan(&plan);
+        }
+        g.bench_function(BenchmarkId::new("gs", label), |b| {
+            b.iter(|| compiled.run().unwrap())
+        });
+    }
+    g.finish();
+}
+
 fn ablation_exec_tier(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_exec_tier");
     let source = pw_advection::fortran_source(N);
@@ -168,6 +216,6 @@ fn ablation_halo(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = ablation_fusion, ablation_tiling, ablation_exec_tier, ablation_halo
+    targets = ablation_fusion, ablation_tiling, ablation_cpu_tiling, ablation_exec_tier, ablation_halo
 }
 criterion_main!(benches);

@@ -18,8 +18,10 @@
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
+use fsc_exec::autotune::{self, TuneConfig, TuningReport};
 use fsc_exec::interp::{Interpreter, RegionDispatcher, RunStats};
 use fsc_exec::kernel::{self, CompiledKernel, GpuStrategy, KernelArg, PlanKind};
+use fsc_exec::plan::{ExecPlan, PlanProvenance};
 use fsc_exec::value::{Memory, Ref, Value};
 use fsc_exec::ExecPath;
 use fsc_gpusim::{BufferUse, GpuCounters, GpuSession, KernelLoad, V100Model};
@@ -97,6 +99,13 @@ pub struct CompileOptions {
     /// stencil flow (differential testing of the lower rungs). `None` runs
     /// the normal ladder from the top.
     pub force_rung: Option<DegradationRung>,
+    /// Autotune execution plans after kernel compilation: calibrate a
+    /// small candidate space of tile/unroll/slab shapes, install the
+    /// winner, and remember it in the persistent plan cache. `None` (the
+    /// default) keeps the default plans — no calibration cost, no cache
+    /// I/O. The outcome is attested in [`Compiled::tuning`] and rides
+    /// into [`RunReport::tuning`].
+    pub autotune: Option<TuneConfig>,
 }
 
 impl Default for CompileOptions {
@@ -107,6 +116,7 @@ impl Default for CompileOptions {
             harden: true,
             sabotage_pass: None,
             force_rung: None,
+            autotune: None,
         }
     }
 }
@@ -215,6 +225,10 @@ pub struct Compiled {
     pub entry: String,
     /// Degradation-ladder attestation for this compile.
     pub degradation: DegradationReport,
+    /// Autotuner attestation: which plans were installed, whether they
+    /// came from calibration or the persistent cache, and what tuning
+    /// cost. `None` when autotuning was not requested.
+    pub tuning: Option<TuningReport>,
 }
 
 /// Execution accounting.
@@ -248,12 +262,26 @@ pub struct RunReport {
     /// were rejected on the way down (empty attempts + `Stencil` = the
     /// requested configuration ran).
     pub degradation: DegradationReport,
+    /// Distinct execution plans the stencil nests ran under (sorted;
+    /// empty for Flang-only and naive-tier runs). Every plan carries its
+    /// provenance, so a run attests whether it executed tuned, cached or
+    /// default shapes.
+    pub plans: Vec<ExecPlan>,
+    /// Autotuner attestation carried over from the compile (see
+    /// [`Compiled::tuning`]).
+    pub tuning: Option<TuningReport>,
 }
 
 impl RunReport {
     /// True when at least one nest executed through `path`.
     pub fn attests(&self, path: ExecPath) -> bool {
         self.exec_paths.contains(&path)
+    }
+
+    /// True when at least one nest executed under a plan of the given
+    /// provenance.
+    pub fn attests_plan(&self, provenance: PlanProvenance) -> bool {
+        self.plans.iter().any(|p| p.provenance == provenance)
     }
 }
 
@@ -296,13 +324,20 @@ impl Compiler {
                 target: options.target.clone(),
                 entry,
                 degradation: DegradationReport::default(),
+                tuning: None,
             });
         }
-        if options.harden {
-            Self::compile_ladder(fir, entry, options)
+        let mut compiled = if options.harden {
+            Self::compile_ladder(fir, entry, options)?
         } else {
-            Self::compile_strict(fir, entry, options)
+            Self::compile_strict(fir, entry, options)?
+        };
+        if let Some(cfg) = &options.autotune {
+            if !compiled.kernels.is_empty() {
+                autotune_compiled(&mut compiled, cfg);
+            }
         }
+        Ok(compiled)
     }
 
     /// The strict fail-fast flow: any pass error aborts the compile.
@@ -344,6 +379,7 @@ impl Compiler {
             target: options.target.clone(),
             entry,
             degradation: DegradationReport::default(),
+            tuning: None,
         })
     }
 
@@ -370,6 +406,7 @@ impl Compiler {
                             attempts,
                             ran: rung,
                         },
+                        tuning: None,
                     });
                 }
                 Err(attempt) => attempts.push(*attempt),
@@ -386,6 +423,7 @@ impl Compiler {
                 attempts,
                 ran: DegradationRung::FirInterp,
             },
+            tuning: None,
         })
     }
 
@@ -393,6 +431,40 @@ impl Compiler {
     pub fn run(source: &str, options: &CompileOptions) -> Result<Execution> {
         Self::compile(source, options)?.run()
     }
+}
+
+/// Calibrate and install execution plans for a freshly compiled program.
+/// The tuner sweeps candidates under the same thread configuration the
+/// dispatcher will use at run time (an OpenMP target gets a matching
+/// pool), so what wins calibration is what actually runs. Never fails —
+/// problems degrade into coded diagnostics inside the report.
+fn autotune_compiled(compiled: &mut Compiled, cfg: &TuneConfig) {
+    let (threads, pool) = match &compiled.target {
+        Target::StencilOpenMp { threads } => {
+            let mut b = rayon::ThreadPoolBuilder::new();
+            if *threads > 0 {
+                b = b.num_threads(*threads as usize);
+            }
+            match b.build() {
+                Ok(p) => {
+                    let t = p.current_num_threads();
+                    (t, Some(p))
+                }
+                Err(_) => (1, None),
+            }
+        }
+        _ => (1, None),
+    };
+    // Deterministic tuning order (HashMap iteration order is not).
+    let mut kernels: Vec<(&String, &mut CompiledKernel)> = compiled.kernels.iter_mut().collect();
+    kernels.sort_by(|a, b| a.0.cmp(b.0));
+    let report = autotune::tune_kernels(
+        kernels.into_iter().map(|(_, k)| k),
+        threads,
+        pool.as_ref(),
+        cfg,
+    );
+    compiled.tuning = Some(report);
 }
 
 /// Build the target-specific stencil-module pipeline.
@@ -560,6 +632,8 @@ impl Compiled {
             exec_paths: dispatcher.exec_paths.iter().copied().collect(),
             resilience: is_distributed.then_some(dispatcher.resilience),
             degradation: self.degradation.clone(),
+            plans: dispatcher.plans.iter().cloned().collect(),
+            tuning: self.tuning.clone(),
         };
         Ok(Execution {
             memory,
@@ -606,6 +680,9 @@ pub struct KernelDispatcher<'k> {
     /// Distinct execution paths observed across dispatched nests (only
     /// recorded for runs through the optimised runner).
     pub exec_paths: std::collections::BTreeSet<ExecPath>,
+    /// Distinct execution plans observed across dispatched nests (only
+    /// recorded for runs through the optimised runner).
+    pub plans: std::collections::BTreeSet<ExecPlan>,
     /// Fault plan injected into the resilient halo transport (distributed
     /// targets; defaults to a fault-free plan).
     pub fault_plan: FaultPlan,
@@ -666,6 +743,7 @@ impl<'k> KernelDispatcher<'k> {
             cells: 0,
             distributed_seconds: 0.0,
             exec_paths: std::collections::BTreeSet::new(),
+            plans: std::collections::BTreeSet::new(),
             fault_plan: FaultPlan::none(0xF5C),
             resilience: FaultStats::default(),
             dispatch_index: 0,
@@ -945,6 +1023,7 @@ impl<'k> RegionDispatcher for KernelDispatcher<'k> {
         if !self.naive {
             for nest in &kernel.nests {
                 self.exec_paths.insert(nest.path);
+                self.plans.insert(nest.plan.clone());
             }
         }
         self.cells += kernel.stats().cells;
@@ -1256,6 +1335,104 @@ mod tests {
         };
         let c = Compiler::compile(&src, &opts).unwrap();
         assert!(c.degradation.attempts.is_empty());
+    }
+
+    #[test]
+    fn every_run_attests_plan_provenance() {
+        let src = fsc_workloads::gauss_seidel::fortran_source(6, 1);
+        let exec = Compiler::run(&src, &CompileOptions::for_target(Target::StencilCpu)).unwrap();
+        assert!(
+            !exec.report.plans.is_empty(),
+            "stencil runs must record their execution plans"
+        );
+        assert!(exec.report.attests_plan(PlanProvenance::Default));
+        assert!(!exec.report.attests_plan(PlanProvenance::Tuned));
+        assert!(exec.report.tuning.is_none(), "no tuning was requested");
+        // The naive tier bypasses the plan machinery entirely.
+        let naive =
+            Compiler::run(&src, &CompileOptions::for_target(Target::UnoptimizedCpu)).unwrap();
+        assert!(naive.report.plans.is_empty());
+    }
+
+    fn tune_opts(dir: &std::path::Path, target: Target) -> CompileOptions {
+        CompileOptions {
+            autotune: Some(TuneConfig {
+                cache_path: Some(dir.join("plans.json")),
+                no_persist: false,
+                reps: 1,
+            }),
+            ..CompileOptions::for_target(target)
+        }
+    }
+
+    #[test]
+    fn plan_cache_round_trip_attests_cached_provenance() {
+        let dir = std::env::temp_dir().join("fsc-core-plancache-rt");
+        let _ = std::fs::remove_dir_all(&dir);
+        let src = fsc_workloads::gauss_seidel::fortran_source(8, 2);
+        let opts = tune_opts(&dir, Target::StencilOpenMp { threads: 2 });
+        let base = Compiler::run(
+            &src,
+            &CompileOptions::for_target(Target::StencilOpenMp { threads: 2 }),
+        )
+        .unwrap();
+
+        // First compile: a fresh calibration sweep persists its winner.
+        let tuned = Compiler::run(&src, &opts).unwrap();
+        let report = tuned.report.tuning.as_ref().expect("tuning attestation");
+        assert!(report.fresh_tunes() >= 1, "first compile must calibrate");
+        assert!(tuned.report.attests_plan(PlanProvenance::Tuned));
+        assert!(
+            dir.join("plans.json").exists(),
+            "winner must be persisted to the plan cache"
+        );
+
+        // Second compile (fresh process simulated by dropping the
+        // in-process image): the persisted plan is reloaded and attested.
+        autotune::reset_in_process_cache();
+        let cached = Compiler::run(&src, &opts).unwrap();
+        let report = cached.report.tuning.as_ref().expect("tuning attestation");
+        assert!(report.cache_hits() >= 1, "reload must hit the cache");
+        assert_eq!(report.fresh_tunes(), 0, "nothing should re-calibrate");
+        assert!(cached.report.attests_plan(PlanProvenance::Cached));
+        assert!(
+            report.tuning_wall < std::time::Duration::from_millis(500),
+            "cache hits must not pay calibration cost"
+        );
+
+        // All plan variants compute bit-identical results.
+        let a = base.array("u").unwrap();
+        for exec in [&tuned, &cached] {
+            let b = exec.array("u").unwrap();
+            assert!(
+                a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "tuned/cached plans must be bit-identical to default"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_plan_cache_degrades_with_coded_diagnostic() {
+        let dir = std::env::temp_dir().join("fsc-core-plancache-corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("plans.json"), "{\"version\": 1, \"entr").unwrap();
+        autotune::reset_in_process_cache();
+        let src = fsc_workloads::gauss_seidel::fortran_source(6, 1);
+        let opts = tune_opts(&dir, Target::StencilCpu);
+        // Never a panic, never a failed run.
+        let exec = Compiler::run(&src, &opts).unwrap();
+        let report = exec.report.tuning.as_ref().expect("tuning attestation");
+        let diag = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == fsc_ir::diag::codes::PLAN_CACHE)
+            .expect("corrupt cache must raise a coded E0702 diagnostic");
+        assert!(diag.render().contains("E0702"), "{}", diag.render());
+        // The corrupt file contributed nothing: no cached provenance.
+        assert!(!exec.report.attests_plan(PlanProvenance::Cached));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

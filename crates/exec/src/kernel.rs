@@ -23,6 +23,7 @@ use fsc_dialects::{fir, func, gpu, memref, mpi, omp, scf};
 use fsc_ir::{Attribute, BlockId, IrError, Module, OpId, Result, Type, ValueId};
 
 use crate::bytecode::{BinKind, BodyProgram, CmpKind, Instr, UnKind};
+use crate::plan::ExecPlan;
 use crate::specialize::{self, ExecPath, SpecProgram};
 use crate::value::{column_major_strides, BufId, Memory};
 
@@ -119,6 +120,12 @@ pub struct Nest {
     pub exchanges: Vec<MpiExchange>,
     /// Snapshot views to refresh (copy from source) before this nest.
     pub snapshots: Vec<usize>,
+    /// How this nest is swept: cache-block tiles, unroll factor, slab
+    /// budget and provenance. Defaults to an untiled plan (seeded from the
+    /// IR's `"tiled"` attribute when the pipeline carried tile sizes);
+    /// replaced by the autotuner / plan cache via
+    /// [`CompiledKernel::force_plan`].
+    pub plan: ExecPlan,
 }
 
 impl Nest {
@@ -178,6 +185,8 @@ pub struct KernelStats {
     pub bytes_written: u64,
     /// Execution path of each nest, in nest order.
     pub paths: Vec<ExecPath>,
+    /// Execution plan of each nest, in nest order.
+    pub plans: Vec<ExecPlan>,
 }
 
 /// A fully compiled region, callable through [`run_kernel`].
@@ -211,6 +220,7 @@ impl CompiledKernel {
             s.bytes_read += cells * nest.program.loads_per_cell * 8;
             s.bytes_written += cells * nest.program.stores_per_cell * 8;
             s.paths.push(nest.path);
+            s.plans.push(nest.plan.clone());
         }
         s
     }
@@ -236,6 +246,15 @@ impl CompiledKernel {
             nest.path = path;
         }
         switched
+    }
+
+    /// Set every nest's execution plan. Used by the autotuner when the
+    /// calibration winner (or a cache hit) replaces the default, and by
+    /// benches/tests to force specific tile/unroll/slab shapes.
+    pub fn force_plan(&mut self, plan: &ExecPlan) {
+        for nest in &mut self.nests {
+            nest.plan = plan.clone();
+        }
     }
 }
 
@@ -483,7 +502,8 @@ fn compile_one_nest(
     snapshots: Vec<usize>,
 ) -> Result<Nest> {
     let mut iv_bounds: HashMap<ValueId, (i64, i64)> = HashMap::new();
-    let innermost = collect_loops(module, loop_root, &mut iv_bounds)?;
+    let mut tile_of_iv: HashMap<ValueId, i64> = HashMap::new();
+    let innermost = collect_loops(module, loop_root, &mut iv_bounds, &mut tile_of_iv)?;
 
     let mut compiler = BodyCompiler {
         module,
@@ -539,14 +559,25 @@ fn compile_one_nest(
         .ok_or_else(|| err("kernel touches no views"))?;
     let mut bounds = vec![(0i64, 0i64); rank];
     let mut assigned = vec![false; rank];
+    // Default plan: tile sizes the pipeline recorded on the tiled loop
+    // (the `"tiled"` attribute), mapped from loop order to array dims.
+    let mut plan_tiles = vec![0i64; rank];
     for (iv, dim) in &dim_of_iv {
         let b = iv_bounds.get(iv).ok_or_else(|| err("iv without bounds"))?;
         bounds[*dim] = *b;
         assigned[*dim] = true;
+        if let Some(&t) = tile_of_iv.get(iv) {
+            plan_tiles[*dim] = t;
+        }
     }
     if !assigned.iter().all(|&a| a) {
         return Err(err("not every dimension indexed by a loop"));
     }
+    let plan = if plan_tiles.iter().any(|&t| t > 0) {
+        ExecPlan::from_ir_tiles(plan_tiles)
+    } else {
+        ExecPlan::default()
+    };
     Ok(Nest {
         bounds,
         out_views,
@@ -556,6 +587,7 @@ fn compile_one_nest(
         path,
         exchanges,
         snapshots,
+        plan,
     })
 }
 
@@ -566,6 +598,7 @@ fn collect_loops(
     module: &Module,
     root: OpId,
     iv_bounds: &mut HashMap<ValueId, (i64, i64)>,
+    tile_of_iv: &mut HashMap<ValueId, i64>,
 ) -> Result<BlockId> {
     let name = module.op(root).name.full();
     let (body, ivs, lbs, ubs): (BlockId, Vec<ValueId>, Vec<ValueId>, Vec<ValueId>) = match name {
@@ -586,13 +619,21 @@ fn collect_loops(
         }
         other => return Err(err(format!("unsupported loop root '{other}'"))),
     };
-    let tiled = module.op(root).attr("tiled").is_some();
-    for ((iv, lb), ub) in ivs.iter().zip(&lbs).zip(&ubs) {
+    // Tile sizes the tiling pass stamped on the loop, by loop dimension.
+    let tile_sizes: Vec<i64> = module
+        .op(root)
+        .attr("tiled")
+        .and_then(Attribute::as_index_list)
+        .map(<[i64]>::to_vec)
+        .unwrap_or_default();
+    let mut loop_dim_of_iv: HashMap<ValueId, usize> = HashMap::new();
+    for (d, ((iv, lb), ub)) in ivs.iter().zip(&lbs).zip(&ubs).enumerate() {
         let lb_c =
             trace_index_const(module, *lb).ok_or_else(|| err("non-constant loop lower bound"))?;
         let ub_c =
             trace_index_const(module, *ub).ok_or_else(|| err("non-constant loop upper bound"))?;
         iv_bounds.insert(*iv, (lb_c, ub_c));
+        loop_dim_of_iv.insert(*iv, d);
     }
     // Descend through nested scf.for chains.
     let mut current = body;
@@ -608,14 +649,22 @@ fn collect_loops(
                 let f = scf::ForOp(fors[0]);
                 let lb = f.lb(module);
                 let iv = f.iv(module);
-                if tiled || iv_bounds.contains_key(&lb) {
+                // A for whose lower bound *is* an enclosing induction
+                // variable is an intra-tile loop; a for with constant
+                // bounds is an ordinary serial loop (CPU lowering nests
+                // these inside the parallel dim, tiled or not).
+                if iv_bounds.contains_key(&lb) {
                     // Tiled intra-tile loop: its true range is the parent
-                    // parallel dimension's full range.
+                    // parallel dimension's full range; the parent's tile
+                    // size becomes the default plan tile of this iv's dim.
                     let parent = iv_bounds
                         .get(&lb)
                         .copied()
                         .ok_or_else(|| err("tiled loop without parallel parent bound"))?;
                     iv_bounds.insert(iv, parent);
+                    if let Some(&t) = loop_dim_of_iv.get(&lb).and_then(|&d| tile_sizes.get(d)) {
+                        tile_of_iv.insert(iv, t);
+                    }
                 } else {
                     let lb_c = trace_index_const(module, lb)
                         .ok_or_else(|| err("non-constant for lower bound"))?;
@@ -1129,9 +1178,6 @@ fn run_nest(
     if nest.domain_cells() == 0 {
         return Ok(());
     }
-    let rank = nest.bounds.len();
-    let outer = rank - 1;
-    let (outer_lo, outer_hi) = nest.bounds[outer];
 
     // Output views: distinct buffers, moved out of the arena.
     let mut out_view_map: Vec<Option<u16>> = vec![None; views.len()];
@@ -1165,27 +1211,58 @@ fn run_nest(
             })
             .collect();
 
+        // Work-sharing budget: the pool width, capped by the plan's slab
+        // knob. The task planner splits the slowest dimension first and
+        // keeps factoring into the next-slower dimensions when the slowest
+        // extent alone cannot feed the budget (e.g. a 4³ nest on 32
+        // threads still produces 32 tasks).
         let effective_threads = threads.max(1);
-        let par_pool = if effective_threads > 1 && (outer_hi - outer_lo) >= 2 {
-            pool
+        let budget = if nest.plan.slabs > 0 {
+            effective_threads.min(nest.plan.slabs as usize)
         } else {
-            None
+            effective_threads
         };
-        if let Some(tp) = par_pool {
-            run_sliced(
+        let tasks = if budget > 1 && pool.is_some() {
+            plan_tasks(&nest.bounds, budget)
+        } else {
+            Vec::new()
+        };
+        if tasks.len() > 1 {
+            let tp = pool.expect("tasks imply a pool");
+            let fine = run_sliced(
                 nest,
                 views,
                 &inputs,
                 &mut taken,
                 &out_view_map,
                 scalars,
-                effective_threads,
+                &tasks,
                 tp,
-            )?;
+            );
+            if fine.is_err() {
+                // Store offsets can make finely split slabs overlap; retry
+                // with the coarser slowest-dimension-only split before
+                // giving up on work-sharing for this kernel.
+                let coarse = plan_tasks_outer_only(&nest.bounds, budget);
+                if coarse.len() > 1 && coarse != tasks {
+                    run_sliced(
+                        nest,
+                        views,
+                        &inputs,
+                        &mut taken,
+                        &out_view_map,
+                        scalars,
+                        &coarse,
+                        tp,
+                    )?;
+                } else {
+                    fine?;
+                }
+            }
         } else {
             let mut outputs: Vec<&mut [f64]> = taken.iter_mut().map(|v| v.as_mut_slice()).collect();
             let slab_starts = vec![0i64; views.len()];
-            run_range(
+            run_box(
                 nest,
                 views,
                 &inputs,
@@ -1193,8 +1270,7 @@ fn run_nest(
                 &slab_starts,
                 &out_view_map,
                 scalars,
-                outer_lo,
-                outer_hi,
+                &nest.bounds,
             );
         }
     }
@@ -1205,7 +1281,85 @@ fn run_nest(
     Ok(())
 }
 
-/// Run a nest serially over `[outer_lo, outer_hi)` of the slowest dimension.
+/// Run a nest over `local` — an arbitrary sub-box of the iteration domain
+/// (per-dimension half-open bounds) — honouring the nest's cache-block
+/// plan: when the plan tiles a dimension, the box is decomposed into tile
+/// boxes visited dimension-0-innermost, each swept by [`run_range`]. Tiling
+/// is bit-exact: every cell computes exactly once with unchanged per-cell
+/// arithmetic, and outputs never alias inputs.
+#[allow(clippy::too_many_arguments)]
+fn run_box(
+    nest: &Nest,
+    views: &[ViewSpec],
+    inputs: &[&[f64]],
+    outputs: &mut [&mut [f64]],
+    out_slab_starts: &[i64],
+    out_view_map: &[Option<u16>],
+    scalars: &[f64],
+    local: &[(i64, i64)],
+) {
+    let rank = local.len();
+    if local.iter().any(|&(lb, ub)| lb >= ub) {
+        return;
+    }
+    // Effective tile step per dimension: the plan's tile where it actually
+    // subdivides the box, the full extent otherwise.
+    let steps: Vec<i64> = (0..rank)
+        .map(|d| {
+            let ext = local[d].1 - local[d].0;
+            match nest.plan.tile_for(d) {
+                Some(t) if t < ext => t,
+                _ => ext,
+            }
+        })
+        .collect();
+    if (0..rank).all(|d| steps[d] >= local[d].1 - local[d].0) {
+        run_range(
+            nest,
+            views,
+            inputs,
+            outputs,
+            out_slab_starts,
+            out_view_map,
+            scalars,
+            local,
+        );
+        return;
+    }
+    let mut origin: Vec<i64> = local.iter().map(|b| b.0).collect();
+    let mut tile = vec![(0i64, 0i64); rank];
+    'tiles: loop {
+        for d in 0..rank {
+            tile[d] = (origin[d], (origin[d] + steps[d]).min(local[d].1));
+        }
+        run_range(
+            nest,
+            views,
+            inputs,
+            outputs,
+            out_slab_starts,
+            out_view_map,
+            scalars,
+            &tile,
+        );
+        let mut d = 0;
+        loop {
+            origin[d] += steps[d];
+            if origin[d] < local[d].1 {
+                break;
+            }
+            origin[d] = local[d].0;
+            d += 1;
+            if d == rank {
+                break 'tiles;
+            }
+        }
+    }
+}
+
+/// Run a nest serially over one box of the iteration domain (`bounds` are
+/// per-dimension half-open local bounds — the full domain, a parallel
+/// task's sub-box, or one cache-block tile).
 ///
 /// When every view has unit innermost stride (always true for the shapes
 /// our lowering produces), the innermost dimension executes in *strips*
@@ -1221,13 +1375,11 @@ fn run_range(
     out_slab_starts: &[i64],
     out_view_map: &[Option<u16>],
     scalars: &[f64],
-    outer_lo: i64,
-    outer_hi: i64,
+    bounds: &[(i64, i64)],
 ) {
     const STRIP: usize = 64;
-    let rank = nest.bounds.len();
-    let outer = rank - 1;
-    if (0..rank).any(|d| nest.bounds[d].0 >= nest.bounds[d].1) || outer_lo >= outer_hi {
+    let rank = bounds.len();
+    if bounds.iter().any(|&(lb, ub)| lb >= ub) {
         return;
     }
     let strip_ok = views.iter().all(|v| v.strides.first() == Some(&1));
@@ -1246,9 +1398,9 @@ fn run_range(
         &nest.fused
     };
     let num_regs = program.num_regs.max(1) as usize;
+    let unroll = nest.plan.unroll;
 
-    let mut coords: Vec<i64> = nest.bounds.iter().map(|&(lb, _)| lb).collect();
-    coords[outer] = outer_lo;
+    let mut coords: Vec<i64> = bounds.iter().map(|&(lb, _)| lb).collect();
     let mut cursors = vec![0i64; views.len()];
 
     // Scalar registers (fallback path).
@@ -1270,17 +1422,22 @@ fn run_range(
             c -= out_slab_starts[v];
             cursors[v] = c;
         }
-        let (lb0, ub0) = if rank == 1 {
-            (outer_lo, outer_hi)
-        } else {
-            nest.bounds[0]
-        };
+        let (lb0, ub0) = bounds[0];
         if let Some(spec) = specialized {
             // Native fast path: each store sweeps the whole unit-stride row
             // in one monomorphised loop — no bytecode dispatch at all.
             let w = (ub0 - lb0) as usize;
             for body in &spec.stores {
-                specialize::run_spec_row(body, inputs, outputs, out_view_map, &cursors, scalars, w);
+                specialize::run_spec_row(
+                    body,
+                    inputs,
+                    outputs,
+                    out_view_map,
+                    &cursors,
+                    scalars,
+                    w,
+                    unroll,
+                );
             }
         } else if strip_ok {
             let mut i = lb0;
@@ -1325,31 +1482,111 @@ fn run_range(
                 i += 1;
             }
         }
-        coords[0] = nest.bounds[0].0;
+        coords[0] = bounds[0].0;
         let mut d = 1;
         loop {
             if d >= rank {
                 return;
             }
             coords[d] += 1;
-            let hi = if d == outer {
-                outer_hi
-            } else {
-                nest.bounds[d].1
-            };
-            if coords[d] < hi {
+            if coords[d] < bounds[d].1 {
                 break;
             }
-            coords[d] = nest.bounds[d].0;
-            if d == outer {
-                return;
-            }
+            coords[d] = bounds[d].0;
             d += 1;
         }
     }
 }
 
-/// Split outputs into contiguous per-range slabs and run under the pool.
+/// Split one dimension's half-open range into `n` near-even chunks.
+fn split_dim((lo, hi): (i64, i64), n: usize) -> Vec<(i64, i64)> {
+    let total = (hi - lo).max(0) as usize;
+    let n = n.clamp(1, total.max(1));
+    let chunk = total / n;
+    let extra = total % n;
+    let mut out = Vec::with_capacity(n);
+    let mut start = lo;
+    for t in 0..n {
+        let len = chunk + usize::from(t < extra);
+        out.push((start, start + len as i64));
+        start += len as i64;
+    }
+    out
+}
+
+/// Decompose the iteration domain into up to `target` parallel task boxes.
+///
+/// Chunk counts are factored across dimensions slowest-first: the slowest
+/// dimension takes `min(extent, target)` chunks, and any remaining budget
+/// spills into the next-slower dimension — so a nest whose slowest extent
+/// is smaller than the pool width (e.g. 4³ on 32 threads) still produces
+/// a full task set instead of starving most of the pool. The construction
+/// keeps an invariant the slab splitter relies on: whenever a dimension is
+/// split into more than one multi-value chunk, every slower dimension is
+/// fully split into single-value chunks, so tasks in emission order cover
+/// ascending, non-interleaved memory regions (for zero store offsets).
+fn plan_tasks(bounds: &[(i64, i64)], target: usize) -> Vec<Vec<(i64, i64)>> {
+    let rank = bounds.len();
+    let mut counts = vec![1usize; rank];
+    let mut remaining = target.max(1);
+    for d in (0..rank).rev() {
+        if remaining <= 1 {
+            break;
+        }
+        let ext = (bounds[d].1 - bounds[d].0).max(0) as usize;
+        if ext == 0 {
+            return vec![bounds.to_vec()];
+        }
+        let c = remaining.min(ext);
+        counts[d] = c;
+        remaining = remaining.div_ceil(c);
+    }
+    let chunks: Vec<Vec<(i64, i64)>> = (0..rank).map(|d| split_dim(bounds[d], counts[d])).collect();
+    // Cartesian product, dimension 0 varying fastest: emission order is
+    // ascending in memory for column-major strides.
+    let mut tasks = Vec::with_capacity(chunks.iter().map(Vec::len).product());
+    let mut idx = vec![0usize; rank];
+    loop {
+        tasks.push((0..rank).map(|d| chunks[d][idx[d]]).collect());
+        let mut d = 0;
+        loop {
+            idx[d] += 1;
+            if idx[d] < chunks[d].len() {
+                break;
+            }
+            idx[d] = 0;
+            d += 1;
+            if d == rank {
+                return tasks;
+            }
+        }
+    }
+}
+
+/// The pre-existing conservative decomposition: split only the slowest
+/// dimension. Used as a fallback when store offsets make the finer split's
+/// slabs overlap.
+fn plan_tasks_outer_only(bounds: &[(i64, i64)], target: usize) -> Vec<Vec<(i64, i64)>> {
+    let rank = bounds.len();
+    let outer = rank - 1;
+    split_dim(bounds[outer], target)
+        .into_iter()
+        .map(|r| {
+            let mut b = bounds.to_vec();
+            b[outer] = r;
+            b
+        })
+        .collect()
+}
+
+/// Split outputs into contiguous per-task slabs and run under the pool.
+///
+/// `task_bounds` come from [`plan_tasks`] (or the coarser
+/// [`plan_tasks_outer_only`] fallback): per-task sub-boxes of the domain in
+/// ascending memory order. Each output buffer is carved into disjoint
+/// `split_at_mut` slabs covering each task's store footprint; if footprints
+/// overlap (wide store offsets), an error tells the caller to retry with a
+/// coarser split.
 #[allow(clippy::too_many_arguments)]
 fn run_sliced(
     nest: &Nest,
@@ -1358,25 +1595,9 @@ fn run_sliced(
     taken: &mut [Vec<f64>],
     out_view_map: &[Option<u16>],
     scalars: &[f64],
-    threads: usize,
+    task_bounds: &[Vec<(i64, i64)>],
     pool: &rayon::ThreadPool,
 ) -> Result<()> {
-    let rank = nest.bounds.len();
-    let outer = rank - 1;
-    let (lo, hi) = nest.bounds[outer];
-    let total = (hi - lo) as usize;
-    let nchunks = threads.min(total).max(1);
-
-    let mut ranges = Vec::with_capacity(nchunks);
-    let chunk = total / nchunks;
-    let extra = total % nchunks;
-    let mut start = lo;
-    for t in 0..nchunks {
-        let len = chunk + usize::from(t < extra);
-        ranges.push((start, start + len as i64));
-        start += len as i64;
-    }
-
     // Exact per-store offset extremes per out view.
     let mut out_offsets: Vec<(i64, i64)> = vec![(i64::MAX, i64::MIN); views.len()];
     for instr in &nest.program.instrs {
@@ -1386,34 +1607,33 @@ fn run_sliced(
             e.1 = e.1.max(*off);
         }
     }
-    let slab_bounds = |view: usize, c0: i64, c1: i64| -> (i64, i64) {
+    let slab_bounds = |view: usize, tb: &[(i64, i64)]| -> (i64, i64) {
         let spec = &views[view];
-        let s_outer = spec.strides[outer];
         let (off_min, off_max) = out_offsets[view];
-        let (rest_min, rest_max) = if rank == 1 {
-            (0, 0)
-        } else {
-            (
-                (0..outer).map(|d| nest.bounds[d].0 * spec.strides[d]).sum(),
-                (0..outer)
-                    .map(|d| (nest.bounds[d].1 - 1) * spec.strides[d])
-                    .sum(),
-            )
-        };
-        let min_idx = c0 * s_outer + rest_min + off_min;
-        let max_idx = (c1 - 1) * s_outer + rest_max + off_max;
+        let min_idx: i64 = tb
+            .iter()
+            .enumerate()
+            .map(|(d, b)| b.0 * spec.strides[d])
+            .sum::<i64>()
+            + off_min;
+        let max_idx: i64 = tb
+            .iter()
+            .enumerate()
+            .map(|(d, b)| (b.1 - 1) * spec.strides[d])
+            .sum::<i64>()
+            + off_max;
         (min_idx, max_idx + 1)
     };
 
     struct Task<'t> {
-        range: (i64, i64),
+        bounds: Vec<(i64, i64)>,
         outs: Vec<&'t mut [f64]>,
         slab_starts: Vec<i64>,
     }
-    let mut tasks: Vec<Task> = ranges
+    let mut tasks: Vec<Task> = task_bounds
         .iter()
-        .map(|&range| Task {
-            range,
+        .map(|tb| Task {
+            bounds: tb.clone(),
             outs: Vec::new(),
             slab_starts: vec![0; views.len()],
         })
@@ -1422,8 +1642,8 @@ fn run_sliced(
     for (&view, buf) in nest.out_views.iter().zip(taken.iter_mut()) {
         let mut remaining: &mut [f64] = buf.as_mut_slice();
         let mut consumed = 0i64;
-        for (t, &(c0, c1)) in ranges.iter().enumerate() {
-            let (s, e) = slab_bounds(view, c0, c1);
+        for (t, tb) in task_bounds.iter().enumerate() {
+            let (s, e) = slab_bounds(view, tb);
             if s < consumed {
                 return Err(err("parallel slabs overlap; cannot work-share this kernel"));
             }
@@ -1441,11 +1661,11 @@ fn run_sliced(
             let inputs_ref = inputs;
             scope.spawn(move |_| {
                 let Task {
-                    range,
+                    bounds,
                     mut outs,
                     slab_starts,
                 } = task;
-                run_range(
+                run_box(
                     nest,
                     views,
                     inputs_ref,
@@ -1453,8 +1673,7 @@ fn run_sliced(
                     &slab_starts,
                     out_view_map,
                     scalars,
-                    range.0,
-                    range.1,
+                    &bounds,
                 );
             });
         }
@@ -1793,6 +2012,254 @@ end program t
         )
         .unwrap();
         assert_eq!(memory.buffer(res)[1 + n], 2.0);
+    }
+
+    const GS3D: &str = "
+program gs
+  integer, parameter :: n = 4
+  integer :: i, j, k
+  real(kind=8) :: u(0:n+1, 0:n+1, 0:n+1), un(0:n+1, 0:n+1, 0:n+1)
+  do k = 1, n
+    do j = 1, n
+      do i = 1, n
+        un(i, j, k) = (u(i-1, j, k) + u(i+1, j, k) + u(i, j-1, k) &
+                     + u(i, j+1, k) + u(i, j, k-1) + u(i, j, k+1)) / 6.0
+      end do
+    end do
+  end do
+end program gs
+";
+
+    /// Total cells covered by a task list, with a disjointness check.
+    fn task_cells(tasks: &[Vec<(i64, i64)>]) -> u64 {
+        let mut seen = std::collections::HashSet::new();
+        let mut cells = 0u64;
+        for t in tasks {
+            let mut coords: Vec<i64> = t.iter().map(|&(lb, _)| lb).collect();
+            'walk: loop {
+                assert!(seen.insert(coords.clone()), "cell {coords:?} covered twice");
+                cells += 1;
+                for d in 0..coords.len() {
+                    coords[d] += 1;
+                    if coords[d] < t[d].1 {
+                        continue 'walk;
+                    }
+                    coords[d] = t[d].0;
+                }
+                break;
+            }
+        }
+        cells
+    }
+
+    #[test]
+    fn plan_tasks_splits_across_dims_when_outer_is_narrow() {
+        // 4³ domain, 32-way budget: the slowest dim alone only yields 4
+        // slabs; the multi-dim factorisation must reach the full budget.
+        let bounds = vec![(1i64, 5), (1, 5), (1, 5)];
+        let tasks = plan_tasks(&bounds, 32);
+        assert_eq!(tasks.len(), 32, "4x4x2 factorisation fills 32 slots");
+        assert_eq!(task_cells(&tasks), 64, "exact disjoint cover");
+        // Legacy outer-only splitting caps at the slowest extent.
+        assert_eq!(plan_tasks_outer_only(&bounds, 32).len(), 4);
+        // Wide outer dims don't over-split.
+        let tasks = plan_tasks(&[(0i64, 100), (0, 8)], 4);
+        assert_eq!(tasks.len(), 4);
+        assert_eq!(task_cells(&tasks), 800);
+        // Budget 1 and empty domains degenerate to one task.
+        assert_eq!(plan_tasks(&bounds, 1).len(), 1);
+        assert_eq!(plan_tasks(&[(0i64, 0), (0, 4)], 8).len(), 1);
+    }
+
+    #[test]
+    fn small_domain_on_wide_pool_matches_serial() {
+        // Regression for the slab scheduler: a 4³ interior on a 32-thread
+        // pool used to fall back to 4 slabs (slowest-dim-only splitting);
+        // the tile decomposition must use the full pool and stay bitwise
+        // identical to the serial sweep.
+        let k = compile(GS3D);
+        let e = 6usize;
+        let mk = |mem: &mut Memory| {
+            let u = mem.alloc_buffer(e * e * e);
+            let un = mem.alloc_buffer(e * e * e);
+            for idx in 0..e * e * e {
+                mem.buffer_mut(u)[idx] = (idx as f64 * 0.61).sin() + 2.0;
+            }
+            (u, un)
+        };
+        let mut m1 = Memory::new();
+        let (u1, un1) = mk(&mut m1);
+        run_kernel(
+            &k,
+            &mut m1,
+            &[KernelArg::Buf(u1), KernelArg::Buf(un1)],
+            1,
+            None,
+        )
+        .unwrap();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(32)
+            .build()
+            .unwrap();
+        let mut m2 = Memory::new();
+        let (u2, un2) = mk(&mut m2);
+        run_kernel(
+            &k,
+            &mut m2,
+            &[KernelArg::Buf(u2), KernelArg::Buf(un2)],
+            32,
+            Some(&pool),
+        )
+        .unwrap();
+        let (a, b) = (m1.buffer(un1), m2.buffer(un2));
+        assert!(
+            a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()),
+            "32-way slab decomposition diverged from serial"
+        );
+        // The scheduler really had 32 disjoint tasks available.
+        assert_eq!(plan_tasks(&k.nests[0].bounds, 32).len(), 32);
+    }
+
+    #[test]
+    fn forced_plans_execute_bit_identically() {
+        // Every plan variant — degenerate tiles, non-divisible tiles,
+        // tiles larger than the extent, unroll-by-4, slab budgets — must
+        // visit every cell exactly once with unchanged per-cell
+        // arithmetic.
+        for src in [LISTING1, GS3D] {
+            let mut k = compile(src);
+            let rank = k.nests[0].bounds.len();
+            let len = k.views[0].len();
+            let mk = |mem: &mut Memory| {
+                let a = mem.alloc_buffer(len);
+                let b = mem.alloc_buffer(len);
+                for idx in 0..len {
+                    mem.buffer_mut(a)[idx] = (idx as f64 * 0.37).cos() * 3.0;
+                }
+                (a, b)
+            };
+            let mut m1 = Memory::new();
+            let (a1, b1) = mk(&mut m1);
+            run_kernel(
+                &k,
+                &mut m1,
+                &[KernelArg::Buf(a1), KernelArg::Buf(b1)],
+                1,
+                None,
+            )
+            .unwrap();
+            let reference = m1.buffer(b1).to_vec();
+
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(3)
+                .build()
+                .unwrap();
+            let plans = [
+                ExecPlan::from_ir_tiles(vec![1; rank]),
+                ExecPlan::from_ir_tiles(vec![3; rank]),
+                ExecPlan::from_ir_tiles(vec![1024; rank]),
+                ExecPlan {
+                    tiles: vec![0, 2],
+                    unroll: 4,
+                    slabs: 0,
+                    provenance: crate::plan::PlanProvenance::Tuned,
+                },
+                ExecPlan {
+                    tiles: vec![],
+                    unroll: 4,
+                    slabs: 1,
+                    provenance: crate::plan::PlanProvenance::Cached,
+                },
+                ExecPlan {
+                    tiles: vec![7; rank],
+                    unroll: 4,
+                    slabs: 2,
+                    provenance: crate::plan::PlanProvenance::Tuned,
+                },
+            ];
+            for plan in plans {
+                k.force_plan(&plan);
+                for (threads, pool) in [(1usize, None), (3usize, Some(&pool))] {
+                    let mut m2 = Memory::new();
+                    let (a2, b2) = mk(&mut m2);
+                    run_kernel(
+                        &k,
+                        &mut m2,
+                        &[KernelArg::Buf(a2), KernelArg::Buf(b2)],
+                        threads,
+                        pool,
+                    )
+                    .unwrap();
+                    assert!(
+                        reference
+                            .iter()
+                            .zip(m2.buffer(b2))
+                            .all(|(x, y)| x.to_bits() == y.to_bits()),
+                        "plan {} diverged at {threads} threads",
+                        plan.describe()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_pipeline_seeds_default_plan_from_ir() {
+        // CPU lowering + explicit tiling pass: the kernel compiler must
+        // pick the tile sizes up from the "tiled" attribute and execute
+        // the cache-blocked sweep bit-identically to the untiled one.
+        let build = |tiles: Option<Vec<i64>>| {
+            let mut m = fsc_fortran::compile_to_fir(LISTING1).unwrap();
+            discover_stencils(&mut m).unwrap();
+            merge_adjacent_applies(&mut m).unwrap();
+            let mut st = extract_stencils(&mut m).unwrap();
+            lower_stencils(&mut st, LoweringTarget::Cpu).unwrap();
+            if let Some(tiles) = tiles {
+                fsc_passes::tiling::ParallelLoopTiling { tile_sizes: tiles }
+                    .run(&mut st)
+                    .unwrap();
+            }
+            fsc_passes::canonicalize::Canonicalize.run(&mut st).unwrap();
+            compile_kernel(&st, "stencil_region_0").unwrap()
+        };
+        let plain = build(None);
+        let tiled = build(Some(vec![8, 4]));
+        assert!(!plain.nests[0].plan.is_tiled());
+        assert!(
+            tiled.nests[0].plan.is_tiled(),
+            "IR tile attribute must seed the default plan: {}",
+            tiled.nests[0].plan.describe()
+        );
+        let n = 18usize;
+        let mk = |mem: &mut Memory| {
+            let data = mem.alloc_buffer(n * n);
+            let res = mem.alloc_buffer(n * n);
+            for idx in 0..n * n {
+                mem.buffer_mut(data)[idx] = (idx as f64).sqrt();
+            }
+            (data, res)
+        };
+        let mut m1 = Memory::new();
+        let (d1, r1) = mk(&mut m1);
+        run_kernel(
+            &plain,
+            &mut m1,
+            &[KernelArg::Buf(d1), KernelArg::Buf(r1)],
+            1,
+            None,
+        )
+        .unwrap();
+        let mut m2 = Memory::new();
+        let (d2, r2) = mk(&mut m2);
+        run_kernel(
+            &tiled,
+            &mut m2,
+            &[KernelArg::Buf(d2), KernelArg::Buf(r2)],
+            1,
+            None,
+        )
+        .unwrap();
+        assert_eq!(m1.buffer(r1), m2.buffer(r2));
     }
 
     #[test]

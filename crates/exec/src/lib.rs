@@ -21,13 +21,19 @@
 //! **column-major** linearisation (dimension 0 fastest), matching Fortran
 //! array layout.
 
+pub mod autotune;
 pub mod bytecode;
 pub mod interp;
 pub mod kernel;
+pub mod plan;
+pub mod plancache;
 pub mod specialize;
 pub mod value;
 
+pub use autotune::{TuneConfig, TuningReport};
 pub use interp::{Interpreter, RunStats};
 pub use kernel::{CompiledKernel, KernelArg, KernelStats};
+pub use plan::{ExecPlan, PlanProvenance};
+pub use plancache::{resolve_cache_path, PlanCache};
 pub use specialize::ExecPath;
 pub use value::{BufId, Memory, Ref, Value};

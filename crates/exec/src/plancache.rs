@@ -1,0 +1,588 @@
+//! The persistent plan cache: autotuned [`ExecPlan`]s keyed by kernel
+//! fingerprint, stored as a small JSON file so calibration cost is paid
+//! once per (kernel, grid extents, thread count) per machine.
+//!
+//! The format is deliberately tiny and hand-rolled (the workspace is
+//! offline — no serde):
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "entries": [
+//!     {"key": "9f3ac11bd0e2a771:48x48x48:t8",
+//!      "tiles": [0, 16, 0], "unroll": 4, "slabs": 1, "micros": 123.4}
+//!   ]
+//! }
+//! ```
+//!
+//! Robustness contract (exercised by the round-trip tests): a missing
+//! file is a clean miss; a corrupt/truncated/wrong-version file degrades
+//! to an empty cache with a coded `E0702` warning — never a panic, never
+//! a failed run. Writes go through a temp file + rename so a crashed
+//! writer cannot leave a half-written cache behind.
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use fsc_ir::diag::{codes, Diagnostic};
+
+use crate::plan::{ExecPlan, PlanProvenance};
+
+/// Current on-disk format version.
+pub const CACHE_VERSION: i64 = 1;
+
+/// Environment variable overriding the default cache location.
+pub const CACHE_ENV: &str = "FSC_PLAN_CACHE";
+
+/// One cached plan: the winning knobs plus the calibrated sweep time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanRecord {
+    /// Winning tile extents (0 = unblocked).
+    pub tiles: Vec<i64>,
+    /// Winning unroll factor.
+    pub unroll: u8,
+    /// Winning slab budget (0 = auto).
+    pub slabs: u32,
+    /// Best calibration sweep time, microseconds (informational).
+    pub micros: f64,
+}
+
+impl PlanRecord {
+    /// The record as an executable plan with `Cached` provenance.
+    pub fn to_plan(&self) -> ExecPlan {
+        ExecPlan {
+            tiles: self.tiles.clone(),
+            unroll: self.unroll,
+            slabs: self.slabs,
+            provenance: PlanProvenance::Cached,
+        }
+    }
+
+    /// A record from a freshly tuned plan.
+    pub fn from_plan(plan: &ExecPlan, micros: f64) -> Self {
+        Self {
+            tiles: plan.tiles.clone(),
+            unroll: plan.unroll,
+            slabs: plan.slabs,
+            micros,
+        }
+    }
+}
+
+/// An in-memory image of one cache file.
+#[derive(Debug, Clone, Default)]
+pub struct PlanCache {
+    /// Entries by fingerprint key (sorted map for a stable file layout).
+    pub entries: BTreeMap<String, PlanRecord>,
+}
+
+impl PlanCache {
+    /// Load a cache file. A missing file is a clean empty cache; anything
+    /// unreadable or unparsable degrades to an empty cache plus an
+    /// [`codes::PLAN_CACHE`] warning describing why.
+    pub fn load(path: &Path) -> (Self, Option<Diagnostic>) {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return (Self::default(), None);
+            }
+            Err(e) => {
+                return (
+                    Self::default(),
+                    Some(
+                        Diagnostic::warning(
+                            codes::PLAN_CACHE,
+                            format!("plan cache {} is unreadable: {e}", path.display()),
+                        )
+                        .note("falling back to default execution plans"),
+                    ),
+                );
+            }
+        };
+        match Self::parse(&text) {
+            Ok(cache) => (cache, None),
+            Err(why) => (
+                Self::default(),
+                Some(
+                    Diagnostic::warning(
+                        codes::PLAN_CACHE,
+                        format!("plan cache {} is corrupt: {why}", path.display()),
+                    )
+                    .note("falling back to default execution plans")
+                    .note("delete the file (or point FSC_PLAN_CACHE elsewhere) to silence this"),
+                ),
+            ),
+        }
+    }
+
+    /// Serialise and atomically write to `path` (temp file + rename).
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let tmp = path.with_extension("json.tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(self.render().as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Render the stable JSON layout.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"version\": {CACHE_VERSION},\n"));
+        out.push_str("  \"entries\": [\n");
+        let n = self.entries.len();
+        for (i, (key, r)) in self.entries.iter().enumerate() {
+            let tiles = r
+                .tiles
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!(
+                "    {{\"key\": {}, \"tiles\": [{tiles}], \"unroll\": {}, \"slabs\": {}, \"micros\": {:.1}}}{}\n",
+                json_string(key),
+                r.unroll,
+                r.slabs,
+                r.micros,
+                if i + 1 < n { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parse the JSON layout (tolerant of whitespace and key order, strict
+    /// about structure and version).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let value = JsonParser::new(text).parse()?;
+        let top = value.as_object().ok_or("top level is not an object")?;
+        match top.get("version") {
+            Some(Json::Num(v)) if *v == CACHE_VERSION as f64 => {}
+            Some(Json::Num(v)) => return Err(format!("unsupported cache version {v}")),
+            _ => return Err("missing version field".into()),
+        }
+        let entries = top
+            .get("entries")
+            .and_then(Json::as_array)
+            .ok_or("missing entries array")?;
+        let mut out = BTreeMap::new();
+        for e in entries {
+            let obj = e.as_object().ok_or("entry is not an object")?;
+            let key = obj
+                .get("key")
+                .and_then(Json::as_str)
+                .ok_or("entry missing key")?
+                .to_string();
+            let tiles = obj
+                .get("tiles")
+                .and_then(Json::as_array)
+                .ok_or("entry missing tiles")?
+                .iter()
+                .map(|t| t.as_i64().ok_or("tile is not an integer"))
+                .collect::<Result<Vec<_>, _>>()?;
+            let unroll = obj
+                .get("unroll")
+                .and_then(Json::as_i64)
+                .ok_or("entry missing unroll")?;
+            let slabs = obj
+                .get("slabs")
+                .and_then(Json::as_i64)
+                .ok_or("entry missing slabs")?;
+            if !(1..=16).contains(&unroll) || !(0..=1 << 20).contains(&slabs) {
+                return Err(format!("entry '{key}' has out-of-range knobs"));
+            }
+            let micros = obj.get("micros").and_then(Json::as_f64).unwrap_or(0.0);
+            out.insert(
+                key,
+                PlanRecord {
+                    tiles,
+                    unroll: unroll as u8,
+                    slabs: slabs as u32,
+                    micros,
+                },
+            );
+        }
+        Ok(Self { entries: out })
+    }
+}
+
+/// Resolve the cache file location: explicit override, else the
+/// `FSC_PLAN_CACHE` environment variable, else a per-user file in the
+/// system temp directory.
+pub fn resolve_cache_path(explicit: Option<&Path>) -> PathBuf {
+    if let Some(p) = explicit {
+        return p.to_path_buf();
+    }
+    if let Ok(p) = std::env::var(CACHE_ENV) {
+        if !p.is_empty() {
+            return PathBuf::from(p);
+        }
+    }
+    std::env::temp_dir().join("fsc-plan-cache.json")
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A minimal JSON value (just enough for the cache format).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn as_object(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+    fn as_array(&self) -> Option<&Vec<Json>> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+    fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Num(n) if n.fract() == 0.0 && n.abs() < 9e15 => Some(*n as i64),
+            _ => None,
+        }
+    }
+}
+
+/// A small recursive-descent JSON parser (no external deps; depth-capped).
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn parse(mut self) -> Result<Json, String> {
+        let v = self.value(0)?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", self.pos));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, String> {
+        if depth > 32 {
+            return Err("nesting too deep".into());
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected end or byte at {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .filter(|n| n.is_finite())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos).copied() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos).copied() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("bad \\u escape")?;
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err("bad escape".into()),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8: copy the whole char.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid utf-8 in string")?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(out));
+        }
+        loop {
+            out.push(self.value(depth + 1)?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(out));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut out = BTreeMap::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(out));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            let val = self.value(depth + 1)?;
+            out.insert(key, val);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(out));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PlanCache {
+        let mut c = PlanCache::default();
+        c.entries.insert(
+            "abc123:48x48x48:t8".into(),
+            PlanRecord {
+                tiles: vec![0, 16, 0],
+                unroll: 4,
+                slabs: 1,
+                micros: 123.4,
+            },
+        );
+        c.entries.insert(
+            "ffee00:16x16:t1".into(),
+            PlanRecord {
+                tiles: vec![],
+                unroll: 1,
+                slabs: 0,
+                micros: 9.0,
+            },
+        );
+        c
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let c = sample();
+        let parsed = PlanCache::parse(&c.render()).unwrap();
+        assert_eq!(parsed.entries, c.entries);
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = std::env::temp_dir().join("fsc-plancache-test-rt");
+        let path = dir.join("cache.json");
+        let _ = std::fs::remove_dir_all(&dir);
+        let c = sample();
+        c.save(&path).unwrap();
+        let (loaded, diag) = PlanCache::load(&path);
+        assert!(diag.is_none());
+        assert_eq!(loaded.entries, c.entries);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_miss() {
+        let (c, diag) = PlanCache::load(Path::new("/nonexistent/fsc/cache.json"));
+        assert!(c.entries.is_empty());
+        assert!(diag.is_none());
+    }
+
+    #[test]
+    fn corrupt_and_truncated_files_degrade_with_coded_diagnostic() {
+        let dir = std::env::temp_dir().join("fsc-plancache-test-corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let cases: [&str; 5] = [
+            "not json at all",
+            "{\"version\": 99, \"entries\": []}",
+            "{\"version\": 1, \"entries\": [{\"key\": \"x\"",
+            "{\"version\": 1}",
+            "{\"version\": 1, \"entries\": [{\"key\": \"x\", \"tiles\": [1], \"unroll\": 0, \"slabs\": 0}]}",
+        ];
+        for (i, text) in cases.iter().enumerate() {
+            let path = dir.join(format!("c{i}.json"));
+            std::fs::write(&path, text).unwrap();
+            let (c, diag) = PlanCache::load(&path);
+            assert!(c.entries.is_empty(), "case {i} should be empty");
+            let d = diag.unwrap_or_else(|| panic!("case {i} should carry a diagnostic"));
+            assert_eq!(d.code, codes::PLAN_CACHE);
+            assert!(d.render().contains("E0702"), "{}", d.render());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn plan_record_converts_to_cached_plan() {
+        let r = PlanRecord {
+            tiles: vec![8, 8],
+            unroll: 4,
+            slabs: 2,
+            micros: 1.0,
+        };
+        let p = r.to_plan();
+        assert_eq!(p.provenance, PlanProvenance::Cached);
+        assert_eq!(p.tiles, vec![8, 8]);
+        assert_eq!(PlanRecord::from_plan(&p, 1.0), r);
+    }
+
+    #[test]
+    fn resolve_prefers_explicit_path() {
+        let p = resolve_cache_path(Some(Path::new("/tmp/explicit.json")));
+        assert_eq!(p, PathBuf::from("/tmp/explicit.json"));
+        // Default resolution lands somewhere non-empty.
+        assert!(!resolve_cache_path(None).as_os_str().is_empty());
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_unicode() {
+        let v = JsonParser::new(r#"{"a": "x\"\\\nAé", "b": [1, -2.5e1]}"#)
+            .parse()
+            .unwrap();
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj.get("a").unwrap().as_str().unwrap(), "x\"\\\nAé");
+        let arr = obj.get("b").unwrap().as_array().unwrap();
+        assert_eq!(arr[1].as_f64().unwrap(), -25.0);
+    }
+}

@@ -584,10 +584,82 @@ fn scaled_sum_row<const K: usize>(
     }
 }
 
+/// [`scaled_sum_row`] unrolled by 4: four output cells per iteration, each
+/// with its *own* left-folded accumulator chain. Per-cell rounding order is
+/// exactly the unit-stride loop's, so results stay bit-identical; the four
+/// independent chains overlap in the pipeline, which matters most for the
+/// serial divide chain of `Scale::DivRight` (the Gauss–Seidel kernel).
+#[inline]
+fn scaled_sum_row_x4<const K: usize>(
+    out: &mut [f64],
+    srcs: &[(&[f64], usize)],
+    scale: Scale,
+    scalars: &[f64],
+) {
+    let w = out.len();
+    let mut s: [(&[f64], usize); K] = [(&[][..], 0); K];
+    s.copy_from_slice(&srcs[..K]);
+    let rows: [&[f64]; K] = std::array::from_fn(|t| &s[t].0[s[t].1..s[t].1 + w]);
+    let sum_at = |x: usize| -> f64 {
+        let mut acc = rows[0][x];
+        for row in rows.iter().skip(1) {
+            acc += row[x];
+        }
+        acc
+    };
+    let cv = match scale {
+        Scale::None => 0.0,
+        Scale::MulLeft(c) | Scale::MulRight(c) | Scale::DivRight(c) => c.value(scalars),
+    };
+    let finish = |acc: f64| -> f64 {
+        match scale {
+            Scale::None => acc,
+            Scale::MulLeft(_) => cv * acc,
+            Scale::MulRight(_) => acc * cv,
+            Scale::DivRight(_) => acc / cv,
+        }
+    };
+    let mut x = 0;
+    while x + 4 <= w {
+        let a0 = finish(sum_at(x));
+        let a1 = finish(sum_at(x + 1));
+        let a2 = finish(sum_at(x + 2));
+        let a3 = finish(sum_at(x + 3));
+        out[x] = a0;
+        out[x + 1] = a1;
+        out[x + 2] = a2;
+        out[x + 3] = a3;
+        x += 4;
+    }
+    while x < w {
+        out[x] = finish(sum_at(x));
+        x += 1;
+    }
+}
+
+/// Dispatch a monomorphised arity to the straight or unrolled row loop.
+#[inline]
+fn scaled_sum_dispatch<const K: usize>(
+    unroll4: bool,
+    out: &mut [f64],
+    srcs: &[(&[f64], usize)],
+    scale: Scale,
+    scalars: &[f64],
+) {
+    if unroll4 {
+        scaled_sum_row_x4::<K>(out, srcs, scale, scalars);
+    } else {
+        scaled_sum_row::<K>(out, srcs, scale, scalars);
+    }
+}
+
 /// Execute one specialized store over `w` consecutive unit-stride cells.
 ///
 /// `cursors` address cell 0 of the row exactly as for the VM paths;
-/// `outputs`/`out_view_map` follow the same slot convention.
+/// `outputs`/`out_view_map` follow the same slot convention. `unroll` is
+/// the plan's inner-loop unroll factor (≥4 selects the unrolled
+/// `ScaledSum` loop; `Copy`/`LinComb`/`PwAdvect` bodies ignore it).
+#[allow(clippy::too_many_arguments)]
 pub fn run_spec_row(
     body: &SpecBody,
     inputs: &[&[f64]],
@@ -596,6 +668,7 @@ pub fn run_spec_row(
     cursors: &[i64],
     scalars: &[f64],
     w: usize,
+    unroll: u8,
 ) {
     let out_access = match body {
         SpecBody::Copy { out, .. }
@@ -617,14 +690,15 @@ pub fn run_spec_row(
             let srcs: Vec<(&[f64], usize)> =
                 loads.iter().map(|&l| resolve(inputs, cursors, l)).collect();
             // Monomorphise the common arities (4 = Listing 1, 6 = GS).
+            let u4 = unroll >= 4;
             match srcs.len() {
-                2 => scaled_sum_row::<2>(out, &srcs, *scale, scalars),
-                3 => scaled_sum_row::<3>(out, &srcs, *scale, scalars),
-                4 => scaled_sum_row::<4>(out, &srcs, *scale, scalars),
-                5 => scaled_sum_row::<5>(out, &srcs, *scale, scalars),
-                6 => scaled_sum_row::<6>(out, &srcs, *scale, scalars),
-                7 => scaled_sum_row::<7>(out, &srcs, *scale, scalars),
-                8 => scaled_sum_row::<8>(out, &srcs, *scale, scalars),
+                2 => scaled_sum_dispatch::<2>(u4, out, &srcs, *scale, scalars),
+                3 => scaled_sum_dispatch::<3>(u4, out, &srcs, *scale, scalars),
+                4 => scaled_sum_dispatch::<4>(u4, out, &srcs, *scale, scalars),
+                5 => scaled_sum_dispatch::<5>(u4, out, &srcs, *scale, scalars),
+                6 => scaled_sum_dispatch::<6>(u4, out, &srcs, *scale, scalars),
+                7 => scaled_sum_dispatch::<7>(u4, out, &srcs, *scale, scalars),
+                8 => scaled_sum_dispatch::<8>(u4, out, &srcs, *scale, scalars),
                 _ => {
                     // Dynamic arity: same order, plain loop.
                     let cv = |c: &Coeff| c.value(scalars);
@@ -1004,7 +1078,16 @@ mod tests {
             let inputs: Vec<&[f64]> = vec![&input, &[]];
             let mut outs: Vec<&mut [f64]> = vec![&mut spec_out];
             for body in &spec.stores {
-                run_spec_row(body, &inputs, &mut outs, &[None, Some(0)], &[2, 2], &[], w);
+                run_spec_row(
+                    body,
+                    &inputs,
+                    &mut outs,
+                    &[None, Some(0)],
+                    &[2, 2],
+                    &[],
+                    w,
+                    1,
+                );
             }
         }
         assert_eq!(

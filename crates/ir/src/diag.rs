@@ -223,6 +223,13 @@ pub mod codes {
     pub const KERNEL: &str = "E0602";
     /// Runtime execution error.
     pub const EXEC: &str = "E0701";
+    /// Pass option rejected (out-of-range or malformed value).
+    pub const PASS_BAD_OPTION: &str = "E0504";
+    /// Plan cache unreadable (missing/corrupt/unsupported version) —
+    /// execution falls back to default plans.
+    pub const PLAN_CACHE: &str = "E0702";
+    /// Autotune calibration failed or was skipped — default plan kept.
+    pub const AUTOTUNE: &str = "E0703";
 
     /// One-line description of a code, for docs and `--explain`-style
     /// output. Returns `None` for unknown codes.
@@ -253,9 +260,12 @@ pub mod codes {
             "E0501" => "pass returned an error",
             "E0502" => "pass panicked",
             "E0503" => "pass produced IR the verifier rejects",
+            "E0504" => "pass option rejected",
             "E0601" => "frontend lowering error",
             "E0602" => "kernel compilation error",
             "E0701" => "runtime execution error",
+            "E0702" => "plan cache unreadable; default plans used",
+            "E0703" => "autotune calibration failed; default plan kept",
             _ => return None,
         })
     }
@@ -264,7 +274,8 @@ pub mod codes {
     pub const ALL: &[&str] = &[
         "E0001", "E0002", "E0101", "E0102", "E0103", "E0104", "E0105", "E0201", "E0202", "E0203",
         "E0204", "E0205", "E0206", "E0207", "E0208", "E0301", "E0302", "E0303", "E0304", "E0305",
-        "E0401", "E0402", "E0501", "E0502", "E0503", "E0601", "E0602", "E0701",
+        "E0401", "E0402", "E0501", "E0502", "E0503", "E0504", "E0601", "E0602", "E0701", "E0702",
+        "E0703",
     ];
 }
 

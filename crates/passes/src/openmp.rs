@@ -71,10 +71,17 @@ fn convert_one(module: &mut Module, par_op: fsc_ir::OpId, num_threads: u32) -> R
     let src_ivs = par.ivs(module);
 
     // omp.parallel { omp.wsloop(...) { body } } in place of the scf loop.
-    let (_, par_body) = {
+    let (omp_par, par_body) = {
         let mut b = OpBuilder::before(module, par_op);
         omp::build_parallel(&mut b, num_threads)
     };
+    // A tiled scf.parallel carries its tile sizes in the "tiled"
+    // attribute; the kernel compiler reads that attribute off the loop
+    // *root* (here the omp.parallel) to seed the default execution plan,
+    // so carry it across the dialect conversion.
+    if let Some(tiles) = module.op(par_op).attr("tiled").cloned() {
+        module.op_mut(omp_par).attrs.insert("tiled".into(), tiles);
+    }
     let ws = {
         let term = module
             .block_terminator(par_body)
@@ -204,6 +211,22 @@ mod tests {
         let ws = collect_ops_named(&m, omp::WSLOOP);
         assert!(m.ancestors(fors[0]).contains(&ws[0]));
         assert_eq!(collect_ops_named(&m, "test.use").len(), 1);
+    }
+
+    #[test]
+    fn tiled_attr_survives_conversion() {
+        let mut m = module_with_parallel(2);
+        let par = collect_ops_named(&m, scf::PARALLEL)[0];
+        m.op_mut(par)
+            .attrs
+            .insert("tiled".into(), fsc_ir::Attribute::IndexList(vec![16, 4]));
+        ConvertScfToOpenMp { num_threads: 4 }.run(&mut m).unwrap();
+        let omp_par = collect_ops_named(&m, omp::PARALLEL)[0];
+        assert_eq!(
+            m.op(omp_par).attr("tiled").unwrap().as_index_list(),
+            Some(&[16, 4][..]),
+            "omp.parallel must carry the scf.parallel's tile sizes"
+        );
     }
 
     #[test]

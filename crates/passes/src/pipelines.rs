@@ -173,11 +173,39 @@ pub fn cpu_pipeline() -> Result<PassManager> {
     )
 }
 
+/// CPU flow with explicit cache-block tiling: `scf-parallel-loop-tiling`
+/// runs after the stencil lowering so the parallel nest carries tile sizes
+/// (the `"tiled"` attribute) into the kernel compiler's default plan.
+pub fn cpu_pipeline_tiled(tile_sizes: &[i64]) -> Result<PassManager> {
+    let tiles: Vec<String> = tile_sizes.iter().map(i64::to_string).collect();
+    registry().parse_pipeline(&format!(
+        "canonicalize,cse,stencil-to-scf{{target=cpu}},\
+         scf-parallel-loop-tiling{{parallel-loop-tile-sizes={}}},\
+         canonicalize,cse",
+        tiles.join(",")
+    ))
+}
+
 /// Multithreaded CPU flow: CPU shape then `convert-scf-to-openmp`.
 pub fn openmp_pipeline(num_threads: u32) -> Result<PassManager> {
     registry().parse_pipeline(&format!(
         "canonicalize,cse,stencil-to-scf{{target=cpu}},canonicalize,cse,\
          convert-scf-to-openmp{{num-threads={num_threads}}}"
+    ))
+}
+
+/// Multithreaded CPU flow with explicit cache-block tiling: the tiling
+/// pass shapes the parallel nest *before* the OpenMP conversion, and the
+/// conversion carries the `"tiled"` attribute across, so `omp` kernels
+/// execute cache-blocked too.
+pub fn openmp_pipeline_tiled(num_threads: u32, tile_sizes: &[i64]) -> Result<PassManager> {
+    let tiles: Vec<String> = tile_sizes.iter().map(i64::to_string).collect();
+    registry().parse_pipeline(&format!(
+        "canonicalize,cse,stencil-to-scf{{target=cpu}},\
+         scf-parallel-loop-tiling{{parallel-loop-tile-sizes={}}},\
+         canonicalize,cse,\
+         convert-scf-to-openmp{{num-threads={num_threads}}}",
+        tiles.join(",")
     ))
 }
 
@@ -253,7 +281,9 @@ mod tests {
     #[test]
     fn named_pipelines_build() {
         assert!(cpu_pipeline().is_ok());
+        assert!(cpu_pipeline_tiled(&[1, 16]).is_ok());
         assert!(openmp_pipeline(64).is_ok());
+        assert!(openmp_pipeline_tiled(8, &[1, 16, 16]).is_ok());
         assert!(gpu_pipeline(true, &[32, 32, 1]).is_ok());
         assert!(gpu_pipeline(false, &[16, 16, 1]).is_ok());
         assert!(dmp_pipeline(&[4, 2]).is_ok());
@@ -265,6 +295,21 @@ mod tests {
         assert_eq!(*pm.pass_names().last().unwrap(), "gpu-data-explicit");
         let pm = gpu_pipeline(false, &[32, 32, 1]).unwrap();
         assert_eq!(*pm.pass_names().last().unwrap(), "gpu-data-host-register");
+    }
+
+    #[test]
+    fn tiled_openmp_pipeline_orders_tiling_before_conversion() {
+        let pm = openmp_pipeline_tiled(4, &[1, 8]).unwrap();
+        let names = pm.pass_names();
+        let t = names
+            .iter()
+            .position(|n| *n == "scf-parallel-loop-tiling")
+            .unwrap();
+        let o = names
+            .iter()
+            .position(|n| *n == "convert-scf-to-openmp")
+            .unwrap();
+        assert!(t < o, "tiling must shape the nest before the omp rewrite");
     }
 
     #[test]

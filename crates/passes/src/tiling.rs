@@ -8,6 +8,7 @@
 use std::collections::HashMap;
 
 use fsc_dialects::{arith, scf};
+use fsc_ir::diag::{codes, Diagnostic};
 use fsc_ir::pass::PassOptions;
 use fsc_ir::rewrite::clone_op_into;
 use fsc_ir::walk::collect_ops_named;
@@ -39,7 +40,37 @@ impl ParallelLoopTiling {
     }
 
     fn tile_for_dim(&self, d: usize) -> i64 {
-        self.tile_sizes.get(d).copied().unwrap_or(1).max(1)
+        self.tile_sizes.get(d).copied().unwrap_or(1)
+    }
+
+    /// Reject out-of-range option values. Explicit zero/negative tile
+    /// sizes used to be silently clamped to 1, which hid typos in
+    /// `parallel-loop-tile-sizes=` and made ablation sweeps lie about the
+    /// configuration they measured; now they are a coded error. Missing
+    /// trailing dimensions still default to 1 (untiled) — only values the
+    /// user actually wrote are validated.
+    fn validate(&self) -> Result<()> {
+        if let Some(&bad) = self.tile_sizes.iter().find(|&&t| t < 1) {
+            return Err(IrError::from_diagnostic(
+                Diagnostic::error(
+                    codes::PASS_BAD_OPTION,
+                    format!(
+                        "scf-parallel-loop-tiling: tile size {bad} is out of range \
+                         (parallel-loop-tile-sizes entries must be >= 1)"
+                    ),
+                )
+                .note(format!(
+                    "requested parallel-loop-tile-sizes={}",
+                    self.tile_sizes
+                        .iter()
+                        .map(|t| t.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                ))
+                .note("use 1 to leave a dimension untiled"),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -49,6 +80,7 @@ impl Pass for ParallelLoopTiling {
     }
 
     fn run(&self, module: &mut Module) -> Result<PassResult> {
+        self.validate()?;
         let mut changed = false;
         for par in collect_ops_named(module, scf::PARALLEL) {
             if !module.is_alive(par) {
@@ -203,6 +235,23 @@ mod tests {
         assert_eq!(pass.tile_for_dim(0), 32);
         assert_eq!(pass.tile_for_dim(2), 1);
         assert_eq!(pass.tile_for_dim(9), 1, "missing dims default to 1");
+    }
+
+    #[test]
+    fn zero_and_negative_tile_sizes_are_rejected_with_coded_diagnostic() {
+        for bad in [vec![0, 32], vec![32, -4, 1]] {
+            let mut m = parallel_module(2, 64);
+            let err = ParallelLoopTiling {
+                tile_sizes: bad.clone(),
+            }
+            .run(&mut m)
+            .expect_err("tile sizes {bad:?} must be rejected");
+            let diag = err.diagnostics.first().expect("coded diagnostic");
+            assert_eq!(diag.code, codes::PASS_BAD_OPTION);
+            assert!(err.message.contains("E0504"), "{}", err.message);
+            // The module was not touched: the untiled parallel survives.
+            assert_eq!(collect_ops_named(&m, scf::FOR).len(), 0);
+        }
     }
 
     #[test]

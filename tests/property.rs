@@ -200,6 +200,66 @@ proptest! {
         prop_assert_eq!(&results[1], &results[2], "fused-vm vs generic-vm");
     }
 
+    /// Cache-blocked execution must be **bit**-identical to the unblocked
+    /// default plan for every tile shape — unit tiles, non-divisible
+    /// tiles, tiles larger than the extent, unrolled inner loops — on
+    /// both the specialized native path and the generic VM.
+    #[test]
+    fn tiled_plans_bit_identical_on_random_2d_stencils(
+        terms in prop::collection::vec(term2(), 1..6),
+        n in 4usize..12,
+        tile in 1i64..8,
+    ) {
+        use flang_stencil::exec::{ExecPath, ExecPlan};
+        let source = program_2d(&terms, n);
+        let opts = CompileOptions {
+            target: Target::StencilCpu,
+            verify_each_pass: false,
+            ..Default::default()
+        };
+        let mut compiled = Compiler::compile(&source, &opts).unwrap();
+        let reference: Vec<u64> = compiled
+            .run()
+            .expect("default-plan run")
+            .array("r")
+            .expect("r array")
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let plans = [
+            ExecPlan::from_ir_tiles(vec![1, 1]),       // degenerate unit tiles
+            ExecPlan::from_ir_tiles(vec![3, 3]),       // non-divisible
+            ExecPlan::from_ir_tiles(vec![tile, tile]), // random shape
+            ExecPlan::from_ir_tiles(vec![0, tile]),    // slowest dim only
+            ExecPlan {
+                tiles: vec![1 << 20, 1 << 20],         // larger than any extent
+                unroll: 4,
+                ..ExecPlan::default()
+            },
+            ExecPlan { unroll: 4, slabs: 1, ..ExecPlan::default() },
+        ];
+        for path in [ExecPath::Specialized, ExecPath::GenericVm] {
+            for plan in &plans {
+                for kernel in compiled.kernels.values_mut() {
+                    kernel.force_exec_path(path);
+                    kernel.force_plan(plan);
+                }
+                let got: Vec<u64> = compiled
+                    .run()
+                    .expect("planned run")
+                    .array("r")
+                    .expect("r array")
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect();
+                prop_assert_eq!(
+                    &got, &reference,
+                    "{:?} with plan {} diverged bitwise", path, plan.describe()
+                );
+            }
+        }
+    }
+
     /// Every degradation-ladder rung — full stencil pipeline, sequential
     /// scf fallback, direct FIR interpretation — must agree bitwise on
     /// random stencils, and the report must attest the forced rung.
