@@ -33,6 +33,13 @@ echo "== fuzz smoke =="
 # seed keeps CI deterministic; nightly jobs can rotate it.
 timeout --kill-after=30s 300s cargo run -q -p fsc-bench --bin fuzz_diff -- --cases 200 --seed 1
 
+echo "== distributed smoke =="
+# Executed distributed run on a 2x2 process grid: rank bodies on the MPI
+# micro-sim must produce a bit-identical result to single-rank serial and
+# attest a non-zero halo-overlap fraction (asserted inside the binary).
+timeout --kill-after=30s 300s \
+  cargo run -q -p fsc-bench --bin fig6_distributed -- --smoke
+
 echo "== autotune smoke =="
 # Calibration sweep + cache-blocked plan ablation on a throwaway cache
 # directory, so CI never reads or pollutes a developer's plan cache. The

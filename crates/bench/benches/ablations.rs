@@ -6,7 +6,9 @@
 //!   the specialization ladder (native specialized loops, superinstruction
 //!   VM, generic VM), plus the naive (Flang-model) runner and the op-by-op
 //!   interpreter;
-//! * **halo width** — DMP exchange cost as the stencil radius grows.
+//! * **halo width** — DMP exchange cost as the stencil radius grows;
+//! * **distributed overlap** — real rank bodies with the halo overlap
+//!   schedule on vs off (blocking).
 //!
 //! ```sh
 //! cargo bench -p fsc-bench --bench ablations
@@ -16,7 +18,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fsc_core::{CompileOptions, Compiler, Target};
 use fsc_exec::ExecPath;
 use fsc_mpisim::{CostModel, ProcessGrid};
-use fsc_workloads::pw_advection;
+use fsc_workloads::{gauss_seidel, pw_advection};
 
 const N: usize = 24;
 
@@ -213,9 +215,34 @@ fn ablation_halo(c: &mut Criterion) {
     g.finish();
 }
 
+fn ablation_distributed_overlap(c: &mut Criterion) {
+    // Real distributed execution on the MPI micro-sim: the same compiled
+    // kernels on a 2x2 process grid, with `mpi-overlap-halos` on
+    // (interior computed while faces are in flight) vs off (receive
+    // everything, then compute). The gap is the hidden halo latency.
+    let mut g = c.benchmark_group("distributed_overlap");
+    let source = gauss_seidel::fortran_source(16, 2);
+    for (label, overlap) in [("blocking", false), ("overlapped", true)] {
+        let compiled = Compiler::compile(
+            &source,
+            &CompileOptions {
+                target: Target::StencilDistributed { grid: vec![2, 2] },
+                verify_each_pass: false,
+                overlap_halos: overlap,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        g.bench_function(BenchmarkId::new("gs", label), |b| {
+            b.iter(|| compiled.run().unwrap())
+        });
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = ablation_fusion, ablation_tiling, ablation_cpu_tiling, ablation_exec_tier, ablation_halo
+    targets = ablation_fusion, ablation_tiling, ablation_cpu_tiling, ablation_exec_tier, ablation_halo, ablation_distributed_overlap
 }
 criterion_main!(benches);

@@ -19,8 +19,9 @@ use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use fsc_exec::autotune::{self, TuneConfig, TuningReport};
+use fsc_exec::distexec::{self, DistOutcome};
 use fsc_exec::interp::{Interpreter, RegionDispatcher, RunStats};
-use fsc_exec::kernel::{self, CompiledKernel, GpuStrategy, KernelArg, PlanKind};
+use fsc_exec::kernel::{self, CompiledKernel, GpuStrategy, HaloSchedule, KernelArg, PlanKind};
 use fsc_exec::plan::{ExecPlan, PlanProvenance};
 use fsc_exec::value::{Memory, Ref, Value};
 use fsc_exec::ExecPath;
@@ -106,6 +107,12 @@ pub struct CompileOptions {
     /// I/O. The outcome is attested in [`Compiled::tuning`] and rides
     /// into [`RunReport::tuning`].
     pub autotune: Option<TuneConfig>,
+    /// Distributed targets: run the `mpi-overlap-halos` pass so star-shaped
+    /// stencils compute their interior while halo messages are in flight
+    /// (post-recv → post-send → interior → waitall → boundary). On by
+    /// default; turn off to force the blocking schedule (exchange first,
+    /// then compute), e.g. for the overlap-vs-blocking ablation.
+    pub overlap_halos: bool,
 }
 
 impl Default for CompileOptions {
@@ -117,6 +124,7 @@ impl Default for CompileOptions {
             sabotage_pass: None,
             force_rung: None,
             autotune: None,
+            overlap_halos: true,
         }
     }
 }
@@ -231,6 +239,69 @@ pub struct Compiled {
     pub tuning: Option<TuningReport>,
 }
 
+/// Attestation of real distributed execution: every dispatch that ran as
+/// genuine rank bodies over the simulated MPI substrate contributes its
+/// measured per-rank wall time, halo traffic, and schedule breakdown. The
+/// legacy cost model stays as a cross-check (`modeled_seconds`), so a run
+/// attests both what was measured and what the model would have charged.
+#[derive(Debug, Clone, Default)]
+pub struct DistributedReport {
+    /// Ranks in the process grid.
+    pub ranks: i64,
+    /// Kernel dispatches that executed on real rank bodies (dispatches
+    /// outside the supported shape fall back to the modeled path and are
+    /// not counted here).
+    pub dispatches: u64,
+    /// The halo schedule the exchanging nests ran under (`None` until a
+    /// real dispatch happens).
+    pub schedule: Option<HaloSchedule>,
+    /// Measured wall seconds per rank, summed across dispatches.
+    pub per_rank_wall: Vec<f64>,
+    /// Total halo payload bytes exchanged across all ranks and dispatches.
+    pub bytes_exchanged: u64,
+    /// Total halo messages across all ranks and dispatches.
+    pub messages: u64,
+    /// Face pack + send posting seconds, summed over ranks.
+    pub pack_seconds: f64,
+    /// Interior compute seconds overlapped with in-flight messages.
+    pub interior_seconds: f64,
+    /// Seconds blocked in receives + halo unpack, summed over ranks.
+    pub wait_seconds: f64,
+    /// Boundary (overlap) or whole-block (blocking) compute seconds.
+    pub boundary_seconds: f64,
+    /// Measured distributed seconds: the sum of per-dispatch makespans
+    /// (slowest rank each time).
+    pub measured_seconds: f64,
+    /// What the analytic cost model charges for the same dispatches
+    /// (mean per-rank compute + modeled halo communication) — kept as a
+    /// cross-check against the measurement.
+    pub modeled_seconds: f64,
+}
+
+impl DistributedReport {
+    /// Fraction of halo latency hidden behind interior compute:
+    /// `Σ interior / (Σ interior + Σ wait)`. Zero under the blocking
+    /// schedule.
+    pub fn overlap_fraction(&self) -> f64 {
+        let denom = self.interior_seconds + self.wait_seconds;
+        if denom > 0.0 {
+            self.interior_seconds / denom
+        } else {
+            0.0
+        }
+    }
+
+    /// Modeled-over-measured ratio (zero when nothing was measured):
+    /// how far the analytic model sits from the real execution.
+    pub fn model_ratio(&self) -> f64 {
+        if self.measured_seconds > 0.0 {
+            self.modeled_seconds / self.measured_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Execution accounting.
 #[derive(Debug, Clone, Default)]
 pub struct RunReport {
@@ -246,10 +317,14 @@ pub struct RunReport {
     pub gpu_seconds: Option<f64>,
     /// GPU transfer/launch counters (GPU targets).
     pub gpu: Option<GpuCounters>,
-    /// Modeled distributed seconds (distributed targets).
+    /// Distributed seconds (distributed targets): measured makespans for
+    /// dispatches that ran on real rank bodies, plus modeled time for any
+    /// dispatch that fell back to the cost model.
     pub distributed_seconds: Option<f64>,
-    /// Ranks used by the distributed model.
+    /// Ranks used by the distributed target.
     pub ranks: Option<i64>,
+    /// Real distributed-execution attestation (distributed targets only).
+    pub distributed: Option<DistributedReport>,
     /// Distinct execution paths the stencil nests ran through (sorted;
     /// empty for Flang-only and naive-tier runs, which bypass the
     /// specialization ladder).
@@ -363,7 +438,7 @@ impl Compiler {
         }
         let mut stencil = fsc_passes::extract::extract_stencils(&mut fir)?;
         // Target-specific lowering of the stencil module.
-        let mut pm = target_pipeline(&options.target)?;
+        let mut pm = target_pipeline(options)?;
         if options.verify_each_pass {
             pm.enable_verifier();
         }
@@ -468,8 +543,8 @@ fn autotune_compiled(compiled: &mut Compiled, cfg: &TuneConfig) {
 }
 
 /// Build the target-specific stencil-module pipeline.
-fn target_pipeline(target: &Target) -> Result<fsc_ir::PassManager> {
-    match target {
+fn target_pipeline(options: &CompileOptions) -> Result<fsc_ir::PassManager> {
+    match &options.target {
         Target::FlangOnly => Err(IrError::new("Flang-only target has no stencil pipeline")),
         Target::UnoptimizedCpu => pipelines::unoptimized_cpu_pipeline(),
         Target::StencilCpu => pipelines::cpu_pipeline(),
@@ -478,7 +553,9 @@ fn target_pipeline(target: &Target) -> Result<fsc_ir::PassManager> {
             explicit_data,
             tile,
         } => pipelines::gpu_pipeline(*explicit_data, tile),
-        Target::StencilDistributed { grid } => pipelines::dmp_pipeline(grid),
+        Target::StencilDistributed { grid } => {
+            pipelines::dmp_pipeline_with(grid, options.overlap_halos)
+        }
         Target::StencilMultiGpu { grid, tile } => pipelines::gpu_dmp_pipeline(grid, tile),
     }
 }
@@ -547,7 +624,7 @@ fn try_rung(
     .map_err(|e| attempt("extract", None, error_diags(e)))?;
 
     let pm = match rung {
-        DegradationRung::Stencil => target_pipeline(&options.target),
+        DegradationRung::Stencil => target_pipeline(options),
         DegradationRung::ScfFallback => pipelines::scf_fallback_pipeline(),
         DegradationRung::FirInterp => Err(IrError::new("FIR interpretation runs no pipeline")),
     }
@@ -629,6 +706,11 @@ impl Compiled {
             gpu: gpu_counters,
             distributed_seconds: is_distributed.then_some(dispatcher.distributed_seconds),
             ranks: dispatcher.grid.as_ref().map(ProcessGrid::size),
+            distributed: is_distributed.then(|| {
+                let mut d = dispatcher.dist.clone();
+                d.ranks = dispatcher.grid.as_ref().map(ProcessGrid::size).unwrap_or(0);
+                d
+            }),
             exec_paths: dispatcher.exec_paths.iter().copied().collect(),
             resilience: is_distributed.then_some(dispatcher.resilience),
             degradation: self.degradation.clone(),
@@ -675,8 +757,11 @@ pub struct KernelDispatcher<'k> {
     pub kernel_wall: Duration,
     /// Total cells processed.
     pub cells: u64,
-    /// Modeled distributed seconds.
+    /// Distributed seconds: measured makespans (real dispatches) plus
+    /// modeled time (fallback dispatches).
     pub distributed_seconds: f64,
+    /// Accumulated real-execution attestation (distributed targets).
+    pub dist: DistributedReport,
     /// Distinct execution paths observed across dispatched nests (only
     /// recorded for runs through the optimised runner).
     pub exec_paths: std::collections::BTreeSet<ExecPath>,
@@ -742,6 +827,7 @@ impl<'k> KernelDispatcher<'k> {
             kernel_wall: Duration::ZERO,
             cells: 0,
             distributed_seconds: 0.0,
+            dist: DistributedReport::default(),
             exec_paths: std::collections::BTreeSet::new(),
             plans: std::collections::BTreeSet::new(),
             fault_plan: FaultPlan::none(0xF5C),
@@ -771,8 +857,13 @@ impl<'k> KernelDispatcher<'k> {
     /// numbers, acks, retransmits, checkpoints, crash/restore), the
     /// fault/recovery counters are merged into `self.resilience`, and the
     /// per-rank recovery traffic is charged via the cost model. Returns the
-    /// modeled resilience seconds added to the distributed time.
-    fn charge_resilient_exchange(&mut self, kernel: &CompiledKernel) -> Result<f64> {
+    /// modeled resilience seconds added to the distributed time. `dispatch`
+    /// is the dispatch index a planned crash is matched against.
+    fn charge_resilient_exchange(
+        &mut self,
+        kernel: &CompiledKernel,
+        dispatch: usize,
+    ) -> Result<f64> {
         let grid = self.grid.as_ref().expect("distributed target has a grid");
         let gsize = grid.size() as usize;
         let face = kernel
@@ -782,8 +873,6 @@ impl<'k> KernelDispatcher<'k> {
             .map(|n| face_bytes(n, grid))
             .max()
             .unwrap_or(0);
-        let dispatch = self.dispatch_index;
-        self.dispatch_index += 1;
         if face == 0 {
             return Ok(0.0);
         }
@@ -861,6 +950,77 @@ impl<'k> KernelDispatcher<'k> {
         Ok(overhead)
     }
 
+    /// Modeled halo-communication seconds for one dispatch of `kernel`
+    /// over `grid` (`offnode` = fraction of neighbour links crossing
+    /// nodes).
+    fn modeled_comm(&self, kernel: &CompiledKernel, grid: &ProcessGrid, offnode: f64) -> f64 {
+        let mut comm = 0.0;
+        for nest in &kernel.nests {
+            if nest.exchanges.is_empty() {
+                continue;
+            }
+            let neighbors = nest
+                .exchanges
+                .iter()
+                .map(|e| (e.dim, e.direction))
+                .collect::<std::collections::HashSet<_>>()
+                .len();
+            comm += self
+                .cost
+                .halo_exchange_time(face_bytes(nest, grid), neighbors, offnode);
+        }
+        comm
+    }
+
+    /// Fold one real distributed dispatch into the accumulated attestation.
+    fn record_distributed(&mut self, kernel: &CompiledKernel, outcome: &DistOutcome) {
+        let grid = self.grid.as_ref().expect("distributed target has a grid");
+        let modeled_comm = self.modeled_comm(kernel, grid, self.cost.offnode_fraction(grid));
+        let ranks = grid.size();
+        let d = &mut self.dist;
+        d.ranks = ranks;
+        d.dispatches += 1;
+        // A single blocking nest demotes the whole run's attested schedule.
+        d.schedule = Some(match (d.schedule, outcome.schedule) {
+            (Some(HaloSchedule::Blocking), _) | (_, HaloSchedule::Blocking) => {
+                HaloSchedule::Blocking
+            }
+            _ => HaloSchedule::Overlap,
+        });
+        if d.per_rank_wall.len() != outcome.per_rank.len() {
+            d.per_rank_wall = vec![0.0; outcome.per_rank.len()];
+        }
+        let mut compute = 0.0;
+        for (acc, r) in d.per_rank_wall.iter_mut().zip(&outcome.per_rank) {
+            *acc += r.wall_seconds;
+            d.pack_seconds += r.pack_seconds;
+            d.interior_seconds += r.interior_seconds;
+            d.wait_seconds += r.wait_seconds;
+            d.boundary_seconds += r.boundary_seconds;
+            compute += r.interior_seconds + r.boundary_seconds;
+        }
+        d.bytes_exchanged += outcome.bytes_exchanged;
+        d.messages += outcome.messages;
+        d.measured_seconds += outcome.makespan_seconds;
+        d.modeled_seconds += compute / ranks.max(1) as f64 + modeled_comm;
+    }
+
+    /// A fault plan for one dispatch: a planned crash fires on the
+    /// dispatch whose index matches `at_iteration`, and inside that
+    /// dispatch it hits phase 1 — after the phase-0 checkpoint exists to
+    /// restore from.
+    fn dispatch_plan(&self, dispatch: usize, ranks: usize) -> FaultPlan {
+        let mut plan = self.fault_plan.clone();
+        plan.crash = match plan.crash {
+            Some(c) if c.at_iteration == dispatch => Some(CrashSpec {
+                rank: c.rank.min(ranks.saturating_sub(1)),
+                at_iteration: 1,
+            }),
+            _ => None,
+        };
+        plan
+    }
+
     fn convert_args(args: &[Value]) -> Result<Vec<KernelArg>> {
         args.iter()
             .map(|v| match v {
@@ -894,35 +1054,44 @@ impl<'k> RegionDispatcher for KernelDispatcher<'k> {
         match &kernel.kind {
             PlanKind::Cpu => {
                 if kernel.is_distributed() {
-                    // Execute rank slabs work-shared over local cores, then
-                    // charge the modeled distributed iteration: per-rank
-                    // compute (measured rate / ranks) + halo communication.
-                    kernel::run_kernel(kernel, memory, &kargs, self.threads, self.pool.as_ref())?;
-                    let grid = self.grid.as_ref().expect("distributed target has a grid");
-                    let elapsed = start.elapsed().as_secs_f64();
-                    let ranks = grid.size() as f64;
-                    let compute = elapsed * self.threads as f64 / ranks;
-                    let mut comm = 0.0;
-                    for nest in &kernel.nests {
-                        if nest.exchanges.is_empty() {
-                            continue;
+                    let grid = self.grid.clone().expect("distributed target has a grid");
+                    let dispatch = self.dispatch_index;
+                    self.dispatch_index += 1;
+                    let plan = self.dispatch_plan(dispatch, grid.size() as usize);
+                    match distexec::run_distributed(kernel, memory, &kargs, &grid, plan)? {
+                        Some(outcome) => {
+                            // Real distributed execution: every rank ran the
+                            // kernel over its owned block with measured halo
+                            // traffic. The makespan is the measured
+                            // distributed time; the cost model rides along
+                            // as a cross-check inside the report.
+                            self.resilience.merge(&outcome.fault_stats);
+                            self.distributed_seconds += outcome.makespan_seconds;
+                            self.record_distributed(kernel, &outcome);
                         }
-                        let neighbors = nest
-                            .exchanges
-                            .iter()
-                            .map(|e| (e.dim, e.direction))
-                            .collect::<std::collections::HashSet<_>>()
-                            .len();
-                        comm += self.cost.halo_exchange_time(
-                            face_bytes(nest, grid),
-                            neighbors,
-                            self.cost.offnode_fraction(grid),
-                        );
+                        None => {
+                            // Outside the supported shape: execute locally
+                            // and charge the modeled distributed iteration
+                            // (per-rank compute + halo communication), with
+                            // the resilient-transport micro-sim attesting
+                            // the protocol.
+                            kernel::run_kernel(
+                                kernel,
+                                memory,
+                                &kargs,
+                                self.threads,
+                                self.pool.as_ref(),
+                            )?;
+                            let elapsed = start.elapsed().as_secs_f64();
+                            let ranks = grid.size() as f64;
+                            let compute = elapsed * self.threads as f64 / ranks;
+                            let comm =
+                                self.modeled_comm(kernel, &grid, self.cost.offnode_fraction(&grid));
+                            self.distributed_seconds += compute + comm;
+                            self.distributed_seconds +=
+                                self.charge_resilient_exchange(kernel, dispatch)?;
+                        }
                     }
-                    self.distributed_seconds += compute + comm;
-                    // Run the exchange for real on the resilient transport
-                    // and charge its protocol/recovery overhead.
-                    self.distributed_seconds += self.charge_resilient_exchange(kernel)?;
                 } else if self.naive {
                     kernel::run_kernel_naive(kernel, memory, &kargs)?;
                 } else {
@@ -993,27 +1162,15 @@ impl<'k> RegionDispatcher for KernelDispatcher<'k> {
                     GpuStrategy::Explicit => fsc_gpusim::Strategy::Explicit,
                 };
                 gpu.launch(load, *block, model_strategy, &uses);
-                if let (true, Some(grid)) = (kernel.is_distributed(), &self.grid) {
+                if kernel.is_distributed() && self.grid.is_some() {
                     // Inter-GPU halo exchange (host-staged over the
                     // interconnect; NVLink/GPUDirect would lower this —
                     // exactly the tuning §6 proposes).
-                    let mut comm = 0.0;
-                    for nest in &kernel.nests {
-                        if nest.exchanges.is_empty() {
-                            continue;
-                        }
-                        let neighbors = nest
-                            .exchanges
-                            .iter()
-                            .map(|e| (e.dim, e.direction))
-                            .collect::<std::collections::HashSet<_>>()
-                            .len();
-                        comm +=
-                            self.cost
-                                .halo_exchange_time(face_bytes(nest, grid), neighbors, 1.0);
-                    }
-                    self.distributed_seconds += comm;
-                    self.distributed_seconds += self.charge_resilient_exchange(kernel)?;
+                    let grid = self.grid.clone().expect("distributed target has a grid");
+                    let dispatch = self.dispatch_index;
+                    self.dispatch_index += 1;
+                    self.distributed_seconds += self.modeled_comm(kernel, &grid, 1.0);
+                    self.distributed_seconds += self.charge_resilient_exchange(kernel, dispatch)?;
                 }
             }
         }

@@ -19,6 +19,15 @@ pub const COMM_SIZE: &str = "mpi.comm_size";
 pub const ISEND: &str = "mpi.isend";
 /// `mpi.irecv` — non-blocking receive of a halo slab.
 pub const IRECV: &str = "mpi.irecv";
+/// `mpi.pack field -> staging` — gather one outgoing face of `field` into a
+/// freshly allocated contiguous staging buffer (the send side of a swap).
+pub const PACK: &str = "mpi.pack";
+/// `mpi.halo_buffer field -> staging` — allocate a contiguous staging buffer
+/// shaped like one face of `field` for an incoming message (the recv side).
+pub const HALO_BUFFER: &str = "mpi.halo_buffer";
+/// `mpi.unpack staging, field` — scatter a received staging buffer into the
+/// halo region of `field`.
+pub const UNPACK: &str = "mpi.unpack";
 /// `mpi.waitall` — complete outstanding requests.
 pub const WAITALL: &str = "mpi.waitall";
 /// `mpi.barrier`.
@@ -75,6 +84,46 @@ pub fn halo_spec(m: &Module, op: OpId) -> Option<HaloSpec> {
         width: data.attr("width")?.as_int()?,
         tag: data.attr("tag")?.as_int()?,
     })
+}
+
+/// Shape of the staging buffer for one face of `field`: the field's extents
+/// with the exchanged dimension clamped to the halo width. Falls back to a
+/// rank-1 `width`-element buffer when the field's bounds are unknown.
+fn face_type(m: &Module, field: ValueId, spec: &HaloSpec) -> Type {
+    let shape = match m.value_type(field).stencil_bounds() {
+        Some(bounds) => bounds
+            .iter()
+            .enumerate()
+            .map(|(d, bd)| {
+                if d as i64 == spec.dim {
+                    spec.width
+                } else {
+                    bd.extent()
+                }
+            })
+            .collect(),
+        None => vec![spec.width],
+    };
+    Type::memref(shape, Type::f64())
+}
+
+/// Build `%staging = mpi.pack %field` for the outgoing face `spec` describes.
+pub fn pack(b: &mut OpBuilder, field: ValueId, spec: &HaloSpec) -> ValueId {
+    let ty = face_type(b.module_ref(), field, spec);
+    b.op1(PACK, vec![field], ty, halo_attrs(spec)).1
+}
+
+/// Build `%staging = mpi.halo_buffer %field` for the incoming face `spec`
+/// describes.
+pub fn halo_buffer(b: &mut OpBuilder, field: ValueId, spec: &HaloSpec) -> ValueId {
+    let ty = face_type(b.module_ref(), field, spec);
+    b.op1(HALO_BUFFER, vec![field], ty, halo_attrs(spec)).1
+}
+
+/// Build `mpi.unpack %staging, %field` scattering a received face into the
+/// halo region of `field`.
+pub fn unpack(b: &mut OpBuilder, staging: ValueId, field: ValueId, spec: &HaloSpec) -> OpId {
+    b.op(UNPACK, vec![staging, field], vec![], halo_attrs(spec))
 }
 
 /// Build `mpi.isend buffer` for the halo slab described by `spec`.

@@ -1,0 +1,913 @@
+//! Distributed executor: real rank bodies over the simulated MPI substrate.
+//!
+//! The legacy distributed path executed a kernel once on the calling thread
+//! and *charged* a cost-model estimate of the per-rank time. This module
+//! replaces that with genuine distributed execution: each view is
+//! partitioned over the [`ProcessGrid`] (honouring the kernel's
+//! `dmp_decomposition`), every rank runs the compiled kernel over its owned
+//! block as a thread on the resilient transport
+//! ([`fsc_mpisim::resilient::run_resilient`]), and halos move as real face
+//! pack → send → recv → unpack traffic. The per-rank schedule mirrors the
+//! lowered IR (`dmp-to-mpi` + `mpi-overlap-halos`):
+//!
+//! ```text
+//! post-recv → post-send → compute interior → waitall → compute boundary
+//! ```
+//!
+//! with the blocking variant (overlap pass disabled) receiving every face
+//! before computing the whole owned block.
+//!
+//! **Memory model — globally addressed, locally owned.** Every rank holds a
+//! full-size copy of each view with *global* column-major strides, so the
+//! compiled bytecode's precomputed linear offsets stay valid unchanged; only
+//! the rank's visible region (its owned partition, extended to the array
+//! edge where it owns the first/last interior cells) is scattered from the
+//! caller's memory. Unowned cells are seeded with a NaN sentinel: any read
+//! that escapes the owned-plus-halo region poisons the result and fails the
+//! bit-identity oracle instead of silently passing.
+//!
+//! **Fallback contract.** [`run_distributed`] returns `Ok(None)` whenever
+//! the kernel shape is outside what the executor supports (no proved halo
+//! schedule, mismatched nest bounds, rank chunks thinner than the halo
+//! width, oversized grids). The dispatcher then falls back to the legacy
+//! modeled path — degradation, never a wrong answer.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::kernel::{
+    run_nest_box, CompiledKernel, HaloSchedule, KernelArg, MpiExchange, Nest, ViewSource, ViewSpec,
+};
+use crate::value::{BufId, Memory};
+use fsc_ir::{IrError, Result};
+use fsc_mpisim::fault::{FaultPlan, FaultStats};
+use fsc_mpisim::resilient::{run_resilient, ResilientConfig, ResilientCtx};
+use fsc_mpisim::{MpiSimError, ProcessGrid};
+
+/// Largest rank count the thread-per-rank substrate is asked to host; larger
+/// grids fall back to the modeled path.
+const MAX_REAL_RANKS: i64 = 32;
+
+/// Measured wall-time breakdown of one rank's dispatch.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RankMetrics {
+    /// Total wall time of the rank body (scatter to gather).
+    pub wall_seconds: f64,
+    /// Face pack + send posting time.
+    pub pack_seconds: f64,
+    /// Interior compute time while messages were in flight (overlap
+    /// schedule only; zero under blocking).
+    pub interior_seconds: f64,
+    /// Time blocked in receives + halo unpack (the `waitall`).
+    pub wait_seconds: f64,
+    /// Boundary-shell compute time (overlap) or whole-block compute time
+    /// (blocking).
+    pub boundary_seconds: f64,
+    /// Halo payload bytes this rank sent.
+    pub bytes_sent: u64,
+    /// Halo messages this rank sent.
+    pub messages_sent: u64,
+}
+
+/// Outcome of one real distributed dispatch.
+#[derive(Debug, Clone)]
+pub struct DistOutcome {
+    /// Per-rank measured metrics, indexed by rank.
+    pub per_rank: Vec<RankMetrics>,
+    /// Measured makespan: the slowest rank's wall time.
+    pub makespan_seconds: f64,
+    /// Merged fault/recovery counters from the resilient transport.
+    pub fault_stats: FaultStats,
+    /// The halo schedule every exchanging nest ran under.
+    pub schedule: HaloSchedule,
+    /// Total halo bytes exchanged across all ranks.
+    pub bytes_exchanged: u64,
+    /// Total halo messages across all ranks.
+    pub messages: u64,
+}
+
+impl DistOutcome {
+    /// Fraction of halo latency hidden behind interior compute:
+    /// `Σ interior / (Σ interior + Σ wait)` over all ranks. Zero for the
+    /// blocking schedule (no compute overlaps the wait).
+    pub fn overlap_fraction(&self) -> f64 {
+        let interior: f64 = self.per_rank.iter().map(|r| r.interior_seconds).sum();
+        let wait: f64 = self.per_rank.iter().map(|r| r.wait_seconds).sum();
+        if interior + wait > 0.0 {
+            interior / (interior + wait)
+        } else {
+            0.0
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// Region arithmetic (shared with the proptests)
+// --------------------------------------------------------------------------
+
+/// Cell count of a per-dimension half-open region.
+pub fn region_cells(region: &[(i64, i64)]) -> usize {
+    region
+        .iter()
+        .map(|&(lb, ub)| (ub - lb).max(0) as usize)
+        .product()
+}
+
+/// Visit every cell of `region` in canonical order (dimension 0 fastest),
+/// handing the column-major linear index to `f`.
+fn for_each_cell(strides: &[i64], region: &[(i64, i64)], mut f: impl FnMut(usize)) {
+    if region_cells(region) == 0 {
+        return;
+    }
+    let ndims = region.len();
+    let mut idx: Vec<i64> = region.iter().map(|&(lb, _)| lb).collect();
+    loop {
+        let lin: i64 = idx.iter().zip(strides).map(|(i, s)| i * s).sum();
+        f(lin as usize);
+        let mut d = 0;
+        loop {
+            if d == ndims {
+                return;
+            }
+            idx[d] += 1;
+            if idx[d] < region[d].1 {
+                break;
+            }
+            idx[d] = region[d].0;
+            d += 1;
+        }
+    }
+}
+
+/// Gather `region` of a column-major buffer into a dense face payload
+/// (dimension 0 fastest — the wire format of every halo message).
+pub fn pack_region(data: &[f64], strides: &[i64], region: &[(i64, i64)]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(region_cells(region));
+    for_each_cell(strides, region, |lin| out.push(data[lin]));
+    out
+}
+
+/// Scatter a dense face payload back into `region` of a column-major
+/// buffer: the exact inverse of [`pack_region`] over the same region.
+pub fn unpack_region(data: &mut [f64], strides: &[i64], region: &[(i64, i64)], payload: &[f64]) {
+    let mut cursor = 0usize;
+    for_each_cell(strides, region, |lin| {
+        data[lin] = payload[cursor];
+        cursor += 1;
+    });
+    debug_assert_eq!(cursor, payload.len(), "payload size mismatch");
+}
+
+/// Split an owned box into a halo-independent interior plus boundary
+/// shells. `shrink_lo[d]` / `shrink_hi[d]` give how many cells at each side
+/// of dimension `d` depend on incoming halo data. The shells onion-peel:
+/// shell `d` spans the interior range in dimensions below `d`, the peeled
+/// slab in `d`, and the full owned range above `d`, so interior + shells
+/// tile the owned box exactly once — including when the interior collapses
+/// to empty (chunks no wider than the halo).
+#[allow(clippy::type_complexity)]
+pub fn split_interior_boundary(
+    own: &[(i64, i64)],
+    shrink_lo: &[i64],
+    shrink_hi: &[i64],
+) -> (Vec<(i64, i64)>, Vec<Vec<(i64, i64)>>) {
+    let ndims = own.len();
+    let interior: Vec<(i64, i64)> = (0..ndims)
+        .map(|d| {
+            let ilb = (own[d].0 + shrink_lo[d]).min(own[d].1);
+            let iub = (own[d].1 - shrink_hi[d]).max(ilb);
+            (ilb, iub)
+        })
+        .collect();
+    let mut shells = Vec::new();
+    for d in 0..ndims {
+        if shrink_lo[d] == 0 && shrink_hi[d] == 0 {
+            continue;
+        }
+        let frame = |slab: (i64, i64)| -> Vec<(i64, i64)> {
+            (0..ndims)
+                .map(|k| match k.cmp(&d) {
+                    std::cmp::Ordering::Less => interior[k],
+                    std::cmp::Ordering::Equal => slab,
+                    std::cmp::Ordering::Greater => own[k],
+                })
+                .collect()
+        };
+        shells.push(frame((own[d].0, interior[d].0)));
+        shells.push(frame((interior[d].1, own[d].1)));
+    }
+    (interior, shells)
+}
+
+// --------------------------------------------------------------------------
+// Support analysis
+// --------------------------------------------------------------------------
+
+/// Shape-independent facts the rank bodies need, precomputed once.
+struct DistSetup {
+    /// Canonical partition domain: the iteration bounds shared by every
+    /// *exchanging* nest. Pointwise nests may sweep a wider range (e.g. an
+    /// init nest covering the Dirichlet shells); they execute on the owned
+    /// chunk extended to their own bounds at the domain edges.
+    bounds: Vec<(i64, i64)>,
+    /// First decomposed data dimension (`ndims - glen`).
+    from: usize,
+    /// The schedule every exchanging nest runs under.
+    schedule: HaloSchedule,
+}
+
+impl DistSetup {
+    /// Decide whether the kernel fits the real distributed executor.
+    /// `None` means "fall back to the modeled path".
+    fn build(kernel: &CompiledKernel, grid: &ProcessGrid, args: &[KernelArg]) -> Option<Self> {
+        let glen = kernel.decomposition.len();
+        if glen == 0
+            || kernel.decomposition != grid.shape
+            || grid.size() > MAX_REAL_RANKS
+            || kernel.nests.is_empty()
+        {
+            return None;
+        }
+        // The canonical bounds come from the exchanging nests: they carry
+        // the halo dependencies, so their iteration space is what must be
+        // block-partitioned consistently across every phase.
+        let bounds = kernel
+            .nests
+            .iter()
+            .find(|n| !n.exchanges.is_empty())?
+            .bounds
+            .clone();
+        let ndims = bounds.len();
+        if ndims < glen {
+            return None;
+        }
+        let from = ndims - glen;
+        let mut schedule = HaloSchedule::Overlap;
+        for nest in &kernel.nests {
+            if nest.bounds.len() != ndims {
+                return None;
+            }
+            if !nest.exchanges.is_empty() {
+                if nest.bounds != bounds {
+                    return None;
+                }
+                // Exchanging nests need the star-shape proof carried by the
+                // `halo_schedule` attribute; without it, face messages do
+                // not cover the remote dependencies (e.g. corner reads).
+                match nest.halo_schedule {
+                    Some(HaloSchedule::Overlap) => {}
+                    Some(HaloSchedule::Blocking) => schedule = HaloSchedule::Blocking,
+                    None => return None,
+                }
+            } else {
+                // Pointwise nests may sweep a different range, covered by
+                // extending the edge-owning ranks' chunks
+                // ([`nest_exec_box`]); that extension only exists when the
+                // canonical domain is non-empty on that dimension.
+                for (d, &b) in bounds.iter().enumerate().skip(from) {
+                    if nest.bounds[d] != b && b.1 <= b.0 {
+                        return None;
+                    }
+                }
+            }
+            for e in &nest.exchanges {
+                if e.dim < from || e.dim >= ndims || e.width <= 0 {
+                    return None;
+                }
+            }
+            for &v in &nest.out_views {
+                let ViewSource::Arg(i) = kernel.views[v].source else {
+                    return None;
+                };
+                if !matches!(args.get(i), Some(KernelArg::Buf(_))) {
+                    return None;
+                }
+            }
+        }
+        for view in &kernel.views {
+            if view.extents.len() != ndims {
+                return None;
+            }
+        }
+        // Every non-empty rank chunk must be at least as wide as the halo,
+        // or a face message would need cells its sender does not own.
+        for (d, &b) in bounds.iter().enumerate().skip(from) {
+            let a = d - from;
+            let parts = kernel.decomposition[a];
+            let maxw = kernel
+                .nests
+                .iter()
+                .flat_map(|n| &n.exchanges)
+                .filter(|e| e.dim == d)
+                .map(|e| e.width)
+                .max()
+                .unwrap_or(0);
+            if maxw == 0 {
+                continue;
+            }
+            for idx in 0..parts {
+                let (lo, hi) = ProcessGrid::partition(b.0, b.1, parts, idx);
+                if hi > lo && hi - lo < maxw {
+                    return None;
+                }
+            }
+        }
+        Some(Self {
+            bounds,
+            from,
+            schedule,
+        })
+    }
+}
+
+/// The halo region one exchange moves, in *global* coordinates. Both sides
+/// compute it from the **sender's** partition, so the packed and unpacked
+/// regions are identical by construction (the per-rank buffers are globally
+/// addressed). Decomposed dimensions other than the exchanged one span the
+/// sender's owned range; non-decomposed dimensions span the full view
+/// extent (star accesses may carry arbitrary offsets there). Empty when the
+/// sender owns no cells along any decomposed dimension.
+fn transfer_region(
+    view: &ViewSpec,
+    bounds: &[(i64, i64)],
+    decomposition: &[i64],
+    sender_coords: &[i64],
+    from: usize,
+    e: &MpiExchange,
+) -> Vec<(i64, i64)> {
+    (0..view.extents.len())
+        .map(|d| {
+            if d < from {
+                return (0, view.extents[d]);
+            }
+            let a = d - from;
+            let (olb, oub) = ProcessGrid::partition(
+                bounds[d].0,
+                bounds[d].1,
+                decomposition[a],
+                sender_coords[a],
+            );
+            if olb >= oub {
+                (0, 0)
+            } else if d == e.dim {
+                if e.direction > 0 {
+                    (oub - e.width, oub)
+                } else {
+                    (olb, olb + e.width)
+                }
+            } else {
+                (olb, oub)
+            }
+        })
+        .collect()
+}
+
+/// A rank's owned iteration box: its partition along decomposed dimensions,
+/// the full bounds elsewhere.
+fn owned_box(
+    bounds: &[(i64, i64)],
+    decomposition: &[i64],
+    coords: &[i64],
+    from: usize,
+) -> Vec<(i64, i64)> {
+    (0..bounds.len())
+        .map(|d| {
+            if d < from {
+                bounds[d]
+            } else {
+                let a = d - from;
+                ProcessGrid::partition(bounds[d].0, bounds[d].1, decomposition[a], coords[a])
+            }
+        })
+        .collect()
+}
+
+/// The box one rank executes for a given nest. Exchanging nests have the
+/// canonical bounds, so this is exactly the owned chunk. A pointwise nest
+/// may sweep a wider range (init covering the Dirichlet shells) or a
+/// narrower one: each decomposed dimension takes the owned chunk, extended
+/// to the nest's own range where the rank owns the first/last canonical
+/// cell, then clipped to the nest's range. The boxes stay disjoint across
+/// ranks and cover the nest's full iteration space.
+fn nest_exec_box(
+    nest_bounds: &[(i64, i64)],
+    bounds: &[(i64, i64)],
+    decomposition: &[i64],
+    coords: &[i64],
+    from: usize,
+) -> Vec<(i64, i64)> {
+    (0..nest_bounds.len())
+        .map(|d| {
+            if d < from {
+                return nest_bounds[d];
+            }
+            let a = d - from;
+            let (olb, oub) =
+                ProcessGrid::partition(bounds[d].0, bounds[d].1, decomposition[a], coords[a]);
+            if olb >= oub {
+                return (0, 0);
+            }
+            let lo = if olb == bounds[d].0 {
+                olb.min(nest_bounds[d].0)
+            } else {
+                olb
+            };
+            let hi = if oub == bounds[d].1 {
+                oub.max(nest_bounds[d].1)
+            } else {
+                oub
+            };
+            let lo = lo.max(nest_bounds[d].0);
+            let hi = hi.min(nest_bounds[d].1);
+            (lo, hi.max(lo))
+        })
+        .collect()
+}
+
+/// The slab of a view this rank's buffer is seeded with at scatter time
+/// and contributed back at gather time: the owned range along decomposed
+/// dimensions — extended to the array edge where the rank owns the
+/// first/last canonical cell (edge shells are written by at most their
+/// owner's pointwise nests, and merely round-trip their seeded global
+/// values otherwise) — and the full extent elsewhere. Empty for idle
+/// ranks; disjoint across ranks, covering every view cell.
+fn visible_region(
+    view: &ViewSpec,
+    bounds: &[(i64, i64)],
+    decomposition: &[i64],
+    coords: &[i64],
+    from: usize,
+) -> Vec<(i64, i64)> {
+    (0..view.extents.len())
+        .map(|d| {
+            if d < from {
+                return (0, view.extents[d]);
+            }
+            let a = d - from;
+            let (olb, oub) =
+                ProcessGrid::partition(bounds[d].0, bounds[d].1, decomposition[a], coords[a]);
+            if olb >= oub {
+                return (0, 0);
+            }
+            let lo = if olb == bounds[d].0 { 0 } else { olb };
+            let hi = if oub == bounds[d].1 {
+                view.extents[d]
+            } else {
+                oub
+            };
+            (lo, hi)
+        })
+        .collect()
+}
+
+// --------------------------------------------------------------------------
+// Rank body
+// --------------------------------------------------------------------------
+
+/// What one rank hands back: its metrics plus the owned slab of every
+/// output view (view index, dense payload in `gather_region` order).
+struct RankOutput {
+    metrics: RankMetrics,
+    gathered: Vec<(usize, Vec<f64>)>,
+}
+
+/// Everything a rank body needs, shared read-only across rank threads.
+struct Shared {
+    kernel: CompiledKernel,
+    grid: ProcessGrid,
+    /// Global contents per pointer-argument index.
+    globals: HashMap<usize, Vec<f64>>,
+    scalars: Vec<f64>,
+    bounds: Vec<(i64, i64)>,
+    from: usize,
+}
+
+fn wrap(rank: usize, e: IrError) -> MpiSimError {
+    MpiSimError::compile_failure(rank, e)
+}
+
+#[allow(clippy::type_complexity)]
+fn rank_body(ctx: &mut ResilientCtx, sh: &Shared) -> std::result::Result<RankOutput, MpiSimError> {
+    let t_start = Instant::now();
+    let rank = ctx.rank();
+    let coords = sh.grid.coords(rank as i64);
+    let views = &sh.kernel.views;
+    let decomp = &sh.kernel.decomposition;
+
+    // ---- scatter: full-size, globally addressed local buffers ----
+    let mut mem = Memory::new();
+    let mut arg_buf: HashMap<usize, BufId> = HashMap::new();
+    let mut bufs: Vec<BufId> = Vec::with_capacity(views.len());
+    for view in views {
+        let buf = match view.source {
+            ViewSource::Arg(i) => *arg_buf.entry(i).or_insert_with(|| {
+                let len = sh.globals.get(&i).map(|g| g.len()).unwrap_or(view.len());
+                mem.alloc_buffer(len)
+            }),
+            ViewSource::SnapshotOf(_) => mem.alloc_buffer(view.len()),
+        };
+        bufs.push(buf);
+    }
+    // NaN-seed every argument buffer, then copy in the visible slab: any
+    // read escaping owned+halo territory poisons the bitwise oracle.
+    for (&i, &buf) in &arg_buf {
+        mem.buffer_mut(buf).fill(f64::NAN);
+        let Some(global) = sh.globals.get(&i) else {
+            continue;
+        };
+        for view in views {
+            if view.source != ViewSource::Arg(i) {
+                continue;
+            }
+            let vis = visible_region(view, &sh.bounds, decomp, &coords, sh.from);
+            let dst = mem.buffer_mut(buf);
+            for_each_cell(&view.strides, &vis, |lin| dst[lin] = global[lin]);
+        }
+    }
+    // Stable buffer order for checkpoint/restore.
+    let mut ck_bufs: Vec<BufId> = Vec::new();
+    for &b in &bufs {
+        if !ck_bufs.contains(&b) {
+            ck_bufs.push(b);
+        }
+    }
+
+    let own = owned_box(&sh.bounds, decomp, &coords, sh.from);
+    let mut metrics = RankMetrics::default();
+
+    // ---- phases: one per nest, plus a final commit barrier ----
+    let nphases = sh.kernel.nests.len() + 1;
+    let mut phase = 0usize;
+    while phase < nphases {
+        let state: Vec<Vec<f64>> = ck_bufs.iter().map(|&b| mem.buffer(b).to_vec()).collect();
+        ctx.save_checkpoint(phase, &state);
+        if ctx.crash_pending(phase) {
+            let (restored, state) = ctx.crash_and_restore(phase)?;
+            phase = restored;
+            for (&b, data) in ck_bufs.iter().zip(state) {
+                mem.restore_buffer(b, data);
+            }
+            continue;
+        }
+        if phase == sh.kernel.nests.len() {
+            // Commit barrier: every rank's faces are consumed before gather.
+            ctx.barrier()?;
+            phase += 1;
+            continue;
+        }
+        let nest = &sh.kernel.nests[phase];
+        if nest.domain_cells() > 0 {
+            let exec_box = if nest.exchanges.is_empty() {
+                nest_exec_box(&nest.bounds, &sh.bounds, decomp, &coords, sh.from)
+            } else {
+                own.clone()
+            };
+            run_phase(
+                ctx,
+                sh,
+                nest,
+                &exec_box,
+                &coords,
+                &mut mem,
+                &bufs,
+                &mut metrics,
+            )?;
+        }
+        ctx.barrier()?;
+        phase += 1;
+    }
+
+    // ---- gather: owned slabs of every written view ----
+    let mut out_views: Vec<usize> = sh
+        .kernel
+        .nests
+        .iter()
+        .flat_map(|n| n.out_views.iter().copied())
+        .collect();
+    out_views.sort_unstable();
+    out_views.dedup();
+    let mut gathered = Vec::with_capacity(out_views.len());
+    for v in out_views {
+        let region = visible_region(&views[v], &sh.bounds, decomp, &coords, sh.from);
+        gathered.push((
+            v,
+            pack_region(mem.buffer(bufs[v]), &views[v].strides, &region),
+        ));
+    }
+    metrics.wall_seconds = t_start.elapsed().as_secs_f64();
+    Ok(RankOutput { metrics, gathered })
+}
+
+/// One nest on one rank: refresh snapshots, send faces, compute under the
+/// nest's halo schedule, receive + unpack, finish the boundary.
+#[allow(clippy::too_many_arguments)]
+fn run_phase(
+    ctx: &mut ResilientCtx,
+    sh: &Shared,
+    nest: &Nest,
+    exec_box: &[(i64, i64)],
+    coords: &[i64],
+    mem: &mut Memory,
+    bufs: &[BufId],
+    metrics: &mut RankMetrics,
+) -> std::result::Result<(), MpiSimError> {
+    let rank = ctx.rank();
+    let views = &sh.kernel.views;
+    let decomp = &sh.kernel.decomposition;
+
+    // Value-semantics snapshots refresh from the (pre-exchange) field; the
+    // exchange below patches their halos along with the field's.
+    for &sv in &nest.snapshots {
+        let ViewSource::SnapshotOf(src) = views[sv].source else {
+            return Err(wrap(rank, IrError::new("snapshot refresh of non-snapshot")));
+        };
+        if bufs[src] != bufs[sv] {
+            let (s, d) = mem.buffer_pair_mut(bufs[src], bufs[sv]);
+            d.copy_from_slice(s);
+        }
+    }
+
+    // Post every send: my face in `e.direction` to that neighbour. Tags
+    // repeat deterministically on both sides, so FIFO per (peer, tag)
+    // stream keeps multi-view exchanges paired.
+    let t = Instant::now();
+    for e in &nest.exchanges {
+        let axis = e.dim - sh.from;
+        let Some(dst) = sh.grid.neighbor(rank as i64, axis, e.direction) else {
+            continue;
+        };
+        let region = transfer_region(&views[e.view], &sh.bounds, decomp, coords, sh.from, e);
+        if region_cells(&region) == 0 {
+            continue;
+        }
+        let payload = pack_region(mem.buffer(bufs[e.view]), &views[e.view].strides, &region);
+        metrics.bytes_sent += 8 * payload.len() as u64;
+        metrics.messages_sent += 1;
+        ctx.send(dst as usize, e.tag, payload);
+    }
+    metrics.pack_seconds += t.elapsed().as_secs_f64();
+
+    // Matching receives: exchange `e` (everyone sends towards
+    // `e.direction`) delivers to me from my `-e.direction` neighbour and
+    // fills my halo on that side. Regions derive from the sender's
+    // partition — identical on both ends.
+    struct PendingRecv {
+        src: usize,
+        tag: i64,
+        view: usize,
+        region: Vec<(i64, i64)>,
+        side_lo: bool,
+        dim: usize,
+        width: i64,
+    }
+    let mut recvs = Vec::new();
+    for e in &nest.exchanges {
+        let axis = e.dim - sh.from;
+        let Some(src) = sh.grid.neighbor(rank as i64, axis, -e.direction) else {
+            continue;
+        };
+        let sender_coords = sh.grid.coords(src);
+        let region = transfer_region(
+            &views[e.view],
+            &sh.bounds,
+            decomp,
+            &sender_coords,
+            sh.from,
+            e,
+        );
+        if region_cells(&region) == 0 {
+            continue;
+        }
+        recvs.push(PendingRecv {
+            src: src as usize,
+            tag: e.tag,
+            view: e.view,
+            region,
+            side_lo: e.direction > 0,
+            dim: e.dim,
+            width: e.width,
+        });
+    }
+
+    // Which owned cells depend on those halos.
+    let ndims = exec_box.len();
+    let mut shrink_lo = vec![0i64; ndims];
+    let mut shrink_hi = vec![0i64; ndims];
+    for r in &recvs {
+        if r.side_lo {
+            shrink_lo[r.dim] = shrink_lo[r.dim].max(r.width);
+        } else {
+            shrink_hi[r.dim] = shrink_hi[r.dim].max(r.width);
+        }
+    }
+
+    let schedule = nest.halo_schedule.unwrap_or(HaloSchedule::Blocking);
+    let wait_and_unpack = |ctx: &mut ResilientCtx, mem: &mut Memory, metrics: &mut RankMetrics| {
+        let t = Instant::now();
+        for r in &recvs {
+            let payload = ctx.recv(r.src, r.tag)?;
+            unpack_region(
+                mem.buffer_mut(bufs[r.view]),
+                &views[r.view].strides,
+                &r.region,
+                &payload,
+            );
+            // The nest reads in-place fields through their snapshots,
+            // which were refreshed before the halos landed.
+            for &sv in &nest.snapshots {
+                if views[sv].source == ViewSource::SnapshotOf(r.view) {
+                    unpack_region(
+                        mem.buffer_mut(bufs[sv]),
+                        &views[sv].strides,
+                        &r.region,
+                        &payload,
+                    );
+                }
+            }
+        }
+        metrics.wait_seconds += t.elapsed().as_secs_f64();
+        Ok::<(), MpiSimError>(())
+    };
+
+    match schedule {
+        HaloSchedule::Overlap => {
+            let (interior, shells) = split_interior_boundary(exec_box, &shrink_lo, &shrink_hi);
+            let t = Instant::now();
+            run_nest_box(nest, views, bufs, mem, &sh.scalars, &interior)
+                .map_err(|e| wrap(rank, e))?;
+            metrics.interior_seconds += t.elapsed().as_secs_f64();
+            wait_and_unpack(ctx, mem, metrics)?;
+            let t = Instant::now();
+            for shell in &shells {
+                run_nest_box(nest, views, bufs, mem, &sh.scalars, shell)
+                    .map_err(|e| wrap(rank, e))?;
+            }
+            metrics.boundary_seconds += t.elapsed().as_secs_f64();
+        }
+        HaloSchedule::Blocking => {
+            wait_and_unpack(ctx, mem, metrics)?;
+            let t = Instant::now();
+            run_nest_box(nest, views, bufs, mem, &sh.scalars, exec_box)
+                .map_err(|e| wrap(rank, e))?;
+            metrics.boundary_seconds += t.elapsed().as_secs_f64();
+        }
+    }
+    Ok(())
+}
+
+// --------------------------------------------------------------------------
+// Driver
+// --------------------------------------------------------------------------
+
+/// Execute one distributed kernel dispatch for real: scatter the views over
+/// `grid`, run every rank as a thread on the resilient transport under
+/// `plan` (the crash spec, if any, is interpreted against this dispatch's
+/// phase counter), gather the owned slabs back into `memory`, and report
+/// measured per-rank timings. Returns `Ok(None)` when the kernel is outside
+/// the supported shape — the caller then runs the legacy modeled path.
+pub fn run_distributed(
+    kernel: &CompiledKernel,
+    memory: &mut Memory,
+    args: &[KernelArg],
+    grid: &ProcessGrid,
+    plan: FaultPlan,
+) -> Result<Option<DistOutcome>> {
+    let Some(setup) = DistSetup::build(kernel, grid, args) else {
+        return Ok(None);
+    };
+
+    // Snapshot the global contents of every pointer argument.
+    let mut globals: HashMap<usize, Vec<f64>> = HashMap::new();
+    for view in &kernel.views {
+        if let ViewSource::Arg(i) = view.source {
+            if let Some(KernelArg::Buf(b)) = args.get(i) {
+                globals
+                    .entry(i)
+                    .or_insert_with(|| memory.buffer(*b).to_vec());
+            }
+        }
+    }
+    let scalars: Vec<f64> = args
+        .iter()
+        .filter_map(|a| match a {
+            KernelArg::Scalar(s) => Some(*s),
+            KernelArg::Buf(_) => None,
+        })
+        .collect();
+
+    let shared = Arc::new(Shared {
+        kernel: kernel.clone(),
+        grid: grid.clone(),
+        globals,
+        scalars,
+        bounds: setup.bounds.clone(),
+        from: setup.from,
+    });
+    let size = grid.size() as usize;
+    let cfg = ResilientConfig {
+        checkpoint_interval: 1,
+        ..ResilientConfig::default()
+    };
+    let body_shared = Arc::clone(&shared);
+    let results = run_resilient(size, plan, cfg, move |ctx| rank_body(ctx, &body_shared)).map_err(
+        |e| match e.into_compile_error() {
+            Ok(compile_err) => compile_err,
+            Err(other) => IrError::new(format!("distributed execution failed: {other}")),
+        },
+    )?;
+
+    // Gather: every rank's owned slab lands back in the caller's buffers.
+    let mut fault_stats = FaultStats::default();
+    let mut per_rank = Vec::with_capacity(size);
+    let mut bytes_exchanged = 0u64;
+    let mut messages = 0u64;
+    for (rank, (out, stats)) in results.into_iter().enumerate() {
+        fault_stats.merge(&stats);
+        bytes_exchanged += out.metrics.bytes_sent;
+        messages += out.metrics.messages_sent;
+        let coords = shared.grid.coords(rank as i64);
+        for (v, payload) in out.gathered {
+            let view = &kernel.views[v];
+            let ViewSource::Arg(i) = view.source else {
+                continue;
+            };
+            let Some(KernelArg::Buf(b)) = args.get(i) else {
+                continue;
+            };
+            let region = visible_region(
+                view,
+                &shared.bounds,
+                &kernel.decomposition,
+                &coords,
+                shared.from,
+            );
+            unpack_region(memory.buffer_mut(*b), &view.strides, &region, &payload);
+        }
+        per_rank.push(out.metrics);
+    }
+    let makespan_seconds = per_rank
+        .iter()
+        .map(|r| r.wall_seconds)
+        .fold(0.0f64, f64::max);
+    Ok(Some(DistOutcome {
+        per_rank,
+        makespan_seconds,
+        fault_stats,
+        schedule: setup.schedule,
+        bytes_exchanged,
+        messages,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_round_trip_is_exact() {
+        let strides = [1i64, 4, 12];
+        let data: Vec<f64> = (0..24).map(|i| i as f64).collect();
+        let region = [(1, 3), (0, 3), (1, 2)];
+        let payload = pack_region(&data, &strides, &region);
+        assert_eq!(payload.len(), region_cells(&region));
+        let mut dst = vec![0.0; 24];
+        unpack_region(&mut dst, &strides, &region, &payload);
+        let mut expect = vec![0.0; 24];
+        for_each_cell(&strides, &region, |lin| expect[lin] = data[lin]);
+        assert_eq!(dst, expect);
+    }
+
+    #[test]
+    fn interior_and_shells_tile_the_box_exactly_once() {
+        let own = [(2i64, 8), (1, 4)];
+        let (interior, shells) = split_interior_boundary(&own, &[1, 1], &[2, 0]);
+        let strides = [1i64, 16];
+        let mut count = vec![0u32; 16 * 8];
+        for_each_cell(&strides, &interior, |lin| count[lin] += 1);
+        for shell in &shells {
+            for_each_cell(&strides, shell, |lin| count[lin] += 1);
+        }
+        let mut seen = 0usize;
+        for_each_cell(&strides, &own, |lin| {
+            assert_eq!(count[lin], 1, "cell {lin} covered {} times", count[lin]);
+            seen += 1;
+        });
+        assert_eq!(seen, region_cells(&own));
+        assert_eq!(count.iter().map(|&c| c as usize).sum::<usize>(), seen);
+    }
+
+    #[test]
+    fn empty_interior_still_tiles_exactly() {
+        let own = [(5i64, 6)];
+        let (interior, shells) = split_interior_boundary(&own, &[1], &[1]);
+        assert_eq!(region_cells(&interior), 0);
+        let strides = [1i64];
+        let mut count = [0u32; 8];
+        for shell in &shells {
+            for_each_cell(&strides, shell, |lin| count[lin] += 1);
+        }
+        assert_eq!(count[5], 1);
+        assert_eq!(count.iter().sum::<u32>(), 1);
+    }
+}

@@ -82,6 +82,21 @@ impl ViewSpec {
     }
 }
 
+/// Halo schedule the `mpi-overlap-halos` pass proved legal for a nest.
+///
+/// Present only when every access is a "star" stencil with respect to the
+/// decomposition (nonzero offsets in at most one decomposed dimension), so
+/// face messages carry all remote dependencies and the iteration space
+/// splits exactly into a halo-independent interior plus boundary shells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HaloSchedule {
+    /// Receive every face, then compute the whole owned block.
+    Blocking,
+    /// Compute the interior while messages are in flight; finish the
+    /// boundary shells after `waitall`.
+    Overlap,
+}
+
 /// One halo exchange required before a nest executes (distributed plans).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MpiExchange {
@@ -118,6 +133,11 @@ pub struct Nest {
     pub path: ExecPath,
     /// Halo exchanges preceding this nest (distributed plans).
     pub exchanges: Vec<MpiExchange>,
+    /// Halo schedule proved legal by `mpi-overlap-halos` (carried on the
+    /// loop root as the `"halo_schedule"` attribute); `None` means the
+    /// interior/boundary split was not proved and the distributed executor
+    /// must not run this nest rank-parallel.
+    pub halo_schedule: Option<HaloSchedule>,
     /// Snapshot views to refresh (copy from source) before this nest.
     pub snapshots: Vec<usize>,
     /// How this nest is swept: cache-block tiles, unroll factor, slab
@@ -388,6 +408,9 @@ fn compile_nests(
     let mut nests: Vec<Nest> = Vec::new();
     let mut pending_exchanges: Vec<MpiExchange> = Vec::new();
     let mut pending_snapshots: Vec<usize> = Vec::new();
+    // Staging buffers (`mpi.pack` / `mpi.halo_buffer` results) → the field
+    // view they stage a face of.
+    let mut staging_field: HashMap<ValueId, usize> = HashMap::new();
 
     // Function-arg index lookup.
     let arg_index: HashMap<ValueId, usize> = arg_values
@@ -448,11 +471,21 @@ fn compile_nests(
                 views[dst].source = ViewSource::SnapshotOf(src);
                 pending_snapshots.push(dst);
             }
+            mpi::PACK | mpi::HALO_BUFFER => {
+                let view = *view_of_value
+                    .get(&data.operands[0])
+                    .ok_or_else(|| err("halo staging of unknown view"))?;
+                staging_field.insert(module.result(op), view);
+            }
             mpi::ISEND => {
                 let spec =
                     mpi::halo_spec(module, op).ok_or_else(|| err("isend without halo spec"))?;
-                let view = *view_of_value
+                // The send goes through a pack staging buffer; resolve it
+                // back to the field view it stages (direct field sends are
+                // kept for hand-written IR).
+                let view = *staging_field
                     .get(&data.operands[0])
+                    .or_else(|| view_of_value.get(&data.operands[0]))
                     .ok_or_else(|| err("isend of unknown view"))?;
                 pending_exchanges.push(MpiExchange {
                     view,
@@ -463,6 +496,7 @@ fn compile_nests(
                 });
             }
             mpi::IRECV
+            | mpi::UNPACK
             | mpi::WAITALL
             | mpi::BARRIER
             | mpi::INIT
@@ -578,6 +612,15 @@ fn compile_one_nest(
     } else {
         ExecPlan::default()
     };
+    let halo_schedule = match module
+        .op(loop_root)
+        .attr("halo_schedule")
+        .and_then(Attribute::as_str)
+    {
+        Some("overlap") => Some(HaloSchedule::Overlap),
+        Some("blocking") => Some(HaloSchedule::Blocking),
+        _ => None,
+    };
     Ok(Nest {
         bounds,
         out_views,
@@ -586,6 +629,7 @@ fn compile_one_nest(
         specialized,
         path,
         exchanges,
+        halo_schedule,
         snapshots,
         plan,
     })
@@ -1275,6 +1319,68 @@ fn run_nest(
         }
     }
 
+    for (b, data) in out_buf_ids.iter().zip(taken) {
+        memory.restore_buffer(*b, data);
+    }
+    Ok(())
+}
+
+/// Serial variant of [`run_nest`] over an explicit sub-box of the nest's
+/// iteration domain — the distributed executor's per-rank building block
+/// (owned blocks, interiors, boundary shells). Same take/alias discipline
+/// as `run_nest`, but always single-threaded: the rank bodies themselves
+/// already run on threads, one per rank.
+pub(crate) fn run_nest_box(
+    nest: &Nest,
+    views: &[ViewSpec],
+    bufs: &[BufId],
+    memory: &mut Memory,
+    scalars: &[f64],
+    local: &[(i64, i64)],
+) -> Result<()> {
+    if local.iter().any(|&(lb, ub)| lb >= ub) {
+        return Ok(());
+    }
+    let mut out_view_map: Vec<Option<u16>> = vec![None; views.len()];
+    let mut out_buf_ids: Vec<BufId> = Vec::new();
+    for (slot, &v) in nest.out_views.iter().enumerate() {
+        out_view_map[v] = Some(slot as u16);
+        out_buf_ids.push(bufs[v]);
+    }
+    for instr in &nest.program.instrs {
+        if let Instr::Load { view, .. } = instr {
+            let v = *view as usize;
+            if out_view_map[v].is_none() && out_buf_ids.contains(&bufs[v]) {
+                return Err(err("output buffer aliases an input view"));
+            }
+        }
+    }
+    let mut taken: Vec<Vec<f64>> = out_buf_ids.iter().map(|&b| memory.take_buffer(b)).collect();
+    {
+        let inputs: Vec<&[f64]> = bufs
+            .iter()
+            .enumerate()
+            .map(|(v, &b)| {
+                if out_view_map[v].is_some() {
+                    &[][..]
+                } else {
+                    memory.buffer(b)
+                }
+            })
+            .collect();
+        let mut outputs: Vec<&mut [f64]> = taken.iter_mut().map(|v| v.as_mut_slice()).collect();
+        let slab_starts = vec![0i64; views.len()];
+        run_box(
+            nest,
+            views,
+            &inputs,
+            &mut outputs,
+            &slab_starts,
+            &out_view_map,
+            scalars,
+            local,
+        );
+    }
     for (b, data) in out_buf_ids.iter().zip(taken) {
         memory.restore_buffer(*b, data);
     }

@@ -23,6 +23,7 @@
 
 pub mod autotune;
 pub mod bytecode;
+pub mod distexec;
 pub mod interp;
 pub mod kernel;
 pub mod plan;
@@ -31,8 +32,9 @@ pub mod specialize;
 pub mod value;
 
 pub use autotune::{TuneConfig, TuningReport};
+pub use distexec::{DistOutcome, RankMetrics};
 pub use interp::{Interpreter, RunStats};
-pub use kernel::{CompiledKernel, KernelArg, KernelStats};
+pub use kernel::{CompiledKernel, HaloSchedule, KernelArg, KernelStats};
 pub use plan::{ExecPlan, PlanProvenance};
 pub use plancache::{resolve_cache_path, PlanCache};
 pub use specialize::ExecPath;

@@ -230,6 +230,9 @@ pub mod codes {
     pub const PLAN_CACHE: &str = "E0702";
     /// Autotune calibration failed or was skipped — default plan kept.
     pub const AUTOTUNE: &str = "E0703";
+    /// Process grid does not divide the interior extent of a decomposed
+    /// dimension.
+    pub const DMP_DECOMPOSITION: &str = "E0505";
 
     /// One-line description of a code, for docs and `--explain`-style
     /// output. Returns `None` for unknown codes.
@@ -261,6 +264,7 @@ pub mod codes {
             "E0502" => "pass panicked",
             "E0503" => "pass produced IR the verifier rejects",
             "E0504" => "pass option rejected",
+            "E0505" => "process grid does not divide a decomposed extent",
             "E0601" => "frontend lowering error",
             "E0602" => "kernel compilation error",
             "E0701" => "runtime execution error",
@@ -274,8 +278,8 @@ pub mod codes {
     pub const ALL: &[&str] = &[
         "E0001", "E0002", "E0101", "E0102", "E0103", "E0104", "E0105", "E0201", "E0202", "E0203",
         "E0204", "E0205", "E0206", "E0207", "E0208", "E0301", "E0302", "E0303", "E0304", "E0305",
-        "E0401", "E0402", "E0501", "E0502", "E0503", "E0504", "E0601", "E0602", "E0701", "E0702",
-        "E0703",
+        "E0401", "E0402", "E0501", "E0502", "E0503", "E0504", "E0505", "E0601", "E0602", "E0701",
+        "E0702", "E0703",
     ];
 }
 

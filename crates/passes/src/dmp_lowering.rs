@@ -12,9 +12,10 @@
 //! executes and times.
 
 use fsc_dialects::{dmp, mpi, stencil};
+use fsc_ir::diag::{codes, Diagnostic};
 use fsc_ir::pass::PassOptions;
 use fsc_ir::walk::collect_ops_named;
-use fsc_ir::{Attribute, Module, OpBuilder, Pass, PassResult, Result};
+use fsc_ir::{Attribute, IrError, Module, OpBuilder, Pass, PassResult, Result};
 
 /// Attribute on `func.func` recording the process-grid decomposition.
 pub const DECOMPOSITION_ATTR: &str = "dmp_decomposition";
@@ -54,7 +55,8 @@ impl Pass for StencilToDmp {
         }
         for apply_op in applies {
             let apply = stencil::ApplyOp(apply_op);
-            let rank = apply.output_bounds(module).len();
+            let bounds = apply.output_bounds(module);
+            let rank = bounds.len();
             // Halo per dim = max |offset| over all accesses in the body.
             let mut halo = vec![0i64; rank];
             for op in module.block_ops(apply.body(module)) {
@@ -62,6 +64,38 @@ impl Pass for StencilToDmp {
                     for (d, &o) in offs.iter().enumerate() {
                         halo[d] = halo[d].max(o.abs());
                     }
+                }
+            }
+            // A decomposed dimension that carries a halo dependency but whose
+            // interior extent does not divide evenly over the grid would leave
+            // a silent remainder in the naive block partition; reject it with
+            // a coded diagnostic. Two shapes stay legal: extents no larger
+            // than the part count (the degenerate idle-rank case, which
+            // `partition` handles exactly) and dims with zero halo (pointwise
+            // nests have no cross-rank dependency, so any block split is
+            // correct regardless of remainder).
+            let from = rank.saturating_sub(self.grid.len());
+            for (axis, &parts) in self.grid.iter().enumerate() {
+                let d = from + axis;
+                if d >= rank || parts <= 0 || halo[d] == 0 {
+                    continue;
+                }
+                let extent = (bounds[d].upper - bounds[d].lower + 1).max(0);
+                if extent > parts && extent % parts != 0 {
+                    return Err(IrError::from_diagnostic(
+                        Diagnostic::error(
+                            codes::DMP_DECOMPOSITION,
+                            format!(
+                                "stencil-to-dmp: process grid axis {axis} has {parts} ranks \
+                                 but the decomposed interior extent of dimension {d} is \
+                                 {extent}, which {parts} does not divide"
+                            ),
+                        )
+                        .note(format!(
+                            "choose grid axis sizes that divide {extent}, or resize the \
+                             domain to a multiple of {parts}"
+                        )),
+                    ));
                 }
             }
             // Which dims are decomposed: the last `grid.len()` ones.
@@ -88,7 +122,15 @@ impl Pass for StencilToDmp {
     }
 }
 
-/// `dmp-to-mpi`: swaps become isend/irecv pairs plus waitall.
+/// `dmp-to-mpi`: swaps become staged isend/irecv exchanges plus waitall.
+///
+/// Each swap direction gets *distinct* staging values: an `mpi.pack` feeding
+/// the `mpi.isend` (outgoing face gathered out of the field) and an
+/// `mpi.halo_buffer` feeding the `mpi.irecv` (landing zone for the incoming
+/// face), with an `mpi.unpack` after the `mpi.waitall` scattering the
+/// received face back into the field's halo. Receives are posted before
+/// sends so the per-rank schedule is post-recv → post-send → (compute) →
+/// waitall → unpack, the order the overlapped executor relies on.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct DmpToMpi;
 
@@ -105,28 +147,42 @@ impl Pass for DmpToMpi {
         let mut tag = 0i64;
         for swap in swaps {
             let halo = dmp::swap_halo(module, swap).unwrap_or_default();
-            let buffer = module.op(swap).operands[0];
-            let mut b = OpBuilder::before(module, swap);
-            let mut any = false;
+            let field = module.op(swap).operands[0];
+            let mut specs = Vec::new();
             for (dim, &width) in halo.iter().enumerate() {
                 if width == 0 {
                     continue;
                 }
-                any = true;
                 for direction in [-1i64, 1] {
-                    let spec = mpi::HaloSpec {
+                    specs.push(mpi::HaloSpec {
                         dim: dim as i64,
                         direction,
                         width,
                         tag,
-                    };
-                    mpi::isend(&mut b, buffer, &spec);
-                    mpi::irecv(&mut b, buffer, &spec);
+                    });
                     tag += 1;
                 }
             }
-            if any {
+            let mut b = OpBuilder::before(module, swap);
+            // Post all receives first, each into its own staging buffer.
+            let recv_staging: Vec<_> = specs
+                .iter()
+                .map(|spec| {
+                    let staging = mpi::halo_buffer(&mut b, field, spec);
+                    mpi::irecv(&mut b, staging, spec);
+                    staging
+                })
+                .collect();
+            // Then pack and post every send, again through distinct staging.
+            for spec in &specs {
+                let staging = mpi::pack(&mut b, field, spec);
+                mpi::isend(&mut b, staging, spec);
+            }
+            if !specs.is_empty() {
                 mpi::waitall(&mut b);
+                for (spec, &staging) in specs.iter().zip(&recv_staging) {
+                    mpi::unpack(&mut b, staging, field, spec);
+                }
             }
             module.erase_op(swap);
         }
@@ -202,6 +258,65 @@ end program gs
         let mut st2 = st.clone();
         DmpToMpi.run(&mut st2).unwrap();
         assert_eq!(collect_ops_named(&st2, mpi::ISEND).len(), 2);
+    }
+
+    #[test]
+    fn exchanges_use_distinct_staging_buffers() {
+        let mut st = stencil_module();
+        StencilToDmp { grid: vec![4, 2] }.run(&mut st).unwrap();
+        DmpToMpi.run(&mut st).unwrap();
+        // Every send and every recv goes through its own staging value, and
+        // the halo spec round-trips through pack/unpack as well.
+        let mut staging = std::collections::HashSet::new();
+        for op in collect_ops_named(&st, mpi::ISEND)
+            .into_iter()
+            .chain(collect_ops_named(&st, mpi::IRECV))
+        {
+            assert!(
+                staging.insert(st.op(op).operands[0]),
+                "staging buffer shared between exchanges"
+            );
+        }
+        assert_eq!(staging.len(), 8);
+        let packs = collect_ops_named(&st, mpi::PACK);
+        let unpacks = collect_ops_named(&st, mpi::UNPACK);
+        assert_eq!(packs.len(), 4);
+        assert_eq!(unpacks.len(), 4);
+        for &op in packs.iter().chain(&unpacks) {
+            let spec = mpi::halo_spec(&st, op).expect("halo spec on staging op");
+            assert_eq!(spec.width, 1);
+            assert!(spec.dim == 1 || spec.dim == 2);
+        }
+        // Receives are posted before any send (overlap-friendly schedule),
+        // and every unpack comes after the waitall.
+        let mut sequence = Vec::new();
+        fsc_ir::walk::walk_module(&st, &mut |op| {
+            sequence.push(st.op(op).name.full().to_string())
+        });
+        let first = |name: &str| sequence.iter().position(|n| n == name).unwrap();
+        let last = |name: &str| sequence.iter().rposition(|n| n == name).unwrap();
+        assert!(last(mpi::IRECV) < first(mpi::ISEND), "recvs posted first");
+        assert!(last(mpi::ISEND) < first(mpi::WAITALL));
+        assert!(first(mpi::WAITALL) < first(mpi::UNPACK));
+    }
+
+    #[test]
+    fn indivisible_grid_is_a_coded_error() {
+        let mut st = stencil_module(); // interior extent 8 per dim
+        let err = StencilToDmp { grid: vec![3] }.run(&mut st).unwrap_err();
+        assert!(
+            err.diagnostics
+                .iter()
+                .any(|d| d.code == fsc_ir::diag::codes::DMP_DECOMPOSITION),
+            "expected E0505, got: {err:?}"
+        );
+        // Divisible and degenerate (extent <= parts) grids stay legal.
+        StencilToDmp { grid: vec![4, 2] }
+            .run(&mut stencil_module())
+            .unwrap();
+        StencilToDmp { grid: vec![16] }
+            .run(&mut stencil_module())
+            .unwrap();
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod fir_to_standard;
 pub mod gpu_lowering;
 pub mod merge;
 pub mod openmp;
+pub mod overlap;
 pub mod pipeline;
 pub mod pipelines;
 pub mod stencil_to_scf;

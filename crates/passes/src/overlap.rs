@@ -1,0 +1,220 @@
+//! `mpi-overlap-halos` — license the distributed executor to overlap halo
+//! exchange with interior computation (the standard optimisation for
+//! halo-exchange codes; cf. PSyclone's overlap schedules and the Open Earth
+//! Compiler's distributed lowering).
+//!
+//! The pass runs after `dmp-to-mpi`, while the nests are still
+//! `stencil.apply` ops. It does not reorder the blocking IR — `dmp-to-mpi`
+//! already posts receives before sends, and the `mpi.waitall` stays ahead of
+//! the nest as the conservative literal semantics. Instead it *proves* the
+//! interior/boundary split legal and stamps a [`HALO_SCHEDULE_ATTR`] on each
+//! apply, which `stencil-to-scf` carries onto the generated loop-nest root
+//! and the kernel compiler surfaces as `Nest::halo_schedule`:
+//!
+//! * `"overlap"` — the executor may compute the halo-independent interior
+//!   while messages are in flight and finish the boundary shells after
+//!   `waitall` (post-recv → post-send → interior → waitall → boundary).
+//! * `"blocking"` — the split is legal but overlap was disabled
+//!   (`mpi-overlap-halos{enabled=false}`): recv everything, then compute.
+//!
+//! The proof obligation: every access must have nonzero offsets in **at
+//! most one decomposed dimension** (a "star" stencil with respect to the
+//! decomposition). Then face messages alone carry every remote dependency —
+//! no corner/diagonal halo cells exist — so a cell whose decomposed
+//! coordinates sit at least `halo` away from the owned-block edge reads only
+//! owned cells, and the iteration space splits exactly into a
+//! halo-independent interior plus boundary shells. Applies that fail the
+//! check get no attribute and the dispatcher keeps the modeled cost path.
+
+use crate::dmp_lowering::DECOMPOSITION_ATTR;
+use fsc_dialects::{mpi, stencil};
+use fsc_ir::pass::PassOptions;
+use fsc_ir::walk::collect_ops_named;
+use fsc_ir::{Attribute, Module, Pass, PassResult, Result};
+
+/// Attribute naming the halo schedule the executor may use for a nest:
+/// `"overlap"` or `"blocking"`. Carried from `stencil.apply` through
+/// `stencil-to-scf` onto the loop-nest root.
+pub const HALO_SCHEDULE_ATTR: &str = "halo_schedule";
+
+/// `mpi-overlap-halos`: prove the interior/boundary split safe and pick the
+/// halo schedule. `enabled=false` keeps the blocking schedule but still
+/// attests the (legal) split, so ablations compare like with like.
+#[derive(Debug, Clone, Copy)]
+pub struct OverlapHalos {
+    /// Whether overlapped execution is requested (default on).
+    pub enabled: bool,
+}
+
+impl Default for OverlapHalos {
+    fn default() -> Self {
+        Self { enabled: true }
+    }
+}
+
+impl OverlapHalos {
+    /// From pipeline options (`enabled=true|false`).
+    pub fn from_options(opts: &PassOptions) -> Self {
+        Self {
+            enabled: opts.get_bool("enabled").unwrap_or(true),
+        }
+    }
+}
+
+impl Pass for OverlapHalos {
+    fn name(&self) -> &str {
+        "mpi-overlap-halos"
+    }
+
+    fn run(&self, module: &mut Module) -> Result<PassResult> {
+        // Without lowered exchanges there is nothing to schedule.
+        if collect_ops_named(module, mpi::ISEND).is_empty() {
+            return Ok(PassResult::Unchanged);
+        }
+        // The decomposition arity decides which dims can hold remote cells.
+        let glen = module
+            .top_level_ops_named(fsc_dialects::func::FUNC)
+            .iter()
+            .find_map(|&f| module.op(f).attr(DECOMPOSITION_ATTR)?.as_index_list())
+            .map(<[i64]>::len)
+            .unwrap_or(0);
+        if glen == 0 {
+            return Ok(PassResult::Unchanged);
+        }
+        let schedule = if self.enabled { "overlap" } else { "blocking" };
+        let mut changed = false;
+        for apply_op in collect_ops_named(module, stencil::APPLY) {
+            let apply = stencil::ApplyOp(apply_op);
+            let rank = apply.output_bounds(module).len();
+            let from = rank.saturating_sub(glen);
+            let star =
+                module.block_ops(apply.body(module)).iter().all(
+                    |&op| match stencil::access_offset(module, op) {
+                        Some(offs) => offs[from..].iter().filter(|&&o| o != 0).count() <= 1,
+                        None => true,
+                    },
+                );
+            if star {
+                module
+                    .op_mut(apply_op)
+                    .attrs
+                    .insert(HALO_SCHEDULE_ATTR.into(), Attribute::string(schedule));
+                changed = true;
+            }
+        }
+        Ok(if changed {
+            PassResult::Changed
+        } else {
+            PassResult::Unchanged
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discover::discover_stencils;
+    use crate::dmp_lowering::{DmpToMpi, StencilToDmp};
+    use crate::extract::extract_stencils;
+    use fsc_fortran::compile_to_fir;
+
+    fn lowered(src: &str, grid: Vec<i64>) -> Module {
+        let mut m = compile_to_fir(src).unwrap();
+        discover_stencils(&mut m).unwrap();
+        let mut st = extract_stencils(&mut m).unwrap();
+        StencilToDmp { grid }.run(&mut st).unwrap();
+        DmpToMpi.run(&mut st).unwrap();
+        st
+    }
+
+    const STAR: &str = "
+program gs
+  integer, parameter :: n = 8
+  integer :: i, j, k
+  real(kind=8) :: u(0:n+1, 0:n+1, 0:n+1), un(0:n+1, 0:n+1, 0:n+1)
+  do k = 1, n
+    do j = 1, n
+      do i = 1, n
+        un(i, j, k) = (u(i-1, j, k) + u(i+1, j, k) + u(i, j-1, k) &
+                     + u(i, j+1, k) + u(i, j, k-1) + u(i, j, k+1)) / 6.0
+      end do
+    end do
+  end do
+end program gs
+";
+
+    const DIAGONAL: &str = "
+program diag
+  integer, parameter :: n = 8
+  integer :: i, j, k
+  real(kind=8) :: u(0:n+1, 0:n+1, 0:n+1), un(0:n+1, 0:n+1, 0:n+1)
+  do k = 1, n
+    do j = 1, n
+      do i = 1, n
+        un(i, j, k) = 0.25 * (u(i, j-1, k-1) + u(i, j+1, k+1) + u(i, j, k) &
+                    + u(i, j, k-1))
+      end do
+    end do
+  end do
+end program diag
+";
+
+    fn schedules(m: &Module) -> Vec<Option<String>> {
+        collect_ops_named(m, stencil::APPLY)
+            .into_iter()
+            .map(|op| {
+                m.op(op)
+                    .attr(HALO_SCHEDULE_ATTR)
+                    .and_then(|a| a.as_str().map(str::to_string))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn star_stencil_gets_overlap_schedule() {
+        let mut st = lowered(STAR, vec![2, 2]);
+        assert_eq!(
+            OverlapHalos::default().run(&mut st).unwrap(),
+            PassResult::Changed
+        );
+        assert!(schedules(&st)
+            .iter()
+            .all(|s| s.as_deref() == Some("overlap")));
+    }
+
+    #[test]
+    fn disabled_pass_attests_blocking() {
+        let mut st = lowered(STAR, vec![2, 2]);
+        OverlapHalos { enabled: false }.run(&mut st).unwrap();
+        assert!(schedules(&st)
+            .iter()
+            .all(|s| s.as_deref() == Some("blocking")));
+    }
+
+    #[test]
+    fn diagonal_access_across_decomposed_dims_is_not_split() {
+        let mut st = lowered(DIAGONAL, vec![2, 2]);
+        OverlapHalos::default().run(&mut st).unwrap();
+        assert!(schedules(&st).iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn diagonal_is_star_when_only_one_of_its_dims_is_decomposed() {
+        // Same diagonal stencil, but a 1-D grid decomposes only dim 2: the
+        // j-offset is then local and the split becomes legal again.
+        let mut st = lowered(DIAGONAL, vec![2]);
+        OverlapHalos::default().run(&mut st).unwrap();
+        assert!(schedules(&st)
+            .iter()
+            .all(|s| s.as_deref() == Some("overlap")));
+    }
+
+    #[test]
+    fn no_exchanges_means_unchanged() {
+        let mut m = Module::new();
+        assert_eq!(
+            OverlapHalos::default().run(&mut m).unwrap(),
+            PassResult::Unchanged
+        );
+    }
+}

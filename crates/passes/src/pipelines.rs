@@ -101,6 +101,9 @@ pub fn registry() -> PassRegistry {
         Box::new(StencilToDmp::from_options(o))
     });
     reg.register("dmp-to-mpi", |_| Box::new(DmpToMpi));
+    reg.register("mpi-overlap-halos", |o| {
+        Box::new(crate::overlap::OverlapHalos::from_options(o))
+    });
     reg.register("convert-fir-to-standard", |_| {
         Box::new(crate::fir_to_standard::ConvertFirToStandard)
     });
@@ -246,10 +249,20 @@ pub fn gpu_dmp_pipeline(grid: &[i64], tile_sizes: &[i64]) -> Result<PassManager>
 }
 
 /// Distributed-memory flow: halo analysis, MPI specialisation, CPU loops.
+/// Overlapped halo exchange is on by default; see [`dmp_pipeline_with`].
 pub fn dmp_pipeline(grid: &[i64]) -> Result<PassManager> {
+    dmp_pipeline_with(grid, true)
+}
+
+/// Distributed-memory flow with an explicit halo schedule:
+/// `mpi-overlap-halos{enabled=...}` proves the interior/boundary split and
+/// stamps `"overlap"` (exchange hidden behind interior compute) or
+/// `"blocking"` (recv-all-then-compute) on every legal nest.
+pub fn dmp_pipeline_with(grid: &[i64], overlap: bool) -> Result<PassManager> {
     let g: Vec<String> = grid.iter().map(i64::to_string).collect();
     registry().parse_pipeline(&format!(
         "canonicalize,cse,stencil-to-dmp{{grid={}}},dmp-to-mpi,\
+         mpi-overlap-halos{{enabled={overlap}}},\
          stencil-to-scf{{target=cpu}},canonicalize,cse",
         g.join(",")
     ))
@@ -287,6 +300,11 @@ mod tests {
         assert!(gpu_pipeline(true, &[32, 32, 1]).is_ok());
         assert!(gpu_pipeline(false, &[16, 16, 1]).is_ok());
         assert!(dmp_pipeline(&[4, 2]).is_ok());
+        assert!(dmp_pipeline_with(&[4, 2], false).is_ok());
+        assert!(dmp_pipeline(&[4, 2])
+            .unwrap()
+            .pass_names()
+            .contains(&"mpi-overlap-halos"));
     }
 
     #[test]

@@ -122,19 +122,26 @@ pub fn lower_stencils(module: &mut Module, target: LoweringTarget) -> Result<boo
     }
 
     // 4. Halo-exchange ops inserted by `stencil-to-dmp` / `dmp-to-mpi`
-    // reference fields/temps; retarget them at the memref views so the
-    // stencil ops can be erased.
+    // reference fields/temps; retarget every such operand at the memref
+    // views so the stencil ops can be erased. (`mpi.pack`/`mpi.halo_buffer`
+    // carry the field as operand 0, `mpi.unpack` as operand 1; staging
+    // operands are never stencil-typed and pass through untouched.)
     for name in [
         fsc_dialects::dmp::SWAP,
         fsc_dialects::mpi::ISEND,
         fsc_dialects::mpi::IRECV,
+        fsc_dialects::mpi::PACK,
+        fsc_dialects::mpi::HALO_BUFFER,
+        fsc_dialects::mpi::UNPACK,
     ] {
         for op in collect_ops_named(module, name) {
-            let buffer = module.op(op).operands[0];
-            if let Some(view) = views.get(&buffer) {
-                let mr = view.memref;
-                module.op_mut(op).operands[0] = mr;
-                fsc_ir::rewrite::hoist_def_before(module, mr, op);
+            for i in 0..module.op(op).operands.len() {
+                let buffer = module.op(op).operands[i];
+                if let Some(view) = views.get(&buffer) {
+                    let mr = view.memref;
+                    module.op_mut(op).operands[i] = mr;
+                    fsc_ir::rewrite::hoist_def_before(module, mr, op);
+                }
             }
         }
     }
@@ -221,6 +228,7 @@ fn lower_apply(
     // ivs[d] = induction variable for dimension d (global coords).
     let mut ivs: Vec<ValueId> = vec![ValueId(u32::MAX); rank];
     let innermost: BlockId;
+    let loop_root: OpId;
     {
         let mut b = OpBuilder::before(module, apply_op);
         let lb_consts: Vec<ValueId> = bounds
@@ -249,6 +257,7 @@ fn lower_apply(
                     ivs[d] = par_ivs[pos];
                 }
                 innermost = par.body(m);
+                loop_root = par.0;
             }
             LoweringTarget::Cpu => {
                 // Parallel over the slowest dim, serial loops inwards.
@@ -273,8 +282,19 @@ fn lower_apply(
                     current = f.body(m2);
                 }
                 innermost = current;
+                loop_root = par.0;
             }
         }
+    }
+
+    // The halo schedule proved by `mpi-overlap-halos` rides on the loop
+    // root, like the tiling pass's `"tiled"` attribute, so the kernel
+    // compiler can surface it per nest.
+    if let Some(sched) = module.op(apply_op).attr("halo_schedule").cloned() {
+        module
+            .op_mut(loop_root)
+            .attrs
+            .insert("halo_schedule".into(), sched);
     }
 
     // Populate the innermost body from the apply region.

@@ -157,10 +157,25 @@ fn main() {
         eprintln!("gpu model: {gpu:.6}s ({:?})", exec.report.gpu.unwrap());
     }
     if let Some(d) = exec.report.distributed_seconds {
-        eprintln!(
-            "distributed model: {d:.6}s over {} ranks",
-            exec.report.ranks.unwrap()
-        );
+        match &exec.report.distributed {
+            Some(att) if att.dispatches > 0 => eprintln!(
+                "distributed measured: {d:.6}s over {} ranks ({} halos, \
+                 overlap fraction {:.3}, {} halo bytes, model/measured {:.3})",
+                att.ranks,
+                match att.schedule {
+                    Some(flang_stencil::exec::HaloSchedule::Overlap) => "overlapped",
+                    Some(flang_stencil::exec::HaloSchedule::Blocking) => "blocking",
+                    None => "no",
+                },
+                att.overlap_fraction(),
+                att.bytes_exchanged,
+                att.model_ratio()
+            ),
+            _ => eprintln!(
+                "distributed model: {d:.6}s over {} ranks",
+                exec.report.ranks.unwrap()
+            ),
+        }
     }
     for name in dump {
         match exec.array(&name) {

@@ -18,8 +18,40 @@ use flang_stencil::ir::diag::render_all;
 use std::fs;
 use std::path::Path;
 
+/// Harness directive: a `! compile:` comment in a golden program picks the
+/// compile configuration (default: hardened `StencilCpu`). Knobs:
+/// `target=distributed(G,..)` compiles for [`Target::StencilDistributed`]
+/// with that process grid; `strict` turns the hardened degradation ladder
+/// off so mid-pipeline diagnostics surface as compile errors instead of
+/// degrading to a fallback rung.
+fn options_for(source: &str) -> CompileOptions {
+    let mut opts = CompileOptions::for_target(Target::StencilCpu);
+    for line in source.lines() {
+        let Some(directive) = line.trim().strip_prefix("! compile:") else {
+            continue;
+        };
+        for knob in directive.split_whitespace() {
+            if knob == "strict" {
+                opts.harden = false;
+            } else if let Some(grid) = knob
+                .strip_prefix("target=distributed(")
+                .and_then(|k| k.strip_suffix(")"))
+            {
+                let grid = grid
+                    .split(',')
+                    .map(|g| g.trim().parse().expect("grid axis size"))
+                    .collect();
+                opts.target = Target::StencilDistributed { grid };
+            } else {
+                panic!("unknown compile directive knob: {knob}");
+            }
+        }
+    }
+    opts
+}
+
 fn rendered_diagnostics(source: &str) -> String {
-    match Compiler::compile(source, &CompileOptions::for_target(Target::StencilCpu)) {
+    match Compiler::compile(source, &options_for(source)) {
         Ok(_) => panic!("malformed program unexpectedly compiled"),
         Err(e) => {
             if e.diagnostics.is_empty() {
@@ -75,6 +107,24 @@ fn golden_diagnostics_match() {
         "diagnostic output drifted (UPDATE_DIAGNOSTIC_GOLDENS=1 to regenerate):\n{}",
         mismatches.join("\n")
     );
+}
+
+#[test]
+fn indivisible_decomposition_degrades_under_hardening_with_e0505() {
+    // The same program the strict golden rejects with E0505 must, under the
+    // default hardened flow, degrade to the sequential scf fallback (which
+    // ignores the process grid) and carry the coded diagnostic in the
+    // attestation — never a wrong answer, never a silent remainder.
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/diagnostics");
+    let src = fs::read_to_string(dir.join("11_indivisible_decomposition.f90")).unwrap();
+    let opts = CompileOptions::for_target(Target::StencilDistributed { grid: vec![3] });
+    let exec = Compiler::run(&src, &opts).unwrap();
+    let report = &exec.report.degradation;
+    assert!(report.degraded());
+    assert_eq!(report.ran, DegradationRung::ScfFallback);
+    let shown = report.describe();
+    assert!(shown.contains("E0505"), "{shown}");
+    assert!(shown.contains("stencil-to-dmp"), "{shown}");
 }
 
 #[test]

@@ -477,3 +477,185 @@ fn gpu_explicit_data_beats_host_register() {
         "host_register {t_naive} must be much slower than explicit {t_explicit}"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Real distributed execution (rank bodies on the MPI micro-sim)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn distributed_bit_identical_to_serial_across_grids_and_tiers() {
+    use flang_stencil::exec::ExecPath;
+    // Every decomposition shape (1-D, 2-D, 3-D, asymmetric) on every
+    // execution tier must reproduce the single-rank serial result *bit for
+    // bit*: rank bodies run the same compiled per-cell arithmetic over
+    // sub-boxes, and halo traffic only moves values, never rounds them.
+    let grids: [&[i64]; 4] = [&[2], &[2, 2], &[2, 2, 2], &[4, 2]];
+    let gs_source = gauss_seidel::fortran_source(8, 2);
+    let pw_source = pw_advection::fortran_source(8);
+    for (label, source, arrays) in [
+        ("gs", &gs_source, vec!["u"]),
+        ("pw", &pw_source, vec!["su", "sv", "sw"]),
+    ] {
+        let serial =
+            Compiler::run(source, &CompileOptions::for_target(Target::StencilCpu)).unwrap();
+        for grid in grids {
+            let opts = CompileOptions::for_target(Target::StencilDistributed {
+                grid: grid.to_vec(),
+            });
+            let mut compiled = Compiler::compile(source, &opts).unwrap();
+            for path in [
+                ExecPath::Specialized,
+                ExecPath::FusedVm,
+                ExecPath::GenericVm,
+            ] {
+                for kernel in compiled.kernels.values_mut() {
+                    kernel.force_exec_path(path);
+                }
+                let exec = compiled.run().expect("distributed run");
+                let tag = format!("{label} grid={grid:?} {path:?}");
+                assert!(
+                    exec.report.degradation.attempts.is_empty(),
+                    "{tag}: degraded: {}",
+                    exec.report.degradation.describe()
+                );
+                let d = exec
+                    .report
+                    .distributed
+                    .as_ref()
+                    .expect("distributed report");
+                assert!(d.dispatches > 0, "{tag}: rank bodies must actually run");
+                assert!(d.bytes_exchanged > 0, "{tag}: halo traffic must flow");
+                for a in &arrays {
+                    let got = exec.array(a).unwrap();
+                    let want = serial.array(a).unwrap();
+                    assert_eq!(got.len(), want.len(), "{tag}: {a} length");
+                    assert!(
+                        got.iter()
+                            .zip(want.iter())
+                            .all(|(x, y)| x.to_bits() == y.to_bits()),
+                        "{tag}: {a} not bit-identical to serial"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn distributed_report_attests_measured_time_and_model_cross_check() {
+    let exec = run_gs(8, 3, Target::StencilDistributed { grid: vec![2, 2] });
+    let d = exec.report.distributed.clone().expect("distributed report");
+    assert_eq!(d.ranks, 4);
+    assert_eq!(d.dispatches, 3, "one rank-body dispatch per sweep");
+    assert_eq!(d.per_rank_wall.len(), 4);
+    assert!(d.per_rank_wall.iter().all(|&w| w > 0.0));
+    assert!(d.bytes_exchanged > 0 && d.messages > 0);
+    assert!(
+        d.measured_seconds > 0.0,
+        "makespan is measured, not modeled"
+    );
+    assert!(
+        d.modeled_seconds > 0.0,
+        "the cost model rides along as a cross-check"
+    );
+    assert!(d.model_ratio() > 0.0);
+    // `distributed_seconds` is now the *measured* makespan accumulation.
+    let total = exec.report.distributed_seconds.unwrap();
+    assert!(
+        (total - d.measured_seconds).abs() < 1e-12,
+        "distributed_seconds {total} must equal measured {0}",
+        d.measured_seconds
+    );
+}
+
+#[test]
+fn overlapped_halos_attest_overlap_and_do_not_lose_to_blocking() {
+    use flang_stencil::exec::HaloSchedule;
+    // Same program, same grid, only the halo schedule differs. Overlap must
+    // (a) be attested with a non-zero overlap fraction, and (b) not lose to
+    // the blocking schedule (best-of-5 with slack for scheduler noise).
+    let source = gauss_seidel::fortran_source(20, 4);
+    let measure = |overlap: bool| {
+        let opts = CompileOptions {
+            target: Target::StencilDistributed { grid: vec![2, 2] },
+            overlap_halos: overlap,
+            ..Default::default()
+        };
+        let mut best: Option<flang_stencil::core::DistributedReport> = None;
+        for _ in 0..5 {
+            let exec = Compiler::run(&source, &opts).expect("distributed run");
+            let d = exec.report.distributed.clone().expect("distributed report");
+            assert!(d.dispatches > 0, "rank bodies must actually run");
+            if best
+                .as_ref()
+                .map(|b| d.measured_seconds < b.measured_seconds)
+                .unwrap_or(true)
+            {
+                best = Some(d);
+            }
+        }
+        best.unwrap()
+    };
+    let blocking = measure(false);
+    let overlapped = measure(true);
+    assert_eq!(blocking.schedule, Some(HaloSchedule::Blocking));
+    assert_eq!(overlapped.schedule, Some(HaloSchedule::Overlap));
+    assert_eq!(
+        blocking.overlap_fraction(),
+        0.0,
+        "blocking computes nothing while waiting"
+    );
+    assert!(
+        overlapped.overlap_fraction() > 0.0,
+        "overlap fraction must be attested: {:?}",
+        overlapped
+    );
+    assert!(
+        overlapped.measured_seconds <= blocking.measured_seconds * 1.25,
+        "overlapped {} must not lose to blocking {}",
+        overlapped.measured_seconds,
+        blocking.measured_seconds
+    );
+}
+
+#[test]
+fn distributed_composes_with_forced_plans() {
+    use flang_stencil::exec::ExecPlan;
+    // Per-rank execution honours whatever plan is installed on the nests
+    // (PR 4's autotuner installs plans the same way), and every plan is
+    // bit-identical by construction.
+    let source = gauss_seidel::fortran_source(8, 2);
+    let serial = Compiler::run(&source, &CompileOptions::for_target(Target::StencilCpu)).unwrap();
+    let want = serial.array("u").unwrap().to_vec();
+    let opts = CompileOptions::for_target(Target::StencilDistributed { grid: vec![2, 2] });
+    let mut compiled = Compiler::compile(&source, &opts).unwrap();
+    for plan in [
+        ExecPlan {
+            tiles: vec![4, 2, 2],
+            ..ExecPlan::default()
+        },
+        ExecPlan {
+            unroll: 4,
+            slabs: 1,
+            ..ExecPlan::default()
+        },
+    ] {
+        for kernel in compiled.kernels.values_mut() {
+            kernel.force_plan(&plan);
+        }
+        let exec = compiled.run().expect("planned distributed run");
+        let d = exec
+            .report
+            .distributed
+            .as_ref()
+            .expect("distributed report");
+        assert!(d.dispatches > 0, "plan {plan:?}: rank bodies must run");
+        let got = exec.array("u").unwrap();
+        assert!(
+            got.iter()
+                .zip(want.iter())
+                .all(|(x, y)| x.to_bits() == y.to_bits()),
+            "plan {plan:?}: not bit-identical to serial"
+        );
+    }
+}
