@@ -41,12 +41,21 @@ timeout --kill-after=30s 300s \
   cargo run -q -p fsc-bench --bin fig6_distributed -- --smoke
 
 echo "== autotune smoke =="
-# Calibration sweep + cache-blocked plan ablation on a throwaway cache
-# directory, so CI never reads or pollutes a developer's plan cache. The
-# run itself verifies all plan variants bit-identical.
-tmp="$(mktemp -d)"
-FSC_PLAN_CACHE="$tmp/cache.json" timeout --kill-after=30s 300s \
+# Calibration sweep + cache-blocked plan ablation. The sweep threads its
+# own throwaway cache path explicitly (the library never reads
+# FSC_PLAN_CACHE — env lookup happens only at binary boundaries), so CI
+# never reads or pollutes a developer's plan cache. The run itself
+# verifies all plan variants bit-identical.
+timeout --kill-after=30s 300s \
   cargo run -q -p fsc-bench --bin tile_sweep -- --quick
-rm -rf "$tmp"
+
+echo "== server smoke =="
+# Compile-server mode: loadgen self-hosts an fsc-serve instance on a
+# private socket and storms it with a duplicate-heavy request mix. The
+# binary exits non-zero unless every request completed ok, the artifact
+# cache was actually reused (hit rate > 0), and singleflight held
+# (server-side compiles <= distinct request shapes).
+timeout --kill-after=30s 300s \
+  cargo run -q -p fsc-serve --bin loadgen -- --smoke
 
 echo "ci: all green"

@@ -15,6 +15,12 @@
 //! stencil, OpenMP stencil, GPU stencil (with either data strategy), or
 //! distributed-memory stencil via DMP/MPI.
 
+pub mod session;
+
+pub use session::{
+    ArtifactSource, CompileOutcome, CompileRequest, CompileService, ServiceMetrics, Session,
+};
+
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 

@@ -1,0 +1,541 @@
+//! Compile sessions and the shared, singleflight compile service.
+//!
+//! This is the library layer behind compile-server mode (`fsc-serve`): a
+//! [`CompileRequest`] names *what* to build (source + options, reduced to
+//! a stable [`fingerprint`](CompileRequest::fingerprint)), a
+//! [`CompileService`] is the process-wide build authority, and a
+//! [`Session`] is one client's cheap handle onto it. The service gives
+//! concurrent clients three guarantees:
+//!
+//! * **artifact sharing** — finished [`Compiled`] artifacts live in a
+//!   bounded cache keyed by fingerprint and are handed out as
+//!   `Arc<Compiled>`: a hit costs a map lookup, never a recompile.
+//!   (`Compiled::run(&self)` takes `&self`, so any number of sessions can
+//!   execute one artifact concurrently.)
+//! * **singleflight deduplication** — when many sessions request the same
+//!   fingerprint *at the same time*, exactly one of them (the leader)
+//!   runs the compiler; the rest park on the leader's slot and receive
+//!   the same `Arc` (or the same coded error). A thousand identical
+//!   requests cost one compile.
+//! * **attested outcomes** — every request reports how it was satisfied
+//!   ([`ArtifactSource`]: fresh / deduped / cached) and what it cost, so
+//!   the server's per-request attestation and `/stats` metrics are
+//!   measurements, not guesses.
+//!
+//! Compile *errors* propagate to every deduplicated waiter but are not
+//! cached: a later identical request recompiles. Errors from this
+//! compiler are deterministic, so retries are wasted work in the common
+//! case — but caching them would pin transient environment failures
+//! (e.g. an unreadable plan-cache file) forever, which is worse.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use fsc_ir::diag::{codes, Diagnostic};
+use fsc_ir::{IrError, Result};
+
+use crate::{CompileOptions, Compiled, Compiler, Execution};
+
+/// One unit of work for the compile service: source text plus the full
+/// compile configuration.
+#[derive(Debug, Clone)]
+pub struct CompileRequest {
+    /// Fortran source text.
+    pub source: String,
+    /// Compile configuration (target, hardening, autotune, ...).
+    pub options: CompileOptions,
+}
+
+impl CompileRequest {
+    /// A request for `source` with default options.
+    pub fn new(source: impl Into<String>) -> Self {
+        Self {
+            source: source.into(),
+            options: CompileOptions::default(),
+        }
+    }
+
+    /// A request with explicit options.
+    pub fn with_options(source: impl Into<String>, options: CompileOptions) -> Self {
+        Self {
+            source: source.into(),
+            options,
+        }
+    }
+
+    /// Stable fingerprint of the request: FNV-1a-64 over the source bytes
+    /// and the `Debug` rendering of the options (which covers every field,
+    /// deterministically — targets, tiles, rung forcing, tune config).
+    /// Identical fingerprints mean "the same compile would run", which is
+    /// exactly the singleflight/caching equivalence the service needs.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        for &b in self.source.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+        for &b in format!("{:?}", self.options).as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+        h
+    }
+}
+
+/// How a request's artifact was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArtifactSource {
+    /// This request ran the compiler itself (it was the singleflight
+    /// leader, or nothing identical was in flight).
+    Fresh,
+    /// An identical compile was already in flight; this request waited on
+    /// it and shares its artifact.
+    Deduped,
+    /// Served from the bounded artifact cache — no compiler involvement.
+    Cached,
+}
+
+impl ArtifactSource {
+    /// Stable lowercase name (used in server responses and attestations).
+    pub fn describe(self) -> &'static str {
+        match self {
+            ArtifactSource::Fresh => "fresh",
+            ArtifactSource::Deduped => "deduped",
+            ArtifactSource::Cached => "cached",
+        }
+    }
+}
+
+/// A satisfied compile request: the shared artifact plus the attestation
+/// of how it was produced.
+#[derive(Clone)]
+pub struct CompileOutcome {
+    /// The compiled program, shared with every other holder.
+    pub compiled: Arc<Compiled>,
+    /// The request fingerprint the artifact is keyed under.
+    pub fingerprint: u64,
+    /// How this particular request was satisfied.
+    pub source: ArtifactSource,
+    /// Wall-clock this request spent acquiring the artifact (compile time
+    /// for the leader, wait time for deduped followers, ~zero for cache
+    /// hits).
+    pub wall: Duration,
+}
+
+/// Lifetime counters for a [`CompileService`] (monotonic; the server's
+/// `/stats` endpoint snapshots them).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceMetrics {
+    /// Compiles actually executed (each unique fingerprint costs one,
+    /// plus one per post-eviction or post-error retry).
+    pub compiles: u64,
+    /// Requests that parked behind an identical in-flight compile.
+    pub dedup_waits: u64,
+    /// Requests served straight from the artifact cache.
+    pub artifact_hits: u64,
+    /// Compiles that ended in an error.
+    pub errors: u64,
+}
+
+impl ServiceMetrics {
+    /// Fraction of requests that avoided running the compiler.
+    pub fn reuse_rate(&self) -> f64 {
+        let total = self.compiles + self.dedup_waits + self.artifact_hits;
+        if total == 0 {
+            return 0.0;
+        }
+        (self.dedup_waits + self.artifact_hits) as f64 / total as f64
+    }
+}
+
+/// State of one in-flight compile, shared between the leader and any
+/// deduplicated followers.
+enum SlotState {
+    /// The leader is still compiling.
+    Pending,
+    /// The compile finished; followers take their copy from here.
+    Done(std::result::Result<Arc<Compiled>, IrError>),
+}
+
+struct Slot {
+    state: Mutex<SlotState>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(SlotState::Pending),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn publish(&self, result: std::result::Result<Arc<Compiled>, IrError>) {
+        *self.state.lock().unwrap_or_else(|e| e.into_inner()) = SlotState::Done(result);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> std::result::Result<Arc<Compiled>, IrError> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            match &*state {
+                SlotState::Done(result) => return result.clone(),
+                SlotState::Pending => {
+                    state = self.ready.wait(state).unwrap_or_else(|e| e.into_inner());
+                }
+            }
+        }
+    }
+}
+
+/// Bounded FIFO artifact cache. FIFO (not LRU) keeps eviction decisions
+/// deterministic and the hot path a single map lookup; the cache exists
+/// to absorb request storms for a working set of programs, not to be a
+/// perfect reuse oracle.
+struct ArtifactCache {
+    capacity: usize,
+    map: HashMap<u64, Arc<Compiled>>,
+    order: VecDeque<u64>,
+}
+
+impl ArtifactCache {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    fn get(&self, fp: u64) -> Option<Arc<Compiled>> {
+        self.map.get(&fp).cloned()
+    }
+
+    fn insert(&mut self, fp: u64, artifact: Arc<Compiled>) {
+        if self.map.insert(fp, artifact).is_none() {
+            self.order.push_back(fp);
+            while self.order.len() > self.capacity {
+                if let Some(evicted) = self.order.pop_front() {
+                    self.map.remove(&evicted);
+                }
+            }
+        }
+    }
+}
+
+/// The process-wide compile authority: a bounded artifact cache plus a
+/// singleflight table of in-flight compiles. See the module docs for the
+/// guarantees. Cheap to share (`Arc<CompileService>`); every [`Session`]
+/// and every server worker holds the same instance.
+pub struct CompileService {
+    artifacts: Mutex<ArtifactCache>,
+    inflight: Mutex<HashMap<u64, Arc<Slot>>>,
+    compiles: AtomicU64,
+    dedup_waits: AtomicU64,
+    artifact_hits: AtomicU64,
+    errors: AtomicU64,
+    next_session: AtomicU64,
+}
+
+/// Default artifact-cache capacity (distinct fingerprints retained).
+pub const DEFAULT_ARTIFACT_CAPACITY: usize = 256;
+
+impl Default for CompileService {
+    fn default() -> Self {
+        Self::new(DEFAULT_ARTIFACT_CAPACITY)
+    }
+}
+
+impl CompileService {
+    /// A service retaining at most `artifact_capacity` compiled programs.
+    pub fn new(artifact_capacity: usize) -> Self {
+        Self {
+            artifacts: Mutex::new(ArtifactCache::new(artifact_capacity)),
+            inflight: Mutex::new(HashMap::new()),
+            compiles: AtomicU64::new(0),
+            dedup_waits: AtomicU64::new(0),
+            artifact_hits: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            next_session: AtomicU64::new(1),
+        }
+    }
+
+    /// Open a new session on this service.
+    pub fn session(self: &Arc<Self>) -> Session {
+        Session {
+            service: self.clone(),
+            id: self.next_session.fetch_add(1, Ordering::Relaxed),
+            requests: AtomicU64::new(0),
+        }
+    }
+
+    /// Satisfy a compile request: artifact cache, then singleflight, then
+    /// a real compile. Never blocks other fingerprints — the service locks
+    /// are held only for map operations, never across a compile.
+    pub fn compile(&self, request: &CompileRequest) -> Result<CompileOutcome> {
+        let fp = request.fingerprint();
+        let t0 = Instant::now();
+
+        if let Some(artifact) = self
+            .artifacts
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(fp)
+        {
+            self.artifact_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(CompileOutcome {
+                compiled: artifact,
+                fingerprint: fp,
+                source: ArtifactSource::Cached,
+                wall: t0.elapsed(),
+            });
+        }
+
+        // Singleflight: first requester of a fingerprint becomes leader,
+        // everyone else parks on the leader's slot.
+        let (slot, leader) = {
+            let mut inflight = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+            match inflight.get(&fp) {
+                Some(slot) => (slot.clone(), false),
+                None => {
+                    let slot = Arc::new(Slot::new());
+                    inflight.insert(fp, slot.clone());
+                    (slot, true)
+                }
+            }
+        };
+
+        if !leader {
+            self.dedup_waits.fetch_add(1, Ordering::Relaxed);
+            let compiled = slot.wait()?;
+            return Ok(CompileOutcome {
+                compiled,
+                fingerprint: fp,
+                source: ArtifactSource::Deduped,
+                wall: t0.elapsed(),
+            });
+        }
+
+        self.compiles.fetch_add(1, Ordering::Relaxed);
+        // A panic that escapes the hardened pipeline must still release the
+        // followers, so it is caught and published as a coded error.
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            Compiler::compile(&request.source, &request.options)
+        }))
+        .unwrap_or_else(|payload| {
+            let msg = fsc_passes::pipeline::payload_message(payload.as_ref());
+            Err(IrError::from_diagnostic(Diagnostic::error(
+                codes::KERNEL,
+                format!("compile panicked: {msg}"),
+            )))
+        })
+        .map(Arc::new);
+
+        if let Ok(artifact) = &result {
+            self.artifacts
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(fp, artifact.clone());
+        } else {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        // Publish before retiring the slot so late joiners either find the
+        // slot (and get the result) or miss it (and hit the artifact cache
+        // / recompile on error).
+        slot.publish(result.clone());
+        self.inflight
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&fp);
+
+        result.map(|compiled| CompileOutcome {
+            compiled,
+            fingerprint: fp,
+            source: ArtifactSource::Fresh,
+            wall: t0.elapsed(),
+        })
+    }
+
+    /// Compile and run in one call.
+    pub fn run(&self, request: &CompileRequest) -> Result<(CompileOutcome, Execution)> {
+        let outcome = self.compile(request)?;
+        let execution = outcome.compiled.run()?;
+        Ok((outcome, execution))
+    }
+
+    /// Snapshot of the lifetime counters.
+    pub fn metrics(&self) -> ServiceMetrics {
+        ServiceMetrics {
+            compiles: self.compiles.load(Ordering::Relaxed),
+            dedup_waits: self.dedup_waits.load(Ordering::Relaxed),
+            artifact_hits: self.artifact_hits.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One client's handle onto a shared [`CompileService`]: an id for
+/// attribution plus a per-session request counter. Sessions are cheap —
+/// the server opens one per connection.
+pub struct Session {
+    service: Arc<CompileService>,
+    /// Monotonic session id, unique within the service.
+    pub id: u64,
+    requests: AtomicU64,
+}
+
+impl Session {
+    /// Satisfy a compile request through the shared service.
+    pub fn compile(&self, request: &CompileRequest) -> Result<CompileOutcome> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.service.compile(request)
+    }
+
+    /// Compile and run through the shared service.
+    pub fn run(&self, request: &CompileRequest) -> Result<(CompileOutcome, Execution)> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.service.run(request)
+    }
+
+    /// Requests issued through this session so far.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// The shared service this session rides on.
+    pub fn service(&self) -> &Arc<CompileService> {
+        &self.service
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Target;
+    use std::sync::Barrier;
+
+    fn request(n: usize) -> CompileRequest {
+        CompileRequest::with_options(
+            fsc_workloads::gauss_seidel::fortran_source(n, 1),
+            CompileOptions::for_target(Target::StencilCpu),
+        )
+    }
+
+    #[test]
+    fn fingerprint_covers_source_and_options() {
+        let a = request(4);
+        let b = request(5);
+        assert_ne!(a.fingerprint(), b.fingerprint(), "source must matter");
+        let mut c = request(4);
+        c.options.target = Target::StencilOpenMp { threads: 2 };
+        assert_ne!(a.fingerprint(), c.fingerprint(), "options must matter");
+        assert_eq!(a.fingerprint(), request(4).fingerprint(), "must be stable");
+    }
+
+    #[test]
+    fn repeat_requests_hit_the_artifact_cache() {
+        let service = Arc::new(CompileService::default());
+        let req = request(4);
+        let first = service.compile(&req).unwrap();
+        assert_eq!(first.source, ArtifactSource::Fresh);
+        let second = service.compile(&req).unwrap();
+        assert_eq!(second.source, ArtifactSource::Cached);
+        assert!(Arc::ptr_eq(&first.compiled, &second.compiled));
+        let m = service.metrics();
+        assert_eq!((m.compiles, m.artifact_hits, m.errors), (1, 1, 0));
+    }
+
+    /// The singleflight guarantee: many identical concurrent requests run
+    /// the compiler exactly once, and every requester gets the same
+    /// artifact.
+    #[test]
+    fn identical_concurrent_requests_compile_once() {
+        let service = Arc::new(CompileService::default());
+        let req = request(6);
+        let n = 8;
+        let barrier = Arc::new(Barrier::new(n));
+        let handles: Vec<_> = (0..n)
+            .map(|_| {
+                let (service, req, barrier) = (service.clone(), req.clone(), barrier.clone());
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    service.compile(&req).unwrap()
+                })
+            })
+            .collect();
+        let outcomes: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let m = service.metrics();
+        assert_eq!(m.compiles, 1, "identical requests must compile once");
+        assert_eq!(
+            m.dedup_waits + m.artifact_hits,
+            (n - 1) as u64,
+            "everyone else must reuse: {m:?}"
+        );
+        let first = &outcomes[0].compiled;
+        for o in &outcomes {
+            assert!(
+                Arc::ptr_eq(first, &o.compiled),
+                "all must share one artifact"
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_requests_compile_independently() {
+        let service = Arc::new(CompileService::default());
+        service.compile(&request(4)).unwrap();
+        service.compile(&request(5)).unwrap();
+        assert_eq!(service.metrics().compiles, 2);
+    }
+
+    #[test]
+    fn errors_reach_every_waiter_and_are_not_cached() {
+        let service = Arc::new(CompileService::default());
+        let bad = CompileRequest::new("program p\n  this is not fortran\nend program p");
+        assert!(service.compile(&bad).is_err());
+        assert!(service.compile(&bad).is_err());
+        let m = service.metrics();
+        assert_eq!(m.errors, 2, "errors are retried, not cached: {m:?}");
+        assert_eq!(m.artifact_hits, 0);
+    }
+
+    #[test]
+    fn artifact_cache_evicts_fifo_beyond_capacity() {
+        let service = Arc::new(CompileService::new(2));
+        service.compile(&request(4)).unwrap();
+        service.compile(&request(5)).unwrap();
+        service.compile(&request(6)).unwrap(); // evicts request(4)
+        let again = service.compile(&request(4)).unwrap();
+        assert_eq!(again.source, ArtifactSource::Fresh);
+        assert_eq!(service.metrics().compiles, 4);
+    }
+
+    #[test]
+    fn sessions_share_the_service_and_count_requests() {
+        let service = Arc::new(CompileService::default());
+        let a = service.session();
+        let b = service.session();
+        assert_ne!(a.id, b.id);
+        let req = request(4);
+        a.compile(&req).unwrap();
+        let outcome = b.compile(&req).unwrap();
+        assert_eq!(outcome.source, ArtifactSource::Cached);
+        assert_eq!(a.requests(), 1);
+        assert_eq!(b.requests(), 1);
+        assert_eq!(service.metrics().compiles, 1);
+    }
+
+    #[test]
+    fn run_through_a_session_produces_results() {
+        let service = Arc::new(CompileService::default());
+        let session = service.session();
+        let (outcome, exec) = session.run(&request(4)).unwrap();
+        assert_eq!(outcome.source, ArtifactSource::Fresh);
+        assert!(exec.array("u").is_some());
+    }
+}

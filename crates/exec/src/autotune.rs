@@ -8,10 +8,16 @@
 //! fingerprint of (body bytecode, iteration bounds, view geometry, plan
 //! kind, thread count) and remembered twice:
 //!
-//! * **in process** — a per-cache-path [`PlanCache`] image behind a lock,
-//!   so repeated compiles in one process never re-read the file;
+//! * **in process** — a per-cache-path [`SharedPlanCache`]: a sharded map
+//!   with RCU-style snapshot reads (see [`crate::sharded`]), so repeated
+//!   compiles in one process never re-read the file and concurrent
+//!   sessions never queue behind each other's lookups. Crucially, no lock
+//!   is held while a calibration sweep runs — a slow tune of one kernel
+//!   cannot serialize an unrelated cache hit;
 //! * **on disk** — the JSON [`PlanCache`] (see [`crate::plancache`]), so
-//!   calibration cost is paid once per machine.
+//!   calibration cost is paid once per machine. Persistence goes through
+//!   [`PlanCache::save`]'s merge-on-save, so concurrent processes tuning
+//!   different kernels both keep their entries.
 //!
 //! Every failure degrades, never aborts: an unreadable cache produces a
 //! coded `E0702` warning and tuning proceeds; a calibration sweep that
@@ -24,8 +30,8 @@
 //! measured no worse than the default on this machine.
 
 use std::collections::HashMap;
-use std::path::PathBuf;
-use std::sync::{Mutex, OnceLock};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use fsc_ir::diag::{codes, Diagnostic};
@@ -33,13 +39,17 @@ use fsc_ir::diag::{codes, Diagnostic};
 use crate::kernel::{run_kernel, ArgKind, CompiledKernel, KernelArg, PlanKind, ViewSource};
 use crate::plan::{ExecPlan, PlanProvenance};
 use crate::plancache::{resolve_cache_path, PlanCache, PlanRecord};
+use crate::sharded::SharedPlanCache;
 use crate::value::Memory;
 
 /// How the tuner runs.
 #[derive(Debug, Clone, Default)]
 pub struct TuneConfig {
-    /// Explicit cache file; `None` resolves `FSC_PLAN_CACHE` / temp dir
-    /// via [`resolve_cache_path`].
+    /// Explicit cache file; `None` resolves the temp-dir default via
+    /// [`resolve_cache_path`]. The library never consults the environment
+    /// — binaries that honour `FSC_PLAN_CACHE` call
+    /// [`crate::plancache::env_cache_path`] at their boundary and pass
+    /// the result here.
     pub cache_path: Option<PathBuf>,
     /// Skip persisting newly tuned winners to disk (in-process memoisation
     /// still applies). Benches use this to re-tune every run.
@@ -98,19 +108,47 @@ impl TuningReport {
 // In-process cache
 // --------------------------------------------------------------------------
 
-/// In-process plan cache images, one per on-disk path. Loaded lazily on
-/// first use of a path and kept in sync with everything tuned afterwards,
-/// so one process never reads a cache file twice.
-fn in_process() -> &'static Mutex<HashMap<PathBuf, PlanCache>> {
-    static CACHE: OnceLock<Mutex<HashMap<PathBuf, PlanCache>>> = OnceLock::new();
+/// Registry of in-process shared cache images, one per on-disk path.
+/// Loaded lazily on first use of a path and kept in sync with everything
+/// tuned afterwards, so one process never reads a cache file twice. The
+/// registry lock is held only to clone an `Arc` (or to register a freshly
+/// loaded image) — never across a lookup, and never across a calibration
+/// sweep.
+fn registry() -> &'static Mutex<HashMap<PathBuf, Arc<SharedPlanCache>>> {
+    static CACHE: OnceLock<Mutex<HashMap<PathBuf, Arc<SharedPlanCache>>>> = OnceLock::new();
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The process-wide shared cache image for a path, loading the file on
+/// the first request. Returns the load diagnostic (corrupt/unreadable
+/// file) only to the caller that actually performed the load.
+pub fn shared_cache(path: &Path) -> (Arc<SharedPlanCache>, Option<Diagnostic>) {
+    if let Some(existing) = registry()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .get(path)
+    {
+        return (existing.clone(), None);
+    }
+    // Load outside the registry lock: a large or slow-to-read cache file
+    // must not block lookups against other paths.
+    let (image, diag) = PlanCache::load(path);
+    let loaded = Arc::new(SharedPlanCache::from_cache(image));
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    match reg.entry(path.to_path_buf()) {
+        std::collections::hash_map::Entry::Occupied(e) => (e.get().clone(), None),
+        std::collections::hash_map::Entry::Vacant(e) => {
+            e.insert(loaded.clone());
+            (loaded, diag)
+        }
+    }
 }
 
 /// Drop every in-process cache image, forcing the next tune to re-read
 /// cache files from disk. Test hook (the file may have been rewritten or
 /// corrupted underneath us on purpose).
 pub fn reset_in_process_cache() {
-    in_process().lock().unwrap().clear();
+    registry().lock().unwrap_or_else(|e| e.into_inner()).clear();
 }
 
 // --------------------------------------------------------------------------
@@ -285,15 +323,16 @@ fn time_candidate(
 
 /// Tune one kernel in place. Cache hit installs the cached plan without
 /// any measurement; otherwise a calibration sweep runs over scratch
-/// buffers and the winner (with `Tuned` provenance) is installed and
-/// recorded in `cache`. Returns `None` (default plan kept) for kernel
-/// shapes the tuner does not calibrate: GPU-modelled and distributed
-/// plans, whose run path is not the plain CPU sweep being timed here.
+/// buffers — with **no cache lock held** — and the winner (with `Tuned`
+/// provenance) is installed and recorded in `cache`. Returns `None`
+/// (default plan kept) for kernel shapes the tuner does not calibrate:
+/// GPU-modelled and distributed plans, whose run path is not the plain
+/// CPU sweep being timed here.
 pub fn tune_kernel(
     kernel: &mut CompiledKernel,
     threads: usize,
     pool: Option<&rayon::ThreadPool>,
-    cache: &mut PlanCache,
+    cache: &SharedPlanCache,
     reps: u32,
     diagnostics: &mut Vec<Diagnostic>,
 ) -> Option<TuneEntry> {
@@ -303,7 +342,7 @@ pub fn tune_kernel(
     let rank = kernel.nests.first().map(|n| n.bounds.len())?;
     let key = fingerprint(kernel, threads);
 
-    if let Some(record) = cache.entries.get(&key) {
+    if let Some(record) = cache.get(&key) {
         let plan = record.to_plan();
         kernel.force_plan(&plan);
         return Some(TuneEntry {
@@ -361,9 +400,7 @@ pub fn tune_kernel(
         }
     };
     kernel.force_plan(&winner);
-    cache
-        .entries
-        .insert(key.clone(), PlanRecord::from_plan(&winner, micros));
+    cache.insert(key.clone(), PlanRecord::from_plan(&winner, micros));
     Some(TuneEntry {
         kernel: kernel.name.clone(),
         key,
@@ -372,10 +409,16 @@ pub fn tune_kernel(
     })
 }
 
-/// Tune a set of kernels against one plan-cache file: load the cache
-/// (once per process per path), tune each kernel, then persist newly
-/// tuned winners. Never fails — every problem becomes a coded diagnostic
-/// in the returned [`TuningReport`].
+/// Tune a set of kernels against one plan-cache file: resolve the shared
+/// in-process image (loading the file once per process per path), tune
+/// each kernel, then persist newly tuned winners through the merge-on-save
+/// writer. Never fails — every problem becomes a coded diagnostic in the
+/// returned [`TuningReport`].
+///
+/// Concurrency: no lock is held across the tuning loop. Cache lookups go
+/// through [`SharedPlanCache`]'s snapshot reads, so one session's slow
+/// calibration sweep never serializes another session's cache hit (the
+/// regression test below pins this).
 pub fn tune_kernels<'k>(
     kernels: impl IntoIterator<Item = &'k mut CompiledKernel>,
     threads: usize,
@@ -385,28 +428,30 @@ pub fn tune_kernels<'k>(
     let t0 = Instant::now();
     let mut report = TuningReport::default();
     let path = resolve_cache_path(config.cache_path.as_deref());
-    let mut images = in_process().lock().unwrap();
-    let cache = match images.entry(path.clone()) {
-        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-        std::collections::hash_map::Entry::Vacant(e) => {
-            let (loaded, diag) = PlanCache::load(&path);
-            if let Some(d) = diag {
-                report.diagnostics.push(d);
-            }
-            e.insert(loaded)
-        }
-    };
+    let (cache, load_diag) = shared_cache(&path);
+    if let Some(d) = load_diag {
+        report.diagnostics.push(d);
+    }
     let reps = if config.reps == 0 { 2 } else { config.reps };
-    let before = cache.entries.len();
+    // Winners tuned by *this* call, persisted as a delta: save() unions
+    // them with whatever is on disk by then, so concurrent writers (other
+    // threads or other processes) keep their entries too.
+    let mut fresh = PlanCache::default();
     for kernel in kernels {
         if let Some(entry) =
-            tune_kernel(kernel, threads, pool, cache, reps, &mut report.diagnostics)
+            tune_kernel(kernel, threads, pool, &cache, reps, &mut report.diagnostics)
         {
+            if entry.plan.provenance == PlanProvenance::Tuned {
+                fresh.entries.insert(
+                    entry.key.clone(),
+                    PlanRecord::from_plan(&entry.plan, entry.micros),
+                );
+            }
             report.entries.push(entry);
         }
     }
-    if cache.entries.len() != before && !config.no_persist {
-        if let Err(e) = cache.save(&path) {
+    if !fresh.entries.is_empty() && !config.no_persist {
+        if let Err(e) = fresh.save(&path) {
             report.diagnostics.push(
                 Diagnostic::warning(
                     codes::PLAN_CACHE,

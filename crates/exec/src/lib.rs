@@ -28,6 +28,7 @@ pub mod interp;
 pub mod kernel;
 pub mod plan;
 pub mod plancache;
+pub mod sharded;
 pub mod specialize;
 pub mod value;
 
@@ -36,6 +37,7 @@ pub use distexec::{DistOutcome, RankMetrics};
 pub use interp::{Interpreter, RunStats};
 pub use kernel::{CompiledKernel, HaloSchedule, KernelArg, KernelStats};
 pub use plan::{ExecPlan, PlanProvenance};
-pub use plancache::{resolve_cache_path, PlanCache};
+pub use plancache::{env_cache_path, resolve_cache_path, PlanCache};
+pub use sharded::SharedPlanCache;
 pub use specialize::ExecPath;
 pub use value::{BufId, Memory, Ref, Value};

@@ -233,6 +233,11 @@ pub mod codes {
     /// Process grid does not divide the interior extent of a decomposed
     /// dimension.
     pub const DMP_DECOMPOSITION: &str = "E0505";
+    /// Compile server at capacity: the request was rejected by admission
+    /// control instead of being queued (retry with backoff).
+    pub const SERVER_BUSY: &str = "E0801";
+    /// Compile server received a malformed or unsupported request.
+    pub const SERVER_PROTOCOL: &str = "E0802";
 
     /// One-line description of a code, for docs and `--explain`-style
     /// output. Returns `None` for unknown codes.
@@ -270,6 +275,8 @@ pub mod codes {
             "E0701" => "runtime execution error",
             "E0702" => "plan cache unreadable; default plans used",
             "E0703" => "autotune calibration failed; default plan kept",
+            "E0801" => "compile server at capacity; request rejected",
+            "E0802" => "malformed or unsupported server request",
             _ => return None,
         })
     }
@@ -279,7 +286,7 @@ pub mod codes {
         "E0001", "E0002", "E0101", "E0102", "E0103", "E0104", "E0105", "E0201", "E0202", "E0203",
         "E0204", "E0205", "E0206", "E0207", "E0208", "E0301", "E0302", "E0303", "E0304", "E0305",
         "E0401", "E0402", "E0501", "E0502", "E0503", "E0504", "E0505", "E0601", "E0602", "E0701",
-        "E0702", "E0703",
+        "E0702", "E0703", "E0801", "E0802",
     ];
 }
 

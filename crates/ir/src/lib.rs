@@ -31,6 +31,7 @@
 pub mod attributes;
 pub mod builder;
 pub mod diag;
+pub mod json;
 pub mod module;
 pub mod parse;
 pub mod pass;

@@ -1,0 +1,77 @@
+//! `fsc-serve` — the persistent compile daemon.
+//!
+//! ```text
+//! fsc-serve --socket /tmp/fsc.sock [--workers N] [--queue N] [--plan-cache FILE]
+//! ```
+//!
+//! This binary is the *only* place on the server side that consults the
+//! `FSC_PLAN_CACHE` environment variable (when `--plan-cache` is absent);
+//! everything below `main` takes explicit paths, so library behaviour
+//! never depends on ambient process state.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use fsc_serve::{Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fsc-serve [--socket PATH] [--workers N] [--queue N] [--plan-cache FILE]\n\
+         \n\
+         Starts the compile server on a Unix socket (default: fsc-serve.sock\n\
+         in the system temp directory) and serves line-delimited JSON\n\
+         requests until a client sends {{\"op\":\"shutdown\"}}."
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut socket: Option<PathBuf> = None;
+    let mut config = ServerConfig::default();
+    let mut plan_cache_flag: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--socket" => socket = Some(PathBuf::from(value("--socket"))),
+            "--workers" => config.workers = value("--workers").parse().unwrap_or_else(|_| usage()),
+            "--queue" => config.queue_depth = value("--queue").parse().unwrap_or_else(|_| usage()),
+            "--plan-cache" => plan_cache_flag = Some(PathBuf::from(value("--plan-cache"))),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown argument '{other}'");
+                usage();
+            }
+        }
+    }
+
+    // The env → config boundary: flag beats env beats the library default.
+    config.plan_cache = plan_cache_flag.or_else(fsc_exec::env_cache_path);
+    let socket = socket.unwrap_or_else(|| std::env::temp_dir().join("fsc-serve.sock"));
+
+    let mut server = match Server::start(&socket, config.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: could not bind {}: {e}", socket.display());
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "fsc-serve listening on {} ({} workers, queue depth {})",
+        server.socket_path().display(),
+        config.workers,
+        config.queue_depth
+    );
+
+    while server.running() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    server.stop();
+    println!("fsc-serve: drained and stopped");
+}

@@ -1,0 +1,337 @@
+//! `loadgen` — drive a compile server with a mixed request storm and
+//! report throughput, latency quantiles and cache effectiveness.
+//!
+//! ```text
+//! loadgen [--requests N] [--clients N] [--socket PATH] [--smoke]
+//! ```
+//!
+//! Without `--socket` the generator self-hosts a server inside this
+//! process (on a private socket with a private plan cache) so one command
+//! produces a full closed-loop measurement. `--smoke` is the CI gate:
+//! a small storm that must finish with **zero failed requests**, a
+//! **non-zero artifact reuse rate**, and **singleflight holding**
+//! (server-side compiles == distinct request shapes issued).
+//!
+//! Busy rejections (`E0801`) are part of the admission-control contract,
+//! not failures: the generator retries them with linear backoff and
+//! reports how often it had to.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fsc_ir::json::Json;
+use fsc_serve::{Client, Server, ServerConfig};
+
+/// One request shape in the mix.
+#[derive(Clone)]
+struct Shape {
+    label: &'static str,
+    source: String,
+    target: &'static str,
+    autotune: bool,
+}
+
+/// The mixed workload: distinct programs × targets, some autotuned —
+/// deliberately heavy on duplicates so reuse and singleflight matter.
+fn shapes() -> Vec<Shape> {
+    let gs4 = fsc_workloads::gauss_seidel::fortran_source(4, 2);
+    let gs6 = fsc_workloads::gauss_seidel::fortran_source(6, 2);
+    let gs8 = fsc_workloads::gauss_seidel::fortran_source(8, 2);
+    let pw6 = fsc_workloads::pw_advection::fortran_source(6);
+    vec![
+        Shape {
+            label: "gs4/cpu",
+            source: gs4.clone(),
+            target: "cpu",
+            autotune: false,
+        },
+        Shape {
+            label: "gs6/cpu",
+            source: gs6.clone(),
+            target: "cpu",
+            autotune: false,
+        },
+        Shape {
+            label: "gs8/cpu",
+            source: gs8.clone(),
+            target: "cpu",
+            autotune: false,
+        },
+        Shape {
+            label: "pw6/cpu",
+            source: pw6,
+            target: "cpu",
+            autotune: false,
+        },
+        Shape {
+            label: "gs4/omp2",
+            source: gs4,
+            target: "omp:2",
+            autotune: false,
+        },
+        Shape {
+            label: "gs6/omp2",
+            source: gs6,
+            target: "omp:2",
+            autotune: false,
+        },
+        Shape {
+            label: "gs8/cpu+tune",
+            source: gs8,
+            target: "cpu",
+            autotune: true,
+        },
+    ]
+}
+
+struct Outcome {
+    ok: u64,
+    failed: u64,
+    busy_retries: u64,
+    latencies_us: Vec<u64>,
+}
+
+fn drive_client(
+    socket: &std::path::Path,
+    indices: Vec<usize>,
+    shapes: &[Shape],
+    counters: &(AtomicU64, AtomicU64, AtomicU64),
+) -> Outcome {
+    let mut client = match Client::connect(socket) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("loadgen: connect failed: {e}");
+            return Outcome {
+                ok: 0,
+                failed: indices.len() as u64,
+                busy_retries: 0,
+                latencies_us: vec![],
+            };
+        }
+    };
+    let mut out = Outcome {
+        ok: 0,
+        failed: 0,
+        busy_retries: 0,
+        latencies_us: Vec::with_capacity(indices.len()),
+    };
+    for i in indices {
+        let shape = &shapes[i % shapes.len()];
+        let t0 = Instant::now();
+        let mut attempt = 0u64;
+        let response = loop {
+            match client.run(&shape.source, shape.target, shape.autotune, &[]) {
+                Ok(v) => {
+                    let busy = v.get("code").and_then(Json::as_str) == Some("E0801");
+                    if busy && attempt < 200 {
+                        attempt += 1;
+                        out.busy_retries += 1;
+                        std::thread::sleep(Duration::from_millis(attempt.min(20)));
+                        continue;
+                    }
+                    break Ok(v);
+                }
+                Err(e) => break Err(e),
+            }
+        };
+        out.latencies_us.push(t0.elapsed().as_micros() as u64);
+        match response {
+            Ok(v) if v.get("ok").and_then(Json::as_bool) == Some(true) => out.ok += 1,
+            Ok(v) => {
+                out.failed += 1;
+                eprintln!(
+                    "loadgen: request {} ({}) failed: {}",
+                    i,
+                    shape.label,
+                    v.render()
+                );
+            }
+            Err(e) => {
+                out.failed += 1;
+                eprintln!(
+                    "loadgen: request {} ({}) transport error: {e}",
+                    i, shape.label
+                );
+            }
+        }
+    }
+    counters.0.fetch_add(out.ok, Ordering::Relaxed);
+    counters.1.fetch_add(out.failed, Ordering::Relaxed);
+    counters.2.fetch_add(out.busy_retries, Ordering::Relaxed);
+    out
+}
+
+fn quantile(sorted_us: &[u64], q: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((q * (sorted_us.len() - 1) as f64).round() as usize).min(sorted_us.len() - 1);
+    sorted_us[idx] as f64 / 1000.0
+}
+
+fn main() {
+    let mut requests = 2000usize;
+    let mut clients = 16usize;
+    let mut socket: Option<PathBuf> = None;
+    let mut smoke = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--requests" => requests = args.next().and_then(|v| v.parse().ok()).unwrap_or(requests),
+            "--clients" => clients = args.next().and_then(|v| v.parse().ok()).unwrap_or(clients),
+            "--socket" => socket = args.next().map(PathBuf::from),
+            "--smoke" => {
+                smoke = true;
+                requests = 200;
+                clients = 8;
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: loadgen [--requests N] [--clients N] [--socket PATH] [--smoke]");
+                std::process::exit(2);
+            }
+            other => {
+                eprintln!("loadgen: unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    let clients = clients.max(1);
+
+    // Self-host unless pointed at an external server. The hosted server
+    // gets a private plan cache so measurements never touch (or benefit
+    // from) ambient state.
+    let scratch = std::env::temp_dir().join(format!("fsc-loadgen-{}", std::process::id()));
+    let _ = std::fs::create_dir_all(&scratch);
+    let mut hosted: Option<Server> = None;
+    let socket_path = match &socket {
+        Some(p) => p.clone(),
+        None => {
+            let path = scratch.join("serve.sock");
+            let config = ServerConfig {
+                queue_depth: 64,
+                plan_cache: Some(scratch.join("plans.json")),
+                ..ServerConfig::default()
+            };
+            let server = Server::start(&path, config).unwrap_or_else(|e| {
+                eprintln!("loadgen: could not self-host server: {e}");
+                std::process::exit(1);
+            });
+            hosted = Some(server);
+            path
+        }
+    };
+
+    let shapes = Arc::new(shapes());
+    let counters = Arc::new((AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)));
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            // Interleave the global request index space across clients so
+            // every client sees the full mix.
+            let indices: Vec<usize> = (0..requests).skip(c).step_by(clients).collect();
+            let (shapes, counters, socket_path) =
+                (shapes.clone(), counters.clone(), socket_path.clone());
+            std::thread::spawn(move || drive_client(&socket_path, indices, &shapes, &counters))
+        })
+        .collect();
+    let mut latencies: Vec<u64> = Vec::with_capacity(requests);
+    for h in handles {
+        if let Ok(outcome) = h.join() {
+            latencies.extend(outcome.latencies_us);
+        }
+    }
+    let wall = t0.elapsed();
+    latencies.sort_unstable();
+
+    let (ok, failed, busy_retries) = (
+        counters.0.load(Ordering::Relaxed),
+        counters.1.load(Ordering::Relaxed),
+        counters.2.load(Ordering::Relaxed),
+    );
+
+    let stats = Client::connect(&socket_path)
+        .ok()
+        .and_then(|mut c| c.stats().ok());
+    let stat = |key: &str| -> f64 {
+        stats
+            .as_ref()
+            .and_then(|s| s.get(key))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0)
+    };
+    let unique_shapes = shapes.len() as f64;
+    let compiles = stat("compiles");
+    let reuse = stat("artifact_hits") + stat("dedup_waits");
+
+    println!(
+        "loadgen: {requests} requests, {clients} clients, {}",
+        match &socket {
+            Some(p) => format!("external server at {}", p.display()),
+            None => "self-hosted server".to_string(),
+        }
+    );
+    println!("  ok {ok}  failed {failed}  busy-retries {busy_retries}");
+    println!(
+        "  wall {:.2} s  throughput {:.1} req/s",
+        wall.as_secs_f64(),
+        ok as f64 / wall.as_secs_f64().max(1e-9)
+    );
+    println!(
+        "  client latency p50 {:.2} ms  p90 {:.2} ms  p99 {:.2} ms  max {:.2} ms",
+        quantile(&latencies, 0.50),
+        quantile(&latencies, 0.90),
+        quantile(&latencies, 0.99),
+        quantile(&latencies, 1.0),
+    );
+    println!(
+        "  server: compiles {:.0} (request shapes {unique_shapes:.0}), dedup_waits {:.0}, artifact_hits {:.0}, reuse {:.1}%",
+        compiles,
+        stat("dedup_waits"),
+        stat("artifact_hits"),
+        stat("reuse_rate") * 100.0,
+    );
+    println!(
+        "  server latency p50 {:.2} ms  p99 {:.2} ms  queue-wait p99 {:.2} ms  rejected {:.0}",
+        stat("p50_ms"),
+        stat("p99_ms"),
+        stat("queue_wait_p99_ms"),
+        stat("rejected"),
+    );
+    println!(
+        "  plan cache: {:.0} hits / {:.0} misses",
+        stat("plan_hits"),
+        stat("plan_misses")
+    );
+    let singleflight_ok = stats.is_some() && compiles <= unique_shapes && compiles > 0.0;
+    println!(
+        "  singleflight: {}",
+        if singleflight_ok {
+            "OK (compiles <= distinct request shapes)"
+        } else {
+            "VIOLATED"
+        }
+    );
+
+    if let Some(mut server) = hosted.take() {
+        server.stop();
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    if failed > 0 {
+        eprintln!("loadgen: FAILED — {failed} requests did not complete ok");
+        std::process::exit(1);
+    }
+    if smoke {
+        if reuse <= 0.0 {
+            eprintln!("loadgen: FAILED — no artifact reuse under a duplicate-heavy mix");
+            std::process::exit(1);
+        }
+        if !singleflight_ok {
+            eprintln!("loadgen: FAILED — singleflight violated (compiles {compiles} > shapes {unique_shapes})");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! A small blocking client for the compile-server protocol.
+//!
+//! Strictly sequential: each call writes one request line and blocks for
+//! the matching response line (ids are still checked, so a protocol
+//! violation surfaces as an error rather than silent misattribution).
+//! The loadgen and the CLI both drive the server through this type; tests
+//! use it as the reference protocol implementation.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use fsc_ir::json::{Json, ObjBuilder};
+
+/// A connected, synchronous protocol client.
+pub struct Client {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+    next_id: i64,
+}
+
+impl Client {
+    /// Connect to a server socket.
+    pub fn connect(socket_path: &Path) -> std::io::Result<Client> {
+        let stream = UnixStream::connect(socket_path)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+            next_id: 1,
+        })
+    }
+
+    /// Send a pre-built request body (the client assigns and checks the
+    /// id) and return the parsed response.
+    pub fn call(&mut self, body: ObjBuilder) -> Result<Json, String> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let line = body.num("id", id as f64).build().render();
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|_| self.writer.write_all(b"\n"))
+            .and_then(|_| self.writer.flush())
+            .map_err(|e| format!("write failed: {e}"))?;
+        let mut response = String::new();
+        let n = self
+            .reader
+            .read_line(&mut response)
+            .map_err(|e| format!("read failed: {e}"))?;
+        if n == 0 {
+            return Err("server closed the connection".into());
+        }
+        let v = Json::parse(response.trim())?;
+        match v.get("id").and_then(Json::as_i64) {
+            Some(got) if got == id => Ok(v),
+            got => Err(format!("response id {got:?} does not match request {id}")),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<Json, String> {
+        self.call(ObjBuilder::new().str("op", "ping"))
+    }
+
+    /// Metrics snapshot (`stats` object of the response).
+    pub fn stats(&mut self) -> Result<Json, String> {
+        let v = self.call(ObjBuilder::new().str("op", "stats"))?;
+        v.get("stats").cloned().ok_or("missing stats".into())
+    }
+
+    /// Ask the server to drain and exit.
+    pub fn shutdown(&mut self) -> Result<Json, String> {
+        self.call(ObjBuilder::new().str("op", "shutdown"))
+    }
+
+    /// Compile only.
+    pub fn compile(&mut self, source: &str, target: &str, autotune: bool) -> Result<Json, String> {
+        self.call(
+            ObjBuilder::new()
+                .str("op", "compile")
+                .str("source", source)
+                .str("target", target)
+                .bool("autotune", autotune),
+        )
+    }
+
+    /// Compile and run, returning the named arrays' final contents.
+    pub fn run(
+        &mut self,
+        source: &str,
+        target: &str,
+        autotune: bool,
+        arrays: &[&str],
+    ) -> Result<Json, String> {
+        self.call(
+            ObjBuilder::new()
+                .str("op", "run")
+                .str("source", source)
+                .str("target", target)
+                .bool("autotune", autotune)
+                .set(
+                    "arrays",
+                    Json::Arr(arrays.iter().map(|a| Json::Str(a.to_string())).collect()),
+                ),
+        )
+    }
+}

@@ -1,0 +1,62 @@
+//! # fsc-serve — compile-server mode
+//!
+//! A persistent daemon that amortises compilation across many clients:
+//! instead of paying frontend + pass-pipeline + kernel-compile +
+//! autotune-calibration cost per invocation, a long-lived server keeps
+//!
+//! * a **singleflight compile service** (`fsc_core::session`) — identical
+//!   concurrent requests compile once; finished artifacts are shared from
+//!   a bounded cache;
+//! * a **shared plan cache** (`fsc_exec::sharded`) — autotuned execution
+//!   plans discovered by any session serve every later one, in process
+//!   via RCU-style snapshot reads and across restarts via the
+//!   merge-on-save JSON cache;
+//! * a **bounded work queue with admission control** — overload is
+//!   answered with a coded `E0801` rejection, not latency collapse.
+//!
+//! The wire protocol is line-delimited JSON over a Unix domain socket
+//! ([`proto`]); [`server`] hosts the daemon, [`client`] is the blocking
+//! client, and [`metrics`] the lock-free counters behind `/stats`. The
+//! `fsc-serve` binary wraps [`server::Server`]; the `loadgen` binary
+//! drives a server (self-hosted or external) with thousands of mixed
+//! requests and reports throughput and latency quantiles.
+
+pub mod client;
+pub mod metrics;
+pub mod proto;
+pub mod server;
+
+pub use client::Client;
+pub use metrics::{LatencyHistogram, ServerMetrics};
+pub use proto::{parse_target, CompileSpec, Op, Request};
+pub use server::{Server, ServerConfig};
+
+use fsc_core::Execution;
+
+/// Order- and name-sensitive FNV-1a-64 checksum over the *bit patterns*
+/// of the named arrays' final contents. The e2e suite compares a server
+/// run's checksum against a direct in-process library run — equality
+/// means bit-identical results, independent of JSON float formatting.
+pub fn checksum_arrays(execution: &Execution, names: &[String]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    for name in names {
+        eat(name.as_bytes());
+        match execution.array(name) {
+            Some(data) => {
+                for v in data {
+                    eat(&v.to_bits().to_le_bytes());
+                }
+            }
+            None => eat(b"<absent>"),
+        }
+    }
+    h
+}

@@ -1,0 +1,477 @@
+//! The compile server: a Unix-socket daemon multiplexing many concurrent
+//! compile+run sessions onto one shared [`CompileService`].
+//!
+//! Architecture (one box per thread kind):
+//!
+//! ```text
+//!             ┌───────────┐   accept   ┌──────────────┐  parse + admit
+//!  clients ──▶│  accept   │───────────▶│ connection  │────────┐
+//!             │  thread   │  (per conn)│ reader      │        ▼
+//!             └───────────┘            └──────────────┘  bounded queue
+//!                                            │            (reject E0801
+//!                                     inline │ ping/stats  beyond depth)
+//!                                            ▼                 │
+//!                                       response line          ▼
+//!                                            ▲           ┌──────────┐
+//!                                            └───────────│ worker   │×N
+//!                                                        │ pool     │
+//!                                                        └──────────┘
+//! ```
+//!
+//! * **Admission control**: the work queue is bounded; a request arriving
+//!   when it is full is answered `E0801` immediately by the connection
+//!   thread — backpressure is explicit and cheap, never a hang or a
+//!   dropped connection.
+//! * **Sharing**: every worker holds the same `Arc<CompileService>`
+//!   (singleflight + bounded artifact cache, see `fsc_core::session`) and
+//!   the same on-disk plan cache path, so autotuned plans discovered by
+//!   one session serve every later one.
+//! * **Attestation**: each response reports how its artifact was obtained
+//!   (fresh/deduped/cached), the degradation rung that ran, the plan
+//!   provenances, and queue/compile/run wall times.
+//!
+//! The env → configuration boundary lives in the *binary* (`fsc-serve`
+//! reads `FSC_PLAN_CACHE` once at startup); this module and everything
+//! below it take explicit paths only.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use fsc_core::{CompileOutcome, CompileRequest, CompileService, Execution};
+use fsc_exec::autotune;
+use fsc_exec::plancache::resolve_cache_path;
+use fsc_exec::TuneConfig;
+use fsc_ir::diag::codes;
+use fsc_ir::json::{Json, ObjBuilder};
+
+use crate::checksum_arrays;
+use crate::metrics::ServerMetrics;
+use crate::proto::{busy_response, error_response, CompileSpec, Op, Request};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing compile/run jobs (0 = admit but never
+    /// process, used by the admission-control tests).
+    pub workers: usize,
+    /// Work-queue bound: requests beyond this depth are rejected `E0801`.
+    pub queue_depth: usize,
+    /// Compiled artifacts retained by the shared service.
+    pub artifact_capacity: usize,
+    /// Plan-cache file shared by every autotuning request (`None` resolves
+    /// the default temp-dir path; the `FSC_PLAN_CACHE` env lookup happens
+    /// only in the `fsc-serve` binary).
+    pub plan_cache: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().clamp(2, 8))
+                .unwrap_or(4),
+            queue_depth: 64,
+            artifact_capacity: fsc_core::session::DEFAULT_ARTIFACT_CAPACITY,
+            plan_cache: None,
+        }
+    }
+}
+
+/// One admitted unit of work.
+struct Job {
+    id: i64,
+    op: Op,
+    reply: Arc<Mutex<UnixStream>>,
+    admitted: Instant,
+}
+
+struct ServerInner {
+    config: ServerConfig,
+    plan_cache_path: PathBuf,
+    service: Arc<CompileService>,
+    queue: Mutex<VecDeque<Job>>,
+    work_ready: Condvar,
+    metrics: ServerMetrics,
+    shutdown: AtomicBool,
+}
+
+/// A running compile server. Dropping it (or calling [`Server::stop`])
+/// stops accepting, drains queued work, and joins the worker pool.
+pub struct Server {
+    socket_path: PathBuf,
+    inner: Arc<ServerInner>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `socket_path` (replacing any stale socket file) and start the
+    /// accept loop plus the worker pool.
+    pub fn start(socket_path: &Path, config: ServerConfig) -> std::io::Result<Server> {
+        let _ = std::fs::remove_file(socket_path);
+        if let Some(parent) = socket_path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        let listener = UnixListener::bind(socket_path)?;
+        let inner = Arc::new(ServerInner {
+            plan_cache_path: resolve_cache_path(config.plan_cache.as_deref()),
+            service: Arc::new(CompileService::new(config.artifact_capacity)),
+            config,
+            queue: Mutex::new(VecDeque::new()),
+            work_ready: Condvar::new(),
+            metrics: ServerMetrics::new(),
+            shutdown: AtomicBool::new(false),
+        });
+
+        let workers = (0..inner.config.workers)
+            .map(|i| {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("fsc-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let accept = {
+            let inner = inner.clone();
+            std::thread::Builder::new()
+                .name("fsc-accept".into())
+                .spawn(move || accept_loop(&listener, &inner))
+                .expect("spawn acceptor")
+        };
+
+        Ok(Server {
+            socket_path: socket_path.to_path_buf(),
+            inner,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The socket path clients connect to.
+    pub fn socket_path(&self) -> &Path {
+        &self.socket_path
+    }
+
+    /// The shared compile service (tests inspect its metrics directly).
+    pub fn service(&self) -> &Arc<CompileService> {
+        &self.inner.service
+    }
+
+    /// True until a shutdown request (or [`Server::stop`]) lands.
+    pub fn running(&self) -> bool {
+        !self.inner.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Stop accepting, drain queued jobs, join every thread. Idempotent.
+    pub fn stop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.work_ready.notify_all();
+        // Unblock the accept loop with a throwaway connection.
+        let _ = UnixStream::connect(&self.socket_path);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        let _ = std::fs::remove_file(&self.socket_path);
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: &UnixListener, inner: &Arc<ServerInner>) {
+    for stream in listener.incoming() {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let inner = inner.clone();
+        // Connection readers are detached: they hold only an Arc and exit
+        // within one read-timeout tick of shutdown (or on client EOF).
+        let _ = std::thread::Builder::new()
+            .name("fsc-conn".into())
+            .spawn(move || connection_loop(stream, &inner));
+    }
+}
+
+fn connection_loop(stream: UnixStream, inner: &Arc<ServerInner>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let reply = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client closed
+            Ok(_) => {
+                let trimmed = line.trim();
+                if trimmed.is_empty() {
+                    continue;
+                }
+                handle_line(trimmed, &reply, inner);
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn write_line(reply: &Arc<Mutex<UnixStream>>, line: &str) {
+    let mut w = reply.lock().unwrap_or_else(|e| e.into_inner());
+    let _ = w.write_all(line.as_bytes());
+    let _ = w.write_all(b"\n");
+    let _ = w.flush();
+}
+
+/// Parse, then either answer inline (ping/stats/shutdown/protocol error/
+/// admission rejection) or enqueue for the worker pool.
+fn handle_line(line: &str, reply: &Arc<Mutex<UnixStream>>, inner: &Arc<ServerInner>) {
+    let request = match Request::parse(line) {
+        Ok(r) => r,
+        Err(e) => {
+            inner
+                .metrics
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            write_line(
+                reply,
+                &error_response(Request::recover_id(line), codes::SERVER_PROTOCOL, &e),
+            );
+            return;
+        }
+    };
+    match request.op {
+        Op::Ping => write_line(
+            reply,
+            &ObjBuilder::new()
+                .num("id", request.id as f64)
+                .bool("ok", true)
+                .bool("pong", true)
+                .build()
+                .render(),
+        ),
+        Op::Stats => write_line(
+            reply,
+            &ObjBuilder::new()
+                .num("id", request.id as f64)
+                .bool("ok", true)
+                .set("stats", stats_snapshot(inner))
+                .build()
+                .render(),
+        ),
+        Op::Shutdown => {
+            write_line(
+                reply,
+                &ObjBuilder::new()
+                    .num("id", request.id as f64)
+                    .bool("ok", true)
+                    .bool("stopping", true)
+                    .build()
+                    .render(),
+            );
+            inner.shutdown.store(true, Ordering::SeqCst);
+            inner.work_ready.notify_all();
+        }
+        op @ (Op::Compile(_) | Op::Run(..)) => {
+            let mut queue = inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if queue.len() >= inner.config.queue_depth {
+                drop(queue);
+                inner.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                write_line(reply, &busy_response(request.id, inner.config.queue_depth));
+                return;
+            }
+            queue.push_back(Job {
+                id: request.id,
+                op,
+                reply: reply.clone(),
+                admitted: Instant::now(),
+            });
+            inner
+                .metrics
+                .queue_depth
+                .store(queue.len() as u64, Ordering::Relaxed);
+            drop(queue);
+            inner.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+            inner.work_ready.notify_one();
+        }
+    }
+}
+
+fn worker_loop(inner: &Arc<ServerInner>) {
+    loop {
+        let job = {
+            let mut queue = inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    inner
+                        .metrics
+                        .queue_depth
+                        .store(queue.len() as u64, Ordering::Relaxed);
+                    break Some(job);
+                }
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = inner
+                    .work_ready
+                    .wait(queue)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let Some(job) = job else { return };
+        inner.metrics.queue_wait.record(job.admitted.elapsed());
+        let response = process_job(&job, inner);
+        let ok = response.get("ok").and_then(Json::as_bool) == Some(true);
+        if ok {
+            inner.metrics.completed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            inner.metrics.failed.fetch_add(1, Ordering::Relaxed);
+        }
+        inner.metrics.latency.record(job.admitted.elapsed());
+        write_line(&job.reply, &response.render());
+    }
+}
+
+/// Compile (and run) one admitted job, producing the response value.
+fn process_job(job: &Job, inner: &Arc<ServerInner>) -> Json {
+    let (spec, arrays) = match &job.op {
+        Op::Compile(spec) => (spec, None),
+        Op::Run(spec, arrays) => (spec, Some(arrays.as_slice())),
+        _ => unreachable!("only compile/run jobs are queued"),
+    };
+    let request = to_compile_request(spec, inner);
+    let outcome = match inner.service.compile(&request) {
+        Ok(o) => o,
+        Err(e) => return error_json(job.id, &e),
+    };
+    let mut b = attest(job.id, &outcome);
+    if let Some(arrays) = arrays {
+        let t0 = Instant::now();
+        let execution = match outcome.compiled.run() {
+            Ok(x) => x,
+            Err(e) => return error_json(job.id, &e),
+        };
+        b = b
+            .num("run_ms", t0.elapsed().as_secs_f64() * 1000.0)
+            .str(
+                "checksum",
+                &format!("{:016x}", checksum_arrays(&execution, arrays)),
+            )
+            .str("rung_ran", execution.report.degradation.ran.describe());
+        b = b.set("arrays", render_arrays(&execution, arrays));
+    }
+    b.build()
+}
+
+fn to_compile_request(spec: &CompileSpec, inner: &Arc<ServerInner>) -> CompileRequest {
+    let mut options = spec.options();
+    if spec.autotune {
+        options.autotune = Some(TuneConfig {
+            cache_path: Some(inner.plan_cache_path.clone()),
+            no_persist: false,
+            reps: 1,
+        });
+    }
+    CompileRequest::with_options(spec.source.clone(), options)
+}
+
+/// The per-request attestation: artifact provenance, degradation rung,
+/// plan provenances, wall times.
+fn attest(id: i64, outcome: &CompileOutcome) -> ObjBuilder {
+    let compiled = &outcome.compiled;
+    let plans: Vec<Json> = {
+        let mut provenances: Vec<String> = compiled
+            .kernels
+            .values()
+            .flat_map(|k| k.nests.iter())
+            .map(|n| format!("{:?}", n.plan.provenance).to_lowercase())
+            .collect();
+        provenances.sort();
+        provenances.dedup();
+        provenances.into_iter().map(Json::Str).collect()
+    };
+    ObjBuilder::new()
+        .num("id", id as f64)
+        .bool("ok", true)
+        .str("artifact", outcome.source.describe())
+        .str("fingerprint", &format!("{:016x}", outcome.fingerprint))
+        .str("rung", compiled.degradation.ran.describe())
+        .bool("degraded", compiled.degradation.degraded())
+        .set("plans", Json::Arr(plans))
+        .num("compile_ms", outcome.wall.as_secs_f64() * 1000.0)
+        .num(
+            "tuned_kernels",
+            compiled
+                .tuning
+                .as_ref()
+                .map(|t| t.entries.len() as f64)
+                .unwrap_or(0.0),
+        )
+}
+
+fn render_arrays(execution: &Execution, names: &[String]) -> Json {
+    let mut b = ObjBuilder::new();
+    for name in names {
+        let value = match execution.array(name) {
+            Some(data) => Json::Arr(data.iter().copied().map(Json::Num).collect()),
+            None => Json::Null,
+        };
+        b = b.set(name, value);
+    }
+    b.build()
+}
+
+fn error_json(id: i64, error: &fsc_ir::IrError) -> Json {
+    let code = error.primary().map(|d| d.code).unwrap_or(codes::EXEC);
+    Json::parse(&error_response(id, code, &error.message)).expect("error responses are valid JSON")
+}
+
+fn stats_snapshot(inner: &Arc<ServerInner>) -> Json {
+    let m = &inner.metrics;
+    let s = inner.service.metrics();
+    let (plan_hits, plan_misses) = autotune::shared_cache(&inner.plan_cache_path).0.stats();
+    ObjBuilder::new()
+        .num("workers", inner.config.workers as f64)
+        .num("queue_capacity", inner.config.queue_depth as f64)
+        .num("queue_depth", m.queue_depth.load(Ordering::Relaxed) as f64)
+        .num("accepted", m.accepted.load(Ordering::Relaxed) as f64)
+        .num("rejected", m.rejected.load(Ordering::Relaxed) as f64)
+        .num("completed", m.completed.load(Ordering::Relaxed) as f64)
+        .num("failed", m.failed.load(Ordering::Relaxed) as f64)
+        .num(
+            "protocol_errors",
+            m.protocol_errors.load(Ordering::Relaxed) as f64,
+        )
+        .num("compiles", s.compiles as f64)
+        .num("dedup_waits", s.dedup_waits as f64)
+        .num("artifact_hits", s.artifact_hits as f64)
+        .num("compile_errors", s.errors as f64)
+        .num("reuse_rate", s.reuse_rate())
+        .num("plan_hits", plan_hits as f64)
+        .num("plan_misses", plan_misses as f64)
+        .num("p50_ms", m.latency.quantile_ms(0.5))
+        .num("p99_ms", m.latency.quantile_ms(0.99))
+        .num("mean_ms", m.latency.mean_ms())
+        .num("queue_wait_p99_ms", m.queue_wait.quantile_ms(0.99))
+        .build()
+}
