@@ -58,4 +58,16 @@ echo "== server smoke =="
 timeout --kill-after=30s 300s \
   cargo run -q -p fsc-serve --bin loadgen -- --smoke
 
+echo "== chaos smoke =="
+# Seeded fault-injection soak against the failure model (DESIGN.md §11):
+# 500 requests through resilient clients while the server takes worker
+# panics, slow compiles past the deadline, truncated response frames,
+# plan-cache corruption and artifact purges. The binary exits non-zero
+# unless every request ends in exactly one bit-identical success after
+# bounded retries, every chaos site actually fired, the scarred server
+# drains clean, serves bit-identically after disarm, and stops within its
+# hard bound. The fixed seed pins each site's decision stream.
+timeout --kill-after=30s 300s \
+  cargo run -q -p fsc-serve --bin loadgen -- --chaos --smoke --seed 20260808
+
 echo "ci: all green"

@@ -22,6 +22,15 @@
 //!   the server's per-request attestation and `/stats` metrics are
 //!   measurements, not guesses.
 //!
+//! **Failure containment** (DESIGN.md §11): slots are crash-safe. A
+//! leader that times out or dies does not wedge its slot — an external
+//! watchdog calls [`CompileService::abandon_stale`], every parked
+//! follower is woken, and exactly one is promoted to leader under a fresh
+//! slot. A follower whose own [`CompileRequest::deadline`] expires while
+//! parked gets a coded `E0803` error instead of an unbounded wait. A
+//! stale leader's late result is still cached (late ≠ wrong), it just no
+//! longer owns the slot.
+//!
 //! Compile *errors* propagate to every deduplicated waiter but are not
 //! cached: a later identical request recompiles. Errors from this
 //! compiler are deterministic, so retries are wasted work in the common
@@ -47,6 +56,15 @@ pub struct CompileRequest {
     pub source: String,
     /// Compile configuration (target, hardening, autotune, ...).
     pub options: CompileOptions,
+    /// Optional time budget for *acquiring* the artifact. A deduplicated
+    /// follower whose budget expires while parked on a leader's slot gets
+    /// a coded `E0803` error instead of waiting forever. Leaders are not
+    /// self-interrupting (a thread cannot abort its own compile); leader
+    /// overruns are enforced externally via
+    /// [`CompileService::abandon_stale`] (the server watchdog does this).
+    /// Deliberately **excluded from the fingerprint**: two requests that
+    /// differ only in budget must still dedupe onto one compile.
+    pub deadline: Option<Duration>,
 }
 
 impl CompileRequest {
@@ -55,6 +73,7 @@ impl CompileRequest {
         Self {
             source: source.into(),
             options: CompileOptions::default(),
+            deadline: None,
         }
     }
 
@@ -63,7 +82,14 @@ impl CompileRequest {
         Self {
             source: source.into(),
             options,
+            deadline: None,
         }
+    }
+
+    /// Attach an acquisition budget (see [`CompileRequest::deadline`]).
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
     }
 
     /// Stable fingerprint of the request: FNV-1a-64 over the source bytes
@@ -140,6 +166,13 @@ pub struct ServiceMetrics {
     pub artifact_hits: u64,
     /// Compiles that ended in an error.
     pub errors: u64,
+    /// Followers whose deadline expired while parked (`E0803`).
+    pub deadline_timeouts: u64,
+    /// Singleflight slots reclaimed from a dead or overdue leader.
+    pub abandoned_slots: u64,
+    /// Leaders that finished after their slot had been reclaimed (their
+    /// artifact is still cached; their slot ownership was gone).
+    pub stale_publishes: u64,
 }
 
 impl ServiceMetrics {
@@ -158,13 +191,31 @@ impl ServiceMetrics {
 enum SlotState {
     /// The leader is still compiling.
     Pending,
+    /// The leader was declared dead (timed out or crashed) and the slot
+    /// reclaimed: waiters must re-contend for leadership from scratch.
+    /// A late publish from the stale leader still overwrites this with
+    /// `Done`, so a waiter that has not yet re-contended can take the
+    /// result anyway.
+    Abandoned,
     /// The compile finished; followers take their copy from here.
     Done(std::result::Result<Arc<Compiled>, IrError>),
+}
+
+/// What a follower's wait ended with.
+enum WaitOutcome {
+    /// The leader published; here is the shared result.
+    Done(std::result::Result<Arc<Compiled>, IrError>),
+    /// The slot was reclaimed — go back and re-contend for leadership.
+    Abandoned,
+    /// The follower's own deadline expired while parked.
+    TimedOut,
 }
 
 struct Slot {
     state: Mutex<SlotState>,
     ready: Condvar,
+    /// When the leader took the slot — the watchdog's staleness clock.
+    started: Instant,
 }
 
 impl Slot {
@@ -172,6 +223,7 @@ impl Slot {
         Self {
             state: Mutex::new(SlotState::Pending),
             ready: Condvar::new(),
+            started: Instant::now(),
         }
     }
 
@@ -180,14 +232,46 @@ impl Slot {
         self.ready.notify_all();
     }
 
-    fn wait(&self) -> std::result::Result<Arc<Compiled>, IrError> {
+    /// Flip a still-pending slot to `Abandoned` and wake every waiter.
+    /// Returns false if the compile already finished (nothing to reclaim).
+    fn abandon(&self) -> bool {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if matches!(*state, SlotState::Pending) {
+            *state = SlotState::Abandoned;
+            self.ready.notify_all();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Park until the slot resolves, the slot is reclaimed, or `deadline`
+    /// passes (when one is set).
+    fn wait(&self, deadline: Option<Instant>) -> WaitOutcome {
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             match &*state {
-                SlotState::Done(result) => return result.clone(),
-                SlotState::Pending => {
-                    state = self.ready.wait(state).unwrap_or_else(|e| e.into_inner());
-                }
+                SlotState::Done(result) => return WaitOutcome::Done(result.clone()),
+                SlotState::Abandoned => return WaitOutcome::Abandoned,
+                SlotState::Pending => match deadline {
+                    None => {
+                        state = self.ready.wait(state).unwrap_or_else(|e| e.into_inner());
+                    }
+                    Some(d) => {
+                        let now = Instant::now();
+                        if now >= d {
+                            return WaitOutcome::TimedOut;
+                        }
+                        let (s, timeout) = self
+                            .ready
+                            .wait_timeout(state, d - now)
+                            .unwrap_or_else(|e| e.into_inner());
+                        state = s;
+                        if timeout.timed_out() && matches!(*state, SlotState::Pending) {
+                            return WaitOutcome::TimedOut;
+                        }
+                    }
+                },
             }
         }
     }
@@ -239,8 +323,21 @@ pub struct CompileService {
     dedup_waits: AtomicU64,
     artifact_hits: AtomicU64,
     errors: AtomicU64,
+    deadline_timeouts: AtomicU64,
+    abandoned_slots: AtomicU64,
+    stale_publishes: AtomicU64,
     next_session: AtomicU64,
+    /// Pre-compile hook, called by the leader inside its `catch_unwind`
+    /// right before the compiler runs. Production servers leave it unset;
+    /// the chaos harness uses it to inject slow compiles and leader
+    /// panics *inside* the singleflight critical section.
+    pre_compile: Mutex<Option<CompileHook>>,
 }
+
+/// A pre-compile hook: runs on the singleflight leader, under its
+/// `catch_unwind`, just before the compiler. See
+/// [`CompileService::set_compile_hook`].
+pub type CompileHook = Arc<dyn Fn(&CompileRequest) + Send + Sync>;
 
 /// Default artifact-cache capacity (distinct fingerprints retained).
 pub const DEFAULT_ARTIFACT_CAPACITY: usize = 256;
@@ -261,8 +358,19 @@ impl CompileService {
             dedup_waits: AtomicU64::new(0),
             artifact_hits: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            deadline_timeouts: AtomicU64::new(0),
+            abandoned_slots: AtomicU64::new(0),
+            stale_publishes: AtomicU64::new(0),
             next_session: AtomicU64::new(1),
+            pre_compile: Mutex::new(None),
         }
+    }
+
+    /// Install (or clear) the pre-compile hook. See the field docs — this
+    /// exists for fault injection; it runs under the leader's
+    /// `catch_unwind`, so a panicking hook becomes a coded compile error.
+    pub fn set_compile_hook(&self, hook: Option<CompileHook>) {
+        *self.pre_compile.lock().unwrap_or_else(|e| e.into_inner()) = hook;
     }
 
     /// Open a new session on this service.
@@ -277,54 +385,103 @@ impl CompileService {
     /// Satisfy a compile request: artifact cache, then singleflight, then
     /// a real compile. Never blocks other fingerprints — the service locks
     /// are held only for map operations, never across a compile.
+    ///
+    /// Failure containment: a follower parked behind an abandoned slot
+    /// (leader timed out or crashed — see [`CompileService::abandon_stale`])
+    /// is woken and re-contends for leadership rather than blocking
+    /// forever; a follower whose own [`CompileRequest::deadline`] expires
+    /// while waiting gets a coded `E0803` error.
     pub fn compile(&self, request: &CompileRequest) -> Result<CompileOutcome> {
         let fp = request.fingerprint();
         let t0 = Instant::now();
+        let deadline = request.deadline.map(|d| t0 + d);
 
-        if let Some(artifact) = self
-            .artifacts
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .get(fp)
-        {
-            self.artifact_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(CompileOutcome {
-                compiled: artifact,
-                fingerprint: fp,
-                source: ArtifactSource::Cached,
-                wall: t0.elapsed(),
-            });
-        }
+        loop {
+            if let Some(artifact) = self
+                .artifacts
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .get(fp)
+            {
+                self.artifact_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(CompileOutcome {
+                    compiled: artifact,
+                    fingerprint: fp,
+                    source: ArtifactSource::Cached,
+                    wall: t0.elapsed(),
+                });
+            }
 
-        // Singleflight: first requester of a fingerprint becomes leader,
-        // everyone else parks on the leader's slot.
-        let (slot, leader) = {
-            let mut inflight = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
-            match inflight.get(&fp) {
-                Some(slot) => (slot.clone(), false),
-                None => {
-                    let slot = Arc::new(Slot::new());
-                    inflight.insert(fp, slot.clone());
-                    (slot, true)
+            // Singleflight: first requester of a fingerprint becomes leader,
+            // everyone else parks on the leader's slot.
+            let (slot, leader) = {
+                let mut inflight = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+                match inflight.get(&fp) {
+                    Some(slot) => (slot.clone(), false),
+                    None => {
+                        let slot = Arc::new(Slot::new());
+                        inflight.insert(fp, slot.clone());
+                        (slot, true)
+                    }
+                }
+            };
+
+            if leader {
+                return self.lead(fp, &slot, request, t0);
+            }
+
+            match slot.wait(deadline) {
+                WaitOutcome::Done(result) => {
+                    self.dedup_waits.fetch_add(1, Ordering::Relaxed);
+                    return result.map(|compiled| CompileOutcome {
+                        compiled,
+                        fingerprint: fp,
+                        source: ArtifactSource::Deduped,
+                        wall: t0.elapsed(),
+                    });
+                }
+                // The leader died; loop back and re-contend. Exactly one
+                // waker wins the inflight-map insert race and becomes the
+                // new leader — the rest park on the new slot.
+                WaitOutcome::Abandoned => continue,
+                WaitOutcome::TimedOut => {
+                    self.deadline_timeouts.fetch_add(1, Ordering::Relaxed);
+                    return Err(IrError::from_diagnostic(Diagnostic::error(
+                        codes::SERVER_DEADLINE,
+                        format!(
+                            "deadline exceeded after {:.1} ms waiting on an in-flight compile",
+                            t0.elapsed().as_secs_f64() * 1000.0
+                        ),
+                    )));
                 }
             }
-        };
-
-        if !leader {
-            self.dedup_waits.fetch_add(1, Ordering::Relaxed);
-            let compiled = slot.wait()?;
-            return Ok(CompileOutcome {
-                compiled,
-                fingerprint: fp,
-                source: ArtifactSource::Deduped,
-                wall: t0.elapsed(),
-            });
         }
+    }
 
+    /// The leader path: run the compiler, cache the artifact, publish to
+    /// followers, retire the slot. A good artifact is cached **even if the
+    /// slot was reclaimed mid-compile** — a late result is still a correct
+    /// result, and caching it makes the retry that replaced this leader
+    /// cheap or free.
+    fn lead(
+        &self,
+        fp: u64,
+        slot: &Arc<Slot>,
+        request: &CompileRequest,
+        t0: Instant,
+    ) -> Result<CompileOutcome> {
         self.compiles.fetch_add(1, Ordering::Relaxed);
+        let hook = self
+            .pre_compile
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
         // A panic that escapes the hardened pipeline must still release the
         // followers, so it is caught and published as a coded error.
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            if let Some(hook) = &hook {
+                hook(request);
+            }
             Compiler::compile(&request.source, &request.options)
         }))
         .unwrap_or_else(|payload| {
@@ -344,14 +501,28 @@ impl CompileService {
         } else {
             self.errors.fetch_add(1, Ordering::Relaxed);
         }
-        // Publish before retiring the slot so late joiners either find the
-        // slot (and get the result) or miss it (and hit the artifact cache
-        // / recompile on error).
+        // Retire the slot, but only if it is still ours — a watchdog may
+        // have reclaimed it (and a new leader may already be compiling
+        // under a fresh slot for the same fingerprint). Ordering matters:
+        // the artifact is cached *before* the map entry goes away, so a
+        // late joiner either finds the slot (and gets the published
+        // result) or misses it and hits the artifact cache.
+        let still_current = {
+            let mut inflight = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+            match inflight.get(&fp) {
+                Some(current) if Arc::ptr_eq(current, slot) => {
+                    inflight.remove(&fp);
+                    true
+                }
+                _ => false,
+            }
+        };
+        // Publish regardless: a waiter that has not yet re-contended after
+        // an abandonment can still take the real result.
         slot.publish(result.clone());
-        self.inflight
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .remove(&fp);
+        if !still_current {
+            self.stale_publishes.fetch_add(1, Ordering::Relaxed);
+        }
 
         result.map(|compiled| CompileOutcome {
             compiled,
@@ -359,6 +530,56 @@ impl CompileService {
             source: ArtifactSource::Fresh,
             wall: t0.elapsed(),
         })
+    }
+
+    /// Reclaim the singleflight slot for `fp` if (and only if) its leader
+    /// has held it for at least `min_age`. Every parked follower is woken
+    /// to re-contend for leadership; the stale leader's eventual result is
+    /// still published and cached but no longer owns the slot. The age
+    /// guard makes the call race-safe: a *fresh* slot (a new leader that
+    /// replaced an already-reclaimed one) is younger than `min_age` and is
+    /// left alone. Returns true when a slot was actually reclaimed.
+    ///
+    /// This is the external enforcement point for leader deadlines — the
+    /// server watchdog calls it when a worker overruns its budget, and the
+    /// supervisor calls it when a worker thread dies.
+    pub fn abandon_stale(&self, fp: u64, min_age: Duration) -> bool {
+        let slot = {
+            let mut inflight = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+            match inflight.get(&fp) {
+                Some(slot) if slot.started.elapsed() >= min_age => {
+                    let slot = slot.clone();
+                    inflight.remove(&fp);
+                    slot
+                }
+                _ => return false,
+            }
+        };
+        if slot.abandon() {
+            self.abandoned_slots.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of singleflight slots currently registered (compiles in
+    /// flight). After a drained server quiesces this must be zero — the
+    /// chaos harness asserts it ("zero wedged slots").
+    pub fn inflight_len(&self) -> usize {
+        self.inflight
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+    }
+
+    /// Drop every cached artifact (chaos injection: forces the next
+    /// request of each fingerprint to recompile; results must still be
+    /// bit-identical).
+    pub fn purge_artifacts(&self) {
+        let mut artifacts = self.artifacts.lock().unwrap_or_else(|e| e.into_inner());
+        let capacity = artifacts.capacity;
+        *artifacts = ArtifactCache::new(capacity);
     }
 
     /// Compile and run in one call.
@@ -375,6 +596,9 @@ impl CompileService {
             dedup_waits: self.dedup_waits.load(Ordering::Relaxed),
             artifact_hits: self.artifact_hits.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            deadline_timeouts: self.deadline_timeouts.load(Ordering::Relaxed),
+            abandoned_slots: self.abandoned_slots.load(Ordering::Relaxed),
+            stale_publishes: self.stale_publishes.load(Ordering::Relaxed),
         }
     }
 }
@@ -537,5 +761,143 @@ mod tests {
         let (outcome, exec) = session.run(&request(4)).unwrap();
         assert_eq!(outcome.source, ArtifactSource::Fresh);
         assert!(exec.array("u").is_some());
+    }
+
+    /// Install a hook that blocks the *first* leader until `release` goes
+    /// true; later calls pass straight through.
+    fn stuck_first_leader_hook(
+        service: &Arc<CompileService>,
+        release: &Arc<std::sync::atomic::AtomicBool>,
+    ) {
+        let calls = Arc::new(AtomicU64::new(0));
+        let release = release.clone();
+        service.set_compile_hook(Some(Arc::new(move |_req: &CompileRequest| {
+            if calls.fetch_add(1, Ordering::SeqCst) == 0 {
+                while !release.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        })));
+    }
+
+    /// The leader-death path the original Mutex+Condvar slots never
+    /// exercised: a stuck leader's slot is reclaimed and a parked follower
+    /// is promoted to leader instead of blocking forever. The stuck
+    /// leader's late result is still published (stale) and does not
+    /// disturb the promoted compile.
+    #[test]
+    fn abandoned_slot_promotes_a_waiting_follower() {
+        let service = Arc::new(CompileService::default());
+        let release = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        stuck_first_leader_hook(&service, &release);
+        let req = request(4);
+        let fp = req.fingerprint();
+
+        let leader = {
+            let (service, req) = (service.clone(), req.clone());
+            std::thread::spawn(move || service.compile(&req))
+        };
+        while service.inflight_len() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let follower = {
+            let (service, req) = (service.clone(), req.clone());
+            std::thread::spawn(move || service.compile(&req))
+        };
+        // Let the follower park, then declare the leader dead.
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(service.abandon_stale(fp, Duration::ZERO));
+
+        // The follower must complete *while the original leader is still
+        // stuck* — it re-contended, won the fresh slot, and compiled.
+        let outcome = follower.join().unwrap().unwrap();
+        assert_eq!(outcome.source, ArtifactSource::Fresh);
+
+        release.store(true, Ordering::SeqCst);
+        let stale = leader.join().unwrap().unwrap();
+        assert_eq!(stale.source, ArtifactSource::Fresh);
+
+        let m = service.metrics();
+        assert_eq!(m.abandoned_slots, 1, "{m:?}");
+        assert_eq!(m.compiles, 2, "promotion costs one extra compile: {m:?}");
+        assert_eq!(m.stale_publishes, 1, "{m:?}");
+        assert_eq!(service.inflight_len(), 0, "no wedged slots");
+    }
+
+    /// A follower whose own deadline expires while parked gets a coded
+    /// E0803 error, not an unbounded wait.
+    #[test]
+    fn follower_deadline_expires_with_coded_error() {
+        let service = Arc::new(CompileService::default());
+        let release = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        stuck_first_leader_hook(&service, &release);
+        let req = request(4);
+
+        let leader = {
+            let (service, req) = (service.clone(), req.clone());
+            std::thread::spawn(move || service.compile(&req))
+        };
+        while service.inflight_len() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let err = match service.compile(&req.clone().with_deadline(Duration::from_millis(50))) {
+            Err(e) => e,
+            Ok(_) => panic!("a parked follower must time out, not succeed"),
+        };
+        assert_eq!(
+            err.primary().map(|d| d.code),
+            Some(codes::SERVER_DEADLINE),
+            "{err:?}"
+        );
+        assert_eq!(service.metrics().deadline_timeouts, 1);
+
+        release.store(true, Ordering::SeqCst);
+        leader.join().unwrap().unwrap();
+        assert_eq!(service.inflight_len(), 0);
+    }
+
+    /// Deadline is excluded from the fingerprint: budgets must not split
+    /// the singleflight/cache equivalence class.
+    #[test]
+    fn deadline_does_not_change_the_fingerprint() {
+        let req = request(4);
+        let budgeted = req.clone().with_deadline(Duration::from_millis(5));
+        assert_eq!(req.fingerprint(), budgeted.fingerprint());
+    }
+
+    #[test]
+    fn purge_artifacts_forces_a_fresh_compile() {
+        let service = Arc::new(CompileService::default());
+        let req = request(4);
+        service.compile(&req).unwrap();
+        service.purge_artifacts();
+        let again = service.compile(&req).unwrap();
+        assert_eq!(again.source, ArtifactSource::Fresh);
+        assert_eq!(service.metrics().compiles, 2);
+    }
+
+    /// abandon_stale's age guard: a young slot (fresh leader) is left
+    /// alone, so a watchdog firing late cannot kill a healthy retry.
+    #[test]
+    fn abandon_stale_spares_young_slots() {
+        let service = Arc::new(CompileService::default());
+        let release = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        stuck_first_leader_hook(&service, &release);
+        let req = request(4);
+        let fp = req.fingerprint();
+        let leader = {
+            let (service, req) = (service.clone(), req.clone());
+            std::thread::spawn(move || service.compile(&req))
+        };
+        while service.inflight_len() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(
+            !service.abandon_stale(fp, Duration::from_secs(3600)),
+            "a slot younger than min_age must not be reclaimed"
+        );
+        release.store(true, Ordering::SeqCst);
+        leader.join().unwrap().unwrap();
+        assert_eq!(service.metrics().abandoned_slots, 0);
     }
 }

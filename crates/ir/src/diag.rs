@@ -238,6 +238,14 @@ pub mod codes {
     pub const SERVER_BUSY: &str = "E0801";
     /// Compile server received a malformed or unsupported request.
     pub const SERVER_PROTOCOL: &str = "E0802";
+    /// Compile server deadline exceeded: the request's compile/run budget
+    /// ran out before a result was produced. The singleflight slot is
+    /// reclaimed so waiting requests are promoted, never wedged.
+    pub const SERVER_DEADLINE: &str = "E0803";
+    /// Compile server worker crashed (panicked outside any catch_unwind)
+    /// while holding the request; the supervisor answered the client and
+    /// respawned the worker.
+    pub const SERVER_WORKER_CRASH: &str = "E0804";
 
     /// One-line description of a code, for docs and `--explain`-style
     /// output. Returns `None` for unknown codes.
@@ -277,6 +285,8 @@ pub mod codes {
             "E0703" => "autotune calibration failed; default plan kept",
             "E0801" => "compile server at capacity; request rejected",
             "E0802" => "malformed or unsupported server request",
+            "E0803" => "compile server deadline exceeded; slot reclaimed",
+            "E0804" => "compile server worker crashed; worker respawned",
             _ => return None,
         })
     }
@@ -286,7 +296,7 @@ pub mod codes {
         "E0001", "E0002", "E0101", "E0102", "E0103", "E0104", "E0105", "E0201", "E0202", "E0203",
         "E0204", "E0205", "E0206", "E0207", "E0208", "E0301", "E0302", "E0303", "E0304", "E0305",
         "E0401", "E0402", "E0501", "E0502", "E0503", "E0504", "E0505", "E0601", "E0602", "E0701",
-        "E0702", "E0703", "E0801", "E0802",
+        "E0702", "E0703", "E0801", "E0802", "E0803", "E0804",
     ];
 }
 

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! fsc-serve --socket /tmp/fsc.sock [--workers N] [--queue N] [--plan-cache FILE]
+//!           [--deadline-ms N] [--brownout L1,L2]
 //! ```
 //!
 //! This binary is the *only* place on the server side that consults the
@@ -17,10 +18,17 @@ use fsc_serve::{Server, ServerConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: fsc-serve [--socket PATH] [--workers N] [--queue N] [--plan-cache FILE]\n\
+         \x20                [--deadline-ms N] [--brownout L1,L2]\n\
          \n\
          Starts the compile server on a Unix socket (default: fsc-serve.sock\n\
          in the system temp directory) and serves line-delimited JSON\n\
-         requests until a client sends {{\"op\":\"shutdown\"}}."
+         requests until a client sends {{\"op\":\"shutdown\"}}.\n\
+         \n\
+         --deadline-ms  default compile/run budget for requests without\n\
+         \x20              their own deadline_ms (E0803 on overrun)\n\
+         --brownout     queue-occupancy fractions (e.g. 0.5,0.8) at which\n\
+         \x20              degradation levels 1 (no autotune) and 2 (reduced\n\
+         \x20              rung) engage"
     );
     std::process::exit(2);
 }
@@ -43,6 +51,21 @@ fn main() {
             "--workers" => config.workers = value("--workers").parse().unwrap_or_else(|_| usage()),
             "--queue" => config.queue_depth = value("--queue").parse().unwrap_or_else(|_| usage()),
             "--plan-cache" => plan_cache_flag = Some(PathBuf::from(value("--plan-cache"))),
+            "--deadline-ms" => {
+                let ms: u64 = value("--deadline-ms").parse().unwrap_or_else(|_| usage());
+                config.default_deadline = Duration::from_millis(ms.max(1));
+            }
+            "--brownout" => {
+                let spec = value("--brownout");
+                let mut parts = spec.split(',').map(str::parse::<f64>);
+                match (parts.next(), parts.next()) {
+                    (Some(Ok(l1)), Some(Ok(l2))) if l1 <= l2 => {
+                        config.brownout_l1 = l1;
+                        config.brownout_l2 = l2;
+                    }
+                    _ => usage(),
+                }
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("error: unknown argument '{other}'");

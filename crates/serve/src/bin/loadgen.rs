@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! loadgen [--requests N] [--clients N] [--socket PATH] [--smoke]
+//!         [--chaos] [--seed N]
 //! ```
 //!
 //! Without `--socket` the generator self-hosts a server inside this
@@ -15,14 +16,40 @@
 //! Busy rejections (`E0801`) are part of the admission-control contract,
 //! not failures: the generator retries them with linear backoff and
 //! reports how often it had to.
+//!
+//! ## `--chaos`: the fault-injection soak
+//!
+//! Self-hosts a server with a seeded [`ChaosPlan`] armed (worker panics,
+//! slow compiles past the request deadline, truncated response frames,
+//! plan-cache corruption, artifact-cache purges) and drives it through
+//! [`ResilientClient`]s. The soak asserts the failure-model contract of
+//! DESIGN.md §11:
+//!
+//! 1. **every** request ends in a success after bounded retries — coded
+//!    rejections (`E0801`/`E0803`/`E0804`) and transport breakage are
+//!    recoverable by construction, and nothing is silently lost;
+//! 2. every successful response's checksum is **bit-identical** to a
+//!    direct in-process library run — chaos (purges, brownout rungs,
+//!    crash-recompiles) may cost time, never answers;
+//! 3. each chaos site actually **fired** (a fault test that injects
+//!    nothing is vacuous);
+//! 4. the scarred server **drains clean** (queue and in-flight reach
+//!    zero), serves every shape bit-identically after `disarm()` + an
+//!    artifact purge, and stops within its hard timeout.
+//!
+//! A fixed `--seed` pins each site's decision stream, so fault density is
+//! reproducible run-to-run.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use fsc_core::{CompileOptions, Compiler};
 use fsc_ir::json::Json;
-use fsc_serve::{Client, Server, ServerConfig};
+use fsc_serve::{
+    checksum_arrays, ChaosPlan, Client, ResilientClient, RetryPolicy, Server, ServerConfig,
+};
 
 /// One request shape in the mix.
 #[derive(Clone)]
@@ -171,25 +198,347 @@ fn quantile(sorted_us: &[u64], q: f64) -> f64 {
     sorted_us[idx] as f64 / 1000.0
 }
 
+/// Per-request budget in the chaos soak: below the injected 600 ms slow
+/// compile, so every slow-compile draw trips the watchdog, but generous
+/// against the honest few-ms compiles of the mix.
+const CHAOS_DEADLINE_MS: u64 = 400;
+
+struct ChaosCounts {
+    ok: AtomicU64,
+    failed: AtomicU64,
+    retries: AtomicU64,
+    reconnects: AtomicU64,
+    mismatches: AtomicU64,
+    e0702_warnings: AtomicU64,
+}
+
+fn drive_chaos_client(
+    socket: &Path,
+    indices: Vec<usize>,
+    shapes: &[Shape],
+    reference: &[u64],
+    seed: u64,
+    counts: &ChaosCounts,
+) {
+    let mut client = ResilientClient::new(
+        socket,
+        RetryPolicy {
+            max_attempts: 12,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(200),
+            seed,
+        },
+    );
+    for i in indices {
+        let slot = i % shapes.len();
+        let shape = &shapes[slot];
+        match client.run(
+            &shape.source,
+            shape.target,
+            shape.autotune,
+            &["u"],
+            Some(CHAOS_DEADLINE_MS),
+        ) {
+            Ok(v) if v.get("ok").and_then(Json::as_bool) == Some(true) => {
+                let checksum = v.get("checksum").and_then(Json::as_str).unwrap_or("");
+                if checksum != format!("{:016x}", reference[slot]) {
+                    counts.mismatches.fetch_add(1, Ordering::Relaxed);
+                    eprintln!(
+                        "chaos: request {i} ({}) checksum {checksum} != reference {:016x}",
+                        shape.label, reference[slot]
+                    );
+                } else {
+                    counts.ok.fetch_add(1, Ordering::Relaxed);
+                }
+                let degraded_cache = v
+                    .get("warnings")
+                    .and_then(Json::as_array)
+                    .map(|w| w.iter().filter_map(Json::as_str).any(|c| c == "E0702"))
+                    .unwrap_or(false);
+                if degraded_cache {
+                    counts.e0702_warnings.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Ok(v) => {
+                counts.failed.fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "chaos: request {i} ({}) definitive failure: {}",
+                    shape.label,
+                    v.render()
+                );
+            }
+            Err(e) => {
+                counts.failed.fetch_add(1, Ordering::Relaxed);
+                eprintln!("chaos: request {i} ({}) gave up: {e}", shape.label);
+            }
+        }
+    }
+    counts
+        .retries
+        .fetch_add(client.retries(), Ordering::Relaxed);
+    counts
+        .reconnects
+        .fetch_add(client.reconnects(), Ordering::Relaxed);
+}
+
+/// The chaos soak. Returns the process exit code.
+fn chaos_soak(requests: usize, clients: usize, seed: u64) -> i32 {
+    // Injected worker panics are the point of the exercise; keep their
+    // backtraces out of the report. Real panics still print.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .map(|s| s.contains("chaos: injected"))
+            .unwrap_or(false);
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    let scratch = std::env::temp_dir().join(format!("fsc-chaos-{}", std::process::id()));
+    let _ = std::fs::create_dir_all(&scratch);
+    let socket_path = scratch.join("serve.sock");
+    let shapes = Arc::new(shapes());
+
+    // Ground truth: direct in-process library runs, no server involved.
+    let reference: Arc<Vec<u64>> = Arc::new(
+        shapes
+            .iter()
+            .map(|s| {
+                let target = fsc_serve::parse_target(s.target).expect("loadgen target grammar");
+                let exec = Compiler::run(&s.source, &CompileOptions::for_target(target))
+                    .expect("reference run must succeed");
+                checksum_arrays(&exec, &["u".to_string()])
+            })
+            .collect(),
+    );
+
+    let config = ServerConfig {
+        queue_depth: 16,
+        default_deadline: Duration::from_secs(2),
+        plan_cache: Some(scratch.join("plans.json")),
+        chaos: Some(ChaosPlan::soak(seed)),
+        ..ServerConfig::default()
+    };
+    let mut server = Server::start(&socket_path, config).unwrap_or_else(|e| {
+        eprintln!("chaos: could not self-host server: {e}");
+        std::process::exit(1);
+    });
+
+    println!("chaos: seed {seed}, {requests} requests, {clients} clients, deadline {CHAOS_DEADLINE_MS} ms");
+    let counts = Arc::new(ChaosCounts {
+        ok: AtomicU64::new(0),
+        failed: AtomicU64::new(0),
+        retries: AtomicU64::new(0),
+        reconnects: AtomicU64::new(0),
+        mismatches: AtomicU64::new(0),
+        e0702_warnings: AtomicU64::new(0),
+    });
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let indices: Vec<usize> = (0..requests).skip(c).step_by(clients).collect();
+            let (shapes, reference, counts, socket_path) = (
+                shapes.clone(),
+                reference.clone(),
+                counts.clone(),
+                socket_path.clone(),
+            );
+            let client_seed = seed ^ (c as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            std::thread::spawn(move || {
+                drive_chaos_client(
+                    &socket_path,
+                    indices,
+                    &shapes,
+                    &reference,
+                    client_seed,
+                    &counts,
+                )
+            })
+        })
+        .collect();
+    for h in handles {
+        let _ = h.join();
+    }
+    let storm_wall = t0.elapsed();
+
+    let (ok, failed, mismatches) = (
+        counts.ok.load(Ordering::Relaxed),
+        counts.failed.load(Ordering::Relaxed),
+        counts.mismatches.load(Ordering::Relaxed),
+    );
+    println!(
+        "chaos: storm done in {:.2} s — ok {ok}  failed {failed}  mismatches {mismatches}  \
+         retries {}  reconnects {}  E0702-degraded {}",
+        storm_wall.as_secs_f64(),
+        counts.retries.load(Ordering::Relaxed),
+        counts.reconnects.load(Ordering::Relaxed),
+        counts.e0702_warnings.load(Ordering::Relaxed),
+    );
+
+    // Clean drain: queue and in-flight slots must reach zero.
+    let mut drained = false;
+    let drain_t0 = Instant::now();
+    while drain_t0.elapsed() < Duration::from_secs(15) {
+        let stats = Client::connect(&socket_path)
+            .ok()
+            .and_then(|mut c| c.stats().ok());
+        if let Some(s) = stats {
+            let depth = s.get("queue_depth").and_then(Json::as_f64).unwrap_or(-1.0);
+            let inflight = s.get("inflight").and_then(Json::as_f64).unwrap_or(-1.0);
+            if depth == 0.0 && inflight == 0.0 {
+                drained = true;
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // Disarm, scar-check: purge artifacts so every shape recompiles on
+    // the surviving (corrupted-then-degraded) caches, and demand
+    // bit-identity against the library ground truth.
+    let injected = server.chaos().expect("chaos armed").stats();
+    server.chaos().expect("chaos armed").disarm();
+    server.service().purge_artifacts();
+    let mut post_ok = true;
+    match Client::connect(&socket_path) {
+        Ok(mut c) => {
+            for (slot, shape) in shapes.iter().enumerate() {
+                match c.run(&shape.source, shape.target, shape.autotune, &["u"]) {
+                    Ok(v) if v.get("ok").and_then(Json::as_bool) == Some(true) => {
+                        let checksum = v.get("checksum").and_then(Json::as_str).unwrap_or("");
+                        if checksum != format!("{:016x}", reference[slot]) {
+                            eprintln!(
+                                "chaos: post-chaos {} checksum {checksum} != {:016x}",
+                                shape.label, reference[slot]
+                            );
+                            post_ok = false;
+                        }
+                    }
+                    other => {
+                        eprintln!("chaos: post-chaos {} failed: {other:?}", shape.label);
+                        post_ok = false;
+                    }
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("chaos: post-chaos connect failed: {e}");
+            post_ok = false;
+        }
+    }
+
+    let stats = Client::connect(&socket_path)
+        .ok()
+        .and_then(|mut c| c.stats().ok());
+    let stat = |key: &str| -> f64 {
+        stats
+            .as_ref()
+            .and_then(|s| s.get(key))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0)
+    };
+    println!(
+        "chaos: injected — panics {}  slow {}  truncations {}  cache-corruptions {}  purges {}",
+        injected.panics,
+        injected.slow_compiles,
+        injected.truncations,
+        injected.cache_corruptions,
+        injected.artifact_purges,
+    );
+    println!(
+        "chaos: server — crashes {:.0}  deadline-kills {:.0}  late-completions {:.0}  \
+         session-timeouts {:.0}  abandoned-slots {:.0}  stale-publishes {:.0}  rejected {:.0}",
+        stat("worker_crashes"),
+        stat("deadline_kills"),
+        stat("late_completions"),
+        stat("deadline_timeouts"),
+        stat("abandoned_slots"),
+        stat("stale_publishes"),
+        stat("rejected"),
+    );
+    println!(
+        "chaos: brownout — no-autotune {:.0}  reduced-rung {:.0}",
+        stat("brownout_no_autotune"),
+        stat("brownout_reduced_rung"),
+    );
+
+    let stop_t0 = Instant::now();
+    server.stop();
+    let stop_wall = stop_t0.elapsed();
+    println!("chaos: stop() joined in {:.2} s", stop_wall.as_secs_f64());
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let mut verdict = 0;
+    let mut fail = |msg: &str| {
+        eprintln!("chaos: FAILED — {msg}");
+        verdict = 1;
+    };
+    if failed > 0 {
+        fail(&format!("{failed} requests never reached a success"));
+    }
+    if mismatches > 0 {
+        fail(&format!("{mismatches} checksum mismatches under chaos"));
+    }
+    if ok + failed + mismatches != requests as u64 {
+        fail("response accounting does not add up to the request count");
+    }
+    if !drained {
+        fail("queue/in-flight did not drain to zero after the storm");
+    }
+    if !post_ok {
+        fail("post-chaos verification was not bit-identical");
+    }
+    for (name, count) in [
+        ("worker-panic", injected.panics),
+        ("slow-compile", injected.slow_compiles),
+        ("frame-truncation", injected.truncations),
+        ("cache-corruption", injected.cache_corruptions),
+        ("artifact-purge", injected.artifact_purges),
+    ] {
+        if count == 0 {
+            fail(&format!("chaos site '{name}' never fired — vacuous soak"));
+        }
+    }
+    if stop_wall > Duration::from_secs(30) {
+        fail("stop() exceeded its hard bound");
+    }
+    if verdict == 0 {
+        println!(
+            "chaos: OK — {requests} requests, every one answered exactly once with a \
+             bit-identical result, clean drain, bounded stop"
+        );
+    }
+    verdict
+}
+
 fn main() {
-    let mut requests = 2000usize;
+    let mut requests: Option<usize> = None;
     let mut clients = 16usize;
     let mut socket: Option<PathBuf> = None;
     let mut smoke = false;
+    let mut chaos = false;
+    let mut seed = 0x5eed_cafe_u64;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--requests" => requests = args.next().and_then(|v| v.parse().ok()).unwrap_or(requests),
+            "--requests" => requests = args.next().and_then(|v| v.parse().ok()).or(requests),
             "--clients" => clients = args.next().and_then(|v| v.parse().ok()).unwrap_or(clients),
             "--socket" => socket = args.next().map(PathBuf::from),
+            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
+            "--chaos" => chaos = true,
             "--smoke" => {
                 smoke = true;
-                requests = 200;
                 clients = 8;
             }
             "--help" | "-h" => {
-                eprintln!("usage: loadgen [--requests N] [--clients N] [--socket PATH] [--smoke]");
+                eprintln!(
+                    "usage: loadgen [--requests N] [--clients N] [--socket PATH] [--smoke] \
+                     [--chaos] [--seed N]"
+                );
                 std::process::exit(2);
             }
             other => {
@@ -199,6 +548,15 @@ fn main() {
         }
     }
     let clients = clients.max(1);
+
+    if chaos {
+        // The soak minimum (500) is part of the acceptance contract: the
+        // fault probabilities are a few percent, so a short storm risks a
+        // vacuous site.
+        let requests = requests.unwrap_or(if smoke { 500 } else { 1000 }).max(500);
+        std::process::exit(chaos_soak(requests, clients, seed));
+    }
+    let requests = requests.unwrap_or(if smoke { 200 } else { 2000 });
 
     // Self-host unless pointed at an external server. The hosted server
     // gets a private plan cache so measurements never touch (or benefit

@@ -12,24 +12,36 @@
 //!   via RCU-style snapshot reads and across restarts via the
 //!   merge-on-save JSON cache;
 //! * a **bounded work queue with admission control** — overload is
-//!   answered with a coded `E0801` rejection, not latency collapse.
+//!   answered with a coded `E0801` rejection, not latency collapse;
+//! * an explicit **failure model** (DESIGN.md §11) — per-request
+//!   deadlines (`E0803`), crash-only workers with supervisor respawn
+//!   (`E0804`), brownout degradation under queue pressure, bounded
+//!   request frames, and a hard-bounded graceful drain. Every admitted
+//!   request is answered exactly once, success or coded error;
+//! * a **seeded chaos layer** ([`chaos`]) — worker panics, slow compiles,
+//!   truncated response frames and cache corruption, injected
+//!   deterministically so `loadgen --chaos` soaks are reproducible.
 //!
 //! The wire protocol is line-delimited JSON over a Unix domain socket
-//! ([`proto`]); [`server`] hosts the daemon, [`client`] is the blocking
-//! client, and [`metrics`] the lock-free counters behind `/stats`. The
-//! `fsc-serve` binary wraps [`server::Server`]; the `loadgen` binary
-//! drives a server (self-hosted or external) with thousands of mixed
-//! requests and reports throughput and latency quantiles.
+//! ([`proto`]); [`server`] hosts the daemon, [`client`] carries the
+//! blocking [`client::Client`] and the retrying
+//! [`client::ResilientClient`], and [`metrics`] the lock-free counters
+//! behind `/stats`. The `fsc-serve` binary wraps [`server::Server`]; the
+//! `loadgen` binary drives a server (self-hosted or external) with
+//! thousands of mixed requests and reports throughput and latency
+//! quantiles — or, with `--chaos`, runs the fault-injection soak.
 
+pub mod chaos;
 pub mod client;
 pub mod metrics;
 pub mod proto;
 pub mod server;
 
-pub use client::Client;
+pub use chaos::{ChaosInjector, ChaosPlan, ChaosStats};
+pub use client::{Client, ResilientClient, RetryPolicy};
 pub use metrics::{LatencyHistogram, ServerMetrics};
 pub use proto::{parse_target, CompileSpec, Op, Request};
-pub use server::{Server, ServerConfig};
+pub use server::{BrownoutLevel, Server, ServerConfig};
 
 use fsc_core::Execution;
 

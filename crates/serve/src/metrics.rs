@@ -97,6 +97,37 @@ pub struct ServerMetrics {
     pub protocol_errors: AtomicU64,
     /// Current work-queue depth (gauge).
     pub queue_depth: AtomicU64,
+    /// Requests answered `E0803` by the watchdog (budget overrun), by a
+    /// worker that found the job already expired at pick-up, or by the
+    /// session layer for an expired parked follower.
+    pub deadline_kills: AtomicU64,
+    /// Worker threads that died by panic and were respawned (`E0804` went
+    /// to the in-flight client, when there was one).
+    pub worker_crashes: AtomicU64,
+    /// Jobs whose worker finished after the watchdog or supervisor had
+    /// already answered the client (the late response is discarded — the
+    /// exactly-once guarantee).
+    pub late_completions: AtomicU64,
+    /// Request lines rejected for exceeding the frame cap (`E0802`).
+    pub oversized_frames: AtomicU64,
+    /// Connections closed for holding a partial frame past the idle
+    /// deadline (slow-loris containment).
+    pub idle_closes: AtomicU64,
+    /// Response frames deliberately truncated by the chaos layer.
+    pub truncated_writes: AtomicU64,
+    /// Requests served under brownout level 1 (autotune shed).
+    pub brownout_no_autotune: AtomicU64,
+    /// Requests served under brownout level 2 (reduced rung).
+    pub brownout_reduced_rung: AtomicU64,
+    /// Current brownout level (gauge: 0 = normal, 1 = no-autotune,
+    /// 2 = reduced-rung; level 3 — reject — shows up in `rejected`).
+    pub brownout_level: AtomicU64,
+    /// Worker threads detached (not joined) because `stop()` hit its hard
+    /// timeout with a compile still in flight.
+    pub detached_workers: AtomicU64,
+    /// Queued jobs answered with a coded rejection during shutdown drain
+    /// because no worker remained to run them.
+    pub drain_flushed: AtomicU64,
     /// Time from admission to response written.
     pub latency: LatencyHistogram,
     /// Time a request sat queued before a worker picked it up.

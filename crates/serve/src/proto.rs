@@ -32,6 +32,13 @@ pub struct CompileSpec {
     pub target: Target,
     /// Autotune execution plans against the server's shared plan cache.
     pub autotune: bool,
+    /// Optional compile/run budget in milliseconds. The clock starts at
+    /// admission; a request still unanswered when it runs out is answered
+    /// `E0803` by the watchdog and its singleflight slot is reclaimed.
+    /// Absent means the server default applies. The budget does **not**
+    /// enter the request fingerprint — two requests differing only in
+    /// budget still dedupe onto one compile.
+    pub deadline_ms: Option<u64>,
 }
 
 impl CompileSpec {
@@ -126,10 +133,15 @@ impl Request {
                 .to_string();
             let target = parse_target(v.get("target").and_then(Json::as_str).unwrap_or("cpu"))?;
             let autotune = v.get("autotune").and_then(Json::as_bool).unwrap_or(false);
+            let deadline_ms = v
+                .get("deadline_ms")
+                .and_then(Json::as_i64)
+                .and_then(|d| u64::try_from(d).ok());
             Ok(CompileSpec {
                 source,
                 target,
                 autotune,
+                deadline_ms,
             })
         };
         let op = match op {
@@ -182,6 +194,26 @@ pub fn busy_response(id: i64, queue_depth: usize) -> String {
         id,
         codes::SERVER_BUSY,
         &format!("server at capacity (queue depth {queue_depth}); retry with backoff"),
+    )
+}
+
+/// The stable deadline-exceeded answer the watchdog writes when a
+/// request's compile/run budget runs out.
+pub fn deadline_response(id: i64, budget_ms: u64) -> String {
+    error_response(
+        id,
+        codes::SERVER_DEADLINE,
+        &format!("deadline exceeded ({budget_ms} ms budget); slot reclaimed, safe to retry"),
+    )
+}
+
+/// The stable worker-crash answer the supervisor writes when the worker
+/// holding a request dies.
+pub fn crash_response(id: i64) -> String {
+    error_response(
+        id,
+        codes::SERVER_WORKER_CRASH,
+        "worker crashed while processing this request; worker respawned, safe to retry",
     )
 }
 

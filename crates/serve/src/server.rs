@@ -9,12 +9,18 @@
 //!             │  thread   │  (per conn)│ reader      │        ▼
 //!             └───────────┘            └──────────────┘  bounded queue
 //!                                            │            (reject E0801
-//!                                     inline │ ping/stats  beyond depth)
-//!                                            ▼                 │
-//!                                       response line          ▼
-//!                                            ▲           ┌──────────┐
-//!                                            └───────────│ worker   │×N
-//!                                                        │ pool     │
+//!                                     inline │ ping/stats  beyond depth,
+//!                                            ▼             brownout below)
+//!                                       response line          │
+//!                                            ▲                 ▼
+//!                                            │           ┌──────────┐
+//!                                            ├───────────│ worker   │×N
+//!                                            │           │ pool     │
+//!                                            │           └──────────┘
+//!                                            │                 ▲ respawn
+//!                                            │           ┌──────────┐
+//!                                            └───────────│supervisor│
+//!                                         E0803/E0804    │+watchdog │
 //!                                                        └──────────┘
 //! ```
 //!
@@ -22,37 +28,74 @@
 //!   when it is full is answered `E0801` immediately by the connection
 //!   thread — backpressure is explicit and cheap, never a hang or a
 //!   dropped connection.
+//! * **Deadlines**: every admitted job carries a compile/run budget
+//!   (request `deadline_ms` or the server default). The supervisor's
+//!   watchdog answers overdue jobs `E0803` and reclaims the singleflight
+//!   slot (`CompileService::abandon_stale`) so parked duplicates are
+//!   promoted instead of wedged. The worker's own late result is
+//!   discarded through a per-job `answered` flag — every request is
+//!   answered **exactly once**.
+//! * **Crash-only workers**: the worker loop runs with no top-level
+//!   `catch_unwind`; a panic kills the thread. The supervisor detects the
+//!   death, answers the in-flight request `E0804`, releases the slot, and
+//!   respawns the worker. A worker stuck past `deadline + hang_grace` is
+//!   retired in place and a replacement spawned so pool capacity
+//!   recovers.
+//! * **Brownout**: under queue pressure the server sheds *cost* before
+//!   shedding requests — occupancy ≥ `brownout_l1` strips autotune
+//!   (default/cached plans only), ≥ `brownout_l2` also forces the
+//!   cheaper-to-compile scf rung (bit-identical results, see DESIGN.md
+//!   §7), and a full queue rejects `E0801`. The applied level is attested
+//!   per-response (`brownout` field) and in `stats`. Queue occupancy is
+//!   itself an integral of overload (it only builds while arrivals outrun
+//!   service), so thresholds on it are inherently "sustained" signals.
+//! * **Bounded frames**: request lines are capped (`max_frame_bytes`,
+//!   oversized → inline `E0802` + resync at the next newline) and a
+//!   connection holding a *partial* frame longer than `idle_timeout` is
+//!   closed (slow-loris containment). Client half-close just ends the
+//!   reader; already-queued jobs still answer into the write half.
 //! * **Sharing**: every worker holds the same `Arc<CompileService>`
 //!   (singleflight + bounded artifact cache, see `fsc_core::session`) and
 //!   the same on-disk plan cache path, so autotuned plans discovered by
 //!   one session serve every later one.
 //! * **Attestation**: each response reports how its artifact was obtained
 //!   (fresh/deduped/cached), the degradation rung that ran, the plan
-//!   provenances, and queue/compile/run wall times.
+//!   provenances, the brownout level applied, coded warnings (e.g.
+//!   `E0702` plan-cache degradation), and queue/compile/run wall times.
+//! * **Chaos**: an optional seeded [`ChaosInjector`] (see [`crate::chaos`])
+//!   injects worker panics, slow compiles, mid-frame response truncation
+//!   and cache corruption — the soak harness (`loadgen --chaos`) drives a
+//!   server with all of it armed and asserts the exactly-once, no-wedge,
+//!   bit-identity invariants.
 //!
 //! The env → configuration boundary lives in the *binary* (`fsc-serve`
 //! reads `FSC_PLAN_CACHE` once at startup); this module and everything
 //! below it take explicit paths only.
 
 use std::collections::VecDeque;
-use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::io::{ErrorKind, Read, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use fsc_core::{CompileOutcome, CompileRequest, CompileService, Execution};
+use fsc_core::{
+    CompileOutcome, CompileRequest, CompileService, DegradationRung, Execution, Target,
+};
 use fsc_exec::autotune;
 use fsc_exec::plancache::resolve_cache_path;
 use fsc_exec::TuneConfig;
 use fsc_ir::diag::codes;
 use fsc_ir::json::{Json, ObjBuilder};
 
+use crate::chaos::{ChaosInjector, ChaosPlan};
 use crate::checksum_arrays;
 use crate::metrics::ServerMetrics;
-use crate::proto::{busy_response, error_response, CompileSpec, Op, Request};
+use crate::proto::{
+    busy_response, crash_response, deadline_response, error_response, CompileSpec, Op, Request,
+};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -68,6 +111,33 @@ pub struct ServerConfig {
     /// the default temp-dir path; the `FSC_PLAN_CACHE` env lookup happens
     /// only in the `fsc-serve` binary).
     pub plan_cache: Option<PathBuf>,
+    /// Default compile/run budget for requests that do not carry their own
+    /// `deadline_ms`. The clock starts at admission.
+    pub default_deadline: Duration,
+    /// Extra time beyond a job's deadline before its (already-answered)
+    /// worker is considered hung: the worker is retired in place and a
+    /// replacement spawned so the pool recovers capacity.
+    pub hang_grace: Duration,
+    /// Request-line size cap; longer lines answer `E0802` inline and the
+    /// reader resyncs at the next newline.
+    pub max_frame_bytes: usize,
+    /// How long a connection may hold a *partial* request line before the
+    /// server closes it (slow-loris containment). Idle connections with
+    /// no partial frame are left alone.
+    pub idle_timeout: Duration,
+    /// Hard bound on [`Server::stop`]: workers still running when it
+    /// expires are detached (never blocking shutdown) and any still-queued
+    /// jobs are answered with a coded rejection.
+    pub stop_timeout: Duration,
+    /// Queue-occupancy fraction at which brownout level 1 starts
+    /// (autotune sweeps shed; default/cached plans only).
+    pub brownout_l1: f64,
+    /// Queue-occupancy fraction at which brownout level 2 starts (also
+    /// force the cheaper scf compile rung; results stay bit-identical).
+    pub brownout_l2: f64,
+    /// Optional seeded chaos plan — armed at start, disarmable at runtime
+    /// via [`Server::chaos`].
+    pub chaos: Option<ChaosPlan>,
 }
 
 impl Default for ServerConfig {
@@ -79,6 +149,45 @@ impl Default for ServerConfig {
             queue_depth: 64,
             artifact_capacity: fsc_core::session::DEFAULT_ARTIFACT_CAPACITY,
             plan_cache: None,
+            default_deadline: Duration::from_secs(30),
+            hang_grace: Duration::from_secs(5),
+            max_frame_bytes: 4 << 20,
+            idle_timeout: Duration::from_secs(30),
+            stop_timeout: Duration::from_secs(10),
+            brownout_l1: 0.5,
+            brownout_l2: 0.8,
+            chaos: None,
+        }
+    }
+}
+
+/// How much cost the server is shedding for one request (the brownout
+/// ladder; level 3 — reject `E0801` — never reaches a worker).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum BrownoutLevel {
+    /// Full service.
+    Normal,
+    /// Autotune sweeps shed: default/cached plans only.
+    NoAutotune,
+    /// Also compile at the cheaper scf rung (bit-identical results).
+    ReducedRung,
+}
+
+impl BrownoutLevel {
+    /// Stable lowercase name used in response attestations and `stats`.
+    pub fn describe(self) -> &'static str {
+        match self {
+            BrownoutLevel::Normal => "none",
+            BrownoutLevel::NoAutotune => "no-autotune",
+            BrownoutLevel::ReducedRung => "reduced-rung",
+        }
+    }
+
+    fn gauge(self) -> u64 {
+        match self {
+            BrownoutLevel::Normal => 0,
+            BrownoutLevel::NoAutotune => 1,
+            BrownoutLevel::ReducedRung => 2,
         }
     }
 }
@@ -89,6 +198,39 @@ struct Job {
     op: Op,
     reply: Arc<Mutex<UnixStream>>,
     admitted: Instant,
+    /// Compile/run budget, measured from `admitted`.
+    deadline: Duration,
+    /// Brownout level in force when the job was admitted.
+    brownout: BrownoutLevel,
+    /// Exactly-once answer guard, shared with the watchdog/supervisor.
+    answered: Arc<AtomicBool>,
+}
+
+/// What the supervisor can see of a job a worker currently holds.
+struct ActiveJob {
+    id: i64,
+    fingerprint: u64,
+    reply: Arc<Mutex<UnixStream>>,
+    answered: Arc<AtomicBool>,
+    admitted: Instant,
+    deadline: Duration,
+    /// The watchdog already answered `E0803` and reclaimed the slot.
+    killed: bool,
+    /// A replacement worker has already been spawned for this hang.
+    replaced: bool,
+}
+
+/// Per-worker shared state: the registered in-flight job plus a retire
+/// flag (a retired worker exits at its next loop head).
+#[derive(Default)]
+struct WorkerCell {
+    active: Mutex<Option<ActiveJob>>,
+    retired: AtomicBool,
+}
+
+struct WorkerSlot {
+    handle: Option<JoinHandle<()>>,
+    cell: Arc<WorkerCell>,
 }
 
 struct ServerInner {
@@ -99,6 +241,10 @@ struct ServerInner {
     work_ready: Condvar,
     metrics: ServerMetrics,
     shutdown: AtomicBool,
+    supervisor_stop: AtomicBool,
+    workers: Mutex<Vec<WorkerSlot>>,
+    next_worker: AtomicU64,
+    chaos: Option<Arc<ChaosInjector>>,
 }
 
 /// A running compile server. Dropping it (or calling [`Server::stop`])
@@ -107,37 +253,54 @@ pub struct Server {
     socket_path: PathBuf,
     inner: Arc<ServerInner>,
     accept: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
 }
 
 impl Server {
     /// Bind `socket_path` (replacing any stale socket file) and start the
-    /// accept loop plus the worker pool.
+    /// accept loop, the worker pool and the supervisor.
     pub fn start(socket_path: &Path, config: ServerConfig) -> std::io::Result<Server> {
         let _ = std::fs::remove_file(socket_path);
         if let Some(parent) = socket_path.parent() {
             let _ = std::fs::create_dir_all(parent);
         }
         let listener = UnixListener::bind(socket_path)?;
+        let service = Arc::new(CompileService::new(config.artifact_capacity));
+        let chaos = config
+            .chaos
+            .clone()
+            .map(|p| Arc::new(ChaosInjector::new(p)));
+        if let Some(ch) = &chaos {
+            // Slow compiles are injected *inside* the singleflight leader's
+            // critical section, so the slot is genuinely held while slow —
+            // exactly the hang the watchdog must contain.
+            let ch = ch.clone();
+            service.set_compile_hook(Some(Arc::new(move |_req: &CompileRequest| {
+                if let Some(nap) = ch.slow_compile() {
+                    std::thread::sleep(nap);
+                }
+            })));
+        }
         let inner = Arc::new(ServerInner {
             plan_cache_path: resolve_cache_path(config.plan_cache.as_deref()),
-            service: Arc::new(CompileService::new(config.artifact_capacity)),
+            service,
             config,
             queue: Mutex::new(VecDeque::new()),
             work_ready: Condvar::new(),
             metrics: ServerMetrics::new(),
             shutdown: AtomicBool::new(false),
+            supervisor_stop: AtomicBool::new(false),
+            workers: Mutex::new(Vec::new()),
+            next_worker: AtomicU64::new(0),
+            chaos,
         });
 
-        let workers = (0..inner.config.workers)
-            .map(|i| {
-                let inner = inner.clone();
-                std::thread::Builder::new()
-                    .name(format!("fsc-worker-{i}"))
-                    .spawn(move || worker_loop(&inner))
-                    .expect("spawn worker")
-            })
-            .collect();
+        {
+            let mut workers = inner.workers.lock().unwrap_or_else(|e| e.into_inner());
+            for _ in 0..inner.config.workers {
+                workers.push(spawn_worker(&inner));
+            }
+        }
 
         let accept = {
             let inner = inner.clone();
@@ -146,12 +309,19 @@ impl Server {
                 .spawn(move || accept_loop(&listener, &inner))
                 .expect("spawn acceptor")
         };
+        let supervisor = {
+            let inner = inner.clone();
+            std::thread::Builder::new()
+                .name("fsc-supervisor".into())
+                .spawn(move || supervisor_loop(&inner))
+                .expect("spawn supervisor")
+        };
 
         Ok(Server {
             socket_path: socket_path.to_path_buf(),
             inner,
             accept: Some(accept),
-            workers,
+            supervisor: Some(supervisor),
         })
     }
 
@@ -165,12 +335,22 @@ impl Server {
         &self.inner.service
     }
 
+    /// The armed chaos injector, when the config carried a plan (soaks
+    /// disarm it between the storm and the verification phase).
+    pub fn chaos(&self) -> Option<&Arc<ChaosInjector>> {
+        self.inner.chaos.as_ref()
+    }
+
     /// True until a shutdown request (or [`Server::stop`]) lands.
     pub fn running(&self) -> bool {
         !self.inner.shutdown.load(Ordering::SeqCst)
     }
 
-    /// Stop accepting, drain queued jobs, join every thread. Idempotent.
+    /// Stop accepting, drain queued jobs, join every thread — within the
+    /// configured hard `stop_timeout`. In-flight requests complete (their
+    /// workers drain the queue before exiting); a worker still stuck when
+    /// the timeout expires is detached, and any job left in the queue is
+    /// answered with a coded rejection rather than dropped. Idempotent.
     pub fn stop(&mut self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
         self.inner.work_ready.notify_all();
@@ -179,7 +359,66 @@ impl Server {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
-        for h in self.workers.drain(..) {
+
+        let hard = Instant::now() + self.inner.config.stop_timeout;
+        loop {
+            {
+                let mut workers = self.inner.workers.lock().unwrap_or_else(|e| e.into_inner());
+                workers.retain_mut(|slot| match &slot.handle {
+                    Some(h) if h.is_finished() => {
+                        let _ = slot.handle.take().unwrap().join();
+                        false
+                    }
+                    Some(_) => true,
+                    None => false,
+                });
+                if workers.is_empty() {
+                    break;
+                }
+                if Instant::now() >= hard {
+                    // Detach laggards: a hung compile must not hold the
+                    // process hostage. Their eventual answers are
+                    // suppressed by the per-job answered flags.
+                    for slot in workers.drain(..) {
+                        slot.cell.retired.store(true, Ordering::SeqCst);
+                        self.inner
+                            .metrics
+                            .detached_workers
+                            .fetch_add(1, Ordering::Relaxed);
+                        drop(slot.handle);
+                    }
+                    break;
+                }
+            }
+            self.inner.work_ready.notify_all();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+
+        // Anything still queued has no worker left to run it: answer it
+        // (coded), never drop it silently.
+        let leftovers: Vec<Job> = {
+            let mut queue = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            queue.drain(..).collect()
+        };
+        for job in leftovers {
+            if !job.answered.swap(true, Ordering::SeqCst) {
+                self.inner
+                    .metrics
+                    .drain_flushed
+                    .fetch_add(1, Ordering::Relaxed);
+                write_line(
+                    &job.reply,
+                    &error_response(
+                        job.id,
+                        codes::SERVER_BUSY,
+                        "server stopped before processing this request; retry elsewhere",
+                    ),
+                );
+            }
+        }
+
+        self.inner.supervisor_stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.supervisor.take() {
             let _ = h.join();
         }
         let _ = std::fs::remove_file(&self.socket_path);
@@ -189,6 +428,22 @@ impl Server {
 impl Drop for Server {
     fn drop(&mut self) {
         self.stop();
+    }
+}
+
+fn spawn_worker(inner: &Arc<ServerInner>) -> WorkerSlot {
+    let cell = Arc::new(WorkerCell::default());
+    let idx = inner.next_worker.fetch_add(1, Ordering::Relaxed);
+    let handle = {
+        let (inner, cell) = (inner.clone(), cell.clone());
+        std::thread::Builder::new()
+            .name(format!("fsc-worker-{idx}"))
+            .spawn(move || worker_loop(&inner, &cell))
+            .expect("spawn worker")
+    };
+    WorkerSlot {
+        handle: Some(handle),
+        cell,
     }
 }
 
@@ -207,28 +462,83 @@ fn accept_loop(listener: &UnixListener, inner: &Arc<ServerInner>) {
     }
 }
 
+/// Read newline-delimited frames with a hard per-line byte cap and a
+/// partial-frame idle deadline. Oversized frames answer `E0802` inline
+/// and the reader resyncs at the next newline; a connection that dribbles
+/// a partial frame for longer than `idle_timeout` is closed.
 fn connection_loop(stream: UnixStream, inner: &Arc<ServerInner>) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    // Bounded writes: a client that stops reading must never wedge a
+    // worker, the watchdog, or this reader on a full socket buffer.
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
     let reply = match stream.try_clone() {
         Ok(w) => Arc::new(Mutex::new(w)),
         Err(_) => return,
     };
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    let mut stream = stream;
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 8192];
+    let mut partial_since: Option<Instant> = None;
+    let mut discarding = false;
     loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) => return, // client closed
-            Ok(_) => {
-                let trimmed = line.trim();
-                if trimmed.is_empty() {
-                    continue;
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // client closed (or half-closed its write side)
+            Ok(n) => {
+                for &b in &chunk[..n] {
+                    if b == b'\n' {
+                        if discarding {
+                            discarding = false;
+                            partial_since = None;
+                            continue;
+                        }
+                        let line = String::from_utf8_lossy(&buf).into_owned();
+                        buf.clear();
+                        partial_since = None;
+                        let trimmed = line.trim();
+                        if !trimmed.is_empty() {
+                            handle_line(trimmed, &reply, inner);
+                        }
+                    } else if !discarding {
+                        buf.push(b);
+                        if buf.len() > inner.config.max_frame_bytes {
+                            inner
+                                .metrics
+                                .oversized_frames
+                                .fetch_add(1, Ordering::Relaxed);
+                            inner
+                                .metrics
+                                .protocol_errors
+                                .fetch_add(1, Ordering::Relaxed);
+                            write_line(
+                                &reply,
+                                &error_response(
+                                    0,
+                                    codes::SERVER_PROTOCOL,
+                                    &format!(
+                                        "request line exceeds the {} byte frame cap",
+                                        inner.config.max_frame_bytes
+                                    ),
+                                ),
+                            );
+                            buf.clear();
+                            buf.shrink_to(64 * 1024);
+                            discarding = true;
+                        }
+                    }
                 }
-                handle_line(trimmed, &reply, inner);
+                if (!buf.is_empty() || discarding) && partial_since.is_none() {
+                    partial_since = Some(Instant::now());
+                }
             }
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
                 if inner.shutdown.load(Ordering::SeqCst) {
                     return;
+                }
+                if let Some(t0) = partial_since {
+                    if t0.elapsed() > inner.config.idle_timeout {
+                        inner.metrics.idle_closes.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
                 }
             }
             Err(_) => return,
@@ -241,6 +551,38 @@ fn write_line(reply: &Arc<Mutex<UnixStream>>, line: &str) {
     let _ = w.write_all(line.as_bytes());
     let _ = w.write_all(b"\n");
     let _ = w.flush();
+}
+
+/// Write a job response, possibly truncated mid-frame by the chaos layer
+/// (the client sees a cut line + EOF — a transport error it must retry).
+fn write_response(inner: &Arc<ServerInner>, reply: &Arc<Mutex<UnixStream>>, line: &str) {
+    if let Some(ch) = &inner.chaos {
+        if ch.truncate_frame() {
+            inner
+                .metrics
+                .truncated_writes
+                .fetch_add(1, Ordering::Relaxed);
+            let mut w = reply.lock().unwrap_or_else(|e| e.into_inner());
+            let cut = line.len() / 2;
+            let _ = w.write_all(&line.as_bytes()[..cut]);
+            let _ = w.flush();
+            let _ = w.shutdown(std::net::Shutdown::Both);
+            return;
+        }
+    }
+    write_line(reply, line);
+}
+
+/// The brownout level implied by `occupancy` (fraction of the queue bound
+/// in use, measured after admitting the request).
+fn brownout_level(config: &ServerConfig, occupancy: f64) -> BrownoutLevel {
+    if occupancy >= config.brownout_l2 {
+        BrownoutLevel::ReducedRung
+    } else if occupancy >= config.brownout_l1 {
+        BrownoutLevel::NoAutotune
+    } else {
+        BrownoutLevel::Normal
+    }
 }
 
 /// Parse, then either answer inline (ping/stats/shutdown/protocol error/
@@ -293,18 +635,64 @@ fn handle_line(line: &str, reply: &Arc<Mutex<UnixStream>>, inner: &Arc<ServerInn
             inner.work_ready.notify_all();
         }
         op @ (Op::Compile(_) | Op::Run(..)) => {
+            if inner.shutdown.load(Ordering::SeqCst) {
+                // Workers may already have drained and exited; admitting
+                // now could strand the job. Shed it instead.
+                inner.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                write_line(
+                    reply,
+                    &error_response(
+                        request.id,
+                        codes::SERVER_BUSY,
+                        "server is shutting down; retry elsewhere",
+                    ),
+                );
+                return;
+            }
+            let deadline = match &op {
+                Op::Compile(spec) | Op::Run(spec, _) => spec
+                    .deadline_ms
+                    .map(Duration::from_millis)
+                    .unwrap_or(inner.config.default_deadline),
+                _ => unreachable!(),
+            };
             let mut queue = inner.queue.lock().unwrap_or_else(|e| e.into_inner());
             if queue.len() >= inner.config.queue_depth {
                 drop(queue);
                 inner.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                inner.metrics.brownout_level.store(3, Ordering::Relaxed);
                 write_line(reply, &busy_response(request.id, inner.config.queue_depth));
                 return;
             }
+            let occupancy = (queue.len() + 1) as f64 / inner.config.queue_depth.max(1) as f64;
+            let brownout = brownout_level(&inner.config, occupancy);
+            match brownout {
+                BrownoutLevel::Normal => {}
+                BrownoutLevel::NoAutotune => {
+                    inner
+                        .metrics
+                        .brownout_no_autotune
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                BrownoutLevel::ReducedRung => {
+                    inner
+                        .metrics
+                        .brownout_reduced_rung
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            inner
+                .metrics
+                .brownout_level
+                .store(brownout.gauge(), Ordering::Relaxed);
             queue.push_back(Job {
                 id: request.id,
                 op,
                 reply: reply.clone(),
                 admitted: Instant::now(),
+                deadline,
+                brownout,
+                answered: Arc::new(AtomicBool::new(false)),
             });
             inner
                 .metrics
@@ -317,11 +705,18 @@ fn handle_line(line: &str, reply: &Arc<Mutex<UnixStream>>, inner: &Arc<ServerInn
     }
 }
 
-fn worker_loop(inner: &Arc<ServerInner>) {
+/// The worker body. Deliberately **no** top-level `catch_unwind`: a panic
+/// anywhere in here (chaos-injected or real) kills the thread, and the
+/// supervisor's death detection answers the client `E0804`, releases the
+/// singleflight slot and respawns — the crash-only discipline under test.
+fn worker_loop(inner: &Arc<ServerInner>, cell: &Arc<WorkerCell>) {
     loop {
         let job = {
             let mut queue = inner.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
+                if cell.retired.load(Ordering::SeqCst) {
+                    break None;
+                }
                 if let Some(job) = queue.pop_front() {
                     inner
                         .metrics
@@ -340,7 +735,72 @@ fn worker_loop(inner: &Arc<ServerInner>) {
         };
         let Some(job) = job else { return };
         inner.metrics.queue_wait.record(job.admitted.elapsed());
-        let response = process_job(&job, inner);
+
+        // A job that already overran its budget while queued is answered
+        // E0803 without burning a compile on it.
+        if job.admitted.elapsed() > job.deadline {
+            if !job.answered.swap(true, Ordering::SeqCst) {
+                inner.metrics.deadline_kills.fetch_add(1, Ordering::Relaxed);
+                inner.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                inner.metrics.latency.record(job.admitted.elapsed());
+                write_response(
+                    inner,
+                    &job.reply,
+                    &deadline_response(job.id, job.deadline.as_millis() as u64),
+                );
+            }
+            continue;
+        }
+
+        let (spec, arrays) = match &job.op {
+            Op::Compile(spec) => (spec, None),
+            Op::Run(spec, arrays) => (spec, Some(arrays.clone())),
+            _ => unreachable!("only compile/run jobs are queued"),
+        };
+        let request = to_compile_request(spec, &job, inner);
+        let fingerprint = request.fingerprint();
+
+        // Register with the watchdog before anything can hang or die —
+        // from here on, a worker death is answered `E0804` by the
+        // supervisor and a budget overrun `E0803` by the watchdog, so the
+        // job can no longer be lost.
+        *cell.active.lock().unwrap_or_else(|e| e.into_inner()) = Some(ActiveJob {
+            id: job.id,
+            fingerprint,
+            reply: job.reply.clone(),
+            answered: job.answered.clone(),
+            admitted: job.admitted,
+            deadline: job.deadline,
+            killed: false,
+            replaced: false,
+        });
+
+        if let Some(ch) = &inner.chaos {
+            if ch.corrupt_cache() {
+                corrupt_plan_cache(&inner.plan_cache_path);
+            }
+            if ch.purge_artifacts() {
+                inner.service.purge_artifacts();
+            }
+            if ch.worker_panic() {
+                // Outside any catch_unwind — this thread dies here, with
+                // the job registered, so the supervisor owns the answer.
+                panic!("chaos: injected worker panic");
+            }
+        }
+
+        let response = process_job(&job, &request, arrays.as_deref(), inner);
+
+        *cell.active.lock().unwrap_or_else(|e| e.into_inner()) = None;
+        if job.answered.swap(true, Ordering::SeqCst) {
+            // The watchdog (or supervisor at stop) got there first; the
+            // late result is discarded — exactly-once holds.
+            inner
+                .metrics
+                .late_completions
+                .fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
         let ok = response.get("ok").and_then(Json::as_bool) == Some(true);
         if ok {
             inner.metrics.completed.fetch_add(1, Ordering::Relaxed);
@@ -348,23 +808,128 @@ fn worker_loop(inner: &Arc<ServerInner>) {
             inner.metrics.failed.fetch_add(1, Ordering::Relaxed);
         }
         inner.metrics.latency.record(job.admitted.elapsed());
-        write_line(&job.reply, &response.render());
+        write_response(inner, &job.reply, &response.render());
+    }
+}
+
+/// Append garbage to the on-disk plan cache (chaos): the next
+/// merge-on-save or cold load must degrade with an `E0702` warning and an
+/// empty cache — never a failed request.
+fn corrupt_plan_cache(path: &Path) {
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        let _ = f.write_all(b"\x00\xff{{chaos-garbage");
+    }
+}
+
+/// The supervisor: death detection + deadline watchdog + hang
+/// replacement, on a short tick. Runs until [`Server::stop`] has drained
+/// everything.
+fn supervisor_loop(inner: &Arc<ServerInner>) {
+    while !inner.supervisor_stop.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(5));
+        let mut replacements = 0usize;
+        {
+            let mut workers = inner.workers.lock().unwrap_or_else(|e| e.into_inner());
+            for slot in workers.iter_mut() {
+                // 1. Crash detection: a finished thread outside shutdown
+                //    died by panic (clean exits only happen on shutdown or
+                //    retirement).
+                let finished = slot
+                    .handle
+                    .as_ref()
+                    .map(|h| h.is_finished())
+                    .unwrap_or(false);
+                if finished {
+                    let crashed = slot.handle.take().unwrap().join().is_err();
+                    if crashed {
+                        inner.metrics.worker_crashes.fetch_add(1, Ordering::Relaxed);
+                        let job = slot
+                            .cell
+                            .active
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .take();
+                        if let Some(job) = job {
+                            // Dead worker may have been a singleflight
+                            // leader; reclaim so duplicates are promoted.
+                            inner.service.abandon_stale(job.fingerprint, Duration::ZERO);
+                            if !job.answered.swap(true, Ordering::SeqCst) {
+                                inner.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                                inner.metrics.latency.record(job.admitted.elapsed());
+                                write_response(inner, &job.reply, &crash_response(job.id));
+                            }
+                        }
+                        if !inner.shutdown.load(Ordering::SeqCst) {
+                            // Crash-only: respawn in place.
+                            *slot = spawn_worker(inner);
+                        }
+                    }
+                    continue;
+                }
+                // 2. Deadline watchdog over the registered in-flight job.
+                let mut active = slot.cell.active.lock().unwrap_or_else(|e| e.into_inner());
+                if let Some(job) = active.as_mut() {
+                    let elapsed = job.admitted.elapsed();
+                    if !job.killed && elapsed > job.deadline {
+                        job.killed = true;
+                        // Reclaim the singleflight slot so parked
+                        // duplicates are promoted. The age guard (half
+                        // this job's budget) spares a freshly-promoted
+                        // healthy leader from a cascading kill.
+                        inner
+                            .service
+                            .abandon_stale(job.fingerprint, job.deadline / 2);
+                        if !job.answered.swap(true, Ordering::SeqCst) {
+                            inner.metrics.deadline_kills.fetch_add(1, Ordering::Relaxed);
+                            inner.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                            inner.metrics.latency.record(elapsed);
+                            write_response(
+                                inner,
+                                &job.reply,
+                                &deadline_response(job.id, job.deadline.as_millis() as u64),
+                            );
+                        }
+                    }
+                    // 3. Hang containment: the worker is stuck well past
+                    //    its budget — retire it in place and restore pool
+                    //    capacity with a replacement. The retired worker
+                    //    exits at its next loop head; its late answer is
+                    //    already suppressed.
+                    if job.killed
+                        && !job.replaced
+                        && elapsed > job.deadline + inner.config.hang_grace
+                        && !inner.shutdown.load(Ordering::SeqCst)
+                    {
+                        job.replaced = true;
+                        slot.cell.retired.store(true, Ordering::SeqCst);
+                        replacements += 1;
+                    }
+                }
+            }
+            for _ in 0..replacements {
+                let slot = spawn_worker(inner);
+                workers.push(slot);
+            }
+        }
     }
 }
 
 /// Compile (and run) one admitted job, producing the response value.
-fn process_job(job: &Job, inner: &Arc<ServerInner>) -> Json {
-    let (spec, arrays) = match &job.op {
-        Op::Compile(spec) => (spec, None),
-        Op::Run(spec, arrays) => (spec, Some(arrays.as_slice())),
-        _ => unreachable!("only compile/run jobs are queued"),
-    };
-    let request = to_compile_request(spec, inner);
-    let outcome = match inner.service.compile(&request) {
+fn process_job(
+    job: &Job,
+    request: &CompileRequest,
+    arrays: Option<&[String]>,
+    inner: &Arc<ServerInner>,
+) -> Json {
+    let outcome = match inner.service.compile(request) {
         Ok(o) => o,
         Err(e) => return error_json(job.id, &e),
     };
-    let mut b = attest(job.id, &outcome);
+    let mut b = attest(job.id, &outcome, job.brownout);
     if let Some(arrays) = arrays {
         let t0 = Instant::now();
         let execution = match outcome.compiled.run() {
@@ -383,21 +948,31 @@ fn process_job(job: &Job, inner: &Arc<ServerInner>) -> Json {
     b.build()
 }
 
-fn to_compile_request(spec: &CompileSpec, inner: &Arc<ServerInner>) -> CompileRequest {
+fn to_compile_request(spec: &CompileSpec, job: &Job, inner: &Arc<ServerInner>) -> CompileRequest {
     let mut options = spec.options();
-    if spec.autotune {
+    // Brownout level 1+: shed the autotune sweep — default/cached plans
+    // only. Level 2: also compile on the cheap scf rung (fewer passes,
+    // bit-identical results — DESIGN.md §7's ladder guarantee).
+    if spec.autotune && job.brownout == BrownoutLevel::Normal {
         options.autotune = Some(TuneConfig {
             cache_path: Some(inner.plan_cache_path.clone()),
             no_persist: false,
             reps: 1,
         });
     }
-    CompileRequest::with_options(spec.source.clone(), options)
+    if job.brownout == BrownoutLevel::ReducedRung && !matches!(options.target, Target::FlangOnly) {
+        options.force_rung = Some(DegradationRung::ScfFallback);
+    }
+    let mut request = CompileRequest::with_options(spec.source.clone(), options);
+    // Parked followers must give up in step with the watchdog: their
+    // session-level budget is what remains of the job's budget.
+    request.deadline = Some(job.deadline.saturating_sub(job.admitted.elapsed()));
+    request
 }
 
 /// The per-request attestation: artifact provenance, degradation rung,
-/// plan provenances, wall times.
-fn attest(id: i64, outcome: &CompileOutcome) -> ObjBuilder {
+/// plan provenances, brownout level, coded warnings, wall times.
+fn attest(id: i64, outcome: &CompileOutcome, brownout: BrownoutLevel) -> ObjBuilder {
     let compiled = &outcome.compiled;
     let plans: Vec<Json> = {
         let mut provenances: Vec<String> = compiled
@@ -410,6 +985,22 @@ fn attest(id: i64, outcome: &CompileOutcome) -> ObjBuilder {
         provenances.dedup();
         provenances.into_iter().map(Json::Str).collect()
     };
+    // Coded warnings accumulated during compilation (e.g. E0702 plan-cache
+    // degradation, E0703 calibration failure) — visible to the client, so
+    // "degraded but served" is attested, not silent.
+    let warnings: Vec<Json> = {
+        let mut codes: Vec<&str> = compiled
+            .tuning
+            .as_ref()
+            .map(|t| t.diagnostics.iter().map(|d| d.code).collect())
+            .unwrap_or_default();
+        codes.sort();
+        codes.dedup();
+        codes
+            .into_iter()
+            .map(|c| Json::Str(c.to_string()))
+            .collect()
+    };
     ObjBuilder::new()
         .num("id", id as f64)
         .bool("ok", true)
@@ -417,7 +1008,9 @@ fn attest(id: i64, outcome: &CompileOutcome) -> ObjBuilder {
         .str("fingerprint", &format!("{:016x}", outcome.fingerprint))
         .str("rung", compiled.degradation.ran.describe())
         .bool("degraded", compiled.degradation.degraded())
+        .str("brownout", brownout.describe())
         .set("plans", Json::Arr(plans))
+        .set("warnings", Json::Arr(warnings))
         .num("compile_ms", outcome.wall.as_secs_f64() * 1000.0)
         .num(
             "tuned_kernels",
@@ -450,7 +1043,7 @@ fn stats_snapshot(inner: &Arc<ServerInner>) -> Json {
     let m = &inner.metrics;
     let s = inner.service.metrics();
     let (plan_hits, plan_misses) = autotune::shared_cache(&inner.plan_cache_path).0.stats();
-    ObjBuilder::new()
+    let mut b = ObjBuilder::new()
         .num("workers", inner.config.workers as f64)
         .num("queue_capacity", inner.config.queue_depth as f64)
         .num("queue_depth", m.queue_depth.load(Ordering::Relaxed) as f64)
@@ -462,16 +1055,72 @@ fn stats_snapshot(inner: &Arc<ServerInner>) -> Json {
             "protocol_errors",
             m.protocol_errors.load(Ordering::Relaxed) as f64,
         )
+        .num(
+            "deadline_kills",
+            m.deadline_kills.load(Ordering::Relaxed) as f64,
+        )
+        .num(
+            "worker_crashes",
+            m.worker_crashes.load(Ordering::Relaxed) as f64,
+        )
+        .num(
+            "late_completions",
+            m.late_completions.load(Ordering::Relaxed) as f64,
+        )
+        .num(
+            "oversized_frames",
+            m.oversized_frames.load(Ordering::Relaxed) as f64,
+        )
+        .num("idle_closes", m.idle_closes.load(Ordering::Relaxed) as f64)
+        .num(
+            "truncated_writes",
+            m.truncated_writes.load(Ordering::Relaxed) as f64,
+        )
+        .num(
+            "brownout_level",
+            m.brownout_level.load(Ordering::Relaxed) as f64,
+        )
+        .num(
+            "brownout_no_autotune",
+            m.brownout_no_autotune.load(Ordering::Relaxed) as f64,
+        )
+        .num(
+            "brownout_reduced_rung",
+            m.brownout_reduced_rung.load(Ordering::Relaxed) as f64,
+        )
+        .num(
+            "detached_workers",
+            m.detached_workers.load(Ordering::Relaxed) as f64,
+        )
+        .num(
+            "drain_flushed",
+            m.drain_flushed.load(Ordering::Relaxed) as f64,
+        )
         .num("compiles", s.compiles as f64)
         .num("dedup_waits", s.dedup_waits as f64)
         .num("artifact_hits", s.artifact_hits as f64)
         .num("compile_errors", s.errors as f64)
+        .num("deadline_timeouts", s.deadline_timeouts as f64)
+        .num("abandoned_slots", s.abandoned_slots as f64)
+        .num("stale_publishes", s.stale_publishes as f64)
+        .num("inflight", inner.service.inflight_len() as f64)
         .num("reuse_rate", s.reuse_rate())
         .num("plan_hits", plan_hits as f64)
         .num("plan_misses", plan_misses as f64)
         .num("p50_ms", m.latency.quantile_ms(0.5))
         .num("p99_ms", m.latency.quantile_ms(0.99))
         .num("mean_ms", m.latency.mean_ms())
-        .num("queue_wait_p99_ms", m.queue_wait.quantile_ms(0.99))
-        .build()
+        .num("queue_wait_p99_ms", m.queue_wait.quantile_ms(0.99));
+    if let Some(ch) = &inner.chaos {
+        let c = ch.stats();
+        b = b
+            .bool("chaos_armed", ch.armed())
+            .num("chaos_injected", c.total() as f64)
+            .num("chaos_panics", c.panics as f64)
+            .num("chaos_slow_compiles", c.slow_compiles as f64)
+            .num("chaos_truncations", c.truncations as f64)
+            .num("chaos_cache_corruptions", c.cache_corruptions as f64)
+            .num("chaos_artifact_purges", c.artifact_purges as f64);
+    }
+    b.build()
 }
