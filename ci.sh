@@ -17,14 +17,18 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 if [[ $quick -eq 0 ]]; then
   echo "== build (release) =="
-  cargo build --release
+  # --workspace: the root manifest is also a package, so a bare build
+  # would only cover flang-stencil and skip the member crates' binaries
+  # (fsc-serve, loadgen, the figure bins).
+  cargo build --release --workspace
 fi
 
 echo "== test =="
 # Hard timeout: the mpisim fault/deadlock tests are designed so no code
 # path can block forever, but a regression there must fail CI loudly
 # instead of hanging it. SIGKILL follows 30s after SIGTERM if needed.
-timeout --kill-after=30s 900s cargo test -q
+# --workspace for the same reason as the build above.
+timeout --kill-after=30s 900s cargo test -q --workspace
 
 echo "== fuzz smoke =="
 # Bounded differential fuzzing: every ladder rung and exec tier must be
@@ -69,5 +73,22 @@ echo "== chaos smoke =="
 # hard bound. The fixed seed pins each site's decision stream.
 timeout --kill-after=30s 300s \
   cargo run -q -p fsc-serve --bin loadgen -- --chaos --smoke --seed 20260808
+
+echo "== memory smoke =="
+# Memory-governance soak (DESIGN.md §12): 500 requests with over-budget
+# giants mixed into normal traffic against a self-hosted server capped at
+# --mem-budget 256 MiB. The binary exits non-zero unless every giant is
+# answered exactly once with the coded E0806 rejection, every admitted
+# run is bit-identical with its attested estimate bounding its measured
+# peak, the reservation ledger drains to zero, and no worker dies. The
+# subshell pins a hard 4 GiB address-space rlimit so an accounting hole
+# becomes a real allocator failure, not a missed assertion. The binary is
+# prebuilt outside the rlimit because rustc itself needs more than the
+# cap.
+cargo build -q -p fsc-serve --bin loadgen
+loadgen_bin="${CARGO_TARGET_DIR:-target}/debug/loadgen"
+( ulimit -v 4194304
+  timeout --kill-after=30s 300s \
+    "$loadgen_bin" --mem --smoke --seed 20260808 )
 
 echo "ci: all green"

@@ -22,18 +22,22 @@ pub use session::{
 };
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use fsc_exec::autotune::{self, TuneConfig, TuningReport};
+use fsc_exec::budget::{MemoryBudget, MemoryEstimate};
 use fsc_exec::distexec::{self, DistOutcome};
 use fsc_exec::interp::{Interpreter, RegionDispatcher, RunStats};
-use fsc_exec::kernel::{self, CompiledKernel, GpuStrategy, HaloSchedule, KernelArg, PlanKind};
+use fsc_exec::kernel::{
+    self, CompiledKernel, GpuStrategy, HaloSchedule, KernelArg, PlanKind, ViewSource,
+};
 use fsc_exec::plan::{ExecPlan, PlanProvenance};
 use fsc_exec::value::{Memory, Ref, Value};
 use fsc_exec::ExecPath;
 use fsc_gpusim::{BufferUse, GpuCounters, GpuSession, KernelLoad, V100Model};
 use fsc_ir::diag::{codes, Diagnostic};
-use fsc_ir::{IrError, Module, Result};
+use fsc_ir::{Attribute, IrError, Module, Result, Type};
 use fsc_mpisim::fault::{CrashSpec, FaultPlan, FaultStats};
 use fsc_mpisim::resilient::{run_resilient, ResilientConfig};
 use fsc_mpisim::{CostModel, ProcessGrid};
@@ -351,6 +355,14 @@ pub struct RunReport {
     /// Autotuner attestation carried over from the compile (see
     /// [`Compiled::tuning`]).
     pub tuning: Option<TuningReport>,
+    /// The static memory estimate this run was admitted under (governed
+    /// runs only — see [`Compiled::run_governed`]).
+    pub estimate: Option<MemoryEstimate>,
+    /// Measured peak bytes of the run's memory (the governing ledger's
+    /// high-water mark for governed runs, the interpreter arena's peak
+    /// otherwise). A governed run attests `peak_bytes <= estimate.total()`
+    /// by construction: the ledger's limit *is* the estimate.
+    pub peak_bytes: u64,
 }
 
 impl RunReport {
@@ -669,7 +681,138 @@ impl Compiled {
     /// targets run their halo exchanges on the resilient transport with a
     /// fault-free plan (the protocol overhead is charged and attested).
     pub fn run(&self) -> Result<Execution> {
-        self.run_inner(None)
+        self.run_inner(None, None)
+    }
+
+    /// Execute under a byte ledger: every buffer allocation — interpreter
+    /// arrays, kernel snapshots, distributed per-rank replication — must
+    /// reserve against `budget` first, and a denied reservation fails the
+    /// run with coded `E0805` instead of aborting the process. The run's
+    /// static estimate and the ledger's measured peak are attested in the
+    /// report, so callers can verify `peak_bytes <= estimate.total()`.
+    pub fn run_governed(&self, budget: Arc<MemoryBudget>) -> Result<Execution> {
+        let estimate = self.estimate()?;
+        let mut exec = self.run_inner(None, Some(budget))?;
+        exec.report.estimate = Some(estimate);
+        Ok(exec)
+    }
+
+    /// Static memory footprint of running this compiled program, from IR
+    /// view bounds alone — no execution. Conservative by construction
+    /// (sums over kernels that release scratch between dispatches), so a
+    /// governed run's measured peak is bounded by `estimate().total()`.
+    /// Fails coded `E0807` when any extent product overflows.
+    pub fn estimate(&self) -> Result<MemoryEstimate> {
+        // Program arrays the FIR interpreter will allocate.
+        let mut base: u64 = 0;
+        let mut walk_err: Option<IrError> = None;
+        fsc_ir::walk::walk_module(&self.fir_module, &mut |op| {
+            let data = self.fir_module.op(op);
+            if !matches!(data.name.full(), "fir.alloca" | "fir.allocmem") {
+                return;
+            }
+            if let Some(Type::FirArray { shape, .. }) =
+                data.attr("in_type").and_then(Attribute::as_type)
+            {
+                match fsc_exec::budget::checked_elems(shape)
+                    .and_then(fsc_exec::budget::elems_to_bytes)
+                {
+                    Ok(bytes) => base = base.saturating_add(bytes),
+                    Err(e) => walk_err = Some(e),
+                }
+            }
+        });
+        if let Some(e) = walk_err {
+            return Err(e);
+        }
+
+        let ranks: u64 = match &self.target {
+            Target::StencilDistributed { grid } | Target::StencilMultiGpu { grid, .. } => {
+                grid.iter().product::<i64>().max(1) as u64
+            }
+            _ => 1,
+        };
+        let mut snapshot: u64 = 0;
+        let mut halo: u64 = 0;
+        let mut replication: u64 = 0;
+        let mut scratch: u64 = 0;
+        for kernel in self.kernels.values() {
+            // Per-argument working-set bytes (max aliasing view per arg).
+            let mut arg_len: HashMap<usize, usize> = HashMap::new();
+            let mut snap_bytes: u64 = 0;
+            for view in &kernel.views {
+                let len = view.checked_len()?;
+                match view.source {
+                    ViewSource::Arg(i) => {
+                        let e = arg_len.entry(i).or_insert(0);
+                        *e = (*e).max(len);
+                    }
+                    ViewSource::SnapshotOf(_) => {
+                        snap_bytes =
+                            snap_bytes.saturating_add(fsc_exec::budget::elems_to_bytes(len)?);
+                    }
+                }
+            }
+            let arg_bytes: u64 = arg_len
+                .values()
+                .map(|&l| (l as u64).saturating_mul(8))
+                .fold(0u64, u64::saturating_add);
+            snapshot = snapshot.saturating_add(snap_bytes);
+            // Halo staging: dense pack + unpack payloads per exchange.
+            for nest in &kernel.nests {
+                for e in &nest.exchanges {
+                    let view = &kernel.views[e.view];
+                    let elems = view.checked_len()? as u64;
+                    let extent = view.extents.get(e.dim).copied().unwrap_or(1).max(1) as u64;
+                    let face = (elems / extent).saturating_mul(e.width.max(1) as u64);
+                    halo = halo.saturating_add(face.saturating_mul(8 * 2));
+                }
+            }
+            // Distributed replication: every real rank holds full-size,
+            // globally addressed copies of the argument and snapshot
+            // buffers, plus per-phase checkpoint clones of each (~2x).
+            if kernel.is_distributed() {
+                let real_ranks = ranks.min(32);
+                replication = replication.saturating_add(
+                    real_ranks.saturating_mul(arg_bytes.saturating_add(snap_bytes) * 2),
+                );
+            }
+            // Autotune calibration scratch: arg-shaped buffers plus the
+            // snapshots run_kernel allocates during timing sweeps.
+            if self.tuning.is_some() {
+                scratch = scratch.saturating_add(arg_bytes.saturating_add(snap_bytes));
+            }
+        }
+        Ok(MemoryEstimate {
+            base_bytes: base,
+            snapshot_bytes: snapshot,
+            halo_bytes: halo,
+            replication_bytes: replication,
+            scratch_bytes: scratch,
+            // Interpreter slack: scalar slots, environments, bookkeeping.
+            slack_bytes: 1 << 20,
+        })
+    }
+
+    /// Heuristic in-memory size of this artifact (modules + compiled
+    /// kernels), for byte-accounted artifact caching. Stable for a given
+    /// compile; cheap to compute.
+    pub fn approx_bytes(&self) -> u64 {
+        let mut ops = 0u64;
+        fsc_ir::walk::walk_module(&self.fir_module, &mut |_| ops += 1);
+        if let Some(s) = &self.stencil_module {
+            fsc_ir::walk::walk_module(s, &mut |_| ops += 1);
+        }
+        let mut kernel_bytes = 0u64;
+        for k in self.kernels.values() {
+            for n in &k.nests {
+                kernel_bytes += (n.program.instrs.len() as u64).saturating_mul(2 * 64);
+            }
+            kernel_bytes += (k.views.len() as u64).saturating_mul(96);
+        }
+        ops.saturating_mul(96)
+            .saturating_add(kernel_bytes)
+            .saturating_add(1024)
     }
 
     /// Execute under a fault-injection plan: every distributed kernel
@@ -680,16 +823,23 @@ impl Compiled {
     pub fn run_with_faults(&self, plan: FaultPlan) -> Result<Execution> {
         plan.validate()
             .map_err(|e| IrError::new(format!("invalid fault plan: {e}")))?;
-        self.run_inner(Some(plan))
+        self.run_inner(Some(plan), None)
     }
 
-    fn run_inner(&self, plan: Option<FaultPlan>) -> Result<Execution> {
+    fn run_inner(
+        &self,
+        plan: Option<FaultPlan>,
+        budget: Option<Arc<MemoryBudget>>,
+    ) -> Result<Execution> {
         let mut dispatcher = KernelDispatcher::new(&self.kernels, &self.target);
         if let Some(plan) = plan {
             dispatcher.fault_plan = plan;
         }
         let start = Instant::now();
         let mut interp = Interpreter::new(&self.fir_module, dispatcher);
+        if let Some(b) = &budget {
+            interp.memory = fsc_exec::Memory::with_budget(Arc::clone(b));
+        }
         interp.run_func(&self.entry, vec![])?;
         let wall = start.elapsed();
 
@@ -722,6 +872,12 @@ impl Compiled {
             degradation: self.degradation.clone(),
             plans: dispatcher.plans.iter().cloned().collect(),
             tuning: self.tuning.clone(),
+            estimate: None,
+            peak_bytes: budget
+                .as_ref()
+                .map(|b| b.peak())
+                .unwrap_or(0)
+                .max(memory.peak_bytes()),
         };
         Ok(Execution {
             memory,
@@ -1596,6 +1752,57 @@ mod tests {
         // The corrupt file contributed nothing: no cached provenance.
         assert!(!exec.report.attests_plan(PlanProvenance::Cached));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn governed_run_peak_is_bounded_by_estimate() {
+        let src = fsc_workloads::gauss_seidel::fortran_source(8, 2);
+        for target in [
+            Target::StencilCpu,
+            Target::StencilOpenMp { threads: 2 },
+            Target::StencilDistributed { grid: vec![2] },
+        ] {
+            let compiled =
+                Compiler::compile(&src, &CompileOptions::for_target(target.clone())).unwrap();
+            let est = compiled.estimate().unwrap();
+            assert!(est.total() > 0, "{target:?} estimate must be non-trivial");
+            let budget = fsc_exec::MemoryBudget::limited(est.total());
+            let exec = compiled.run_governed(budget.clone()).unwrap();
+            assert_eq!(exec.report.estimate, Some(est));
+            assert!(exec.report.peak_bytes > 0, "{target:?} must attest a peak");
+            assert!(
+                exec.report.peak_bytes <= est.total(),
+                "{target:?}: peak {} exceeds estimate {}",
+                exec.report.peak_bytes,
+                est.total()
+            );
+            // Governance never changes the answer.
+            let plain = compiled.run().unwrap();
+            let a = plain.array("u").unwrap();
+            let b = exec.array("u").unwrap();
+            assert!(
+                a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "{target:?}: governed run diverged"
+            );
+            // Dropping the execution returns every charge to the ledger.
+            drop(exec);
+            assert_eq!(budget.used(), 0, "{target:?}: ledger must drain");
+        }
+    }
+
+    #[test]
+    fn over_budget_run_fails_with_coded_error_not_abort() {
+        let src = fsc_workloads::gauss_seidel::fortran_source(8, 1);
+        let compiled =
+            Compiler::compile(&src, &CompileOptions::for_target(Target::StencilCpu)).unwrap();
+        let err = match compiled.run_governed(fsc_exec::MemoryBudget::limited(64)) {
+            Err(e) => e,
+            Ok(_) => panic!("a 64-byte budget must deny the run"),
+        };
+        assert!(
+            err.diagnostics[0].render().contains("E0805"),
+            "denial must carry E0805: {err}"
+        );
     }
 
     #[test]

@@ -173,6 +173,14 @@ pub struct ServiceMetrics {
     /// Leaders that finished after their slot had been reclaimed (their
     /// artifact is still cached; their slot ownership was gone).
     pub stale_publishes: u64,
+    /// Estimated bytes currently held by the artifact cache (gauge).
+    pub artifact_bytes: u64,
+    /// Cumulative artifacts evicted from the cache (pressure + purges).
+    pub evicted_artifacts: u64,
+    /// Cumulative bytes evicted from the cache (pressure + purges).
+    pub evicted_bytes: u64,
+    /// Artifacts refused caching because they alone exceed the byte cap.
+    pub oversize_rejects: u64,
 }
 
 impl ServiceMetrics {
@@ -281,34 +289,84 @@ impl Slot {
 /// deterministic and the hot path a single map lookup; the cache exists
 /// to absorb request storms for a working set of programs, not to be a
 /// perfect reuse oracle.
+///
+/// The cache is bounded twice: by entry count *and* by estimated bytes
+/// (each entry is charged its [`Compiled::approx_bytes`] at insert).
+/// An artifact whose own size exceeds the byte ceiling is **not cached
+/// at all** — admitting it would evict every other entry and still leave
+/// the cache over budget, so the giant is served fresh each time and the
+/// working set survives (`oversize_rejects` counts these).
 struct ArtifactCache {
     capacity: usize,
-    map: HashMap<u64, Arc<Compiled>>,
+    byte_capacity: u64,
+    /// Estimated bytes currently retained (sum of per-entry charges).
+    bytes: u64,
+    /// Cumulative entries evicted (FIFO pressure and purges).
+    evicted_artifacts: u64,
+    /// Cumulative bytes evicted (FIFO pressure and purges).
+    evicted_bytes: u64,
+    /// Artifacts refused admission because they alone exceed the byte cap.
+    oversize_rejects: u64,
+    map: HashMap<u64, (Arc<Compiled>, u64)>,
     order: VecDeque<u64>,
 }
 
 impl ArtifactCache {
-    fn new(capacity: usize) -> Self {
+    fn new(capacity: usize, byte_capacity: u64) -> Self {
         Self {
             capacity: capacity.max(1),
+            byte_capacity: byte_capacity.max(1),
+            bytes: 0,
+            evicted_artifacts: 0,
+            evicted_bytes: 0,
+            oversize_rejects: 0,
             map: HashMap::new(),
             order: VecDeque::new(),
         }
     }
 
     fn get(&self, fp: u64) -> Option<Arc<Compiled>> {
-        self.map.get(&fp).cloned()
+        self.map.get(&fp).map(|(artifact, _)| artifact.clone())
     }
 
-    fn insert(&mut self, fp: u64, artifact: Arc<Compiled>) {
-        if self.map.insert(fp, artifact).is_none() {
-            self.order.push_back(fp);
-            while self.order.len() > self.capacity {
-                if let Some(evicted) = self.order.pop_front() {
-                    self.map.remove(&evicted);
-                }
+    fn insert(&mut self, fp: u64, artifact: Arc<Compiled>, size: u64) {
+        if self.map.contains_key(&fp) {
+            return;
+        }
+        if size > self.byte_capacity {
+            self.oversize_rejects += 1;
+            return;
+        }
+        self.map.insert(fp, (artifact, size));
+        self.order.push_back(fp);
+        self.bytes = self.bytes.saturating_add(size);
+        while self.order.len() > self.capacity || self.bytes > self.byte_capacity {
+            let Some(&victim) = self.order.front() else {
+                break;
+            };
+            if victim == fp {
+                // The entry just admitted is never its own victim; it
+                // fits (size <= byte_capacity), so the loop terminates.
+                break;
+            }
+            self.order.pop_front();
+            if let Some((_, sz)) = self.map.remove(&victim) {
+                self.bytes = self.bytes.saturating_sub(sz);
+                self.evicted_artifacts += 1;
+                self.evicted_bytes += sz;
             }
         }
+    }
+
+    /// Drop every entry but keep the caps and the cumulative counters
+    /// (a purge is an eviction of everything, and `/stats` must not go
+    /// backwards).
+    fn purge(&mut self) {
+        self.evicted_artifacts += self.map.len() as u64;
+        self.evicted_bytes += self.bytes;
+        self.map.clear();
+        self.order.clear();
+        self.bytes = 0;
     }
 }
 
@@ -342,6 +400,9 @@ pub type CompileHook = Arc<dyn Fn(&CompileRequest) + Send + Sync>;
 /// Default artifact-cache capacity (distinct fingerprints retained).
 pub const DEFAULT_ARTIFACT_CAPACITY: usize = 256;
 
+/// Default artifact-cache byte ceiling (estimated bytes retained).
+pub const DEFAULT_ARTIFACT_BYTES: u64 = 64 << 20;
+
 impl Default for CompileService {
     fn default() -> Self {
         Self::new(DEFAULT_ARTIFACT_CAPACITY)
@@ -349,10 +410,16 @@ impl Default for CompileService {
 }
 
 impl CompileService {
-    /// A service retaining at most `artifact_capacity` compiled programs.
+    /// A service retaining at most `artifact_capacity` compiled programs
+    /// (with the default byte ceiling).
     pub fn new(artifact_capacity: usize) -> Self {
+        Self::with_limits(artifact_capacity, DEFAULT_ARTIFACT_BYTES)
+    }
+
+    /// A service bounded by both an entry count and a byte ceiling.
+    pub fn with_limits(artifact_capacity: usize, artifact_bytes: u64) -> Self {
         Self {
-            artifacts: Mutex::new(ArtifactCache::new(artifact_capacity)),
+            artifacts: Mutex::new(ArtifactCache::new(artifact_capacity, artifact_bytes)),
             inflight: Mutex::new(HashMap::new()),
             compiles: AtomicU64::new(0),
             dedup_waits: AtomicU64::new(0),
@@ -494,10 +561,11 @@ impl CompileService {
         .map(Arc::new);
 
         if let Ok(artifact) = &result {
+            let size = artifact.approx_bytes();
             self.artifacts
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
-                .insert(fp, artifact.clone());
+                .insert(fp, artifact.clone(), size);
         } else {
             self.errors.fetch_add(1, Ordering::Relaxed);
         }
@@ -577,9 +645,10 @@ impl CompileService {
     /// request of each fingerprint to recompile; results must still be
     /// bit-identical).
     pub fn purge_artifacts(&self) {
-        let mut artifacts = self.artifacts.lock().unwrap_or_else(|e| e.into_inner());
-        let capacity = artifacts.capacity;
-        *artifacts = ArtifactCache::new(capacity);
+        self.artifacts
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .purge();
     }
 
     /// Compile and run in one call.
@@ -591,6 +660,15 @@ impl CompileService {
 
     /// Snapshot of the lifetime counters.
     pub fn metrics(&self) -> ServiceMetrics {
+        let (artifact_bytes, evicted_artifacts, evicted_bytes, oversize_rejects) = {
+            let cache = self.artifacts.lock().unwrap_or_else(|e| e.into_inner());
+            (
+                cache.bytes,
+                cache.evicted_artifacts,
+                cache.evicted_bytes,
+                cache.oversize_rejects,
+            )
+        };
         ServiceMetrics {
             compiles: self.compiles.load(Ordering::Relaxed),
             dedup_waits: self.dedup_waits.load(Ordering::Relaxed),
@@ -599,6 +677,10 @@ impl CompileService {
             deadline_timeouts: self.deadline_timeouts.load(Ordering::Relaxed),
             abandoned_slots: self.abandoned_slots.load(Ordering::Relaxed),
             stale_publishes: self.stale_publishes.load(Ordering::Relaxed),
+            artifact_bytes,
+            evicted_artifacts,
+            evicted_bytes,
+            oversize_rejects,
         }
     }
 }
@@ -899,5 +981,81 @@ mod tests {
         release.store(true, Ordering::SeqCst);
         leader.join().unwrap().unwrap();
         assert_eq!(service.metrics().abandoned_slots, 0);
+    }
+
+    /// Satellite regression: one artifact bigger than the whole byte cap
+    /// must be refused admission instead of evicting every resident
+    /// entry, and byte-pressure eviction must stay FIFO and accounted.
+    #[test]
+    fn oversized_artifact_cannot_evict_the_cache() {
+        let req = request(4);
+        let artifact = Arc::new(Compiler::compile(&req.source, &req.options).unwrap());
+        let mut cache = ArtifactCache::new(8, 1000);
+        cache.insert(1, artifact.clone(), 400);
+        cache.insert(2, artifact.clone(), 400);
+        assert_eq!(cache.bytes, 800);
+
+        // A giant larger than the entire cache: refused, residents intact.
+        cache.insert(3, artifact.clone(), 5000);
+        assert!(cache.get(3).is_none(), "the giant must not be cached");
+        assert!(cache.get(1).is_some() && cache.get(2).is_some());
+        assert_eq!((cache.bytes, cache.oversize_rejects), (800, 1));
+        assert_eq!(cache.evicted_artifacts, 0);
+
+        // A fitting artifact evicts exactly enough, oldest first.
+        cache.insert(4, artifact.clone(), 400);
+        assert!(cache.get(1).is_none(), "byte pressure evicts FIFO");
+        assert!(cache.get(2).is_some() && cache.get(4).is_some());
+        assert_eq!((cache.bytes, cache.evicted_artifacts), (800, 1));
+        assert_eq!(cache.evicted_bytes, 400);
+    }
+
+    /// Byte-cap eviction through the full service path keeps the hit
+    /// metrics consistent: every request is exactly one of
+    /// compile/dedup/hit, and the byte gauge never exceeds the cap.
+    #[test]
+    fn byte_cap_eviction_keeps_hit_metrics_consistent() {
+        let probe = Arc::new(CompileService::default());
+        probe.compile(&request(4)).unwrap();
+        let one = probe.metrics().artifact_bytes;
+        assert!(one > 0, "artifacts must have a nonzero size estimate");
+
+        // Room for one artifact but not two.
+        let cap = one + one / 2;
+        let service = Arc::new(CompileService::with_limits(8, cap));
+        service.compile(&request(4)).unwrap();
+        service.compile(&request(5)).unwrap(); // byte pressure evicts 4
+        let again = service.compile(&request(4)).unwrap();
+        assert_eq!(again.source, ArtifactSource::Fresh, "4 was evicted");
+        let hit = service.compile(&request(4)).unwrap();
+        assert_eq!(hit.source, ArtifactSource::Cached);
+
+        let m = service.metrics();
+        assert_eq!((m.compiles, m.artifact_hits, m.dedup_waits), (3, 1, 0));
+        assert!(m.evicted_artifacts >= 1, "{m:?}");
+        assert!(m.evicted_bytes >= one.min(m.evicted_bytes), "{m:?}");
+        assert!(m.artifact_bytes <= cap, "gauge must respect the cap: {m:?}");
+        assert!(
+            (m.reuse_rate() - 0.25).abs() < 1e-9,
+            "1 reuse in 4 requests: {m:?}"
+        );
+    }
+
+    /// Purging counts as eviction (counters are monotonic) and leaves
+    /// the byte gauge at zero.
+    #[test]
+    fn purge_keeps_cumulative_eviction_counters() {
+        let service = Arc::new(CompileService::default());
+        service.compile(&request(4)).unwrap();
+        let before = service.metrics();
+        assert!(before.artifact_bytes > 0);
+        service.purge_artifacts();
+        let after = service.metrics();
+        assert_eq!(after.artifact_bytes, 0);
+        assert_eq!(after.evicted_artifacts, before.evicted_artifacts + 1);
+        assert_eq!(
+            after.evicted_bytes,
+            before.evicted_bytes + before.artifact_bytes
+        );
     }
 }

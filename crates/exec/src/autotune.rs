@@ -274,7 +274,10 @@ fn candidates(default: &ExecPlan, rank: usize, threads: usize) -> Vec<ExecPlan> 
 /// Build scratch arguments shaped like the kernel's real signature:
 /// deterministically filled buffers for every pointer argument, `1.0` for
 /// every scalar (safe for the divide in Gauss–Seidel-style scales).
-fn scratch_args(kernel: &CompiledKernel, memory: &mut Memory) -> Vec<KernelArg> {
+/// Allocation is fallible: a denied scratch buffer (budget or host) makes
+/// the caller skip calibration with a coded `E0703` degradation instead of
+/// aborting the process.
+fn scratch_args(kernel: &CompiledKernel, memory: &mut Memory) -> fsc_ir::Result<Vec<KernelArg>> {
     let mut args = Vec::with_capacity(kernel.args.len());
     for (i, kind) in kernel.args.iter().enumerate() {
         match kind {
@@ -284,11 +287,10 @@ fn scratch_args(kernel: &CompiledKernel, memory: &mut Memory) -> Vec<KernelArg> 
                     .views
                     .iter()
                     .filter(|v| v.source == ViewSource::Arg(i))
-                    .map(|v| v.len())
-                    .max()
-                    .unwrap_or(1)
+                    .map(|v| v.checked_len())
+                    .try_fold(0usize, |acc, l| l.map(|l| acc.max(l)))?
                     .max(1);
-                let buf = memory.alloc_buffer(len);
+                let buf = memory.try_alloc_buffer(len)?;
                 for (k, cell) in memory.buffer_mut(buf).iter_mut().enumerate() {
                     *cell = 1.0 + (k % 7) as f64 * 0.125;
                 }
@@ -296,7 +298,7 @@ fn scratch_args(kernel: &CompiledKernel, memory: &mut Memory) -> Vec<KernelArg> 
             }
         }
     }
-    args
+    Ok(args)
 }
 
 /// Time one candidate: force the plan, run once to warm up, then best-of
@@ -359,7 +361,24 @@ pub fn tune_kernel(
         .map(|n| n.plan.clone())
         .unwrap_or_default();
     let mut memory = Memory::new();
-    let args = scratch_args(kernel, &mut memory);
+    let args = match scratch_args(kernel, &mut memory) {
+        Ok(args) => args,
+        Err(e) => {
+            // Calibration scratch was denied: keep the default plan and
+            // attest the degradation — tuning never fails a compile.
+            diagnostics.push(
+                Diagnostic::warning(
+                    codes::AUTOTUNE,
+                    format!(
+                        "autotune scratch allocation for '{}' failed: {e}",
+                        kernel.name
+                    ),
+                )
+                .note("default execution plan kept"),
+            );
+            return None;
+        }
+    };
     let mut best: Option<(f64, ExecPlan)> = None;
     for plan in candidates(&default, rank, threads) {
         match time_candidate(kernel, &plan, &mut memory, &args, threads, pool, reps) {

@@ -36,6 +36,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
+use crate::budget::MemoryBudget;
 use crate::kernel::{
     run_nest_box, CompiledKernel, HaloSchedule, KernelArg, MpiExchange, Nest, ViewSource, ViewSpec,
 };
@@ -481,6 +482,10 @@ struct Shared {
     scalars: Vec<f64>,
     bounds: Vec<(i64, i64)>,
     from: usize,
+    /// The caller's byte ledger (if any): every rank's full-size replicated
+    /// buffers charge against the same budget, so per-rank replication is
+    /// governed, not just the caller's own arrays.
+    budget: Option<Arc<MemoryBudget>>,
 }
 
 fn wrap(rank: usize, e: IrError) -> MpiSimError {
@@ -496,16 +501,29 @@ fn rank_body(ctx: &mut ResilientCtx, sh: &Shared) -> std::result::Result<RankOut
     let decomp = &sh.kernel.decomposition;
 
     // ---- scatter: full-size, globally addressed local buffers ----
-    let mut mem = Memory::new();
+    // Governed allocation: over-budget replication fails the dispatch with
+    // a coded error instead of aborting the process.
+    let mut mem = match &sh.budget {
+        Some(b) => Memory::with_budget(Arc::clone(b)),
+        None => Memory::new(),
+    };
     let mut arg_buf: HashMap<usize, BufId> = HashMap::new();
     let mut bufs: Vec<BufId> = Vec::with_capacity(views.len());
     for view in views {
         let buf = match view.source {
-            ViewSource::Arg(i) => *arg_buf.entry(i).or_insert_with(|| {
-                let len = sh.globals.get(&i).map(|g| g.len()).unwrap_or(view.len());
-                mem.alloc_buffer(len)
-            }),
-            ViewSource::SnapshotOf(_) => mem.alloc_buffer(view.len()),
+            ViewSource::Arg(i) => match arg_buf.get(&i) {
+                Some(&b) => b,
+                None => {
+                    let len = sh.globals.get(&i).map(|g| g.len()).unwrap_or(view.len());
+                    let b = mem.try_alloc_buffer(len).map_err(|e| wrap(rank, e))?;
+                    arg_buf.insert(i, b);
+                    b
+                }
+            },
+            ViewSource::SnapshotOf(_) => {
+                let len = view.checked_len().map_err(|e| wrap(rank, e))?;
+                mem.try_alloc_buffer(len).map_err(|e| wrap(rank, e))?
+            }
         };
         bufs.push(buf);
     }
@@ -803,6 +821,7 @@ pub fn run_distributed(
         scalars,
         bounds: setup.bounds.clone(),
         from: setup.from,
+        budget: memory.budget().cloned(),
     });
     let size = grid.size() as usize;
     let cfg = ResilientConfig {

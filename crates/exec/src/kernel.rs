@@ -76,6 +76,11 @@ impl ViewSpec {
         self.extents.iter().product::<i64>().max(0) as usize
     }
 
+    /// Overflow-checked element count (coded `E0807` near `usize::MAX`).
+    pub fn checked_len(&self) -> fsc_ir::Result<usize> {
+        crate::budget::checked_elems(&self.extents)
+    }
+
     /// True when the view holds no elements.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
@@ -1009,7 +1014,7 @@ pub fn run_kernel(
                 if src == usize::MAX || src >= bufs.len() {
                     return Err(err("snapshot of unresolved view"));
                 }
-                memory.alloc_buffer(view.len())
+                memory.try_alloc_buffer(view.checked_len()?)?
             }
         };
         bufs.push(buf);
@@ -1071,7 +1076,7 @@ pub fn run_kernel_naive(
                 Some(KernelArg::Buf(b)) => *b,
                 _ => return Err(err("pointer argument missing at call")),
             },
-            ViewSource::SnapshotOf(_) => memory.alloc_buffer(view.len()),
+            ViewSource::SnapshotOf(_) => memory.try_alloc_buffer(view.checked_len()?)?,
         };
         bufs.push(buf);
     }
@@ -1650,7 +1655,14 @@ fn plan_tasks(bounds: &[(i64, i64)], target: usize) -> Vec<Vec<(i64, i64)>> {
     let chunks: Vec<Vec<(i64, i64)>> = (0..rank).map(|d| split_dim(bounds[d], counts[d])).collect();
     // Cartesian product, dimension 0 varying fastest: emission order is
     // ascending in memory for column-major strides.
-    let mut tasks = Vec::with_capacity(chunks.iter().map(Vec::len).product());
+    // Checked product: a degenerate chunk explosion must not wrap the
+    // capacity hint (push still grows the vector correctly from zero).
+    let cap = chunks
+        .iter()
+        .map(Vec::len)
+        .try_fold(1usize, |a, b| a.checked_mul(b))
+        .unwrap_or(0);
+    let mut tasks = Vec::with_capacity(cap);
     let mut idx = vec![0usize; rank];
     loop {
         tasks.push((0..rank).map(|d| chunks[d][idx[d]]).collect());

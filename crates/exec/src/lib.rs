@@ -22,6 +22,7 @@
 //! array layout.
 
 pub mod autotune;
+pub mod budget;
 pub mod bytecode;
 pub mod distexec;
 pub mod interp;
@@ -33,6 +34,7 @@ pub mod specialize;
 pub mod value;
 
 pub use autotune::{TuneConfig, TuningReport};
+pub use budget::{MemoryBudget, MemoryEstimate};
 pub use distexec::{DistOutcome, RankMetrics};
 pub use interp::{Interpreter, RunStats};
 pub use kernel::{CompiledKernel, HaloSchedule, KernelArg, KernelStats};

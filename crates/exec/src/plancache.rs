@@ -45,6 +45,12 @@ use crate::plan::{ExecPlan, PlanProvenance};
 /// Current on-disk format version.
 pub const CACHE_VERSION: i64 = 1;
 
+/// Byte quota for the rendered on-disk cache file. [`PlanCache::save`]
+/// garbage-collects the merged image down to this before publishing, so
+/// a long-lived machine cache cannot grow without bound. At ~100 bytes
+/// per entry this retains a few thousand plans.
+pub const DEFAULT_DISK_QUOTA: u64 = 256 * 1024;
+
 /// Environment variable overriding the default cache location. Only read
 /// by [`env_cache_path`], which process boundaries (CLI, server, bench
 /// mains) call exactly once — library code takes explicit paths.
@@ -144,6 +150,17 @@ impl PlanCache {
     /// writers from trampling each other's staging file even if the lock
     /// is broken (e.g. a stale lock from a killed process gets reclaimed).
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        self.save_with_quota(path, DEFAULT_DISK_QUOTA)
+    }
+
+    /// [`PlanCache::save`] with an explicit disk quota. After the merge,
+    /// the image is garbage-collected down to `quota` rendered bytes:
+    /// entries this writer does *not* own (merged in from disk) are
+    /// evicted first, in key order, so one process's save can never grow
+    /// the file unboundedly yet always keeps its own fresh plans when
+    /// they fit. The published file is always structurally valid, even
+    /// when the quota is smaller than a single entry.
+    pub fn save_with_quota(&self, path: &Path, quota: u64) -> std::io::Result<()> {
         if let Some(dir) = path.parent() {
             if !dir.as_os_str().is_empty() {
                 std::fs::create_dir_all(dir)?;
@@ -152,15 +169,11 @@ impl PlanCache {
         let _lock = AdvisoryLock::acquire(path)?;
         // Union with the current on-disk image: keep concurrent writers'
         // entries; our own entries take precedence for identical keys.
-        let (mut disk, _diag) = Self::load(path);
-        let merged = if disk.entries.is_empty() {
-            self
-        } else {
-            for (k, v) in &self.entries {
-                disk.entries.insert(k.clone(), v.clone());
-            }
-            &disk
-        };
+        let (mut merged, _diag) = Self::load(path);
+        for (k, v) in &self.entries {
+            merged.entries.insert(k.clone(), v.clone());
+        }
+        merged.gc_to_quota(&self.entries, quota);
         let tmp = path.with_extension(format!("json.tmp.{}", std::process::id()));
         {
             let mut f = std::fs::File::create(&tmp)?;
@@ -168,6 +181,31 @@ impl PlanCache {
             f.sync_all()?;
         }
         std::fs::rename(&tmp, path)
+    }
+
+    /// Evict entries until the rendered image fits in `quota` bytes.
+    /// Entries not in `own` (foreign: merged in from disk) go first, in
+    /// key order; own entries are only evicted once no foreign entry
+    /// remains. Returns the number of evictions. The loop always
+    /// terminates: an empty cache renders to a small constant image.
+    fn gc_to_quota(&mut self, own: &BTreeMap<String, PlanRecord>, quota: u64) -> u64 {
+        let mut evicted = 0;
+        while self.render().len() as u64 > quota && !self.entries.is_empty() {
+            let victim = self
+                .entries
+                .keys()
+                .find(|k| !own.contains_key(*k))
+                .or_else(|| self.entries.keys().next())
+                .cloned();
+            match victim {
+                Some(k) => {
+                    self.entries.remove(&k);
+                    evicted += 1;
+                }
+                None => break,
+            }
+        }
+        evicted
     }
 
     /// Render the stable JSON layout.
@@ -507,6 +545,59 @@ mod tests {
         }
         let (merged, _) = PlanCache::load(&path2);
         assert_eq!(merged.entries.len(), 8, "every racing writer must survive");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The disk quota: a save against a bloated on-disk cache evicts
+    /// foreign entries first and publishes a file under the quota, with
+    /// the writer's own fresh plans surviving.
+    #[test]
+    fn disk_quota_gc_evicts_foreign_entries_first() {
+        let dir = std::env::temp_dir().join("fsc-plancache-test-quota");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("cache.json");
+        let record = |micros: f64| PlanRecord {
+            tiles: vec![0, 16, 0],
+            unroll: 4,
+            slabs: 1,
+            micros,
+        };
+        let mut foreign = PlanCache::default();
+        for i in 0..50 {
+            foreign
+                .entries
+                .insert(format!("foreign-{i:03}:8x8:t1"), record(i as f64));
+        }
+        foreign.save_with_quota(&path, u64::MAX).unwrap();
+        assert!(std::fs::metadata(&path).unwrap().len() > 1024);
+
+        let mut own = PlanCache::default();
+        own.entries.insert("own:8x8:t1".into(), record(1.0));
+        own.save_with_quota(&path, 1024).unwrap();
+
+        let (loaded, diag) = PlanCache::load(&path);
+        assert!(diag.is_none(), "{diag:?}");
+        assert!(
+            loaded.entries.contains_key("own:8x8:t1"),
+            "the writer's own entry must survive GC: {:?}",
+            loaded.entries.keys().collect::<Vec<_>>()
+        );
+        assert!(loaded.entries.len() < 51, "GC must have evicted foreigners");
+        assert!(loaded.render().len() <= 1024, "file must fit the quota");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A quota smaller than any entry still publishes a structurally
+    /// valid (empty) cache file — never a corrupt or missing one.
+    #[test]
+    fn impossible_quota_still_publishes_a_valid_file() {
+        let dir = std::env::temp_dir().join("fsc-plancache-test-quota-tiny");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("cache.json");
+        sample().save_with_quota(&path, 10).unwrap();
+        let (loaded, diag) = PlanCache::load(&path);
+        assert!(diag.is_none(), "{diag:?}");
+        assert!(loaded.entries.is_empty());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

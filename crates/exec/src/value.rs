@@ -2,6 +2,11 @@
 
 use std::sync::Arc;
 
+use fsc_ir::diag::{codes, Diagnostic};
+use fsc_ir::IrError;
+
+use crate::budget::{elems_to_bytes, MemoryBudget};
+
 /// Identifier of an array buffer inside [`Memory`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct BufId(pub u32);
@@ -117,7 +122,32 @@ pub fn column_major_strides(extents: &[i64]) -> Vec<i64> {
     strides
 }
 
+/// Overflow-checked [`column_major_strides`]: coded `E0807` when a stride
+/// product does not fit `i64` (extents near the address-space limit).
+pub fn checked_column_major_strides(extents: &[i64]) -> fsc_ir::Result<Vec<i64>> {
+    let mut strides = Vec::with_capacity(extents.len());
+    let mut acc = 1i64;
+    for &e in extents {
+        strides.push(acc);
+        acc = acc.checked_mul(e.max(0)).ok_or_else(|| {
+            IrError::from_diagnostic(Diagnostic::error(
+                codes::EXTENT_OVERFLOW,
+                format!("stride arithmetic overflow for extents {extents:?}"),
+            ))
+        })?;
+    }
+    Ok(strides)
+}
+
 /// Owner of all runtime storage for one program execution.
+///
+/// Allocation is *governed*: every buffer charges its byte size against an
+/// optional [`MemoryBudget`] ledger before the storage is created, and the
+/// arena tracks its own live/peak byte counters either way. Charges follow
+/// the buffer's logical lifetime — [`Memory::release_buffer`] returns the
+/// bytes to the ledger even though the storage is retained for reuse (a
+/// later same-size allocation re-charges it), so `live_bytes` means "bytes
+/// the program currently holds", not "bytes the arena has ever touched".
 #[derive(Debug, Default)]
 pub struct Memory {
     buffers: Vec<Vec<f64>>,
@@ -125,17 +155,54 @@ pub struct Memory {
     /// Released buffer ids available for reuse (scratch buffers allocated
     /// inside kernels, e.g. value-semantics snapshots in time loops).
     free: Vec<BufId>,
+    /// Bytes currently charged per buffer id (zero once released).
+    charged: Vec<u64>,
+    /// Optional byte ledger every allocation must reserve against.
+    budget: Option<Arc<MemoryBudget>>,
+    live_bytes: u64,
+    peak_bytes: u64,
 }
 
 impl Memory {
-    /// Fresh, empty memory.
+    /// Fresh, empty memory with no ledger (allocations still fail cleanly
+    /// on host refusal instead of aborting).
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Fresh memory governed by `budget`: every allocation reserves its
+    /// bytes against the ledger first and fails coded `E0805` when the
+    /// reservation is denied.
+    pub fn with_budget(budget: Arc<MemoryBudget>) -> Self {
+        let mut m = Self::default();
+        m.budget = Some(budget);
+        m
+    }
+
+    /// The governing ledger, if any.
+    pub fn budget(&self) -> Option<&Arc<MemoryBudget>> {
+        self.budget.as_ref()
+    }
+
+    /// Bytes currently held by live (un-released) buffers.
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    /// High-water mark of [`Memory::live_bytes`] over this arena's life.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_bytes
+    }
+
     /// Allocate a zero-initialised buffer of `len` doubles, reusing a
-    /// released buffer of the same length when one exists.
-    pub fn alloc_buffer(&mut self, len: usize) -> BufId {
+    /// released buffer of the same length when one exists. Fails with a
+    /// coded `E0805` diagnostic when the ledger (or the host allocator)
+    /// refuses the bytes — the arena is left unchanged.
+    pub fn try_alloc_buffer(&mut self, len: usize) -> fsc_ir::Result<BufId> {
+        let bytes = elems_to_bytes(len)?;
+        if let Some(b) = &self.budget {
+            b.try_reserve(bytes)?;
+        }
         if let Some(pos) = self
             .free
             .iter()
@@ -143,18 +210,63 @@ impl Memory {
         {
             let buf = self.free.swap_remove(pos);
             self.buffers[buf.0 as usize].fill(0.0);
-            return buf;
+            self.charge(buf, bytes);
+            return Ok(buf);
         }
-        self.buffers.push(vec![0.0; len]);
-        BufId(self.buffers.len() as u32 - 1)
+        let mut storage: Vec<f64> = Vec::new();
+        if storage.try_reserve_exact(len).is_err() {
+            if let Some(b) = &self.budget {
+                b.release(bytes);
+            }
+            return Err(IrError::from_diagnostic(
+                Diagnostic::error(
+                    codes::MEM_BUDGET,
+                    format!("allocation denied: the host refused {bytes} bytes"),
+                )
+                .note("the request fails cleanly; the process keeps serving"),
+            ));
+        }
+        storage.resize(len, 0.0);
+        self.buffers.push(storage);
+        let buf = BufId(self.buffers.len() as u32 - 1);
+        self.charge(buf, bytes);
+        Ok(buf)
+    }
+
+    /// Infallible [`Memory::try_alloc_buffer`] for ungoverned paths (tests,
+    /// benches): panics on denial, exactly like `vec![0.0; len]` would.
+    pub fn alloc_buffer(&mut self, len: usize) -> BufId {
+        self.try_alloc_buffer(len)
+            .expect("ungoverned buffer allocation failed")
+    }
+
+    fn charge(&mut self, buf: BufId, bytes: u64) {
+        let idx = buf.0 as usize;
+        if self.charged.len() <= idx {
+            self.charged.resize(idx + 1, 0);
+        }
+        self.charged[idx] = bytes;
+        self.live_bytes = self.live_bytes.saturating_add(bytes);
+        self.peak_bytes = self.peak_bytes.max(self.live_bytes);
     }
 
     /// Release a buffer for reuse by a later [`Memory::alloc_buffer`]. The
     /// id stays valid (the storage is retained) but its contents may be
-    /// overwritten by the next allocation of the same size.
+    /// overwritten by the next allocation of the same size. The buffer's
+    /// byte charge is returned to the ledger and dropped from
+    /// [`Memory::live_bytes`].
     pub fn release_buffer(&mut self, buf: BufId) {
         if !self.free.contains(&buf) {
             self.free.push(buf);
+            let idx = buf.0 as usize;
+            let bytes = self.charged.get(idx).copied().unwrap_or(0);
+            if let Some(c) = self.charged.get_mut(idx) {
+                *c = 0;
+            }
+            self.live_bytes = self.live_bytes.saturating_sub(bytes);
+            if let Some(b) = &self.budget {
+                b.release(bytes);
+            }
         }
     }
 
@@ -217,6 +329,17 @@ impl Memory {
     }
 }
 
+impl Drop for Memory {
+    /// Return every outstanding charge to the ledger: an arena dying with
+    /// live buffers (a completed run, a failed rank body) must not strand
+    /// bytes in a shared budget.
+    fn drop(&mut self) {
+        if let Some(b) = &self.budget {
+            b.release(self.live_bytes);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,6 +373,55 @@ mod tests {
         assert_eq!(m.read_scalar(s), Scalar::I32(4));
         m.write_scalar(s, Scalar::F64(1.0));
         assert_eq!(m.read_scalar(s), Scalar::F64(1.0));
+    }
+
+    #[test]
+    fn accounting_charges_releases_and_recharges_on_reuse() {
+        let budget = MemoryBudget::limited(8 * 16);
+        let mut m = Memory::with_budget(budget.clone());
+        let a = m.try_alloc_buffer(10).unwrap();
+        assert_eq!(m.live_bytes(), 80);
+        assert_eq!(budget.used(), 80);
+        // Over-budget allocation fails cleanly and leaves the arena intact.
+        let err = m.try_alloc_buffer(7).unwrap_err();
+        assert!(err.diagnostics[0].render().contains("E0805"), "{err}");
+        assert_eq!(m.live_bytes(), 80);
+        assert_eq!(budget.used(), 80);
+        // Release returns the bytes; reuse of the freed storage re-charges.
+        m.release_buffer(a);
+        assert_eq!(m.live_bytes(), 0);
+        assert_eq!(budget.used(), 0);
+        let b = m.try_alloc_buffer(10).unwrap();
+        assert_eq!(b, a, "same-size allocation reuses the freed storage");
+        assert_eq!(m.live_bytes(), 80);
+        assert_eq!(m.peak_bytes(), 80, "peak never exceeded one live buffer");
+        // Double release is idempotent.
+        m.release_buffer(b);
+        m.release_buffer(b);
+        assert_eq!(m.live_bytes(), 0);
+        assert_eq!(budget.used(), 0);
+    }
+
+    #[test]
+    fn ungoverned_memory_still_tracks_live_and_peak() {
+        let mut m = Memory::new();
+        let a = m.alloc_buffer(4);
+        let _b = m.alloc_buffer(8);
+        assert_eq!(m.live_bytes(), 96);
+        assert_eq!(m.peak_bytes(), 96);
+        m.release_buffer(a);
+        assert_eq!(m.live_bytes(), 64);
+        assert_eq!(m.peak_bytes(), 96, "peak is monotone");
+    }
+
+    #[test]
+    fn checked_strides_reject_overflow_with_coded_diagnostic() {
+        assert_eq!(
+            checked_column_major_strides(&[4, 5, 6]).unwrap(),
+            vec![1, 4, 20]
+        );
+        let err = checked_column_major_strides(&[i64::MAX, i64::MAX]).unwrap_err();
+        assert!(err.diagnostics[0].render().contains("E0807"), "{err}");
     }
 
     #[test]

@@ -246,6 +246,18 @@ pub mod codes {
     /// while holding the request; the supervisor answered the client and
     /// respawned the worker.
     pub const SERVER_WORKER_CRASH: &str = "E0804";
+    /// Memory budget exhausted: a buffer allocation would exceed the
+    /// request's byte ledger (or the host refused the reservation), so the
+    /// request fails with a coded error instead of aborting the process.
+    pub const MEM_BUDGET: &str = "E0805";
+    /// Compile server rejected a request at admission: its static memory
+    /// estimate could not be reserved against the server-wide budget, even
+    /// after memory-pressure degradation and a bounded parking wait.
+    pub const SERVER_MEM_REJECT: &str = "E0806";
+    /// Extent arithmetic overflowed while computing a buffer or view size
+    /// (element counts near `usize::MAX`); the computation is rejected with
+    /// a coded error instead of wrapping silently.
+    pub const EXTENT_OVERFLOW: &str = "E0807";
 
     /// One-line description of a code, for docs and `--explain`-style
     /// output. Returns `None` for unknown codes.
@@ -287,6 +299,9 @@ pub mod codes {
             "E0802" => "malformed or unsupported server request",
             "E0803" => "compile server deadline exceeded; slot reclaimed",
             "E0804" => "compile server worker crashed; worker respawned",
+            "E0805" => "allocation denied: memory budget exhausted",
+            "E0806" => "compile server rejected request: memory reservation unavailable",
+            "E0807" => "extent arithmetic overflow in size computation",
             _ => return None,
         })
     }
@@ -296,7 +311,7 @@ pub mod codes {
         "E0001", "E0002", "E0101", "E0102", "E0103", "E0104", "E0105", "E0201", "E0202", "E0203",
         "E0204", "E0205", "E0206", "E0207", "E0208", "E0301", "E0302", "E0303", "E0304", "E0305",
         "E0401", "E0402", "E0501", "E0502", "E0503", "E0504", "E0505", "E0601", "E0602", "E0701",
-        "E0702", "E0703", "E0801", "E0802", "E0803", "E0804",
+        "E0702", "E0703", "E0801", "E0802", "E0803", "E0804", "E0805", "E0806", "E0807",
     ];
 }
 
@@ -329,6 +344,19 @@ mod tests {
             assert!(seen.insert(c), "{c} listed twice");
         }
         assert!(codes::describe("E9999").is_none());
+    }
+
+    #[test]
+    fn readme_registry_covers_every_code() {
+        // The README's error-code table is the human-facing registry;
+        // adding a code without documenting it there fails here.
+        let readme = include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md"));
+        for &c in codes::ALL {
+            assert!(
+                readme.contains(&format!("`{c}`")),
+                "{c} is registered but missing from the README error-code table"
+            );
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! fsc-serve --socket /tmp/fsc.sock [--workers N] [--queue N] [--plan-cache FILE]
-//!           [--deadline-ms N] [--brownout L1,L2]
+//!           [--deadline-ms N] [--brownout L1,L2] [--mem-budget BYTES[K|M|G]]
 //! ```
 //!
 //! This binary is the *only* place on the server side that consults the
@@ -15,10 +15,26 @@ use std::time::Duration;
 
 use fsc_serve::{Server, ServerConfig};
 
+/// Parse a byte count with an optional K/M/G suffix (powers of 1024).
+fn parse_bytes(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let (digits, shift) = match s.chars().last()? {
+        'k' | 'K' => (&s[..s.len() - 1], 10),
+        'm' | 'M' => (&s[..s.len() - 1], 20),
+        'g' | 'G' => (&s[..s.len() - 1], 30),
+        _ => (s, 0),
+    };
+    digits
+        .parse::<u64>()
+        .ok()
+        .and_then(|n| n.checked_mul(1u64 << shift))
+        .filter(|&b| b > 0)
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: fsc-serve [--socket PATH] [--workers N] [--queue N] [--plan-cache FILE]\n\
-         \x20                [--deadline-ms N] [--brownout L1,L2]\n\
+         \x20                [--deadline-ms N] [--brownout L1,L2] [--mem-budget BYTES[K|M|G]]\n\
          \n\
          Starts the compile server on a Unix socket (default: fsc-serve.sock\n\
          in the system temp directory) and serves line-delimited JSON\n\
@@ -28,7 +44,10 @@ fn usage() -> ! {
          \x20              their own deadline_ms (E0803 on overrun)\n\
          --brownout     queue-occupancy fractions (e.g. 0.5,0.8) at which\n\
          \x20              degradation levels 1 (no autotune) and 2 (reduced\n\
-         \x20              rung) engage"
+         \x20              rung) engage\n\
+         --mem-budget   server-wide run-memory budget (e.g. 256M); every\n\
+         \x20              run request reserves its attested estimate or is\n\
+         \x20              answered E0806 after squeeze + bounded park"
     );
     std::process::exit(2);
 }
@@ -54,6 +73,13 @@ fn main() {
             "--deadline-ms" => {
                 let ms: u64 = value("--deadline-ms").parse().unwrap_or_else(|_| usage());
                 config.default_deadline = Duration::from_millis(ms.max(1));
+            }
+            "--mem-budget" => {
+                let spec = value("--mem-budget");
+                config.mem_budget = Some(parse_bytes(&spec).unwrap_or_else(|| {
+                    eprintln!("error: bad --mem-budget '{spec}' (expected BYTES[K|M|G])");
+                    usage()
+                }));
             }
             "--brownout" => {
                 let spec = value("--brownout");

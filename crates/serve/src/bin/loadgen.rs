@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! loadgen [--requests N] [--clients N] [--socket PATH] [--smoke]
-//!         [--chaos] [--seed N]
+//!         [--chaos] [--mem] [--seed N]
 //! ```
 //!
 //! Without `--socket` the generator self-hosts a server inside this
@@ -39,6 +39,18 @@
 //!
 //! A fixed `--seed` pins each site's decision stream, so fault density is
 //! reproducible run-to-run.
+//!
+//! ## `--mem`: the memory-governance soak
+//!
+//! Self-hosts a server with a hard `--mem-budget` and mixes over-budget
+//! *giants* (a program whose attested estimate is more than double the
+//! budget) into normal traffic. Asserts the DESIGN.md §12 contract:
+//! every giant is answered **exactly once** with the coded `E0806`
+//! rejection, every normal request completes bit-identically with its
+//! attested `est_bytes` bounding its measured `peak_bytes`, the server's
+//! reservation ledger drains back to zero, and no worker dies. CI runs
+//! this under `ulimit -v`, so an accounting hole becomes a hard
+//! allocator failure rather than a missed assertion.
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -111,6 +123,20 @@ fn shapes() -> Vec<Shape> {
             autotune: true,
         },
     ]
+}
+
+/// Ground truth per shape: direct in-process library runs, no server
+/// involved. Both soaks compare server checksums against these.
+fn reference_checksums(shapes: &[Shape]) -> Vec<u64> {
+    shapes
+        .iter()
+        .map(|s| {
+            let target = fsc_serve::parse_target(s.target).expect("loadgen target grammar");
+            let exec = Compiler::run(&s.source, &CompileOptions::for_target(target))
+                .expect("reference run must succeed");
+            checksum_arrays(&exec, &["u".to_string()])
+        })
+        .collect()
 }
 
 struct Outcome {
@@ -301,19 +327,7 @@ fn chaos_soak(requests: usize, clients: usize, seed: u64) -> i32 {
     let _ = std::fs::create_dir_all(&scratch);
     let socket_path = scratch.join("serve.sock");
     let shapes = Arc::new(shapes());
-
-    // Ground truth: direct in-process library runs, no server involved.
-    let reference: Arc<Vec<u64>> = Arc::new(
-        shapes
-            .iter()
-            .map(|s| {
-                let target = fsc_serve::parse_target(s.target).expect("loadgen target grammar");
-                let exec = Compiler::run(&s.source, &CompileOptions::for_target(target))
-                    .expect("reference run must succeed");
-                checksum_arrays(&exec, &["u".to_string()])
-            })
-            .collect(),
-    );
+    let reference = Arc::new(reference_checksums(&shapes));
 
     let config = ServerConfig {
         queue_depth: 16,
@@ -441,12 +455,14 @@ fn chaos_soak(requests: usize, clients: usize, seed: u64) -> i32 {
             .unwrap_or(0.0)
     };
     println!(
-        "chaos: injected — panics {}  slow {}  truncations {}  cache-corruptions {}  purges {}",
+        "chaos: injected — panics {}  slow {}  truncations {}  cache-corruptions {}  purges {}  \
+         mem-pressures {}",
         injected.panics,
         injected.slow_compiles,
         injected.truncations,
         injected.cache_corruptions,
         injected.artifact_purges,
+        injected.mem_pressures,
     );
     println!(
         "chaos: server — crashes {:.0}  deadline-kills {:.0}  late-completions {:.0}  \
@@ -497,6 +513,7 @@ fn chaos_soak(requests: usize, clients: usize, seed: u64) -> i32 {
         ("frame-truncation", injected.truncations),
         ("cache-corruption", injected.cache_corruptions),
         ("artifact-purge", injected.artifact_purges),
+        ("mem-pressure", injected.mem_pressures),
     ] {
         if count == 0 {
             fail(&format!("chaos site '{name}' never fired — vacuous soak"));
@@ -514,12 +531,365 @@ fn chaos_soak(requests: usize, clients: usize, seed: u64) -> i32 {
     verdict
 }
 
+/// Server budget for the memory soak: small enough that the giant shape
+/// can never fit, large enough that the whole normal mix runs untouched.
+const MEM_SOAK_BUDGET: u64 = 256 << 20;
+
+/// Per-request budget for giants: long enough to observe the bounded
+/// park, short enough that rejected giants do not dominate wall-clock.
+const MEM_GIANT_DEADLINE_MS: u64 = 400;
+
+/// Every tenth-ish request is a giant (request index mod 10 == 3).
+fn is_giant(i: usize) -> bool {
+    i % 10 == 3
+}
+
+struct MemCounts {
+    ok: AtomicU64,
+    failed: AtomicU64,
+    mismatches: AtomicU64,
+    peak_violations: AtomicU64,
+    giant_rejected: AtomicU64,
+    giant_bad: AtomicU64,
+    retries: AtomicU64,
+    reconnects: AtomicU64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn drive_mem_client(
+    socket: &Path,
+    indices: Vec<usize>,
+    shapes: &[Shape],
+    reference: &[u64],
+    giant_source: &str,
+    seed: u64,
+    counts: &MemCounts,
+) {
+    let mut client = ResilientClient::new(
+        socket,
+        RetryPolicy {
+            max_attempts: 12,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(200),
+            seed,
+        },
+    );
+    for i in indices {
+        if is_giant(i) {
+            // A giant must be answered exactly once with the coded
+            // memory rejection — never served, never silently dropped.
+            match client.run(giant_source, "cpu", false, &[], Some(MEM_GIANT_DEADLINE_MS)) {
+                Ok(v) => {
+                    let ok = v.get("ok").and_then(Json::as_bool) == Some(true);
+                    let code = v.get("code").and_then(Json::as_str);
+                    if !ok && code == Some("E0806") {
+                        counts.giant_rejected.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        counts.giant_bad.fetch_add(1, Ordering::Relaxed);
+                        eprintln!("mem: giant {i} answered wrongly: {}", v.render());
+                    }
+                }
+                Err(e) => {
+                    counts.giant_bad.fetch_add(1, Ordering::Relaxed);
+                    eprintln!("mem: giant {i} gave up: {e}");
+                }
+            }
+            continue;
+        }
+        let slot = i % shapes.len();
+        let shape = &shapes[slot];
+        match client.run(&shape.source, shape.target, shape.autotune, &["u"], None) {
+            Ok(v) if v.get("ok").and_then(Json::as_bool) == Some(true) => {
+                let checksum = v.get("checksum").and_then(Json::as_str).unwrap_or("");
+                if checksum != format!("{:016x}", reference[slot]) {
+                    counts.mismatches.fetch_add(1, Ordering::Relaxed);
+                    eprintln!(
+                        "mem: request {i} ({}) checksum {checksum} != reference {:016x}",
+                        shape.label, reference[slot]
+                    );
+                } else {
+                    counts.ok.fetch_add(1, Ordering::Relaxed);
+                }
+                // The attestation contract: the static estimate bounds
+                // the measured high-water mark for every admitted run.
+                let est = v.get("est_bytes").and_then(Json::as_f64);
+                let peak = v.get("peak_bytes").and_then(Json::as_f64);
+                match (est, peak) {
+                    (Some(e), Some(p)) if p <= e && e > 0.0 => {}
+                    _ => {
+                        counts.peak_violations.fetch_add(1, Ordering::Relaxed);
+                        eprintln!(
+                            "mem: request {i} ({}) attestation violated: est {est:?} peak {peak:?}",
+                            shape.label
+                        );
+                    }
+                }
+            }
+            Ok(v) => {
+                counts.failed.fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "mem: request {i} ({}) definitive failure: {}",
+                    shape.label,
+                    v.render()
+                );
+            }
+            Err(e) => {
+                counts.failed.fetch_add(1, Ordering::Relaxed);
+                eprintln!("mem: request {i} ({}) gave up: {e}", shape.label);
+            }
+        }
+    }
+    counts
+        .retries
+        .fetch_add(client.retries(), Ordering::Relaxed);
+    counts
+        .reconnects
+        .fetch_add(client.reconnects(), Ordering::Relaxed);
+}
+
+/// The memory-governance soak. Self-hosts a server under a hard
+/// `--mem-budget` and mixes over-budget giants into normal traffic,
+/// asserting the §12 contract: every giant gets exactly one coded
+/// `E0806`, every normal request completes bit-identically with its
+/// attested estimate bounding its measured peak, the reservation ledger
+/// drains to zero, and no worker dies. Run under `ulimit -v` in CI so an
+/// accounting hole would surface as a real allocator failure, not just a
+/// failed assertion. Returns the process exit code.
+fn mem_soak(requests: usize, clients: usize, seed: u64) -> i32 {
+    let scratch = std::env::temp_dir().join(format!("fsc-memsoak-{}", std::process::id()));
+    let _ = std::fs::create_dir_all(&scratch);
+    let socket_path = scratch.join("serve.sock");
+    let shapes = Arc::new(shapes());
+    let reference = Arc::new(reference_checksums(&shapes));
+    // The giant: two (n+2)³ double-precision arrays ≈ 534 MB estimated,
+    // more than double the 256 MiB server budget, so no squeeze rung can
+    // make it fit and admission must answer E0806.
+    let giant_source = Arc::new(fsc_workloads::gauss_seidel::fortran_source(320, 1));
+
+    let config = ServerConfig {
+        queue_depth: 32,
+        default_deadline: Duration::from_secs(5),
+        plan_cache: Some(scratch.join("plans.json")),
+        mem_budget: Some(MEM_SOAK_BUDGET),
+        ..ServerConfig::default()
+    };
+    let mut server = Server::start(&socket_path, config).unwrap_or_else(|e| {
+        eprintln!("mem: could not self-host server: {e}");
+        std::process::exit(1);
+    });
+
+    let giants_issued = (0..requests).filter(|&i| is_giant(i)).count() as u64;
+    let normals_issued = requests as u64 - giants_issued;
+    println!(
+        "mem: seed {seed}, {requests} requests ({giants_issued} giants), {clients} clients, \
+         budget {} MiB",
+        MEM_SOAK_BUDGET >> 20
+    );
+    let counts = Arc::new(MemCounts {
+        ok: AtomicU64::new(0),
+        failed: AtomicU64::new(0),
+        mismatches: AtomicU64::new(0),
+        peak_violations: AtomicU64::new(0),
+        giant_rejected: AtomicU64::new(0),
+        giant_bad: AtomicU64::new(0),
+        retries: AtomicU64::new(0),
+        reconnects: AtomicU64::new(0),
+    });
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let indices: Vec<usize> = (0..requests).skip(c).step_by(clients).collect();
+            let (shapes, reference, giant_source, counts, socket_path) = (
+                shapes.clone(),
+                reference.clone(),
+                giant_source.clone(),
+                counts.clone(),
+                socket_path.clone(),
+            );
+            let client_seed = seed ^ (c as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            std::thread::spawn(move || {
+                drive_mem_client(
+                    &socket_path,
+                    indices,
+                    &shapes,
+                    &reference,
+                    &giant_source,
+                    client_seed,
+                    &counts,
+                )
+            })
+        })
+        .collect();
+    for h in handles {
+        let _ = h.join();
+    }
+    let storm_wall = t0.elapsed();
+
+    let (ok, failed, mismatches, peak_violations, giant_rejected, giant_bad) = (
+        counts.ok.load(Ordering::Relaxed),
+        counts.failed.load(Ordering::Relaxed),
+        counts.mismatches.load(Ordering::Relaxed),
+        counts.peak_violations.load(Ordering::Relaxed),
+        counts.giant_rejected.load(Ordering::Relaxed),
+        counts.giant_bad.load(Ordering::Relaxed),
+    );
+    println!(
+        "mem: storm done in {:.2} s — ok {ok}  failed {failed}  mismatches {mismatches}  \
+         peak-violations {peak_violations}  giants rejected {giant_rejected} / bad {giant_bad}  \
+         retries {}  reconnects {}",
+        storm_wall.as_secs_f64(),
+        counts.retries.load(Ordering::Relaxed),
+        counts.reconnects.load(Ordering::Relaxed),
+    );
+
+    // Clean drain: queue, in-flight, and the reservation ledger must all
+    // reach zero — a leaked reservation would show up here forever.
+    let mut drained = false;
+    let mut ledger_drained = false;
+    let drain_t0 = Instant::now();
+    while drain_t0.elapsed() < Duration::from_secs(15) {
+        let stats = Client::connect(&socket_path)
+            .ok()
+            .and_then(|mut c| c.stats().ok());
+        if let Some(s) = stats {
+            let depth = s.get("queue_depth").and_then(Json::as_f64).unwrap_or(-1.0);
+            let inflight = s.get("inflight").and_then(Json::as_f64).unwrap_or(-1.0);
+            let reserved = s
+                .get("mem_reserved_bytes")
+                .and_then(Json::as_f64)
+                .unwrap_or(-1.0);
+            if depth == 0.0 && inflight == 0.0 {
+                drained = true;
+                ledger_drained = reserved == 0.0;
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // Post-storm: every normal shape must still serve bit-identically.
+    let mut post_ok = true;
+    match Client::connect(&socket_path) {
+        Ok(mut c) => {
+            for (slot, shape) in shapes.iter().enumerate() {
+                match c.run(&shape.source, shape.target, shape.autotune, &["u"]) {
+                    Ok(v) if v.get("ok").and_then(Json::as_bool) == Some(true) => {
+                        let checksum = v.get("checksum").and_then(Json::as_str).unwrap_or("");
+                        if checksum != format!("{:016x}", reference[slot]) {
+                            eprintln!(
+                                "mem: post-soak {} checksum {checksum} != {:016x}",
+                                shape.label, reference[slot]
+                            );
+                            post_ok = false;
+                        }
+                    }
+                    other => {
+                        eprintln!("mem: post-soak {} failed: {other:?}", shape.label);
+                        post_ok = false;
+                    }
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("mem: post-soak connect failed: {e}");
+            post_ok = false;
+        }
+    }
+
+    let stats = Client::connect(&socket_path)
+        .ok()
+        .and_then(|mut c| c.stats().ok());
+    let stat = |key: &str| -> f64 {
+        stats
+            .as_ref()
+            .and_then(|s| s.get(key))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0)
+    };
+    println!(
+        "mem: server — rejected(E0806) {:.0}  parked {:.0}  squeezes {:.0}  \
+         ledger peak {:.1} MiB  crashes {:.0}  deadline-kills {:.0}",
+        stat("mem_rejected"),
+        stat("mem_parked"),
+        stat("mem_squeezes"),
+        stat("mem_peak_bytes") / (1024.0 * 1024.0),
+        stat("worker_crashes"),
+        stat("deadline_kills"),
+    );
+
+    let stop_t0 = Instant::now();
+    server.stop();
+    let stop_wall = stop_t0.elapsed();
+    println!("mem: stop() joined in {:.2} s", stop_wall.as_secs_f64());
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let mut verdict = 0;
+    let mut fail = |msg: &str| {
+        eprintln!("mem: FAILED — {msg}");
+        verdict = 1;
+    };
+    if failed > 0 {
+        fail(&format!("{failed} normal requests never reached a success"));
+    }
+    if mismatches > 0 {
+        fail(&format!(
+            "{mismatches} checksum mismatches under memory pressure"
+        ));
+    }
+    if peak_violations > 0 {
+        fail(&format!(
+            "{peak_violations} admitted runs exceeded (or lacked) their attested estimate"
+        ));
+    }
+    if giant_bad > 0 {
+        fail(&format!(
+            "{giant_bad} giants were not answered with the coded E0806 rejection"
+        ));
+    }
+    if ok + failed + mismatches != normals_issued {
+        fail("normal-request accounting does not add up");
+    }
+    if giant_rejected + giant_bad != giants_issued {
+        fail("giant-request accounting does not add up");
+    }
+    if giants_issued > 0 && stat("mem_rejected") == 0.0 {
+        fail("server never rejected on memory — vacuous soak");
+    }
+    if giants_issued > 0 && stat("mem_parked") == 0.0 {
+        fail("no request ever parked for memory — vacuous soak");
+    }
+    if stat("worker_crashes") > 0.0 {
+        fail("a worker died under memory pressure");
+    }
+    if !drained {
+        fail("queue/in-flight did not drain to zero after the storm");
+    }
+    if !ledger_drained {
+        fail("the memory ledger did not drain to zero after the storm");
+    }
+    if !post_ok {
+        fail("post-soak verification was not bit-identical");
+    }
+    if stop_wall > Duration::from_secs(30) {
+        fail("stop() exceeded its hard bound");
+    }
+    if verdict == 0 {
+        println!(
+            "mem: OK — {requests} requests under a {} MiB budget: every giant coded E0806, \
+             every admitted run bit-identical within its attested estimate, ledger drained",
+            MEM_SOAK_BUDGET >> 20
+        );
+    }
+    verdict
+}
+
 fn main() {
     let mut requests: Option<usize> = None;
     let mut clients = 16usize;
     let mut socket: Option<PathBuf> = None;
     let mut smoke = false;
     let mut chaos = false;
+    let mut mem = false;
     let mut seed = 0x5eed_cafe_u64;
 
     let mut args = std::env::args().skip(1);
@@ -530,6 +900,7 @@ fn main() {
             "--socket" => socket = args.next().map(PathBuf::from),
             "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
             "--chaos" => chaos = true,
+            "--mem" => mem = true,
             "--smoke" => {
                 smoke = true;
                 clients = 8;
@@ -537,7 +908,7 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: loadgen [--requests N] [--clients N] [--socket PATH] [--smoke] \
-                     [--chaos] [--seed N]"
+                     [--chaos] [--mem] [--seed N]"
                 );
                 std::process::exit(2);
             }
@@ -555,6 +926,12 @@ fn main() {
         // vacuous site.
         let requests = requests.unwrap_or(if smoke { 500 } else { 1000 }).max(500);
         std::process::exit(chaos_soak(requests, clients, seed));
+    }
+    if mem {
+        // Same ≥500 floor: with one giant per ten requests, a short storm
+        // would under-sample the reject/park/squeeze admission paths.
+        let requests = requests.unwrap_or(if smoke { 500 } else { 1000 }).max(500);
+        std::process::exit(mem_soak(requests, clients, seed));
     }
     let requests = requests.unwrap_or(if smoke { 200 } else { 2000 });
 

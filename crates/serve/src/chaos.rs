@@ -63,6 +63,13 @@ pub struct ChaosPlan {
     pub corrupt_cache_prob: f64,
     /// Probability a job pick-up purges the in-memory artifact cache.
     pub purge_artifacts_prob: f64,
+    /// Probability a job's *first* memory-reservation attempt is forced to
+    /// fail as if the server ledger were exhausted — the admission path
+    /// must squeeze (shed autotune scratch / reduce the rung) or answer a
+    /// coded `E0806`, never abort. Makes memory-pressure handling
+    /// non-vacuous even when the configured budget is never organically
+    /// hit.
+    pub mem_pressure_prob: f64,
 }
 
 impl ChaosPlan {
@@ -76,6 +83,7 @@ impl ChaosPlan {
             truncate_prob: 0.0,
             corrupt_cache_prob: 0.0,
             purge_artifacts_prob: 0.0,
+            mem_pressure_prob: 0.0,
         }
     }
 
@@ -91,6 +99,7 @@ impl ChaosPlan {
             truncate_prob: 0.03,
             corrupt_cache_prob: 0.02,
             purge_artifacts_prob: 0.02,
+            mem_pressure_prob: 0.05,
         }
     }
 }
@@ -108,6 +117,8 @@ pub struct ChaosStats {
     pub cache_corruptions: u64,
     /// Artifact-cache purges injected.
     pub artifact_purges: u64,
+    /// Forced memory-reservation failures injected.
+    pub mem_pressures: u64,
 }
 
 impl ChaosStats {
@@ -118,6 +129,7 @@ impl ChaosStats {
             + self.truncations
             + self.cache_corruptions
             + self.artifact_purges
+            + self.mem_pressures
     }
 }
 
@@ -179,6 +191,7 @@ pub struct ChaosInjector {
     truncate: Site,
     corrupt_cache: Site,
     purge_artifacts: Site,
+    mem_pressure: Site,
 }
 
 impl ChaosInjector {
@@ -192,6 +205,7 @@ impl ChaosInjector {
             truncate: Site::new(seed, 3),
             corrupt_cache: Site::new(seed, 4),
             purge_artifacts: Site::new(seed, 5),
+            mem_pressure: Site::new(seed, 6),
             plan,
         }
     }
@@ -245,6 +259,11 @@ impl ChaosInjector {
         self.on(&self.purge_artifacts, self.plan.purge_artifacts_prob)
     }
 
+    /// Should this job's first memory reservation be forced to fail?
+    pub fn mem_pressure(&self) -> bool {
+        self.on(&self.mem_pressure, self.plan.mem_pressure_prob)
+    }
+
     /// Snapshot of what has been injected so far.
     pub fn stats(&self) -> ChaosStats {
         ChaosStats {
@@ -253,6 +272,7 @@ impl ChaosInjector {
             truncations: self.truncate.hits.load(Ordering::Relaxed),
             cache_corruptions: self.corrupt_cache.hits.load(Ordering::Relaxed),
             artifact_purges: self.purge_artifacts.hits.load(Ordering::Relaxed),
+            mem_pressures: self.mem_pressure.hits.load(Ordering::Relaxed),
         }
     }
 }
@@ -297,6 +317,7 @@ mod tests {
             truncate_prob: 1.0,
             corrupt_cache_prob: 1.0,
             purge_artifacts_prob: 1.0,
+            mem_pressure_prob: 1.0,
             ..ChaosPlan::soak(1)
         });
         assert!(inj.worker_panic());
@@ -306,6 +327,7 @@ mod tests {
         assert!(!inj.truncate_frame());
         assert!(!inj.corrupt_cache());
         assert!(!inj.purge_artifacts());
+        assert!(!inj.mem_pressure());
         assert_eq!(inj.stats().total(), 1, "disarmed sites must not count");
     }
 

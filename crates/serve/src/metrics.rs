@@ -128,6 +128,15 @@ pub struct ServerMetrics {
     /// Queued jobs answered with a coded rejection during shutdown drain
     /// because no worker remained to run them.
     pub drain_flushed: AtomicU64,
+    /// Requests rejected `E0806`: their memory estimate could not be
+    /// reserved against the server budget even after squeeze + park.
+    pub mem_rejected: AtomicU64,
+    /// Requests that parked waiting for memory reservations to free up
+    /// (whether or not they were eventually admitted).
+    pub mem_parked: AtomicU64,
+    /// Requests recompiled in their lean form (no autotune, reduced rung)
+    /// because their full-service estimate was denied reservation.
+    pub mem_squeezes: AtomicU64,
     /// Time from admission to response written.
     pub latency: LatencyHistogram,
     /// Time a request sat queued before a worker picked it up.

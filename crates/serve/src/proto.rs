@@ -217,6 +217,24 @@ pub fn crash_response(id: i64) -> String {
     )
 }
 
+/// The stable memory-admission rejection: the request's attested memory
+/// estimate cannot be reserved against the server budget even after the
+/// squeeze rung and a bounded park. **Not** retryable on this server — a
+/// request this size will keep failing until the budget is raised.
+pub fn mem_reject_response(id: i64, est_bytes: u64, budget_bytes: Option<u64>) -> String {
+    let budget = budget_bytes
+        .map(|b| format!("{b} byte server budget"))
+        .unwrap_or_else(|| "unbounded server budget".to_string());
+    error_response(
+        id,
+        codes::SERVER_MEM_REJECT,
+        &format!(
+            "memory reservation unavailable ({est_bytes} bytes estimated, {budget}); \
+             not retryable here — raise --mem-budget or shrink the program"
+        ),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

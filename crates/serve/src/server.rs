@@ -86,7 +86,7 @@ use fsc_core::{
 };
 use fsc_exec::autotune;
 use fsc_exec::plancache::resolve_cache_path;
-use fsc_exec::TuneConfig;
+use fsc_exec::{MemoryBudget, TuneConfig};
 use fsc_ir::diag::codes;
 use fsc_ir::json::{Json, ObjBuilder};
 
@@ -94,7 +94,8 @@ use crate::chaos::{ChaosInjector, ChaosPlan};
 use crate::checksum_arrays;
 use crate::metrics::ServerMetrics;
 use crate::proto::{
-    busy_response, crash_response, deadline_response, error_response, CompileSpec, Op, Request,
+    busy_response, crash_response, deadline_response, error_response, mem_reject_response,
+    CompileSpec, Op, Request,
 };
 
 /// Server tuning knobs.
@@ -138,6 +139,13 @@ pub struct ServerConfig {
     /// Optional seeded chaos plan — armed at start, disarmable at runtime
     /// via [`Server::chaos`].
     pub chaos: Option<ChaosPlan>,
+    /// Server-wide run-memory budget in bytes (`None` = unbounded). Every
+    /// run request must reserve its attested [`fsc_exec::MemoryEstimate`]
+    /// on this ledger before executing; a reservation that cannot be made
+    /// even after the squeeze rung and a bounded park is answered `E0806`.
+    /// Reserved-fraction also feeds the brownout ladder, so memory
+    /// pressure sheds cost (autotune, rung) before it sheds requests.
+    pub mem_budget: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -157,6 +165,7 @@ impl Default for ServerConfig {
             brownout_l1: 0.5,
             brownout_l2: 0.8,
             chaos: None,
+            mem_budget: None,
         }
     }
 }
@@ -245,6 +254,9 @@ struct ServerInner {
     workers: Mutex<Vec<WorkerSlot>>,
     next_worker: AtomicU64,
     chaos: Option<Arc<ChaosInjector>>,
+    /// Server-wide run-memory reservation ledger (see
+    /// [`ServerConfig::mem_budget`]).
+    mem_ledger: Arc<MemoryBudget>,
 }
 
 /// A running compile server. Dropping it (or calling [`Server::stop`])
@@ -281,9 +293,14 @@ impl Server {
                 }
             })));
         }
+        let mem_ledger = match config.mem_budget {
+            Some(bytes) => MemoryBudget::limited(bytes.max(1)),
+            None => MemoryBudget::unlimited(),
+        };
         let inner = Arc::new(ServerInner {
             plan_cache_path: resolve_cache_path(config.plan_cache.as_deref()),
             service,
+            mem_ledger,
             config,
             queue: Mutex::new(VecDeque::new()),
             work_ready: Condvar::new(),
@@ -585,6 +602,17 @@ fn brownout_level(config: &ServerConfig, occupancy: f64) -> BrownoutLevel {
     }
 }
 
+/// Fraction of the server memory budget currently reserved (0.0 when the
+/// budget is unbounded). Feeds the same brownout thresholds as queue
+/// occupancy: a mostly-reserved ledger sheds autotune and rungs before
+/// the admission path has to start rejecting `E0806`.
+fn mem_occupancy(inner: &ServerInner) -> f64 {
+    match inner.mem_ledger.limit() {
+        Some(limit) if limit > 0 => inner.mem_ledger.used() as f64 / limit as f64,
+        _ => 0.0,
+    }
+}
+
 /// Parse, then either answer inline (ping/stats/shutdown/protocol error/
 /// admission rejection) or enqueue for the worker pool.
 fn handle_line(line: &str, reply: &Arc<Mutex<UnixStream>>, inner: &Arc<ServerInner>) {
@@ -665,7 +693,9 @@ fn handle_line(line: &str, reply: &Arc<Mutex<UnixStream>>, inner: &Arc<ServerInn
                 return;
             }
             let occupancy = (queue.len() + 1) as f64 / inner.config.queue_depth.max(1) as f64;
-            let brownout = brownout_level(&inner.config, occupancy);
+            // Memory pressure browns out on the same ladder: the request
+            // is served leaner while reservations are scarce.
+            let brownout = brownout_level(&inner.config, occupancy.max(mem_occupancy(inner)));
             match brownout {
                 BrownoutLevel::Normal => {}
                 BrownoutLevel::NoAutotune => {
@@ -918,6 +948,105 @@ fn supervisor_loop(inner: &Arc<ServerInner>) {
     }
 }
 
+/// An admitted run's reservation on the server-wide memory ledger. RAII:
+/// every exit path (including a chaos-injected worker panic mid-run)
+/// refunds the reservation, so the ledger can never leak bytes.
+struct MemReservation {
+    ledger: Arc<MemoryBudget>,
+    bytes: u64,
+}
+
+impl Drop for MemReservation {
+    fn drop(&mut self) {
+        self.ledger.release(self.bytes);
+    }
+}
+
+/// The memory-pressure squeeze: the same program compiled to its leanest
+/// admissible form — no autotune sweep (no calibration scratch in the
+/// estimate) and the cheaper scf rung (bit-identical results, DESIGN.md
+/// §7). Applied when the full-service estimate fails reservation, before
+/// parking or rejecting.
+fn squeeze_request(request: &CompileRequest) -> CompileRequest {
+    let mut lean = request.clone();
+    lean.options.autotune = None;
+    if !matches!(lean.options.target, Target::FlangOnly) {
+        lean.options.force_rung = Some(DegradationRung::ScfFallback);
+    }
+    lean
+}
+
+/// Memory admission for a run job: estimate, reserve on the server
+/// ledger, squeeze, park (bounded by the job's remaining deadline),
+/// reject `E0806`. Returns the (possibly squeezed) outcome, its
+/// estimated bytes, and the held reservation — or the rejection
+/// response.
+fn admit_memory(
+    job: &Job,
+    request: &CompileRequest,
+    outcome: CompileOutcome,
+    inner: &Arc<ServerInner>,
+) -> std::result::Result<(CompileOutcome, u64, MemReservation), Json> {
+    let estimate = |o: &CompileOutcome| o.compiled.estimate().map(|e| e.total().max(1));
+    let mut outcome = outcome;
+    let mut need = match estimate(&outcome) {
+        Ok(n) => n,
+        Err(e) => return Err(error_json(job.id, &e)),
+    };
+    // The chaos memory-pressure site forces the first attempt to fail as
+    // if the ledger were exhausted, driving the squeeze path even when
+    // the configured budget is never organically hit.
+    let chaos_deny = inner.chaos.as_ref().is_some_and(|c| c.mem_pressure());
+    let mut reserved = !chaos_deny && inner.mem_ledger.try_reserve(need).is_ok();
+
+    if !reserved {
+        // Squeeze: recompile lean and retry with the smaller estimate
+        // (kept only when it actually shrinks — a lean recompile of an
+        // already-lean request is free via the artifact cache).
+        inner.metrics.mem_squeezes.fetch_add(1, Ordering::Relaxed);
+        match inner.service.compile(&squeeze_request(request)) {
+            Ok(lean) => match estimate(&lean) {
+                Ok(lean_need) => {
+                    if lean_need <= need {
+                        outcome = lean;
+                        need = lean_need;
+                    }
+                }
+                Err(e) => return Err(error_json(job.id, &e)),
+            },
+            Err(e) => return Err(error_json(job.id, &e)),
+        }
+        reserved = inner.mem_ledger.try_reserve(need).is_ok();
+    }
+
+    if !reserved {
+        // Park: admitted-but-unreservable requests wait (within their
+        // deadline) for in-flight runs to release their reservations,
+        // instead of failing a retryable-looking burst.
+        inner.metrics.mem_parked.fetch_add(1, Ordering::Relaxed);
+        while job.admitted.elapsed() + Duration::from_millis(10) < job.deadline
+            && !job.answered.load(Ordering::SeqCst)
+        {
+            std::thread::sleep(Duration::from_millis(5));
+            if inner.mem_ledger.try_reserve(need).is_ok() {
+                reserved = true;
+                break;
+            }
+        }
+    }
+
+    if !reserved {
+        inner.metrics.mem_rejected.fetch_add(1, Ordering::Relaxed);
+        let line = mem_reject_response(job.id, need, inner.mem_ledger.limit());
+        return Err(Json::parse(&line).expect("mem reject responses are valid JSON"));
+    }
+    let reservation = MemReservation {
+        ledger: inner.mem_ledger.clone(),
+        bytes: need,
+    };
+    Ok((outcome, need, reservation))
+}
+
 /// Compile (and run) one admitted job, producing the response value.
 fn process_job(
     job: &Job,
@@ -929,22 +1058,34 @@ fn process_job(
         Ok(o) => o,
         Err(e) => return error_json(job.id, &e),
     };
+    let Some(arrays) = arrays else {
+        // Compile-only jobs execute nothing: no run-memory admission.
+        return attest(job.id, &outcome, job.brownout).build();
+    };
+    let (outcome, est_bytes, _reservation) = match admit_memory(job, request, outcome, inner) {
+        Ok(admitted) => admitted,
+        Err(response) => return response,
+    };
     let mut b = attest(job.id, &outcome, job.brownout);
-    if let Some(arrays) = arrays {
-        let t0 = Instant::now();
-        let execution = match outcome.compiled.run() {
-            Ok(x) => x,
-            Err(e) => return error_json(job.id, &e),
-        };
-        b = b
-            .num("run_ms", t0.elapsed().as_secs_f64() * 1000.0)
-            .str(
-                "checksum",
-                &format!("{:016x}", checksum_arrays(&execution, arrays)),
-            )
-            .str("rung_ran", execution.report.degradation.ran.describe());
-        b = b.set("arrays", render_arrays(&execution, arrays));
-    }
+    let t0 = Instant::now();
+    // The per-request budget *is* the attested estimate: by construction
+    // the run's measured peak cannot exceed the estimate, or it fails
+    // with a coded E0805 instead of overrunning the reservation.
+    let budget = MemoryBudget::limited(est_bytes);
+    let execution = match outcome.compiled.run_governed(budget) {
+        Ok(x) => x,
+        Err(e) => return error_json(job.id, &e),
+    };
+    b = b
+        .num("run_ms", t0.elapsed().as_secs_f64() * 1000.0)
+        .str(
+            "checksum",
+            &format!("{:016x}", checksum_arrays(&execution, arrays)),
+        )
+        .str("rung_ran", execution.report.degradation.ran.describe())
+        .num("est_bytes", est_bytes as f64)
+        .num("peak_bytes", execution.report.peak_bytes as f64);
+    b = b.set("arrays", render_arrays(&execution, arrays));
     b.build()
 }
 
@@ -1096,6 +1237,21 @@ fn stats_snapshot(inner: &Arc<ServerInner>) -> Json {
             "drain_flushed",
             m.drain_flushed.load(Ordering::Relaxed) as f64,
         )
+        .num(
+            "mem_rejected",
+            m.mem_rejected.load(Ordering::Relaxed) as f64,
+        )
+        .num("mem_parked", m.mem_parked.load(Ordering::Relaxed) as f64)
+        .num(
+            "mem_squeezes",
+            m.mem_squeezes.load(Ordering::Relaxed) as f64,
+        )
+        .num(
+            "mem_budget_bytes",
+            inner.mem_ledger.limit().map(|l| l as f64).unwrap_or(-1.0),
+        )
+        .num("mem_reserved_bytes", inner.mem_ledger.used() as f64)
+        .num("mem_peak_bytes", inner.mem_ledger.peak() as f64)
         .num("compiles", s.compiles as f64)
         .num("dedup_waits", s.dedup_waits as f64)
         .num("artifact_hits", s.artifact_hits as f64)
@@ -1103,6 +1259,10 @@ fn stats_snapshot(inner: &Arc<ServerInner>) -> Json {
         .num("deadline_timeouts", s.deadline_timeouts as f64)
         .num("abandoned_slots", s.abandoned_slots as f64)
         .num("stale_publishes", s.stale_publishes as f64)
+        .num("artifact_bytes", s.artifact_bytes as f64)
+        .num("evicted_artifacts", s.evicted_artifacts as f64)
+        .num("evicted_bytes", s.evicted_bytes as f64)
+        .num("oversize_rejects", s.oversize_rejects as f64)
         .num("inflight", inner.service.inflight_len() as f64)
         .num("reuse_rate", s.reuse_rate())
         .num("plan_hits", plan_hits as f64)
@@ -1120,7 +1280,8 @@ fn stats_snapshot(inner: &Arc<ServerInner>) -> Json {
             .num("chaos_slow_compiles", c.slow_compiles as f64)
             .num("chaos_truncations", c.truncations as f64)
             .num("chaos_cache_corruptions", c.cache_corruptions as f64)
-            .num("chaos_artifact_purges", c.artifact_purges as f64);
+            .num("chaos_artifact_purges", c.artifact_purges as f64)
+            .num("chaos_mem_pressures", c.mem_pressures as f64);
     }
     b.build()
 }
