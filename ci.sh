@@ -44,6 +44,15 @@ echo "== distributed smoke =="
 timeout --kill-after=30s 300s \
   cargo run -q -p fsc-bench --bin fig6_distributed -- --smoke
 
+echo "== scaling smoke =="
+# 1024 virtual ranks on the work-stealing cooperative scheduler over a
+# forced 4-worker pool: the run must stay *measured* (no cost-model
+# fallback), match single-rank serial bit-for-bit, attest non-zero
+# steals, and finish under the binary's wall budget (all asserted inside
+# the binary).
+timeout --kill-after=30s 300s \
+  cargo run -q -p fsc-bench --bin fig7_rank_scaling -- --smoke
+
 echo "== autotune smoke =="
 # Calibration sweep + cache-blocked plan ablation. The sweep threads its
 # own throwaway cache path explicitly (the library never reads

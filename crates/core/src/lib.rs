@@ -27,7 +27,8 @@ use std::time::{Duration, Instant};
 
 use fsc_exec::autotune::{self, TuneConfig, TuningReport};
 use fsc_exec::budget::{MemoryBudget, MemoryEstimate};
-use fsc_exec::distexec::{self, DistOutcome};
+use fsc_exec::distexec::{self, DeepHaloSession, DistOutcome};
+pub use fsc_exec::distexec::{DistMode, DistOptions};
 use fsc_exec::interp::{Interpreter, RegionDispatcher, RunStats};
 use fsc_exec::kernel::{
     self, CompiledKernel, GpuStrategy, HaloSchedule, KernelArg, PlanKind, ViewSource,
@@ -123,6 +124,20 @@ pub struct CompileOptions {
     /// default; turn off to force the blocking schedule (exchange first,
     /// then compute), e.g. for the overlap-vs-blocking ablation.
     pub overlap_halos: bool,
+    /// Distributed targets: ghost-layer depth `k` for the
+    /// `mpi-deep-halos` pass. `1` (the default) is the classic
+    /// exchange-every-sweep flow; `k ≥ 2` widens every halo to `k` layers
+    /// (1-D grids only) so one exchange round feeds `k` consecutive
+    /// dispatches — communication avoidance at identical results.
+    pub halo_depth: u32,
+    /// Distributed targets: worker threads for the cooperative rank
+    /// scheduler. `0` (the default) uses the machine's available
+    /// parallelism.
+    pub dist_workers: usize,
+    /// Distributed targets: ranks per simulated node for hierarchical
+    /// halo aggregation (same-edge messages between two node groups
+    /// coalesce into one envelope). `0` or `1` disables aggregation.
+    pub dist_node_size: usize,
 }
 
 impl Default for CompileOptions {
@@ -135,6 +150,9 @@ impl Default for CompileOptions {
             force_rung: None,
             autotune: None,
             overlap_halos: true,
+            halo_depth: 1,
+            dist_workers: 0,
+            dist_node_size: 0,
         }
     }
 }
@@ -145,6 +163,16 @@ impl CompileOptions {
         Self {
             target,
             ..Self::default()
+        }
+    }
+
+    /// The distributed execution knobs these options select (cooperative
+    /// scheduler; [`Compiled::dist_options`] can override the mode).
+    pub fn dist_options(&self) -> DistOptions {
+        DistOptions {
+            mode: fsc_exec::DistMode::Coop,
+            workers: self.dist_workers,
+            node_size: self.dist_node_size,
         }
     }
 }
@@ -247,6 +275,12 @@ pub struct Compiled {
     /// came from calibration or the persistent cache, and what tuning
     /// cost. `None` when autotuning was not requested.
     pub tuning: Option<TuningReport>,
+    /// Distributed execution knobs (substrate, workers, aggregation) every
+    /// run of this artifact uses; seeded from
+    /// [`CompileOptions::dist_options`] and overridable before `run`
+    /// (e.g. forcing [`fsc_exec::DistMode::Threads`] for differential
+    /// tests).
+    pub dist_options: DistOptions,
 }
 
 /// Attestation of real distributed execution: every dispatch that ran as
@@ -286,6 +320,69 @@ pub struct DistributedReport {
     /// (mean per-rank compute + modeled halo communication) — kept as a
     /// cross-check against the measurement.
     pub modeled_seconds: f64,
+    /// Where the distributed numbers come from: every dispatch measured on
+    /// real rank bodies, every dispatch charged to the analytic model
+    /// (unsupported shapes), or a mix. `None` until the first distributed
+    /// dispatch.
+    pub provenance: Option<DistProvenance>,
+    /// Kernel dispatches that fell back to the modeled path.
+    pub modeled_dispatches: u64,
+    /// Substrate the measured dispatches ran on (`None` until one runs).
+    pub scheduler: Option<DistMode>,
+    /// Worker threads hosting the rank tasks (largest observed).
+    pub workers: usize,
+    /// Rank tasks stolen from another worker's deque, across dispatches
+    /// (cooperative scheduler only).
+    pub steals: u64,
+    /// Times a rank task parked on a blocking operation (coop only).
+    pub parks: u64,
+    /// User-level halo messages the transport carried.
+    pub logical_messages: u64,
+    /// Physical envelopes after hierarchical node-level aggregation
+    /// (== `logical_messages` when aggregation is off).
+    pub physical_messages: u64,
+    /// Payload bytes of user-level halo messages.
+    pub logical_bytes: u64,
+    /// Wire bytes including per-message and per-envelope headers.
+    pub physical_bytes: u64,
+    /// Ghost-layer depth the kernels ran under (largest observed;
+    /// 0 until a measured dispatch).
+    pub halo_depth: u32,
+    /// Halo-exchange rounds actually performed: deep halos make this grow
+    /// slower than `dispatches` (one round feeds `k` dispatches).
+    pub exchange_rounds: u64,
+}
+
+/// Provenance of the distributed timing numbers in a
+/// [`DistributedReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistProvenance {
+    /// Every dispatch executed as real rank bodies and was measured.
+    Measured,
+    /// Every dispatch was outside the executor's supported shape and was
+    /// charged to the analytic communication model.
+    Modeled,
+    /// Some dispatches measured, some modeled.
+    Mixed,
+}
+
+impl DistProvenance {
+    /// Stable lowercase name for attestation surfaces.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DistProvenance::Measured => "measured",
+            DistProvenance::Modeled => "modeled",
+            DistProvenance::Mixed => "mixed",
+        }
+    }
+
+    fn fold(slot: &mut Option<Self>, next: Self) {
+        *slot = Some(match *slot {
+            None => next,
+            Some(prev) if prev == next => prev,
+            Some(_) => DistProvenance::Mixed,
+        });
+    }
 }
 
 impl DistributedReport {
@@ -308,6 +405,16 @@ impl DistributedReport {
             self.modeled_seconds / self.measured_seconds
         } else {
             0.0
+        }
+    }
+
+    /// Logical-to-physical message ratio of the aggregating transport
+    /// (1.0 when aggregation is off or nothing was sent).
+    pub fn aggregation_ratio(&self) -> f64 {
+        if self.physical_messages == 0 {
+            1.0
+        } else {
+            self.logical_messages as f64 / self.physical_messages as f64
         }
     }
 }
@@ -418,6 +525,7 @@ impl Compiler {
                 entry,
                 degradation: DegradationReport::default(),
                 tuning: None,
+                dist_options: options.dist_options(),
             });
         }
         let mut compiled = if options.harden {
@@ -473,6 +581,7 @@ impl Compiler {
             entry,
             degradation: DegradationReport::default(),
             tuning: None,
+            dist_options: options.dist_options(),
         })
     }
 
@@ -500,6 +609,7 @@ impl Compiler {
                             ran: rung,
                         },
                         tuning: None,
+                        dist_options: options.dist_options(),
                     });
                 }
                 Err(attempt) => attempts.push(*attempt),
@@ -517,6 +627,7 @@ impl Compiler {
                 ran: DegradationRung::FirInterp,
             },
             tuning: None,
+            dist_options: options.dist_options(),
         })
     }
 
@@ -572,7 +683,7 @@ fn target_pipeline(options: &CompileOptions) -> Result<fsc_ir::PassManager> {
             tile,
         } => pipelines::gpu_pipeline(*explicit_data, tile),
         Target::StencilDistributed { grid } => {
-            pipelines::dmp_pipeline_with(grid, options.overlap_halos)
+            pipelines::dmp_pipeline_deep(grid, options.overlap_halos, options.halo_depth)
         }
         Target::StencilMultiGpu { grid, tile } => pipelines::gpu_dmp_pipeline(grid, tile),
     }
@@ -832,6 +943,7 @@ impl Compiled {
         budget: Option<Arc<MemoryBudget>>,
     ) -> Result<Execution> {
         let mut dispatcher = KernelDispatcher::new(&self.kernels, &self.target);
+        dispatcher.dist_options = self.dist_options.clone();
         if let Some(plan) = plan {
             dispatcher.fault_plan = plan;
         }
@@ -938,6 +1050,12 @@ pub struct KernelDispatcher<'k> {
     /// Distributed kernel dispatches seen so far — the "iteration" index a
     /// planned rank crash is matched against.
     dispatch_index: usize,
+    /// Substrate/worker/aggregation knobs for distributed dispatches.
+    pub dist_options: DistOptions,
+    /// Open deep-halo amortisation windows, keyed by kernel name: a kernel
+    /// compiled with `halo_depth = k` exchanges on one dispatch and runs
+    /// the next `k − 1` communication-free from its session.
+    deep_sessions: HashMap<String, DeepHaloSession>,
     /// Buffers written on the device (for final d2h accounting).
     written_buffers: HashMap<u64, u64>,
 }
@@ -995,6 +1113,8 @@ impl<'k> KernelDispatcher<'k> {
             fault_plan: FaultPlan::none(0xF5C),
             resilience: FaultStats::default(),
             dispatch_index: 0,
+            dist_options: DistOptions::default(),
+            deep_sessions: HashMap::new(),
             written_buffers: HashMap::new(),
         }
     }
@@ -1165,6 +1285,17 @@ impl<'k> KernelDispatcher<'k> {
         d.messages += outcome.messages;
         d.measured_seconds += outcome.makespan_seconds;
         d.modeled_seconds += compute / ranks.max(1) as f64 + modeled_comm;
+        DistProvenance::fold(&mut d.provenance, DistProvenance::Measured);
+        d.scheduler = Some(outcome.scheduler);
+        d.workers = d.workers.max(outcome.workers);
+        d.steals += outcome.steals;
+        d.parks += outcome.parks;
+        d.logical_messages += outcome.logical_messages;
+        d.physical_messages += outcome.physical_messages;
+        d.logical_bytes += outcome.logical_bytes;
+        d.physical_bytes += outcome.physical_bytes;
+        d.halo_depth = d.halo_depth.max(outcome.halo_depth);
+        d.exchange_rounds += outcome.exchange_rounds;
     }
 
     /// A fault plan for one dispatch: a planned crash fires on the
@@ -1220,7 +1351,20 @@ impl<'k> RegionDispatcher for KernelDispatcher<'k> {
                     let dispatch = self.dispatch_index;
                     self.dispatch_index += 1;
                     let plan = self.dispatch_plan(dispatch, grid.size() as usize);
-                    match distexec::run_distributed(kernel, memory, &kargs, &grid, plan)? {
+                    let mut session = self.deep_sessions.remove(callee);
+                    let ran = distexec::run_distributed(
+                        kernel,
+                        memory,
+                        &kargs,
+                        &grid,
+                        plan,
+                        &self.dist_options,
+                        &mut session,
+                    )?;
+                    if let Some(s) = session {
+                        self.deep_sessions.insert(callee.to_string(), s);
+                    }
+                    match ran {
                         Some(outcome) => {
                             // Real distributed execution: every rank ran the
                             // kernel over its owned block with measured halo
@@ -1252,6 +1396,11 @@ impl<'k> RegionDispatcher for KernelDispatcher<'k> {
                             self.distributed_seconds += compute + comm;
                             self.distributed_seconds +=
                                 self.charge_resilient_exchange(kernel, dispatch)?;
+                            DistProvenance::fold(
+                                &mut self.dist.provenance,
+                                DistProvenance::Modeled,
+                            );
+                            self.dist.modeled_dispatches += 1;
                         }
                     }
                 } else if self.naive {

@@ -229,6 +229,10 @@ pub struct CompiledKernel {
     pub kind: PlanKind,
     /// Process-grid decomposition (distributed plans; empty otherwise).
     pub decomposition: Vec<i64>,
+    /// Ghost-layer depth `k` stamped by the deep-halo pass: swap widths in
+    /// the exchange attrs are already multiplied by `k`, and the executor
+    /// may amortise one exchange over `k` dispatches. `1` = classic halos.
+    pub halo_depth: u32,
 }
 
 impl CompiledKernel {
@@ -308,6 +312,11 @@ pub fn compile_kernel(module: &Module, func_name: &str) -> Result<CompiledKernel
         .and_then(Attribute::as_index_list)
         .map(<[i64]>::to_vec)
         .unwrap_or_default();
+    let halo_depth = module
+        .op(f.0)
+        .attr("dmp_halo_depth")
+        .and_then(Attribute::as_int)
+        .map_or(1, |d| d.clamp(1, 64) as u32);
 
     // GPU plan: the host body is a launch; the nests live in the gpu.module.
     if let Some(launch) = module
@@ -349,6 +358,7 @@ pub fn compile_kernel(module: &Module, func_name: &str) -> Result<CompiledKernel
                 written_args,
             },
             decomposition,
+            halo_depth,
         });
     }
 
@@ -371,6 +381,7 @@ pub fn compile_kernel(module: &Module, func_name: &str) -> Result<CompiledKernel
         nests,
         kind,
         decomposition,
+        halo_depth,
     })
 }
 
@@ -1334,14 +1345,24 @@ fn run_nest(
 /// iteration domain — the distributed executor's per-rank building block
 /// (owned blocks, interiors, boundary shells). Same take/alias discipline
 /// as `run_nest`, but always single-threaded: the rank bodies themselves
-/// already run on threads, one per rank.
-pub(crate) fn run_nest_box(
+/// already run as scheduler tasks (or threads), one per rank.
+///
+/// Buffers may be *windowed*: `bases[v]` is the flat offset of view `v`'s
+/// buffer origin within the full (global-coordinate) array, so a rank
+/// holding only a slab of the domain can execute boxes expressed in global
+/// coordinates against a buffer that stores just its window. The offset
+/// rides the existing slab-start plumbing in [`run_range`]: every per-view
+/// cursor subtracts it, on every execution tier. Pass all-zero `bases` for
+/// full-size buffers.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_nest_box_based(
     nest: &Nest,
     views: &[ViewSpec],
     bufs: &[BufId],
     memory: &mut Memory,
     scalars: &[f64],
     local: &[(i64, i64)],
+    bases: &[i64],
 ) -> Result<()> {
     if local.iter().any(|&(lb, ub)| lb >= ub) {
         return Ok(());
@@ -1374,13 +1395,12 @@ pub(crate) fn run_nest_box(
             })
             .collect();
         let mut outputs: Vec<&mut [f64]> = taken.iter_mut().map(|v| v.as_mut_slice()).collect();
-        let slab_starts = vec![0i64; views.len()];
         run_box(
             nest,
             views,
             &inputs,
             &mut outputs,
-            &slab_starts,
+            bases,
             &out_view_map,
             scalars,
             local,

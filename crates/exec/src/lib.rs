@@ -35,7 +35,7 @@ pub mod value;
 
 pub use autotune::{TuneConfig, TuningReport};
 pub use budget::{MemoryBudget, MemoryEstimate};
-pub use distexec::{DistOutcome, RankMetrics};
+pub use distexec::{DeepHaloSession, DistMode, DistOptions, DistOutcome, RankMetrics};
 pub use interp::{Interpreter, RunStats};
 pub use kernel::{CompiledKernel, HaloSchedule, KernelArg, KernelStats};
 pub use plan::{ExecPlan, PlanProvenance};

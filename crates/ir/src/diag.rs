@@ -233,6 +233,11 @@ pub mod codes {
     /// Process grid does not divide the interior extent of a decomposed
     /// dimension.
     pub const DMP_DECOMPOSITION: &str = "E0505";
+    /// Process grid is oversubscribed: more ranks than interior cells on a
+    /// halo-carrying decomposed dimension, so most ranks would idle while
+    /// the rest cannot hold a full halo. (A single rank is always legal —
+    /// it trivially owns the whole, possibly empty, domain.)
+    pub const DMP_OVERSUBSCRIBED: &str = "E0506";
     /// Compile server at capacity: the request was rejected by admission
     /// control instead of being queued (retry with backoff).
     pub const SERVER_BUSY: &str = "E0801";
@@ -290,6 +295,7 @@ pub mod codes {
             "E0503" => "pass produced IR the verifier rejects",
             "E0504" => "pass option rejected",
             "E0505" => "process grid does not divide a decomposed extent",
+            "E0506" => "more ranks than cells on a halo-carrying dimension",
             "E0601" => "frontend lowering error",
             "E0602" => "kernel compilation error",
             "E0701" => "runtime execution error",
@@ -310,8 +316,8 @@ pub mod codes {
     pub const ALL: &[&str] = &[
         "E0001", "E0002", "E0101", "E0102", "E0103", "E0104", "E0105", "E0201", "E0202", "E0203",
         "E0204", "E0205", "E0206", "E0207", "E0208", "E0301", "E0302", "E0303", "E0304", "E0305",
-        "E0401", "E0402", "E0501", "E0502", "E0503", "E0504", "E0505", "E0601", "E0602", "E0701",
-        "E0702", "E0703", "E0801", "E0802", "E0803", "E0804", "E0805", "E0806", "E0807",
+        "E0401", "E0402", "E0501", "E0502", "E0503", "E0504", "E0505", "E0506", "E0601", "E0602",
+        "E0701", "E0702", "E0703", "E0801", "E0802", "E0803", "E0804", "E0805", "E0806", "E0807",
     ];
 }
 

@@ -19,6 +19,7 @@
 //!   blocking wait deadline-protected and deadlock surfaced as a
 //!   structured [`MpiSimError`].
 
+pub mod coop;
 mod error;
 pub mod fault;
 pub mod resilient;

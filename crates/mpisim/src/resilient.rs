@@ -36,12 +36,12 @@ use crate::runtime::{run_ranks_cfg, Message, RankConfig, RankCtx};
 
 /// Tag reserved for acknowledgements (never collides with user tags, which
 /// must be non-negative).
-const ACK_TAG: i64 = i64::MIN + 1;
+pub(crate) const ACK_TAG: i64 = i64::MIN + 1;
 /// Tag reserved for the message-based barrier.
-const BARRIER_TAG: i64 = i64::MIN + 2;
+pub(crate) const BARRIER_TAG: i64 = i64::MIN + 2;
 /// Ceiling of the exponential retransmit backoff. Kept below the deadlock
 /// watchdog's grace period so a pending retransmit never reads as a hang.
-const BACKOFF_CAP: Duration = Duration::from_millis(120);
+pub(crate) const BACKOFF_CAP: Duration = Duration::from_millis(120);
 
 /// Tuning of the resilient protocol.
 #[derive(Debug, Clone, Copy)]
@@ -121,7 +121,7 @@ pub struct ResilientCtx<'a> {
 }
 
 /// FNV-1a over the header fields and payload bits.
-fn checksum(from: usize, tag: i64, seq: u64, payload: &[f64]) -> u64 {
+pub(crate) fn checksum(from: usize, tag: i64, seq: u64, payload: &[f64]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     let mut mix = |v: u64| {
         for b in v.to_le_bytes() {

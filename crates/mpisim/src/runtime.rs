@@ -373,7 +373,10 @@ impl RankCtx {
     }
 }
 
-fn panic_payload_to_error(rank: usize, payload: Box<dyn std::any::Any + Send>) -> MpiSimError {
+pub(crate) fn panic_payload_to_error(
+    rank: usize,
+    payload: Box<dyn std::any::Any + Send>,
+) -> MpiSimError {
     match payload.downcast::<MpiSimError>() {
         Ok(e) => *e,
         // A compiler error escaping a rank body keeps its diagnostics

@@ -1,0 +1,209 @@
+//! `mpi-deep-halos`: communication-avoiding deep ghost layers.
+//!
+//! Classic halo exchange moves a `w`-wide face before *every* sweep. With
+//! deep halos of depth `k`, each exchange moves a `k·w`-wide face instead,
+//! and every rank redundantly computes the `(k−1)·w` ghost cells just past
+//! its owned block — shrinking the redundant band by `w` per sweep — so one
+//! exchange round feeds `k` consecutive sweeps. The extra face volume is
+//! tiny next to `k − 1` saved message latencies, which is what dominates at
+//! thousands of ranks.
+//!
+//! The pass itself is a width transform over the `dmp.swap` ops planted by
+//! `stencil-to-dmp`: every non-zero halo width is multiplied by `depth`,
+//! and the owning functions are stamped with a `dmp_halo_depth` attribute.
+//! Downstream nothing changes shape — `dmp-to-mpi` emits the same exchange
+//! structure with wider faces, and the distributed executor reads the
+//! attribute to amortise one exchange over `depth` dispatches (falling back
+//! to exchanging every dispatch, still with the wider faces and therefore
+//! still bit-identical, whenever the kernel is outside the amortisable
+//! shape).
+//!
+//! Gate: the transform only applies to 1-D process grids. On
+//! multi-dimension grids the redundant ghost band would additionally need
+//! *corner* neighbours' data, which the face-only exchange schedule does
+//! not move; rather than emit a subtly wrong schedule the pass leaves the
+//! module untouched (classic `k = 1` halos, still correct).
+
+use crate::dmp_lowering::DECOMPOSITION_ATTR;
+use fsc_dialects::dmp;
+use fsc_ir::pass::PassOptions;
+use fsc_ir::walk::collect_ops_named;
+use fsc_ir::{Attribute, Module, Pass, PassResult, Result};
+
+/// Attribute on `func.func` recording the ghost-layer depth `k`. Swap
+/// widths in the module are already multiplied by `k` when this is set.
+pub const HALO_DEPTH_ATTR: &str = "dmp_halo_depth";
+
+/// Widest supported ghost depth (matches the executor's clamp).
+pub const MAX_HALO_DEPTH: i64 = 64;
+
+/// `mpi-deep-halos{depth=k}`: widen halos ×k for communication avoidance.
+#[derive(Debug, Clone)]
+pub struct MpiDeepHalos {
+    /// Ghost-layer depth `k`; `1` (the default) is a no-op.
+    pub depth: i64,
+}
+
+impl Default for MpiDeepHalos {
+    fn default() -> Self {
+        Self { depth: 1 }
+    }
+}
+
+impl MpiDeepHalos {
+    /// From pipeline options (`depth=4`). Out-of-range depths clamp into
+    /// `1..=`[`MAX_HALO_DEPTH`].
+    pub fn from_options(opts: &PassOptions) -> Self {
+        let depth = opts
+            .get("depth")
+            .and_then(|s| s.trim().parse::<i64>().ok())
+            .unwrap_or(1);
+        Self {
+            depth: depth.clamp(1, MAX_HALO_DEPTH),
+        }
+    }
+}
+
+impl Pass for MpiDeepHalos {
+    fn name(&self) -> &str {
+        "mpi-deep-halos"
+    }
+
+    fn run(&self, module: &mut Module) -> Result<PassResult> {
+        let depth = self.depth.clamp(1, MAX_HALO_DEPTH);
+        if depth <= 1 {
+            return Ok(PassResult::Unchanged);
+        }
+        let swaps = collect_ops_named(module, dmp::SWAP);
+        if swaps.is_empty() {
+            return Ok(PassResult::Unchanged);
+        }
+        // 1-D grids only: deeper ghost bands on multi-dimension grids need
+        // corner exchanges the face schedule does not provide.
+        let funcs = module.top_level_ops_named(fsc_dialects::func::FUNC);
+        let one_dim = funcs.iter().all(|&f| {
+            module
+                .op(f)
+                .attr(DECOMPOSITION_ATTR)
+                .and_then(Attribute::as_index_list)
+                .is_none_or(|g| g.len() == 1)
+        });
+        if !one_dim {
+            return Ok(PassResult::Unchanged);
+        }
+        for swap in swaps {
+            let Some(halo) = dmp::swap_halo(module, swap) else {
+                continue;
+            };
+            let widened: Vec<i64> = halo.iter().map(|&w| w * depth).collect();
+            module
+                .op_mut(swap)
+                .attrs
+                .insert("halo".into(), Attribute::IndexList(widened));
+        }
+        for f in funcs {
+            if module.op(f).attr(DECOMPOSITION_ATTR).is_some() {
+                module
+                    .op_mut(f)
+                    .attrs
+                    .insert(HALO_DEPTH_ATTR.into(), Attribute::int(depth));
+            }
+        }
+        Ok(PassResult::Changed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discover::discover_stencils;
+    use crate::dmp_lowering::StencilToDmp;
+    use crate::extract::extract_stencils;
+    use fsc_fortran::compile_to_fir;
+
+    const GS1D: &str = "
+program gs
+  integer, parameter :: n = 32
+  integer :: i
+  real(kind=8) :: u(0:n+1), un(0:n+1)
+  do i = 1, n
+    un(i) = 0.5d0 * (u(i-1) + u(i+1))
+  end do
+end program gs
+";
+
+    fn dmp_module(grid: Vec<i64>) -> Module {
+        let mut m = compile_to_fir(GS1D).unwrap();
+        discover_stencils(&mut m).unwrap();
+        let mut st = extract_stencils(&mut m).unwrap();
+        StencilToDmp { grid }.run(&mut st).unwrap();
+        st
+    }
+
+    #[test]
+    fn widens_swaps_and_stamps_depth() {
+        let mut st = dmp_module(vec![4]);
+        MpiDeepHalos { depth: 3 }.run(&mut st).unwrap();
+        let swaps = collect_ops_named(&st, dmp::SWAP);
+        assert_eq!(dmp::swap_halo(&st, swaps[0]), Some(vec![3]));
+        let f = st.top_level_ops_named(fsc_dialects::func::FUNC)[0];
+        assert_eq!(
+            st.op(f).attr(HALO_DEPTH_ATTR).and_then(Attribute::as_int),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn depth_one_is_a_no_op() {
+        let mut st = dmp_module(vec![4]);
+        assert_eq!(
+            MpiDeepHalos { depth: 1 }.run(&mut st).unwrap(),
+            PassResult::Unchanged
+        );
+        let swaps = collect_ops_named(&st, dmp::SWAP);
+        assert_eq!(dmp::swap_halo(&st, swaps[0]), Some(vec![1]));
+    }
+
+    #[test]
+    fn multi_dim_grids_are_left_untouched() {
+        // 2-D decomposition: the redundant band would need corner data the
+        // face exchange never moves, so the pass must refuse to widen.
+        const GS3D: &str = "
+program gs
+  integer, parameter :: n = 8
+  integer :: i, j, k
+  real(kind=8) :: u(0:n+1, 0:n+1, 0:n+1), un(0:n+1, 0:n+1, 0:n+1)
+  do k = 1, n
+    do j = 1, n
+      do i = 1, n
+        un(i, j, k) = (u(i-1, j, k) + u(i+1, j, k) + u(i, j-1, k) &
+                     + u(i, j+1, k) + u(i, j, k-1) + u(i, j, k+1)) / 6.0
+      end do
+    end do
+  end do
+end program gs
+";
+        let mut m = compile_to_fir(GS3D).unwrap();
+        discover_stencils(&mut m).unwrap();
+        let mut st = extract_stencils(&mut m).unwrap();
+        StencilToDmp { grid: vec![2, 2] }.run(&mut st).unwrap();
+        assert_eq!(
+            MpiDeepHalos { depth: 4 }.run(&mut st).unwrap(),
+            PassResult::Unchanged
+        );
+        let swaps = collect_ops_named(&st, dmp::SWAP);
+        assert_eq!(dmp::swap_halo(&st, swaps[0]), Some(vec![0, 1, 1]));
+        let f = st.top_level_ops_named(fsc_dialects::func::FUNC)[0];
+        assert!(st.op(f).attr(HALO_DEPTH_ATTR).is_none());
+    }
+
+    #[test]
+    fn options_clamp_the_depth() {
+        let mut opts = PassOptions::default();
+        opts.set("depth", "500");
+        assert_eq!(MpiDeepHalos::from_options(&opts).depth, MAX_HALO_DEPTH);
+        opts.set("depth", "0");
+        assert_eq!(MpiDeepHalos::from_options(&opts).depth, 1);
+        assert_eq!(MpiDeepHalos::from_options(&PassOptions::default()).depth, 1);
+    }
+}

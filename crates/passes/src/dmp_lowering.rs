@@ -81,6 +81,28 @@ impl Pass for StencilToDmp {
                     continue;
                 }
                 let extent = (bounds[d].upper - bounds[d].lower + 1).max(0);
+                // Oversubscription: more ranks than interior cells on a
+                // halo-carrying dimension means most ranks idle while the
+                // rest cannot hold a full halo — reject up front instead of
+                // silently falling back at dispatch. A single rank stays
+                // legal (it trivially owns the whole, possibly empty,
+                // domain), as does any grid on pointwise dims (no halo).
+                if parts > extent.max(1) {
+                    return Err(IrError::from_diagnostic(
+                        Diagnostic::error(
+                            codes::DMP_OVERSUBSCRIBED,
+                            format!(
+                                "stencil-to-dmp: process grid axis {axis} has {parts} ranks \
+                                 but the halo-carrying dimension {d} has only {extent} \
+                                 interior cells"
+                            ),
+                        )
+                        .note(format!(
+                            "use at most {} ranks along this axis, or enlarge the domain",
+                            extent.max(1)
+                        )),
+                    ));
+                }
                 if extent > parts && extent % parts != 0 {
                     return Err(IrError::from_diagnostic(
                         Diagnostic::error(
@@ -310,13 +332,29 @@ end program gs
                 .any(|d| d.code == fsc_ir::diag::codes::DMP_DECOMPOSITION),
             "expected E0505, got: {err:?}"
         );
-        // Divisible and degenerate (extent <= parts) grids stay legal.
+        // Divisible and exactly-saturated (one cell per rank) grids stay
+        // legal.
         StencilToDmp { grid: vec![4, 2] }
             .run(&mut stencil_module())
             .unwrap();
-        StencilToDmp { grid: vec![16] }
+        StencilToDmp { grid: vec![8] }
             .run(&mut stencil_module())
             .unwrap();
+    }
+
+    #[test]
+    fn oversubscribed_grid_is_a_coded_error() {
+        // Interior extent 8 per dim, but 16 ranks on a halo-carrying dim:
+        // more ranks than cells is rejected up front with E0506 rather
+        // than silently idling half the grid.
+        let mut st = stencil_module();
+        let err = StencilToDmp { grid: vec![16] }.run(&mut st).unwrap_err();
+        assert!(
+            err.diagnostics
+                .iter()
+                .any(|d| d.code == fsc_ir::diag::codes::DMP_OVERSUBSCRIBED),
+            "expected E0506, got: {err:?}"
+        );
     }
 
     #[test]

@@ -36,6 +36,7 @@
 
 pub mod analysis;
 pub mod canonicalize;
+pub mod deep_halo;
 pub mod discover;
 pub mod dmp_lowering;
 pub mod extract;

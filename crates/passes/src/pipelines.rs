@@ -101,6 +101,9 @@ pub fn registry() -> PassRegistry {
         Box::new(StencilToDmp::from_options(o))
     });
     reg.register("dmp-to-mpi", |_| Box::new(DmpToMpi));
+    reg.register("mpi-deep-halos", |o| {
+        Box::new(crate::deep_halo::MpiDeepHalos::from_options(o))
+    });
     reg.register("mpi-overlap-halos", |o| {
         Box::new(crate::overlap::OverlapHalos::from_options(o))
     });
@@ -259,9 +262,18 @@ pub fn dmp_pipeline(grid: &[i64]) -> Result<PassManager> {
 /// stamps `"overlap"` (exchange hidden behind interior compute) or
 /// `"blocking"` (recv-all-then-compute) on every legal nest.
 pub fn dmp_pipeline_with(grid: &[i64], overlap: bool) -> Result<PassManager> {
+    dmp_pipeline_deep(grid, overlap, 1)
+}
+
+/// [`dmp_pipeline_with`] plus communication-avoiding deep halos:
+/// `mpi-deep-halos{depth=k}` widens every swap to `k` ghost layers (1-D
+/// grids only) so the executor can amortise one exchange round over `k`
+/// consecutive sweeps. `halo_depth = 1` is the classic flow.
+pub fn dmp_pipeline_deep(grid: &[i64], overlap: bool, halo_depth: u32) -> Result<PassManager> {
     let g: Vec<String> = grid.iter().map(i64::to_string).collect();
     registry().parse_pipeline(&format!(
-        "canonicalize,cse,stencil-to-dmp{{grid={}}},dmp-to-mpi,\
+        "canonicalize,cse,stencil-to-dmp{{grid={}}},\
+         mpi-deep-halos{{depth={halo_depth}}},dmp-to-mpi,\
          mpi-overlap-halos{{enabled={overlap}}},\
          stencil-to-scf{{target=cpu}},canonicalize,cse",
         g.join(",")
@@ -301,10 +313,11 @@ mod tests {
         assert!(gpu_pipeline(false, &[16, 16, 1]).is_ok());
         assert!(dmp_pipeline(&[4, 2]).is_ok());
         assert!(dmp_pipeline_with(&[4, 2], false).is_ok());
-        assert!(dmp_pipeline(&[4, 2])
-            .unwrap()
-            .pass_names()
-            .contains(&"mpi-overlap-halos"));
+        assert!(dmp_pipeline_deep(&[64], true, 4).is_ok());
+        let pm = dmp_pipeline(&[4, 2]).unwrap();
+        let names = pm.pass_names();
+        assert!(names.contains(&"mpi-overlap-halos"));
+        assert!(names.contains(&"mpi-deep-halos"));
     }
 
     #[test]

@@ -137,6 +137,22 @@ pub struct ServerMetrics {
     /// Requests recompiled in their lean form (no autotune, reduced rung)
     /// because their full-service estimate was denied reservation.
     pub mem_squeezes: AtomicU64,
+    /// Runs that dispatched rank bodies on a distributed target.
+    pub dist_runs: AtomicU64,
+    /// Rank scheduler of the most recent distributed run (gauge:
+    /// 0 = none yet, 1 = thread-per-rank, 2 = work-stealing coop).
+    pub dist_scheduler: AtomicU64,
+    /// Work-stealing events across all distributed runs.
+    pub dist_steals: AtomicU64,
+    /// Task parks (blocking halo recvs) across all distributed runs.
+    pub dist_parks: AtomicU64,
+    /// Logical halo messages rank bodies sent across all distributed runs.
+    pub dist_logical_messages: AtomicU64,
+    /// Wire envelopes those became after node-level aggregation (the
+    /// `dist_aggregation_ratio` gauge is logical/physical).
+    pub dist_physical_messages: AtomicU64,
+    /// Deepest ghost band (`halo_depth`) any distributed run carried.
+    pub dist_halo_depth: AtomicU64,
     /// Time from admission to response written.
     pub latency: LatencyHistogram,
     /// Time a request sat queued before a worker picked it up.

@@ -1076,6 +1076,26 @@ fn process_job(
         Ok(x) => x,
         Err(e) => return error_json(job.id, &e),
     };
+    if let Some(d) = &execution.report.distributed {
+        let m = &inner.metrics;
+        m.dist_runs.fetch_add(1, Ordering::Relaxed);
+        m.dist_steals.fetch_add(d.steals, Ordering::Relaxed);
+        m.dist_parks.fetch_add(d.parks, Ordering::Relaxed);
+        m.dist_logical_messages
+            .fetch_add(d.logical_messages, Ordering::Relaxed);
+        m.dist_physical_messages
+            .fetch_add(d.physical_messages, Ordering::Relaxed);
+        m.dist_halo_depth
+            .fetch_max(u64::from(d.halo_depth), Ordering::Relaxed);
+        let scheduler = match d.scheduler {
+            Some(fsc_core::DistMode::Threads) => 1,
+            Some(fsc_core::DistMode::Coop) => 2,
+            None => 0,
+        };
+        if scheduler > 0 {
+            m.dist_scheduler.store(scheduler, Ordering::Relaxed);
+        }
+    }
     b = b
         .num("run_ms", t0.elapsed().as_secs_f64() * 1000.0)
         .str(
@@ -1283,5 +1303,31 @@ fn stats_snapshot(inner: &Arc<ServerInner>) -> Json {
             .num("chaos_artifact_purges", c.artifact_purges as f64)
             .num("chaos_mem_pressures", c.mem_pressures as f64);
     }
+    let logical = m.dist_logical_messages.load(Ordering::Relaxed);
+    let physical = m.dist_physical_messages.load(Ordering::Relaxed);
+    b = b
+        .num("dist_runs", m.dist_runs.load(Ordering::Relaxed) as f64)
+        .str(
+            "dist_scheduler",
+            match m.dist_scheduler.load(Ordering::Relaxed) {
+                1 => "threads",
+                2 => "coop",
+                _ => "none",
+            },
+        )
+        .num("dist_steals", m.dist_steals.load(Ordering::Relaxed) as f64)
+        .num("dist_parks", m.dist_parks.load(Ordering::Relaxed) as f64)
+        .num(
+            "dist_aggregation_ratio",
+            if physical == 0 {
+                1.0
+            } else {
+                logical as f64 / physical as f64
+            },
+        )
+        .num(
+            "dist_halo_depth",
+            m.dist_halo_depth.load(Ordering::Relaxed) as f64,
+        );
     b.build()
 }

@@ -292,3 +292,62 @@ fn malformed_requests_get_coded_protocol_errors() {
     drop(server);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// A distributed request surfaces the rank-scheduler gauges in the stats
+/// endpoint: which substrate ran, how many parks/steals the cooperative
+/// scheduler took, the halo depth carried, and the node-aggregation
+/// ratio — while the result stays bit-identical to the direct serial run.
+#[test]
+fn distributed_runs_surface_scheduler_gauges() {
+    let dir = scratch_dir("distgauges");
+    let server = Server::start(
+        &dir.join("serve.sock"),
+        ServerConfig {
+            workers: 1,
+            plan_cache: Some(dir.join("plans.json")),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let source = fsc_workloads::gauss_seidel::fortran_source(8, 2);
+    let serial = Compiler::run(&source, &CompileOptions::for_target(Target::StencilCpu)).unwrap();
+    let want = format!("{:016x}", checksum_arrays(&serial, &["u".to_string()]));
+
+    let mut client = Client::connect(server.socket_path()).unwrap();
+    let v = client.run(&source, "dist:2x2", false, &["u"]).unwrap();
+    assert_eq!(
+        v.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{}",
+        v.render()
+    );
+    assert_eq!(
+        v.get("checksum").and_then(Json::as_str),
+        Some(want.as_str()),
+        "distributed result differs from the direct serial run"
+    );
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.get("dist_runs").and_then(Json::as_i64), Some(1));
+    assert_eq!(
+        stats.get("dist_scheduler").and_then(Json::as_str),
+        Some("coop"),
+        "the cooperative scheduler is the default substrate"
+    );
+    assert!(
+        stats.get("dist_parks").and_then(Json::as_i64).unwrap() > 0,
+        "rank bodies must park on blocking halo recvs: {}",
+        stats.render()
+    );
+    assert!(stats.get("dist_halo_depth").and_then(Json::as_i64).unwrap() >= 1);
+    assert!(
+        stats
+            .get("dist_aggregation_ratio")
+            .and_then(Json::as_f64)
+            .unwrap()
+            >= 1.0
+    );
+
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -302,7 +302,11 @@ fn degenerate_grids_run_clean_through_the_discovery_path() {
                 explicit_data: true,
                 tile: [4, 4, 1],
             },
-            Target::StencilDistributed { grid: vec![2] },
+            // A single-rank grid: the distributed pipeline still runs in
+            // full (swaps, exchanges with no neighbours, scatter/gather),
+            // but multi-rank grids over a 0- or 1-cell interior are now an
+            // E0506 oversubscription error by design.
+            Target::StencilDistributed { grid: vec![1] },
         ] {
             let label = format!("n={n} {target:?}");
             let exec = Compiler::run(&source, &CompileOptions::for_target(target.clone())).unwrap();
@@ -658,4 +662,169 @@ fn distributed_composes_with_forced_plans() {
             "plan {plan:?}: not bit-identical to serial"
         );
     }
+}
+
+#[test]
+fn measured_execution_engages_at_a_thousand_ranks() {
+    use flang_stencil::core::{DistMode, DistProvenance};
+    // Regression guard for the scaling tentpole: at >= 1024 virtual ranks
+    // the cooperative scheduler must still *execute* every rank body
+    // (provenance `measured`), never silently fall back to the analytic
+    // cost model — and the result stays bit-identical to single-rank
+    // serial.
+    let source = gauss_seidel::fortran_source(16, 2);
+    let serial = Compiler::run(&source, &CompileOptions::for_target(Target::StencilCpu)).unwrap();
+    let opts = CompileOptions::for_target(Target::StencilDistributed {
+        grid: vec![16, 8, 8],
+    });
+    let compiled = Compiler::compile(&source, &opts).unwrap();
+    let exec = compiled.run().expect("1024-rank run");
+    let d = exec
+        .report
+        .distributed
+        .as_ref()
+        .expect("distributed report");
+    assert_eq!(d.ranks, 1024);
+    assert!(d.dispatches > 0, "rank bodies must actually run");
+    assert_eq!(
+        d.provenance,
+        Some(DistProvenance::Measured),
+        "1024 ranks must run measured, not modeled: {d:?}"
+    );
+    assert_eq!(
+        d.modeled_dispatches, 0,
+        "no dispatch may fall back to the model"
+    );
+    assert_eq!(d.scheduler, Some(DistMode::Coop));
+    assert!(d.workers > 0, "worker pool size must be attested");
+    let got = exec.array("u").unwrap();
+    let want = serial.array("u").unwrap();
+    assert!(
+        got.iter()
+            .zip(want.iter())
+            .all(|(x, y)| x.to_bits() == y.to_bits()),
+        "1024 ranks not bit-identical to serial"
+    );
+}
+
+#[test]
+fn deep_halos_skip_exchange_rounds_at_equal_results() {
+    // Communication-avoiding deep halos: with `halo_depth = k` on a 1-D
+    // decomposition the compiler exchanges a k-wide ghost region once and
+    // runs the next k-1 sweeps communication-free, shrinking the computed
+    // redundant region each cycle. The trade is bandwidth for latency —
+    // never accuracy: results stay bit-identical to the k=1 schedule and
+    // to single-rank serial.
+    let iters = 6;
+    let source = gauss_seidel::fortran_source(12, iters);
+    let serial = Compiler::run(&source, &CompileOptions::for_target(Target::StencilCpu)).unwrap();
+    let want = serial.array("u").unwrap().to_vec();
+    let mut rounds = Vec::new();
+    for depth in [1u32, 2, 3] {
+        let opts = CompileOptions {
+            halo_depth: depth,
+            ..CompileOptions::for_target(Target::StencilDistributed { grid: vec![4] })
+        };
+        let exec = Compiler::run(&source, &opts).expect("deep-halo run");
+        let d = exec
+            .report
+            .distributed
+            .as_ref()
+            .expect("distributed report");
+        assert!(d.dispatches > 0, "depth {depth}: rank bodies must run");
+        assert_eq!(d.halo_depth, depth, "depth must be attested");
+        let got = exec.array("u").unwrap();
+        assert!(
+            got.iter()
+                .zip(want.iter())
+                .all(|(x, y)| x.to_bits() == y.to_bits()),
+            "depth {depth}: not bit-identical to serial"
+        );
+        rounds.push(d.exchange_rounds);
+    }
+    // Depth k runs only ceil(iters / k) exchanging dispatches for the
+    // sweep kernel; the exchange-round count must drop strictly with k.
+    assert!(
+        rounds[1] < rounds[0] && rounds[2] < rounds[1],
+        "exchange rounds must shrink with depth: {rounds:?}"
+    );
+}
+
+#[test]
+fn hierarchical_aggregation_coalesces_cross_node_halos() {
+    use flang_stencil::core::DistProvenance;
+    // Node-level aggregation: same-destination-node halo messages leaving a
+    // node within one flush window ride one physical envelope. On a 2-D
+    // decomposition where a node holds a full grid row, every rank in the
+    // row sends its axis-0 face to the same neighbour node — the logical /
+    // physical ratio must reach 2x while the numbers stay untouched.
+    let source = gauss_seidel::fortran_source(16, 2);
+    let serial = Compiler::run(&source, &CompileOptions::for_target(Target::StencilCpu)).unwrap();
+    let want = serial.array("u").unwrap().to_vec();
+    let opts = CompileOptions {
+        dist_node_size: 16,
+        ..CompileOptions::for_target(Target::StencilDistributed { grid: vec![16, 16] })
+    };
+    let exec = Compiler::run(&source, &opts).expect("aggregated run");
+    let d = exec
+        .report
+        .distributed
+        .as_ref()
+        .expect("distributed report");
+    assert_eq!(d.provenance, Some(DistProvenance::Measured));
+    assert!(
+        d.physical_messages > 0 && d.logical_messages > d.physical_messages,
+        "aggregation must coalesce envelopes: {d:?}"
+    );
+    assert!(
+        d.aggregation_ratio() >= 2.0,
+        "row-per-node layout must reach 2x aggregation, got {:.2}: {d:?}",
+        d.aggregation_ratio()
+    );
+    let got = exec.array("u").unwrap();
+    assert!(
+        got.iter()
+            .zip(want.iter())
+            .all(|(x, y)| x.to_bits() == y.to_bits()),
+        "aggregated run not bit-identical to serial"
+    );
+}
+
+#[test]
+fn steal_heavy_schedule_matches_serial_bit_for_bit() {
+    use flang_stencil::core::{DistMode, DistProvenance};
+    // 512 virtual ranks multiplexed over just two workers: every rank body
+    // parks on its halo recvs, wake bursts pile onto one deque and the
+    // other worker must steal to make progress. The schedule is thereby
+    // maximally unlike thread-per-rank — and the numbers must not care.
+    let source = gauss_seidel::fortran_source(8, 2);
+    let serial = Compiler::run(&source, &CompileOptions::for_target(Target::StencilCpu)).unwrap();
+    let opts = CompileOptions::for_target(Target::StencilDistributed {
+        grid: vec![8, 8, 8],
+    });
+    let mut compiled = Compiler::compile(&source, &opts).unwrap();
+    compiled.dist_options.workers = 2;
+    let exec = compiled.run().expect("512-rank run");
+    let d = exec
+        .report
+        .distributed
+        .as_ref()
+        .expect("distributed report");
+    assert_eq!(d.ranks, 512);
+    assert_eq!(d.provenance, Some(DistProvenance::Measured));
+    assert_eq!(d.scheduler, Some(DistMode::Coop));
+    assert_eq!(d.workers, 2);
+    assert!(
+        d.steals > 0,
+        "2 workers x 512 parked ranks must steal: {d:?}"
+    );
+    assert!(d.parks > 0, "halo recvs must park tasks: {d:?}");
+    let got = exec.array("u").unwrap();
+    let want = serial.array("u").unwrap();
+    assert!(
+        got.iter()
+            .zip(want.iter())
+            .all(|(x, y)| x.to_bits() == y.to_bits()),
+        "steal-heavy schedule not bit-identical to serial"
+    );
 }

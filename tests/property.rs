@@ -4,7 +4,9 @@
 //! the optimised stencil kernels — three independently written execution
 //! paths over the same semantics.
 
-use flang_stencil::core::{CompileOptions, Compiler, Target};
+use flang_stencil::core::{CompileOptions, Compiler, DistMode, Target};
+use flang_stencil::mpisim::fault::FaultPlan;
+use flang_stencil::workloads::{gauss_seidel, pw_advection};
 use proptest::prelude::*;
 
 /// A randomly generated 1-D stencil term: coefficient × a(i + offset).
@@ -306,5 +308,82 @@ proptest! {
             nest.bounds == vec![(1, n as i64 + 1)]
         });
         prop_assert!(found, "no nest with interior bounds 1..={n}");
+    }
+}
+
+proptest! {
+    // Distributed fault-injection runs are much heavier than the pure
+    // in-process tiers above; a handful of cases still sweeps both
+    // workloads, all grid shapes and several worker counts across runs.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The two distributed substrates — thread-per-rank and the
+    /// work-stealing cooperative scheduler — must be **bit**-identical on
+    /// both paper workloads, across 1-D/2-D/3-D process grids, under an
+    /// adversarial fault plan (drops + duplicates + corruption + delays +
+    /// a rank crash) and arbitrary worker counts. The resilient transport
+    /// masks every fault, so results cannot depend on which substrate
+    /// multiplexed the rank bodies or which faults fired.
+    #[test]
+    fn coop_and_thread_substrates_bit_identical_under_faults(
+        grid_idx in 0usize..4,
+        use_gs in any::<bool>(),
+        seed in any::<u64>(),
+        workers in 1usize..4,
+    ) {
+        let grids: [&[i64]; 4] = [&[2], &[2, 2], &[2, 2, 2], &[4, 2]];
+        let grid = grids[grid_idx].to_vec();
+        let (source, arrays): (String, Vec<&str>) = if use_gs {
+            (gauss_seidel::fortran_source(8, 2), vec!["u"])
+        } else {
+            (pw_advection::fortran_source(8), vec!["su", "sv", "sw"])
+        };
+        let plan = FaultPlan {
+            drop_prob: 0.08,
+            dup_prob: 0.05,
+            corrupt_prob: 0.04,
+            delay_prob: 0.03,
+            max_delay_ms: 1,
+            ..FaultPlan::none(seed)
+        }
+        .with_crash(1, 1);
+        let mut runs: Vec<Vec<Vec<f64>>> = Vec::new();
+        for mode in [DistMode::Threads, DistMode::Coop] {
+            let opts = CompileOptions::for_target(Target::StencilDistributed {
+                grid: grid.clone(),
+            });
+            let mut compiled = Compiler::compile(&source, &opts).unwrap();
+            compiled.dist_options.mode = mode;
+            compiled.dist_options.workers = workers;
+            let exec = compiled.run_with_faults(plan.clone()).expect("faulted run");
+            let d = exec.report.distributed.as_ref().expect("distributed report");
+            prop_assert!(
+                d.dispatches > 0,
+                "{mode:?} grid={grid:?}: rank bodies must actually run"
+            );
+            prop_assert_eq!(
+                d.scheduler, Some(mode),
+                "report must attest the substrate that ran"
+            );
+            runs.push(
+                arrays
+                    .iter()
+                    .map(|a| exec.array(a).expect("array").to_vec())
+                    .collect(),
+            );
+        }
+        for (name, (threaded, coop)) in
+            arrays.iter().zip(runs[0].iter().zip(runs[1].iter()))
+        {
+            prop_assert_eq!(threaded.len(), coop.len());
+            prop_assert!(
+                threaded
+                    .iter()
+                    .zip(coop.iter())
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "{} grid={:?} workers={}: coop diverged from thread-per-rank",
+                name, grid, workers
+            );
+        }
     }
 }
