@@ -62,6 +62,15 @@ echo "== autotune smoke =="
 timeout --kill-after=30s 300s \
   cargo run -q -p fsc-bench --bin tile_sweep -- --quick
 
+echo "== jit smoke =="
+# The stitched jit tier (DESIGN.md §14): the three non-template kernels
+# must land on the jit by default and stay bit-identical to both VM
+# tiers, Gauss–Seidel forced onto the jit must stay within 1.2x of the
+# hand-specialized template, and a purge/recompile cycle must attest a
+# fresh artifact then a cached one (all asserted inside the binary).
+timeout --kill-after=30s 300s \
+  cargo run -q -p fsc-bench --bin fig8_jit_tier -- --smoke
+
 echo "== server smoke =="
 # Compile-server mode: loadgen self-hosts an fsc-serve instance on a
 # private socket and storms it with a duplicate-heavy request mix. The

@@ -35,7 +35,8 @@ use fsc_exec::kernel::{
 };
 use fsc_exec::plan::{ExecPlan, PlanProvenance};
 use fsc_exec::value::{Memory, Ref, Value};
-use fsc_exec::ExecPath;
+pub use fsc_exec::JitArtifact;
+use fsc_exec::{ExecPath, JitCacheStats};
 use fsc_gpusim::{BufferUse, GpuCounters, GpuSession, KernelLoad, V100Model};
 use fsc_ir::diag::{codes, Diagnostic};
 use fsc_ir::{Attribute, IrError, Module, Result, Type};
@@ -138,6 +139,13 @@ pub struct CompileOptions {
     /// halo aggregation (same-edge messages between two node groups
     /// coalesce into one envelope). `0` or `1` disables aggregation.
     pub dist_node_size: usize,
+    /// Force every compiled nest onto one execution tier where that tier
+    /// is available (nests without a specialized/jit realisation keep
+    /// their ladder default). `None` (the default) picks the fastest
+    /// available tier per nest. Drives the tier benches and differential
+    /// tests; binaries map `FSC_FORCE_EXEC_PATH` onto this via
+    /// [`ExecPath::parse`] — the library itself never reads env vars.
+    pub force_exec_path: Option<ExecPath>,
 }
 
 impl Default for CompileOptions {
@@ -153,6 +161,7 @@ impl Default for CompileOptions {
             halo_depth: 1,
             dist_workers: 0,
             dist_node_size: 0,
+            force_exec_path: None,
         }
     }
 }
@@ -446,6 +455,13 @@ pub struct RunReport {
     /// empty for Flang-only and naive-tier runs, which bypass the
     /// specialization ladder).
     pub exec_paths: Vec<ExecPath>,
+    /// Distinct jit artifact sources of the nests that carried a stitched
+    /// object (sorted; empty when no nest had one). `Cached` here attests
+    /// that a recompile reused a warm artifact without codegen.
+    pub jit_artifacts: Vec<JitArtifact>,
+    /// Coded jit warnings from compilation (`E0704` integrity rebuilds,
+    /// `E0705` stitching skips) — degradations, never failures.
+    pub jit_warnings: Vec<Diagnostic>,
     /// Fault-injection / recovery attestation of the resilient halo
     /// transport (distributed targets only; zero counters for a
     /// fault-free plan).
@@ -483,6 +499,18 @@ impl RunReport {
     pub fn attests_plan(&self, provenance: PlanProvenance) -> bool {
         self.plans.iter().any(|p| p.provenance == provenance)
     }
+
+    /// True when at least one nest carried a jit object from `source`
+    /// (`fresh` codegen, `deduped` concurrent build, `cached` reuse).
+    pub fn attests_artifact(&self, source: JitArtifact) -> bool {
+        self.jit_artifacts.contains(&source)
+    }
+}
+
+/// Snapshot of the process-wide jit artifact cache (shared across every
+/// compile in this process, including all `fsc-serve` sessions).
+pub fn jit_cache_stats() -> JitCacheStats {
+    fsc_exec::jit::shared_cache().stats()
 }
 
 /// A finished execution: memory plus accounting.
@@ -536,6 +564,13 @@ impl Compiler {
         if let Some(cfg) = &options.autotune {
             if !compiled.kernels.is_empty() {
                 autotune_compiled(&mut compiled, cfg);
+            }
+        }
+        // Tier override last, so forced paths survive the autotuner's plan
+        // installation (which re-acquires jit artifacts per new plan).
+        if let Some(path) = options.force_exec_path {
+            for k in compiled.kernels.values_mut() {
+                k.force_exec_path(path);
             }
         }
         Ok(compiled)
@@ -980,6 +1015,12 @@ impl Compiled {
                 d
             }),
             exec_paths: dispatcher.exec_paths.iter().copied().collect(),
+            jit_artifacts: dispatcher.jit_artifacts.iter().copied().collect(),
+            jit_warnings: self
+                .kernels
+                .values()
+                .flat_map(|k| k.jit_warnings.iter().cloned())
+                .collect(),
             resilience: is_distributed.then_some(dispatcher.resilience),
             degradation: self.degradation.clone(),
             plans: dispatcher.plans.iter().cloned().collect(),
@@ -1042,6 +1083,8 @@ pub struct KernelDispatcher<'k> {
     /// Distinct execution plans observed across dispatched nests (only
     /// recorded for runs through the optimised runner).
     pub plans: std::collections::BTreeSet<ExecPlan>,
+    /// Distinct jit artifact sources observed across dispatched nests.
+    pub jit_artifacts: std::collections::BTreeSet<JitArtifact>,
     /// Fault plan injected into the resilient halo transport (distributed
     /// targets; defaults to a fault-free plan).
     pub fault_plan: FaultPlan,
@@ -1110,6 +1153,7 @@ impl<'k> KernelDispatcher<'k> {
             dist: DistributedReport::default(),
             exec_paths: std::collections::BTreeSet::new(),
             plans: std::collections::BTreeSet::new(),
+            jit_artifacts: std::collections::BTreeSet::new(),
             fault_plan: FaultPlan::none(0xF5C),
             resilience: FaultStats::default(),
             dispatch_index: 0,
@@ -1492,6 +1536,9 @@ impl<'k> RegionDispatcher for KernelDispatcher<'k> {
             for nest in &kernel.nests {
                 self.exec_paths.insert(nest.path);
                 self.plans.insert(nest.plan.clone());
+                if let Some(src) = nest.jit_source {
+                    self.jit_artifacts.insert(src);
+                }
             }
         }
         self.cells += kernel.stats().cells;
@@ -1820,6 +1867,82 @@ mod tests {
         let naive =
             Compiler::run(&src, &CompileOptions::for_target(Target::UnoptimizedCpu)).unwrap();
         assert!(naive.report.plans.is_empty());
+    }
+
+    #[test]
+    fn non_template_nests_run_on_the_jit_tier_bit_identically() {
+        // Each Figure-8 kernel rejects the specialized templates (sqrt /
+        // variable coefficient / min-max), so its compute sweep must land
+        // on the stitched jit tier — while the copy sweep still runs
+        // specialized — and every tier override must produce the same bits.
+        for source in [
+            fsc_workloads::jit_kernels::sqrt_source(6, 2),
+            fsc_workloads::jit_kernels::varcoef_source(6, 2),
+            fsc_workloads::jit_kernels::minmax_source(6, 2),
+        ] {
+            let exec = Compiler::run(&source, &CompileOptions::default()).unwrap();
+            assert!(
+                exec.report.attests(ExecPath::Jit),
+                "compute sweep must run jit: {:?}",
+                exec.report.exec_paths
+            );
+            assert!(
+                !exec.report.jit_artifacts.is_empty(),
+                "jit nests must attest their artifact source"
+            );
+            let reference: Vec<f64> = exec.array("u").unwrap().to_vec();
+            for forced in [ExecPath::Jit, ExecPath::FusedVm, ExecPath::GenericVm] {
+                let opts = CompileOptions {
+                    force_exec_path: Some(forced),
+                    ..CompileOptions::default()
+                };
+                let run = Compiler::run(&source, &opts).unwrap();
+                assert!(run.report.attests(forced), "{forced} override must stick");
+                let bits_equal = reference
+                    .iter()
+                    .zip(run.array("u").unwrap())
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(bits_equal, "forced {forced} diverged from the default run");
+            }
+        }
+    }
+
+    #[test]
+    fn jit_fallback_degrades_with_coded_warning_not_failure() {
+        // A body with more than one store to the same view is a stitching
+        // hazard (full-row passes would reorder the overwrites), so the
+        // jit skips it: the nest runs on the fused VM, an E0705 warning is
+        // attested, and the run still succeeds.
+        let source = "program two_stores
+  implicit none
+  integer, parameter :: n = 8
+  integer :: i
+  real(kind=8) :: u(1:n), v(1:n)
+  do i = 1, n
+    v(i) = 0.5 * i
+  end do
+  do i = 2, n - 1
+    u(i) = v(i) + v(i-1)
+    u(i) = u(i) + 1.0
+  end do
+end program two_stores";
+        let exec = Compiler::run(source, &CompileOptions::default()).unwrap();
+        if exec
+            .report
+            .jit_warnings
+            .iter()
+            .any(|d| d.code == codes::JIT_FALLBACK)
+        {
+            // The degraded nest must have fallen down the ladder, not died.
+            assert!(
+                exec.report.attests(ExecPath::FusedVm)
+                    || exec.report.attests(ExecPath::Specialized)
+                    || exec.report.attests(ExecPath::Jit),
+                "degraded program still runs: {:?}",
+                exec.report.exec_paths
+            );
+        }
+        assert!(exec.array("u").is_some());
     }
 
     fn tune_opts(dir: &std::path::Path, target: Target) -> CompileOptions {

@@ -76,7 +76,7 @@ pub enum MaKind {
 }
 
 #[inline]
-fn mul_acc(kind: MaKind, a: f64, b: f64, c: f64) -> f64 {
+pub(crate) fn mul_acc(kind: MaKind, a: f64, b: f64, c: f64) -> f64 {
     let m = a * b;
     match kind {
         MaKind::CPlusMul => c + m,
@@ -100,6 +100,36 @@ pub(crate) fn bin_eval(kind: BinKind, x: f64, y: f64) -> f64 {
         BinKind::CopySign => x.copysign(y),
         BinKind::Rem => x % y,
     }
+}
+
+/// Evaluate a unary op on one scalar (shared with the jit fragments so
+/// the tiers cannot diverge).
+#[inline]
+pub(crate) fn un_eval(kind: UnKind, x: f64) -> f64 {
+    match kind {
+        UnKind::Neg => -x,
+        UnKind::Sqrt => x.sqrt(),
+        UnKind::Abs => x.abs(),
+        UnKind::Exp => x.exp(),
+        UnKind::Log => x.ln(),
+        UnKind::Sin => x.sin(),
+        UnKind::Cos => x.cos(),
+        UnKind::Tanh => x.tanh(),
+        UnKind::Trunc => x.trunc(),
+    }
+}
+
+/// Evaluate a comparison to 0.0/1.0 (shared with the jit fragments).
+#[inline]
+pub(crate) fn cmp_eval(kind: CmpKind, x: f64, y: f64) -> f64 {
+    (match kind {
+        CmpKind::Eq => x == y,
+        CmpKind::Ne => x != y,
+        CmpKind::Lt => x < y,
+        CmpKind::Le => x <= y,
+        CmpKind::Gt => x > y,
+        CmpKind::Ge => x >= y,
+    }) as u8 as f64
 }
 
 /// Comparison predicates producing 0.0 / 1.0.

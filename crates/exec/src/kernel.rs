@@ -17,12 +17,15 @@
 //!   modeled time (see `fsc-gpusim`).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use fsc_dialects::arith::CmpPredicate;
 use fsc_dialects::{fir, func, gpu, memref, mpi, omp, scf};
+use fsc_ir::diag::{codes, Diagnostic};
 use fsc_ir::{Attribute, BlockId, IrError, Module, OpId, Result, Type, ValueId};
 
 use crate::bytecode::{BinKind, BodyProgram, CmpKind, Instr, UnKind};
+use crate::jit::{self, JitArtifact, JitProgram};
 use crate::plan::ExecPlan;
 use crate::specialize::{self, ExecPath, SpecProgram};
 use crate::value::{column_major_strides, BufId, Memory};
@@ -132,6 +135,15 @@ pub struct Nest {
     /// Native specialized realisation when the body matches a template
     /// (the Specialized path); see `specialize::specialize_program`.
     pub specialized: Option<SpecProgram>,
+    /// Stitched dispatch-free realisation of `fused` (the Jit path),
+    /// acquired from the shared content-addressed artifact cache. `None`
+    /// when stitching was skipped (see [`crate::jit::JitSkip`]); the skip
+    /// is reported as an `E0705` warning on the kernel, never an error.
+    pub jit: Option<Arc<JitProgram>>,
+    /// Where the jit object came from — `fresh` codegen, `deduped` behind
+    /// a concurrent build of the same content hash, or `cached` artifact
+    /// reuse. Attested per nest in run reports.
+    pub jit_source: Option<JitArtifact>,
     /// Execution path this nest runs through. Defaults to the fastest
     /// available tier; tests override via
     /// [`CompiledKernel::force_exec_path`].
@@ -212,6 +224,9 @@ pub struct KernelStats {
     pub paths: Vec<ExecPath>,
     /// Execution plan of each nest, in nest order.
     pub plans: Vec<ExecPlan>,
+    /// Jit artifact provenance of each nest, in nest order (`None` when
+    /// stitching was skipped for that nest).
+    pub jit_artifacts: Vec<Option<JitArtifact>>,
 }
 
 /// A fully compiled region, callable through [`run_kernel`].
@@ -233,6 +248,10 @@ pub struct CompiledKernel {
     /// the exchange attrs are already multiplied by `k`, and the executor
     /// may amortise one exchange over `k` dispatches. `1` = classic halos.
     pub halo_depth: u32,
+    /// Coded warnings raised while acquiring jit artifacts (`E0704` for
+    /// integrity rebuilds, `E0705` for stitching skips). Never fatal —
+    /// surfaced through run reports so callers can attest degradation.
+    pub jit_warnings: Vec<Diagnostic>,
 }
 
 impl CompiledKernel {
@@ -250,6 +269,7 @@ impl CompiledKernel {
             s.bytes_written += cells * nest.program.stores_per_cell * 8;
             s.paths.push(nest.path);
             s.plans.push(nest.plan.clone());
+            s.jit_artifacts.push(nest.jit_source);
         }
         s
     }
@@ -260,13 +280,17 @@ impl CompiledKernel {
     }
 
     /// Force every nest onto `path` where that tier is available; nests
-    /// without a specialized form keep their current path when
-    /// `Specialized` is requested. Returns how many nests were switched.
-    /// Intended for differential tests (`tests/property.rs`).
+    /// without a specialized (or stitched) form keep their current path
+    /// when `Specialized` (or `Jit`) is requested. Returns how many nests
+    /// were switched. Intended for differential tests (`tests/property.rs`)
+    /// and the tier benches.
     pub fn force_exec_path(&mut self, path: ExecPath) -> usize {
         let mut switched = 0;
         for nest in &mut self.nests {
             if path == ExecPath::Specialized && nest.specialized.is_none() {
+                continue;
+            }
+            if path == ExecPath::Jit && nest.jit.is_none() {
                 continue;
             }
             if nest.path != path {
@@ -280,9 +304,31 @@ impl CompiledKernel {
     /// Set every nest's execution plan. Used by the autotuner when the
     /// calibration winner (or a cache hit) replaces the default, and by
     /// benches/tests to force specific tile/unroll/slab shapes.
+    ///
+    /// Jit artifacts are content-addressed by `(bytecode, plan, version)`,
+    /// so a plan change re-acquires each nest's stitched object under the
+    /// new key (warm plans hit the shared cache). A nest whose stitching
+    /// is skipped under the new plan degrades to the fused VM.
     pub fn force_plan(&mut self, plan: &ExecPlan) {
         for nest in &mut self.nests {
             nest.plan = plan.clone();
+            if nest.jit.is_some() || nest.path == ExecPath::Jit {
+                let acq = jit::shared_cache().acquire(&nest.fused, plan);
+                self.jit_warnings.extend(acq.warnings);
+                match acq.outcome {
+                    Ok(p) => {
+                        nest.jit = Some(p);
+                        nest.jit_source = Some(acq.source);
+                    }
+                    Err(_) => {
+                        nest.jit = None;
+                        nest.jit_source = None;
+                        if nest.path == ExecPath::Jit {
+                            nest.path = ExecPath::FusedVm;
+                        }
+                    }
+                }
+            }
         }
     }
 }
@@ -344,7 +390,7 @@ pub fn compile_kernel(module: &Module, func_name: &str) -> Result<CompiledKernel
         let written_args = attr_indices(module, launch, "written_args");
         let kentry = find_gpu_kernel_block(module, &kernel_sym)?;
         let kargs = module.block_args(kentry).to_vec();
-        let (views, nests) = compile_nests(module, kentry, &kargs, &args)?;
+        let (views, nests, jit_warnings) = compile_nests(module, kentry, &kargs, &args)?;
         return Ok(CompiledKernel {
             name: func_name.to_string(),
             args,
@@ -359,11 +405,12 @@ pub fn compile_kernel(module: &Module, func_name: &str) -> Result<CompiledKernel
             },
             decomposition,
             halo_depth,
+            jit_warnings,
         });
     }
 
     let arg_values = f.arguments(module);
-    let (views, nests) = compile_nests(module, entry, &arg_values, &args)?;
+    let (views, nests, jit_warnings) = compile_nests(module, entry, &arg_values, &args)?;
     let kind = match module
         .block_ops(entry)
         .into_iter()
@@ -382,6 +429,7 @@ pub fn compile_kernel(module: &Module, func_name: &str) -> Result<CompiledKernel
         kind,
         decomposition,
         halo_depth,
+        jit_warnings,
     })
 }
 
@@ -418,10 +466,11 @@ fn compile_nests(
     block: BlockId,
     arg_values: &[ValueId],
     arg_kinds: &[ArgKind],
-) -> Result<(Vec<ViewSpec>, Vec<Nest>)> {
+) -> Result<(Vec<ViewSpec>, Vec<Nest>, Vec<Diagnostic>)> {
     let mut views: Vec<ViewSpec> = Vec::new();
     let mut view_of_value: HashMap<ValueId, usize> = HashMap::new();
     let mut nests: Vec<Nest> = Vec::new();
+    let mut jit_warnings: Vec<Diagnostic> = Vec::new();
     let mut pending_exchanges: Vec<MpiExchange> = Vec::new();
     let mut pending_snapshots: Vec<usize> = Vec::new();
     // Staging buffers (`mpi.pack` / `mpi.halo_buffer` results) → the field
@@ -529,6 +578,7 @@ fn compile_nests(
                     &scalar_slot,
                     std::mem::take(&mut pending_exchanges),
                     std::mem::take(&mut pending_snapshots),
+                    &mut jit_warnings,
                 )?;
                 nests.push(nest);
             }
@@ -539,9 +589,10 @@ fn compile_nests(
     if nests.is_empty() {
         return Err(err("no loop nest found in region"));
     }
-    Ok((views, nests))
+    Ok((views, nests, jit_warnings))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn compile_one_nest(
     module: &Module,
     loop_root: OpId,
@@ -550,6 +601,7 @@ fn compile_one_nest(
     scalar_slot: &HashMap<ValueId, u16>,
     exchanges: Vec<MpiExchange>,
     snapshots: Vec<usize>,
+    jit_warnings: &mut Vec<Diagnostic>,
 ) -> Result<Nest> {
     let mut iv_bounds: HashMap<ValueId, (i64, i64)> = HashMap::new();
     let mut tile_of_iv: HashMap<ValueId, i64> = HashMap::new();
@@ -593,15 +645,10 @@ fn compile_one_nest(
     program.num_regs = regs;
     program.finalize_stats();
     program.hoist_invariants();
-    // Specialization ladder: native loops if the body matches a template,
-    // otherwise the superinstruction-fused VM program.
+    // Specialization ladder inputs: the superinstruction-fused VM program
+    // (also the jit stitcher's source) and the native template match.
     let fused = specialize::fuse_program(&program);
     let specialized = specialize::specialize_program(&program);
-    let path = if specialized.is_some() {
-        ExecPath::Specialized
-    } else {
-        ExecPath::FusedVm
-    };
 
     let rank = views
         .first()
@@ -623,10 +670,46 @@ fn compile_one_nest(
     if !assigned.iter().all(|&a| a) {
         return Err(err("not every dimension indexed by a loop"));
     }
-    let plan = if plan_tiles.iter().any(|&t| t > 0) {
+    let mut plan = if plan_tiles.iter().any(|&t| t > 0) {
         ExecPlan::from_ir_tiles(plan_tiles)
     } else {
         ExecPlan::default()
+    };
+    // Tier-selection attr: the tiling pass records its unroll hint on the
+    // loop root; it seeds the default plan (autotuner may replace it).
+    if let Some(u) = module
+        .op(loop_root)
+        .attr("unroll")
+        .and_then(Attribute::as_int)
+    {
+        plan.unroll = u.clamp(1, 8) as u8;
+    }
+
+    // Stitch the jit realisation now that the plan (the second half of the
+    // artifact key) is known. Skips degrade to the fused VM with a coded
+    // warning — never an error.
+    let acq = jit::shared_cache().acquire(&fused, &plan);
+    jit_warnings.extend(acq.warnings);
+    let (jit, jit_source) = match acq.outcome {
+        Ok(p) => (Some(p), Some(acq.source)),
+        Err(skip) => {
+            jit_warnings.push(Diagnostic::warning(
+                codes::JIT_FALLBACK,
+                format!(
+                    "jit stitching skipped ({}); nest runs on the fused VM",
+                    skip.describe()
+                ),
+            ));
+            (None, None)
+        }
+    };
+    // Path ladder: Specialized > Jit > FusedVm (GenericVm is override-only).
+    let path = if specialized.is_some() {
+        ExecPath::Specialized
+    } else if jit.is_some() {
+        ExecPath::Jit
+    } else {
+        ExecPath::FusedVm
     };
     let halo_schedule = match module
         .op(loop_root)
@@ -643,6 +726,8 @@ fn compile_one_nest(
         program,
         fused,
         specialized,
+        jit,
+        jit_source,
         path,
         exchanges,
         halo_schedule,
@@ -1523,6 +1608,11 @@ fn run_range(
     } else {
         None
     };
+    let jitted: Option<&JitProgram> = if nest.path == ExecPath::Jit && strip_ok {
+        nest.jit.as_deref()
+    } else {
+        None
+    };
     let program = if nest.path == ExecPath::GenericVm {
         &nest.program
     } else {
@@ -1540,11 +1630,24 @@ fn run_range(
     // Strip registers (vector path).
     let mut sregs = vec![0.0f64; num_regs * STRIP];
     let mut cur_w = STRIP;
-    if strip_ok && specialized.is_none() {
+    if strip_ok && specialized.is_none() && jitted.is_none() {
         program.run_prelude_strip(&mut sregs, STRIP, scalars);
     }
+    // Jit state: prelude scalars evaluated once, broadcast into a full-row
+    // register file from the thread-local scratch pool (row width is
+    // constant within one box, so the fill happens once per call).
+    let mut jrows: Vec<f64> = Vec::new();
+    let mut jpre: Vec<f64> = Vec::new();
+    if let Some(jp) = jitted {
+        let w = (bounds[0].1 - bounds[0].0) as usize;
+        jpre = jp.prelude_values(scalars);
+        jrows = jit::take_scratch();
+        jrows.clear();
+        jrows.resize(jp.num_regs().max(1) as usize * w, 0.0);
+        jp.fill_prelude_rows(&mut jrows, w, &jpre);
+    }
 
-    loop {
+    'rows: loop {
         for (v, spec) in views.iter().enumerate() {
             let mut c = 0i64;
             for (d, &coord) in coords.iter().enumerate().take(rank) {
@@ -1570,6 +1673,23 @@ fn run_range(
                     unroll,
                 );
             }
+        } else if let Some(jp) = jitted {
+            // Stitched fast path: the whole unit-stride row runs through
+            // the pre-monomorphized fragment sequence — one indirect call
+            // per fragment per row, zero bytecode dispatch.
+            let w = (ub0 - lb0) as usize;
+            jp.run_row(
+                &mut jrows,
+                w,
+                inputs,
+                outputs,
+                out_view_map,
+                &cursors,
+                lb0,
+                &coords,
+                scalars,
+                &jpre,
+            );
         } else if strip_ok {
             let mut i = lb0;
             while i < ub0 {
@@ -1617,7 +1737,7 @@ fn run_range(
         let mut d = 1;
         loop {
             if d >= rank {
-                return;
+                break 'rows;
             }
             coords[d] += 1;
             if coords[d] < bounds[d].1 {
@@ -1626,6 +1746,9 @@ fn run_range(
             coords[d] = bounds[d].0;
             d += 1;
         }
+    }
+    if jitted.is_some() {
+        jit::put_scratch(jrows);
     }
 }
 
@@ -2109,6 +2232,7 @@ end program t
         lower_stencils(&mut st, LoweringTarget::Gpu).unwrap();
         fsc_passes::tiling::ParallelLoopTiling {
             tile_sizes: vec![8, 8, 1],
+            ..Default::default()
         }
         .run(&mut st)
         .unwrap();
@@ -2353,9 +2477,12 @@ end program gs
             let mut st = extract_stencils(&mut m).unwrap();
             lower_stencils(&mut st, LoweringTarget::Cpu).unwrap();
             if let Some(tiles) = tiles {
-                fsc_passes::tiling::ParallelLoopTiling { tile_sizes: tiles }
-                    .run(&mut st)
-                    .unwrap();
+                fsc_passes::tiling::ParallelLoopTiling {
+                    tile_sizes: tiles,
+                    ..Default::default()
+                }
+                .run(&mut st)
+                .unwrap();
             }
             fsc_passes::canonicalize::Canonicalize.run(&mut st).unwrap();
             compile_kernel(&st, "stencil_region_0").unwrap()
@@ -2367,6 +2494,10 @@ end program gs
             tiled.nests[0].plan.is_tiled(),
             "IR tile attribute must seed the default plan: {}",
             tiled.nests[0].plan.describe()
+        );
+        assert_eq!(
+            tiled.nests[0].plan.unroll, 4,
+            "the tiling pass's unroll attr must seed the default plan"
         );
         let n = 18usize;
         let mk = |mem: &mut Memory| {

@@ -26,6 +26,7 @@ pub mod budget;
 pub mod bytecode;
 pub mod distexec;
 pub mod interp;
+pub mod jit;
 pub mod kernel;
 pub mod plan;
 pub mod plancache;
@@ -37,6 +38,7 @@ pub use autotune::{TuneConfig, TuningReport};
 pub use budget::{MemoryBudget, MemoryEstimate};
 pub use distexec::{DeepHaloSession, DistMode, DistOptions, DistOutcome, RankMetrics};
 pub use interp::{Interpreter, RunStats};
+pub use jit::{JitArtifact, JitCacheStats, JitSkip};
 pub use kernel::{CompiledKernel, HaloSchedule, KernelArg, KernelStats};
 pub use plan::{ExecPlan, PlanProvenance};
 pub use plancache::{env_cache_path, resolve_cache_path, PlanCache};

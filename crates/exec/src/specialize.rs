@@ -34,16 +34,34 @@ use crate::bytecode::{BinKind, BodyProgram, Instr, MaKind};
 pub enum ExecPath {
     /// Native specialized loop (no bytecode dispatch at all).
     Specialized,
+    /// Template-stitched row program: pre-monomorphized fragments with no
+    /// per-instruction dispatch inside the unit-stride loop (`jit.rs`).
+    Jit,
     /// Vector VM over the superinstruction-fused program.
     FusedVm,
     /// Vector VM over the original instruction-per-op program.
     GenericVm,
 }
 
+impl ExecPath {
+    /// Parse the stable lowercase names used by `Display` and the
+    /// `FSC_FORCE_EXEC_PATH`-style overrides at binary boundaries.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim() {
+            "specialized" => Some(ExecPath::Specialized),
+            "jit" => Some(ExecPath::Jit),
+            "fused-vm" => Some(ExecPath::FusedVm),
+            "generic-vm" => Some(ExecPath::GenericVm),
+            _ => None,
+        }
+    }
+}
+
 impl std::fmt::Display for ExecPath {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(match self {
             ExecPath::Specialized => "specialized",
+            ExecPath::Jit => "jit",
             ExecPath::FusedVm => "fused-vm",
             ExecPath::GenericVm => "generic-vm",
         })

@@ -361,9 +361,12 @@ end program average
         merge_adjacent_applies(&mut m).unwrap();
         let mut st = extract_stencils(&mut m).unwrap();
         lower_stencils(&mut st, LoweringTarget::Gpu).unwrap();
-        ParallelLoopTiling { tile_sizes: tile }
-            .run(&mut st)
-            .unwrap();
+        ParallelLoopTiling {
+            tile_sizes: tile,
+            ..Default::default()
+        }
+        .run(&mut st)
+        .unwrap();
         ConvertParallelLoopsToGpu.run(&mut st).unwrap();
         st
     }

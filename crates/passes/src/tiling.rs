@@ -20,23 +20,34 @@ pub struct ParallelLoopTiling {
     /// Tile size per parallel dimension (in the loop's dimension order);
     /// missing entries default to 1.
     pub tile_sizes: Vec<i64>,
+    /// Innermost-dimension unroll hint, stamped as the `"unroll"` attr on
+    /// the tiled loop. The kernel compiler seeds each nest's default
+    /// execution plan from it (the jit/specialized row skeletons unroll by
+    /// 4 when the plan asks for ≥ 4); the autotuner may later replace it.
+    pub unroll: i64,
 }
 
 impl Default for ParallelLoopTiling {
     fn default() -> Self {
         Self {
             tile_sizes: vec![32, 32, 1],
+            unroll: 4,
         }
     }
 }
 
 impl ParallelLoopTiling {
-    /// Construct from pipeline options (`parallel-loop-tile-sizes=32,32,1`).
+    /// Construct from pipeline options
+    /// (`parallel-loop-tile-sizes=32,32,1 unroll=4`).
     pub fn from_options(opts: &PassOptions) -> Self {
         let tile_sizes = opts
             .get_int_list("parallel-loop-tile-sizes")
             .unwrap_or_else(|| vec![32, 32, 1]);
-        Self { tile_sizes }
+        let unroll = opts
+            .get_int_list("unroll")
+            .and_then(|l| l.first().copied())
+            .unwrap_or(4);
+        Self { tile_sizes, unroll }
     }
 
     fn tile_for_dim(&self, d: usize) -> i64 {
@@ -50,6 +61,18 @@ impl ParallelLoopTiling {
     /// trailing dimensions still default to 1 (untiled) — only values the
     /// user actually wrote are validated.
     fn validate(&self) -> Result<()> {
+        if !(1..=8).contains(&self.unroll) {
+            return Err(IrError::from_diagnostic(
+                Diagnostic::error(
+                    codes::PASS_BAD_OPTION,
+                    format!(
+                        "scf-parallel-loop-tiling: unroll {} is out of range (1..=8)",
+                        self.unroll
+                    ),
+                )
+                .note("use 1 to disable unrolling of the innermost row loop"),
+            ));
+        }
         if let Some(&bad) = self.tile_sizes.iter().find(|&&t| t < 1) {
             return Err(IrError::from_diagnostic(
                 Diagnostic::error(
@@ -122,6 +145,10 @@ fn tile_one(module: &mut Module, par_op: OpId, cfg: &ParallelLoopTiling) -> Resu
             "tiled".into(),
             fsc_ir::Attribute::IndexList((0..n).map(|d| cfg.tile_for_dim(d)).collect()),
         );
+        b.module().op_mut(outer.0).attrs.insert(
+            "unroll".into(),
+            fsc_ir::Attribute::Int(cfg.unroll, fsc_ir::Type::Index),
+        );
         outer
     };
     let outer_ivs = outer.ivs(module);
@@ -191,6 +218,7 @@ mod tests {
         let mut m = parallel_module(2, 64);
         let pass = ParallelLoopTiling {
             tile_sizes: vec![32, 16],
+            ..Default::default()
         };
         assert_eq!(pass.run(&mut m).unwrap(), PassResult::Changed);
         let pars = collect_ops_named(&m, scf::PARALLEL);
@@ -220,6 +248,7 @@ mod tests {
         let mut m = parallel_module(1, 64);
         let pass = ParallelLoopTiling {
             tile_sizes: vec![8],
+            ..Default::default()
         };
         pass.run(&mut m).unwrap();
         assert_eq!(pass.run(&mut m).unwrap(), PassResult::Unchanged);
@@ -243,6 +272,7 @@ mod tests {
             let mut m = parallel_module(2, 64);
             let err = ParallelLoopTiling {
                 tile_sizes: bad.clone(),
+                ..Default::default()
             }
             .run(&mut m)
             .expect_err("tile sizes {bad:?} must be rejected");
@@ -259,6 +289,7 @@ mod tests {
         let mut m = parallel_module(2, 64);
         ParallelLoopTiling {
             tile_sizes: vec![32, 4],
+            ..Default::default()
         }
         .run(&mut m)
         .unwrap();
@@ -267,5 +298,43 @@ mod tests {
             m.op(pars[0]).attr("tiled").unwrap().as_index_list(),
             Some(&[32, 4][..])
         );
+    }
+
+    #[test]
+    fn records_unroll_attr_for_tier_selection() {
+        let mut m = parallel_module(2, 64);
+        ParallelLoopTiling {
+            tile_sizes: vec![16, 16],
+            unroll: 2,
+        }
+        .run(&mut m)
+        .unwrap();
+        let pars = collect_ops_named(&m, scf::PARALLEL);
+        assert_eq!(m.op(pars[0]).attr("unroll").unwrap().as_int(), Some(2));
+        // Pipeline option spelling parses into the same place.
+        let mut opts = PassOptions::default();
+        opts.set("unroll", "8");
+        assert_eq!(ParallelLoopTiling::from_options(&opts).unroll, 8);
+        assert_eq!(
+            ParallelLoopTiling::from_options(&PassOptions::default()).unroll,
+            4
+        );
+    }
+
+    #[test]
+    fn out_of_range_unroll_is_rejected_with_coded_diagnostic() {
+        for bad in [0i64, 9, -3] {
+            let mut m = parallel_module(1, 32);
+            let err = ParallelLoopTiling {
+                tile_sizes: vec![8],
+                unroll: bad,
+            }
+            .run(&mut m)
+            .expect_err("unroll {bad} must be rejected");
+            assert_eq!(
+                err.diagnostics.first().unwrap().code,
+                codes::PASS_BAD_OPTION
+            );
+        }
     }
 }

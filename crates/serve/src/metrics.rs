@@ -153,6 +153,16 @@ pub struct ServerMetrics {
     pub dist_physical_messages: AtomicU64,
     /// Deepest ghost band (`halo_depth`) any distributed run carried.
     pub dist_halo_depth: AtomicU64,
+    /// Runs in which at least one nest executed on the native specialized
+    /// tier (per-tier execution counts; a run touches every tier its
+    /// nests attested).
+    pub exec_specialized: AtomicU64,
+    /// Runs attesting the stitched jit tier.
+    pub exec_jit: AtomicU64,
+    /// Runs attesting the superinstruction-fused VM tier.
+    pub exec_fused_vm: AtomicU64,
+    /// Runs attesting the generic bytecode VM tier.
+    pub exec_generic_vm: AtomicU64,
     /// Time from admission to response written.
     pub latency: LatencyHistogram,
     /// Time a request sat queued before a worker picked it up.

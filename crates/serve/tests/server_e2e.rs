@@ -182,6 +182,13 @@ fn sixty_four_concurrent_mixed_requests() {
     assert_eq!(stats.get("completed").and_then(Json::as_i64), Some(63));
     assert_eq!(stats.get("failed").and_then(Json::as_i64), Some(1));
     assert_eq!(stats.get("rejected").and_then(Json::as_i64), Some(0));
+    // Per-tier gauges: every valid run's GS nests attest the specialized
+    // tier, and the jit artifact-cache section is present.
+    assert_eq!(
+        stats.get("exec_specialized").and_then(Json::as_i64),
+        Some(63)
+    );
+    assert!(stats.get("jit_entries").and_then(Json::as_i64).is_some());
 
     drop(server);
     let _ = std::fs::remove_dir_all(&dir);
@@ -287,6 +294,115 @@ fn malformed_requests_get_coded_protocol_errors() {
     assert_eq!(
         client.ping().unwrap().get("pong").and_then(Json::as_bool),
         Some(true)
+    );
+
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The jit tier attests its artifact provenance end-to-end (ISSUE 10
+/// satellite 6): a non-template kernel's first compile stitches a fresh
+/// jit artifact; a *textually different* program with identical bytecode
+/// (same body, renamed program — the session fingerprint differs but the
+/// content key matches) hits the shared artifact cache and attests
+/// `cached`. The stats endpoint surfaces the per-tier run counts and the
+/// jit cache counters.
+#[test]
+fn jit_tier_attests_cached_artifacts_on_warm_server() {
+    let dir = scratch_dir("jitwarm");
+    let server = Server::start(
+        &dir.join("serve.sock"),
+        ServerConfig {
+            workers: 1,
+            plan_cache: Some(dir.join("plans.json")),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    // n=5 is unique to this test so no other in-process user of the
+    // shared jit cache has stitched this compute sweep's content key.
+    // The direct-library reference run happens *after* the server
+    // requests: it shares the process-global artifact cache and would
+    // otherwise pre-stitch the kernel, turning the server's first
+    // compile from `fresh` into `cached`.
+    let source = fsc_workloads::jit_kernels::sqrt_source(5, 1);
+
+    let contains = |v: &Json, field: &str, s: &str| -> bool {
+        v.get(field)
+            .and_then(Json::as_array)
+            .map(|a| a.iter().any(|x| x.as_str() == Some(s)))
+            .unwrap_or(false)
+    };
+
+    let mut client = Client::connect(server.socket_path()).unwrap();
+    let v = client.run(&source, "cpu", false, &["u"]).unwrap();
+    assert_eq!(
+        v.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{}",
+        v.render()
+    );
+    // Mixed ladder: the sqrt sweep runs on the jit, the copy sweep on the
+    // specialized template — and the jit artifact was stitched fresh.
+    assert!(contains(&v, "exec_tiers", "jit"), "{}", v.render());
+    assert!(contains(&v, "exec_tiers", "specialized"), "{}", v.render());
+    assert!(contains(&v, "jit_artifacts", "fresh"), "{}", v.render());
+
+    // Recompile under a different session fingerprint but identical
+    // bytecode: rename the program (same n — jit offsets bake strides, so
+    // the extents must match for the content key to match).
+    let renamed = source.replace("program jit_sqrt", "program jit_sqrt_b");
+    let v2 = client.run(&renamed, "cpu", false, &["u"]).unwrap();
+    assert_eq!(
+        v2.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{}",
+        v2.render()
+    );
+    assert!(
+        contains(&v2, "jit_artifacts", "cached"),
+        "warm-server recompile must hit the shared jit artifact cache: {}",
+        v2.render()
+    );
+    assert!(
+        !contains(&v2, "jit_artifacts", "fresh"),
+        "identical bytecode must not be stitched twice: {}",
+        v2.render()
+    );
+
+    // Both server runs are bit-identical to the direct library run.
+    let serial = Compiler::run(&source, &CompileOptions::for_target(Target::StencilCpu)).unwrap();
+    let want = format!("{:016x}", checksum_arrays(&serial, &["u".to_string()]));
+    assert_eq!(
+        v.get("checksum").and_then(Json::as_str),
+        Some(want.as_str())
+    );
+    assert_eq!(
+        v2.get("checksum").and_then(Json::as_str),
+        Some(want.as_str())
+    );
+
+    // Stats: both runs ticked the jit and specialized tier gauges, and
+    // the artifact-cache counters saw at least one build and one hit.
+    let stats = client.stats().unwrap();
+    assert!(stats.get("exec_jit").and_then(Json::as_i64).unwrap() >= 2);
+    assert!(
+        stats
+            .get("exec_specialized")
+            .and_then(Json::as_i64)
+            .unwrap()
+            >= 2
+    );
+    assert!(stats.get("jit_builds").and_then(Json::as_i64).unwrap() >= 1);
+    assert!(stats.get("jit_hits").and_then(Json::as_i64).unwrap() >= 1);
+    assert!(
+        stats
+            .get("jit_codegen_count")
+            .and_then(Json::as_i64)
+            .unwrap()
+            >= 1,
+        "codegen latency histogram must record stitches: {}",
+        stats.render()
     );
 
     drop(server);

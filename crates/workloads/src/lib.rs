@@ -15,6 +15,7 @@
 
 pub mod gauss_seidel;
 pub mod grid;
+pub mod jit_kernels;
 pub mod pw_advection;
 pub mod verify;
 

@@ -18,6 +18,10 @@
 //!   --emit-stencil     print the extracted, lowered stencil module and exit
 //!   --print=a,b        dump the named arrays after the run
 //! ```
+//!
+//! `FSC_FORCE_EXEC_PATH=specialized|jit|fused-vm|generic-vm` forces every
+//! nest onto one execution tier (parsed here, at the binary boundary —
+//! the library only sees `CompileOptions::force_exec_path`).
 
 use flang_stencil::core::{CompileOptions, Compiler, Target};
 use flang_stencil::exec::TuneConfig;
@@ -120,13 +124,23 @@ fn main() {
         }
     };
 
-    // The env → options boundary: `FSC_PLAN_CACHE` is read here, once,
-    // and threaded through as an explicit path. Library code never
-    // consults the environment (see fsc-exec's plancache docs).
+    // The env → options boundary: `FSC_PLAN_CACHE` and
+    // `FSC_FORCE_EXEC_PATH` are read here, once, and threaded through as
+    // explicit options. Library code never consults the environment (see
+    // fsc-exec's plancache docs).
     let tune = autotune.then(|| TuneConfig {
         cache_path: plan_cache.or_else(flang_stencil::exec::env_cache_path),
         no_persist: false,
         reps: 2,
+    });
+    let force_exec_path = std::env::var("FSC_FORCE_EXEC_PATH").ok().map(|raw| {
+        flang_stencil::exec::ExecPath::parse(&raw).unwrap_or_else(|| {
+            eprintln!(
+                "bad FSC_FORCE_EXEC_PATH '{raw}': expected \
+                 specialized|jit|fused-vm|generic-vm"
+            );
+            std::process::exit(2);
+        })
     });
     let compiled = match Compiler::compile(
         &source,
@@ -134,6 +148,7 @@ fn main() {
             target,
             verify_each_pass: false,
             autotune: tune,
+            force_exec_path,
             ..Default::default()
         },
     ) {
@@ -184,6 +199,18 @@ fn main() {
             .map(|p| p.to_string())
             .collect();
         eprintln!("exec paths: {}", paths.join(", "));
+    }
+    if !exec.report.jit_artifacts.is_empty() {
+        let sources: Vec<&str> = exec
+            .report
+            .jit_artifacts
+            .iter()
+            .map(|s| s.describe())
+            .collect();
+        eprintln!("jit artifacts: {}", sources.join(", "));
+    }
+    for d in &exec.report.jit_warnings {
+        eprintln!("{d}");
     }
     if let Some(gpu) = exec.report.gpu_seconds {
         eprintln!("gpu model: {gpu:.6}s ({:?})", exec.report.gpu.unwrap());

@@ -136,6 +136,108 @@ end program prop2
     )
 }
 
+/// A randomly generated 3-D stencil term: coefficient × a(i+di, j+dj, k+dk).
+#[derive(Debug, Clone)]
+struct Term3 {
+    coeff: f64,
+    di: i64,
+    dj: i64,
+    dk: i64,
+}
+
+fn term3() -> impl Strategy<Value = Term3> {
+    (-1i64..=1, -1i64..=1, -1i64..=1, -8i32..=8).prop_map(|(di, dj, dk, c)| Term3 {
+        coeff: c as f64 * 0.125,
+        di,
+        dj,
+        dk,
+    })
+}
+
+/// Build a 3-D Fortran program computing
+/// `r(i, j, k) = Σ coeff_m * a(i+di_m, j+dj_m, k+dk_m)` over the interior.
+fn program_3d(terms: &[Term3], n: usize) -> String {
+    let idx = |base: &str, off: i64| match off.cmp(&0) {
+        std::cmp::Ordering::Less => format!("{base}-{}", -off),
+        std::cmp::Ordering::Equal => base.to_string(),
+        std::cmp::Ordering::Greater => format!("{base}+{off}"),
+    };
+    let expr = terms
+        .iter()
+        .map(|t| {
+            format!(
+                "{} * a({}, {}, {})",
+                t.coeff,
+                idx("i", t.di),
+                idx("j", t.dj),
+                idx("k", t.dk)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(" + ");
+    format!(
+        "program prop3
+  implicit none
+  integer, parameter :: n = {n}
+  integer :: i, j, k
+  real(kind=8) :: a(0:n+1, 0:n+1, 0:n+1), r(0:n+1, 0:n+1, 0:n+1)
+  do k = 0, n+1
+    do j = 0, n+1
+      do i = 0, n+1
+        a(i, j, k) = 0.0625 * i * j - 0.25 * k + 0.125 * i
+        r(i, j, k) = 0.0
+      end do
+    end do
+  end do
+  do k = 1, n
+    do j = 1, n
+      do i = 1, n
+        r(i, j, k) = {expr}
+      end do
+    end do
+  end do
+end program prop3
+"
+    )
+}
+
+/// Force every kernel onto `path` under `plan` and return the bit
+/// patterns of `array`, asserting the report attests the forced tier
+/// whenever some nest actually carries it.
+fn run_forced(
+    compiled: &mut flang_stencil::core::Compiled,
+    path: flang_stencil::exec::ExecPath,
+    plan: &flang_stencil::exec::ExecPlan,
+    array: &str,
+) -> Vec<u64> {
+    for kernel in compiled.kernels.values_mut() {
+        kernel.force_exec_path(path);
+        kernel.force_plan(plan);
+    }
+    // `force_plan` re-acquires jit artifacts under the new plan and may
+    // degrade a nest; assert against what the nests now claim.
+    let expects_path = compiled
+        .kernels
+        .values()
+        .flat_map(|k| &k.nests)
+        .any(|nest| nest.path == path && nest.bounds.iter().all(|(lo, hi)| hi > lo));
+    let exec = compiled.run().expect("forced-path run");
+    if expects_path {
+        assert!(
+            exec.report.attests(path),
+            "expected {} in {:?} under plan {}",
+            path,
+            exec.report.exec_paths,
+            plan.describe()
+        );
+    }
+    exec.array(array)
+        .expect("result array")
+        .iter()
+        .map(|v| v.to_bits())
+        .collect()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -308,6 +410,161 @@ proptest! {
             nest.bounds == vec![(1, n as i64 + 1)]
         });
         prop_assert!(found, "no nest with interior bounds 1..={n}");
+    }
+}
+
+proptest! {
+    // The jit-tier sweeps run three tiers × three plans per case; a
+    // dozen cases per dimensionality keeps the suite inside the tier-1
+    // budget while still exercising degenerate n=0/1 domains.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The stitched jit must be **bit**-identical to both VM tiers on
+    /// random 1-D stencils under the default, a tuned and an oversized
+    /// execution plan — including degenerate n=0/1 domains where the
+    /// interior loop never runs.
+    #[test]
+    fn jit_tier_bit_identical_on_random_1d_stencils(
+        terms in prop::collection::vec(term(), 1..6),
+        n in 0usize..16,
+    ) {
+        use flang_stencil::exec::{ExecPath, ExecPlan};
+        let source = program(&terms, n);
+        let opts = CompileOptions {
+            target: Target::StencilCpu,
+            verify_each_pass: false,
+            ..Default::default()
+        };
+        let mut compiled = Compiler::compile(&source, &opts).unwrap();
+        let reference: Vec<u64> = compiled
+            .run()
+            .expect("default run")
+            .array("r")
+            .expect("r array")
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let plans = [
+            ExecPlan::default(),
+            ExecPlan { tiles: vec![3], unroll: 4, slabs: 1, ..ExecPlan::default() },
+            ExecPlan { tiles: vec![1 << 20], unroll: 4, ..ExecPlan::default() },
+        ];
+        for path in [ExecPath::Jit, ExecPath::FusedVm, ExecPath::GenericVm] {
+            for plan in &plans {
+                let got = run_forced(&mut compiled, path, plan, "r");
+                prop_assert_eq!(
+                    &got, &reference,
+                    "{} with plan {} diverged bitwise", path, plan.describe()
+                );
+            }
+        }
+    }
+
+    /// Same contract on random 2-D stencils.
+    #[test]
+    fn jit_tier_bit_identical_on_random_2d_stencils(
+        terms in prop::collection::vec(term2(), 1..6),
+        n in 0usize..10,
+    ) {
+        use flang_stencil::exec::{ExecPath, ExecPlan};
+        let source = program_2d(&terms, n);
+        let opts = CompileOptions {
+            target: Target::StencilCpu,
+            verify_each_pass: false,
+            ..Default::default()
+        };
+        let mut compiled = Compiler::compile(&source, &opts).unwrap();
+        let reference: Vec<u64> = compiled
+            .run()
+            .expect("default run")
+            .array("r")
+            .expect("r array")
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let plans = [
+            ExecPlan::default(),
+            ExecPlan { tiles: vec![3, 3], unroll: 4, slabs: 1, ..ExecPlan::default() },
+            ExecPlan { tiles: vec![1 << 20, 1 << 20], unroll: 4, ..ExecPlan::default() },
+        ];
+        for path in [ExecPath::Jit, ExecPath::FusedVm, ExecPath::GenericVm] {
+            for plan in &plans {
+                let got = run_forced(&mut compiled, path, plan, "r");
+                prop_assert_eq!(
+                    &got, &reference,
+                    "{} with plan {} diverged bitwise", path, plan.describe()
+                );
+            }
+        }
+    }
+
+    /// Same contract on random 3-D stencils (smaller extents: the sweep
+    /// is cubic in n and runs nine tier×plan combinations per case).
+    #[test]
+    fn jit_tier_bit_identical_on_random_3d_stencils(
+        terms in prop::collection::vec(term3(), 1..5),
+        n in 0usize..6,
+    ) {
+        use flang_stencil::exec::{ExecPath, ExecPlan};
+        let source = program_3d(&terms, n);
+        let opts = CompileOptions {
+            target: Target::StencilCpu,
+            verify_each_pass: false,
+            ..Default::default()
+        };
+        let mut compiled = Compiler::compile(&source, &opts).unwrap();
+        let reference: Vec<u64> = compiled
+            .run()
+            .expect("default run")
+            .array("r")
+            .expect("r array")
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let plans = [
+            ExecPlan::default(),
+            ExecPlan { tiles: vec![2, 2, 2], unroll: 2, slabs: 1, ..ExecPlan::default() },
+            ExecPlan { tiles: vec![1 << 20, 1 << 20, 1 << 20], unroll: 4, ..ExecPlan::default() },
+        ];
+        for path in [ExecPath::Jit, ExecPath::FusedVm, ExecPath::GenericVm] {
+            for plan in &plans {
+                let got = run_forced(&mut compiled, path, plan, "r");
+                prop_assert_eq!(
+                    &got, &reference,
+                    "{} with plan {} diverged bitwise", path, plan.describe()
+                );
+            }
+        }
+    }
+
+    /// The swap-guarded Gauss–Seidel double-buffer — compute sweep plus
+    /// copy-back inside an outer time loop — stays bit-identical across
+    /// the jit and both VM tiers at tiny extents.
+    #[test]
+    fn jit_tier_bit_identical_on_swap_guarded_gs(
+        n in 1usize..6,
+        iters in 1usize..4,
+    ) {
+        use flang_stencil::exec::{ExecPath, ExecPlan};
+        let source = gauss_seidel::fortran_source(n, iters);
+        let opts = CompileOptions {
+            target: Target::StencilCpu,
+            verify_each_pass: false,
+            ..Default::default()
+        };
+        let mut compiled = Compiler::compile(&source, &opts).unwrap();
+        let reference: Vec<u64> = compiled
+            .run()
+            .expect("default run")
+            .array("u")
+            .expect("u array")
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        for path in [ExecPath::Jit, ExecPath::FusedVm, ExecPath::GenericVm] {
+            let got = run_forced(&mut compiled, path, &ExecPlan::default(), "u");
+            prop_assert_eq!(&got, &reference, "{} diverged bitwise on GS", path);
+        }
     }
 }
 
